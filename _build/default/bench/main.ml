@@ -1,0 +1,213 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section IV) on the simulated GPUs, plus ablations and
+   Bechamel micro-benchmarks of the compiler itself.
+
+     dune exec bench/main.exe              # everything (default scope)
+     dune exec bench/main.exe -- fig7      # Figure 7 only
+     dune exec bench/main.exe -- fig8      # Figure 8 only
+     dune exec bench/main.exe -- fig9      # Figure 9 only
+     dune exec bench/main.exe -- ablation  # dispatch-policy & partition ablations
+     dune exec bench/main.exe -- micro     # compiler micro-benchmarks
+     dune exec bench/main.exe -- fig7 --full   # 5-point ratio sweeps
+
+   The default ratio sweep uses 3 points per pair (0.5x, 1x, 2x the
+   representative size); [--full] uses the paper's 5. *)
+
+open Hfuse_profiler
+open Kernel_corpus
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let section title =
+  say "";
+  say "%s" (String.make 74 '=');
+  say "%s" title;
+  say "%s" (String.make 74 '=')
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  say "[%s: %.1fs]" name (Unix.gettimeofday () -. t0);
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let multipliers ~full =
+  if full then Experiment.default_multipliers else [ 0.5; 1.0; 2.0 ]
+
+let run_fig7 ~full () =
+  section "Figure 7: speedup vs execution-time ratio (16 pairs x 2 GPUs)";
+  let sweeps =
+    timed "figure 7" (fun () ->
+        Experiment.figure7 ~multipliers:(multipliers ~full) ())
+  in
+  print_string (Report.figure7_to_string sweeps)
+
+let run_fig8 () =
+  section "Figure 8: metrics of individual kernels";
+  let rows = timed "figure 8" (fun () -> Experiment.figure8 ()) in
+  print_string (Report.figure8_to_string rows)
+
+let run_fig9 () =
+  section "Figure 9: metrics of HFuse fused kernels (RegCap / N-RegCap)";
+  let rows = timed "figure 9" (fun () -> Experiment.figure9 ()) in
+  print_string (Report.figure9_to_string rows)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md E5)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablation () =
+  section "Ablation A: block-dispatch policy (why parallel streams lose)";
+  (* the native baseline under the real FIFO Grid-Management-Unit policy
+     vs an idealised backfilling distributor *)
+  let arch = Gpusim.Arch.gtx1080ti in
+  let sizes = Experiment.representative_sizes arch in
+  say "%-24s %14s %14s %9s" "pair" "FIFO (ms)" "Leftover (ms)" "overlap%";
+  List.iter
+    (fun (n1, n2) ->
+      let s1 = Registry.find_exn n1 and s2 = Registry.find_exn n2 in
+      let mem = Gpusim.Memory.create () in
+      let c1 = Runner.configure mem s1 ~size:(Experiment.size_of sizes s1) in
+      let c2 = Runner.configure mem s2 ~size:(Experiment.size_of sizes s2) in
+      let specs =
+        [ Runner.spec_of c1 ~stream:0 (); Runner.spec_of c2 ~stream:1 () ]
+      in
+      let fifo = Gpusim.Timing.run ~policy:Gpusim.Timing.Fifo arch specs in
+      let leftover =
+        Gpusim.Timing.run ~policy:Gpusim.Timing.Leftover arch specs
+      in
+      say "%-24s %14.4f %14.4f %8.1f%%"
+        (n1 ^ "+" ^ n2)
+        fifo.Gpusim.Timing.time_ms leftover.Gpusim.Timing.time_ms
+        (100.0
+        *. (1.0
+           -. (leftover.Gpusim.Timing.time_ms /. fifo.Gpusim.Timing.time_ms))))
+    [
+      (* Batchnorm reaches full occupancy solo — nothing to backfill, so
+         the policies coincide: streams cannot help a saturating kernel *)
+      ("Batchnorm", "Hist");
+      (* Upsample (56 regs) and Blake2B (64 regs) leave half an SM free:
+         the idealised distributor overlaps, the real FIFO one cannot *)
+      ("Upsample", "Hist");
+      ("Blake2B", "Ethash");
+    ];
+  section "Ablation B: thread-space partition landscape (Batchnorm+Hist)";
+  let s1 = Registry.find_exn "Batchnorm" and s2 = Registry.find_exn "Hist" in
+  let mem = Gpusim.Memory.create () in
+  let sizes = Experiment.representative_sizes arch in
+  let c1 = Runner.configure mem s1 ~size:(Experiment.size_of sizes s1) in
+  let c2 = Runner.configure mem s2 ~size:(Experiment.size_of sizes s2) in
+  let native = (Runner.native arch c1 c2).Gpusim.Timing.time_ms in
+  let sr = Runner.search arch c1 c2 in
+  say "%-12s %-10s %12s %10s" "partition" "regbound" "time (ms)" "speedup%";
+  List.iter
+    (fun (cand : Hfuse_core.Search.candidate) ->
+      say "%5d/%-6d %-10s %12.4f %+9.1f%%" cand.fused.d1 cand.fused.d2
+        (match cand.config.reg_bound with
+        | None -> "-"
+        | Some r -> string_of_int r)
+        cand.time
+        (Experiment.speedup ~native ~fused:cand.time))
+    sr.all;
+  let b = sr.best in
+  say "best: %d/%d %s" b.fused.d1 b.fused.d2
+    (match b.config.reg_bound with
+    | None -> "no register bound"
+    | Some r -> Printf.sprintf "register bound %d" r)
+
+(* ------------------------------------------------------------------ *)
+(* Compiler micro-benchmarks (Bechamel)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_micro () =
+  section "Compiler micro-benchmarks (Bechamel; one Test.make per stage)";
+  let open Bechamel in
+  let open Toolkit in
+  let bn = Registry.find_exn "Batchnorm" and hist = Registry.find_exn "Hist" in
+  let mk_info (s : Spec.t) d =
+    let mem = Gpusim.Memory.create () in
+    let inst = s.instantiate mem ~size:2 in
+    Hfuse_core.Kernel_info.with_block_dim (Spec.kernel_info s inst) d
+  in
+  let k1 = mk_info bn 896 and k2 = mk_info hist 128 in
+  let tests =
+    [
+      Test.make ~name:"parse corpus kernel"
+        (Staged.stage (fun () -> ignore (Cuda.Parser.parse_kernel bn.source)));
+      Test.make ~name:"typecheck corpus kernel"
+        (let prog = Cuda.Parser.parse_program bn.source in
+         Staged.stage (fun () -> Cuda.Typecheck.check_program prog));
+      Test.make ~name:"normalize (inline+lift)"
+        (let prog, fn = Cuda.Parser.parse_kernel bn.source in
+         Staged.stage (fun () ->
+             ignore (Hfuse_frontend.Inline.normalize_kernel prog fn)));
+      Test.make ~name:"hfuse generate"
+        (Staged.stage (fun () -> ignore (Hfuse_core.Hfuse.generate k1 k2)));
+      Test.make ~name:"vfuse generate"
+        (let k2' = Hfuse_core.Kernel_info.with_block_dim k2 896 in
+         Staged.stage (fun () ->
+             ignore (Hfuse_core.Vfuse.generate k1 k2')));
+      Test.make ~name:"emit fused source"
+        (let f = Hfuse_core.Hfuse.generate k1 k2 in
+         Staged.stage (fun () -> ignore (Hfuse_core.Hfuse.to_source f)));
+      Test.make ~name:"search (synthetic profile)"
+        (Staged.stage (fun () ->
+             ignore
+               (Hfuse_core.Search.search
+                  ~profile:(fun f ~reg_bound ->
+                    float_of_int
+                      (f.Hfuse_core.Hfuse.d1
+                      + match reg_bound with Some r -> r | None -> 0))
+                  ~d0:1024 k1 k2)));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  say "%-28s %14s" "stage" "ns/run";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let anl = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (t :: _) -> say "%-28s %14.0f" name t
+          | _ -> say "%-28s %14s" name "n/a")
+        anl)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let args = List.filter (fun a -> a <> "--full") args in
+  let t0 = Unix.gettimeofday () in
+  (match args with
+  | [] ->
+      run_fig8 ();
+      run_fig9 ();
+      run_fig7 ~full ();
+      run_ablation ();
+      run_micro ()
+  | [ "fig7" ] -> run_fig7 ~full ()
+  | [ "fig8" ] -> run_fig8 ()
+  | [ "fig9" ] -> run_fig9 ()
+  | [ "ablation" ] -> run_ablation ()
+  | [ "micro" ] -> run_micro ()
+  | other ->
+      Printf.eprintf
+        "unknown arguments: %s\n\
+         usage: main.exe [fig7|fig8|fig9|ablation|micro] [--full]\n"
+        (String.concat " " other);
+      exit 2);
+  say "";
+  say "total bench time: %.1fs" (Unix.gettimeofday () -. t0)

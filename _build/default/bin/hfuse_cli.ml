@@ -1,0 +1,369 @@
+(* hfuse — command-line front end.
+
+     hfuse fuse a.cu b.cu --d1 896 --d2 128     horizontally fuse two files
+     hfuse vfuse a.cu b.cu --block 512          vertically fuse two files
+     hfuse info a.cu                            parse/typecheck + resources
+     hfuse corpus                               list benchmark kernels/pairs
+     hfuse simulate --kernel Batchnorm          run a corpus kernel
+     hfuse search --k1 Batchnorm --k2 Hist      Fig. 6 search on a pair
+
+   Fusing arbitrary .cu files is purely source-to-source (no profiling:
+   profiling needs launchable workloads, which only the corpus kernels
+   carry). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+      Printf.eprintf "hfuse: %s\n" msg;
+      exit 1
+
+let parse_kernel_file path =
+  match Cuda.Parser.parse_kernel (read_file path) with
+  | pk -> Ok pk
+  | exception Cuda.Parser.Error (msg, loc) ->
+      Error (Fmt.str "%s:%a: %s" path Cuda.Loc.pp loc msg)
+  | exception Cuda.Lexer.Error (msg, loc) ->
+      Error (Fmt.str "%s:%a: %s" path Cuda.Loc.pp loc msg)
+  | exception Failure msg -> Error (path ^ ": " ^ msg)
+
+let info_of_file path ~block ~grid ~smem_dynamic ~regs : Hfuse_core.Kernel_info.t =
+  let prog, fn = or_die (parse_kernel_file path) in
+  (match Cuda.Typecheck.check_program prog with
+  | () -> ()
+  | exception Cuda.Typecheck.Error (msg, loc) ->
+      Printf.eprintf "hfuse: %s:%s: %s\n" path (Cuda.Loc.to_string loc) msg;
+      exit 1);
+  let regs =
+    match regs with Some r -> r | None -> Gpusim.Resource_model.estimate_fn fn
+  in
+  { fn; prog; block = (block, 1, 1); grid; smem_dynamic; regs;
+    tunability = Hfuse_core.Kernel_info.Fixed }
+
+(* -- common args ------------------------------------------------------- *)
+
+let arch_arg =
+  let arch_conv =
+    Arg.conv'
+      ( (fun s ->
+          match Gpusim.Arch.by_name s with
+          | Some a -> Ok a
+          | None -> Error ("unknown architecture " ^ s)),
+        fun ppf a -> Fmt.string ppf a.Gpusim.Arch.name )
+  in
+  Arg.(
+    value
+    & opt arch_conv Gpusim.Arch.gtx1080ti
+    & info [ "arch" ] ~docv:"ARCH" ~doc:"GPU model: 1080Ti or V100.")
+
+let grid_arg =
+  Arg.(value & opt int 8 & info [ "grid" ] ~docv:"N" ~doc:"Grid dimension.")
+
+(* -- fuse --------------------------------------------------------------- *)
+
+let fuse_cmd =
+  let run f1 f2 d1 d2 smem1 smem2 regs1 regs2 grid =
+    let k1 = info_of_file f1 ~block:d1 ~grid ~smem_dynamic:smem1 ~regs:regs1 in
+    let k2 = info_of_file f2 ~block:d2 ~grid ~smem_dynamic:smem2 ~regs:regs2 in
+    match Hfuse_core.Hfuse.generate k1 k2 with
+    | fused ->
+        print_endline (Hfuse_core.Hfuse.to_source fused);
+        Printf.eprintf
+          "// fused: %d+%d threads, barriers %d/%d, ~%d regs, %dB dynamic \
+           smem\n"
+          fused.d1 fused.d2 fused.bar1 fused.bar2 fused.regs
+          fused.smem_dynamic
+    | exception Hfuse_core.Fuse_common.Fusion_error msg ->
+        Printf.eprintf "hfuse: %s\n" msg;
+        exit 1
+  in
+  let f1 = Arg.(required & pos 0 (some file) None & info [] ~docv:"K1.cu") in
+  let f2 = Arg.(required & pos 1 (some file) None & info [] ~docv:"K2.cu") in
+  let d1 = Arg.(value & opt int 256 & info [ "d1" ] ~doc:"Threads for kernel 1.") in
+  let d2 = Arg.(value & opt int 256 & info [ "d2" ] ~doc:"Threads for kernel 2.") in
+  let smem1 = Arg.(value & opt int 0 & info [ "smem1" ] ~doc:"Dynamic shared bytes of kernel 1.") in
+  let smem2 = Arg.(value & opt int 0 & info [ "smem2" ] ~doc:"Dynamic shared bytes of kernel 2.") in
+  let regs1 = Arg.(value & opt (some int) None & info [ "regs1" ] ~doc:"Registers/thread of kernel 1.") in
+  let regs2 = Arg.(value & opt (some int) None & info [ "regs2" ] ~doc:"Registers/thread of kernel 2.") in
+  Cmd.v
+    (Cmd.info "fuse" ~doc:"Horizontally fuse two CUDA kernels (Fig. 5).")
+    Term.(const run $ f1 $ f2 $ d1 $ d2 $ smem1 $ smem2 $ regs1 $ regs2 $ grid_arg)
+
+let vfuse_cmd =
+  let run f1 f2 block grid =
+    let k1 = info_of_file f1 ~block ~grid ~smem_dynamic:0 ~regs:None in
+    let k2 = info_of_file f2 ~block ~grid ~smem_dynamic:0 ~regs:None in
+    match Hfuse_core.Vfuse.generate k1 k2 with
+    | v -> print_endline (Hfuse_core.Vfuse.to_source v)
+    | exception Hfuse_core.Fuse_common.Fusion_error msg ->
+        Printf.eprintf "hfuse: %s\n" msg;
+        exit 1
+  in
+  let f1 = Arg.(required & pos 0 (some file) None & info [] ~docv:"K1.cu") in
+  let f2 = Arg.(required & pos 1 (some file) None & info [] ~docv:"K2.cu") in
+  let block =
+    Arg.(value & opt int 256 & info [ "block" ] ~doc:"Block dimension.")
+  in
+  Cmd.v
+    (Cmd.info "vfuse" ~doc:"Vertically fuse two CUDA kernels (baseline).")
+    Term.(const run $ f1 $ f2 $ block $ grid_arg)
+
+(* -- info --------------------------------------------------------------- *)
+
+let info_cmd =
+  let run path =
+    let prog, fn = or_die (parse_kernel_file path) in
+    (match Cuda.Typecheck.check_program_result prog with
+    | Ok () -> Printf.printf "typecheck: ok\n"
+    | Error (msg, loc) ->
+        Printf.printf "typecheck: FAILED at %s: %s\n"
+          (Cuda.Loc.to_string loc) msg);
+    let body = (Hfuse_frontend.Inline.normalize_kernel prog fn).f_body in
+    Printf.printf "kernel: %s\n" fn.f_name;
+    Printf.printf "parameters: %d\n" (List.length fn.f_params);
+    Printf.printf "barriers: %d\n" (Cuda.Ast_util.barrier_count body);
+    Printf.printf "static shared memory: %d bytes\n"
+      (Hfuse_core.Kernel_info.smem_static_of_body body);
+    Printf.printf "estimated registers/thread (AST heuristic): %d\n"
+      (Gpusim.Resource_model.estimate_fn fn);
+    (match Hfuse_ptx.Lower.lower_fn { fn with f_body = body } with
+    | l ->
+        Printf.printf "lowered PTX instructions: %d\n"
+          (Hfuse_ptx.Liveness.static_instructions l);
+        Printf.printf "register pressure (PTX liveness): %d\n"
+          (Hfuse_ptx.Liveness.register_pressure l)
+    | exception Hfuse_ptx.Lower.Unsupported msg ->
+        Printf.printf "PTX lowering unavailable: %s\n" msg)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"K.cu") in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Parse, typecheck and summarise one kernel.")
+    Term.(const run $ path)
+
+(* -- corpus ------------------------------------------------------------- *)
+
+let corpus_cmd =
+  let run () =
+    Printf.printf "%-11s %-13s %7s %9s %8s\n" "kernel" "kind" "block"
+      "regs" "tunable";
+    List.iter
+      (fun (s : Kernel_corpus.Spec.t) ->
+        let x, y, z = s.native_block in
+        Printf.printf "%-11s %-13s %3dx%dx%d %9d %8s\n" s.name
+          (Fmt.str "%a" Kernel_corpus.Spec.pp_kind s.kind)
+          x y z s.regs
+          (match s.tunability with
+          | Hfuse_core.Kernel_info.Tunable _ -> "yes"
+          | Hfuse_core.Kernel_info.Fixed -> "no"))
+      Kernel_corpus.Registry.all;
+    Printf.printf "\n%d benchmark pairs\n"
+      (List.length Kernel_corpus.Registry.all_pairs)
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"List the paper's benchmark kernels.")
+    Term.(const run $ const ())
+
+(* -- simulate ----------------------------------------------------------- *)
+
+let kernel_arg flag_name =
+  let kernel_conv =
+    Arg.conv'
+      ( (fun s ->
+          match Kernel_corpus.Registry.find s with
+          | Some k -> Ok k
+          | None -> Error ("unknown corpus kernel " ^ s)),
+        fun ppf (s : Kernel_corpus.Spec.t) -> Fmt.string ppf s.name )
+  in
+  Arg.(
+    required
+    & opt (some kernel_conv) None
+    & info [ flag_name ] ~docv:"KERNEL" ~doc:"Corpus kernel name.")
+
+let size_arg flag_name =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ flag_name ] ~docv:"N" ~doc:"Workload size (default: representative).")
+
+let simulate_cmd =
+  let run arch (spec : Kernel_corpus.Spec.t) size validate =
+    let size = Option.value size ~default:spec.default_size in
+    let mem = Gpusim.Memory.create () in
+    let c = Hfuse_profiler.Runner.configure mem spec ~size in
+    let r = Hfuse_profiler.Runner.solo arch c in
+    print_endline Gpusim.Metrics.header;
+    print_endline
+      (Gpusim.Metrics.row (Gpusim.Metrics.of_report ~label:spec.name r));
+    if validate then begin
+      let mem2 = Gpusim.Memory.create () in
+      let inst = spec.instantiate mem2 ~size in
+      let info = Kernel_corpus.Spec.kernel_info spec inst in
+      ignore
+        (Gpusim.Launch.launch_info mem2 info ~args:inst.args ~trace_blocks:0);
+      match inst.check mem2 with
+      | Ok () -> print_endline "outputs match the host reference"
+      | Error e ->
+          Printf.eprintf "validation failed: %s\n" e;
+          exit 1
+    end
+  in
+  let validate =
+    Arg.(value & flag & info [ "validate" ] ~doc:"Check against host reference.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run a corpus kernel on the simulator and print its metrics.")
+    Term.(const run $ arch_arg $ kernel_arg "kernel" $ size_arg "size" $ validate)
+
+(* -- search ------------------------------------------------------------- *)
+
+let search_cmd =
+  let run arch (s1 : Kernel_corpus.Spec.t) (s2 : Kernel_corpus.Spec.t) size1
+      size2 emit =
+    let sizes = Hfuse_profiler.Experiment.representative_sizes arch in
+    let size_of (s : Kernel_corpus.Spec.t) o =
+      Option.value o ~default:(Hfuse_profiler.Experiment.size_of sizes s)
+    in
+    let mem = Gpusim.Memory.create () in
+    let c1 = Hfuse_profiler.Runner.configure mem s1 ~size:(size_of s1 size1) in
+    let c2 = Hfuse_profiler.Runner.configure mem s2 ~size:(size_of s2 size2) in
+    let native = (Hfuse_profiler.Runner.native arch c1 c2).Gpusim.Timing.time_ms in
+    let sr = Hfuse_profiler.Runner.search arch c1 c2 in
+    Printf.printf "native: %.4f ms\n" native;
+    List.iter
+      (fun (cand : Hfuse_core.Search.candidate) ->
+        Printf.printf "%5d/%-5d %-9s %.4f ms (%+.1f%%)\n" cand.fused.d1
+          cand.fused.d2
+          (match cand.config.reg_bound with
+          | None -> "unbounded"
+          | Some r -> Printf.sprintf "r0=%d" r)
+          cand.time
+          (100.0 *. ((native /. cand.time) -. 1.0)))
+      sr.all;
+    let b = sr.best in
+    Printf.printf "best: %d/%d %s\n" b.fused.d1 b.fused.d2
+      (match b.config.reg_bound with
+      | None -> "unbounded"
+      | Some r -> Printf.sprintf "r0=%d" r);
+    if emit then print_endline (Hfuse_core.Hfuse.to_source b.fused)
+  in
+  let emit =
+    Arg.(value & flag & info [ "emit" ] ~doc:"Print the best fused source.")
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:
+         "Run the Fig. 6 profiling search for a corpus pair on the \
+          simulator.")
+    Term.(
+      const run $ arch_arg $ kernel_arg "k1" $ kernel_arg "k2"
+      $ size_arg "size1" $ size_arg "size2" $ emit)
+
+(* -- analyze ------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let run path =
+    let prog, fn = or_die (parse_kernel_file path) in
+    let fn' = Hfuse_frontend.Inline.normalize_kernel prog fn in
+    let m = Hfuse_core.Analyzer.analyze_fn fn' in
+    Printf.printf "kernel: %s
+" fn.f_name;
+    Printf.printf "instruction mix: %s
+"
+      (Fmt.str "%a" Hfuse_core.Analyzer.pp_mix m);
+    Printf.printf "character: %s
+"
+      (Fmt.str "%a" Hfuse_core.Analyzer.pp_character
+         (Hfuse_core.Analyzer.classify m))
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"K.cu") in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static instruction-mix analysis and resource classification           (the paper's fusion-scenario guidance).")
+    Term.(const run $ path)
+
+(* -- pairs -------------------------------------------------------------- *)
+
+let pairs_cmd =
+  let run () =
+    let infos =
+      List.map
+        (fun (s : Kernel_corpus.Spec.t) ->
+          let mem = Gpusim.Memory.create () in
+          let inst = s.instantiate mem ~size:1 in
+          (s.name, Kernel_corpus.Spec.kernel_info s inst))
+        Kernel_corpus.Registry.all
+    in
+    let by_info =
+      List.map (fun (n, i) -> (i.Hfuse_core.Kernel_info.fn.f_name, n)) infos
+    in
+    Printf.printf "%-24s %9s   (predicted fusion affinity, best first)
+"
+      "pair" "affinity";
+    List.iter
+      (fun (a, b, score) ->
+        let name k =
+          Option.value
+            (List.assoc_opt k.Hfuse_core.Kernel_info.fn.Cuda.Ast.f_name by_info)
+            ~default:k.Hfuse_core.Kernel_info.fn.Cuda.Ast.f_name
+        in
+        Printf.printf "%-24s %9.2f
+" (name a ^ "+" ^ name b) score)
+      (Hfuse_core.Analyzer.rank_pairs (List.map snd infos))
+  in
+  Cmd.v
+    (Cmd.info "pairs"
+       ~doc:"Rank the corpus kernels' fusion pairs by predicted affinity.")
+    Term.(const run $ const ())
+
+(* -- ptx ---------------------------------------------------------------- *)
+
+let ptx_cmd =
+  let run path sm fuse_with d1 d2 =
+    match fuse_with with
+    | None ->
+        let prog, fn = or_die (parse_kernel_file path) in
+        print_string (Hfuse_ptx.Emit.of_kernel ~sm prog fn)
+    | Some path2 ->
+        let k1 = info_of_file path ~block:d1 ~grid:8 ~smem_dynamic:0 ~regs:None in
+        let k2 = info_of_file path2 ~block:d2 ~grid:8 ~smem_dynamic:0 ~regs:None in
+        (match Hfuse_core.Hfuse.generate k1 k2 with
+        | fused -> print_string (Hfuse_ptx.Emit.of_kernel ~sm fused.prog fused.fn)
+        | exception Hfuse_core.Fuse_common.Fusion_error msg ->
+            Printf.eprintf "hfuse: %s\n" msg;
+            exit 1)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"K.cu") in
+  let sm = Arg.(value & opt int 61 & info [ "sm" ] ~doc:"Target SM version.") in
+  let fuse_with =
+    Arg.(value & opt (some file) None
+         & info [ "fuse-with" ] ~docv:"K2.cu"
+             ~doc:"Horizontally fuse with this kernel before lowering.")
+  in
+  let d1 = Arg.(value & opt int 256 & info [ "d1" ] ~doc:"Threads for kernel 1.") in
+  let d2 = Arg.(value & opt int 256 & info [ "d2" ] ~doc:"Threads for kernel 2.") in
+  Cmd.v
+    (Cmd.info "ptx"
+       ~doc:"Lower a kernel (optionally fused) to PTX-flavoured assembly.")
+    Term.(const run $ path $ sm $ fuse_with $ d1 $ d2)
+
+(* -- main --------------------------------------------------------------- *)
+
+let () =
+  let doc = "automatic horizontal fusion for GPU kernels (CGO 2022)" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "hfuse" ~version:"1.0.0" ~doc)
+          [
+            fuse_cmd; vfuse_cmd; info_cmd; corpus_cmd; simulate_cmd;
+            search_cmd; analyze_cmd; pairs_cmd; ptx_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/batchnorm_hist.ml: Experiment Gpusim Hfuse_core Hfuse_profiler Kernel_corpus List Printf Registry Runner String

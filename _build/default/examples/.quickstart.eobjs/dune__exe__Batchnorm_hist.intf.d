@@ -1,0 +1,1 @@
+examples/batchnorm_hist.mli:

@@ -1,0 +1,1 @@
+examples/crypto_mining.ml: Experiment Gpusim Hfuse_core Hfuse_profiler Kernel_corpus List Printf Registry Runner Workload

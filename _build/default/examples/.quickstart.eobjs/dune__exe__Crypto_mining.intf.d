@@ -1,0 +1,1 @@
+examples/crypto_mining.mli:

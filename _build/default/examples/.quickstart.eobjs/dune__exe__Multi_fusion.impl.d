@@ -1,0 +1,1 @@
+examples/multi_fusion.ml: Arch Gpusim Hfuse_core Hfuse_profiler Kernel_corpus Launch List Memory Printf Registry Spec String Timing Workload

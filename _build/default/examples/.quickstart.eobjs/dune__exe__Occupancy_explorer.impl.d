@@ -1,0 +1,1 @@
+examples/occupancy_explorer.ml: Experiment Gpusim Hfuse_core Hfuse_profiler Kernel_corpus List Option Printf Registry Runner Sys

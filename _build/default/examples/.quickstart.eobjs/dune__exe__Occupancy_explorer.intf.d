@@ -1,0 +1,1 @@
+examples/occupancy_explorer.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cuda Gpusim Hfuse_core Kernel_corpus Launch Memory Printf Value

@@ -1,0 +1,1 @@
+lib/core/analyzer.ml: Ast Ast_util Ctype Cuda Float Fmt Fuse_common Kernel_info List Occupancy Option

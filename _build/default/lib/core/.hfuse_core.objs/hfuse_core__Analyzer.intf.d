@@ -1,0 +1,1 @@
+lib/core/analyzer.mli: Cuda Fmt Kernel_info Occupancy

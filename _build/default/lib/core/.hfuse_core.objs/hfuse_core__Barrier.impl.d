@@ -1,0 +1,1 @@
+lib/core/barrier.ml: Ast Ast_util Cuda Fmt List

@@ -1,0 +1,1 @@
+lib/core/barrier.mli: Cuda

@@ -1,0 +1,1 @@
+lib/core/fuse_common.ml: Ast Ast_util Builtins Ctype Cuda Fmt Hashtbl Hfuse_frontend Kernel_info Lift_decls List Option Rename String

@@ -1,0 +1,1 @@
+lib/core/fuse_common.mli: Cuda Format Hfuse_frontend Kernel_info

@@ -1,0 +1,1 @@
+lib/core/hfuse.ml: Ast Barrier Builtins Ctype Cuda Fuse_common Hfuse_frontend Inline Kernel_info List Pretty Rename

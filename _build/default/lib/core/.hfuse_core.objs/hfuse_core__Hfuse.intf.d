@@ -1,0 +1,1 @@
+lib/core/hfuse.mli: Cuda Kernel_info

@@ -1,0 +1,1 @@
+lib/core/kernel_info.ml: Ast Ast_util Ctype Cuda Fmt List

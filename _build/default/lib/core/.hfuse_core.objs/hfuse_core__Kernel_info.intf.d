@@ -1,0 +1,1 @@
+lib/core/kernel_info.mli: Cuda Fmt

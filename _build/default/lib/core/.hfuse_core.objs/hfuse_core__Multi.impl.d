@@ -1,0 +1,1 @@
+lib/core/multi.ml: Fuse_common Hfuse Kernel_info List

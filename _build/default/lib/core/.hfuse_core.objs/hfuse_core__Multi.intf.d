@@ -1,0 +1,1 @@
+lib/core/multi.mli: Hfuse Kernel_info

@@ -1,0 +1,1 @@
+lib/core/occupancy.ml: Fmt

@@ -1,0 +1,1 @@
+lib/core/partition.ml: Fmt Kernel_info List

@@ -1,0 +1,1 @@
+lib/core/partition.mli: Fmt Kernel_info

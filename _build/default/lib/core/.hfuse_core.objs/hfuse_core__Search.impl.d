@@ -1,0 +1,1 @@
+lib/core/search.ml: Fmt Hfuse Kernel_info List Occupancy Partition

@@ -1,0 +1,1 @@
+lib/core/search.mli: Fmt Hfuse Kernel_info Occupancy Partition

@@ -1,0 +1,1 @@
+lib/core/vfuse.ml: Ast Ast_util Builtins Ctype Cuda Fuse_common Hfuse_frontend Inline Kernel_info List Pretty Rename

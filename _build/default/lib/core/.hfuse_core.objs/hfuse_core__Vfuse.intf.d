@@ -1,0 +1,1 @@
+lib/core/vfuse.mli: Cuda Kernel_info

@@ -1,0 +1,340 @@
+(* Static kernel analysis and fusion-partner recommendation.
+
+   The paper's third contribution is identifying *when* horizontal
+   fusion pays: "horizontal fusion is mostly beneficial when fusing two
+   kernels with instructions that have long latencies and that require
+   different types of GPU resources" (Section I), with the memory-
+   intensive + compute-intensive pairing as the star case (Section IV-B).
+
+   This module turns that guidance into a tool: a static instruction-mix
+   analysis over the AST that classifies a kernel's dominant resource,
+   and a pairing score that ranks fusion candidates the way the paper's
+   results rank them — without running anything.  The profiling search
+   (Fig. 6) remains the ground truth; this is the triage step. *)
+
+open Cuda
+
+(** Static instruction-mix summary of one kernel body. *)
+type mix = {
+  int_ops : int;  (** integer ALU operations *)
+  float_ops : int;  (** fp32/fp64 arithmetic *)
+  div_ops : int;  (** divisions / modulo (slow-pipe or sequences) *)
+  global_loads : int;
+  global_stores : int;
+  shared_ops : int;  (** shared-memory accesses *)
+  atomics : int;
+  shuffles : int;
+  barriers : int;
+  loop_depth : int;  (** maximum loop nesting *)
+}
+
+let empty_mix =
+  {
+    int_ops = 0;
+    float_ops = 0;
+    div_ops = 0;
+    global_loads = 0;
+    global_stores = 0;
+    shared_ops = 0;
+    atomics = 0;
+    shuffles = 0;
+    barriers = 0;
+    loop_depth = 0;
+  }
+
+(* Names of the kernel's pointer parameters (global memory) and its
+   shared arrays: used to attribute Index/Deref accesses to a space. *)
+type spaces = {
+  globals : Ast_util.StrSet.t;
+  shareds : Ast_util.StrSet.t;
+}
+
+let spaces_of (fn : Ast.fn) : spaces =
+  let globals =
+    List.filter_map
+      (fun (p : Ast.param) ->
+        if Ctype.is_pointer p.p_type then Some p.p_name else None)
+      fn.f_params
+    |> Ast_util.StrSet.of_list
+  in
+  let shareds =
+    List.filter_map
+      (fun (d : Ast.decl) ->
+        match d.d_storage with
+        | Ast.Shared | Ast.Shared_extern -> Some d.d_name
+        | Ast.Local -> None)
+      (Ast_util.collect_decls fn.f_body)
+    |> Ast_util.StrSet.of_list
+  in
+  (* pointers initialised from a shared buffer count as shared; from a
+     parameter as global *)
+  let shareds = ref shareds and globals = ref globals in
+  List.iter
+    (fun (d : Ast.decl) ->
+      match d.d_init with
+      | Some init when Ctype.is_pointer d.d_type ->
+          let roots =
+            Ast_util.fold_expr
+              (fun acc e ->
+                match e with Ast.Var x -> x :: acc | _ -> acc)
+              [] init
+          in
+          if List.exists (fun r -> Ast_util.StrSet.mem r !shareds) roots then
+            shareds := Ast_util.StrSet.add d.d_name !shareds
+          else if List.exists (fun r -> Ast_util.StrSet.mem r !globals) roots
+          then globals := Ast_util.StrSet.add d.d_name !globals
+      | _ -> ())
+    (Ast_util.collect_decls fn.f_body);
+  { globals = !globals; shareds = !shareds }
+
+let rec base_var (e : Ast.expr) : string option =
+  match e with
+  | Ast.Var x -> Some x
+  | Ast.Index (a, _) | Ast.Deref a | Ast.Cast (_, a)
+  | Ast.Binop (_, a, _) ->
+      base_var a
+  | Ast.Addr_of a -> base_var a
+  | _ -> None
+
+(** Is this expression's result floating point?  A cheap syntactic
+    approximation: a float literal anywhere in the operands. *)
+let looks_float (e : Ast.expr) : bool =
+  Ast_util.fold_expr
+    (fun acc e -> acc || match e with Ast.Float_lit _ -> true | _ -> false)
+    false e
+
+(** Analyse one (weighted) occurrence of an expression. *)
+let rec scan_expr (sp : spaces) ~(weight : int) (m : mix ref)
+    (e : Ast.expr) : unit =
+  let add f = m := f !m in
+  let recur = scan_expr sp ~weight m in
+  match e with
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ | Ast.Var _
+  | Ast.Builtin _ ->
+      ()
+  | Ast.Unop (_, a) ->
+      add (fun m -> { m with int_ops = m.int_ops + weight });
+      recur a
+  | Ast.Binop ((Ast.Div | Ast.Mod), a, b) ->
+      add (fun m -> { m with div_ops = m.div_ops + weight });
+      recur a;
+      recur b
+  | Ast.Binop (_, a, b) ->
+      (if looks_float e then
+         add (fun m -> { m with float_ops = m.float_ops + weight })
+       else add (fun m -> { m with int_ops = m.int_ops + weight }));
+      recur a;
+      recur b
+  | Ast.Assign (l, r) | Ast.Op_assign (_, l, r) ->
+      scan_store sp ~weight m l;
+      recur r
+  | Ast.Incdec { lval; _ } ->
+      add (fun m -> { m with int_ops = m.int_ops + weight });
+      scan_store sp ~weight m lval
+  | Ast.Ternary (c, a, b) ->
+      add (fun m -> { m with int_ops = m.int_ops + weight });
+      recur c;
+      recur a;
+      recur b
+  | Ast.Call
+      ( (("atomicAdd" | "atomicMax" | "atomicMin" | "atomicExch"
+         | "atomicCAS") as _f),
+        args ) ->
+      add (fun m -> { m with atomics = m.atomics + weight });
+      (* the address operand is part of the atomic, not a separate
+         access: scan only its index arithmetic *)
+      (match args with
+      | Ast.Addr_of (Ast.Index (_, i)) :: rest ->
+          recur i;
+          List.iter recur rest
+      | args -> List.iter recur args)
+  | Ast.Call (f, args) ->
+      (match f with
+      | "WARP_SHFL_XOR" | "WARP_SHFL_DOWN" | "__shfl_xor_sync"
+      | "__shfl_down_sync" | "__shfl_sync" | "__ballot_sync" ->
+          add (fun m -> { m with shuffles = m.shuffles + weight })
+      | "sqrtf" | "rsqrtf" | "expf" | "logf" ->
+          add (fun m -> { m with div_ops = m.div_ops + weight })
+      | "fminf" | "fmaxf" | "fabsf" ->
+          add (fun m -> { m with float_ops = m.float_ops + weight })
+      | _ -> add (fun m -> { m with int_ops = m.int_ops + weight }));
+      List.iter recur args
+  | Ast.Index (a, i) ->
+      (match base_var a with
+      | Some x when Ast_util.StrSet.mem x sp.shareds ->
+          add (fun m -> { m with shared_ops = m.shared_ops + weight })
+      | Some x when Ast_util.StrSet.mem x sp.globals ->
+          add (fun m -> { m with global_loads = m.global_loads + weight })
+      | _ -> add (fun m -> { m with int_ops = m.int_ops + weight }));
+      recur i
+  | Ast.Deref a -> (
+      match base_var a with
+      | Some x when Ast_util.StrSet.mem x sp.shareds ->
+          add (fun m -> { m with shared_ops = m.shared_ops + weight })
+      | _ -> add (fun m -> { m with global_loads = m.global_loads + weight }))
+  | Ast.Addr_of a | Ast.Cast (_, a) -> recur a
+
+and scan_store sp ~weight m (l : Ast.expr) : unit =
+  match l with
+  | Ast.Index (a, i) ->
+      (match base_var a with
+      | Some x when Ast_util.StrSet.mem x sp.shareds ->
+          m := { !m with shared_ops = !m.shared_ops + weight }
+      | Some x when Ast_util.StrSet.mem x sp.globals ->
+          m := { !m with global_stores = !m.global_stores + weight }
+      | _ -> m := { !m with int_ops = !m.int_ops + weight });
+      scan_expr sp ~weight m i
+  | Ast.Deref a -> (
+      match base_var a with
+      | Some x when Ast_util.StrSet.mem x sp.shareds ->
+          m := { !m with shared_ops = !m.shared_ops + weight }
+      | _ -> m := { !m with global_stores = !m.global_stores + weight })
+  | Ast.Var _ -> ()
+  | e -> scan_expr sp ~weight m e
+
+(* Statements inside a loop are weighted by an assumed trip count: the
+   analysis is relative, so the constant only needs to dominate
+   straight-line code. *)
+let loop_weight = 16
+
+let rec scan_stmts sp ~weight ~depth (m : mix ref) (stmts : Ast.stmt list) :
+    unit =
+  List.iter
+    (fun (s : Ast.stmt) ->
+      match s.s with
+      | Ast.Decl { d_init = Some e; _ } -> scan_expr sp ~weight m e
+      | Ast.Decl _ | Ast.Nop | Ast.Label _ | Ast.Goto _ | Ast.Break
+      | Ast.Continue ->
+          ()
+      | Ast.Expr e -> scan_expr sp ~weight m e
+      | Ast.Return (Some e) -> scan_expr sp ~weight m e
+      | Ast.Return None -> ()
+      | Ast.If (c, t, e) ->
+          scan_expr sp ~weight m c;
+          scan_stmts sp ~weight ~depth m t;
+          scan_stmts sp ~weight ~depth m e
+      | Ast.For (init, cond, step, body) ->
+          (match init with
+          | Some (Ast.For_expr e) -> scan_expr sp ~weight m e
+          | Some (Ast.For_decl ds) ->
+              List.iter
+                (fun (d : Ast.decl) ->
+                  Option.iter (scan_expr sp ~weight m) d.d_init)
+                ds
+          | None -> ());
+          let w = weight * loop_weight in
+          Option.iter (scan_expr sp ~weight:w m) cond;
+          Option.iter (scan_expr sp ~weight:w m) step;
+          m := { !m with loop_depth = max !m.loop_depth (depth + 1) };
+          scan_stmts sp ~weight:w ~depth:(depth + 1) m body
+      | Ast.While (c, body) | Ast.Do_while (body, c) ->
+          let w = weight * loop_weight in
+          scan_expr sp ~weight:w m c;
+          m := { !m with loop_depth = max !m.loop_depth (depth + 1) };
+          scan_stmts sp ~weight:w ~depth:(depth + 1) m body
+      | Ast.Sync | Ast.Bar_sync _ ->
+          m := { !m with barriers = !m.barriers + 1 }
+      | Ast.Block b -> scan_stmts sp ~weight ~depth m b)
+    stmts
+
+let analyze_fn (fn : Ast.fn) : mix =
+  let sp = spaces_of fn in
+  let m = ref empty_mix in
+  scan_stmts sp ~weight:1 ~depth:0 m fn.f_body;
+  !m
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** The paper's resource taxonomy (Section IV-C). *)
+type character =
+  | Memory_intensive  (** dominated by global-memory traffic (Ethash, Maxpool) *)
+  | Compute_intensive  (** dominated by ALU/FPU work (Blake, SHA) *)
+  | Balanced  (** meaningful amounts of both (Batchnorm) *)
+
+let compute_weight m = m.int_ops + m.float_ops + (8 * m.div_ops)
+
+(* Weights approximate relative latencies: a global access costs tens of
+   ALU-op latencies; atomics a dozen; shared a couple. *)
+let memory_weight m =
+  (20 * (m.global_loads + m.global_stores))
+  + (2 * m.shared_ops) + (12 * m.atomics)
+
+(** Classify a kernel by its weighted instruction mix. *)
+let classify (m : mix) : character =
+  let c = compute_weight m and g = memory_weight m in
+  if g = 0 && c = 0 then Balanced
+  else if c >= 3 * g then Compute_intensive
+  else if 2 * g >= 3 * c then Memory_intensive
+  else Balanced
+
+let pp_character ppf = function
+  | Memory_intensive -> Fmt.string ppf "memory-intensive"
+  | Compute_intensive -> Fmt.string ppf "compute-intensive"
+  | Balanced -> Fmt.string ppf "balanced"
+
+let pp_mix ppf m =
+  Fmt.pf ppf
+    "int %d, float %d, div %d, gld %d, gst %d, shared %d, atomic %d, shfl \
+     %d, barriers %d, loop depth %d"
+    m.int_ops m.float_ops m.div_ops m.global_loads m.global_stores
+    m.shared_ops m.atomics m.shuffles m.barriers m.loop_depth
+
+(* ------------------------------------------------------------------ *)
+(* Pairing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Predicted affinity of fusing two kernels, in [0, 1]: 1 = the paper's
+    ideal pairing (memory-hungry with compute-hungry, resources fit),
+    0 = the anti-pattern (same bottleneck, occupancy collapse). *)
+let affinity ?(limits = Occupancy.pascal_volta_limits)
+    (k1 : Kernel_info.t) (k2 : Kernel_info.t) : float =
+  let m1 = analyze_fn k1.fn and m2 = analyze_fn k2.fn in
+  let character_score =
+    match (classify m1, classify m2) with
+    | Memory_intensive, Compute_intensive
+    | Compute_intensive, Memory_intensive ->
+        1.0
+    | Balanced, Memory_intensive | Memory_intensive, Balanced -> 0.7
+    | Balanced, Compute_intensive | Compute_intensive, Balanced -> 0.6
+    | Balanced, Balanced -> 0.5
+    | Memory_intensive, Memory_intensive -> 0.3
+    | Compute_intensive, Compute_intensive -> 0.1
+  in
+  (* occupancy feasibility of the fused kernel at an even-ish split *)
+  let d1 = Kernel_info.threads_per_block k1 in
+  let d2 = Kernel_info.threads_per_block k2 in
+  let d0 = d1 + d2 in
+  let occupancy_score =
+    if d0 > 1024 then 0.0
+    else begin
+      let regs = Fuse_common.fused_regs k1.regs k2.regs in
+      let smem = Kernel_info.smem_total k1 + Kernel_info.smem_total k2 in
+      let fused =
+        Occupancy.theoretical_occupancy limits ~regs ~threads:d0 ~smem
+      in
+      let solo1 =
+        Occupancy.theoretical_occupancy limits ~regs:k1.regs ~threads:d1
+          ~smem:(Kernel_info.smem_total k1)
+      in
+      let solo2 =
+        Occupancy.theoretical_occupancy limits ~regs:k2.regs ~threads:d2
+          ~smem:(Kernel_info.smem_total k2)
+      in
+      let baseline = Float.max 0.05 (Float.min solo1 solo2) in
+      Float.min 1.0 (fused /. baseline)
+    end
+  in
+  (0.75 *. character_score) +. (0.25 *. occupancy_score)
+
+(** Rank all pairs from a candidate set, best first. *)
+let rank_pairs ?limits (ks : Kernel_info.t list) :
+    (Kernel_info.t * Kernel_info.t * float) list =
+  let rec pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+  in
+  pairs ks
+  |> List.map (fun (a, b) -> (a, b, affinity ?limits a b))
+  |> List.sort (fun (_, _, x) (_, _, y) -> compare y x)

@@ -1,0 +1,60 @@
+(* Synchronisation-barrier replacement (Fig. 5, lines 5-6).
+
+   [__syncthreads()] in an input kernel would, inside the fused kernel,
+   wait for *all* threads of the fused block — including the other
+   kernel's threads, which never reach it: deadlock.  HFuse replaces each
+   barrier with the inline PTX instruction [bar.sync id, count], a partial
+   barrier that synchronises exactly [count] threads on hardware barrier
+   [id].  Each input kernel gets its own barrier id, and [count] is the
+   input kernel's block dimension. *)
+
+open Cuda
+
+(** PTX limits the barrier id to 0..15 (the paper cites the PTX ISA);
+    id 0 is the one [__syncthreads] itself uses, so fused kernels use ids
+    starting at 1. *)
+let max_barrier_id = 15
+
+exception Invalid_barrier of string
+
+(** Replace every [__syncthreads()] in [stmts] with [bar.sync id, count].
+    Existing [bar.sync] statements (e.g. from an already-fused kernel
+    being fused again) are left untouched — their ids must not collide
+    with [id], which the caller checks with {!used_ids}. *)
+let replace ~id ~count (stmts : Ast.stmt list) : Ast.stmt list =
+  if id < 1 || id > max_barrier_id then
+    raise
+      (Invalid_barrier
+         (Fmt.str "barrier id %d out of range 1..%d" id max_barrier_id));
+  if count <= 0 || count mod 32 <> 0 then
+    raise
+      (Invalid_barrier
+         (Fmt.str
+            "bar.sync thread count %d must be a positive multiple of the \
+             warp size"
+            count));
+  Ast_util.map_stmts
+    (fun s ->
+      match s.s with
+      | Sync -> [ { s with s = Bar_sync (id, count) } ]
+      | _ -> [ s ])
+    stmts
+
+(** Barrier ids already used by [bar.sync] statements in [stmts]. *)
+let used_ids (stmts : Ast.stmt list) : int list =
+  List.sort_uniq compare
+    (Ast_util.fold_stmts
+       (fun acc s ->
+         match s.s with Bar_sync (id, _) -> id :: acc | _ -> acc)
+       [] stmts)
+
+(** First id in 1..15 not in [used]; raises {!Invalid_barrier} when all
+    ids are exhausted (fusing more than 15 barrier-bearing kernels). *)
+let fresh_id (used : int list) : int =
+  let rec go i =
+    if i > max_barrier_id then
+      raise (Invalid_barrier "no free hardware barrier id (1..15 all used)")
+    else if List.mem i used then go (i + 1)
+    else i
+  in
+  go 1

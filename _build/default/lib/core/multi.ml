@@ -1,0 +1,59 @@
+(* Extension: horizontal fusion of more than two kernels.
+
+   The paper fuses pairs; nothing in the technique is 2-specific — the
+   thread space partitions into N intervals, each original kernel gets
+   its own hardware barrier id (PTX provides 16), and each body is
+   guarded by its interval.  This module folds {!Hfuse.generate} over a
+   list, which both demonstrates the extension and stress-tests re-fusing
+   already-fused kernels (barrier-id freshness, label renaming).
+
+   Limits inherited from the hardware: at most 1024 threads per fused
+   block and at most 15 distinct partial-barrier ids. *)
+
+type t = {
+  fused : Hfuse.t;  (** the final fusion step *)
+  inputs : Kernel_info.t list;  (** original kernels, in order *)
+  offsets : int list;
+      (** starting thread index of each input kernel's interval *)
+}
+
+(** [generate kernels] left-folds horizontal fusion over [kernels] (at
+    their configured block dimensions).  Raises
+    {!Fuse_common.Fusion_error} if fewer than two kernels are given or a
+    hardware limit is hit. *)
+let generate (kernels : Kernel_info.t list) : t =
+  match kernels with
+  | [] | [ _ ] ->
+      Fuse_common.fail "multi-fusion needs at least two kernels (got %d)"
+        (List.length kernels)
+  | k0 :: rest ->
+      let first =
+        match rest with
+        | k1 :: _ -> Hfuse.generate k0 k1
+        | [] -> assert false
+      in
+      let fused, _ =
+        List.fold_left
+          (fun (_, acc_info) k ->
+            let f = Hfuse.generate acc_info k in
+            (f, Hfuse.info f))
+          (first, Hfuse.info first)
+          (List.tl rest)
+      in
+      let offsets =
+        let _, offs =
+          List.fold_left
+            (fun (off, acc) (k : Kernel_info.t) ->
+              (off + Kernel_info.threads_per_block k, off :: acc))
+            (0, []) kernels
+        in
+        List.rev offs
+      in
+      { fused; inputs = kernels; offsets }
+
+let threads_per_block (t : t) : int =
+  List.fold_left
+    (fun acc k -> acc + Kernel_info.threads_per_block k)
+    0 t.inputs
+
+let to_source (t : t) : string = Hfuse.to_source t.fused

@@ -1,0 +1,19 @@
+(** Extension: horizontal fusion of more than two kernels.
+
+    Nothing in the technique is 2-specific — the thread space partitions
+    into N intervals and PTX provides 15 usable barrier ids.  This folds
+    {!Hfuse.generate} left-to-right, which also exercises re-fusing
+    already-fused kernels (barrier-id freshness, label renaming). *)
+
+type t = {
+  fused : Hfuse.t;  (** the final fusion step *)
+  inputs : Kernel_info.t list;  (** original kernels, in order *)
+  offsets : int list;  (** starting thread index of each kernel's interval *)
+}
+
+(** @raise Fuse_common.Fusion_error with fewer than two kernels, past
+    1024 total threads, or when barrier ids run out. *)
+val generate : Kernel_info.t list -> t
+
+val threads_per_block : t -> int
+val to_source : t -> string

@@ -1,0 +1,109 @@
+(* Occupancy mathematics and the register bound of Fig. 6 (lines 13-16).
+
+   Occupancy — how many blocks an SM can host concurrently — is what
+   horizontal fusion trades away for thread-level parallelism
+   (Section IV-C).  The fused kernel needs more registers and shared
+   memory than either original; when the extra requirement crosses a
+   breakpoint, fewer blocks fit per SM.  The paper's remedy is to cap the
+   register usage ([r0]) so the fused kernel keeps the block-level
+   parallelism of its inputs, at the cost of spilling. *)
+
+(** The per-SM resource limits the computation needs.  Mirrors
+    [Gpusim.Arch] but kept dependency-free so the core library does not
+    depend on the simulator. *)
+type sm_limits = {
+  regs_per_sm : int;  (** SMNRegs; 64K for Pascal and Volta *)
+  smem_per_sm : int;  (** SMShMem; 96K for Pascal and Volta *)
+  max_threads_per_sm : int;  (** SMNThreads; 2048 for Pascal and Volta *)
+  max_blocks_per_sm : int;  (** hardware block-slot limit; 32 *)
+  reg_alloc_granularity : int;
+      (** registers are allocated in units of this per thread *)
+  max_regs_per_thread : int;  (** 255 on both architectures *)
+}
+
+let pascal_volta_limits =
+  {
+    regs_per_sm = 65536;
+    smem_per_sm = 96 * 1024;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+    reg_alloc_granularity = 8;
+    max_regs_per_thread = 255;
+  }
+
+let round_up_regs lim r =
+  let g = lim.reg_alloc_granularity in
+  max g ((r + g - 1) / g * g)
+
+(** Concurrent blocks per SM for a kernel with the given per-thread
+    register count, per-block thread count and per-block shared memory.
+    Zero when a single block cannot fit at all. *)
+let blocks_per_sm (lim : sm_limits) ~regs ~threads ~smem : int =
+  if threads <= 0 then invalid_arg "blocks_per_sm: threads <= 0";
+  let regs = round_up_regs lim regs in
+  let by_regs = lim.regs_per_sm / max 1 (regs * threads) in
+  let by_threads = lim.max_threads_per_sm / threads in
+  let by_smem =
+    if smem = 0 then lim.max_blocks_per_sm else lim.smem_per_sm / smem
+  in
+  min (min by_regs by_threads) (min by_smem lim.max_blocks_per_sm)
+
+(** Theoretical occupancy: resident warps / maximum warps. *)
+let theoretical_occupancy (lim : sm_limits) ~regs ~threads ~smem : float =
+  let b = blocks_per_sm lim ~regs ~threads ~smem in
+  float_of_int (b * threads) /. float_of_int lim.max_threads_per_sm
+
+(** The register bound r0 of Fig. 6, lines 13-16:
+
+      b1 <- SMNRegs / (d1 * NRegs(S1))
+      b2 <- SMNRegs / (d2 * NRegs(S2))
+      b0 <- min(min(b1, b2), SMShMem / ShMem(F), SMNThreads / d0)
+      r0 <- SMNRegs / (b0 * d0)
+
+    i.e. make the fused kernel run as many blocks per SM as the more
+    constrained of the two inputs, unless the fused kernel's shared
+    memory or the thread limit binds first.  Returns [None] when even a
+    single fused block cannot fit (b0 = 0), in which case no register
+    bound can restore occupancy. *)
+let register_bound (lim : sm_limits) ~d1 ~regs1 ~d2 ~regs2 ~fused_smem :
+    int option =
+  if d1 <= 0 || d2 <= 0 then invalid_arg "register_bound: empty partition";
+  let d0 = d1 + d2 in
+  (* Fig. 6 uses the raw NRegs values, not the allocation-granularity
+     rounding the hardware applies — the bound exists to *set* an
+     allocation, so the paper computes it from the compiler's count *)
+  let b1 = lim.regs_per_sm / (d1 * max 1 regs1) in
+  let b2 = lim.regs_per_sm / (d2 * max 1 regs2) in
+  let by_smem =
+    if fused_smem = 0 then lim.max_blocks_per_sm
+    else lim.smem_per_sm / fused_smem
+  in
+  let b0 = min (min b1 b2) (min by_smem (lim.max_threads_per_sm / d0)) in
+  if b0 <= 0 then None
+  else
+    let r0 = lim.regs_per_sm / (b0 * d0) in
+    (* the bound is only meaningful within hardware limits *)
+    Some (min r0 lim.max_regs_per_thread)
+
+(** Which resource limits a kernel's occupancy (for reports/ablations). *)
+type limiter = By_registers | By_threads | By_smem | By_block_slots
+
+let limiting_resource (lim : sm_limits) ~regs ~threads ~smem : limiter =
+  let regs' = round_up_regs lim regs in
+  let by_regs = lim.regs_per_sm / max 1 (regs' * threads) in
+  let by_threads = lim.max_threads_per_sm / threads in
+  let by_smem =
+    if smem = 0 then lim.max_blocks_per_sm else lim.smem_per_sm / smem
+  in
+  let b = min (min by_regs by_threads) (min by_smem lim.max_blocks_per_sm) in
+  if b = by_regs && by_regs <= by_threads && by_regs <= by_smem then
+    By_registers
+  else if b = by_threads && by_threads <= by_smem then By_threads
+  else if b = by_smem then By_smem
+  else By_block_slots
+
+let pp_limiter ppf = function
+  | By_registers -> Fmt.string ppf "registers"
+  | By_threads -> Fmt.string ppf "threads"
+  | By_smem -> Fmt.string ppf "shared memory"
+  | By_block_slots -> Fmt.string ppf "block slots"

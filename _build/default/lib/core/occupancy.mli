@@ -1,0 +1,55 @@
+(** Occupancy mathematics and the register bound of Fig. 6 (lines
+    13-16).
+
+    Occupancy — concurrent blocks per SM — is what horizontal fusion
+    trades for thread-level parallelism (Section IV-C): the fused kernel
+    needs more registers and shared memory than either input, and past a
+    breakpoint fewer blocks fit.  The paper's remedy caps register usage
+    at [r0] so the fused kernel keeps its inputs' block-level
+    parallelism, at the cost of spilling. *)
+
+(** Per-SM resource limits.  Mirrors [Gpusim.Arch] but kept
+    dependency-free so the core library does not depend on the
+    simulator. *)
+type sm_limits = {
+  regs_per_sm : int;  (** SMNRegs; 64K on Pascal and Volta *)
+  smem_per_sm : int;  (** SMShMem; 96K *)
+  max_threads_per_sm : int;  (** SMNThreads; 2048 *)
+  max_blocks_per_sm : int;  (** hardware block slots; 32 *)
+  reg_alloc_granularity : int;  (** allocation unit per thread; 8 *)
+  max_regs_per_thread : int;  (** 255 *)
+}
+
+val pascal_volta_limits : sm_limits
+
+(** Round a register count up to the hardware allocation granularity. *)
+val round_up_regs : sm_limits -> int -> int
+
+(** Concurrent blocks per SM for a kernel with the given per-thread
+    registers, per-block threads and shared memory; 0 when one block
+    cannot fit. *)
+val blocks_per_sm : sm_limits -> regs:int -> threads:int -> smem:int -> int
+
+(** Resident warps over maximum warps, in [0, 1]. *)
+val theoretical_occupancy :
+  sm_limits -> regs:int -> threads:int -> smem:int -> float
+
+(** The register bound r0 of Fig. 6 lines 13-16:
+    {[ b1 <- SMNRegs / (d1 * NRegs(S1))
+       b2 <- SMNRegs / (d2 * NRegs(S2))
+       b0 <- min(min(b1, b2), SMShMem / ShMem(F), SMNThreads / d0)
+       r0 <- SMNRegs / (b0 * d0) ]}
+    Uses raw register counts, as the paper's formula does.  [None] when
+    even one fused block cannot fit (b0 = 0). *)
+val register_bound :
+  sm_limits ->
+  d1:int -> regs1:int -> d2:int -> regs2:int -> fused_smem:int ->
+  int option
+
+(** Which resource limits a kernel's occupancy (reports/ablations). *)
+type limiter = By_registers | By_threads | By_smem | By_block_slots
+
+val limiting_resource :
+  sm_limits -> regs:int -> threads:int -> smem:int -> limiter
+
+val pp_limiter : limiter Fmt.t

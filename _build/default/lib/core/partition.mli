@@ -1,0 +1,22 @@
+(** Thread-space partition enumeration (Section III-B): HFuse searches
+    the first kernel's block dimension at a granularity of 128, "because
+    using an irregular block dimension often breaks memory access
+    patterns". *)
+
+type t = { d1 : int; d2 : int }
+
+val granularity : int
+(** 128, per the paper. *)
+
+val pp : t Fmt.t
+
+(** All partitions of a [d0]-thread fused block, respecting both
+    kernels' tunability: for two tunable kernels, d1 = 128, 256, ...,
+    d0 - 128 (Fig. 6 lines 5-6 and 22); a fixed-dimension kernel pins
+    its own share.  Empty when no legal partition exists. *)
+val enumerate : Kernel_info.t -> Kernel_info.t -> d0:int -> t list
+
+(** The even split used by the evaluation's Naive variant (horizontal
+    fusion without thread-space profiling), or the closest legal
+    partition to it. *)
+val naive : Kernel_info.t -> Kernel_info.t -> d0:int -> t option

@@ -1,0 +1,94 @@
+(* The fusion-configuration search — Main() of Fig. 6.
+
+   For every thread-space partition (at granularity 128), generate the
+   fused kernel and profile it twice: once as-is and once under the
+   register bound r0 computed by {!Occupancy.register_bound}.  Keep the
+   fastest (kernel, bound) pair seen.
+
+   Profiling is a callback so the same algorithm runs against the cycle-
+   level simulator (the harness), against synthetic cost functions
+   (tests), or — in a deployment with real hardware — against nvcc+nvprof. *)
+
+type config = { partition : Partition.t; reg_bound : int option }
+
+let pp_config ppf c =
+  Fmt.pf ppf "partition %a%a" Partition.pp c.partition
+    (fun ppf -> function
+      | None -> Fmt.string ppf ", no register bound"
+      | Some r -> Fmt.pf ppf ", register bound %d" r)
+    c.reg_bound
+
+(** One profiled candidate. *)
+type candidate = { fused : Hfuse.t; config : config; time : float }
+
+type result = {
+  best : candidate;
+  all : candidate list;  (** every profiled candidate, search order *)
+}
+
+exception No_valid_partition of string
+
+(** [search ~profile ~d0 k1 k2] runs the Fig. 6 algorithm.
+
+    [profile fused ~reg_bound] must return the running time (any unit, as
+    long as it is consistent) of the fused kernel compiled/launched under
+    the given register bound.
+
+    @param limits  SM resource limits used to compute the register bound
+                   (default: the Pascal/Volta values the paper uses).
+    @param d0      desired fused block dimension (paper default: 1024 for
+                   tunable pairs; for fixed pairs the partition dictates
+                   it and [d0] is ignored).
+    @raise No_valid_partition when the pair admits no thread-space
+           partition (e.g. two fixed kernels whose sum exceeds 1024). *)
+let search ?(limits = Occupancy.pascal_volta_limits)
+    ~(profile : Hfuse.t -> reg_bound:int option -> float) ~(d0 : int)
+    (k1 : Kernel_info.t) (k2 : Kernel_info.t) : result =
+  let partitions = Partition.enumerate k1 k2 ~d0 in
+  if partitions = [] then
+    raise
+      (No_valid_partition
+         (Fmt.str "%s + %s admit no thread-space partition for d0 = %d"
+            k1.fn.f_name k2.fn.f_name d0));
+  let candidates = ref [] in
+  let consider c = candidates := c :: !candidates in
+  List.iter
+    (fun ({ Partition.d1; d2 } as partition) ->
+      let k1c = Kernel_info.with_block_dim k1 d1 in
+      let k2c = Kernel_info.with_block_dim k2 d2 in
+      let fused = Hfuse.generate k1c k2c in
+      (* line 8: profile without register bound *)
+      let t = profile fused ~reg_bound:None in
+      consider { fused; config = { partition; reg_bound = None }; time = t };
+      (* lines 13-17: compute r0 and profile with the bound *)
+      let fused_smem =
+        Kernel_info.smem_total (Hfuse.info fused)
+      in
+      match
+        Occupancy.register_bound limits ~d1 ~regs1:k1.regs ~d2 ~regs2:k2.regs
+          ~fused_smem
+      with
+      | None -> ()
+      | Some r0 ->
+          let t = profile fused ~reg_bound:(Some r0) in
+          consider
+            { fused; config = { partition; reg_bound = Some r0 }; time = t })
+    partitions;
+  let all = List.rev !candidates in
+  let best =
+    List.fold_left
+      (fun best c -> if c.time < best.time then c else best)
+      (List.hd all) (List.tl all)
+  in
+  { best; all }
+
+(** The Naive variant of the evaluation: even partition, no profiling,
+    no register bound. *)
+let naive ~(d0 : int) (k1 : Kernel_info.t) (k2 : Kernel_info.t) :
+    Hfuse.t option =
+  match Partition.naive k1 k2 ~d0 with
+  | None -> None
+  | Some { Partition.d1; d2 } ->
+      let k1c = Kernel_info.with_block_dim k1 d1 in
+      let k2c = Kernel_info.with_block_dim k2 d2 in
+      Some (Hfuse.generate k1c k2c)

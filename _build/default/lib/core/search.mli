@@ -1,0 +1,42 @@
+(** The fusion-configuration search — Main() of Fig. 6.
+
+    For every thread-space partition, profile the fused kernel twice:
+    as-is, and under the register bound r0 of
+    {!Occupancy.register_bound}; keep the fastest candidate.  Profiling
+    is a callback: the harness plugs in the cycle-level simulator, tests
+    plug in synthetic cost functions, a hardware deployment would plug
+    in nvcc+nvprof. *)
+
+type config = { partition : Partition.t; reg_bound : int option }
+
+val pp_config : config Fmt.t
+
+type candidate = { fused : Hfuse.t; config : config; time : float }
+
+type result = {
+  best : candidate;
+  all : candidate list;  (** every profiled candidate, in search order *)
+}
+
+exception No_valid_partition of string
+
+(** [search ~profile ~d0 k1 k2] runs the Fig. 6 algorithm.
+    [profile fused ~reg_bound] must return the fused kernel's running
+    time under the given register bound (any consistent unit).
+
+    @param limits SM resource limits for the register bound (default:
+           the Pascal/Volta values the paper uses).
+    @param d0 desired fused block dimension (1024 for tunable pairs;
+           ignored when both kernels are fixed).
+    @raise No_valid_partition when the pair admits no partition. *)
+val search :
+  ?limits:Occupancy.sm_limits ->
+  profile:(Hfuse.t -> reg_bound:int option -> float) ->
+  d0:int ->
+  Kernel_info.t ->
+  Kernel_info.t ->
+  result
+
+(** The Naive evaluation variant: even partition, no profiling, no
+    register bound. *)
+val naive : d0:int -> Kernel_info.t -> Kernel_info.t -> Hfuse.t option

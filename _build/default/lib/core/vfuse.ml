@@ -1,0 +1,153 @@
+(* Vertical (standard) kernel fusion — the baseline HFuse is compared
+   against (Section II-B).
+
+   The vertically fused kernel has the same block/grid dimensions as the
+   originals; every thread executes K1's statements followed by K2's.
+   Barriers stay full-block [__syncthreads()] — which is exactly why the
+   warp scheduler cannot interleave instructions across them (the paper's
+   explanation of why vertical fusion rarely hides latency).
+
+   The two inputs may have different *shapes* (e.g. (56,16) vs (896,1))
+   as long as their total thread counts match: each side's
+   threadIdx/blockDim are re-derived from the linear thread id the same
+   way horizontal fusion does.  A [__syncthreads()] is inserted between
+   the two halves only when K2 reads shared memory K1 wrote — never for
+   the independent kernels fused here, but the option is exposed for
+   completeness. *)
+
+open Cuda
+open Hfuse_frontend
+
+type t = {
+  fn : Ast.fn;
+  prog : Ast.program;
+  block : int;  (** linear block dimension *)
+  grid : int;
+  smem_dynamic : int;
+  regs : int;
+  param_map1 : (string * string) list;
+  param_map2 : (string * string) list;
+  src1 : Kernel_info.t;
+  src2 : Kernel_info.t;
+}
+
+let info t : Kernel_info.t =
+  {
+    Kernel_info.fn = t.fn;
+    prog = t.prog;
+    block = (t.block, 1, 1);
+    grid = t.grid;
+    smem_dynamic = t.smem_dynamic;
+    regs = t.regs;
+    tunability = Kernel_info.Fixed;
+  }
+
+(** [generate ?barrier_between k1 k2] vertically fuses two kernels whose
+    configured block dimensions have equal totals. *)
+let generate ?(barrier_between = false) (k1 : Kernel_info.t)
+    (k2 : Kernel_info.t) : t =
+  let d1 = Kernel_info.threads_per_block k1 in
+  let d2 = Kernel_info.threads_per_block k2 in
+  let d0 = max d1 d2 in
+  let f1 = Inline.normalize_kernel k1.prog k1.fn in
+  let f2 = Inline.normalize_kernel k2.prog k2.fn in
+  let pool = Rename.create () in
+  Rename.reserve pool Fuse_common.dyn_smem_name;
+  let p1 = Fuse_common.prepare pool { k1 with fn = f1 } in
+  let p2 = Fuse_common.prepare pool { k2 with fn = f2 } in
+  let global_tid = Rename.fresh pool "global_tid" in
+  let geo1, map1 =
+    Fuse_common.geometry_prologue pool ~tag:"1" ~base:None ~block:k1.block
+      global_tid
+  in
+  let geo2, map2 =
+    Fuse_common.geometry_prologue pool ~tag:"2" ~base:None ~block:k2.block
+      global_tid
+  in
+  let body1 = Builtins.replace map1 p1.body in
+  let body2 = Builtins.replace map2 p2.body in
+  let off2 = Fuse_common.align_up k1.smem_dynamic 16 in
+  let smem_dynamic = off2 + k2.smem_dynamic in
+  let dyn_decls =
+    if p1.extern_shared = [] && p2.extern_shared = [] then []
+    else
+      Ast.decl ~storage:Ast.Shared_extern Fuse_common.dyn_smem_name
+        (Ctype.Array (Ctype.UChar, None))
+      :: (Fuse_common.bind_extern_shared p1 ~offset:0
+         @ Fuse_common.bind_extern_shared p2 ~offset:off2)
+  in
+  let grid = max k1.grid k2.grid in
+  let open Ast in
+  let decl_stmts ds = List.map (fun d -> mk_stmt (Decl d)) ds in
+  (* when grids differ, wrap the smaller kernel's half in a blockIdx
+     guard; an [If] (not goto) keeps barriers legal only when the guard is
+     block-uniform, which blockIdx guards are *)
+  let wrap gk body =
+    if gk < grid then
+      [ mk_stmt (If (Binop (Lt, Builtin (Block_idx X), int_lit gk), body, []))
+      ]
+    else body
+  in
+  (* when thread counts differ (two fixed-dimension kernels, e.g. the
+     128-thread Ethash against a 256-thread miner), the fused block takes
+     the larger count and the smaller kernel's half runs under a thread
+     guard.  That guard is NOT block-uniform, so it is only legal for a
+     barrier-free kernel — vertical fusion has no partial barriers to
+     fall back on, which is exactly the limitation HFuse's bar.sync
+     rewriting removes. *)
+  let thread_guard dk body =
+    if dk < d0 then begin
+      if Ast_util.has_barrier body then
+        Fuse_common.fail
+          "vertical fusion cannot guard a %d-thread kernel with barriers \
+           inside a %d-thread block"
+          dk d0;
+      [ mk_stmt (If (Binop (Lt, Var global_tid, int_lit dk), body, [])) ]
+    end
+    else body
+  in
+  let body =
+    (mk_stmt
+       (Decl
+          {
+            d_name = global_tid;
+            d_type = Ctype.Int;
+            d_storage = Local;
+            d_init = Some Fuse_common.global_tid_init;
+          })
+    :: geo1)
+    @ geo2 @ dyn_decls
+    @ decl_stmts (p1.decls @ p2.decls)
+    @ wrap k1.grid (thread_guard d1 body1)
+    @ (if barrier_between then [ mk_stmt Sync ] else [])
+    @ wrap k2.grid (thread_guard d2 body2)
+  in
+  let fn =
+    {
+      f_name = k1.fn.f_name ^ "_" ^ k2.fn.f_name ^ "_vfused";
+      f_kind = Global;
+      f_params = p1.params @ p2.params;
+      f_ret = Ctype.Void;
+      f_body = body;
+      f_launch_bounds = None;
+    }
+  in
+  let prog = { Ast.defines = []; functions = [ fn ] } in
+  {
+    fn;
+    prog;
+    block = d0;
+    grid;
+    smem_dynamic;
+    (* vertical fusion: one thread runs both kernels' code in sequence;
+       live ranges are disjoint across the two halves, but nvcc keeps the
+       union of the hot values live, so pressure is close to the max plus
+       a margin — same model as horizontal *)
+    regs = Fuse_common.fused_regs k1.regs k2.regs;
+    param_map1 = p1.param_map;
+    param_map2 = p2.param_map;
+    src1 = k1;
+    src2 = k2;
+  }
+
+let to_source (t : t) : string = Pretty.program_to_string t.prog

@@ -1,0 +1,33 @@
+(** Vertical (standard) kernel fusion — the baseline HFuse is compared
+    against (Section II-B): every thread executes kernel 1's statements
+    then kernel 2's, with barriers left as full-block [__syncthreads()]
+    — which is exactly why the warp scheduler cannot interleave across
+    them. *)
+
+type t = {
+  fn : Cuda.Ast.fn;
+  prog : Cuda.Ast.program;
+  block : int;  (** linear block dimension (max of the inputs') *)
+  grid : int;
+  smem_dynamic : int;
+  regs : int;
+  param_map1 : (string * string) list;
+  param_map2 : (string * string) list;
+  src1 : Kernel_info.t;
+  src2 : Kernel_info.t;
+}
+
+val info : t -> Kernel_info.t
+
+(** [generate k1 k2] vertically fuses two kernels.  When thread counts
+    differ, the smaller kernel's half runs under a thread guard — legal
+    only if that kernel is barrier-free (vertical fusion has no partial
+    barriers to fall back on).  [barrier_between] inserts a full
+    [__syncthreads()] between the halves (off by default: the evaluation
+    pairs are independent).
+
+    @raise Fuse_common.Fusion_error on a guarded barrier-bearing kernel
+    or unnormalisable input. *)
+val generate : ?barrier_between:bool -> Kernel_info.t -> Kernel_info.t -> t
+
+val to_source : t -> string

@@ -1,0 +1,1 @@
+lib/cuda/ast.ml: Ctype Int64 List Loc String

@@ -1,0 +1,1 @@
+lib/cuda/ast_util.ml: Ast Hashtbl List Option Set String

@@ -1,0 +1,1 @@
+lib/cuda/ast_util.mli: Ast Hashtbl Set

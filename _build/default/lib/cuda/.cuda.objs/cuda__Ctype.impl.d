@@ -1,0 +1,1 @@
+lib/cuda/ctype.ml: Fmt

@@ -1,0 +1,1 @@
+lib/cuda/lexer.ml: Array Buffer Ctype Int64 List Loc Printf String Token

@@ -1,0 +1,1 @@
+lib/cuda/loc.ml: Fmt

@@ -1,0 +1,1 @@
+lib/cuda/parser.ml: Array Ast Ctype Fmt Hashtbl Int64 Lexer List Loc Option String Token

@@ -1,0 +1,1 @@
+lib/cuda/parser.mli: Ast Loc

@@ -1,0 +1,1 @@
+lib/cuda/pretty.ml: Ast Ctype Float Fmt Int64 List Printf

@@ -1,0 +1,1 @@
+lib/cuda/pretty.mli: Ast Fmt

@@ -1,0 +1,1 @@
+lib/cuda/token.ml: Ctype Float Fmt Hashtbl Int64 List String

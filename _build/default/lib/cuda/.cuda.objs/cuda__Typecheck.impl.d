@@ -1,0 +1,1 @@
+lib/cuda/typecheck.ml: Ast Ast_util Ctype Fmt Hashtbl List Loc Option Result

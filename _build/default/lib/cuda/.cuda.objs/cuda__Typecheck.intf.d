@@ -1,0 +1,1 @@
+lib/cuda/typecheck.mli: Ast Ctype Loc

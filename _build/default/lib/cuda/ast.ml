@@ -1,0 +1,159 @@
+(* Abstract syntax of the CUDA-C subset consumed and produced by HFuse.
+
+   The subset matches what the paper's Section III assumes after
+   preprocessing: macros expanded, device-function calls inlinable, local
+   declarations liftable to the top of the kernel.  It covers the nine
+   benchmark kernels (Section IV-A) plus the constructs HFuse itself emits:
+   [goto]/labels and inline [bar.sync] PTX assembly. *)
+
+(** Axis of a built-in index variable, e.g. the [.x] in [threadIdx.x]. *)
+type dim = X | Y | Z
+
+(** CUDA built-in special values. *)
+type builtin =
+  | Thread_idx of dim
+  | Block_idx of dim
+  | Block_dim of dim
+  | Grid_dim of dim
+
+type unop =
+  | Neg  (** [-e] *)
+  | Lnot  (** [!e] *)
+  | Bnot  (** [~e] *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Land  (** [&&], short-circuit *)
+  | Lor  (** [||], short-circuit *)
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type expr =
+  | Int_lit of int64 * Ctype.t
+      (** Value and literal type; [5] is [Int_lit (5L, Int)], [5u] is
+          [Int_lit (5L, UInt)], [5ull] is [Int_lit (5L, ULong)]. *)
+  | Float_lit of float * Ctype.t  (** [Float] or [Double] *)
+  | Bool_lit of bool
+  | Var of string
+  | Builtin of builtin
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of expr * expr  (** lvalue = rvalue *)
+  | Op_assign of binop * expr * expr  (** [a += b] etc. *)
+  | Incdec of { pre : bool; inc : bool; lval : expr }
+      (** [++a] / [a++] / [--a] / [a--] *)
+  | Ternary of expr * expr * expr
+  | Call of string * expr list
+      (** Device function call or intrinsic ([min], [atomicAdd],
+          [__shfl_xor_sync], ...). *)
+  | Index of expr * expr  (** [a[i]] *)
+  | Deref of expr  (** [*p] *)
+  | Addr_of of expr  (** [&lv] *)
+  | Cast of Ctype.t * expr
+
+(** Storage class of a local declaration. *)
+type storage =
+  | Local  (** ordinary automatic variable (register candidate) *)
+  | Shared  (** [__shared__], statically sized *)
+  | Shared_extern  (** [extern __shared__], size given at launch *)
+
+type decl = {
+  d_name : string;
+  d_type : Ctype.t;
+  d_storage : storage;
+  d_init : expr option;
+}
+
+type stmt = { s : stmt_desc; s_loc : Loc.t }
+
+and stmt_desc =
+  | Decl of decl
+  | Expr of expr
+  | If of expr * stmt list * stmt list
+  | For of for_init option * expr option * expr option * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | Return of expr option
+  | Break
+  | Continue
+  | Sync  (** [__syncthreads()] *)
+  | Bar_sync of int * int
+      (** [asm("bar.sync <id>, <count>;")] — the partial barrier HFuse
+          emits; synchronises [count] threads on hardware barrier [id]. *)
+  | Goto of string
+  | Label of string
+  | Block of stmt list
+  | Nop  (** empty statement [;] *)
+
+and for_init = For_decl of decl list | For_expr of expr
+
+(** Function-parameter qualifiers we track (only what matters to fusion). *)
+type param = { p_name : string; p_type : Ctype.t }
+
+type fun_kind =
+  | Global  (** [__global__] kernel entry point *)
+  | Device  (** [__device__] helper, inlined by the frontend *)
+
+type fn = {
+  f_name : string;
+  f_kind : fun_kind;
+  f_params : param list;
+  f_ret : Ctype.t;
+  f_body : stmt list;
+  f_launch_bounds : int option;
+      (** [__launch_bounds__(n)] when present; advisory only. *)
+}
+
+(** A parsed translation unit: [#define]-style integer constants plus
+    function definitions, in source order. *)
+type program = { defines : (string * int64) list; functions : fn list }
+
+let mk_stmt ?(loc = Loc.dummy) s = { s; s_loc = loc }
+
+(* -- Convenience constructors, used pervasively by the fusion passes. -- *)
+
+let int_lit ?(ty = Ctype.Int) n = Int_lit (Int64.of_int n, ty)
+let var x = Var x
+let assign lv rv = mk_stmt (Expr (Assign (lv, rv)))
+
+let decl ?(storage = Local) ?init name ty =
+  mk_stmt (Decl { d_name = name; d_type = ty; d_storage = storage; d_init = init })
+
+(** Expression-building infix operators; open locally where convenient. *)
+module Infix = struct
+  let ( + ) a b = Binop (Add, a, b)
+  let ( - ) a b = Binop (Sub, a, b)
+  let ( * ) a b = Binop (Mul, a, b)
+  let ( / ) a b = Binop (Div, a, b)
+  let ( % ) a b = Binop (Mod, a, b)
+  let ( < ) a b = Binop (Lt, a, b)
+  let ( <= ) a b = Binop (Le, a, b)
+  let ( > ) a b = Binop (Gt, a, b)
+  let ( >= ) a b = Binop (Ge, a, b)
+  let ( = ) a b = Binop (Eq, a, b)
+  let ( <> ) a b = Binop (Ne, a, b)
+  let ( && ) a b = Binop (Land, a, b)
+  let ( || ) a b = Binop (Lor, a, b)
+end
+
+(** Find a function by name. *)
+let find_fn prog name =
+  List.find_opt (fun f -> String.equal f.f_name name) prog.functions
+
+(** The kernels ([__global__] functions) of a program, in source order. *)
+let kernels prog =
+  List.filter (fun f -> match f.f_kind with Global -> true | Device -> false)
+    prog.functions

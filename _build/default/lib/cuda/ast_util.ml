@@ -1,0 +1,328 @@
+(* Generic traversals and queries over the CUDA AST.
+
+   These are the workhorses of the frontend passes: bottom-up expression
+   mapping, statement mapping, folds, free/declared variable collection,
+   and capture-free variable substitution (the frontend guarantees
+   freshness separately, so substitution here is plain). *)
+
+open Ast
+
+(* ------------------------------------------------------------------ *)
+(* Expression traversal                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Bottom-up expression rewriting: children first, then [f] on the node. *)
+let rec map_expr (f : expr -> expr) (e : expr) : expr =
+  let r = map_expr f in
+  let e' =
+    match e with
+    | Int_lit _ | Float_lit _ | Bool_lit _ | Var _ | Builtin _ -> e
+    | Unop (op, a) -> Unop (op, r a)
+    | Binop (op, a, b) -> Binop (op, r a, r b)
+    | Assign (a, b) -> Assign (r a, r b)
+    | Op_assign (op, a, b) -> Op_assign (op, r a, r b)
+    | Incdec i -> Incdec { i with lval = r i.lval }
+    | Ternary (c, a, b) -> Ternary (r c, r a, r b)
+    | Call (name, args) -> Call (name, List.map r args)
+    | Index (a, i) -> Index (r a, r i)
+    | Deref a -> Deref (r a)
+    | Addr_of a -> Addr_of (r a)
+    | Cast (t, a) -> Cast (t, r a)
+  in
+  f e'
+
+(** Fold over all sub-expressions (pre-order, node then children). *)
+let rec fold_expr (f : 'a -> expr -> 'a) (acc : 'a) (e : expr) : 'a =
+  let acc = f acc e in
+  let fr = fold_expr f in
+  match e with
+  | Int_lit _ | Float_lit _ | Bool_lit _ | Var _ | Builtin _ -> acc
+  | Unop (_, a) | Incdec { lval = a; _ } | Deref a | Addr_of a | Cast (_, a)
+    ->
+      fr acc a
+  | Binop (_, a, b) | Assign (a, b) | Op_assign (_, a, b) ->
+      fr (fr acc a) b
+  | Ternary (c, a, b) -> fr (fr (fr acc c) a) b
+  | Call (_, args) -> List.fold_left fr acc args
+  | Index (a, i) -> fr (fr acc a) i
+
+let iter_expr f e = fold_expr (fun () e -> f e) () e
+
+(* ------------------------------------------------------------------ *)
+(* Statement traversal                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Rewrite every expression inside a statement list with [f] (bottom-up
+    within each expression). *)
+let rec map_stmts_expr (f : expr -> expr) (stmts : stmt list) : stmt list =
+  List.map (map_stmt_expr f) stmts
+
+and map_stmt_expr f (s : stmt) : stmt =
+  let me = map_expr f in
+  let ms = map_stmts_expr f in
+  let desc =
+    match s.s with
+    | Decl d -> Decl { d with d_init = Option.map me d.d_init }
+    | Expr e -> Expr (me e)
+    | If (c, t, e) -> If (me c, ms t, ms e)
+    | For (init, cond, step, body) ->
+        let init =
+          match init with
+          | None -> None
+          | Some (For_expr e) -> Some (For_expr (me e))
+          | Some (For_decl ds) ->
+              Some
+                (For_decl
+                   (List.map
+                      (fun d -> { d with d_init = Option.map me d.d_init })
+                      ds))
+        in
+        For (init, Option.map me cond, Option.map me step, ms body)
+    | While (c, body) -> While (me c, ms body)
+    | Do_while (body, c) -> Do_while (ms body, me c)
+    | Return e -> Return (Option.map me e)
+    | (Break | Continue | Sync | Bar_sync _ | Goto _ | Label _ | Nop) as d ->
+        d
+    | Block b -> Block (ms b)
+  in
+  { s with s = desc }
+
+(** Structure-preserving statement rewriting: [f] is applied to each
+    statement after its children have been rewritten; [f] may expand a
+    statement into several. *)
+let rec map_stmts (f : stmt -> stmt list) (stmts : stmt list) : stmt list =
+  List.concat_map
+    (fun s ->
+      let desc =
+        match s.s with
+        | If (c, t, e) -> If (c, map_stmts f t, map_stmts f e)
+        | For (i, c, st, body) -> For (i, c, st, map_stmts f body)
+        | While (c, body) -> While (c, map_stmts f body)
+        | Do_while (body, c) -> Do_while (map_stmts f body, c)
+        | Block b -> Block (map_stmts f b)
+        | d -> d
+      in
+      f { s with s = desc })
+    stmts
+
+(** Fold over every statement (pre-order), descending into nested lists. *)
+let rec fold_stmts (f : 'a -> stmt -> 'a) (acc : 'a) (stmts : stmt list) : 'a
+    =
+  List.fold_left
+    (fun acc s ->
+      let acc = f acc s in
+      match s.s with
+      | If (_, t, e) -> fold_stmts f (fold_stmts f acc t) e
+      | For (_, _, _, body) | While (_, body) | Do_while (body, _) | Block body
+        ->
+          fold_stmts f acc body
+      | _ -> acc)
+    acc stmts
+
+let iter_stmts f stmts = fold_stmts (fun () s -> f s) () stmts
+
+(** Fold over every expression occurring anywhere in a statement list. *)
+let fold_stmts_expr (f : 'a -> expr -> 'a) (acc : 'a) (stmts : stmt list) : 'a
+    =
+  fold_stmts
+    (fun acc s ->
+      match s.s with
+      | Decl { d_init = Some e; _ } | Expr e | Return (Some e) -> f acc e
+      | If (c, _, _) | While (c, _) | Do_while (_, c) -> f acc c
+      | For (init, cond, step, _) ->
+          let acc =
+            match init with
+            | Some (For_expr e) -> f acc e
+            | Some (For_decl ds) ->
+                List.fold_left
+                  (fun acc (d : decl) ->
+                    match d.d_init with Some e -> f acc e | None -> acc)
+                  acc ds
+            | None -> acc
+          in
+          let acc = match cond with Some e -> f acc e | None -> acc in
+          (match step with Some e -> f acc e | None -> acc)
+      | _ -> acc)
+    acc stmts
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module StrSet = Set.Make (String)
+
+(** All local declarations in a statement list (including nested ones and
+    for-loop init declarations), in source order. *)
+let collect_decls (stmts : stmt list) : decl list =
+  List.rev
+    (fold_stmts
+       (fun acc s ->
+         match s.s with
+         | Decl d -> d :: acc
+         | For (Some (For_decl ds), _, _, _) -> List.rev_append ds acc
+         | _ -> acc)
+       [] stmts)
+
+(** Names of all declared locals. *)
+let declared_names stmts =
+  List.map (fun d -> d.d_name) (collect_decls stmts)
+
+(** All variable names referenced anywhere in the statements. *)
+let used_names (stmts : stmt list) : StrSet.t =
+  fold_stmts_expr
+    (fun acc e ->
+      fold_expr
+        (fun acc e -> match e with Var x -> StrSet.add x acc | _ -> acc)
+        acc e)
+    StrSet.empty stmts
+
+(** Variables referenced but not declared locally — i.e. kernel parameters
+    and (would-be) globals. *)
+let free_names (stmts : stmt list) : StrSet.t =
+  let declared = StrSet.of_list (declared_names stmts) in
+  StrSet.diff (used_names stmts) declared
+
+(** All function names called anywhere in the statements. *)
+let called_names (stmts : stmt list) : StrSet.t =
+  fold_stmts_expr
+    (fun acc e ->
+      fold_expr
+        (fun acc e -> match e with Call (f, _) -> StrSet.add f acc | _ -> acc)
+        acc e)
+    StrSet.empty stmts
+
+(** All labels defined in the statements. *)
+let labels (stmts : stmt list) : StrSet.t =
+  fold_stmts
+    (fun acc s -> match s.s with Label l -> StrSet.add l acc | _ -> acc)
+    StrSet.empty stmts
+
+(** Does the statement list contain any barrier ([__syncthreads] or
+    [bar.sync])? *)
+let has_barrier (stmts : stmt list) : bool =
+  fold_stmts
+    (fun acc s ->
+      acc || match s.s with Sync | Bar_sync _ -> true | _ -> false)
+    false stmts
+
+(** Count of barrier statements. *)
+let barrier_count (stmts : stmt list) : int =
+  fold_stmts
+    (fun acc s -> match s.s with Sync | Bar_sync _ -> acc + 1 | _ -> acc)
+    0 stmts
+
+(** Which built-in special values appear. *)
+let used_builtins (stmts : stmt list) : builtin list =
+  let l =
+    fold_stmts_expr
+      (fun acc e ->
+        fold_expr
+          (fun acc e -> match e with Builtin b -> b :: acc | _ -> acc)
+          acc e)
+      [] stmts
+  in
+  List.sort_uniq compare l
+
+(* ------------------------------------------------------------------ *)
+(* Substitution                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Rename variable occurrences and declarations according to [table]
+    (old name -> new name).  The caller guarantees freshness of targets
+    (see {!Hfuse_frontend.Rename}), so this is plain simultaneous
+    substitution. *)
+let rename_stmts (table : (string, string) Hashtbl.t) (stmts : stmt list) :
+    stmt list =
+  let rn x = Option.value (Hashtbl.find_opt table x) ~default:x in
+  let rename_decl d = { d with d_name = rn d.d_name } in
+  let stmts =
+    map_stmts_expr
+      (fun e -> match e with Var x -> Var (rn x) | e -> e)
+      stmts
+  in
+  map_stmts
+    (fun s ->
+      match s.s with
+      | Decl d -> [ { s with s = Decl (rename_decl d) } ]
+      | For (Some (For_decl ds), c, st, body) ->
+          [
+            {
+              s with
+              s = For (Some (For_decl (List.map rename_decl ds)), c, st, body);
+            };
+          ]
+      | _ -> [ s ])
+    stmts
+
+(** Substitute expressions for variables: every [Var x] with [x] in the
+    table becomes the associated expression.  Declarations are not
+    touched. *)
+let subst_vars (table : (string, expr) Hashtbl.t) (stmts : stmt list) :
+    stmt list =
+  map_stmts_expr
+    (fun e ->
+      match e with
+      | Var x -> (
+          match Hashtbl.find_opt table x with Some e' -> e' | None -> e)
+      | e -> e)
+    stmts
+
+(** Replace built-in special values using [f]; [f] returning [None] keeps
+    the builtin unchanged. *)
+let replace_builtins (f : builtin -> expr option) (stmts : stmt list) :
+    stmt list =
+  map_stmts_expr
+    (fun e ->
+      match e with
+      | Builtin b -> ( match f b with Some e' -> e' | None -> e)
+      | e -> e)
+    stmts
+
+(* ------------------------------------------------------------------ *)
+(* Structural equality (ignores locations)                              *)
+(* ------------------------------------------------------------------ *)
+
+let equal_expr (a : expr) (b : expr) = a = b
+(* expressions carry no locations, so structural equality is exact *)
+
+let rec equal_stmt (a : stmt) (b : stmt) =
+  match (a.s, b.s) with
+  | Decl da, Decl db -> da = db
+  | Expr ea, Expr eb -> ea = eb
+  | If (ca, ta, ea), If (cb, tb, eb) ->
+      ca = cb && equal_stmts ta tb && equal_stmts ea eb
+  | For (ia, ca, sa, ba), For (ib, cb, sb, bb) ->
+      ia = ib && ca = cb && sa = sb && equal_stmts ba bb
+  | While (ca, ba), While (cb, bb) -> ca = cb && equal_stmts ba bb
+  | Do_while (ba, ca), Do_while (bb, cb) -> ca = cb && equal_stmts ba bb
+  | Return a, Return b -> a = b
+  | Break, Break
+  | Continue, Continue
+  | Sync, Sync
+  | Nop, Nop ->
+      true
+  | Bar_sync (i, n), Bar_sync (j, m) -> i = j && n = m
+  | Goto a, Goto b | Label a, Label b -> String.equal a b
+  | Block a, Block b -> equal_stmts a b
+  | _ -> false
+
+and equal_stmts a b =
+  List.length a = List.length b && List.for_all2 equal_stmt a b
+
+(** Statement equality modulo trivial structure: [Nop]s and singleton
+    [Block]s are flattened away first.  Useful for round-trip tests where
+    the printer introduces `l:;` forms. *)
+let rec normalize (stmts : stmt list) : stmt list =
+  List.concat_map
+    (fun s ->
+      match s.s with
+      | Nop -> []
+      | Block b -> normalize b
+      | If (c, t, e) -> [ { s with s = If (c, normalize t, normalize e) } ]
+      | For (i, c, st, b) -> [ { s with s = For (i, c, st, normalize b) } ]
+      | While (c, b) -> [ { s with s = While (c, normalize b) } ]
+      | Do_while (b, c) -> [ { s with s = Do_while (normalize b, c) } ]
+      | _ -> [ s ])
+    stmts
+
+let equal_normalized a b = equal_stmts (normalize a) (normalize b)

@@ -1,0 +1,65 @@
+(** Generic traversals and queries over the CUDA AST: the workhorses of
+    the frontend passes. *)
+
+module StrSet : Set.S with type elt = string
+
+(** Bottom-up expression rewriting (children first, then [f]). *)
+val map_expr : (Ast.expr -> Ast.expr) -> Ast.expr -> Ast.expr
+
+(** Pre-order fold over all sub-expressions. *)
+val fold_expr : ('a -> Ast.expr -> 'a) -> 'a -> Ast.expr -> 'a
+
+val iter_expr : (Ast.expr -> unit) -> Ast.expr -> unit
+
+(** Rewrite every expression inside the statements. *)
+val map_stmts_expr : (Ast.expr -> Ast.expr) -> Ast.stmt list -> Ast.stmt list
+
+val map_stmt_expr : (Ast.expr -> Ast.expr) -> Ast.stmt -> Ast.stmt
+
+(** Structure-preserving statement rewriting; [f] runs after children
+    and may expand one statement into several. *)
+val map_stmts : (Ast.stmt -> Ast.stmt list) -> Ast.stmt list -> Ast.stmt list
+
+(** Pre-order fold over every statement, descending into nesting. *)
+val fold_stmts : ('a -> Ast.stmt -> 'a) -> 'a -> Ast.stmt list -> 'a
+
+val iter_stmts : (Ast.stmt -> unit) -> Ast.stmt list -> unit
+
+(** Fold over every expression occurring anywhere in the statements. *)
+val fold_stmts_expr : ('a -> Ast.expr -> 'a) -> 'a -> Ast.stmt list -> 'a
+
+(** All local declarations (including nested and for-init), in order. *)
+val collect_decls : Ast.stmt list -> Ast.decl list
+
+val declared_names : Ast.stmt list -> string list
+val used_names : Ast.stmt list -> StrSet.t
+
+(** Referenced but not locally declared (parameters, globals). *)
+val free_names : Ast.stmt list -> StrSet.t
+
+val called_names : Ast.stmt list -> StrSet.t
+val labels : Ast.stmt list -> StrSet.t
+val has_barrier : Ast.stmt list -> bool
+val barrier_count : Ast.stmt list -> int
+val used_builtins : Ast.stmt list -> Ast.builtin list
+
+(** Simultaneous variable renaming of occurrences and declarations;
+    the caller guarantees target freshness. *)
+val rename_stmts :
+  (string, string) Hashtbl.t -> Ast.stmt list -> Ast.stmt list
+
+(** Substitute expressions for variables (declarations untouched). *)
+val subst_vars : (string, Ast.expr) Hashtbl.t -> Ast.stmt list -> Ast.stmt list
+
+(** Replace builtins via [f]; [None] keeps the builtin. *)
+val replace_builtins :
+  (Ast.builtin -> Ast.expr option) -> Ast.stmt list -> Ast.stmt list
+
+val equal_expr : Ast.expr -> Ast.expr -> bool
+val equal_stmt : Ast.stmt -> Ast.stmt -> bool
+val equal_stmts : Ast.stmt list -> Ast.stmt list -> bool
+
+(** Drop [Nop]s and flatten bare blocks (for round-trip comparison). *)
+val normalize : Ast.stmt list -> Ast.stmt list
+
+val equal_normalized : Ast.stmt list -> Ast.stmt list -> bool

@@ -1,0 +1,132 @@
+(* The C type model of the CUDA subset.
+
+   The subset is deliberately small but covers every type appearing in the
+   nine benchmark kernels of the HFuse paper: 32/64-bit signed/unsigned
+   integers (the crypto kernels need exact wrapping semantics), single- and
+   double-precision floats, booleans, characters, pointers and
+   statically-sized arrays.  Scalar sizes follow the CUDA ABI (LP64 device
+   side: [int] is 32-bit, [long long]/[uint64_t] is 64-bit, pointers are
+   8 bytes). *)
+
+type t =
+  | Void
+  | Bool
+  | Char  (** signed 8-bit *)
+  | UChar  (** unsigned 8-bit; [extern __shared__ unsigned char smem[]] *)
+  | Short
+  | UShort
+  | Int  (** signed 32-bit *)
+  | UInt  (** unsigned 32-bit; also [uint32_t] *)
+  | Long  (** signed 64-bit; also [int64_t], [long long] *)
+  | ULong  (** unsigned 64-bit; also [uint64_t], [size_t] *)
+  | Float
+  | Double
+  | Ptr of t
+  | Array of t * int option
+      (** [Array (t, Some n)] is [t x[n]]; [Array (t, None)] is an
+          incomplete array type, used for [extern __shared__] buffers whose
+          size is supplied at launch time. *)
+
+let rec equal a b =
+  match (a, b) with
+  | Void, Void
+  | Bool, Bool
+  | Char, Char
+  | UChar, UChar
+  | Short, Short
+  | UShort, UShort
+  | Int, Int
+  | UInt, UInt
+  | Long, Long
+  | ULong, ULong
+  | Float, Float
+  | Double, Double ->
+      true
+  | Ptr a, Ptr b -> equal a b
+  | Array (a, na), Array (b, nb) -> equal a b && na = nb
+  | _ -> false
+
+let is_integer = function
+  | Bool | Char | UChar | Short | UShort | Int | UInt | Long | ULong -> true
+  | _ -> false
+
+let is_float = function Float | Double -> true | _ -> false
+let is_arith t = is_integer t || is_float t
+let is_pointer = function Ptr _ -> true | _ -> false
+let is_array = function Array _ -> true | _ -> false
+
+let is_unsigned = function
+  | Bool | UChar | UShort | UInt | ULong -> true
+  | _ -> false
+
+(** Size in bytes, per the CUDA device ABI.  Raises [Invalid_argument] for
+    [Void] and incomplete arrays, whose size is not representable. *)
+let rec sizeof = function
+  | Void -> invalid_arg "Ctype.sizeof: void"
+  | Bool | Char | UChar -> 1
+  | Short | UShort -> 2
+  | Int | UInt | Float -> 4
+  | Long | ULong | Double | Ptr _ -> 8
+  | Array (t, Some n) -> n * sizeof t
+  | Array (_, None) -> invalid_arg "Ctype.sizeof: incomplete array"
+
+(** Element type behind a pointer or array; [None] for scalars. *)
+let element = function Ptr t | Array (t, _) -> Some t | _ -> None
+
+(** Integer conversion rank, used for usual arithmetic conversions. *)
+let rank = function
+  | Bool -> 1
+  | Char | UChar -> 2
+  | Short | UShort -> 3
+  | Int | UInt -> 4
+  | Long | ULong -> 5
+  | _ -> invalid_arg "Ctype.rank: not an integer type"
+
+(** Result type of a binary arithmetic operation per (simplified) C usual
+    arithmetic conversions: floats dominate integers, larger rank dominates
+    smaller, unsigned dominates signed at equal rank, and everything below
+    [int] promotes to [int]. *)
+let arith_join a b =
+  match (a, b) with
+  | Double, _ | _, Double -> Double
+  | Float, _ | _, Float -> Float
+  | a, b when is_integer a && is_integer b ->
+      let promote t = if rank t < rank Int then Int else t in
+      let a = promote a and b = promote b in
+      if rank a > rank b then a
+      else if rank b > rank a then b
+      else if is_unsigned a || is_unsigned b then
+        if rank a = rank Long then ULong else UInt
+      else a
+  | _ -> invalid_arg "Ctype.arith_join: non-arithmetic operand"
+
+let rec pp ppf t =
+  match t with
+  | Void -> Fmt.string ppf "void"
+  | Bool -> Fmt.string ppf "bool"
+  | Char -> Fmt.string ppf "char"
+  | UChar -> Fmt.string ppf "unsigned char"
+  | Short -> Fmt.string ppf "short"
+  | UShort -> Fmt.string ppf "unsigned short"
+  | Int -> Fmt.string ppf "int"
+  | UInt -> Fmt.string ppf "unsigned int"
+  | Long -> Fmt.string ppf "long long"
+  | ULong -> Fmt.string ppf "unsigned long long"
+  | Float -> Fmt.string ppf "float"
+  | Double -> Fmt.string ppf "double"
+  | Ptr t -> Fmt.pf ppf "%a*" pp t
+  | Array (t, Some n) -> Fmt.pf ppf "%a[%d]" pp t n
+  | Array (t, None) -> Fmt.pf ppf "%a[]" pp t
+
+let to_string t = Fmt.str "%a" pp t
+
+(** Declarator split: C syntax writes array sizes after the identifier.
+    [base_and_suffix (Array (Int, Some 4))] is [(Int, "[4]")]. *)
+let base_and_suffix t =
+  let rec go t acc =
+    match t with
+    | Array (t, Some n) -> go t (acc ^ Fmt.str "[%d]" n)
+    | Array (t, None) -> go t (acc ^ "[]")
+    | t -> (t, acc)
+  in
+  go t ""

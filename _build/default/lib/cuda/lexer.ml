@@ -1,0 +1,346 @@
+(* Hand-written lexer for the CUDA-C subset.
+
+   Handles line ("//") and block comments, integer literals (decimal and
+   hex, with [u]/[l]/[ll]/[ull] suffixes), float literals (with optional
+   [f] suffix and exponents), string literals (for [asm] bodies), all the
+   multi-character operators of C, and simple preprocessor lines:
+   [#define NAME <integer>] is recorded, any other [#...] line is skipped
+   (the frontend expects includes/macros to have been expanded already,
+   matching the paper's Section III-C preprocessing assumption). *)
+
+exception Error of string * Loc.t
+
+type lexed = {
+  tokens : (Token.t * Loc.t) array;
+  defines : (string * int64) list;  (** [#define]d integer constants *)
+}
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of beginning of current line *)
+}
+
+let loc st =
+  Loc.make ~line:st.line ~col:(st.pos - st.bol + 1) ~offset:st.pos
+
+let error st msg = raise (Error (msg, loc st))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '/' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      let rec to_close () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | None, _ -> error st "unterminated block comment"
+        | Some _, _ ->
+            advance st;
+            to_close ()
+      in
+      to_close ();
+      skip_ws_and_comments st
+  | _ -> ()
+
+(* Reads the rest of the current logical line (handling backslash
+   continuations) and returns it. *)
+let read_line st =
+  let buf = Buffer.create 64 in
+  let rec go () =
+    match peek st with
+    | None -> ()
+    | Some '\\' when peek2 st = Some '\n' ->
+        advance st;
+        advance st;
+        Buffer.add_char buf ' ';
+        go ()
+    | Some '\n' -> advance st
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* [#define NAME 123] (or hex).  Anything fancier is ignored: the paper's
+   pipeline assumes macros are pre-expanded (Section III-C); we accept the
+   integer-constant case because the benchmark kernels use it (WARP_SIZE). *)
+let parse_define line =
+  let line = String.trim line in
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some i ->
+      let name = String.sub line 0 i in
+      let rest = String.trim (String.sub line i (String.length line - i)) in
+      if name = "" || not (is_ident_start name.[0]) then None
+      else if rest = "" then None
+      else
+        (* Allow a parenthesised constant expression of a single literal. *)
+        let rest =
+          if
+            String.length rest >= 2
+            && rest.[0] = '('
+            && rest.[String.length rest - 1] = ')'
+          then String.trim (String.sub rest 1 (String.length rest - 2))
+          else rest
+        in
+        (try Some (name, Int64.of_string rest) with _ -> None)
+
+let lex_number st =
+  let start = st.pos in
+  let start_loc = loc st in
+  let hex =
+    peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X')
+  in
+  if hex then (
+    advance st;
+    advance st;
+    while (match peek st with Some c -> is_hex c | None -> false) do
+      advance st
+    done)
+  else
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+  let is_float = ref false in
+  if not hex then begin
+    (match (peek st, peek2 st) with
+    | Some '.', Some c when is_digit c || c = 'f' || c = 'F' ->
+        is_float := true;
+        advance st;
+        while (match peek st with Some c -> is_digit c | None -> false) do
+          advance st
+        done
+    | Some '.', (Some (' ' | ';' | ',' | ')' | ']' | '*' | '/' | '+' | '-') | None)
+      ->
+        (* "1." style literal *)
+        is_float := true;
+        advance st
+    | _ -> ());
+    match peek st with
+    | Some ('e' | 'E')
+      when match peek2 st with
+           | Some c -> is_digit c || c = '+' || c = '-'
+           | None -> false ->
+        is_float := true;
+        advance st;
+        (match peek st with
+        | Some ('+' | '-') -> advance st
+        | _ -> ());
+        while (match peek st with Some c -> is_digit c | None -> false) do
+          advance st
+        done
+    | _ -> ()
+  end;
+  let digits = String.sub st.src start (st.pos - start) in
+  if !is_float then begin
+    let ty =
+      match peek st with
+      | Some ('f' | 'F') ->
+          advance st;
+          Ctype.Float
+      | _ -> Ctype.Double
+    in
+    match float_of_string_opt digits with
+    | Some v -> (Token.FLOAT_LIT (v, ty), start_loc)
+    | None -> error st ("malformed float literal " ^ digits)
+  end
+  else begin
+    (* integer suffixes: u, l, ul, ll, ull in any case *)
+    let unsigned = ref false and long = ref false in
+    let rec suffixes () =
+      match peek st with
+      | Some ('u' | 'U') ->
+          unsigned := true;
+          advance st;
+          suffixes ()
+      | Some ('l' | 'L') ->
+          long := true;
+          advance st;
+          suffixes ()
+      | _ -> ()
+    in
+    suffixes ();
+    let ty : Ctype.t =
+      match (!unsigned, !long) with
+      | false, false -> Int
+      | true, false -> UInt
+      | false, true -> Long
+      | true, true -> ULong
+    in
+    (* decimal literals above 2^63-1 are valid unsigned 64-bit values;
+       OCaml's plain Int64.of_string rejects them, the 0u prefix accepts
+       the full unsigned range *)
+    match Int64.of_string_opt digits with
+    | Some v -> (Token.INT_LIT (v, ty), start_loc)
+    | None -> (
+        match Int64.of_string_opt ("0u" ^ digits) with
+        | Some v -> (Token.INT_LIT (v, ty), start_loc)
+        | None -> error st ("malformed integer literal " ^ digits))
+  end
+
+let lex_string st =
+  let start_loc = loc st in
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 32 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' ->
+        advance st;
+        (match peek st with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some c -> Buffer.add_char buf c
+        | None -> error st "unterminated escape");
+        advance st;
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  (Token.STRING_LIT (Buffer.contents buf), start_loc)
+
+let lex_ident st =
+  let start = st.pos in
+  let start_loc = loc st in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  if Token.is_keyword s then (Token.KW s, start_loc)
+  else (Token.IDENT s, start_loc)
+
+let lex_operator st =
+  let l = loc st in
+  let c = match peek st with Some c -> c | None -> error st "eof" in
+  let two tok = advance st; advance st; (tok, l) in
+  let three tok = advance st; advance st; advance st; (tok, l) in
+  let one tok = advance st; (tok, l) in
+  match (c, peek2 st) with
+  | '<', Some '<' ->
+      if st.pos + 2 < String.length st.src && st.src.[st.pos + 2] = '=' then
+        three Token.LSHIFT_ASSIGN
+      else two Token.LSHIFT
+  | '>', Some '>' ->
+      if st.pos + 2 < String.length st.src && st.src.[st.pos + 2] = '=' then
+        three Token.RSHIFT_ASSIGN
+      else two Token.RSHIFT
+  | '<', Some '=' -> two Token.LE
+  | '>', Some '=' -> two Token.GE
+  | '=', Some '=' -> two Token.EQEQ
+  | '!', Some '=' -> two Token.NEQ
+  | '&', Some '&' -> two Token.ANDAND
+  | '|', Some '|' -> two Token.OROR
+  | '+', Some '+' -> two Token.PLUSPLUS
+  | '-', Some '-' -> two Token.MINUSMINUS
+  | '-', Some '>' -> two Token.ARROW
+  | '+', Some '=' -> two Token.PLUS_ASSIGN
+  | '-', Some '=' -> two Token.MINUS_ASSIGN
+  | '*', Some '=' -> two Token.STAR_ASSIGN
+  | '/', Some '=' -> two Token.SLASH_ASSIGN
+  | '%', Some '=' -> two Token.PERCENT_ASSIGN
+  | '&', Some '=' -> two Token.AMP_ASSIGN
+  | '|', Some '=' -> two Token.PIPE_ASSIGN
+  | '^', Some '=' -> two Token.CARET_ASSIGN
+  | '(', _ -> one Token.LPAREN
+  | ')', _ -> one Token.RPAREN
+  | '{', _ -> one Token.LBRACE
+  | '}', _ -> one Token.RBRACE
+  | '[', _ -> one Token.LBRACKET
+  | ']', _ -> one Token.RBRACKET
+  | ';', _ -> one Token.SEMI
+  | ',', _ -> one Token.COMMA
+  | ':', _ -> one Token.COLON
+  | '?', _ -> one Token.QUESTION
+  | '.', _ -> one Token.DOT
+  | '+', _ -> one Token.PLUS
+  | '-', _ -> one Token.MINUS
+  | '*', _ -> one Token.STAR
+  | '/', _ -> one Token.SLASH
+  | '%', _ -> one Token.PERCENT
+  | '&', _ -> one Token.AMP
+  | '|', _ -> one Token.PIPE
+  | '^', _ -> one Token.CARET
+  | '~', _ -> one Token.TILDE
+  | '!', _ -> one Token.BANG
+  | '<', _ -> one Token.LT
+  | '>', _ -> one Token.GT
+  | '=', _ -> one Token.ASSIGN
+  | c, _ -> error st (Printf.sprintf "unexpected character %C" c)
+
+(** Tokenise [src].  Raises {!Error} on malformed input. *)
+let lex src : lexed =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  let tokens = ref [] in
+  let defines = ref [] in
+  let rec go () =
+    skip_ws_and_comments st;
+    match peek st with
+    | None -> tokens := (Token.EOF, loc st) :: !tokens
+    | Some '#' ->
+        advance st;
+        skip_ws_and_comments st;
+        let line = read_line st in
+        (if String.length line >= 7 && String.sub line 0 7 = "define " then
+           match parse_define (String.sub line 7 (String.length line - 7)) with
+           | Some kv -> defines := kv :: !defines
+           | None -> ()
+         else if String.length line >= 6 && String.sub line 0 6 = "define" then
+           match parse_define (String.sub line 6 (String.length line - 6)) with
+           | Some kv -> defines := kv :: !defines
+           | None -> ());
+        go ()
+    | Some c when is_digit c -> tokens := lex_number st :: !tokens; go ()
+    | Some '.' when (match peek2 st with Some c -> is_digit c | None -> false)
+      ->
+        tokens := lex_number st :: !tokens;
+        go ()
+    | Some '"' -> tokens := lex_string st :: !tokens; go ()
+    | Some c when is_ident_start c -> tokens := lex_ident st :: !tokens; go ()
+    | Some _ -> tokens := lex_operator st :: !tokens; go ()
+  in
+  go ();
+  { tokens = Array.of_list (List.rev !tokens); defines = List.rev !defines }

@@ -1,0 +1,33 @@
+(* Source locations for diagnostics.
+
+   Every token carries a [t]; parse errors and semantic errors report the
+   position in the original CUDA source. *)
+
+type t = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+  offset : int;  (** 0-based byte offset into the source buffer *)
+}
+
+let dummy = { line = 0; col = 0; offset = -1 }
+let make ~line ~col ~offset = { line; col; offset }
+let is_dummy t = t.offset < 0
+
+let pp ppf t =
+  if is_dummy t then Fmt.string ppf "<unknown>"
+  else Fmt.pf ppf "%d:%d" t.line t.col
+
+let to_string t = Fmt.str "%a" pp t
+
+let compare a b =
+  match compare a.offset b.offset with
+  | 0 -> compare (a.line, a.col) (b.line, b.col)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+(** A span between two locations, used for multi-token constructs. *)
+type span = { start_loc : t; end_loc : t }
+
+let span start_loc end_loc = { start_loc; end_loc }
+let pp_span ppf s = Fmt.pf ppf "%a-%a" pp s.start_loc pp s.end_loc

@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the CUDA-C subset.
+
+    Expressions use precedence climbing over the full C operator table;
+    declarations are recognised by their leading type keyword (the
+    subset has no typedef).  CUDA sugar resolved here: [threadIdx.x] et
+    al. become {!Ast.Builtin}s, [#define]d integer constants substitute
+    for their value, [asm("bar.sync i, n;")] becomes {!Ast.Bar_sync},
+    and [__syncthreads()] becomes {!Ast.Sync}. *)
+
+exception Error of string * Loc.t
+
+(** Constant folding over integer expressions ([None] when not constant);
+    used for array dimensions and exposed for tools. *)
+val const_eval_opt : Ast.expr -> int64 option
+
+(** Parse a full translation unit.
+    @raise Error (or {!Lexer.Error}) on malformed input. *)
+val parse_program : string -> Ast.program
+
+(** Parse a file expected to contain exactly one [__global__] kernel.
+    @raise Failure when there is not exactly one. *)
+val parse_kernel : string -> Ast.program * Ast.fn
+
+(** Testing conveniences. *)
+val parse_expr_string : string -> Ast.expr
+
+val parse_stmts_string : string -> Ast.stmt list

@@ -1,0 +1,238 @@
+(* CUDA source emission.
+
+   HFuse is a source-to-source compiler: its output is compilable CUDA-C.
+   The printer is precedence-aware (it inserts only the parentheses the
+   grammar needs) and is exercised by a parse/print round-trip property
+   test. *)
+
+open Ast
+
+let prec_of_binop : binop -> int = function
+  | Lor -> 0
+  | Land -> 1
+  | Bor -> 2
+  | Bxor -> 3
+  | Band -> 4
+  | Eq | Ne -> 5
+  | Lt | Le | Gt | Ge -> 6
+  | Shl | Shr -> 7
+  | Add | Sub -> 8
+  | Mul | Div | Mod -> 9
+
+(* Precedence of a whole expression, for parenthesisation decisions.
+   Higher binds tighter.  Assignment/ternary are the loosest (-2/-1);
+   unary = 10; postfix/primary = 11. *)
+let prec_of_expr = function
+  | Assign _ | Op_assign _ -> -2
+  | Ternary _ -> -1
+  | Binop (op, _, _) -> prec_of_binop op
+  | Unop _ | Cast _ | Deref _ | Addr_of _ | Incdec { pre = true; _ } -> 10
+  | _ -> 11
+
+let string_of_binop : binop -> string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Land -> "&&"
+  | Lor -> "||"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let string_of_dim = function X -> "x" | Y -> "y" | Z -> "z"
+
+let string_of_builtin = function
+  | Thread_idx d -> "threadIdx." ^ string_of_dim d
+  | Block_idx d -> "blockIdx." ^ string_of_dim d
+  | Block_dim d -> "blockDim." ^ string_of_dim d
+  | Grid_dim d -> "gridDim." ^ string_of_dim d
+
+let float_lit_to_string v (ty : Ctype.t) =
+  let s =
+    if Float.is_integer v && Float.abs v < 1e16 then
+      Printf.sprintf "%.1f" v
+    else Printf.sprintf "%.17g" v
+  in
+  match ty with Float -> s ^ "f" | _ -> s
+
+let int_lit_to_string v (ty : Ctype.t) =
+  let suffix =
+    match ty with
+    | UInt -> "u"
+    | Long -> "ll"
+    | ULong -> "ull"
+    | _ -> ""
+  in
+  Int64.to_string v ^ suffix
+
+let rec pp_expr ppf e = pp_expr_prec ppf (-3) e
+
+(* [ctx] is the loosest precedence allowed without parentheses. *)
+and pp_expr_prec ppf ctx e =
+  let p = prec_of_expr e in
+  let wrap = p < ctx in
+  if wrap then Fmt.string ppf "(";
+  (match e with
+  | Int_lit (v, ty) -> Fmt.string ppf (int_lit_to_string v ty)
+  | Float_lit (v, ty) -> Fmt.string ppf (float_lit_to_string v ty)
+  | Bool_lit b -> Fmt.string ppf (if b then "true" else "false")
+  | Var x -> Fmt.string ppf x
+  | Builtin b -> Fmt.string ppf (string_of_builtin b)
+  | Unop (Neg, e) ->
+      (* avoid "--x": separate a negation whose operand also prints a
+         leading '-' so the lexer does not see a pre-decrement *)
+      let leading_minus =
+        match e with
+        | Unop (Neg, _) | Incdec { pre = true; inc = false; _ } -> true
+        | _ -> false
+      in
+      if leading_minus then Fmt.pf ppf "-(%a)" pp_expr e
+      else Fmt.pf ppf "-%a" (fun p -> pp_expr_prec p 10) e
+  | Unop (Lnot, e) -> Fmt.pf ppf "!%a" (fun p -> pp_expr_prec p 10) e
+  | Unop (Bnot, e) -> Fmt.pf ppf "~%a" (fun p -> pp_expr_prec p 10) e
+  | Binop (op, a, b) ->
+      let bp = prec_of_binop op in
+      (* left-associative: left child may be at the same level, the right
+         child must bind strictly tighter *)
+      Fmt.pf ppf "%a %s %a"
+        (fun p -> pp_expr_prec p bp)
+        a (string_of_binop op)
+        (fun p -> pp_expr_prec p (bp + 1))
+        b
+  | Assign (l, r) ->
+      Fmt.pf ppf "%a = %a"
+        (fun p -> pp_expr_prec p (-1))
+        l
+        (fun p -> pp_expr_prec p (-2))
+        r
+  | Op_assign (op, l, r) ->
+      Fmt.pf ppf "%a %s= %a"
+        (fun p -> pp_expr_prec p (-1))
+        l (string_of_binop op)
+        (fun p -> pp_expr_prec p (-2))
+        r
+  | Incdec { pre; inc; lval } ->
+      let op = if inc then "++" else "--" in
+      if pre then Fmt.pf ppf "%s%a" op (fun p -> pp_expr_prec p 10) lval
+      else Fmt.pf ppf "%a%s" (fun p -> pp_expr_prec p 11) lval op
+  | Ternary (c, a, b) ->
+      Fmt.pf ppf "%a ? %a : %a"
+        (fun p -> pp_expr_prec p 0)
+        c
+        (fun p -> pp_expr_prec p (-2))
+        a
+        (fun p -> pp_expr_prec p (-1))
+        b
+  | Call (f, args) ->
+      Fmt.pf ppf "%s(%a)" f
+        Fmt.(list ~sep:(any ", ") (fun p -> pp_expr_prec p (-2)))
+        args
+  | Index (a, i) ->
+      Fmt.pf ppf "%a[%a]" (fun p -> pp_expr_prec p 11) a pp_expr i
+  | Deref e -> Fmt.pf ppf "*%a" (fun p -> pp_expr_prec p 10) e
+  | Addr_of e -> Fmt.pf ppf "&%a" (fun p -> pp_expr_prec p 10) e
+  | Cast (t, e) ->
+      Fmt.pf ppf "(%s)%a" (Ctype.to_string t) (fun p -> pp_expr_prec p 10) e);
+  if wrap then Fmt.string ppf ")"
+
+let pp_decl ppf (d : decl) =
+  let storage =
+    match d.d_storage with
+    | Local -> ""
+    | Shared -> "__shared__ "
+    | Shared_extern -> "extern __shared__ "
+  in
+  let base, suffix = Ctype.base_and_suffix d.d_type in
+  (match d.d_init with
+  | None ->
+      Fmt.pf ppf "%s%s %s%s;" storage (Ctype.to_string base) d.d_name suffix
+  | Some e ->
+      Fmt.pf ppf "%s%s %s%s = %a;" storage (Ctype.to_string base) d.d_name
+        suffix pp_expr e)
+
+let rec pp_stmt ppf (s : stmt) =
+  match s.s with
+  | Decl d -> pp_decl ppf d
+  | Expr e -> Fmt.pf ppf "%a;" pp_expr e
+  | If (c, t, []) ->
+      Fmt.pf ppf "@[<v 2>if (%a) {%a@]@,}" pp_expr c pp_stmts_nested t
+  | If (c, t, e) ->
+      Fmt.pf ppf "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}" pp_expr c
+        pp_stmts_nested t pp_stmts_nested e
+  | For (init, cond, step, body) ->
+      let pp_init ppf = function
+        | None -> ()
+        | Some (For_expr e) -> pp_expr ppf e
+        | Some (For_decl ds) -> (
+            (* all declarators share the base type by construction *)
+            match ds with
+            | [] -> ()
+            | d0 :: _ ->
+                let base, _ = Ctype.base_and_suffix d0.d_type in
+                Fmt.pf ppf "%s " (Ctype.to_string base);
+                Fmt.(list ~sep:(any ", "))
+                  (fun ppf (d : decl) ->
+                    match d.d_init with
+                    | None -> Fmt.string ppf d.d_name
+                    | Some e -> Fmt.pf ppf "%s = %a" d.d_name pp_expr e)
+                  ppf ds)
+      in
+      Fmt.pf ppf "@[<v 2>for (%a; %a; %a) {%a@]@,}" pp_init init
+        Fmt.(option pp_expr)
+        cond
+        Fmt.(option pp_expr)
+        step pp_stmts_nested body
+  | While (c, body) ->
+      Fmt.pf ppf "@[<v 2>while (%a) {%a@]@,}" pp_expr c pp_stmts_nested body
+  | Do_while (body, c) ->
+      Fmt.pf ppf "@[<v 2>do {%a@]@,} while (%a);" pp_stmts_nested body pp_expr
+        c
+  | Return None -> Fmt.string ppf "return;"
+  | Return (Some e) -> Fmt.pf ppf "return %a;" pp_expr e
+  | Break -> Fmt.string ppf "break;"
+  | Continue -> Fmt.string ppf "continue;"
+  | Sync -> Fmt.string ppf "__syncthreads();"
+  | Bar_sync (id, n) -> Fmt.pf ppf "asm(\"bar.sync %d, %d;\");" id n
+  | Goto l -> Fmt.pf ppf "goto %s;" l
+  | Label l -> Fmt.pf ppf "%s:;" l
+  | Block stmts -> Fmt.pf ppf "@[<v 2>{%a@]@,}" pp_stmts_nested stmts
+  | Nop -> Fmt.string ppf ";"
+
+and pp_stmts_nested ppf stmts =
+  List.iter (fun s -> Fmt.pf ppf "@,%a" pp_stmt s) stmts
+
+let pp_param ppf (p : param) =
+  Fmt.pf ppf "%s %s" (Ctype.to_string p.p_type) p.p_name
+
+let pp_fn ppf (f : fn) =
+  let kind =
+    match f.f_kind with Global -> "__global__" | Device -> "__device__"
+  in
+  let lb =
+    match f.f_launch_bounds with
+    | None -> ""
+    | Some n -> Fmt.str " __launch_bounds__(%d)" n
+  in
+  Fmt.pf ppf "@[<v 2>%s%s %s %s(%a) {%a@]@,}" kind lb
+    (Ctype.to_string f.f_ret) f.f_name
+    Fmt.(list ~sep:(any ", ") pp_param)
+    f.f_params pp_stmts_nested f.f_body
+
+let pp_program ppf (p : program) =
+  List.iter (fun (k, v) -> Fmt.pf ppf "#define %s %Ld@," k v) p.defines;
+  Fmt.(list ~sep:(any "@,@,") pp_fn) ppf p.functions
+
+let expr_to_string e = Fmt.str "%a" pp_expr e
+let stmt_to_string s = Fmt.str "@[<v>%a@]" pp_stmt s
+let fn_to_string f = Fmt.str "@[<v>%a@]" pp_fn f
+let program_to_string p = Fmt.str "@[<v>%a@]" pp_program p

@@ -1,0 +1,21 @@
+(** CUDA source emission.  HFuse is source-to-source: the output must be
+    compilable CUDA-C.  Precedence-aware (inserts only the parentheses
+    the grammar needs); exercised by a parse/print round-trip property
+    test. *)
+
+val pp_expr : Ast.expr Fmt.t
+val pp_decl : Ast.decl Fmt.t
+val pp_stmt : Ast.stmt Fmt.t
+val pp_param : Ast.param Fmt.t
+val pp_fn : Ast.fn Fmt.t
+val pp_program : Ast.program Fmt.t
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : Ast.stmt -> string
+val fn_to_string : Ast.fn -> string
+val program_to_string : Ast.program -> string
+
+(** Exposed for tools that print operators. *)
+val string_of_binop : Ast.binop -> string
+
+val string_of_builtin : Ast.builtin -> string

@@ -1,0 +1,361 @@
+(* A lightweight semantic checker for the CUDA subset.
+
+   This is not a full C type checker; it is the validation layer HFuse
+   needs before fusing: every variable must be declared before use, every
+   called function must be a known intrinsic or a [__device__] function of
+   the translation unit, lvalues must be assignable, and expression types
+   must be consistent enough to compute sizes (shared-memory accounting)
+   and to drive the interpreter.  Errors carry source locations. *)
+
+exception Error of string * Loc.t
+
+type env = {
+  vars : (string, Ctype.t) Hashtbl.t;  (** in-scope variables *)
+  prog : Ast.program;  (** for device-function lookup *)
+  mutable scopes : string list list;  (** names per nesting level *)
+}
+
+(** Intrinsics understood by the whole pipeline (parser accepts any call;
+    the checker and the interpreter agree on this list).  Each entry maps
+    to a typing rule tag. *)
+let intrinsics =
+  [
+    "min"; "max"; "fminf"; "fmaxf"; "fabsf"; "sqrtf"; "rsqrtf"; "expf";
+    "logf"; "floorf"; "ceilf"; "roundf";
+    "atomicAdd"; "atomicMax"; "atomicMin"; "atomicExch"; "atomicCAS";
+    "__shfl_xor_sync"; "__shfl_down_sync"; "__shfl_sync"; "__ballot_sync";
+    "WARP_SHFL_XOR"; "WARP_SHFL_DOWN";
+    "getMSB"; "rotr32"; "rotl32"; "rotr64"; "rotl64"; "__syncwarp";
+    "__threadfence"; "__threadfence_block";
+  ]
+
+let is_intrinsic name = List.mem name intrinsics
+
+let mk_env (prog : Ast.program) : env =
+  { vars = Hashtbl.create 64; prog; scopes = [ [] ] }
+
+let push_scope env = env.scopes <- [] :: env.scopes
+
+let pop_scope env =
+  match env.scopes with
+  | top :: rest ->
+      List.iter (Hashtbl.remove env.vars) top;
+      env.scopes <- rest
+  | [] -> ()
+
+let declare env loc name ty =
+  if Hashtbl.mem env.vars name then
+    raise (Error (Fmt.str "redeclaration of %s" name, loc));
+  Hashtbl.replace env.vars name ty;
+  match env.scopes with
+  | top :: rest -> env.scopes <- (name :: top) :: rest
+  | [] -> env.scopes <- [ [ name ] ]
+
+let lookup env loc name =
+  match Hashtbl.find_opt env.vars name with
+  | Some t -> t
+  | None -> raise (Error (Fmt.str "use of undeclared variable %s" name, loc))
+
+let rec is_lvalue : Ast.expr -> bool = function
+  | Var _ -> true
+  | Index (a, _) -> is_lvalue_or_loadable a
+  | Deref _ -> true
+  | _ -> false
+
+and is_lvalue_or_loadable = function
+  | Var _ -> true
+  | Index (a, _) -> is_lvalue_or_loadable a
+  | Deref _ -> true
+  | Cast (Ctype.Ptr _, e) -> is_lvalue_or_loadable e
+  | _ -> false
+
+(* Infer the type of an expression.  [loc] is the innermost statement
+   location, used for error reporting. *)
+let rec type_of env loc (e : Ast.expr) : Ctype.t =
+  match e with
+  | Int_lit (_, t) | Float_lit (_, t) -> t
+  | Bool_lit _ -> Bool
+  | Var x -> lookup env loc x
+  | Builtin _ -> UInt
+  | Unop (Lnot, e) ->
+      ignore (type_of env loc e);
+      Bool
+  | Unop (Neg, e) | Unop (Bnot, e) -> (
+      match type_of env loc e with
+      | t when Ctype.is_arith t -> t
+      | t ->
+          raise
+            (Error
+               ( Fmt.str "unary operator applied to non-arithmetic type %s"
+                   (Ctype.to_string t),
+                 loc )))
+  | Binop ((Land | Lor), a, b) ->
+      ignore (type_of env loc a);
+      ignore (type_of env loc b);
+      Bool
+  | Binop ((Eq | Ne | Lt | Le | Gt | Ge), a, b) ->
+      ignore (type_of env loc a);
+      ignore (type_of env loc b);
+      Bool
+  | Binop ((Shl | Shr), a, b) -> (
+      ignore (type_of env loc b);
+      match type_of env loc a with
+      | t when Ctype.is_integer t -> t
+      | Bool -> Int
+      | t ->
+          raise
+            (Error
+               (Fmt.str "shift of non-integer type %s" (Ctype.to_string t), loc)))
+  | Binop ((Band | Bor | Bxor | Mod), a, b) -> (
+      let ta = type_of env loc a and tb = type_of env loc b in
+      match (ta, tb) with
+      | ta, tb when Ctype.is_integer ta && Ctype.is_integer tb ->
+          Ctype.arith_join ta tb
+      | _ ->
+          raise
+            (Error
+               ( Fmt.str "integer operator on %s and %s" (Ctype.to_string ta)
+                   (Ctype.to_string tb),
+                 loc )))
+  | Binop ((Add | Sub), a, b) -> (
+      let ta = type_of env loc a and tb = type_of env loc b in
+      match (ta, tb) with
+      (* pointer arithmetic *)
+      | (Ptr _ as p), t when Ctype.is_integer t -> p
+      | t, (Ptr _ as p) when Ctype.is_integer t -> p
+      | (Array (el, _)), t when Ctype.is_integer t -> Ptr el
+      | ta, tb when Ctype.is_arith ta && Ctype.is_arith tb ->
+          Ctype.arith_join ta tb
+      | _ ->
+          raise
+            (Error
+               ( Fmt.str "cannot add/sub %s and %s" (Ctype.to_string ta)
+                   (Ctype.to_string tb),
+                 loc )))
+  | Binop ((Mul | Div), a, b) -> (
+      let ta = type_of env loc a and tb = type_of env loc b in
+      match (ta, tb) with
+      | ta, tb when Ctype.is_arith ta && Ctype.is_arith tb ->
+          Ctype.arith_join ta tb
+      | _ ->
+          raise
+            (Error
+               ( Fmt.str "cannot multiply %s and %s" (Ctype.to_string ta)
+                   (Ctype.to_string tb),
+                 loc )))
+  | Assign (l, r) ->
+      if not (is_lvalue l) then
+        raise (Error ("left side of assignment is not an lvalue", loc));
+      let tl = type_of env loc l in
+      ignore (type_of env loc r);
+      tl
+  | Op_assign (_, l, r) ->
+      if not (is_lvalue l) then
+        raise (Error ("left side of assignment is not an lvalue", loc));
+      let tl = type_of env loc l in
+      ignore (type_of env loc r);
+      tl
+  | Incdec { lval; _ } ->
+      if not (is_lvalue lval) then
+        raise (Error ("operand of ++/-- is not an lvalue", loc));
+      type_of env loc lval
+  | Ternary (c, a, b) ->
+      ignore (type_of env loc c);
+      let ta = type_of env loc a and tb = type_of env loc b in
+      if Ctype.is_arith ta && Ctype.is_arith tb then Ctype.arith_join ta tb
+      else ta
+  | Call (f, args) -> type_of_call env loc f args
+  | Index (a, i) -> (
+      let ti = type_of env loc i in
+      if not (Ctype.is_integer ti) then
+        raise
+          (Error
+             (Fmt.str "array index has type %s" (Ctype.to_string ti), loc));
+      match type_of env loc a with
+      | Ptr t | Array (t, _) -> t
+      | t ->
+          raise
+            (Error
+               ( Fmt.str "subscript of non-pointer type %s"
+                   (Ctype.to_string t),
+                 loc )))
+  | Deref a -> (
+      match type_of env loc a with
+      | Ptr t | Array (t, _) -> t
+      | t ->
+          raise
+            (Error
+               (Fmt.str "dereference of non-pointer %s" (Ctype.to_string t), loc)))
+  | Addr_of a ->
+      if not (is_lvalue a) then
+        raise (Error ("address-of requires an lvalue", loc));
+      Ptr (type_of env loc a)
+  | Cast (t, e) ->
+      ignore (type_of env loc e);
+      t
+
+and type_of_call env loc f args : Ctype.t =
+  let targs = List.map (type_of env loc) args in
+  let arity n =
+    if List.length args <> n then
+      raise
+        (Error
+           ( Fmt.str "%s expects %d arguments, got %d" f n (List.length args),
+             loc ))
+  in
+  match f with
+  | "min" | "max" -> (
+      arity 2;
+      match targs with
+      | [ a; b ] when Ctype.is_arith a && Ctype.is_arith b ->
+          Ctype.arith_join a b
+      | _ -> raise (Error (f ^ " requires arithmetic arguments", loc)))
+  | "fminf" | "fmaxf" ->
+      arity 2;
+      Float
+  | "fabsf" | "sqrtf" | "rsqrtf" | "expf" | "logf" | "floorf" | "ceilf"
+  | "roundf" ->
+      arity 1;
+      Float
+  | "atomicAdd" | "atomicMax" | "atomicMin" | "atomicExch" -> (
+      arity 2;
+      match targs with
+      | [ Ptr t; _ ] -> t
+      | [ t; _ ] ->
+          raise
+            (Error
+               ( Fmt.str "%s expects a pointer first argument, got %s" f
+                   (Ctype.to_string t),
+                 loc ))
+      | _ -> assert false)
+  | "atomicCAS" -> (
+      arity 3;
+      match targs with
+      | [ Ptr t; _; _ ] -> t
+      | _ -> raise (Error ("atomicCAS expects a pointer first argument", loc)))
+  | "__shfl_xor_sync" | "__shfl_down_sync" | "__shfl_sync" -> (
+      (* (mask, var, laneDelta [, width]) *)
+      if List.length args < 3 || List.length args > 4 then
+        raise (Error (f ^ " expects 3 or 4 arguments", loc));
+      match targs with _ :: t :: _ -> t | _ -> assert false)
+  | "WARP_SHFL_XOR" | "WARP_SHFL_DOWN" -> (
+      (* PyTorch-style wrapper: (var, laneDelta [, width]) *)
+      if List.length args < 2 || List.length args > 3 then
+        raise (Error (f ^ " expects 2 or 3 arguments", loc));
+      match targs with t :: _ -> t | _ -> assert false)
+  | "__ballot_sync" ->
+      arity 2;
+      UInt
+  | "getMSB" ->
+      arity 1;
+      Int
+  | "rotr32" | "rotl32" ->
+      arity 2;
+      UInt
+  | "rotr64" | "rotl64" ->
+      arity 2;
+      ULong
+  | "__syncwarp" | "__threadfence" | "__threadfence_block" -> Void
+  | f -> (
+      (* device function of this translation unit *)
+      match Ast.find_fn env.prog f with
+      | Some fn ->
+          if fn.f_kind <> Device then
+            raise (Error (Fmt.str "cannot call __global__ %s" f, loc));
+          arity (List.length fn.f_params);
+          fn.f_ret
+      | None -> raise (Error (Fmt.str "call to unknown function %s" f, loc)))
+
+(* ------------------------------------------------------------------ *)
+(* Statement checking                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_decl env loc (d : Ast.decl) =
+  (match d.d_storage with
+  | Shared_extern -> (
+      match d.d_type with
+      | Array (_, None) -> ()
+      | t ->
+          raise
+            (Error
+               ( Fmt.str
+                   "extern __shared__ %s must be an incomplete array, got %s"
+                   d.d_name (Ctype.to_string t),
+                 loc )))
+  | Shared -> (
+      match d.d_type with
+      | Array (_, Some _) -> ()
+      | t ->
+          raise
+            (Error
+               ( Fmt.str "__shared__ %s must be a sized array, got %s" d.d_name
+                   (Ctype.to_string t),
+                 loc )))
+  | Local -> ());
+  (match d.d_init with
+  | Some e ->
+      if d.d_storage <> Local then
+        raise (Error ("shared variables cannot have initializers", loc));
+      ignore (type_of env loc e)
+  | None -> ());
+  declare env loc d.d_name d.d_type
+
+let rec check_stmts env ~in_loop ~labels (stmts : Ast.stmt list) =
+  push_scope env;
+  List.iter (check_stmt env ~in_loop ~labels) stmts;
+  pop_scope env
+
+and check_stmt env ~in_loop ~labels (s : Ast.stmt) =
+  let loc = s.s_loc in
+  match s.s with
+  | Decl d -> check_decl env loc d
+  | Expr e -> ignore (type_of env loc e)
+  | If (c, t, e) ->
+      ignore (type_of env loc c);
+      check_stmts env ~in_loop ~labels t;
+      check_stmts env ~in_loop ~labels e
+  | For (init, cond, step, body) ->
+      push_scope env;
+      (match init with
+      | Some (For_decl ds) -> List.iter (check_decl env loc) ds
+      | Some (For_expr e) -> ignore (type_of env loc e)
+      | None -> ());
+      Option.iter (fun e -> ignore (type_of env loc e)) cond;
+      Option.iter (fun e -> ignore (type_of env loc e)) step;
+      check_stmts env ~in_loop:true ~labels body;
+      pop_scope env
+  | While (c, body) ->
+      ignore (type_of env loc c);
+      check_stmts env ~in_loop:true ~labels body
+  | Do_while (body, c) ->
+      check_stmts env ~in_loop:true ~labels body;
+      ignore (type_of env loc c)
+  | Return e -> Option.iter (fun e -> ignore (type_of env loc e)) e
+  | Break | Continue ->
+      if not in_loop then
+        raise (Error ("break/continue outside of a loop", loc))
+  | Sync | Bar_sync _ | Nop | Label _ -> ()
+  | Goto l ->
+      if not (Ast_util.StrSet.mem l labels) then
+        raise (Error (Fmt.str "goto to undefined label %s" l, loc))
+  | Block b -> check_stmts env ~in_loop ~labels b
+
+(** Check one function in the context of its translation unit.  Raises
+    {!Error} on the first problem found. *)
+let check_fn (prog : Ast.program) (f : Ast.fn) : unit =
+  let env = mk_env prog in
+  List.iter
+    (fun (p : Ast.param) -> declare env Loc.dummy p.p_name p.p_type)
+    f.f_params;
+  let labels = Ast_util.labels f.f_body in
+  check_stmts env ~in_loop:false ~labels f.f_body
+
+(** Check every function of a program. *)
+let check_program (prog : Ast.program) : unit =
+  List.iter (check_fn prog) prog.functions
+
+(** [check_program] as a result, for callers that prefer not to catch. *)
+let check_program_result prog : (unit, string * Loc.t) result =
+  match check_program prog with
+  | () -> Ok ()
+  | exception Error (msg, loc) -> Result.error (msg, loc)

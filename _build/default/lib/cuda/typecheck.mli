@@ -1,0 +1,27 @@
+(** A lightweight semantic checker: declaration-before-use, known
+    intrinsics/device functions with correct arity, assignable lvalues,
+    consistent-enough types for size computation and interpretation.
+    Not a full C type checker; it is the validation HFuse needs before
+    fusing.  Errors carry source locations. *)
+
+exception Error of string * Loc.t
+
+(** Intrinsics the whole pipeline understands (checker and interpreter
+    agree on this list). *)
+val intrinsics : string list
+
+val is_intrinsic : string -> bool
+
+(** Infer an expression's type in an environment; used by tools. *)
+type env
+
+val mk_env : Ast.program -> env
+val declare : env -> Loc.t -> string -> Ctype.t -> unit
+val type_of : env -> Loc.t -> Ast.expr -> Ctype.t
+
+(** Check one function in its translation unit.
+    @raise Error on the first problem. *)
+val check_fn : Ast.program -> Ast.fn -> unit
+
+val check_program : Ast.program -> unit
+val check_program_result : Ast.program -> (unit, string * Loc.t) result

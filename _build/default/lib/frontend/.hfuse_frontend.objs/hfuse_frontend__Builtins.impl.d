@@ -1,0 +1,1 @@
+lib/frontend/builtins.ml: Ast Ast_util Cuda List

@@ -1,0 +1,1 @@
+lib/frontend/builtins.mli: Cuda

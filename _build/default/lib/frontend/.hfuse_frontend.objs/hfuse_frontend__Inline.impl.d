@@ -1,0 +1,1 @@
+lib/frontend/inline.ml: Ast Ast_util Ctype Cuda Fmt Hashtbl Lift_decls List Option Rename String Typecheck

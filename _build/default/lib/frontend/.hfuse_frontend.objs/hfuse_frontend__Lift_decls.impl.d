@@ -1,0 +1,1 @@
+lib/frontend/lift_decls.ml: Ast Ast_util Cuda List

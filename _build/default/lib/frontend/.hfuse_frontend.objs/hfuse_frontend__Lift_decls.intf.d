@@ -1,0 +1,1 @@
+lib/frontend/lift_decls.mli: Cuda

@@ -1,0 +1,1 @@
+lib/frontend/rename.ml: Ast Ast_util Cuda Hashtbl List Option Printf String

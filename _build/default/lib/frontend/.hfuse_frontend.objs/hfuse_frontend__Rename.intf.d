@@ -1,0 +1,1 @@
+lib/frontend/rename.mli: Cuda Hashtbl

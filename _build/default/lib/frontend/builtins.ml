@@ -1,0 +1,54 @@
+(* Built-in special value replacement (Fig. 5, line 4).
+
+   In the fused kernel, [threadIdx.x] and [blockDim.x] refer to the fused
+   kernel's geometry, not the original kernel's; HFuse therefore replaces
+   them with prologue-defined variables ([tid_1]/[size_1] or
+   [tid_2]/[size_2]).  The motivating example (Fig. 4) shows the 2-D
+   variant, replacing [threadIdx.y] and [blockDim.y] as well.
+
+   [blockIdx] and [gridDim] are left alone: the fused kernel keeps the
+   original grid dimension, so those builtins still mean the same thing. *)
+
+open Cuda
+
+(** Replacement mapping for one input kernel: expressions to substitute
+    for each thread-index / block-dimension axis. *)
+type mapping = {
+  tid : Ast.dim -> Ast.expr;
+  bdim : Ast.dim -> Ast.expr;
+}
+
+(** Build a mapping from variable names, the common case: axis [x] maps to
+    [Var names_x], etc. *)
+let of_vars ~tid_x ~tid_y ~tid_z ~bdim_x ~bdim_y ~bdim_z : mapping =
+  {
+    tid =
+      (function
+      | Ast.X -> Ast.Var tid_x
+      | Ast.Y -> Ast.Var tid_y
+      | Ast.Z -> Ast.Var tid_z);
+    bdim =
+      (function
+      | Ast.X -> Ast.Var bdim_x
+      | Ast.Y -> Ast.Var bdim_y
+      | Ast.Z -> Ast.Var bdim_z);
+  }
+
+(** Replace [threadIdx.*] and [blockDim.*] in [stmts] per [mapping].
+    [blockIdx]/[gridDim] pass through. *)
+let replace (m : mapping) (stmts : Ast.stmt list) : Ast.stmt list =
+  Ast_util.replace_builtins
+    (function
+      | Ast.Thread_idx d -> Some (m.tid d)
+      | Ast.Block_dim d -> Some (m.bdim d)
+      | Ast.Block_idx _ | Ast.Grid_dim _ -> None)
+    stmts
+
+(** Does the kernel use any [.y]/[.z] thread geometry?  Fusion needs to
+    know to emit the 2-D prologue of Fig. 4. *)
+let uses_multidim (stmts : Ast.stmt list) : bool =
+  List.exists
+    (function
+      | Ast.Thread_idx (Y | Z) | Ast.Block_dim (Y | Z) -> true
+      | _ -> false)
+    (Ast_util.used_builtins stmts)

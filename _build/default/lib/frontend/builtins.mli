@@ -1,0 +1,21 @@
+(** Built-in special-value replacement (Fig. 5 line 4): inside the fused
+    kernel, the original kernels' [threadIdx]/[blockDim] must refer to
+    prologue-defined variables; [blockIdx]/[gridDim] keep their meaning
+    (the fused kernel keeps the original grid). *)
+
+type mapping = {
+  tid : Cuda.Ast.dim -> Cuda.Ast.expr;
+  bdim : Cuda.Ast.dim -> Cuda.Ast.expr;
+}
+
+(** Axis-to-variable mapping, the common case. *)
+val of_vars :
+  tid_x:string -> tid_y:string -> tid_z:string ->
+  bdim_x:string -> bdim_y:string -> bdim_z:string -> mapping
+
+(** Apply the mapping to every [threadIdx.*] / [blockDim.*]. *)
+val replace : mapping -> Cuda.Ast.stmt list -> Cuda.Ast.stmt list
+
+(** Does the code read [.y]/[.z] thread geometry (needs the 2-D
+    prologue of Fig. 4)? *)
+val uses_multidim : Cuda.Ast.stmt list -> bool

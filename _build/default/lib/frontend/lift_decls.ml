@@ -1,0 +1,99 @@
+(* Declaration lifting (paper Section III-C).
+
+   "HFUSE traverses the AST of the input kernel to locate all local
+   variable declarations. ... It also lifts their declarations to the
+   start of the kernel.  If the declaration of a local variable is
+   associated with initialization assignments, it will still lift the
+   declaration but create corresponding new assignment statements at the
+   original location of the declaration.  HFUSE lifts local variable
+   declarations because it instruments goto statements into the fused
+   kernel and CUDA may not allow goto statements to jump over local
+   variable declarations."
+
+   Precondition: declared names are unique within the body (run
+   {!Rename.uniquify_shadowing} first).  The pass:
+   - replaces every [Decl] whose initializer exists with the assignment
+     [name = init] at the original position, or with [Nop] when there is
+     no initializer;
+   - rewrites [for (int i = e; ...)] into a lifted [i] plus
+     [for (i = e; ...)];
+   - emits all declarations, initializer-less, at the top of the body
+     (shared-memory declarations first, preserving relative order). *)
+
+open Cuda
+
+let strip_init (d : Ast.decl) : Ast.decl = { d with d_init = None }
+
+(** [lift body] returns [(decls, body')] where [decls] are all local
+    declarations of [body] (without initializers) and [body'] is the body
+    with declarations replaced by their initializing assignments. *)
+let lift (stmts : Ast.stmt list) : Ast.decl list * Ast.stmt list =
+  let decls = Ast_util.collect_decls stmts in
+  (* Arrays cannot be initialized by plain assignment in the subset, and
+     shared decls cannot have initializers (checked by Typecheck). *)
+  let body =
+    Ast_util.map_stmts
+      (fun s ->
+        match s.s with
+        | Decl { d_init = Some e; d_name; _ } ->
+            [ { s with s = Expr (Assign (Var d_name, e)) } ]
+        | Decl { d_init = None; _ } -> []
+        | For (Some (For_decl ds), cond, step, body) ->
+            (* initialize lifted loop variables before the loop; the loop
+               header keeps the first declarator's assignment as its init
+               expression when there is exactly one initializer *)
+            let inits =
+              List.filter_map
+                (fun (d : Ast.decl) ->
+                  match d.d_init with
+                  | Some e -> Some (Ast.Assign (Var d.d_name, e))
+                  | None -> None)
+                ds
+            in
+            let for_init, prefix =
+              match inits with
+              | [] -> (None, [])
+              | [ e ] -> (Some (Ast.For_expr e), [])
+              | e :: rest ->
+                  ( Some (Ast.For_expr e),
+                    List.map (fun e -> { s with s = Ast.Expr e }) rest )
+            in
+            prefix @ [ { s with s = For (for_init, cond, step, body) } ]
+        | _ -> [ s ])
+      stmts
+  in
+  (List.map strip_init decls, body)
+
+(** Lift declarations of a whole kernel: returns the kernel with all local
+    declarations at the top of its body.  Shared declarations come first
+    (they are block-scoped resources, not thread-locals). *)
+let lift_fn (f : Ast.fn) : Ast.fn =
+  let decls, body = lift f.f_body in
+  let shared, local =
+    List.partition
+      (fun (d : Ast.decl) -> d.d_storage <> Ast.Local)
+      decls
+  in
+  let decl_stmts =
+    List.map (fun d -> Ast.mk_stmt (Ast.Decl d)) (shared @ local)
+  in
+  { f with f_body = decl_stmts @ body }
+
+(** Check the postcondition: no declaration occurs after the leading
+    declaration block (used by tests and asserted by fusion). *)
+let is_lifted (stmts : Ast.stmt list) : bool =
+  let rec skip_decls = function
+    | { Ast.s = Ast.Decl _; _ } :: rest -> skip_decls rest
+    | rest -> rest
+  in
+  let tail = skip_decls stmts in
+  not
+    (Ast_util.fold_stmts
+       (fun acc s ->
+         acc
+         ||
+         match s.s with
+         | Decl _ -> true
+         | For (Some (For_decl _), _, _, _) -> true
+         | _ -> false)
+       false tail)

@@ -1,0 +1,16 @@
+(** Declaration lifting (paper Section III-C): all local declarations
+    move, initialiser-less, to the top of the kernel; initialisers
+    become assignments at the original positions.  Required because the
+    fused kernel's [goto]s may not jump over declarations.
+
+    Precondition: declared names are unique ({!Rename.uniquify_shadowing}). *)
+
+(** [(decls, body')] where [body'] has declarations replaced by their
+    initialising assignments. *)
+val lift : Cuda.Ast.stmt list -> Cuda.Ast.decl list * Cuda.Ast.stmt list
+
+(** Whole-kernel lifting; shared-memory declarations come first. *)
+val lift_fn : Cuda.Ast.fn -> Cuda.Ast.fn
+
+(** Postcondition check: declarations only in the leading block. *)
+val is_lifted : Cuda.Ast.stmt list -> bool

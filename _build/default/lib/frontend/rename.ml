@@ -1,0 +1,170 @@
+(* Fresh-name generation and alpha-renaming.
+
+   HFuse copies local-variable declarations from both input kernels into
+   the fused kernel (Fig. 5, line 2) and must "properly rename these local
+   variables to make sure each of them has a fresh name" (Section II-C).
+   This module provides the freshness discipline: a [pool] of taken names
+   and capture-free renaming of a kernel body against that pool. *)
+
+open Cuda
+
+type pool = { taken : (string, unit) Hashtbl.t }
+
+let create () = { taken = Hashtbl.create 64 }
+
+let of_names names =
+  let p = create () in
+  List.iter (fun n -> Hashtbl.replace p.taken n ()) names;
+  p
+
+let mem p name = Hashtbl.mem p.taken name
+let reserve p name = Hashtbl.replace p.taken name ()
+let names p = Hashtbl.fold (fun k () acc -> k :: acc) p.taken []
+
+(** Smallest [base], [base_1], [base_2], ... not yet in the pool; the
+    result is reserved before returning. *)
+let fresh p base =
+  let name =
+    if not (mem p base) then base
+    else begin
+      let rec go i =
+        let cand = Printf.sprintf "%s_%d" base i in
+        if mem p cand then go (i + 1) else cand
+      in
+      go 1
+    end
+  in
+  reserve p name;
+  name
+
+(** Rename every local declared in [stmts] (including for-init decls) so
+    that no declared name collides with the pool; returns the rewritten
+    statements and the (old -> new) table.  Names already unique are kept
+    (and reserved).  Parameters are renamed by the caller via the same
+    table mechanism if needed. *)
+let rename_locals (p : pool) (stmts : Ast.stmt list) :
+    Ast.stmt list * (string, string) Hashtbl.t =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Ast.decl) ->
+      let fresh_name = fresh p d.d_name in
+      if not (String.equal fresh_name d.d_name) then
+        Hashtbl.replace table d.d_name fresh_name)
+    (Ast_util.collect_decls stmts);
+  (Ast_util.rename_stmts table stmts, table)
+
+(** Rename the labels of [stmts] to be disjoint from [taken_labels];
+    rewrites both [Label] and [Goto] statements. *)
+let rename_labels (p : pool) (stmts : Ast.stmt list) : Ast.stmt list =
+  let table = Hashtbl.create 4 in
+  Ast_util.StrSet.iter
+    (fun l ->
+      let fresh_name = fresh p l in
+      if not (String.equal fresh_name l) then Hashtbl.replace table l fresh_name)
+    (Ast_util.labels stmts);
+  if Hashtbl.length table = 0 then stmts
+  else
+    Ast_util.map_stmts
+      (fun s ->
+        match s.s with
+        | Goto l -> (
+            match Hashtbl.find_opt table l with
+            | Some l' -> [ { s with s = Goto l' } ]
+            | None -> [ s ])
+        | Label l -> (
+            match Hashtbl.find_opt table l with
+            | Some l' -> [ { s with s = Label l' } ]
+            | None -> [ s ])
+        | _ -> [ s ])
+      stmts
+
+(** Uniquify shadowing declarations *within* one kernel body: C allows the
+    same name to be declared in sibling or nested scopes; after
+    declaration lifting (see {!Lift_decls}) all declarations live in one
+    scope, so they must be distinct first.  Walks the statements with a
+    scoped environment, renaming any declaration whose name is already
+    visible. *)
+let uniquify_shadowing (stmts : Ast.stmt list) : Ast.stmt list =
+  let p = create () in
+  (* Reserve every free name (parameters etc.) so locals can't capture. *)
+  Ast_util.StrSet.iter (reserve p) (Ast_util.free_names stmts);
+  let rec go_list (env : (string * string) list) stmts =
+    let env = ref env in
+    List.map
+      (fun s ->
+        let s' = go_stmt !env s in
+        (match s.Ast.s with
+        | Ast.Decl d ->
+            let d' =
+              match s'.Ast.s with Ast.Decl d' -> d' | _ -> assert false
+            in
+            env := (d.d_name, d'.d_name) :: !env
+        | _ -> ());
+        s')
+      stmts
+  and rename_decl env (d : Ast.decl) : Ast.decl * (string * string) =
+    let new_name =
+      if mem p d.d_name then fresh p d.d_name
+      else begin
+        reserve p d.d_name;
+        d.d_name
+      end
+    in
+    let d' =
+      {
+        d with
+        d_name = new_name;
+        d_init = Option.map (rewrite_expr env) d.d_init;
+      }
+    in
+    (d', (d.d_name, new_name))
+  and rewrite_expr env e =
+    Ast_util.map_expr
+      (fun e ->
+        match e with
+        | Var x -> (
+            match List.assoc_opt x env with
+            | Some x' -> Var x'
+            | None -> e)
+        | e -> e)
+      e
+  and go_stmt env (s : Ast.stmt) : Ast.stmt =
+    let re = rewrite_expr env in
+    let desc : Ast.stmt_desc =
+      match s.s with
+      | Decl d ->
+          let d', _ = rename_decl env d in
+          Decl d'
+      | Expr e -> Expr (re e)
+      | If (c, t, e) -> If (re c, go_list env t, go_list env e)
+      | For (init, cond, step, body) ->
+          let env', init' =
+            match init with
+            | None -> (env, None)
+            | Some (Ast.For_expr e) -> (env, Some (Ast.For_expr (re e)))
+            | Some (Ast.For_decl ds) ->
+                let env', ds' =
+                  List.fold_left
+                    (fun (env, acc) d ->
+                      let d', binding = rename_decl env d in
+                      (binding :: env, d' :: acc))
+                    (env, []) ds
+                in
+                (env', Some (Ast.For_decl (List.rev ds')))
+          in
+          For
+            ( init',
+              Option.map (rewrite_expr env') cond,
+              Option.map (rewrite_expr env') step,
+              go_list env' body )
+      | While (c, body) -> While (re c, go_list env body)
+      | Do_while (body, c) -> Do_while (go_list env body, re c)
+      | Return e -> Return (Option.map re e)
+      | Block b -> Block (go_list env b)
+      | (Break | Continue | Sync | Bar_sync _ | Goto _ | Label _ | Nop) as d
+        ->
+          d
+    in
+    { s with s = desc }
+  in
+  go_list [] stmts

@@ -1,0 +1,35 @@
+(** Fresh-name generation and alpha-renaming.
+
+    HFuse copies local declarations from both input kernels into the
+    fused kernel (Fig. 5 line 2) and "properly renames these local
+    variables to make sure each of them has a fresh name"
+    (Section II-C).  A {!pool} is the set of taken names; all renaming
+    is capture-free with respect to it. *)
+
+type pool
+
+val create : unit -> pool
+val of_names : string list -> pool
+val mem : pool -> string -> bool
+val reserve : pool -> string -> unit
+val names : pool -> string list
+
+(** Smallest of [base], [base_1], [base_2], ... not in the pool;
+    reserved before returning. *)
+val fresh : pool -> string -> string
+
+(** Rename every declared local (including for-init declarations) to be
+    fresh w.r.t. the pool; returns the rewritten statements and the
+    old-to-new table.  Already-unique names are kept and reserved. *)
+val rename_locals :
+  pool -> Cuda.Ast.stmt list -> Cuda.Ast.stmt list * (string, string) Hashtbl.t
+
+(** Rename labels to be disjoint from the pool, rewriting [goto]s to
+    match. *)
+val rename_labels : pool -> Cuda.Ast.stmt list -> Cuda.Ast.stmt list
+
+(** Make every declaration in the body unique (C scoping allows
+    shadowing; after declaration lifting everything shares one scope, so
+    shadowers must be renamed first).  References rewrite scope-
+    correctly. *)
+val uniquify_shadowing : Cuda.Ast.stmt list -> Cuda.Ast.stmt list

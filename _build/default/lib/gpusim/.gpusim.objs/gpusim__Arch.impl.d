@@ -1,0 +1,1 @@
+lib/gpusim/arch.ml: Fmt Hfuse_core List String

@@ -1,0 +1,1 @@
+lib/gpusim/arch.mli: Fmt Hfuse_core

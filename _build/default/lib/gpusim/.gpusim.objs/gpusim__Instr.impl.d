@@ -1,0 +1,1 @@
+lib/gpusim/instr.ml: Fmt Printf

@@ -1,0 +1,1 @@
+lib/gpusim/instr.mli: Fmt

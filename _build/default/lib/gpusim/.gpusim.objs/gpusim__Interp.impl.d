@@ -1,0 +1,1 @@
+lib/gpusim/interp.ml: Array Ast Bytes Ctype Cuda Effect Float Fmt Hashtbl Instr Int32 Int64 List Memory Option Pretty Queue String Trace Value

@@ -1,0 +1,1 @@
+lib/gpusim/interp.mli: Bytes Cuda Effect Hashtbl Memory Trace Value

@@ -1,0 +1,1 @@
+lib/gpusim/launch.ml: Array Ast Ast_util Bytes Ctype Cuda Effect Fmt Hashtbl Hfuse_core Hfuse_frontend Inline Interp List Memory Queue Trace Value

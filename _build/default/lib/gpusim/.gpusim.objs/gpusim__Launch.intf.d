@@ -1,0 +1,1 @@
+lib/gpusim/launch.mli: Cuda Hashtbl Hfuse_core Memory Trace Value

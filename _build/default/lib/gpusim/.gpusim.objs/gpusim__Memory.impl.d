@@ -1,0 +1,1 @@
+lib/gpusim/memory.ml: Array Bytes Ctype Cuda Int32 Int64 List String Value

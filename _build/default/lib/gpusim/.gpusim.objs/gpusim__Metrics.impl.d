@@ -1,0 +1,1 @@
+lib/gpusim/metrics.ml: Fmt List Timing

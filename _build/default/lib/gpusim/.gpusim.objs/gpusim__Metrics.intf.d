@@ -1,0 +1,1 @@
+lib/gpusim/metrics.mli: Fmt Timing

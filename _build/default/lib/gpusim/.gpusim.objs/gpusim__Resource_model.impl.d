@@ -1,0 +1,1 @@
+lib/gpusim/resource_model.ml: Ast Ast_util Ctype Cuda Hfuse_core List

@@ -1,0 +1,1 @@
+lib/gpusim/resource_model.mli: Cuda Hfuse_core

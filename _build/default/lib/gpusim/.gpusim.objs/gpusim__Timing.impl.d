@@ -1,0 +1,1 @@
+lib/gpusim/timing.ml: Arch Array Fmt Hashtbl Hfuse_core Instr List Option Queue Trace

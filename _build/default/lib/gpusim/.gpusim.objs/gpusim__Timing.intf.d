@@ -1,0 +1,1 @@
+lib/gpusim/timing.mli: Arch Trace

@@ -1,0 +1,1 @@
+lib/gpusim/trace.ml: Array Instr

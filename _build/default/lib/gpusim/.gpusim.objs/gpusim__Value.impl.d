@@ -1,0 +1,1 @@
+lib/gpusim/value.ml: Ast Ctype Cuda Float Fmt Int32 Int64

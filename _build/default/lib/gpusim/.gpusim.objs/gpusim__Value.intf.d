@@ -1,0 +1,1 @@
+lib/gpusim/value.mli: Cuda Fmt Format

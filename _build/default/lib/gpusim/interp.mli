@@ -1,0 +1,59 @@
+(** Lock-step SIMT interpreter for the CUDA subset.
+
+    Warps execute statements under an active-lane mask (divergent
+    branches serialise, loops run while any lane is active,
+    break/continue/return are mask outcomes).  Two things happen at
+    once: the functional result lands in simulated memory, and a dynamic
+    per-warp instruction trace (with coalescing and bank-conflict
+    outcomes) is recorded for the timing model.
+
+    Barriers suspend the warp via the {!Barrier_eff} effect; the block
+    scheduler in {!Launch} counts arrivals per barrier id and resumes
+    waiters — the PTX [bar.sync] arrival-counter semantics fused kernels
+    rely on. *)
+
+exception Exec_error of string
+
+(** Raised by [goto]; resolved at the kernel body's top level. *)
+exception Goto_exn of string
+
+type _ Effect.t +=
+  | Barrier_eff : int * int * int -> unit Effect.t
+        (** (barrier id, thread count, this warp's live threads) *)
+
+type lanes = Value.t array
+
+(** Per-block sectored cache model (see {!Launch.config.l1_sectors}). *)
+type l1_cache
+
+val l1_create : sectors:int -> l1_cache
+
+(** Per-warp execution context, built by {!Launch}. *)
+type wctx = {
+  warp_size : int;
+  warp_id : int;
+  base_tid : int;
+  live : int;  (** mask of lanes backed by real threads *)
+  block_idx : int;
+  block_dim : int * int * int;
+  grid_dim : int;
+  env : (string, lanes) Hashtbl.t;
+  types : (string, Cuda.Ctype.t) Hashtbl.t;
+  mem : Memory.t;
+  shared : Bytes.t;
+  shared_layout : (string, int * Cuda.Ctype.t) Hashtbl.t;
+  trace : Trace.t option;
+  l1 : l1_cache;
+  locals : (int, Bytes.t) Hashtbl.t;
+  mutable local_seq : int;
+  mutable loop_fuel : int;
+}
+
+val full_of_threads : int -> int
+(** Mask with the low [n] bits set. *)
+
+(** Execute a kernel body for one warp (labels resolve at the top
+    statement level, where HFuse places them).
+    @raise Exec_error on runtime faults, divergent gotos or barriers,
+    or loop-fuel exhaustion. *)
+val run_body : wctx -> Cuda.Ast.stmt list -> unit

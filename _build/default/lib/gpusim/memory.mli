@@ -1,0 +1,36 @@
+(** Byte-addressable simulated memories.
+
+    Global memory is a set of named buffers; byte addressing (not typed
+    cells) is essential because the corpus reinterprets buffers across
+    types and mixes 32/64-bit views. *)
+
+type t
+
+val create : unit -> t
+
+(** Allocate a zero-filled buffer; returns a pointer to its start. *)
+val alloc : t -> name:string -> elem:Cuda.Ctype.t -> count:int -> Value.ptr
+
+val buffer : t -> int -> Bytes.t
+val buffer_name : t -> int -> string
+val size_bytes : t -> int -> int
+
+(** Typed access at a byte offset; bounds-checked.
+    @raise Value.Runtime_error on out-of-bounds or untypable access. *)
+val load_bytes : Bytes.t -> int -> Cuda.Ctype.t -> Value.t
+
+val store_bytes : Bytes.t -> int -> Cuda.Ctype.t -> Value.t -> unit
+
+(** Host-side helpers. *)
+val fill_floats : t -> Value.ptr -> float array -> unit
+
+val fill_int32s : t -> Value.ptr -> int32 array -> unit
+val fill_int64s : t -> Value.ptr -> int64 array -> unit
+val read_floats : t -> Value.ptr -> int -> float array
+val read_int32s : t -> Value.ptr -> int -> int32 array
+val read_int64s : t -> Value.ptr -> int -> int64 array
+
+(** Snapshot all buffers (equivalence checks). *)
+val snapshot : t -> (string * Bytes.t) list
+
+val equal_snapshot : (string * Bytes.t) list -> (string * Bytes.t) list -> bool

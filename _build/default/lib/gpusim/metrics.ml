@@ -1,0 +1,45 @@
+(* nvprof-style presentation of timing reports (Section IV-A metrics). *)
+
+type t = {
+  label : string;
+  time_ms : float;
+  elapsed_cycles : int;
+  issue_slot_util : float;  (** percent *)
+  mem_stall : float;  (** percent of stalls from memory instructions *)
+  occupancy : float;  (** percent achieved *)
+}
+
+let of_report ~label (r : Timing.report) : t =
+  {
+    label;
+    time_ms = r.Timing.time_ms;
+    elapsed_cycles = r.Timing.elapsed_cycles;
+    issue_slot_util = r.Timing.issue_slot_util;
+    mem_stall = r.Timing.mem_stall_pct;
+    occupancy = r.Timing.occupancy;
+  }
+
+let pp ppf m =
+  Fmt.pf ppf "%-28s %8.3f ms  util %5.1f%%  memstall %5.1f%%  occ %5.1f%%"
+    m.label m.time_ms m.issue_slot_util m.mem_stall m.occupancy
+
+(** The weighted average the paper uses for the "Native" column of
+    Fig. 9:  I = (I1*C1 + I2*C2) / (C1 + C2). *)
+let weighted_issue_util (ms : t list) : float =
+  let num, den =
+    List.fold_left
+      (fun (num, den) m ->
+        ( num +. (m.issue_slot_util *. float_of_int m.elapsed_cycles),
+          den +. float_of_int m.elapsed_cycles ))
+      (0.0, 0.0) ms
+  in
+  if den = 0.0 then 0.0 else num /. den
+
+(** Table header matching Fig. 8's columns. *)
+let header =
+  Fmt.str "%-28s %12s %12s %12s %12s" "Kernel" "Time (ms)" "IssueUtil%"
+    "MemStall%" "Occupancy%"
+
+let row m =
+  Fmt.str "%-28s %12.3f %12.2f %12.1f %12.1f" m.label m.time_ms
+    m.issue_slot_util m.mem_stall m.occupancy

@@ -1,0 +1,21 @@
+(** nvprof-style presentation of timing reports (the four metrics of
+    Section IV-A). *)
+
+type t = {
+  label : string;
+  time_ms : float;
+  elapsed_cycles : int;
+  issue_slot_util : float;  (** percent of issue slots used *)
+  mem_stall : float;  (** percent of stalls waiting on global memory *)
+  occupancy : float;  (** percent achieved occupancy *)
+}
+
+val of_report : label:string -> Timing.report -> t
+val pp : t Fmt.t
+
+(** The paper's weighted average for the Native column of Fig. 9:
+    I = (I1*C1 + I2*C2) / (C1 + C2). *)
+val weighted_issue_util : t list -> float
+
+val header : string
+val row : t -> string

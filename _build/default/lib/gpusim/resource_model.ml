@@ -1,0 +1,67 @@
+(* Per-thread register estimation.
+
+   The occupancy computation (Fig. 6) and the timing model need NRegs(K)
+   — the per-thread register count nvcc would allocate.  Without nvcc we
+   estimate from the AST: parameters and scalar locals each hold a live
+   value, address arithmetic and deep expressions need temporaries, and
+   64-bit values occupy two 32-bit registers.  The estimator is
+   deliberately simple and monotone (more locals / deeper expressions
+   never decrease the estimate); the kernel corpus additionally carries
+   per-kernel calibration values in the range nvcc reports for the real
+   PyTorch/ccminer kernels (see [Kernel_corpus.Registry]), and this
+   estimator is the fallback for user-supplied kernels. *)
+
+open Cuda
+
+let reg_cost_of_type (t : Ctype.t) : int =
+  match t with
+  | Ctype.Long | Ctype.ULong | Ctype.Double | Ctype.Ptr _ -> 2
+  | Ctype.Array _ -> 0 (* lives in shared/local memory, not registers *)
+  | _ -> 1
+
+(** Maximum operator depth of an expression — a proxy for the temporaries
+    the compiler needs while evaluating it. *)
+let rec expr_depth (e : Ast.expr) : int =
+  match e with
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ | Ast.Var _
+  | Ast.Builtin _ ->
+      0
+  | Ast.Unop (_, a) | Ast.Deref a | Ast.Addr_of a | Ast.Cast (_, a) ->
+      expr_depth a
+  | Ast.Binop (_, a, b) | Ast.Assign (a, b) | Ast.Op_assign (_, a, b)
+  | Ast.Index (a, b) ->
+      1 + max (expr_depth a) (expr_depth b)
+  | Ast.Incdec { lval; _ } -> 1 + expr_depth lval
+  | Ast.Ternary (a, b, c) ->
+      1 + max (expr_depth a) (max (expr_depth b) (expr_depth c))
+  | Ast.Call (_, args) ->
+      1 + List.fold_left (fun acc a -> max acc (expr_depth a)) 0 args
+
+(** Estimate per-thread registers for a kernel body with the given
+    parameters.  Baseline 10 covers the ABI-reserved and special
+    registers (tid computation, stack pointer). *)
+let estimate_body (params : Ast.param list) (body : Ast.stmt list) : int =
+  let param_regs =
+    List.fold_left (fun acc (p : Ast.param) -> acc + reg_cost_of_type p.p_type)
+      0 params
+  in
+  let local_regs =
+    List.fold_left
+      (fun acc (d : Ast.decl) ->
+        if d.d_storage = Ast.Local then acc + reg_cost_of_type d.d_type
+        else acc)
+      0
+      (Ast_util.collect_decls body)
+  in
+  let max_depth =
+    Ast_util.fold_stmts_expr (fun acc e -> max acc (expr_depth e)) 0 body
+  in
+  let est = 10 + param_regs + local_regs + (max_depth / 2) in
+  min 255 (max 16 est)
+
+let estimate_fn (f : Ast.fn) : int = estimate_body f.f_params f.f_body
+
+(** Estimate for a configured kernel, preferring its calibration value
+    when one was recorded. *)
+let regs_of_info (k : Hfuse_core.Kernel_info.t) : int =
+  if k.regs > 0 then k.regs else estimate_fn k.fn

@@ -1,0 +1,58 @@
+(* Per-warp dynamic instruction traces: growable parallel int arrays. *)
+
+type t = {
+  mutable codes : int array;
+  mutable payloads : int array;
+  mutable len : int;
+}
+
+let create ?(capacity = 1024) () =
+  {
+    codes = Array.make capacity 0;
+    payloads = Array.make capacity 0;
+    len = 0;
+  }
+
+let length t = t.len
+
+let grow t =
+  let cap = max 16 (2 * Array.length t.codes) in
+  let codes = Array.make cap 0 and payloads = Array.make cap 0 in
+  Array.blit t.codes 0 codes 0 t.len;
+  Array.blit t.payloads 0 payloads 0 t.len;
+  t.codes <- codes;
+  t.payloads <- payloads
+
+let push (t : t) (i : Instr.t) : unit =
+  if t.len = Array.length t.codes then grow t;
+  t.codes.(t.len) <- Instr.code i;
+  t.payloads.(t.len) <- Instr.payload i;
+  t.len <- t.len + 1
+
+let get (t : t) (i : int) : Instr.t =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get";
+  Instr.decode t.codes.(i) t.payloads.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (Instr.decode t.codes.(i) t.payloads.(i))
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun i -> acc := f !acc i) t;
+  !acc
+
+(** Instruction-mix histogram: count per class code. *)
+let mix (t : t) : int array =
+  let h = Array.make 16 0 in
+  for i = 0 to t.len - 1 do
+    h.(t.codes.(i)) <- h.(t.codes.(i)) + 1
+  done;
+  h
+
+(** A block's worth of traces: one per warp, in warp-id order. *)
+type block = t array
+
+let block_instructions (b : block) : int =
+  Array.fold_left (fun acc t -> acc + t.len) 0 b

@@ -1,0 +1,23 @@
+(** Per-warp dynamic instruction traces: growable parallel int arrays
+    (traces run to millions of instructions). *)
+
+type t = {
+  mutable codes : int array;
+  mutable payloads : int array;
+  mutable len : int;
+}
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val push : t -> Instr.t -> unit
+val get : t -> int -> Instr.t
+val iter : (Instr.t -> unit) -> t -> unit
+val fold : ('a -> Instr.t -> 'a) -> 'a -> t -> 'a
+
+(** Histogram over instruction-class codes. *)
+val mix : t -> int array
+
+(** A block's traces: one per warp, in warp order. *)
+type block = t array
+
+val block_instructions : block -> int

@@ -1,0 +1,310 @@
+(* Runtime values of the functional interpreter.
+
+   Integer values model the exact CUDA device widths: [Int]/[UInt] are
+   32-bit patterns (stored in [int32]), [Long]/[ULong] are 64-bit.  The
+   crypto kernels depend on exact wrap-around and logical-shift
+   semantics, so all arithmetic is done width- and signedness-correctly.
+   [Float] values are rounded through an IEEE binary32 round-trip after
+   every operation, matching device fp32 arithmetic on these kernels
+   (no FMA contraction is modelled). *)
+
+open Cuda
+
+type space = Global | Shared | Local_mem
+
+type ptr = {
+  space : space;
+  buf : int;  (** buffer id within the space *)
+  off : int;  (** byte offset *)
+  elem : Ctype.t;  (** element type for arithmetic and access width *)
+}
+
+type t =
+  | Int of int32
+  | UInt of int32
+  | Long of int64
+  | ULong of int64
+  | Float of float  (** always binary32-rounded *)
+  | Double of float
+  | Bool of bool
+  | Ptr of ptr
+
+exception Runtime_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+let f32 (x : float) : float = Int32.float_of_bits (Int32.bits_of_float x)
+
+let type_of : t -> Ctype.t = function
+  | Int _ -> Int
+  | UInt _ -> UInt
+  | Long _ -> Long
+  | ULong _ -> ULong
+  | Float _ -> Float
+  | Double _ -> Double
+  | Bool _ -> Bool
+  | Ptr p -> Ptr p.elem
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let to_i64 : t -> int64 = function
+  | Int x -> Int64.of_int32 x
+  | UInt x -> Int64.logand (Int64.of_int32 x) 0xFFFFFFFFL
+  | Long x | ULong x -> x
+  | Float x | Double x -> Int64.of_float x
+  | Bool b -> if b then 1L else 0L
+  | Ptr _ -> fail "pointer used as integer"
+
+let to_int v = Int64.to_int (to_i64 v)
+
+let to_float : t -> float = function
+  | Int x -> Int32.to_float x
+  | UInt x -> Int64.to_float (Int64.logand (Int64.of_int32 x) 0xFFFFFFFFL)
+  | Long x -> Int64.to_float x
+  | ULong x ->
+      if Int64.compare x 0L >= 0 then Int64.to_float x
+      else Int64.to_float x +. 18446744073709551616.0
+  | Float x | Double x -> x
+  | Bool b -> if b then 1.0 else 0.0
+  | Ptr _ -> fail "pointer used as float"
+
+let truthy : t -> bool = function
+  | Int x | UInt x -> x <> 0l
+  | Long x | ULong x -> x <> 0L
+  | Float x | Double x -> x <> 0.0
+  | Bool b -> b
+  | Ptr _ -> true
+
+(** Convert (as by C cast/assignment) to the given type. *)
+let convert (ty : Ctype.t) (v : t) : t =
+  match (ty, v) with
+  | Ctype.Ptr elem, Ptr p -> Ptr { p with elem }
+  | Ctype.Ptr _, _ -> fail "cannot convert non-pointer to pointer"
+  | _, Ptr _ -> fail "cannot convert pointer to %s" (Ctype.to_string ty)
+  | Ctype.Bool, v -> Bool (truthy v)
+  | Ctype.(Char | UChar | Short | UShort | Int), (Float f | Double f) ->
+      (* C float->int truncates toward zero *)
+      let i = Int64.of_float (Float.of_int (int_of_float f)) in
+      let i32 = Int64.to_int32 i in
+      (match ty with
+      | Ctype.Char -> Int (Int32.of_int (Int32.to_int i32 land 0xFF))
+      | Ctype.UChar -> UInt (Int32.of_int (Int32.to_int i32 land 0xFF))
+      | Ctype.Short -> Int (Int32.of_int (Int32.to_int i32 land 0xFFFF))
+      | Ctype.UShort -> UInt (Int32.of_int (Int32.to_int i32 land 0xFFFF))
+      | _ -> Int i32)
+  | Ctype.UInt, (Float f | Double f) -> UInt (Int64.to_int32 (Int64.of_float f))
+  | Ctype.Long, (Float f | Double f) -> Long (Int64.of_float f)
+  | Ctype.ULong, (Float f | Double f) -> ULong (Int64.of_float f)
+  | Ctype.Float, v -> Float (f32 (to_float v))
+  | Ctype.Double, v -> Double (to_float v)
+  | Ctype.Char, v ->
+      let b = Int64.to_int (to_i64 v) land 0xFF in
+      Int (Int32.of_int (if b >= 0x80 then b - 0x100 else b))
+  | Ctype.UChar, v -> UInt (Int32.of_int (Int64.to_int (to_i64 v) land 0xFF))
+  | Ctype.Short, v ->
+      let b = Int64.to_int (to_i64 v) land 0xFFFF in
+      Int (Int32.of_int (if b >= 0x8000 then b - 0x10000 else b))
+  | Ctype.UShort, v ->
+      UInt (Int32.of_int (Int64.to_int (to_i64 v) land 0xFFFF))
+  | Ctype.Int, v -> Int (Int64.to_int32 (to_i64 v))
+  | Ctype.UInt, v -> UInt (Int64.to_int32 (to_i64 v))
+  | Ctype.Long, v -> Long (to_i64 v)
+  | Ctype.ULong, v -> ULong (to_i64 v)
+  | Ctype.(Void | Array _), _ ->
+      fail "cannot convert to %s" (Ctype.to_string ty)
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let u64_div a b =
+  (* unsigned 64-bit division *)
+  Int64.unsigned_div a b
+
+let u64_rem a b = Int64.unsigned_rem a b
+let u64_lt a b = Int64.unsigned_compare a b < 0
+
+(** Apply a C binary operator with usual arithmetic conversions. *)
+let binop (op : Ast.binop) (a : t) (b : t) : t =
+  let bool_ c = Bool c in
+  match (op, a, b) with
+  (* pointer arithmetic and comparison *)
+  | Ast.Add, Ptr p, i | Ast.Add, i, Ptr p ->
+      Ptr { p with off = p.off + (to_int i * Ctype.sizeof p.elem) }
+  | Ast.Sub, Ptr p, i when not (match i with Ptr _ -> true | _ -> false) ->
+      Ptr { p with off = p.off - (to_int i * Ctype.sizeof p.elem) }
+  | Ast.Sub, Ptr p, Ptr q ->
+      if p.space <> q.space || p.buf <> q.buf then
+        fail "subtraction of pointers into different buffers";
+      Int (Int32.of_int ((p.off - q.off) / Ctype.sizeof p.elem))
+  | (Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), Ptr p, Ptr q ->
+      let c = compare (p.space, p.buf, p.off) (q.space, q.buf, q.off) in
+      bool_
+        (match op with
+        | Ast.Eq -> c = 0
+        | Ast.Ne -> c <> 0
+        | Ast.Lt -> c < 0
+        | Ast.Le -> c <= 0
+        | Ast.Gt -> c > 0
+        | _ -> c >= 0)
+  | _ -> (
+      let ta = type_of a and tb = type_of b in
+      let ty =
+        match op with
+        | Ast.Shl | Ast.Shr ->
+            (* shifts: result type is the (promoted) left operand *)
+            let t = if Ctype.rank ta < Ctype.rank Ctype.Int then Ctype.Int else ta in
+            t
+        | _ -> Ctype.arith_join ta tb
+      in
+      match ty with
+      | Ctype.Float | Ctype.Double ->
+          let x = to_float a and y = to_float b in
+          let r op_f = if ty = Ctype.Float then Float (f32 (op_f x y)) else Double (op_f x y) in
+          (match op with
+          | Ast.Add -> r ( +. )
+          | Ast.Sub -> r ( -. )
+          | Ast.Mul -> r ( *. )
+          | Ast.Div -> r ( /. )
+          | Ast.Eq -> bool_ (x = y)
+          | Ast.Ne -> bool_ (x <> y)
+          | Ast.Lt -> bool_ (x < y)
+          | Ast.Le -> bool_ (x <= y)
+          | Ast.Gt -> bool_ (x > y)
+          | Ast.Ge -> bool_ (x >= y)
+          | Ast.Land -> bool_ (x <> 0. && y <> 0.)
+          | Ast.Lor -> bool_ (x <> 0. || y <> 0.)
+          | _ -> fail "invalid float operator")
+      | Ctype.Long | Ctype.ULong ->
+          let unsigned = ty = Ctype.ULong in
+          let x = to_i64 a and y = to_i64 b in
+          let wrap v = if unsigned then ULong v else Long v in
+          (match op with
+          | Ast.Add -> wrap (Int64.add x y)
+          | Ast.Sub -> wrap (Int64.sub x y)
+          | Ast.Mul -> wrap (Int64.mul x y)
+          | Ast.Div ->
+              if y = 0L then fail "integer division by zero";
+              wrap (if unsigned then u64_div x y else Int64.div x y)
+          | Ast.Mod ->
+              if y = 0L then fail "integer modulo by zero";
+              wrap (if unsigned then u64_rem x y else Int64.rem x y)
+          | Ast.Band -> wrap (Int64.logand x y)
+          | Ast.Bor -> wrap (Int64.logor x y)
+          | Ast.Bxor -> wrap (Int64.logxor x y)
+          | Ast.Shl -> wrap (Int64.shift_left x (Int64.to_int y land 63))
+          | Ast.Shr ->
+              wrap
+                (if unsigned then
+                   Int64.shift_right_logical x (Int64.to_int y land 63)
+                 else Int64.shift_right x (Int64.to_int y land 63))
+          | Ast.Eq -> bool_ (x = y)
+          | Ast.Ne -> bool_ (x <> y)
+          | Ast.Lt -> bool_ (if unsigned then u64_lt x y else x < y)
+          | Ast.Le ->
+              bool_ (if unsigned then not (u64_lt y x) else x <= y)
+          | Ast.Gt -> bool_ (if unsigned then u64_lt y x else x > y)
+          | Ast.Ge ->
+              bool_ (if unsigned then not (u64_lt x y) else x >= y)
+          | Ast.Land -> bool_ (x <> 0L && y <> 0L)
+          | Ast.Lor -> bool_ (x <> 0L || y <> 0L))
+      | Ctype.Bool ->
+          bool_
+            (match op with
+            | Ast.Land -> truthy a && truthy b
+            | Ast.Lor -> truthy a || truthy b
+            | Ast.Eq -> truthy a = truthy b
+            | Ast.Ne -> truthy a <> truthy b
+            | _ -> fail "invalid bool operator")
+      | _ ->
+          (* 32-bit integer lane *)
+          let unsigned = Ctype.is_unsigned ty in
+          let x = Int64.to_int32 (to_i64 a) and y = Int64.to_int32 (to_i64 b) in
+          let wrap v = if unsigned then UInt v else Int v in
+          (match op with
+          | Ast.Add -> wrap (Int32.add x y)
+          | Ast.Sub -> wrap (Int32.sub x y)
+          | Ast.Mul -> wrap (Int32.mul x y)
+          | Ast.Div ->
+              if y = 0l then fail "integer division by zero";
+              wrap
+                (if unsigned then Int32.unsigned_div x y else Int32.div x y)
+          | Ast.Mod ->
+              if y = 0l then fail "integer modulo by zero";
+              wrap
+                (if unsigned then Int32.unsigned_rem x y else Int32.rem x y)
+          | Ast.Band -> wrap (Int32.logand x y)
+          | Ast.Bor -> wrap (Int32.logor x y)
+          | Ast.Bxor -> wrap (Int32.logxor x y)
+          | Ast.Shl -> wrap (Int32.shift_left x (Int32.to_int y land 31))
+          | Ast.Shr ->
+              wrap
+                (if unsigned then
+                   Int32.shift_right_logical x (Int32.to_int y land 31)
+                 else Int32.shift_right x (Int32.to_int y land 31))
+          | Ast.Eq -> bool_ (x = y)
+          | Ast.Ne -> bool_ (x <> y)
+          | Ast.Lt ->
+              bool_
+                (if unsigned then Int32.unsigned_compare x y < 0 else x < y)
+          | Ast.Le ->
+              bool_
+                (if unsigned then Int32.unsigned_compare x y <= 0 else x <= y)
+          | Ast.Gt ->
+              bool_
+                (if unsigned then Int32.unsigned_compare x y > 0 else x > y)
+          | Ast.Ge ->
+              bool_
+                (if unsigned then Int32.unsigned_compare x y >= 0 else x >= y)
+          | Ast.Land -> bool_ (truthy a && truthy b)
+          | Ast.Lor -> bool_ (truthy a || truthy b)))
+
+let unop (op : Ast.unop) (v : t) : t =
+  match (op, v) with
+  | Ast.Lnot, v -> Bool (not (truthy v))
+  | Ast.Neg, Float x -> Float (f32 (-.x))
+  | Ast.Neg, Double x -> Double (-.x)
+  | Ast.Neg, Int x -> Int (Int32.neg x)
+  | Ast.Neg, UInt x -> UInt (Int32.neg x)
+  | Ast.Neg, Long x -> Long (Int64.neg x)
+  | Ast.Neg, ULong x -> ULong (Int64.neg x)
+  | Ast.Neg, Bool b -> Int (if b then -1l else 0l)
+  | Ast.Bnot, Int x -> Int (Int32.lognot x)
+  | Ast.Bnot, UInt x -> UInt (Int32.lognot x)
+  | Ast.Bnot, Long x -> Long (Int64.lognot x)
+  | Ast.Bnot, ULong x -> ULong (Int64.lognot x)
+  | Ast.Bnot, Bool b -> Int (if b then -2l else -1l)
+  | Ast.Neg, Ptr _ | Ast.Bnot, (Ptr _ | Float _ | Double _) ->
+      fail "invalid unary operand"
+
+(** Default (zero) value of a type. *)
+let zero (ty : Ctype.t) : t =
+  match ty with
+  | Ctype.Bool -> Bool false
+  | Ctype.(Char | Short | Int) -> Int 0l
+  | Ctype.(UChar | UShort | UInt) -> UInt 0l
+  | Ctype.Long -> Long 0L
+  | Ctype.ULong -> ULong 0L
+  | Ctype.Float -> Float 0.0
+  | Ctype.Double -> Double 0.0
+  | t -> fail "no zero value for type %s" (Ctype.to_string t)
+
+let pp ppf = function
+  | Int x -> Fmt.pf ppf "%ld" x
+  | UInt x -> Fmt.pf ppf "%luu" x
+  | Long x -> Fmt.pf ppf "%Ldll" x
+  | ULong x -> Fmt.pf ppf "%Luull" x
+  | Float x -> Fmt.pf ppf "%gf" x
+  | Double x -> Fmt.pf ppf "%g" x
+  | Bool b -> Fmt.bool ppf b
+  | Ptr p ->
+      Fmt.pf ppf "%s@%d+%d"
+        (match p.space with
+        | Global -> "glob"
+        | Shared -> "smem"
+        | Local_mem -> "local")
+        p.buf p.off
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,1 @@
+lib/kernels/batchnorm.ml: Array Ctype Cuda Gpusim Hfuse_core Int64 Memory Prng Spec Value Workload

@@ -1,0 +1,1 @@
+lib/kernels/blake256.ml: Array Buffer Ctype Cuda Gpusim Hfuse_core Int32 Memory Printf Spec Value Workload

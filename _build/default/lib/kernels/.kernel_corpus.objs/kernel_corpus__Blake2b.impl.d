@@ -1,0 +1,1 @@
+lib/kernels/blake2b.ml: Array Blake256 Buffer Ctype Cuda Gpusim Hfuse_core Int64 Memory Printf Spec Value Workload

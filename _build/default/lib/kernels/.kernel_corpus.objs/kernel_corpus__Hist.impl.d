@@ -1,0 +1,1 @@
+lib/kernels/hist.ml: Array Ctype Cuda Gpusim Hfuse_core Int32 Memory Prng Spec Value Workload

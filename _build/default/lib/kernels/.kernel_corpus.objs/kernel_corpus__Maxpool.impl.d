@@ -1,0 +1,1 @@
+lib/kernels/maxpool.ml: Array Ctype Cuda Gpusim Hfuse_core Memory Prng Spec Value Workload

@@ -1,0 +1,1 @@
+lib/kernels/prng.ml: Array Int32 Int64

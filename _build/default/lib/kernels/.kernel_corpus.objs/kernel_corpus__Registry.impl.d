@@ -1,0 +1,1 @@
+lib/kernels/registry.ml: Batchnorm Blake256 Blake2b Ethash Fmt Hist Im2col List Maxpool Sha256 Spec String Upsample

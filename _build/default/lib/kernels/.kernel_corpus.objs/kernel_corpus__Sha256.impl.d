@@ -1,0 +1,1 @@
+lib/kernels/sha256.ml: Array Buffer Char Ctype Cuda Gpusim Hfuse_core Int32 Memory Printf Spec Value Workload

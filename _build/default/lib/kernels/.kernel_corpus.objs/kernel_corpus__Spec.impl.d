@@ -1,0 +1,1 @@
+lib/kernels/spec.ml: Cuda Fmt Gpusim Hfuse_core Memory Workload

@@ -1,0 +1,1 @@
+lib/kernels/spec.mli: Cuda Fmt Gpusim Hfuse_core Workload

@@ -1,0 +1,1 @@
+lib/kernels/workload.ml: Array Float Fmt Gpusim Int32 Memory Value

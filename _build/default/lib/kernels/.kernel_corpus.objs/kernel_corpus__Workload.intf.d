@@ -1,0 +1,1 @@
+lib/kernels/workload.mli: Gpusim

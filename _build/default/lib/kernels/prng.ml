@@ -1,0 +1,43 @@
+(* SplitMix64 — deterministic input generation.
+
+   Every workload in the corpus is generated from an explicit seed so
+   that runs are exactly reproducible across machines and sessions (the
+   harness never touches the global [Random] state). *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_u64 (t : t) : int64 =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_u32 t : int32 = Int64.to_int32 (next_u64 t)
+
+(** Uniform int in [0, bound). *)
+let next_int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.next_int: bound <= 0";
+  Int64.to_int (Int64.unsigned_rem (next_u64 t) (Int64.of_int bound))
+
+(** Uniform float in [0, 1). *)
+let next_float t =
+  let bits = Int64.shift_right_logical (next_u64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+(** Uniform float in [lo, hi). *)
+let next_float_in t ~lo ~hi = lo +. ((hi -. lo) *. next_float t)
+
+let float_array t n ~lo ~hi =
+  Array.init n (fun _ -> next_float_in t ~lo ~hi)
+
+let int32_array t n ~bound =
+  Array.init n (fun _ -> Int32.of_int (next_int t ~bound))
+
+let int64_array t n = Array.init n (fun _ -> next_u64 t)

@@ -1,0 +1,20 @@
+(** SplitMix64 — deterministic input generation.  Every workload is
+    generated from an explicit seed so runs are exactly reproducible
+    (the harness never touches the global [Random]). *)
+
+type t
+
+val create : int -> t
+val next_u64 : t -> int64
+val next_u32 : t -> int32
+
+(** Uniform in [0, bound). @raise Invalid_argument when [bound <= 0]. *)
+val next_int : t -> bound:int -> int
+
+(** Uniform in [0, 1). *)
+val next_float : t -> float
+
+val next_float_in : t -> lo:float -> hi:float -> float
+val float_array : t -> int -> lo:float -> hi:float -> float array
+val int32_array : t -> int -> bound:int -> int32 array
+val int64_array : t -> int -> int64 array

@@ -1,0 +1,48 @@
+(* The benchmark corpus: the paper's 5 deep-learning + 4 crypto kernels
+   (Section IV-A), and the 10 + 6 benchmark pairs formed from them. *)
+
+let all : Spec.t list =
+  [
+    Maxpool.spec;
+    Batchnorm.spec;
+    Upsample.spec;
+    Im2col.spec;
+    Hist.spec;
+    Ethash.spec;
+    Sha256.spec;
+    Blake256.spec;
+    Blake2b.spec;
+  ]
+
+let deep_learning =
+  List.filter (fun (s : Spec.t) -> s.kind = Spec.Deep_learning) all
+
+let crypto = List.filter (fun (s : Spec.t) -> s.kind = Spec.Crypto) all
+
+let find (name : string) : Spec.t option =
+  List.find_opt
+    (fun (s : Spec.t) ->
+      String.lowercase_ascii s.name = String.lowercase_ascii name)
+    all
+
+let find_exn name =
+  match find name with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Fmt.str "unknown kernel %s (known: %a)" name
+           Fmt.(list ~sep:comma string)
+           (List.map (fun (s : Spec.t) -> s.name) all))
+
+(** All unordered pairs within a kind — the 10 deep-learning and 6 crypto
+    benchmark pairs of the evaluation. *)
+let pairs_of (specs : Spec.t list) : (Spec.t * Spec.t) list =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ go rest
+  in
+  go specs
+
+let dl_pairs = pairs_of deep_learning
+let crypto_pairs = pairs_of crypto
+let all_pairs = dl_pairs @ crypto_pairs

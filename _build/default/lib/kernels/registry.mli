@@ -1,0 +1,17 @@
+(** The benchmark corpus: the paper's 5 deep-learning + 4 crypto kernels
+    and the 10 + 6 evaluation pairs formed from them (Section IV-A). *)
+
+val all : Spec.t list
+val deep_learning : Spec.t list
+val crypto : Spec.t list
+
+(** Case-insensitive lookup. *)
+val find : string -> Spec.t option
+
+(** @raise Invalid_argument with the known names on a miss. *)
+val find_exn : string -> Spec.t
+
+val pairs_of : Spec.t list -> (Spec.t * Spec.t) list
+val dl_pairs : (Spec.t * Spec.t) list
+val crypto_pairs : (Spec.t * Spec.t) list
+val all_pairs : (Spec.t * Spec.t) list

@@ -1,0 +1,42 @@
+(* Common shape of a corpus kernel: CUDA source, calibration data, and a
+   workload factory. *)
+
+open Gpusim
+
+type kind = Deep_learning | Crypto
+
+type t = {
+  name : string;
+  kind : kind;
+  source : string;  (** CUDA source of the kernel (one __global__) *)
+  regs : int;
+      (** per-thread register calibration, in the range nvcc reports for
+          the corresponding real kernel *)
+  native_block : int * int * int;
+  tunability : Hfuse_core.Kernel_info.tunability;
+  default_size : int;  (** representative workload size (Section IV-A) *)
+  instantiate : Memory.t -> size:int -> Workload.instance;
+      (** allocate inputs/outputs and return launch arguments + checker *)
+}
+
+let parse (t : t) : Cuda.Ast.program * Cuda.Ast.fn =
+  Cuda.Parser.parse_kernel t.source
+
+(** Build the {!Hfuse_core.Kernel_info.t} for this kernel at a given
+    workload instance. *)
+let kernel_info (t : t) (inst : Workload.instance) : Hfuse_core.Kernel_info.t
+    =
+  let prog, fn = parse t in
+  {
+    Hfuse_core.Kernel_info.fn;
+    prog;
+    block = t.native_block;
+    grid = inst.Workload.grid;
+    smem_dynamic = inst.Workload.smem_dynamic;
+    regs = t.regs;
+    tunability = t.tunability;
+  }
+
+let pp_kind ppf = function
+  | Deep_learning -> Fmt.string ppf "deep-learning"
+  | Crypto -> Fmt.string ppf "crypto"

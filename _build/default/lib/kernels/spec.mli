@@ -1,0 +1,25 @@
+(** Common shape of a corpus kernel: CUDA source, calibration data, and
+    a workload factory. *)
+
+type kind = Deep_learning | Crypto
+
+type t = {
+  name : string;
+  kind : kind;
+  source : string;  (** CUDA source (exactly one [__global__]) *)
+  regs : int;
+      (** per-thread register calibration, in the range nvcc reports for
+          the corresponding real kernel (cross-checked against the
+          paper's Fig. 8 occupancies) *)
+  native_block : int * int * int;
+  tunability : Hfuse_core.Kernel_info.tunability;
+  default_size : int;  (** representative workload size *)
+  instantiate : Gpusim.Memory.t -> size:int -> Workload.instance;
+}
+
+val parse : t -> Cuda.Ast.program * Cuda.Ast.fn
+
+(** The kernel as configured for a given workload instance. *)
+val kernel_info : t -> Workload.instance -> Hfuse_core.Kernel_info.t
+
+val pp_kind : kind Fmt.t

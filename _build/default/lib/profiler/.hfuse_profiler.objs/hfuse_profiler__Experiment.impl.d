@@ -1,0 +1,1 @@
+lib/profiler/experiment.ml: Arch Float Gpusim Hashtbl Hfuse_core Kernel_corpus List Memory Metrics Option Registry Runner Spec Timing

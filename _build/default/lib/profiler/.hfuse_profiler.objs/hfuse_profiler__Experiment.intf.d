@@ -1,0 +1,1 @@
+lib/profiler/experiment.mli: Gpusim Kernel_corpus

@@ -1,0 +1,1 @@
+lib/profiler/report.ml: Buffer Experiment Float Fmt Gpusim Kernel_corpus List Option Printf Spec

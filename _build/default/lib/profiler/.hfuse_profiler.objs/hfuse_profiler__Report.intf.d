@@ -1,0 +1,1 @@
+lib/profiler/report.mli: Buffer Experiment Kernel_corpus

@@ -1,0 +1,1 @@
+lib/profiler/runner.ml: Arch Gpusim Hashtbl Hfuse_core Kernel_corpus Launch Memory Printf Spec Timing Trace Workload

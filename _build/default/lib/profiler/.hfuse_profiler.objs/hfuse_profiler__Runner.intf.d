@@ -1,0 +1,1 @@
+lib/profiler/runner.mli: Gpusim Hfuse_core Kernel_corpus

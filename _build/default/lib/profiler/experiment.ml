@@ -1,0 +1,252 @@
+(* The paper's evaluation (Section IV), experiment by experiment:
+
+   - Figure 7: speedup vs execution-time ratio for all 16 benchmark
+     pairs, comparing HFuse, VFuse and (for deep-learning pairs) the
+     Naive even partition, on both GPU models.
+   - Figure 8: metrics of the 9 individual kernels at representative
+     workloads whose pairwise execution-time ratios are close to one.
+   - Figure 9: metrics of the 16 HFuse fused kernels, with and without
+     the register bound. *)
+
+open Gpusim
+open Kernel_corpus
+
+(* ------------------------------------------------------------------ *)
+(* Representative workloads                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Pick per-kernel sizes so solo execution times land close to a common
+    target (the paper: "we select a representative input size so that
+    the execution time ratios of the benchmark pairs are close to one",
+    Section IV-A).  Assumes work scales ~linearly with [size], which
+    holds for the whole corpus (spatial width or hash iterations). *)
+let rep_cache : (string, (string * int) list) Hashtbl.t = Hashtbl.create 4
+
+let representative_sizes_uncached (arch : Arch.t) : (string * int) list =
+  let mem = Memory.create () in
+  let solo_default (s : Spec.t) =
+    let c = Runner.configure mem s ~size:s.default_size in
+    (s, (Runner.solo arch c).Timing.time_ms)
+  in
+  let timed = List.map solo_default Registry.all in
+  let times = List.map snd timed |> List.sort compare in
+  let target = List.nth times (List.length times / 2) in
+  List.map
+    (fun ((s : Spec.t), t) ->
+      let scaled =
+        int_of_float
+          (Float.round (float_of_int s.default_size *. target /. t))
+      in
+      (s.name, max 1 scaled))
+    timed
+
+let representative_sizes (arch : Arch.t) : (string * int) list =
+  match Hashtbl.find_opt rep_cache arch.Arch.name with
+  | Some sizes -> sizes
+  | None ->
+      let sizes = representative_sizes_uncached arch in
+      Hashtbl.replace rep_cache arch.Arch.name sizes;
+      sizes
+
+let size_of sizes (s : Spec.t) =
+  match List.assoc_opt s.name sizes with Some n -> n | None -> s.default_size
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: ratio sweeps                                               *)
+(* ------------------------------------------------------------------ *)
+
+type point = {
+  size1 : int;
+  size2 : int;
+  ratio : float;  (** solo time of kernel 1 / solo time of kernel 2 *)
+  native_ms : float;
+  hfuse_ms : float;
+  hfuse_d1 : int;
+  hfuse_d2 : int;
+  hfuse_reg_bound : int option;
+  vfuse_ms : float option;  (** [None] when vertical fusion is illegal *)
+  naive_ms : float option;  (** even partition; deep-learning pairs only *)
+}
+
+let speedup ~native ~fused = 100.0 *. ((native /. fused) -. 1.0)
+
+type sweep = {
+  pair : Spec.t * Spec.t;
+  arch : Arch.t;
+  varied_first : bool;  (** the paper stars the kernel whose size varies *)
+  points : point list;
+}
+
+let avg xs =
+  match xs with
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let avg_hfuse_speedup (s : sweep) =
+  avg
+    (List.map (fun p -> speedup ~native:p.native_ms ~fused:p.hfuse_ms) s.points)
+
+let avg_vfuse_speedup (s : sweep) =
+  avg
+    (List.filter_map
+       (fun p ->
+         Option.map
+           (fun v -> speedup ~native:p.native_ms ~fused:v)
+           p.vfuse_ms)
+       s.points)
+
+let default_multipliers = [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
+
+(** Sweep one pair on one arch: vary the first kernel's size over
+    [multipliers] x its representative size. *)
+let sweep_pair ?(multipliers = default_multipliers) (arch : Arch.t)
+    (sizes : (string * int) list) ((s1, s2) : Spec.t * Spec.t) : sweep =
+  let mem = Memory.create () in
+  let base1 = size_of sizes s1 and size2 = size_of sizes s2 in
+  let points =
+    List.map
+      (fun m ->
+        let size1 =
+          max 1 (int_of_float (Float.round (float_of_int base1 *. m)))
+        in
+        let c1 = Runner.configure mem s1 ~size:size1 in
+        let c2 = Runner.configure mem s2 ~size:size2 in
+        let t1 = (Runner.solo arch c1).Timing.time_ms in
+        let t2 = (Runner.solo arch c2).Timing.time_ms in
+        let native = (Runner.native arch c1 c2).Timing.time_ms in
+        let sr = Runner.search arch c1 c2 in
+        let best = sr.Hfuse_core.Search.best in
+        let vfuse_ms =
+          match Runner.vfuse_generate c1 c2 with
+          | v -> Some (Runner.vfuse_report arch c1 c2 v).Timing.time_ms
+          | exception Hfuse_core.Fuse_common.Fusion_error _ -> None
+        in
+        let naive_ms =
+          if s1.kind = Spec.Deep_learning && s2.kind = Spec.Deep_learning
+          then
+            match Runner.naive_hfuse c1 c2 with
+            | Some f ->
+                Some
+                  (Runner.hfuse_report arch c1 c2 f ~reg_bound:None)
+                    .Timing.time_ms
+            | None -> None
+          else None
+        in
+        {
+          size1;
+          size2;
+          ratio = t1 /. t2;
+          native_ms = native;
+          hfuse_ms = best.Hfuse_core.Search.time;
+          hfuse_d1 = best.Hfuse_core.Search.fused.Hfuse_core.Hfuse.d1;
+          hfuse_d2 = best.Hfuse_core.Search.fused.Hfuse_core.Hfuse.d2;
+          hfuse_reg_bound =
+            best.Hfuse_core.Search.config.Hfuse_core.Search.reg_bound;
+          vfuse_ms;
+          naive_ms;
+        })
+      multipliers
+  in
+  { pair = (s1, s2); arch; varied_first = true; points }
+
+(** The full Figure 7: 16 pairs x 2 architectures. *)
+let figure7 ?multipliers ?(archs = Arch.all)
+    ?(pairs = Registry.all_pairs) () : sweep list =
+  List.concat_map
+    (fun arch ->
+      let sizes = representative_sizes arch in
+      List.map (fun pair -> sweep_pair ?multipliers arch sizes pair) pairs)
+    archs
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: individual kernel metrics                                  *)
+(* ------------------------------------------------------------------ *)
+
+type kernel_row = {
+  kernel : Spec.t;
+  per_arch : (Arch.t * Metrics.t) list;  (** in [archs] order *)
+}
+
+let figure8 ?(archs = Arch.all) () : kernel_row list =
+  List.map
+    (fun (s : Spec.t) ->
+      {
+        kernel = s;
+        per_arch =
+          List.map
+            (fun arch ->
+              let sizes = representative_sizes arch in
+              let mem = Memory.create () in
+              let c = Runner.configure mem s ~size:(size_of sizes s) in
+              (arch, Metrics.of_report ~label:s.name (Runner.solo arch c)))
+            archs;
+      })
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: fused kernel metrics, RegCap vs N-RegCap                   *)
+(* ------------------------------------------------------------------ *)
+
+type fused_variant = {
+  speedup_pct : float;  (** vs native parallel-stream execution *)
+  metrics : Metrics.t;
+  d1 : int;
+  d2 : int;
+  reg_bound : int option;
+}
+
+type fused_row = {
+  f_pair : Spec.t * Spec.t;
+  f_arch : Arch.t;
+  native_util : float;  (** cycle-weighted average of the two solos *)
+  no_regcap : fused_variant;
+  regcap : fused_variant option;
+      (** [None] when the bound is not computable (b0 = 0) *)
+}
+
+let figure9_pair (arch : Arch.t) (sizes : (string * int) list)
+    ((s1, s2) : Spec.t * Spec.t) : fused_row =
+  let mem = Memory.create () in
+  let c1 = Runner.configure mem s1 ~size:(size_of sizes s1) in
+  let c2 = Runner.configure mem s2 ~size:(size_of sizes s2) in
+  let m1 = Metrics.of_report ~label:s1.name (Runner.solo arch c1) in
+  let m2 = Metrics.of_report ~label:s2.name (Runner.solo arch c2) in
+  let native = (Runner.native arch c1 c2).Timing.time_ms in
+  let sr = Runner.search arch c1 c2 in
+  (* variants at the searched-best partition *)
+  let best = sr.Hfuse_core.Search.best in
+  let fused = best.Hfuse_core.Search.fused in
+  let variant reg_bound =
+    let r = Runner.hfuse_report arch c1 c2 fused ~reg_bound in
+    {
+      speedup_pct = speedup ~native ~fused:r.Timing.time_ms;
+      metrics = Metrics.of_report ~label:fused.Hfuse_core.Hfuse.fn.f_name r;
+      d1 = fused.Hfuse_core.Hfuse.d1;
+      d2 = fused.Hfuse_core.Hfuse.d2;
+      reg_bound;
+    }
+  in
+  let fused_smem =
+    Hfuse_core.Kernel_info.smem_total (Hfuse_core.Hfuse.info fused)
+  in
+  let r0 =
+    Hfuse_core.Occupancy.register_bound
+      (Arch.sm_limits arch)
+      ~d1:fused.Hfuse_core.Hfuse.d1 ~regs1:s1.regs
+      ~d2:fused.Hfuse_core.Hfuse.d2 ~regs2:s2.regs ~fused_smem
+  in
+  {
+    f_pair = (s1, s2);
+    f_arch = arch;
+    native_util = Metrics.weighted_issue_util [ m1; m2 ];
+    no_regcap = variant None;
+    regcap = Option.map (fun r -> variant (Some r)) r0;
+  }
+
+let figure9 ?(archs = Arch.all) ?(pairs = Registry.all_pairs) () :
+    fused_row list =
+  List.concat_map
+    (fun arch ->
+      let sizes = representative_sizes arch in
+      List.map (figure9_pair arch sizes) pairs)
+    archs

@@ -1,0 +1,91 @@
+(** The paper's evaluation (Section IV), experiment by experiment:
+    Figure 7 ratio sweeps, Figure 8 individual-kernel metrics, Figure 9
+    fused-kernel metrics with and without the register bound. *)
+
+(** Per-kernel sizes with solo times close to a common target, per
+    architecture (the paper's "execution time ratios close to one");
+    memoised. *)
+val representative_sizes : Gpusim.Arch.t -> (string * int) list
+
+val size_of : (string * int) list -> Kernel_corpus.Spec.t -> int
+
+type point = {
+  size1 : int;
+  size2 : int;
+  ratio : float;  (** solo time 1 / solo time 2 *)
+  native_ms : float;
+  hfuse_ms : float;  (** best searched configuration *)
+  hfuse_d1 : int;
+  hfuse_d2 : int;
+  hfuse_reg_bound : int option;
+  vfuse_ms : float option;  (** [None] when vertical fusion is illegal *)
+  naive_ms : float option;  (** even partition; deep-learning pairs only *)
+}
+
+(** Speedup percentage of [fused] vs [native] ((native/fused - 1)*100). *)
+val speedup : native:float -> fused:float -> float
+
+type sweep = {
+  pair : Kernel_corpus.Spec.t * Kernel_corpus.Spec.t;
+  arch : Gpusim.Arch.t;
+  varied_first : bool;  (** the paper stars the varied kernel *)
+  points : point list;
+}
+
+val avg_hfuse_speedup : sweep -> float
+val avg_vfuse_speedup : sweep -> float
+
+(** The paper's ratio points: 0.25x .. 4x the representative size. *)
+val default_multipliers : float list
+
+val sweep_pair :
+  ?multipliers:float list ->
+  Gpusim.Arch.t ->
+  (string * int) list ->
+  Kernel_corpus.Spec.t * Kernel_corpus.Spec.t ->
+  sweep
+
+(** Figure 7: all pairs x all architectures. *)
+val figure7 :
+  ?multipliers:float list ->
+  ?archs:Gpusim.Arch.t list ->
+  ?pairs:(Kernel_corpus.Spec.t * Kernel_corpus.Spec.t) list ->
+  unit ->
+  sweep list
+
+type kernel_row = {
+  kernel : Kernel_corpus.Spec.t;
+  per_arch : (Gpusim.Arch.t * Gpusim.Metrics.t) list;
+}
+
+(** Figure 8: each kernel solo at its representative workload. *)
+val figure8 : ?archs:Gpusim.Arch.t list -> unit -> kernel_row list
+
+type fused_variant = {
+  speedup_pct : float;
+  metrics : Gpusim.Metrics.t;
+  d1 : int;
+  d2 : int;
+  reg_bound : int option;
+}
+
+type fused_row = {
+  f_pair : Kernel_corpus.Spec.t * Kernel_corpus.Spec.t;
+  f_arch : Gpusim.Arch.t;
+  native_util : float;  (** cycle-weighted average of the two solos *)
+  no_regcap : fused_variant;
+  regcap : fused_variant option;  (** [None] when r0 is not computable *)
+}
+
+val figure9_pair :
+  Gpusim.Arch.t ->
+  (string * int) list ->
+  Kernel_corpus.Spec.t * Kernel_corpus.Spec.t ->
+  fused_row
+
+(** Figure 9: both register-bound variants at the searched partition. *)
+val figure9 :
+  ?archs:Gpusim.Arch.t list ->
+  ?pairs:(Kernel_corpus.Spec.t * Kernel_corpus.Spec.t) list ->
+  unit ->
+  fused_row list

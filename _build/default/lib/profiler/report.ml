@@ -1,0 +1,128 @@
+(* Text renderings of the evaluation artifacts, in the shape the paper
+   prints them ("X / Y" cells are 1080Ti / V100). *)
+
+open Kernel_corpus
+
+let pair_name ((s1, s2) : Spec.t * Spec.t) =
+  Printf.sprintf "*%s*+%s" s1.Spec.name s2.Spec.name
+
+let pp_reg_bound ppf = function
+  | None -> Fmt.string ppf "-"
+  | Some r -> Fmt.int ppf r
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let render_sweep (b : Buffer.t) (s : Experiment.sweep) =
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "%s on %s\n" (pair_name s.pair) s.arch.Gpusim.Arch.name;
+  add
+    "  %8s %8s %10s | %8s %8s %8s | %10s %9s\n"
+    "size1" "ratio" "native ms" "HFuse%" "VFuse%" "Naive%" "partition" "regbound";
+  List.iter
+    (fun (p : Experiment.point) ->
+      let sp fused = Experiment.speedup ~native:p.native_ms ~fused in
+      add "  %8d %8.2f %10.4f | %+8.1f %8s %8s | %5d/%-5d %9s\n" p.size1
+        p.ratio p.native_ms (sp p.hfuse_ms)
+        (match p.vfuse_ms with
+        | Some v -> Printf.sprintf "%+.1f" (sp v)
+        | None -> "n/a")
+        (match p.naive_ms with
+        | Some v -> Printf.sprintf "%+.1f" (sp v)
+        | None -> "-")
+        p.hfuse_d1 p.hfuse_d2
+        (Fmt.str "%a" pp_reg_bound p.hfuse_reg_bound))
+    s.points;
+  add "  average speedup: HFuse %+.1f%%   VFuse %s\n\n"
+    (Experiment.avg_hfuse_speedup s)
+    (let v = Experiment.avg_vfuse_speedup s in
+     if Float.is_nan v then "n/a" else Printf.sprintf "%+.1f%%" v)
+
+let figure7_to_string (sweeps : Experiment.sweep list) : string =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b
+    "== Figure 7: kernel execution time speedup vs execution-time ratio ==\n\n";
+  List.iter (render_sweep b) sweeps;
+  (* summary in the shape of the paper's headline claims *)
+  let by_arch name =
+    List.filter (fun (s : Experiment.sweep) -> s.arch.Gpusim.Arch.name = name)
+      sweeps
+  in
+  let wins sweeps =
+    List.length
+      (List.filter
+         (fun s ->
+           let h = Experiment.avg_hfuse_speedup s in
+           let v = Experiment.avg_vfuse_speedup s in
+           h > 0.0 && (Float.is_nan v || h > v))
+         sweeps)
+  in
+  List.iter
+    (fun arch_name ->
+      let ss = by_arch arch_name in
+      if ss <> [] then
+        Buffer.add_string b
+          (Printf.sprintf
+             "%s: HFuse beats both native and VFuse (on average) for %d of \
+              %d pairs\n"
+             arch_name (wins ss) (List.length ss)))
+    [ "1080Ti"; "V100" ];
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let cell2 f rows =
+  (* "X / Y" pairs across the two architectures *)
+  match rows with
+  | [ (_, a); (_, b) ] -> Printf.sprintf "%.2f / %.2f" (f a) (f b)
+  | [ (_, a) ] -> Printf.sprintf "%.2f" (f a)
+  | _ -> "-"
+
+let figure8_to_string (rows : Experiment.kernel_row list) : string =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "== Figure 8: metrics of individual kernels (1080Ti / V100) ==\n\n";
+  add "%-12s %22s %22s %22s %22s\n" "Kernel" "Exec time (ms)"
+    "IssueSlotUtil (%)" "MemInst Stall (%)" "Occupancy (%)";
+  List.iter
+    (fun (r : Experiment.kernel_row) ->
+      add "%-12s %22s %22s %22s %22s\n" r.kernel.Spec.name
+        (cell2 (fun m -> m.Gpusim.Metrics.time_ms) r.per_arch)
+        (cell2 (fun m -> m.Gpusim.Metrics.issue_slot_util) r.per_arch)
+        (cell2 (fun m -> m.Gpusim.Metrics.mem_stall) r.per_arch)
+        (cell2 (fun m -> m.Gpusim.Metrics.occupancy) r.per_arch))
+    rows;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let figure9_to_string (rows : Experiment.fused_row list) : string =
+  let b = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add
+    "== Figure 9: metrics of HFuse fused kernels (per architecture) ==\n\n";
+  add "%-24s %-7s %-9s %9s %10s %10s %8s %6s %10s\n" "Pair" "Arch" "Type"
+    "Speedup%" "FusedUtil%" "NativeUtil%" "MemStall%" "Occ%" "partition";
+  List.iter
+    (fun (r : Experiment.fused_row) ->
+      let variant name (v : Experiment.fused_variant) =
+        add "%-24s %-7s %-9s %9.1f %10.2f %10.2f %8.1f %6.1f %6d/%-4d%s\n"
+          (Printf.sprintf "%s+%s" (fst r.f_pair).Spec.name
+             (snd r.f_pair).Spec.name)
+          r.f_arch.Gpusim.Arch.name name v.speedup_pct
+          v.metrics.Gpusim.Metrics.issue_slot_util r.native_util
+          v.metrics.Gpusim.Metrics.mem_stall v.metrics.Gpusim.Metrics.occupancy
+          v.d1 v.d2
+          (match v.reg_bound with
+          | None -> ""
+          | Some rb -> Printf.sprintf " r0=%d" rb)
+      in
+      variant "N-RegCap" r.no_regcap;
+      Option.iter (variant "RegCap") r.regcap)
+    rows;
+  Buffer.contents b

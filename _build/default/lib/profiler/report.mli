@@ -1,0 +1,8 @@
+(** Text renderings of the evaluation artifacts, in the shape the paper
+    prints them ("X / Y" cells are 1080Ti / V100). *)
+
+val pair_name : Kernel_corpus.Spec.t * Kernel_corpus.Spec.t -> string
+val render_sweep : Buffer.t -> Experiment.sweep -> unit
+val figure7_to_string : Experiment.sweep list -> string
+val figure8_to_string : Experiment.kernel_row list -> string
+val figure9_to_string : Experiment.fused_row list -> string

@@ -1,0 +1,269 @@
+(* Drives the four execution modes of the evaluation — native (parallel
+   streams), vertically fused, horizontally fused (searched), and the
+   Naive even-partition variant — through the simulator, with a trace
+   cache so ratio sweeps don't re-interpret unchanged kernels.
+
+   Profiling launches execute only the traced blocks ([exec_blocks]):
+   the timing model replays block traces cyclically over the full grid,
+   so functional execution of every block matters only for the
+   correctness checks, which use [validate_*] with fresh memory. *)
+
+open Gpusim
+open Kernel_corpus
+
+let trace_blocks = 1
+
+(** A corpus kernel bound to a workload instance in some memory. *)
+type configured = {
+  spec : Spec.t;
+  size : int;
+  info : Hfuse_core.Kernel_info.t;  (** at native block dimensions *)
+  inst : Workload.instance;
+  mem : Memory.t;
+}
+
+let configure (mem : Memory.t) (spec : Spec.t) ~(size : int) : configured =
+  let inst = spec.instantiate mem ~size in
+  let info = Spec.kernel_info spec inst in
+  { spec; size; info; inst; mem }
+
+(* ------------------------------------------------------------------ *)
+(* Trace cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Keyed by kernel identity, workload size and block dimension: the
+   dynamic trace of a kernel depends on exactly these (inputs are
+   seed-deterministic). The cache is per-process and unbounded; a full
+   figure-7 sweep fits comfortably. *)
+let cache : (string * int * int, Trace.block array) Hashtbl.t =
+  Hashtbl.create 64
+
+let clear_cache () = Hashtbl.reset cache
+
+(** Traces of [c] at block dimension [d] (defaults to native). *)
+let traces_of (c : configured) ?(block_dim : int option) () :
+    Trace.block array =
+  let d =
+    match block_dim with
+    | None -> Hfuse_core.Kernel_info.threads_per_block c.info
+    | Some d -> d
+  in
+  let key = (c.spec.name, c.size, d) in
+  match Hashtbl.find_opt cache key with
+  | Some t -> t
+  | None ->
+      let info = Hfuse_core.Kernel_info.with_block_dim c.info d in
+      let r =
+        Launch.launch_info ~exec_blocks:trace_blocks c.mem info
+          ~args:c.inst.args ~trace_blocks
+      in
+      Hashtbl.replace cache key r.block_traces;
+      r.block_traces
+
+(* ------------------------------------------------------------------ *)
+(* Timing-spec constructors                                             *)
+(* ------------------------------------------------------------------ *)
+
+let static_smem (info : Hfuse_core.Kernel_info.t) : int =
+  Launch.static_shared_bytes info.fn.f_body
+
+let spec_of (c : configured) ?(block_dim : int option) ~(stream : int) () :
+    Timing.launch_spec =
+  let d =
+    match block_dim with
+    | None -> Hfuse_core.Kernel_info.threads_per_block c.info
+    | Some d -> d
+  in
+  {
+    Timing.label = c.spec.name;
+    block_traces = traces_of c ~block_dim:d ();
+    grid = c.inst.grid;
+    threads_per_block = d;
+    regs = c.spec.regs;
+    spill = 0;
+    smem = static_smem c.info + c.inst.smem_dynamic;
+    stream;
+  }
+
+(** Native baseline: both kernels submitted via parallel streams. *)
+let native (arch : Arch.t) (c1 : configured) (c2 : configured) :
+    Timing.report =
+  Timing.run arch [ spec_of c1 ~stream:0 (); spec_of c2 ~stream:1 () ]
+
+(** One kernel alone (Fig. 8 metrics; also the ratio probes). *)
+let solo (arch : Arch.t) (c : configured) : Timing.report =
+  Timing.run arch [ spec_of c ~stream:0 () ]
+
+(* ------------------------------------------------------------------ *)
+(* Fused runs                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Interpret a horizontally fused kernel (profiling mode) and time it
+    under an optional register bound. *)
+let hfuse_report (arch : Arch.t) (c1 : configured) (c2 : configured)
+    (f : Hfuse_core.Hfuse.t) ~(reg_bound : int option) : Timing.report =
+  let finfo = Hfuse_core.Hfuse.info f in
+  let key =
+    ( Printf.sprintf "hfuse:%s+%s:%d" c1.spec.name c2.spec.name f.d1,
+      c1.size * 1_000_003 + c2.size,
+      f.d1 + f.d2 )
+  in
+  let traces =
+    match Hashtbl.find_opt cache key with
+    | Some t -> t
+    | None ->
+        let r =
+          Launch.launch_info ~exec_blocks:trace_blocks c1.mem finfo
+            ~args:(c1.inst.args @ c2.inst.args)
+            ~trace_blocks
+        in
+        Hashtbl.replace cache key r.block_traces;
+        r.block_traces
+  in
+  let regs, spill =
+    match reg_bound with
+    | Some r when r < f.regs -> (r, f.regs - r)
+    | _ -> (f.regs, 0)
+  in
+  Timing.run arch
+    [
+      {
+        Timing.label = f.fn.f_name;
+        block_traces = traces;
+        grid = f.grid;
+        threads_per_block = f.d1 + f.d2;
+        regs;
+        spill;
+        smem = static_smem finfo + f.smem_dynamic;
+        stream = 0;
+      };
+    ]
+
+(** Vertically fused baseline.  Both kernels run at the larger of the
+    two native block dimensions (tunable kernels adapt; a fixed smaller
+    kernel is guarded, which {!Hfuse_core.Vfuse} checks is legal). *)
+let vfuse_block_dim (c1 : configured) (c2 : configured) : int =
+  let d1 = Hfuse_core.Kernel_info.threads_per_block c1.info in
+  let d2 = Hfuse_core.Kernel_info.threads_per_block c2.info in
+  max d1 d2
+
+let vfuse_generate (c1 : configured) (c2 : configured) : Hfuse_core.Vfuse.t =
+  let d = vfuse_block_dim c1 c2 in
+  let adapt (c : configured) =
+    match c.info.tunability with
+    | Hfuse_core.Kernel_info.Tunable _ ->
+        Hfuse_core.Kernel_info.with_block_dim c.info d
+    | Hfuse_core.Kernel_info.Fixed -> c.info
+  in
+  Hfuse_core.Vfuse.generate (adapt c1) (adapt c2)
+
+let vfuse_report (arch : Arch.t) (c1 : configured) (c2 : configured)
+    (v : Hfuse_core.Vfuse.t) : Timing.report =
+  let vinfo = Hfuse_core.Vfuse.info v in
+  let key =
+    ( Printf.sprintf "vfuse:%s+%s" c1.spec.name c2.spec.name,
+      c1.size * 1_000_003 + c2.size,
+      v.block )
+  in
+  let traces =
+    match Hashtbl.find_opt cache key with
+    | Some t -> t
+    | None ->
+        let r =
+          Launch.launch_info ~exec_blocks:trace_blocks c1.mem vinfo
+            ~args:(c1.inst.args @ c2.inst.args)
+            ~trace_blocks
+        in
+        Hashtbl.replace cache key r.block_traces;
+        r.block_traces
+  in
+  Timing.run arch
+    [
+      {
+        Timing.label = v.fn.f_name;
+        block_traces = traces;
+        grid = v.grid;
+        threads_per_block = v.block;
+        regs = v.regs;
+        spill = 0;
+        smem = static_smem vinfo + v.smem_dynamic;
+        stream = 0;
+      };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The Fig. 6 search, driven by the simulator                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Fused block dimension target: the paper fuses to 1024 threads when
+    both kernels are tunable; fixed kernels dictate their own sum. *)
+let d0_for (c1 : configured) (c2 : configured) : int =
+  match (c1.info.tunability, c2.info.tunability) with
+  | Hfuse_core.Kernel_info.Fixed, Hfuse_core.Kernel_info.Fixed ->
+      Hfuse_core.Kernel_info.threads_per_block c1.info
+      + Hfuse_core.Kernel_info.threads_per_block c2.info
+  | Hfuse_core.Kernel_info.Fixed, _ | _, Hfuse_core.Kernel_info.Fixed -> 1024
+  | _ -> 1024
+
+let search (arch : Arch.t) (c1 : configured) (c2 : configured) :
+    Hfuse_core.Search.result =
+  let profile fused ~reg_bound =
+    (hfuse_report arch c1 c2 fused ~reg_bound).Timing.time_ms
+  in
+  Hfuse_core.Search.search
+    ~limits:(Arch.sm_limits arch)
+    ~profile ~d0:(d0_for c1 c2) c1.info c2.info
+
+let naive_hfuse (c1 : configured) (c2 : configured) : Hfuse_core.Hfuse.t option
+    =
+  Hfuse_core.Search.naive ~d0:(d0_for c1 c2) c1.info c2.info
+
+(* ------------------------------------------------------------------ *)
+(* Correctness validation (full functional execution)                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Run the fused kernel over the whole grid in fresh memory and check
+    both kernels' outputs against their host references. *)
+let validate_hfuse (s1 : Spec.t) ~(size1 : int) (s2 : Spec.t)
+    ~(size2 : int) ~(d1 : int) ~(d2 : int) : (unit, string) result =
+  let mem = Memory.create () in
+  let i1 = s1.instantiate mem ~size:size1 in
+  let i2 = s2.instantiate mem ~size:size2 in
+  let k1 =
+    Hfuse_core.Kernel_info.with_block_dim (Spec.kernel_info s1 i1) d1
+  in
+  let k2 =
+    Hfuse_core.Kernel_info.with_block_dim (Spec.kernel_info s2 i2) d2
+  in
+  match Hfuse_core.Hfuse.generate k1 k2 with
+  | exception Hfuse_core.Fuse_common.Fusion_error e -> Error e
+  | f -> (
+      let finfo = Hfuse_core.Hfuse.info f in
+      match
+        Launch.launch_info mem finfo ~args:(i1.args @ i2.args) ~trace_blocks:0
+      with
+      | exception Launch.Deadlock e -> Error e
+      | _ -> (
+          match i1.check mem with
+          | Error _ as e -> e
+          | Ok () -> i2.check mem))
+
+let validate_vfuse (s1 : Spec.t) ~(size1 : int) (s2 : Spec.t)
+    ~(size2 : int) : (unit, string) result =
+  let mem = Memory.create () in
+  let i1 = s1.instantiate mem ~size:size1 in
+  let i2 = s2.instantiate mem ~size:size2 in
+  let c1 = { spec = s1; size = size1; info = Spec.kernel_info s1 i1; inst = i1; mem } in
+  let c2 = { spec = s2; size = size2; info = Spec.kernel_info s2 i2; inst = i2; mem } in
+  match vfuse_generate c1 c2 with
+  | exception Hfuse_core.Fuse_common.Fusion_error e -> Error e
+  | v -> (
+      let vinfo = Hfuse_core.Vfuse.info v in
+      match
+        Launch.launch_info mem vinfo ~args:(i1.args @ i2.args) ~trace_blocks:0
+      with
+      | exception Launch.Deadlock e -> Error e
+      | _ -> (
+          match i1.check mem with
+          | Error _ as e -> e
+          | Ok () -> i2.check mem))

@@ -1,0 +1,77 @@
+(** Drives the evaluation's four execution modes — native (parallel
+    streams), vertically fused, horizontally fused (searched), and the
+    Naive even partition — through the simulator, with a trace cache so
+    ratio sweeps do not re-interpret unchanged kernels.
+
+    Profiling launches execute only the traced blocks; the correctness
+    entry points ([validate_*]) run whole grids in fresh memory. *)
+
+(** Blocks whose traces are recorded per profiling launch. *)
+val trace_blocks : int
+
+(** A corpus kernel bound to a workload instance in some memory. *)
+type configured = {
+  spec : Kernel_corpus.Spec.t;
+  size : int;
+  info : Hfuse_core.Kernel_info.t;  (** at native block dimensions *)
+  inst : Kernel_corpus.Workload.instance;
+  mem : Gpusim.Memory.t;
+}
+
+val configure :
+  Gpusim.Memory.t -> Kernel_corpus.Spec.t -> size:int -> configured
+
+val clear_cache : unit -> unit
+
+(** Dynamic traces of [c] at a block dimension (default: native);
+    cached. *)
+val traces_of : configured -> ?block_dim:int -> unit -> Gpusim.Trace.block array
+
+val static_smem : Hfuse_core.Kernel_info.t -> int
+
+(** Timing spec for one kernel (building block for custom runs). *)
+val spec_of :
+  configured -> ?block_dim:int -> stream:int -> unit -> Gpusim.Timing.launch_spec
+
+(** Native baseline: both kernels via parallel streams (FIFO dispatch). *)
+val native : Gpusim.Arch.t -> configured -> configured -> Gpusim.Timing.report
+
+(** One kernel alone (Fig. 8 metrics, ratio probes). *)
+val solo : Gpusim.Arch.t -> configured -> Gpusim.Timing.report
+
+(** Time a fused kernel under an optional register bound (interprets it
+    in profiling mode on first use; cached thereafter). *)
+val hfuse_report :
+  Gpusim.Arch.t -> configured -> configured -> Hfuse_core.Hfuse.t ->
+  reg_bound:int option -> Gpusim.Timing.report
+
+val vfuse_block_dim : configured -> configured -> int
+
+(** Vertical baseline at the larger native block dimension (tunable
+    kernels adapt; a smaller fixed kernel is guarded).
+    @raise Hfuse_core.Fuse_common.Fusion_error when illegal. *)
+val vfuse_generate : configured -> configured -> Hfuse_core.Vfuse.t
+
+val vfuse_report :
+  Gpusim.Arch.t -> configured -> configured -> Hfuse_core.Vfuse.t ->
+  Gpusim.Timing.report
+
+(** Fused block dimension target: 1024 for tunable pairs; the native sum
+    when both kernels are fixed. *)
+val d0_for : configured -> configured -> int
+
+(** The Fig. 6 search with the simulator as the profiling oracle. *)
+val search :
+  Gpusim.Arch.t -> configured -> configured -> Hfuse_core.Search.result
+
+val naive_hfuse : configured -> configured -> Hfuse_core.Hfuse.t option
+
+(** Full-grid correctness: run the fused kernel in fresh memory and
+    check both kernels' outputs against their host references. *)
+val validate_hfuse :
+  Kernel_corpus.Spec.t -> size1:int -> Kernel_corpus.Spec.t -> size2:int ->
+  d1:int -> d2:int -> (unit, string) result
+
+val validate_vfuse :
+  Kernel_corpus.Spec.t -> size1:int -> Kernel_corpus.Spec.t -> size2:int ->
+  (unit, string) result

@@ -1,0 +1,1 @@
+lib/ptx/emit.ml: Buffer Cuda Hfuse_frontend List Lower Pinstr Printf String

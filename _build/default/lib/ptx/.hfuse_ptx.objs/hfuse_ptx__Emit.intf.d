@@ -1,0 +1,1 @@
+lib/ptx/emit.mli: Cuda Lower

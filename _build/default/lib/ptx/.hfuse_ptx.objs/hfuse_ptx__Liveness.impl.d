@@ -1,0 +1,1 @@
+lib/ptx/liveness.ml: Array Hashtbl List Lower Pinstr

@@ -1,0 +1,1 @@
+lib/ptx/liveness.mli: Hashtbl Lower Pinstr

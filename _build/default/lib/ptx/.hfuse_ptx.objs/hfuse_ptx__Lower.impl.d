@@ -1,0 +1,1 @@
+lib/ptx/lower.ml: Ast Ctype Cuda Fmt Hashtbl Int64 List Parser Pinstr Pretty Printf

@@ -1,0 +1,1 @@
+lib/ptx/pinstr.ml: Fmt Int32 Int64 Printf

@@ -1,0 +1,9 @@
+(** Textual [.ptx] emission for lowered kernels. *)
+
+val header : sm:int -> string
+
+(** One kernel as PTX text ([sm] defaults to 61 = Pascal). *)
+val kernel_to_string : ?sm:int -> Lower.lowered -> string
+
+(** Normalise (inline + lift), lower and emit in one step. *)
+val of_kernel : ?sm:int -> Cuda.Ast.program -> Cuda.Ast.fn -> string

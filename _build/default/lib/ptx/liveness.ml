@@ -1,0 +1,97 @@
+(* Register-pressure analysis over lowered code.
+
+   Virtual registers are in SSA-ish form (most are defined once), so a
+   linear live-interval analysis — first definition to last occurrence,
+   maximum overlap per class — gives a faithful upper-ish bound on the
+   registers a backend allocator would need before spilling.  Labels and
+   backward branches make the linear view optimistic for loop-carried
+   values; to compensate, any register used inside a loop region but
+   defined before it has its interval extended to the loop's end
+   (standard linear-scan loop-extension). *)
+
+open Pinstr
+
+type interval = { mutable first : int; mutable last : int }
+
+let intervals (code : Pinstr.t array) : (vreg, interval) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  let touch i r =
+    match Hashtbl.find_opt tbl r with
+    | Some iv -> if i > iv.last then iv.last <- i
+    | None -> Hashtbl.replace tbl r { first = i; last = i }
+  in
+  Array.iteri
+    (fun i instr ->
+      List.iter (touch i) (defs instr);
+      List.iter (touch i) (uses instr))
+    code;
+  (* loop extension: for each backward branch at position i targeting
+     label position t < i, every register live anywhere in [t, i] must
+     stay live through i *)
+  let label_pos = Hashtbl.create 16 in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Label l -> Hashtbl.replace label_pos l i
+      | _ -> ())
+    code;
+  Array.iteri
+    (fun i instr ->
+      let target =
+        match instr with
+        | Bra l | BraPred (_, _, l) -> Hashtbl.find_opt label_pos l
+        | _ -> None
+      in
+      match target with
+      | Some t when t < i ->
+          (* classic linear-scan rule: only values DEFINED BEFORE the
+             loop and used inside it are loop-carried; values wholly
+             inside the body get fresh definitions every iteration *)
+          Hashtbl.iter
+            (fun _ iv ->
+              if iv.first < t && iv.last >= t && iv.last < i then
+                iv.last <- i)
+            tbl
+      | _ -> ())
+    code;
+  tbl
+
+(** Maximum number of simultaneously-live registers of one class. *)
+let max_live_of_class (code : Pinstr.t array) (cls : rclass) : int =
+  let tbl = intervals code in
+  let n = Array.length code in
+  let delta = Array.make (n + 1) 0 in
+  Hashtbl.iter
+    (fun (r : vreg) iv ->
+      if r.cls = cls then begin
+        delta.(iv.first) <- delta.(iv.first) + 1;
+        delta.(iv.last + 1) <- delta.(iv.last + 1) - 1
+      end)
+    tbl;
+  let live = ref 0 and best = ref 0 in
+  Array.iter
+    (fun d ->
+      live := !live + d;
+      if !live > !best then best := !live)
+    delta;
+  !best
+
+(** Per-thread 32-bit register demand of a lowered kernel: 64-bit and
+    double registers cost two 32-bit registers, predicates are free (a
+    separate file on the hardware), plus a small ABI/addressing
+    overhead — the same quantity NRegs() denotes in Fig. 6. *)
+let register_pressure (l : Lower.lowered) : int =
+  let code = Array.of_list l.body in
+  let b32 = max_live_of_class code B32 in
+  let b64 = max_live_of_class code B64 in
+  let f32 = max_live_of_class code F32 in
+  let f64 = max_live_of_class code F64 in
+  let overhead = 6 in
+  min 255 (max 16 (b32 + f32 + (2 * (b64 + f64)) + overhead))
+
+(** Instruction count excluding labels/comments (static code size). *)
+let static_instructions (l : Lower.lowered) : int =
+  List.length
+    (List.filter
+       (function Label _ | Comment _ -> false | _ -> true)
+       l.body)

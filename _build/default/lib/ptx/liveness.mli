@@ -1,0 +1,22 @@
+(** Register-pressure analysis over lowered code: linear live intervals
+    (first definition to last occurrence) with the classic linear-scan
+    loop extension for values defined before a backward branch's target
+    and used inside the loop. *)
+
+type interval = { mutable first : int; mutable last : int }
+
+val intervals : Pinstr.t array -> (Pinstr.vreg, interval) Hashtbl.t
+
+(** Maximum simultaneously-live registers of one class. *)
+val max_live_of_class : Pinstr.t array -> Pinstr.rclass -> int
+
+(** Per-thread 32-bit register demand: b32+f32 plus two per b64/f64
+    register, plus ABI overhead — the NRegs() quantity of Fig. 6.
+    Note: per-thread arrays sit in the [.local] depot in this lowering,
+    so array-heavy kernels (the unrolled miners) report the pressure of
+    this lowering, not of nvcc's register-promoted code; the corpus
+    calibration values remain the evaluation's source of truth. *)
+val register_pressure : Lower.lowered -> int
+
+(** Static instructions excluding labels and comments. *)
+val static_instructions : Lower.lowered -> int

@@ -1,0 +1,706 @@
+(* Lowering from the CUDA AST to the PTX-flavoured virtual ISA.
+
+   Operates on normalised kernels (device calls inlined, declarations
+   lifted — the same precondition as fusion).  Scalars live in typed
+   virtual registers; comparisons produce predicates; structured control
+   flow lowers to labels and predicated branches; shared arrays resolve
+   to compile-time offsets; per-thread local arrays get a [.local]
+   depot.  The produced code is meant for inspection and for
+   register-pressure analysis ({!Liveness}), not execution — the
+   simulator interprets the AST directly. *)
+
+open Cuda
+open Pinstr
+
+exception Unsupported of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Unsupported s)) fmt
+
+(* -- types -------------------------------------------------------------- *)
+
+let ty_of_ctype (t : Ctype.t) : ty =
+  match t with
+  | Ctype.Bool -> PredT
+  | Ctype.Char | Ctype.Short | Ctype.Int -> S32
+  | Ctype.UChar | Ctype.UShort | Ctype.UInt -> U32
+  | Ctype.Long -> S64
+  | Ctype.ULong -> U64
+  | Ctype.Float -> F32T
+  | Ctype.Double -> F64T
+  | Ctype.Ptr _ | Ctype.Array _ -> U64
+  | Ctype.Void -> fail "void has no register type"
+
+(* memory access width spelling *)
+let mem_ty_of_ctype (t : Ctype.t) : ty =
+  match t with
+  | Ctype.Bool | Ctype.Char | Ctype.UChar -> U32 (* ld.u8 widened; simplified *)
+  | t -> ty_of_ctype t
+
+(* -- context ------------------------------------------------------------ *)
+
+(** Memory space a pointer value ultimately refers to. *)
+type binding_space = SGlobal | SShared | SLocal
+
+(* A lowered value: operand, C type, and — for pointers — the space the
+   pointee lives in (propagated through casts, arithmetic and
+   assignments so shared-memory accesses emit [.shared]). *)
+type value = { op : operand; vty : Ctype.t; sp : binding_space }
+
+type binding =
+  | BReg of vreg * Ctype.t * binding_space ref
+      (** scalar local / parameter copy; for pointers the ref tracks the
+          space of the pointee across reassignments *)
+  | BShared of int * Ctype.t  (** shared array at byte offset, element *)
+  | BLocal of int * Ctype.t  (** local-depot array at byte offset *)
+
+type t = {
+  mutable code : Pinstr.t list;  (** reversed *)
+  counters : (rclass, int ref) Hashtbl.t;
+  env : (string, binding) Hashtbl.t;
+  mutable label_seq : int;
+  mutable break_labels : string list;
+  mutable continue_labels : string list;
+  mutable local_depot : int;  (** bytes of .local space used *)
+  mutable shared_off : int;  (** bytes of shared space laid out *)
+  fn_name : string;
+}
+
+let create fn_name =
+  let counters = Hashtbl.create 5 in
+  List.iter
+    (fun c -> Hashtbl.replace counters c (ref 0))
+    [ Pred; B32; B64; F32; F64 ];
+  {
+    code = [];
+    counters;
+    env = Hashtbl.create 32;
+    label_seq = 0;
+    break_labels = [];
+    continue_labels = [];
+    local_depot = 0;
+    shared_off = 0;
+    fn_name;
+  }
+
+let emit ctx i = ctx.code <- i :: ctx.code
+
+let fresh ctx (cls : rclass) : vreg =
+  let c = Hashtbl.find ctx.counters cls in
+  incr c;
+  { cls; idx = !c }
+
+let fresh_ty ctx (ty : ty) : vreg = fresh ctx (cls_of_ty ty)
+
+let fresh_label ctx base =
+  ctx.label_seq <- ctx.label_seq + 1;
+  Printf.sprintf "$L_%s_%d" base ctx.label_seq
+
+let reg_count ctx cls = !(Hashtbl.find ctx.counters cls)
+
+(* -- value plumbing ------------------------------------------------------ *)
+
+
+
+let ptx_space = function
+  | SGlobal -> Global
+  | SShared -> Shared
+  | SLocal -> Local
+
+let gval op vty = { op; vty; sp = SGlobal }
+
+let as_reg ctx (v : value) : vreg =
+  match v.op with
+  | Reg r -> r
+  | Imm _ | FImm _ ->
+      let ty = ty_of_ctype v.vty in
+      let r = fresh_ty ctx ty in
+      emit ctx (Mov (ty, r, v.op));
+      r
+
+(* Convert a value to C type [want], emitting cvt/selp as needed. *)
+let rec convert ctx (v : value) (want : Ctype.t) : value =
+  if Ctype.equal v.vty want then v
+  else
+    match (v.vty, want) with
+    | _, (Ctype.Ptr _ | Ctype.Array _) -> { v with vty = want }
+    | (Ctype.Ptr _ | Ctype.Array _), _ -> { v with vty = want }
+    | Ctype.Bool, w ->
+        (* predicate -> 0/1 *)
+        let ty = ty_of_ctype w in
+        let d = fresh_ty ctx ty in
+        let one, zero =
+          match ty with
+          | F32T | F64T -> (FImm 1.0, FImm 0.0)
+          | _ -> (Imm 1L, Imm 0L)
+        in
+        emit ctx (Selp (ty, d, one, zero, v.op));
+        { v with op = Reg d; vty = w }
+    | s, Ctype.Bool ->
+        let ty = ty_of_ctype s in
+        let p = fresh ctx Pred in
+        let zero = match ty with F32T | F64T -> FImm 0.0 | _ -> Imm 0L in
+        emit ctx (Setp (NE, ty, p, v.op, zero));
+        { v with op = Reg p; vty = Ctype.Bool }
+    | s, w ->
+        let sty = ty_of_ctype s and wty = ty_of_ctype w in
+        if sty = wty then { v with vty = w }
+        else begin
+          let d = fresh_ty ctx wty in
+          emit ctx (Cvt (wty, sty, d, (convert_imm ctx v sty).op));
+          { v with op = Reg d; vty = w }
+        end
+
+(* cvt needs a register source for some forms; keep immediates simple *)
+and convert_imm ctx v _sty =
+  match v.op with
+  | Reg _ -> v
+  | _ -> { v with op = Reg (as_reg ctx v) }
+
+(* usual arithmetic conversions for a binary op *)
+let join_args ctx (a : value) (b : value) : value * value * Ctype.t =
+  let t = Ctype.arith_join
+      (if a.vty = Ctype.Bool then Ctype.Int else a.vty)
+      (if b.vty = Ctype.Bool then Ctype.Int else b.vty)
+  in
+  (convert ctx a t, convert ctx b t, t)
+
+(* -- expressions --------------------------------------------------------- *)
+
+(* special registers *)
+let special ctx (b : Ast.builtin) : value =
+  let sreg =
+    match b with
+    | Ast.Thread_idx Ast.X -> "%tid.x"
+    | Ast.Thread_idx Ast.Y -> "%tid.y"
+    | Ast.Thread_idx Ast.Z -> "%tid.z"
+    | Ast.Block_idx Ast.X -> "%ctaid.x"
+    | Ast.Block_idx Ast.Y -> "%ctaid.y"
+    | Ast.Block_idx Ast.Z -> "%ctaid.z"
+    | Ast.Block_dim Ast.X -> "%ntid.x"
+    | Ast.Block_dim Ast.Y -> "%ntid.y"
+    | Ast.Block_dim Ast.Z -> "%ntid.z"
+    | Ast.Grid_dim Ast.X -> "%nctaid.x"
+    | Ast.Grid_dim Ast.Y -> "%nctaid.y"
+    | Ast.Grid_dim Ast.Z -> "%nctaid.z"
+  in
+  let d = fresh ctx B32 in
+  emit ctx (Sreg (d, sreg));
+  gval (Reg d) Ctype.UInt
+
+(* address of an element: returns (base reg b64, byte offset=0) with the
+   index folded in *)
+let rec lower_address ctx (base : Ast.expr) (index : Ast.expr) :
+    vreg * binding_space * Ctype.t =
+  let bv = lower_expr ctx base in
+  let elem =
+    match bv.vty with
+    | Ctype.Ptr e | Ctype.Array (e, _) -> e
+    | t -> fail "subscript of non-pointer (%s)" (Ctype.to_string t)
+  in
+  let space = bv.sp in
+  let iv = lower_expr ctx index in
+  let iv = convert ctx iv Ctype.ULong in
+  let scaled = fresh ctx B64 in
+  emit ctx (Mul (U64, scaled, iv.op, Imm (Int64.of_int (Ctype.sizeof elem))));
+  let addr = fresh ctx B64 in
+  emit ctx (Add (U64, addr, Reg (as_reg ctx bv), Reg scaled));
+  (addr, space, elem)
+
+and lower_expr ctx (e : Ast.expr) : value =
+  match e with
+  | Ast.Int_lit (v, t) -> gval (Imm v) t
+  | Ast.Float_lit (v, t) -> gval (FImm v) t
+  | Ast.Bool_lit b ->
+      let p = fresh ctx Pred in
+      emit ctx (Setp (EQ, S32, p, Imm 0L, Imm (if b then 0L else 1L)));
+      gval (Reg p) Ctype.Bool
+  | Ast.Var x -> (
+      match Hashtbl.find_opt ctx.env x with
+      | Some (BReg (r, t, sp)) -> { op = Reg r; vty = t; sp = !sp }
+      | Some (BShared (off, elem)) ->
+          (* array decays to its address *)
+          let d = fresh ctx B64 in
+          emit ctx (Mov (U64, d, Imm (Int64.of_int off)));
+          { op = Reg d; vty = Ctype.Ptr elem; sp = SShared }
+      | Some (BLocal (off, elem)) ->
+          let d = fresh ctx B64 in
+          emit ctx (Mov (U64, d, Imm (Int64.of_int off)));
+          { op = Reg d; vty = Ctype.Ptr elem; sp = SLocal }
+      | None -> fail "unbound variable %s" x)
+  | Ast.Builtin b -> special ctx b
+  | Ast.Unop (Ast.Neg, a) ->
+      let v = lower_expr ctx a in
+      let t = if v.vty = Ctype.Bool then Ctype.Int else v.vty in
+      let v = convert ctx v t in
+      let d = fresh_ty ctx (ty_of_ctype t) in
+      emit ctx (Neg (ty_of_ctype t, d, v.op));
+      gval (Reg d) t
+  | Ast.Unop (Ast.Bnot, a) ->
+      let v = lower_expr ctx a in
+      let t = if v.vty = Ctype.Bool then Ctype.Int else v.vty in
+      let v = convert ctx v t in
+      let bty = match ty_of_ctype t with S64 | U64 -> B64T | _ -> B32T in
+      let d = fresh_ty ctx bty in
+      emit ctx (Not (bty, d, v.op));
+      gval (Reg d) t
+  | Ast.Unop (Ast.Lnot, a) ->
+      let v = convert ctx (lower_expr ctx a) Ctype.Bool in
+      let p = as_reg ctx v in
+      let d = fresh ctx Pred in
+      emit ctx (Not (PredT, d, Reg p));
+      gval (Reg d) Ctype.Bool
+  | Ast.Binop (op, a, b) -> lower_binop ctx op a b
+  | Ast.Assign (lhs, rhs) ->
+      let v = lower_expr ctx rhs in
+      lower_store ctx lhs v
+  | Ast.Op_assign (op, lhs, rhs) ->
+      lower_store ctx lhs (lower_binop ctx op lhs rhs)
+  | Ast.Incdec { pre = _; inc; lval } ->
+      (* value semantics simplified: pre/post both yield the new value;
+         the corpus never uses the result of a post-op *)
+      let one = Ast.Int_lit (1L, Ctype.Int) in
+      lower_expr ctx
+        (Ast.Op_assign ((if inc then Ast.Add else Ast.Sub), lval, one))
+  | Ast.Ternary (c, a, b) ->
+      let p = convert ctx (lower_expr ctx c) Ctype.Bool in
+      let va = lower_expr ctx a in
+      let vb = lower_expr ctx b in
+      let va, vb, t = join_args ctx va vb in
+      let d = fresh_ty ctx (ty_of_ctype t) in
+      emit ctx (Selp (ty_of_ctype t, d, va.op, vb.op, p.op));
+      { op = Reg d; vty = t; sp = va.sp }
+  | Ast.Call (f, args) -> lower_call ctx f args
+  | Ast.Index (base, idx) ->
+      let addr, space, elem = lower_address ctx base idx in
+      lower_load ctx addr space elem
+  | Ast.Deref p ->
+      let v = lower_expr ctx p in
+      let elem =
+        match v.vty with
+        | Ctype.Ptr e -> e
+        | t -> fail "dereference of %s" (Ctype.to_string t)
+      in
+      lower_load ctx (as_reg ctx v) v.sp elem
+  | Ast.Addr_of (Ast.Index (base, idx)) ->
+      let addr, sp, elem = lower_address ctx base idx in
+      { op = Reg addr; vty = Ctype.Ptr elem; sp }
+  | Ast.Addr_of e -> fail "cannot take address of %s" (Pretty.expr_to_string e)
+  | Ast.Cast (t, a) ->
+      let v = lower_expr ctx a in
+      convert ctx v t
+
+and lower_load ctx (addr : vreg) (space : binding_space) (elem : Ctype.t) :
+    value =
+  let ty = mem_ty_of_ctype elem in
+  let d = fresh_ty ctx ty in
+  emit ctx (Ld (ptx_space space, ty, d, Reg addr, 0));
+  gval (Reg d) elem
+
+and lower_store ctx (lhs : Ast.expr) (v : value) : value =
+  match lhs with
+  | Ast.Var x -> (
+      match Hashtbl.find_opt ctx.env x with
+      | Some (BReg (r, t, sp)) ->
+          let v = convert ctx v t in
+          emit ctx (Mov (ty_of_ctype t, r, v.op));
+          (match t with Ctype.Ptr _ -> sp := v.sp | _ -> ());
+          { op = Reg r; vty = t; sp = !sp }
+      | Some (BShared _ | BLocal _) -> fail "cannot assign to array %s" x
+      | None -> fail "unbound variable %s" x)
+  | Ast.Index (base, idx) ->
+      let addr, space, elem = lower_address ctx base idx in
+      let v = convert ctx v elem in
+      let vr = as_reg ctx v in
+      emit ctx (St (ptx_space space, mem_ty_of_ctype elem, Reg addr, 0, Reg vr));
+      v
+  | Ast.Deref p ->
+      let pv = lower_expr ctx p in
+      let elem =
+        match pv.vty with
+        | Ctype.Ptr e -> e
+        | t -> fail "dereference of %s" (Ctype.to_string t)
+      in
+      let v = convert ctx v elem in
+      emit ctx
+        (St
+           ( ptx_space pv.sp,
+             mem_ty_of_ctype elem,
+             Reg (as_reg ctx pv),
+             0,
+             Reg (as_reg ctx v) ));
+      v
+  | e -> fail "unsupported store target %s" (Pretty.expr_to_string e)
+
+and lower_binop ctx (op : Ast.binop) (ea : Ast.expr) (eb : Ast.expr) : value =
+  let a = lower_expr ctx ea and b = lower_expr ctx eb in
+  match op with
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      let a, b, t = join_args ctx a b in
+      let cc =
+        match op with
+        | Ast.Eq -> EQ
+        | Ast.Ne -> NE
+        | Ast.Lt -> LT
+        | Ast.Le -> LE
+        | Ast.Gt -> GT
+        | _ -> GE
+      in
+      let p = fresh ctx Pred in
+      emit ctx (Setp (cc, ty_of_ctype t, p, a.op, b.op));
+      gval (Reg p) Ctype.Bool
+  | Ast.Land | Ast.Lor ->
+      let pa = as_reg ctx (convert ctx a Ctype.Bool) in
+      let pb = as_reg ctx (convert ctx b Ctype.Bool) in
+      let d = fresh ctx Pred in
+      emit ctx
+        (if op = Ast.Land then And (PredT, d, Reg pa, Reg pb)
+         else Or (PredT, d, Reg pa, Reg pb));
+      gval (Reg d) Ctype.Bool
+  | _ -> (
+      (* pointer arithmetic keeps its own path *)
+      match (a.vty, op) with
+      | (Ctype.Ptr e | Ctype.Array (e, _)), (Ast.Add | Ast.Sub) ->
+          let iv = convert ctx b Ctype.ULong in
+          let scaled = fresh ctx B64 in
+          emit ctx
+            (Mul (U64, scaled, iv.op, Imm (Int64.of_int (Ctype.sizeof e))));
+          let d = fresh ctx B64 in
+          emit ctx
+            (if op = Ast.Add then Add (U64, d, Reg (as_reg ctx a), Reg scaled)
+             else Sub (U64, d, Reg (as_reg ctx a), Reg scaled));
+          { op = Reg d; vty = Ctype.Ptr e; sp = a.sp }
+      | _ ->
+          let a, b, t = join_args ctx a b in
+          let ty = ty_of_ctype t in
+          let bitty = match ty with S64 | U64 -> B64T | F64T -> F64T | F32T -> F32T | _ -> B32T in
+          let d = fresh_ty ctx ty in
+          (match op with
+          | Ast.Add -> emit ctx (Add (ty, d, a.op, b.op))
+          | Ast.Sub -> emit ctx (Sub (ty, d, a.op, b.op))
+          | Ast.Mul -> emit ctx (Mul (ty, d, a.op, b.op))
+          | Ast.Div -> emit ctx (Div (ty, d, a.op, b.op))
+          | Ast.Mod -> emit ctx (Rem (ty, d, a.op, b.op))
+          | Ast.Band -> emit ctx (And (bitty, d, a.op, b.op))
+          | Ast.Bor -> emit ctx (Or (bitty, d, a.op, b.op))
+          | Ast.Bxor -> emit ctx (Xor (bitty, d, a.op, b.op))
+          | Ast.Shl -> emit ctx (Shl (bitty, d, a.op, b.op))
+          | Ast.Shr -> emit ctx (Shr (ty, d, a.op, b.op))
+          | _ -> assert false);
+          gval (Reg d) t)
+
+and lower_call ctx (f : string) (args : Ast.expr list) : value =
+  let unary_f32 mk =
+    match args with
+    | [ a ] ->
+        let v = convert ctx (lower_expr ctx a) Ctype.Float in
+        let d = fresh ctx F32 in
+        emit ctx (mk d v.op);
+        gval (Reg d) Ctype.Float
+    | _ -> fail "%s expects one argument" f
+  in
+  match (f, args) with
+  | ("min" | "max"), [ a; b ] ->
+      let va = lower_expr ctx a and vb = lower_expr ctx b in
+      let va, vb, t = join_args ctx va vb in
+      let d = fresh_ty ctx (ty_of_ctype t) in
+      emit ctx
+        (if f = "min" then Min (ty_of_ctype t, d, va.op, vb.op)
+         else Max (ty_of_ctype t, d, va.op, vb.op));
+      gval (Reg d) t
+  | ("fminf" | "fmaxf"), [ a; b ] ->
+      let va = convert ctx (lower_expr ctx a) Ctype.Float in
+      let vb = convert ctx (lower_expr ctx b) Ctype.Float in
+      let d = fresh ctx F32 in
+      emit ctx
+        (if f = "fminf" then Min (F32T, d, va.op, vb.op)
+         else Max (F32T, d, va.op, vb.op));
+      gval (Reg d) Ctype.Float
+  | "sqrtf", _ -> unary_f32 (fun d a -> Sqrt (F32T, d, a))
+  | "fabsf", _ ->
+      (* |x| = max(x, -x) *)
+      unary_f32 (fun d a ->
+          let n = fresh ctx F32 in
+          emit ctx (Neg (F32T, n, a));
+          Max (F32T, d, a, Reg n))
+  | ("atomicAdd" | "atomicMax" | "atomicMin" | "atomicExch"), [ addr; v ] ->
+      let av = lower_expr ctx addr in
+      let elem =
+        match av.vty with
+        | Ctype.Ptr e -> e
+        | t -> fail "atomic on non-pointer %s" (Ctype.to_string t)
+      in
+      let vv = convert ctx (lower_expr ctx v) elem in
+      let dd = fresh_ty ctx (ty_of_ctype elem) in
+      let opname =
+        match f with
+        | "atomicAdd" -> "add"
+        | "atomicMax" -> "max"
+        | "atomicMin" -> "min"
+        | _ -> "exch"
+      in
+      emit ctx
+        (Atom
+           ( ptx_space av.sp,
+             opname,
+             ty_of_ctype elem,
+             dd,
+             Reg (as_reg ctx av),
+             Reg (as_reg ctx vv) ));
+      gval (Reg dd) elem
+  | ("WARP_SHFL_XOR" | "__shfl_xor_sync"), _ ->
+      let v, lane =
+        match (f, args) with
+        | "WARP_SHFL_XOR", v :: l :: _ -> (v, l)
+        | "__shfl_xor_sync", _ :: v :: l :: _ -> (v, l)
+        | _ -> fail "%s: bad arguments" f
+      in
+      let vv = lower_expr ctx v in
+      let lv = convert ctx (lower_expr ctx lane) Ctype.Int in
+      let d = fresh ctx B32 in
+      emit ctx (Shfl ("bfly", d, Reg (as_reg ctx vv), lv.op));
+      gval (Reg d) vv.vty
+  | ("WARP_SHFL_DOWN" | "__shfl_down_sync"), _ ->
+      let v, lane =
+        match (f, args) with
+        | "WARP_SHFL_DOWN", v :: l :: _ -> (v, l)
+        | _, _ :: v :: l :: _ -> (v, l)
+        | _ -> fail "%s: bad arguments" f
+      in
+      let vv = lower_expr ctx v in
+      let lv = convert ctx (lower_expr ctx lane) Ctype.Int in
+      let d = fresh ctx B32 in
+      emit ctx (Shfl ("down", d, Reg (as_reg ctx vv), lv.op));
+      gval (Reg d) vv.vty
+  | ("rotr32" | "rotl32"), [ a; b ] ->
+      (* funnel: (x >> n) | (x << (32 - n)), n masked *)
+      let x = convert ctx (lower_expr ctx a) Ctype.UInt in
+      let n = convert ctx (lower_expr ctx b) Ctype.UInt in
+      let n31 = fresh ctx B32 in
+      emit ctx (And (B32T, n31, n.op, Imm 31L));
+      let n' =
+        if f = "rotl32" then begin
+          let s = fresh ctx B32 in
+          emit ctx (Sub (U32, s, Imm 32L, Reg n31));
+          let m = fresh ctx B32 in
+          emit ctx (And (B32T, m, Reg s, Imm 31L));
+          m
+        end
+        else n31
+      in
+      let lo = fresh ctx B32 in
+      emit ctx (Shr (U32, lo, x.op, Reg n'));
+      let comp = fresh ctx B32 in
+      emit ctx (Sub (U32, comp, Imm 32L, Reg n'));
+      let m32 = fresh ctx B32 in
+      emit ctx (And (B32T, m32, Reg comp, Imm 31L));
+      let hi = fresh ctx B32 in
+      emit ctx (Shl (B32T, hi, x.op, Reg m32));
+      let d = fresh ctx B32 in
+      emit ctx (Or (B32T, d, Reg lo, Reg hi));
+      gval (Reg d) Ctype.UInt
+  | ("rotr64" | "rotl64"), [ a; b ] ->
+      let x = convert ctx (lower_expr ctx a) Ctype.ULong in
+      let n = convert ctx (lower_expr ctx b) Ctype.UInt in
+      let n63 = fresh ctx B32 in
+      emit ctx (And (B32T, n63, n.op, Imm 63L));
+      let n' =
+        if f = "rotl64" then begin
+          let s = fresh ctx B32 in
+          emit ctx (Sub (U32, s, Imm 64L, Reg n63));
+          let m = fresh ctx B32 in
+          emit ctx (And (B32T, m, Reg s, Imm 63L));
+          m
+        end
+        else n63
+      in
+      let lo = fresh ctx B64 in
+      emit ctx (Shr (U64, lo, x.op, Reg n'));
+      let comp = fresh ctx B32 in
+      emit ctx (Sub (U32, comp, Imm 64L, Reg n'));
+      let m64 = fresh ctx B32 in
+      emit ctx (And (B32T, m64, Reg comp, Imm 63L));
+      let hi = fresh ctx B64 in
+      emit ctx (Shl (B64T, hi, x.op, Reg m64));
+      let d = fresh ctx B64 in
+      emit ctx (Or (B64T, d, Reg lo, Reg hi));
+      gval (Reg d) Ctype.ULong
+  | "getMSB", [ a ] -> (
+      match Parser.const_eval_opt a with
+      | Some v when Int64.compare v 0L > 0 ->
+          let rec msb v acc = if v <= 1L then acc else msb (Int64.shift_right_logical v 1) (acc + 1) in
+          gval (Imm (Int64.of_int (msb v 0))) Ctype.Int
+      | _ -> fail "getMSB of a non-constant argument")
+  | ("__syncwarp" | "__threadfence" | "__threadfence_block"), _ ->
+      emit ctx (Comment (f ^ "()"));
+      gval (Imm 0L) Ctype.Int
+  | _ -> fail "cannot lower call to %s (inline device functions first)" f
+
+(* -- statements ---------------------------------------------------------- *)
+
+let rec lower_stmts ctx (stmts : Ast.stmt list) : unit =
+  List.iter (lower_stmt ctx) stmts
+
+and lower_stmt ctx (s : Ast.stmt) : unit =
+  match s.s with
+  | Ast.Nop -> ()
+  | Ast.Decl d -> lower_decl ctx d
+  | Ast.Expr e -> ignore (lower_expr ctx e)
+  | Ast.Block b -> lower_stmts ctx b
+  | Ast.If (c, t, e) ->
+      let p = as_reg ctx (convert ctx (lower_expr ctx c) Ctype.Bool) in
+      let l_else = fresh_label ctx "else" in
+      let l_end = fresh_label ctx "endif" in
+      emit ctx (BraPred (p, false, l_else));
+      lower_stmts ctx t;
+      if e <> [] then begin
+        emit ctx (Bra l_end);
+        emit ctx (Label l_else);
+        lower_stmts ctx e;
+        emit ctx (Label l_end)
+      end
+      else emit ctx (Label l_else)
+  | Ast.While (c, body) ->
+      let l_head = fresh_label ctx "while" in
+      let l_end = fresh_label ctx "endwhile" in
+      emit ctx (Label l_head);
+      let p = as_reg ctx (convert ctx (lower_expr ctx c) Ctype.Bool) in
+      emit ctx (BraPred (p, false, l_end));
+      ctx.break_labels <- l_end :: ctx.break_labels;
+      ctx.continue_labels <- l_head :: ctx.continue_labels;
+      lower_stmts ctx body;
+      ctx.break_labels <- List.tl ctx.break_labels;
+      ctx.continue_labels <- List.tl ctx.continue_labels;
+      emit ctx (Bra l_head);
+      emit ctx (Label l_end)
+  | Ast.Do_while (body, c) ->
+      let l_head = fresh_label ctx "do" in
+      let l_cont = fresh_label ctx "docond" in
+      let l_end = fresh_label ctx "enddo" in
+      emit ctx (Label l_head);
+      ctx.break_labels <- l_end :: ctx.break_labels;
+      ctx.continue_labels <- l_cont :: ctx.continue_labels;
+      lower_stmts ctx body;
+      ctx.break_labels <- List.tl ctx.break_labels;
+      ctx.continue_labels <- List.tl ctx.continue_labels;
+      emit ctx (Label l_cont);
+      let p = as_reg ctx (convert ctx (lower_expr ctx c) Ctype.Bool) in
+      emit ctx (BraPred (p, true, l_head));
+      emit ctx (Label l_end)
+  | Ast.For (init, cond, step, body) ->
+      (match init with
+      | None -> ()
+      | Some (Ast.For_expr e) -> ignore (lower_expr ctx e)
+      | Some (Ast.For_decl ds) -> List.iter (lower_decl ctx) ds);
+      let l_head = fresh_label ctx "for" in
+      let l_cont = fresh_label ctx "forstep" in
+      let l_end = fresh_label ctx "endfor" in
+      emit ctx (Label l_head);
+      (match cond with
+      | None -> ()
+      | Some c ->
+          let p = as_reg ctx (convert ctx (lower_expr ctx c) Ctype.Bool) in
+          emit ctx (BraPred (p, false, l_end)));
+      ctx.break_labels <- l_end :: ctx.break_labels;
+      ctx.continue_labels <- l_cont :: ctx.continue_labels;
+      lower_stmts ctx body;
+      ctx.break_labels <- List.tl ctx.break_labels;
+      ctx.continue_labels <- List.tl ctx.continue_labels;
+      emit ctx (Label l_cont);
+      (match step with None -> () | Some e -> ignore (lower_expr ctx e));
+      emit ctx (Bra l_head);
+      emit ctx (Label l_end)
+  | Ast.Break -> (
+      match ctx.break_labels with
+      | l :: _ -> emit ctx (Bra l)
+      | [] -> fail "break outside of a loop")
+  | Ast.Continue -> (
+      match ctx.continue_labels with
+      | l :: _ -> emit ctx (Bra l)
+      | [] -> fail "continue outside of a loop")
+  | Ast.Return _ -> emit ctx Ret
+  | Ast.Sync -> emit ctx (Bar (0, None))
+  | Ast.Bar_sync (id, n) -> emit ctx (Bar (id, Some n))
+  | Ast.Goto l -> emit ctx (Bra ("$U_" ^ l))
+  | Ast.Label l -> emit ctx (Label ("$U_" ^ l))
+
+and lower_decl ctx (d : Ast.decl) : unit =
+  match (d.d_storage, d.d_type) with
+  | Ast.Shared, Ctype.Array (el, Some n) ->
+      (* compile-time shared offset, 16-byte aligned *)
+      let off = align_shared ctx (Ctype.sizeof el) in
+      Hashtbl.replace ctx.env d.d_name (BShared (off, el));
+      shared_bump ctx (n * Ctype.sizeof el)
+  | Ast.Shared_extern, Ctype.Array (el, None) ->
+      let off = align_shared ctx 16 in
+      Hashtbl.replace ctx.env d.d_name (BShared (off, el))
+  | (Ast.Shared | Ast.Shared_extern), t ->
+      fail "bad shared declaration %s : %s" d.d_name (Ctype.to_string t)
+  | Ast.Local, Ctype.Array (el, Some n) ->
+      let off = ctx.local_depot in
+      ctx.local_depot <- ctx.local_depot + (n * Ctype.sizeof el);
+      Hashtbl.replace ctx.env d.d_name (BLocal (off, el))
+  | Ast.Local, Ctype.Array (_, None) ->
+      fail "local array %s must have a size" d.d_name
+  | Ast.Local, t ->
+      let r = fresh_ty ctx (ty_of_ctype t) in
+      let sp = ref SGlobal in
+      Hashtbl.replace ctx.env d.d_name (BReg (r, t, sp));
+      (match d.d_init with
+      | None -> ()
+      | Some e ->
+          let v = convert ctx (lower_expr ctx e) t in
+          (match t with Ctype.Ptr _ -> sp := v.sp | _ -> ());
+          emit ctx (Mov (ty_of_ctype t, r, v.op)))
+
+(* shared offsets are laid out at lowering time *)
+and align_shared ctx align =
+  let off = (ctx.shared_off + align - 1) / align * align in
+  ctx.shared_off <- off;
+  off
+
+and shared_bump ctx n = ctx.shared_off <- ctx.shared_off + n
+
+(* -- entry point --------------------------------------------------------- *)
+
+type lowered = {
+  name : string;
+  params : Ast.param list;
+  body : Pinstr.t list;
+  reg_counts : (rclass * int) list;
+  local_depot_bytes : int;
+  shared_bytes : int;
+}
+
+(** Lower one normalised kernel. *)
+let lower_fn (fn : Ast.fn) : lowered =
+  let ctx = create fn.f_name in
+  (* parameters: pointers arrive via ld.param + cvta; scalars via
+     ld.param *)
+  List.iteri
+    (fun i (p : Ast.param) ->
+      let t = p.p_type in
+      let ty = ty_of_ctype t in
+      let r = fresh_ty ctx ty in
+      emit ctx
+        (Comment
+           (Printf.sprintf "ld.param %s <- [%s_param_%d]"
+              (string_of_vreg r) fn.f_name i));
+      emit ctx (Ld (Param, ty, r, Imm 0L, i * 8));
+      (match t with
+      | Ctype.Ptr _ ->
+          let g = fresh ctx B64 in
+          emit ctx (Cvta (Global, g, Reg r));
+          Hashtbl.replace ctx.env p.p_name (BReg (g, t, ref SGlobal))
+      | _ -> Hashtbl.replace ctx.env p.p_name (BReg (r, t, ref SGlobal))))
+    fn.f_params;
+  lower_stmts ctx fn.f_body;
+  emit ctx Ret;
+  {
+    name = fn.f_name;
+    params = fn.f_params;
+    body = List.rev ctx.code;
+    reg_counts =
+      List.map (fun c -> (c, reg_count ctx c)) [ Pred; B32; B64; F32; F64 ];
+    local_depot_bytes = ctx.local_depot;
+    shared_bytes = ctx.shared_off;
+  }

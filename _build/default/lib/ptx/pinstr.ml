@@ -1,0 +1,241 @@
+(* A PTX-flavoured virtual instruction set.
+
+   The real HFuse hands its fused CUDA to nvcc; we keep the
+   source-to-source contract but additionally lower kernels to this
+   PTX-like ISA for two purposes:
+   - emitting readable [.ptx] text (inspection, downstream assembly), and
+   - liveness-based register-pressure analysis, which gives the Fig. 6
+     occupancy computation a principled NRegs estimate — the role nvcc's
+     register allocator plays for the paper's HFuse.
+
+   The ISA is deliberately virtual: unlimited typed registers, structured
+   memory spaces, PTX spellings. *)
+
+(** Register classes, mirroring PTX [.reg] declarations. *)
+type rclass =
+  | Pred  (** predicate *)
+  | B32  (** 32-bit integer/bit *)
+  | B64  (** 64-bit integer/bit/pointer *)
+  | F32
+  | F64
+
+(** A virtual register: class and index. *)
+type vreg = { cls : rclass; idx : int }
+
+type operand =
+  | Reg of vreg
+  | Imm of int64  (** integer immediate *)
+  | FImm of float  (** floating immediate *)
+
+(** PTX state spaces. *)
+type space = Global | Shared | Param | Local
+
+(** Comparison codes ([setp.<cc>]). *)
+type cc = EQ | NE | LT | LE | GT | GE
+
+(** Arithmetic/type suffixes ([add.s32], [mul.wide.u32], ...). *)
+type ty = S32 | U32 | S64 | U64 | F32T | F64T | B32T | B64T | PredT
+
+type t =
+  | Mov of ty * vreg * operand
+  | Add of ty * vreg * operand * operand
+  | Sub of ty * vreg * operand * operand
+  | Mul of ty * vreg * operand * operand  (** [mul.lo] for ints *)
+  | Mad of ty * vreg * operand * operand * operand
+  | Div of ty * vreg * operand * operand
+  | Rem of ty * vreg * operand * operand
+  | And of ty * vreg * operand * operand
+  | Or of ty * vreg * operand * operand
+  | Xor of ty * vreg * operand * operand
+  | Not of ty * vreg * operand
+  | Shl of ty * vreg * operand * operand
+  | Shr of ty * vreg * operand * operand
+  | Neg of ty * vreg * operand
+  | Min of ty * vreg * operand * operand
+  | Max of ty * vreg * operand * operand
+  | Setp of cc * ty * vreg * operand * operand  (** dst is a Pred *)
+  | Selp of ty * vreg * operand * operand * operand  (** cond is last *)
+  | Cvt of ty * ty * vreg * operand  (** cvt.<dst>.<src> *)
+  | Cvta of space * vreg * operand  (** to generic address *)
+  | Ld of space * ty * vreg * operand * int  (** base operand + offset *)
+  | St of space * ty * operand * int * operand  (** base, offset, value *)
+  | Atom of space * string * ty * vreg * operand * operand
+      (** [atom.<space>.<op>.<ty> dst, [addr], src] *)
+  | Shfl of string * vreg * operand * operand  (** mode, dst, src, lane *)
+  | Bar of int * int option  (** bar.sync id [, count] *)
+  | Bra of string  (** unconditional branch *)
+  | BraPred of vreg * bool * string  (** @p / @!p bra label *)
+  | Label of string
+  | Sqrt of ty * vreg * operand
+  | Sreg of vreg * string  (** read a special register (%tid.x, ...) *)
+  | Ret
+  | Comment of string
+
+(* -- register helpers -------------------------------------------------- *)
+
+let cls_of_ty = function
+  | S32 | U32 | B32T -> B32
+  | S64 | U64 | B64T -> B64
+  | F32T -> F32
+  | F64T -> F64
+  | PredT -> Pred
+
+let string_of_ty = function
+  | S32 -> "s32"
+  | U32 -> "u32"
+  | S64 -> "s64"
+  | U64 -> "u64"
+  | F32T -> "f32"
+  | F64T -> "f64"
+  | B32T -> "b32"
+  | B64T -> "b64"
+  | PredT -> "pred"
+
+let string_of_cc = function
+  | EQ -> "eq"
+  | NE -> "ne"
+  | LT -> "lt"
+  | LE -> "le"
+  | GT -> "gt"
+  | GE -> "ge"
+
+let string_of_space = function
+  | Global -> "global"
+  | Shared -> "shared"
+  | Param -> "param"
+  | Local -> "local"
+
+let reg_prefix = function
+  | Pred -> "%p"
+  | B32 -> "%r"
+  | B64 -> "%rd"
+  | F32 -> "%f"
+  | F64 -> "%fd"
+
+let string_of_vreg r = Printf.sprintf "%s%d" (reg_prefix r.cls) r.idx
+
+let string_of_operand = function
+  | Reg r -> string_of_vreg r
+  | Imm i -> Int64.to_string i
+  | FImm f ->
+      (* PTX hex float form is canonical; decimal is accepted for
+         readability in this virtual ISA *)
+      Printf.sprintf "0f%08lX" (Int32.bits_of_float f)
+
+(** Registers written by an instruction. *)
+let defs (i : t) : vreg list =
+  match i with
+  | Mov (_, d, _)
+  | Not (_, d, _)
+  | Neg (_, d, _)
+  | Cvt (_, _, d, _)
+  | Cvta (_, d, _)
+  | Sqrt (_, d, _)
+  | Ld (_, _, d, _, _) ->
+      [ d ]
+  | Add (_, d, _, _)
+  | Sub (_, d, _, _)
+  | Mul (_, d, _, _)
+  | Div (_, d, _, _)
+  | Rem (_, d, _, _)
+  | And (_, d, _, _)
+  | Or (_, d, _, _)
+  | Xor (_, d, _, _)
+  | Shl (_, d, _, _)
+  | Shr (_, d, _, _)
+  | Min (_, d, _, _)
+  | Max (_, d, _, _)
+  | Setp (_, _, d, _, _)
+  | Atom (_, _, _, d, _, _)
+  | Shfl (_, d, _, _) ->
+      [ d ]
+  | Mad (_, d, _, _, _) | Selp (_, d, _, _, _) -> [ d ]
+  | Sreg (d, _) -> [ d ]
+  | St _ | Bar _ | Bra _ | BraPred _ | Label _ | Ret | Comment _ -> []
+
+let reg_of_operand = function Reg r -> [ r ] | Imm _ | FImm _ -> []
+
+(** Registers read by an instruction. *)
+let uses (i : t) : vreg list =
+  let op = reg_of_operand in
+  match i with
+  | Mov (_, _, a) | Not (_, _, a) | Neg (_, _, a) | Cvt (_, _, _, a)
+  | Cvta (_, _, a) | Sqrt (_, _, a) ->
+      op a
+  | Add (_, _, a, b) | Sub (_, _, a, b) | Mul (_, _, a, b)
+  | Div (_, _, a, b) | Rem (_, _, a, b) | And (_, _, a, b)
+  | Or (_, _, a, b) | Xor (_, _, a, b) | Shl (_, _, a, b)
+  | Shr (_, _, a, b) | Min (_, _, a, b) | Max (_, _, a, b)
+  | Setp (_, _, _, a, b) | Shfl (_, _, a, b) ->
+      op a @ op b
+  | Mad (_, _, a, b, c) | Selp (_, _, a, b, c) -> op a @ op b @ op c
+  | Ld (_, _, _, base, _) -> op base
+  | St (_, _, base, _, v) -> op base @ op v
+  | Atom (_, _, _, _, addr, v) -> op addr @ op v
+  | BraPred (p, _, _) -> [ p ]
+  | Sreg _ | Bar _ | Bra _ | Label _ | Ret | Comment _ -> []
+
+(* -- printing ----------------------------------------------------------- *)
+
+let pp ppf (i : t) =
+  let p fmt = Fmt.pf ppf fmt in
+  let o = string_of_operand and r = string_of_vreg in
+  let t3 op ty d a b =
+    p "%s.%s \t%s, %s, %s;" op (string_of_ty ty) (r d) (o a) (o b)
+  in
+  match i with
+  | Mov (ty, d, a) -> p "mov.%s \t%s, %s;" (string_of_ty ty) (r d) (o a)
+  | Add (ty, d, a, b) -> t3 "add" ty d a b
+  | Sub (ty, d, a, b) -> t3 "sub" ty d a b
+  | Mul ((S32 | U32 | S64 | U64) as ty, d, a, b) ->
+      p "mul.lo.%s \t%s, %s, %s;" (string_of_ty ty) (r d) (o a) (o b)
+  | Mul (ty, d, a, b) -> t3 "mul" ty d a b
+  | Mad ((F32T | F64T) as ty, d, a, b, c) ->
+      p "fma.rn.%s \t%s, %s, %s, %s;" (string_of_ty ty) (r d) (o a) (o b) (o c)
+  | Mad (ty, d, a, b, c) ->
+      p "mad.lo.%s \t%s, %s, %s, %s;" (string_of_ty ty) (r d) (o a) (o b) (o c)
+  | Div (F32T, d, a, b) -> p "div.rn.f32 \t%s, %s, %s;" (r d) (o a) (o b)
+  | Div (ty, d, a, b) -> t3 "div" ty d a b
+  | Rem (ty, d, a, b) -> t3 "rem" ty d a b
+  | And (ty, d, a, b) -> t3 "and" ty d a b
+  | Or (ty, d, a, b) -> t3 "or" ty d a b
+  | Xor (ty, d, a, b) -> t3 "xor" ty d a b
+  | Not (ty, d, a) -> p "not.%s \t%s, %s;" (string_of_ty ty) (r d) (o a)
+  | Shl (ty, d, a, b) -> t3 "shl" ty d a b
+  | Shr (ty, d, a, b) -> t3 "shr" ty d a b
+  | Neg (ty, d, a) -> p "neg.%s \t%s, %s;" (string_of_ty ty) (r d) (o a)
+  | Min (ty, d, a, b) -> t3 "min" ty d a b
+  | Max (ty, d, a, b) -> t3 "max" ty d a b
+  | Setp (cc, ty, d, a, b) ->
+      p "setp.%s.%s \t%s, %s, %s;" (string_of_cc cc) (string_of_ty ty) (r d)
+        (o a) (o b)
+  | Selp (ty, d, a, b, c) ->
+      p "selp.%s \t%s, %s, %s, %s;" (string_of_ty ty) (r d) (o a) (o b) (o c)
+  | Cvt (dst, src, d, a) ->
+      p "cvt.%s.%s \t%s, %s;" (string_of_ty dst) (string_of_ty src) (r d) (o a)
+  | Cvta (sp, d, a) ->
+      p "cvta.%s.u64 \t%s, %s;" (string_of_space sp) (r d) (o a)
+  | Ld (sp, ty, d, base, off) ->
+      p "ld.%s.%s \t%s, [%s+%d];" (string_of_space sp) (string_of_ty ty) (r d)
+        (o base) off
+  | St (sp, ty, base, off, v) ->
+      p "st.%s.%s \t[%s+%d], %s;" (string_of_space sp) (string_of_ty ty)
+        (o base) off (o v)
+  | Atom (sp, op_, ty, d, addr, v) ->
+      p "atom.%s.%s.%s \t%s, [%s], %s;" (string_of_space sp) op_
+        (string_of_ty ty) (r d) (o addr) (o v)
+  | Shfl (mode, d, a, b) ->
+      p "shfl.sync.%s.b32 \t%s, %s, %s, 0x1f, 0xffffffff;" mode (r d) (o a)
+        (o b)
+  | Bar (id, Some n) -> p "bar.sync \t%d, %d;" id n
+  | Bar (id, None) -> p "bar.sync \t%d;" id
+  | Bra l -> p "bra.uni \t%s;" l
+  | BraPred (pr, positive, l) ->
+      p "@%s%s bra \t%s;" (if positive then "" else "!") (r pr) l
+  | Label l -> p "%s:" l
+  | Sqrt (ty, d, a) -> p "sqrt.rn.%s \t%s, %s;" (string_of_ty ty) (r d) (o a)
+  | Sreg (d, sreg) -> p "mov.u32 \t%s, %s;" (r d) sreg
+  | Ret -> p "ret;"
+  | Comment c -> p "// %s" c
+
+let to_string i = Fmt.str "%a" pp i

@@ -1,0 +1,1 @@
+test/test_analyzer.ml: Alcotest Analyzer Gpusim Hfuse_core Kernel_corpus List Printf Registry Spec Test_util

@@ -1,0 +1,1 @@
+test/test_astutil.ml: Alcotest Ast Ast_util Ctype Cuda Gpusim Hashtbl Kernel_corpus List Parser Pretty String Test_util

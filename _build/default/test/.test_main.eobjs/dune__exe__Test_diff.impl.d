@@ -1,0 +1,1 @@
+test/test_diff.ml: Array Ast Ctype Cuda Gpusim Hfuse_core Int32 Int64 Launch List Memory Parser Pretty Printexc Printf QCheck String Test_util Value

@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Gpusim Hfuse_core Hfuse_profiler Kernel_corpus Launch List Memory Printf Registry Runner Spec Workload

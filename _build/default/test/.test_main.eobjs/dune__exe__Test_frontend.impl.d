@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Ast_util Builtins Cuda Gen Hashtbl Hfuse_frontend Inline Lift_decls List Parser Pretty QCheck Rename String Test_util

@@ -1,0 +1,1 @@
+test/test_fusion.ml: Alcotest Ast Ast_util Barrier Cuda Fuse_common Hfuse Hfuse_core Hfuse_frontend Kernel_info List Multi Parser Test_util Typecheck Vfuse

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Ctype Cuda Gpusim Instr Int32 Interp Kernel_corpus Launch Memory Printf Test_util Trace Value

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Cuda Gpusim Hfuse_core Kernel_corpus Launch List Memory Printexc Prng Registry Spec String Test_util Workload

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Array Ctype Cuda Gpusim Int32 List Memory Test_util Value

@@ -1,0 +1,1 @@
+test/test_occupancy.ml: Alcotest Hfuse_core Occupancy QCheck Test_util

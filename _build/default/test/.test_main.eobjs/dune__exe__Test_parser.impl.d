@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Ctype Cuda List Loc Parser Pretty Test_util

@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Ast Ast_util Ctype Cuda Int64 List Parser Pretty QCheck String Test_util

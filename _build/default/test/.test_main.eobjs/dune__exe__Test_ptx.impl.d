@@ -1,0 +1,1 @@
+test/test_ptx.ml: Alcotest Emit Gpusim Hashtbl Hfuse_core Hfuse_frontend Hfuse_ptx Kernel_corpus List Liveness Lower Pinstr Printf Test_util

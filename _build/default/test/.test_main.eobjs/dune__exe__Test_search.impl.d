@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Hfuse Hfuse_core Kernel_info List Occupancy Partition QCheck Search Test_util

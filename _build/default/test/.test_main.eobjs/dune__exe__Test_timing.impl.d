@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Arch Array Gpusim Instr List Printf Test_util Timing Trace

@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Cuda Kernel_corpus List Loc Parser Test_util Typecheck

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Cuda Hfuse_core List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Ast Ctype Cuda Float Gpusim Int32 Int64 QCheck Test_util Value

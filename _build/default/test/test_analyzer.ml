@@ -1,0 +1,130 @@
+(* Static-analysis tests: instruction-mix attribution, the paper's
+   resource taxonomy on the real corpus, and pairing scores that order
+   the way the evaluation's results order. *)
+
+open Hfuse_core
+open Kernel_corpus
+
+let mix_of (name : string) =
+  let s = Registry.find_exn name in
+  let _, fn = Spec.parse s in
+  Analyzer.analyze_fn fn
+
+let info_of (name : string) =
+  let s = Registry.find_exn name in
+  let mem = Gpusim.Memory.create () in
+  let inst = s.instantiate mem ~size:1 in
+  Spec.kernel_info s inst
+
+let test_mix_attribution () =
+  let _, fn =
+    Test_util.kernel_of_source
+      {|
+__global__ void k(float* g, int n) {
+  __shared__ float s[64];
+  int t = threadIdx.x;
+  s[t % 64] = g[t];              // 1 shared store, 1 global load
+  __syncthreads();
+  atomicAdd(&g[0], s[t % 64]);   // 1 atomic, 1 shared load
+  float x = 1.0f + g[t] * 2.0f;  // float ops + global load
+  g[t] = x / 3.0f;               // div + global store
+}
+|}
+  in
+  let m = Analyzer.analyze_fn fn in
+  Alcotest.(check int) "global loads" 2 m.global_loads;
+  Alcotest.(check int) "global stores" 1 m.global_stores;
+  Alcotest.(check int) "shared ops" 2 m.shared_ops;
+  Alcotest.(check int) "atomics" 1 m.atomics;
+  Alcotest.(check int) "barriers" 1 m.barriers;
+  Alcotest.(check int) "divs (two %% and one /)" 3 m.div_ops;
+  Alcotest.(check bool) "float ops seen" true (m.float_ops >= 2)
+
+let test_loops_weighted () =
+  let body_of src =
+    let _, fn = Test_util.kernel_of_source src in
+    Analyzer.analyze_fn fn
+  in
+  let flat = body_of "__global__ void k(float* g) { g[0] = g[1]; }" in
+  let looped =
+    body_of
+      "__global__ void k(float* g, int n) { for (int i = 0; i < n; i++) { \
+       g[i] = g[i + 1]; } }"
+  in
+  Alcotest.(check bool) "loop bodies dominate" true
+    (looped.global_loads > 4 * flat.global_loads);
+  Alcotest.(check int) "loop depth" 1 looped.loop_depth
+
+let test_shared_pointer_aliasing () =
+  (* a pointer initialised from an extern shared buffer must count as
+     shared, as in the histogram kernel *)
+  let m = mix_of "Hist" in
+  Alcotest.(check bool) "hist shared traffic seen" true (m.shared_ops > 0);
+  Alcotest.(check bool) "hist atomics seen" true (m.atomics > 0)
+
+let check_class name expected =
+  let m = mix_of name in
+  let got = Analyzer.classify m in
+  if got <> expected then
+    Alcotest.failf "%s: expected %a, got %a (%a)" name
+      Analyzer.pp_character expected Analyzer.pp_character got
+      Analyzer.pp_mix m
+
+let test_corpus_taxonomy () =
+  (* Fig. 8's resource story: crypto miners are compute-intensive,
+     Ethash and Maxpool memory-intensive *)
+  check_class "Blake256" Analyzer.Compute_intensive;
+  check_class "Blake2B" Analyzer.Compute_intensive;
+  check_class "SHA256" Analyzer.Compute_intensive;
+  check_class "Ethash" Analyzer.Memory_intensive;
+  check_class "Maxpool" Analyzer.Memory_intensive
+
+let test_affinity_ordering () =
+  (* the paper's result ordering: Ethash+Blake is the best crypto pair,
+     Blake+SHA the worst *)
+  let e = info_of "Ethash" and b = info_of "Blake256" in
+  let s = info_of "SHA256" and b2 = info_of "Blake2B" in
+  let good = Analyzer.affinity e b in
+  let bad = Analyzer.affinity b s in
+  Alcotest.(check bool)
+    (Printf.sprintf "ethash+blake (%.2f) > blake+sha (%.2f)" good bad)
+    true (good > bad);
+  let bad2 = Analyzer.affinity b b2 in
+  Alcotest.(check bool) "blake pairs score low" true (bad2 < 0.5)
+
+let test_affinity_range () =
+  let ks = List.map (fun (s : Spec.t) -> info_of s.name) Registry.all in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i < j then begin
+            let v = Analyzer.affinity a b in
+            if v < 0.0 || v > 1.0 then
+              Alcotest.failf "affinity out of range: %f" v
+          end)
+        ks)
+    ks
+
+let test_rank_pairs () =
+  let ks =
+    List.map (fun n -> info_of n) [ "Ethash"; "Blake256"; "SHA256" ]
+  in
+  match Analyzer.rank_pairs ks with
+  | (a, b, _) :: _ ->
+      let names = [ a.fn.f_name; b.fn.f_name ] in
+      Alcotest.(check bool) "top pair involves ethash" true
+        (List.mem "ethash" names)
+  | [] -> Alcotest.fail "expected ranked pairs"
+
+let suite =
+  [
+    Alcotest.test_case "mix attribution" `Quick test_mix_attribution;
+    Alcotest.test_case "loops weighted" `Quick test_loops_weighted;
+    Alcotest.test_case "shared pointer aliasing" `Quick
+      test_shared_pointer_aliasing;
+    Alcotest.test_case "corpus taxonomy" `Quick test_corpus_taxonomy;
+    Alcotest.test_case "affinity ordering" `Quick test_affinity_ordering;
+    Alcotest.test_case "affinity in range" `Quick test_affinity_range;
+    Alcotest.test_case "rank pairs" `Quick test_rank_pairs;
+  ]

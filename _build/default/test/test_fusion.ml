@@ -1,0 +1,300 @@
+(* Fusion-construction tests: the structure of Generate() output (Fig. 5
+   / Fig. 4), barrier replacement, shared-memory layout, error cases,
+   vertical fusion, and >2-way fusion. *)
+
+open Cuda
+open Hfuse_core
+
+let k_with_barriers =
+  {|
+__global__ void red(float* out, float* a, int n) {
+  __shared__ float buf[128];
+  int tid = threadIdx.x;
+  buf[tid % 128] = a[tid % n];
+  __syncthreads();
+  if (tid < 64) { buf[tid] = buf[tid] + buf[tid + 64]; }
+  __syncthreads();
+  if (tid == 0) { out[blockIdx.x] = buf[0]; }
+}
+|}
+
+let k_plain =
+  {|
+__global__ void scale(float* b, int m) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < m) { b[i] = b[i] * 2.0f; }
+}
+|}
+
+let k_extern =
+  {|
+__global__ void count(int* c, int* xs, int n, int nb) {
+  extern __shared__ unsigned char raw[];
+  int* bins = (int*)raw;
+  for (int i = threadIdx.x; i < nb; i += blockDim.x) { bins[i] = 0; }
+  __syncthreads();
+  for (int i = threadIdx.x; i < n; i += blockDim.x) {
+    atomicAdd(&bins[xs[i] % nb], 1);
+  }
+  __syncthreads();
+  for (int i = threadIdx.x; i < nb; i += blockDim.x) {
+    atomicAdd(&c[i], bins[i]);
+  }
+}
+|}
+
+let info = Test_util.info_of_source
+
+let fuse ?(d1 = 256) ?(d2 = 128) ?(smem2 = 0) src1 src2 =
+  Hfuse.generate
+    (info ~block:(d1, 1, 1) src1)
+    (info ~block:(d2, 1, 1) ~smem_dynamic:smem2 src2)
+
+(* -- horizontal fusion structure -------------------------------------- *)
+
+let test_basic_structure () =
+  let f = fuse k_with_barriers k_plain in
+  Alcotest.(check int) "d1" 256 f.d1;
+  Alcotest.(check int) "d2" 128 f.d2;
+  Alcotest.(check int) "params merged" 5 (List.length f.fn.f_params);
+  (* fused kernel must typecheck as a standalone program *)
+  Typecheck.check_program f.prog;
+  (* no plain __syncthreads survives *)
+  Alcotest.(check int) "no Sync left" 0
+    (Ast_util.fold_stmts
+       (fun acc s -> match s.s with Ast.Sync -> acc + 1 | _ -> acc)
+       0 f.fn.f_body)
+
+let test_barrier_ids_and_counts () =
+  let f = fuse k_with_barriers k_extern ~smem2:256 in
+  let bars =
+    Ast_util.fold_stmts
+      (fun acc s ->
+        match s.s with Ast.Bar_sync (i, n) -> (i, n) :: acc | _ -> acc)
+      [] f.fn.f_body
+  in
+  let b1 = List.filter (fun (i, _) -> i = f.bar1) bars in
+  let b2 = List.filter (fun (i, _) -> i = f.bar2) bars in
+  Alcotest.(check int) "kernel-1 barriers" 2 (List.length b1);
+  Alcotest.(check int) "kernel-2 barriers" 2 (List.length b2);
+  List.iter (fun (_, n) -> Alcotest.(check int) "count = d1" f.d1 n) b1;
+  List.iter (fun (_, n) -> Alcotest.(check int) "count = d2" f.d2 n) b2;
+  Alcotest.(check bool) "distinct ids" true (f.bar1 <> f.bar2)
+
+let test_guards_and_labels () =
+  let f = fuse k_with_barriers k_plain in
+  let labels = Ast_util.labels f.fn.f_body in
+  Alcotest.(check int) "two labels" 2 (Ast_util.StrSet.cardinal labels);
+  let gotos =
+    Ast_util.fold_stmts
+      (fun acc s -> match s.s with Ast.Goto l -> l :: acc | _ -> acc)
+      [] f.fn.f_body
+  in
+  Alcotest.(check int) "two gotos" 2 (List.length gotos);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) ("goto target " ^ l) true
+        (Ast_util.StrSet.mem l labels))
+    gotos
+
+let test_lifted_body () =
+  let f = fuse k_with_barriers k_plain in
+  Alcotest.(check bool) "fused body is goto-safe (lifted)" true
+    (Hfuse_frontend.Lift_decls.is_lifted f.fn.f_body)
+
+let test_extern_shared_layout () =
+  (* both kernels use extern shared: the fused kernel must unify them
+     into one buffer with disjoint, aligned offsets *)
+  let k1 = info ~block:(128, 1, 1) ~smem_dynamic:100 k_extern in
+  let k2 = info ~block:(128, 1, 1) ~smem_dynamic:256 k_extern in
+  let f = Hfuse.generate k1 k2 in
+  Alcotest.(check int) "dynamic smem = aligned(100) + 256" (112 + 256)
+    f.smem_dynamic;
+  let externs =
+    List.filter
+      (fun (d : Ast.decl) -> d.d_storage = Ast.Shared_extern)
+      (Ast_util.collect_decls f.fn.f_body)
+  in
+  Alcotest.(check int) "exactly one extern buffer" 1 (List.length externs);
+  let printed = Hfuse.to_source f in
+  Alcotest.(check bool) "offset 0 bound" true
+    (Test_util.contains printed "(__hf_dyn_smem + 0)");
+  Alcotest.(check bool) "offset 112 bound" true
+    (Test_util.contains printed "(__hf_dyn_smem + 112)")
+
+let test_static_shared_summed () =
+  let f = fuse k_with_barriers k_with_barriers in
+  let total = Kernel_info.smem_static_of_body f.fn.f_body in
+  Alcotest.(check int) "two 512B buffers" 1024 total
+
+let test_register_estimate () =
+  let k1 = info ~regs:34 ~block:(256, 1, 1) k_with_barriers in
+  let k2 = info ~regs:24 ~block:(128, 1, 1) k_plain in
+  let f = Hfuse.generate k1 k2 in
+  Alcotest.(check int) "max + prologue" 38 f.regs
+
+let test_grid_max_and_guard () =
+  let k1 = { (info ~block:(256, 1, 1) k_plain) with grid = 4 } in
+  let k2 = { (info ~block:(128, 1, 1) k_plain) with grid = 8 } in
+  let f = Hfuse.generate k1 k2 in
+  Alcotest.(check int) "grid is max" 8 f.grid;
+  let printed = Hfuse.to_source f in
+  Alcotest.(check bool) "blockIdx guard emitted" true
+    (Test_util.contains printed "blockIdx.x >= 4")
+
+let test_2d_prologue () =
+  let bn =
+    {|
+__global__ void bn(float* a, int n) {
+  int t = threadIdx.x + threadIdx.y * blockDim.x;
+  if (t < n) { a[t] = 0.0f; }
+}
+|}
+  in
+  let f =
+    Hfuse.generate (info ~block:(56, 16, 1) bn) (info ~block:(128, 1, 1) k_plain)
+  in
+  Alcotest.(check int) "d1 = 896" 896 f.d1;
+  let printed = Hfuse.to_source f in
+  Alcotest.(check bool) "x unflattened" true
+    (Test_util.contains printed "global_tid % bdim1_x");
+  Alcotest.(check bool) "y unflattened" true
+    (Test_util.contains printed "/ bdim1_x % bdim1_y")
+
+let test_param_maps () =
+  let f = fuse k_plain k_plain in
+  (* same parameter names on both sides must be disambiguated *)
+  let fused_names = List.map (fun (p : Ast.param) -> p.p_name) f.fn.f_params in
+  Alcotest.(check int) "all distinct" 4
+    (List.length (List.sort_uniq compare fused_names));
+  List.iter
+    (fun (orig, fused) ->
+      Alcotest.(check bool) ("fused param for " ^ orig) true
+        (List.mem fused fused_names))
+    (f.param_map1 @ f.param_map2)
+
+(* -- error cases ------------------------------------------------------ *)
+
+let test_rejects_oversized_block () =
+  match fuse ~d1:896 ~d2:256 k_plain k_plain with
+  | exception Fuse_common.Fusion_error msg ->
+      Alcotest.(check bool) "mentions limit" true
+        (Test_util.contains msg "1024")
+  | _ -> Alcotest.fail "expected fusion error"
+
+let test_rejects_non_warp_multiple () =
+  match fuse ~d1:100 ~d2:128 k_plain k_plain with
+  | exception Fuse_common.Fusion_error msg ->
+      Alcotest.(check bool) "mentions warp" true
+        (Test_util.contains msg "warp")
+  | _ -> Alcotest.fail "expected fusion error"
+
+(* -- vertical fusion --------------------------------------------------- *)
+
+let test_vfuse_structure () =
+  let v =
+    Vfuse.generate (info ~block:(256, 1, 1) k_with_barriers)
+      (info ~block:(256, 1, 1) k_plain)
+  in
+  Typecheck.check_program v.prog;
+  (* vertical fusion keeps full-block __syncthreads *)
+  Alcotest.(check int) "barriers preserved" 2
+    (Ast_util.fold_stmts
+       (fun acc s -> match s.s with Ast.Sync -> acc + 1 | _ -> acc)
+       0 v.fn.f_body);
+  Alcotest.(check int) "no partial barriers" 0
+    (List.length (Barrier.used_ids v.fn.f_body))
+
+let test_vfuse_unequal_guard () =
+  let v =
+    Vfuse.generate (info ~block:(128, 1, 1) k_plain)
+      (info ~block:(256, 1, 1) k_plain)
+  in
+  Alcotest.(check int) "block is max" 256 v.block;
+  let printed = Vfuse.to_source v in
+  Alcotest.(check bool) "thread guard" true
+    (Test_util.contains printed "global_tid < 128")
+
+let test_vfuse_rejects_guarded_barriers () =
+  match
+    Vfuse.generate
+      (info ~block:(128, 1, 1) k_with_barriers)
+      (info ~block:(256, 1, 1) k_plain)
+  with
+  | exception Fuse_common.Fusion_error msg ->
+      Alcotest.(check bool) "mentions barriers" true
+        (Test_util.contains msg "barriers")
+  | _ -> Alcotest.fail "expected fusion error"
+
+(* -- multi-way fusion -------------------------------------------------- *)
+
+let test_multi_fusion () =
+  let m =
+    Multi.generate
+      [
+        info ~block:(128, 1, 1) k_with_barriers;
+        info ~block:(128, 1, 1) k_plain;
+        info ~block:(128, 1, 1) ~smem_dynamic:64 k_extern;
+      ]
+  in
+  Alcotest.(check int) "total threads" 384 (Multi.threads_per_block m);
+  Alcotest.(check (list int)) "offsets" [ 0; 128; 256 ] m.offsets;
+  Typecheck.check_program m.fused.prog;
+  (* three kernels' barriers need three distinct ids *)
+  let ids = Barrier.used_ids m.fused.fn.f_body in
+  Alcotest.(check int) "at least 2 distinct barrier ids" 2
+    (min 2 (List.length ids))
+
+let test_multi_needs_two () =
+  match Multi.generate [ info k_plain ] with
+  | exception Fuse_common.Fusion_error _ -> ()
+  | _ -> Alcotest.fail "expected fusion error"
+
+(* -- barrier module ----------------------------------------------------- *)
+
+let test_barrier_replace_validation () =
+  let stmts = Parser.parse_stmts_string "__syncthreads();" in
+  (match Barrier.replace ~id:0 ~count:128 stmts with
+  | exception Barrier.Invalid_barrier _ -> ()
+  | _ -> Alcotest.fail "id 0 is reserved");
+  (match Barrier.replace ~id:16 ~count:128 stmts with
+  | exception Barrier.Invalid_barrier _ -> ()
+  | _ -> Alcotest.fail "id 16 out of range");
+  match Barrier.replace ~id:1 ~count:100 stmts with
+  | exception Barrier.Invalid_barrier _ -> ()
+  | _ -> Alcotest.fail "count must be warp multiple"
+
+let test_barrier_fresh_id () =
+  Alcotest.(check int) "first free" 1 (Barrier.fresh_id []);
+  Alcotest.(check int) "skips used" 3 (Barrier.fresh_id [ 1; 2 ]);
+  match Barrier.fresh_id [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ] with
+  | exception Barrier.Invalid_barrier _ -> ()
+  | _ -> Alcotest.fail "expected exhaustion error"
+
+let suite =
+  [
+    Alcotest.test_case "basic structure" `Quick test_basic_structure;
+    Alcotest.test_case "barrier ids and counts" `Quick
+      test_barrier_ids_and_counts;
+    Alcotest.test_case "guards and labels" `Quick test_guards_and_labels;
+    Alcotest.test_case "lifted body" `Quick test_lifted_body;
+    Alcotest.test_case "extern shared layout" `Quick test_extern_shared_layout;
+    Alcotest.test_case "static shared summed" `Quick test_static_shared_summed;
+    Alcotest.test_case "register estimate" `Quick test_register_estimate;
+    Alcotest.test_case "grid max and guard" `Quick test_grid_max_and_guard;
+    Alcotest.test_case "2-D prologue" `Quick test_2d_prologue;
+    Alcotest.test_case "param maps" `Quick test_param_maps;
+    Alcotest.test_case "rejects oversized block" `Quick
+      test_rejects_oversized_block;
+    Alcotest.test_case "rejects non-warp-multiple" `Quick
+      test_rejects_non_warp_multiple;
+    Alcotest.test_case "vfuse structure" `Quick test_vfuse_structure;
+    Alcotest.test_case "vfuse unequal guard" `Quick test_vfuse_unequal_guard;
+    Alcotest.test_case "vfuse rejects guarded barriers" `Quick
+      test_vfuse_rejects_guarded_barriers;
+    Alcotest.test_case "multi fusion" `Quick test_multi_fusion;
+    Alcotest.test_case "multi needs two" `Quick test_multi_needs_two;
+    Alcotest.test_case "barrier validation" `Quick
+      test_barrier_replace_validation;
+    Alcotest.test_case "barrier fresh id" `Quick test_barrier_fresh_id;
+  ]

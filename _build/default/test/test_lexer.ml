@@ -1,0 +1,114 @@
+(* Lexer unit tests. *)
+
+open Cuda
+
+let tokens src =
+  let lexed = Lexer.lex src in
+  Array.to_list lexed.tokens
+  |> List.map fst
+  |> List.filter (fun t -> t <> Token.EOF)
+
+let token = Alcotest.testable Token.pp Token.equal
+
+let check_tokens name src expected =
+  Alcotest.(check (list token)) name expected (tokens src)
+
+let test_idents_keywords () =
+  check_tokens "identifiers vs keywords" "foo int threadIdx if elsewhere"
+    [
+      Token.IDENT "foo"; Token.KW "int"; Token.IDENT "threadIdx";
+      Token.KW "if"; Token.IDENT "elsewhere";
+    ]
+
+let test_int_literals () =
+  check_tokens "decimal" "42" [ Token.INT_LIT (42L, Ctype.Int) ];
+  check_tokens "unsigned" "42u" [ Token.INT_LIT (42L, Ctype.UInt) ];
+  check_tokens "ull" "42ull" [ Token.INT_LIT (42L, Ctype.ULong) ];
+  check_tokens "ll" "42ll" [ Token.INT_LIT (42L, Ctype.Long) ];
+  check_tokens "hex" "0xff" [ Token.INT_LIT (255L, Ctype.Int) ];
+  check_tokens "hex unsigned" "0xFFu" [ Token.INT_LIT (255L, Ctype.UInt) ]
+
+let test_u64_overflow_literal () =
+  (* decimal above 2^63-1 must parse as its unsigned bit pattern *)
+  check_tokens "big u64" "14695981039346656037ull"
+    [ Token.INT_LIT (0xCBF29CE484222325L, Ctype.ULong) ]
+
+let test_float_literals () =
+  check_tokens "double" "1.5" [ Token.FLOAT_LIT (1.5, Ctype.Double) ];
+  check_tokens "float suffix" "1.5f" [ Token.FLOAT_LIT (1.5, Ctype.Float) ];
+  check_tokens "exponent" "2e3" [ Token.FLOAT_LIT (2000.0, Ctype.Double) ];
+  check_tokens "exp+suffix" "2.5e-1f" [ Token.FLOAT_LIT (0.25, Ctype.Float) ];
+  check_tokens "trailing dot" "3. " [ Token.FLOAT_LIT (3.0, Ctype.Double) ]
+
+let test_operators () =
+  check_tokens "shifts vs relations" "a << b >> c < d <= e"
+    [
+      Token.IDENT "a"; Token.LSHIFT; Token.IDENT "b"; Token.RSHIFT;
+      Token.IDENT "c"; Token.LT; Token.IDENT "d"; Token.LE; Token.IDENT "e";
+    ];
+  check_tokens "compound assigns" "x += 1; y <<= 2;"
+    [
+      Token.IDENT "x"; Token.PLUS_ASSIGN; Token.INT_LIT (1L, Ctype.Int);
+      Token.SEMI; Token.IDENT "y"; Token.LSHIFT_ASSIGN;
+      Token.INT_LIT (2L, Ctype.Int); Token.SEMI;
+    ];
+  check_tokens "incdec and arrow" "p++ -- ->"
+    [ Token.IDENT "p"; Token.PLUSPLUS; Token.MINUSMINUS; Token.ARROW ]
+
+let test_comments () =
+  check_tokens "line comment" "a // comment here\n b"
+    [ Token.IDENT "a"; Token.IDENT "b" ];
+  check_tokens "block comment" "a /* x \n y */ b"
+    [ Token.IDENT "a"; Token.IDENT "b" ]
+
+let test_unterminated_comment () =
+  match Lexer.lex "a /* oops" with
+  | exception Lexer.Error (msg, _) ->
+      Alcotest.(check string) "message" "unterminated block comment" msg
+  | _ -> Alcotest.fail "expected a lexer error"
+
+let test_string_literal () =
+  check_tokens "asm string" {|asm("bar.sync 1, 896;")|}
+    [
+      Token.KW "asm"; Token.LPAREN; Token.STRING_LIT "bar.sync 1, 896;";
+      Token.RPAREN;
+    ]
+
+let test_defines () =
+  let lexed = Lexer.lex "#define WARP_SIZE 32\n#define HEX 0x10\nint x;" in
+  Alcotest.(check (list (pair string int64)))
+    "defines" [ ("WARP_SIZE", 32L); ("HEX", 16L) ] lexed.defines
+
+let test_define_ignores_nonconstant () =
+  let lexed = Lexer.lex "#define F(x) ((x)+1)\n#include <cuda.h>\nint x;" in
+  Alcotest.(check int) "no defines" 0 (List.length lexed.defines)
+
+let test_positions () =
+  let lexed = Lexer.lex "ab\n  cd" in
+  let _, loc = lexed.tokens.(1) in
+  Alcotest.(check int) "line" 2 loc.Loc.line;
+  Alcotest.(check int) "col" 3 loc.Loc.col
+
+let test_bad_char () =
+  match Lexer.lex "@" with
+  | exception Lexer.Error (msg, loc) ->
+      Alcotest.(check string) "message" "unexpected character '@'" msg;
+      Alcotest.(check int) "offset" 0 loc.Loc.offset
+  | _ -> Alcotest.fail "expected a lexer error"
+
+let suite =
+  [
+    Alcotest.test_case "idents and keywords" `Quick test_idents_keywords;
+    Alcotest.test_case "int literals" `Quick test_int_literals;
+    Alcotest.test_case "u64 overflow literal" `Quick test_u64_overflow_literal;
+    Alcotest.test_case "float literals" `Quick test_float_literals;
+    Alcotest.test_case "operators" `Quick test_operators;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "unterminated comment" `Quick test_unterminated_comment;
+    Alcotest.test_case "string literal" `Quick test_string_literal;
+    Alcotest.test_case "defines" `Quick test_defines;
+    Alcotest.test_case "non-constant defines ignored" `Quick
+      test_define_ignores_nonconstant;
+    Alcotest.test_case "positions" `Quick test_positions;
+    Alcotest.test_case "bad character" `Quick test_bad_char;
+  ]

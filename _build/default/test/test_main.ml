@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "hfuse"
+    [
+      ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("pretty", Test_pretty.suite);
+      ("typecheck", Test_typecheck.suite);
+      ("frontend", Test_frontend.suite);
+      ("ast-util", Test_astutil.suite);
+      ("fusion", Test_fusion.suite);
+      ("occupancy", Test_occupancy.suite);
+      ("search", Test_search.suite);
+      ("value", Test_value.suite);
+      ("memory", Test_memory.suite);
+      ("interp", Test_interp.suite);
+      ("timing", Test_timing.suite);
+      ("analyzer", Test_analyzer.suite);
+      ("ptx", Test_ptx.suite);
+      ("kernels", Test_kernels.suite);
+      ("equivalence", Test_equivalence.suite);
+      ("differential", Test_diff.suite);
+    ]

@@ -1,0 +1,135 @@
+(* Occupancy / register-bound math (Fig. 6 lines 13-16), including the
+   paper's motivating configuration, plus monotonicity properties. *)
+
+open Hfuse_core
+
+let lim = Occupancy.pascal_volta_limits
+
+let test_blocks_per_sm () =
+  (* the worked example from Section II-A: 24K shared, 512 threads,
+     64 registers per thread -> 2 blocks, registers the bottleneck *)
+  Alcotest.(check int) "paper example" 2
+    (Occupancy.blocks_per_sm lim ~regs:64 ~threads:512 ~smem:(24 * 1024));
+  Alcotest.(check bool) "register-limited" true
+    (Occupancy.limiting_resource lim ~regs:64 ~threads:512 ~smem:(24 * 1024)
+    = Occupancy.By_registers);
+  (* ... and with 32 registers the occupancy doubles (paper: "the
+     developer doubles the occupancy") *)
+  Alcotest.(check int) "halved regs" 4
+    (Occupancy.blocks_per_sm lim ~regs:32 ~threads:512 ~smem:(24 * 1024));
+  Alcotest.(check int) "thread-limited" 2
+    (Occupancy.blocks_per_sm lim ~regs:16 ~threads:1024 ~smem:0);
+  Alcotest.(check int) "smem-limited" 3
+    (Occupancy.blocks_per_sm lim ~regs:16 ~threads:128 ~smem:(32 * 1024));
+  Alcotest.(check int) "block-slot-limited" 32
+    (Occupancy.blocks_per_sm lim ~regs:8 ~threads:32 ~smem:0);
+  Alcotest.(check int) "does not fit" 0
+    (Occupancy.blocks_per_sm lim ~regs:255 ~threads:1024 ~smem:0)
+
+let test_theoretical_occupancy () =
+  Alcotest.(check (float 1e-9)) "full" 1.0
+    (Occupancy.theoretical_occupancy lim ~regs:32 ~threads:512 ~smem:0);
+  Alcotest.(check (float 1e-9)) "half" 0.5
+    (Occupancy.theoretical_occupancy lim ~regs:64 ~threads:1024 ~smem:0)
+
+let test_register_bound_paper_case () =
+  (* Batchnorm(896 threads, 34 regs) + Hist(128 threads, 24 regs):
+     b1 = 65536/(896*34) = 2, b2 = 65536/(128*24) = 21, threads bound 2
+     -> b0 = 2 -> r0 = 65536/(2*1024) = 32, the bound the paper reports
+     for this pair on the 1080Ti (Section II-C / Fig. 9). *)
+  Alcotest.(check (option int)) "r0 = 32" (Some 32)
+    (Occupancy.register_bound lim ~d1:896 ~regs1:34 ~d2:128 ~regs2:24
+       ~fused_smem:768)
+
+let test_register_bound_smem_bound () =
+  (* enormous fused shared memory forces b0 via smem *)
+  Alcotest.(check (option int)) "smem binds b0" (Some 128)
+    (Occupancy.register_bound lim ~d1:256 ~regs1:16 ~d2:256 ~regs2:16
+       ~fused_smem:(96 * 1024))
+
+let test_register_bound_none () =
+  (* a kernel so register-hungry that b1 = 0: no bound can help *)
+  Alcotest.(check (option int)) "no bound" None
+    (Occupancy.register_bound lim ~d1:1024 ~regs1:255 ~d2:1024 ~regs2:16
+       ~fused_smem:0)
+
+let test_register_bound_clamped () =
+  (* tiny kernels: r0 would exceed the 255-register hardware cap *)
+  match
+    Occupancy.register_bound lim ~d1:32 ~regs1:16 ~d2:32 ~regs2:16
+      ~fused_smem:0
+  with
+  | Some r -> Alcotest.(check bool) "clamped" true (r <= 255)
+  | None -> Alcotest.fail "expected a bound"
+
+(* -- properties -------------------------------------------------------- *)
+
+let arb_cfg =
+  QCheck.(
+    triple (int_range 8 255) (int_range 32 1024) (int_range 0 (96 * 1024)))
+
+let blocks_monotone_regs =
+  QCheck.Test.make ~name:"more registers never increase occupancy" ~count:300
+    arb_cfg (fun (regs, threads, smem) ->
+      let threads = threads / 32 * 32 in
+      QCheck.assume (threads > 0);
+      Occupancy.blocks_per_sm lim ~regs:(min 255 (regs + 8)) ~threads ~smem
+      <= Occupancy.blocks_per_sm lim ~regs ~threads ~smem)
+
+let blocks_monotone_smem =
+  QCheck.Test.make ~name:"more shared memory never increases occupancy"
+    ~count:300 arb_cfg (fun (regs, threads, smem) ->
+      let threads = max 32 (threads / 32 * 32) in
+      Occupancy.blocks_per_sm lim ~regs ~threads ~smem:(smem + 1024)
+      <= Occupancy.blocks_per_sm lim ~regs ~threads ~smem)
+
+let blocks_respect_limits =
+  QCheck.Test.make ~name:"residency respects every hardware limit" ~count:300
+    arb_cfg (fun (regs, threads, smem) ->
+      let threads = max 32 (threads / 32 * 32) in
+      let b = Occupancy.blocks_per_sm lim ~regs ~threads ~smem in
+      b * threads <= lim.max_threads_per_sm
+      && (smem = 0 || b * smem <= lim.smem_per_sm)
+      && b <= lim.max_blocks_per_sm)
+
+let bound_restores_occupancy =
+  QCheck.Test.make
+    ~name:"launching at r0 runs at least min(b1,b2) blocks (Fig. 6 intent)"
+    ~count:300
+    QCheck.(
+      quad (int_range 8 64) (int_range 8 64) (int_range 1 7) (int_range 1 7))
+    (fun (regs1, regs2, w1, w2) ->
+      let d1 = w1 * 128 and d2 = w2 * 128 in
+      QCheck.assume (d1 + d2 <= 1024);
+      match
+        Occupancy.register_bound lim ~d1 ~regs1 ~d2 ~regs2 ~fused_smem:0
+      with
+      | None -> QCheck.assume_fail ()
+      | Some r0 ->
+          let b1 = lim.regs_per_sm / (d1 * regs1) in
+          let b2 = lim.regs_per_sm / (d2 * regs2) in
+          let b0 =
+            min (min b1 b2) (lim.max_threads_per_sm / (d1 + d2))
+          in
+          (* raw-regs residency at the bound (the formula's own metric) *)
+          lim.regs_per_sm / (r0 * (d1 + d2)) >= b0)
+
+let suite =
+  [
+    Alcotest.test_case "blocks per SM" `Quick test_blocks_per_sm;
+    Alcotest.test_case "theoretical occupancy" `Quick
+      test_theoretical_occupancy;
+    Alcotest.test_case "register bound (paper case)" `Quick
+      test_register_bound_paper_case;
+    Alcotest.test_case "register bound (smem-bound)" `Quick
+      test_register_bound_smem_bound;
+    Alcotest.test_case "register bound (impossible)" `Quick
+      test_register_bound_none;
+    Alcotest.test_case "register bound (clamped)" `Quick
+      test_register_bound_clamped;
+  ]
+  @ Test_util.qcheck_cases
+      [
+        blocks_monotone_regs; blocks_monotone_smem; blocks_respect_limits;
+        bound_restores_occupancy;
+      ]

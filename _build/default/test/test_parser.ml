@@ -1,0 +1,247 @@
+(* Parser unit tests: expression precedence, statements, declarations,
+   functions, and error reporting. *)
+
+open Cuda
+
+let expr = Parser.parse_expr_string
+let stmts = Parser.parse_stmts_string
+
+let check_expr name src expected =
+  Alcotest.(check string) name expected (Pretty.expr_to_string (expr src))
+
+(* -- expressions ---------------------------------------------------- *)
+
+let test_precedence () =
+  (* the printer is precedence-minimal, so the printed form shows the
+     parse structure *)
+  check_expr "mul binds tighter" "a + b * c" "a + b * c";
+  check_expr "explicit parens survive" "(a + b) * c" "(a + b) * c";
+  check_expr "shift vs add" "a << b + c" "a << b + c";
+  check_expr "shift vs relational" "a < b << c" "a < b << c";
+  check_expr "bitand vs equality" "a & b == c" "a & b == c";
+  check_expr "logical" "a && b || c && d" "a && b || c && d";
+  check_expr "unary binds tightest" "-a * b" "-a * b";
+  check_expr "neg of product" "-(a * b)" "-(a * b)"
+
+let test_associativity () =
+  let e = expr "a - b - c" in
+  (match e with
+  | Ast.Binop (Ast.Sub, Ast.Binop (Ast.Sub, _, _), Ast.Var "c") -> ()
+  | _ -> Alcotest.fail "subtraction must be left-associative");
+  let e = expr "a = b = c" in
+  match e with
+  | Ast.Assign (Ast.Var "a", Ast.Assign (Ast.Var "b", Ast.Var "c")) -> ()
+  | _ -> Alcotest.fail "assignment must be right-associative"
+
+let test_ternary () =
+  match expr "a ? b : c ? d : e" with
+  | Ast.Ternary (Ast.Var "a", Ast.Var "b", Ast.Ternary _) -> ()
+  | _ -> Alcotest.fail "ternary must be right-associative"
+
+let test_cast () =
+  (match expr "(float)x" with
+  | Ast.Cast (Ctype.Float, Ast.Var "x") -> ()
+  | _ -> Alcotest.fail "simple cast");
+  (match expr "(unsigned long long)x" with
+  | Ast.Cast (Ctype.ULong, Ast.Var "x") -> ()
+  | _ -> Alcotest.fail "multi-keyword cast");
+  (match expr "(int*)p" with
+  | Ast.Cast (Ctype.Ptr Ctype.Int, Ast.Var "p") -> ()
+  | _ -> Alcotest.fail "pointer cast");
+  (* parenthesised expression is NOT a cast *)
+  match expr "(x)" with
+  | Ast.Var "x" -> ()
+  | _ -> Alcotest.fail "parenthesised var"
+
+let test_postfix () =
+  (match expr "a[i][j]" with
+  | Ast.Index (Ast.Index (Ast.Var "a", Ast.Var "i"), Ast.Var "j") -> ()
+  | _ -> Alcotest.fail "nested index");
+  (match expr "f(a, b + 1)" with
+  | Ast.Call ("f", [ Ast.Var "a"; Ast.Binop (Ast.Add, _, _) ]) -> ()
+  | _ -> Alcotest.fail "call args");
+  match expr "x++ + ++y" with
+  | Ast.Binop
+      ( Ast.Add,
+        Ast.Incdec { pre = false; inc = true; _ },
+        Ast.Incdec { pre = true; inc = true; _ } ) ->
+      ()
+  | _ -> Alcotest.fail "inc/dec"
+
+let test_builtins () =
+  (match expr "threadIdx.x" with
+  | Ast.Builtin (Ast.Thread_idx Ast.X) -> ()
+  | _ -> Alcotest.fail "threadIdx.x");
+  (match expr "blockDim.y * gridDim.x" with
+  | Ast.Binop
+      ( Ast.Mul,
+        Ast.Builtin (Ast.Block_dim Ast.Y),
+        Ast.Builtin (Ast.Grid_dim Ast.X) ) ->
+      ()
+  | _ -> Alcotest.fail "blockDim/gridDim")
+
+let test_addr_deref () =
+  match expr "*&a[i]" with
+  | Ast.Deref (Ast.Addr_of (Ast.Index _)) -> ()
+  | _ -> Alcotest.fail "deref of addr-of"
+
+(* -- statements ------------------------------------------------------ *)
+
+let test_if_else () =
+  match stmts "if (a) x = 1; else { y = 2; }" with
+  | [ { s = Ast.If (Ast.Var "a", [ _ ], [ _ ]); _ } ] -> ()
+  | _ -> Alcotest.fail "if/else shape"
+
+let test_dangling_else () =
+  match stmts "if (a) if (b) x = 1; else y = 2;" with
+  | [ { s = Ast.If (_, [ { s = Ast.If (_, _, [ _ ]); _ } ], []); _ } ] -> ()
+  | _ -> Alcotest.fail "else binds to nearest if"
+
+let test_for_variants () =
+  (match stmts "for (int i = 0; i < n; i++) { }" with
+  | [ { s = Ast.For (Some (Ast.For_decl [ d ]), Some _, Some _, []); _ } ] ->
+      Alcotest.(check string) "decl name" "i" d.d_name
+  | _ -> Alcotest.fail "for with decl");
+  (match stmts "for (i = 0; ; ) x++;" with
+  | [ { s = Ast.For (Some (Ast.For_expr _), None, None, [ _ ]); _ } ] -> ()
+  | _ -> Alcotest.fail "for with empty cond/step");
+  match stmts "for (;;) break;" with
+  | [ { s = Ast.For (None, None, None, [ { s = Ast.Break; _ } ]); _ } ] -> ()
+  | _ -> Alcotest.fail "empty for"
+
+let test_while_do () =
+  (match stmts "while (x) x--;" with
+  | [ { s = Ast.While (_, [ _ ]); _ } ] -> ()
+  | _ -> Alcotest.fail "while");
+  match stmts "do { x--; } while (x);" with
+  | [ { s = Ast.Do_while ([ _ ], Ast.Var "x"); _ } ] -> ()
+  | _ -> Alcotest.fail "do-while"
+
+let test_goto_label () =
+  match stmts "goto end; x = 1; end: ;" with
+  | [
+   { s = Ast.Goto "end"; _ }; { s = Ast.Expr _; _ }; { s = Ast.Label "end"; _ };
+   { s = Ast.Nop; _ };
+  ] ->
+      ()
+  | _ -> Alcotest.fail "goto/label"
+
+let test_sync_and_bar () =
+  (match stmts "__syncthreads();" with
+  | [ { s = Ast.Sync; _ } ] -> ()
+  | _ -> Alcotest.fail "__syncthreads");
+  (match stmts {|asm("bar.sync 3, 256;");|} with
+  | [ { s = Ast.Bar_sync (3, 256); _ } ] -> ()
+  | _ -> Alcotest.fail "bar.sync");
+  match stmts {|asm volatile("bar.sync 1, 32;");|} with
+  | [ { s = Ast.Bar_sync (1, 32); _ } ] -> ()
+  | _ -> Alcotest.fail "asm volatile"
+
+let test_decl_group () =
+  match stmts "int a = 1, *b, c[4];" with
+  | [ { s = Ast.Block [ da; db; dc ]; _ } ] -> (
+      match (da.s, db.s, dc.s) with
+      | Ast.Decl a, Ast.Decl b, Ast.Decl c ->
+          Alcotest.(check bool) "a init" true (a.d_init <> None);
+          Alcotest.(check bool)
+            "b is pointer"
+            (b.d_type = Ctype.Ptr Ctype.Int)
+            true;
+          Alcotest.(check bool)
+            "c is array"
+            (c.d_type = Ctype.Array (Ctype.Int, Some 4))
+            true
+      | _ -> Alcotest.fail "decl group members")
+  | _ -> Alcotest.fail "decl group"
+
+let test_shared_decls () =
+  (match stmts "__shared__ float buf[2 * 32];" with
+  | [ { s = Ast.Decl d; _ } ] ->
+      Alcotest.(check bool) "shared storage" true (d.d_storage = Ast.Shared);
+      Alcotest.(check bool)
+        "const-folded dim" true
+        (d.d_type = Ctype.Array (Ctype.Float, Some 64))
+  | _ -> Alcotest.fail "__shared__ decl");
+  match stmts "extern __shared__ unsigned char smem[];" with
+  | [ { s = Ast.Decl d; _ } ] ->
+      Alcotest.(check bool)
+        "extern shared" true
+        (d.d_storage = Ast.Shared_extern
+        && d.d_type = Ctype.Array (Ctype.UChar, None))
+  | _ -> Alcotest.fail "extern __shared__ decl"
+
+(* -- functions / programs -------------------------------------------- *)
+
+let test_function_parsing () =
+  let prog =
+    Parser.parse_program
+      {|
+__device__ __forceinline__ float sq(float x) { return x * x; }
+__global__ void __launch_bounds__(256) k(float* a, const int n, int dims[3]) {
+  a[0] = sq(1.0f);
+}
+|}
+  in
+  Alcotest.(check int) "two functions" 2 (List.length prog.functions);
+  let d = List.nth prog.functions 0 and g = List.nth prog.functions 1 in
+  Alcotest.(check bool) "device kind" true (d.f_kind = Ast.Device);
+  Alcotest.(check bool) "global kind" true (g.f_kind = Ast.Global);
+  Alcotest.(check (option int)) "launch bounds" (Some 256) g.f_launch_bounds;
+  (* array parameters decay to pointers *)
+  let p3 = List.nth g.f_params 2 in
+  Alcotest.(check bool) "array param decays" true (p3.p_type = Ctype.Ptr Ctype.Int)
+
+let test_define_substitution () =
+  let prog =
+    Parser.parse_program
+      "#define N 8\n__global__ void k(int* a) { a[0] = N * 2; }"
+  in
+  let k = List.hd prog.functions in
+  match k.f_body with
+  | [ { s = Ast.Expr (Ast.Assign (_, Ast.Binop (Ast.Mul, Ast.Int_lit (8L, _), _)));
+        _ } ] ->
+      ()
+  | _ -> Alcotest.fail "define not substituted"
+
+let test_parse_kernel_errors () =
+  Alcotest.check_raises "no kernel"
+    (Failure "parse_kernel: no __global__ kernel in input") (fun () ->
+      ignore (Parser.parse_kernel "__device__ int f() { return 1; }"))
+
+let test_syntax_error_location () =
+  match Parser.parse_program "__global__ void k() { int x = ; }" with
+  | exception Parser.Error (_, loc) ->
+      Alcotest.(check int) "error line" 1 loc.Loc.line
+  | _ -> Alcotest.fail "expected a parse error"
+
+let test_const_dims_required () =
+  match Parser.parse_stmts_string "__shared__ int a[n];" with
+  | exception Parser.Error (msg, _) ->
+      Alcotest.(check bool)
+        "mentions constant" true
+        (Test_util.contains msg "constant")
+  | _ -> Alcotest.fail "expected constant-dimension error"
+
+let suite =
+  [
+    Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "associativity" `Quick test_associativity;
+    Alcotest.test_case "ternary" `Quick test_ternary;
+    Alcotest.test_case "casts" `Quick test_cast;
+    Alcotest.test_case "postfix" `Quick test_postfix;
+    Alcotest.test_case "builtins" `Quick test_builtins;
+    Alcotest.test_case "addr/deref" `Quick test_addr_deref;
+    Alcotest.test_case "if/else" `Quick test_if_else;
+    Alcotest.test_case "dangling else" `Quick test_dangling_else;
+    Alcotest.test_case "for variants" `Quick test_for_variants;
+    Alcotest.test_case "while/do" `Quick test_while_do;
+    Alcotest.test_case "goto/label" `Quick test_goto_label;
+    Alcotest.test_case "sync and bar.sync" `Quick test_sync_and_bar;
+    Alcotest.test_case "declaration groups" `Quick test_decl_group;
+    Alcotest.test_case "shared declarations" `Quick test_shared_decls;
+    Alcotest.test_case "functions" `Quick test_function_parsing;
+    Alcotest.test_case "define substitution" `Quick test_define_substitution;
+    Alcotest.test_case "parse_kernel errors" `Quick test_parse_kernel_errors;
+    Alcotest.test_case "error locations" `Quick test_syntax_error_location;
+    Alcotest.test_case "const dims required" `Quick test_const_dims_required;
+  ]

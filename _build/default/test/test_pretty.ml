@@ -1,0 +1,132 @@
+(* Printer tests: specific precedence cases plus a QCheck round-trip
+   property — printing a random expression and re-parsing it must yield
+   the same AST. *)
+
+open Cuda
+
+let reprint src = Pretty.expr_to_string (Parser.parse_expr_string src)
+
+let test_minimal_parens () =
+  Alcotest.(check string) "assoc chain kept flat" "a + b + c"
+    (reprint "a + b + c");
+  Alcotest.(check string)
+    "right-nested sub parenthesised" "a - (b - c)"
+    (reprint "a - (b - c)");
+  Alcotest.(check string) "cast tight" "(float)x + y" (reprint "(float)x + y");
+  Alcotest.(check string)
+    "assign in call arg" "f(a = b)" (reprint "f(a = b)");
+  Alcotest.(check string)
+    "ternary nested" "a ? b : c ? d : e"
+    (reprint "a ? b : c ? d : e");
+  Alcotest.(check string)
+    "index of deref" "(*p)[i]" (reprint "(*p)[i]")
+
+let test_stmt_printing () =
+  let s = Parser.parse_stmts_string "if (a < b) { x += 1; } else y = 2;" in
+  let printed = String.concat "\n" (List.map Pretty.stmt_to_string s) in
+  let s2 = Parser.parse_stmts_string printed in
+  Alcotest.(check bool) "stmt round trip" true (Ast_util.equal_normalized s s2)
+
+let test_fn_round_trip () =
+  let src =
+    {|
+__global__ void k(float* a, int n) {
+  __shared__ float buf[32];
+  extern __shared__ unsigned char dyn[];
+  for (int i = threadIdx.x; i < n; i += blockDim.x) {
+    if (i % 2 == 0) { a[i] = buf[i % 32] * 2.0f; } else { continue; }
+  }
+  __syncthreads();
+  asm("bar.sync 1, 128;");
+  do { n--; } while (n > 0);
+}
+|}
+  in
+  let _, f = Test_util.kernel_of_source src in
+  let _, f2 = Test_util.kernel_of_source (Pretty.fn_to_string f) in
+  Alcotest.(check bool)
+    "function body round trip" true
+    (Ast_util.equal_normalized f.f_body f2.f_body);
+  Alcotest.(check int)
+    "params preserved"
+    (List.length f.f_params)
+    (List.length f2.f_params)
+
+(* -- QCheck round-trip ------------------------------------------------ *)
+
+let gen_expr : Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "c"; "x"; "y" ] >|= fun v -> Ast.Var v in
+  let lit =
+    oneof
+      [
+        (map (fun n -> Ast.Int_lit (Int64.of_int (abs n), Ctype.Int)) small_int);
+        ( map
+            (fun n -> Ast.Int_lit (Int64.of_int (abs n), Ctype.UInt))
+            small_int );
+        return (Ast.Float_lit (1.5, Ctype.Float));
+        return (Ast.Bool_lit true);
+        return (Ast.Builtin (Ast.Thread_idx Ast.X));
+      ]
+  in
+  let binops =
+    [
+      Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.Land; Ast.Lor;
+      Ast.Band; Ast.Bor; Ast.Bxor; Ast.Shl; Ast.Shr; Ast.Eq; Ast.Ne; Ast.Lt;
+      Ast.Le; Ast.Gt; Ast.Ge;
+    ]
+  in
+  fix
+    (fun self n ->
+      if n <= 0 then oneof [ var; lit ]
+      else
+        frequency
+          [
+            (2, oneof [ var; lit ]);
+            ( 6,
+              oneofl binops >>= fun op ->
+              self (n / 2) >>= fun a ->
+              self (n / 2) >|= fun b -> Ast.Binop (op, a, b) );
+            ( 1,
+              oneofl [ Ast.Neg; Ast.Lnot; Ast.Bnot ] >>= fun op ->
+              self (n - 1) >|= fun a -> Ast.Unop (op, a) );
+            ( 1,
+              self (n / 3) >>= fun c ->
+              self (n / 3) >>= fun a ->
+              self (n / 3) >|= fun b -> Ast.Ternary (c, a, b) );
+            ( 1,
+              self (n - 1) >|= fun a -> Ast.Cast (Ctype.Float, a) );
+            ( 1,
+              self (n / 2) >>= fun a ->
+              self (n / 2) >|= fun i ->
+              Ast.Index (Ast.Var "arr", Ast.Binop (Ast.Add, a, i)) );
+            ( 1,
+              self (n / 2) >>= fun a ->
+              self (n / 2) >|= fun b -> Ast.Call ("min", [ a; b ]) );
+          ])
+    8
+
+let arb_expr =
+  QCheck.make ~print:Pretty.expr_to_string gen_expr
+
+let round_trip_prop =
+  QCheck.Test.make ~name:"print/parse round trip" ~count:500 arb_expr
+    (fun e ->
+      let printed = Pretty.expr_to_string e in
+      match Parser.parse_expr_string printed with
+      | e' -> e = e'
+      | exception _ ->
+          QCheck.Test.fail_reportf "did not re-parse: %s" printed)
+
+let print_deterministic =
+  QCheck.Test.make ~name:"printing is deterministic" ~count:100 arb_expr
+    (fun e ->
+      String.equal (Pretty.expr_to_string e) (Pretty.expr_to_string e))
+
+let suite =
+  [
+    Alcotest.test_case "minimal parens" `Quick test_minimal_parens;
+    Alcotest.test_case "statement printing" `Quick test_stmt_printing;
+    Alcotest.test_case "function round trip" `Quick test_fn_round_trip;
+  ]
+  @ Test_util.qcheck_cases [ round_trip_prop; print_deterministic ]

@@ -1,0 +1,217 @@
+(* PTX backend tests: lowering structure, emission well-formedness over
+   the whole corpus (including fused kernels), and the liveness
+   analysis. *)
+
+open Hfuse_ptx
+
+let lower_src src =
+  let prog, fn = Test_util.kernel_of_source src in
+  let fn = Hfuse_frontend.Inline.normalize_kernel prog fn in
+  Lower.lower_fn fn
+
+let count pred (l : Lower.lowered) =
+  List.length (List.filter pred l.body)
+
+let test_simple_lowering () =
+  let l =
+    lower_src
+      {|
+__global__ void k(float* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { a[i] = a[i] * 2.0f; }
+}
+|}
+  in
+  Alcotest.(check int) "one global load" 1
+    (count (function Pinstr.Ld (Pinstr.Global, _, _, _, _) -> true | _ -> false) l);
+  Alcotest.(check int) "one global store" 1
+    (count (function Pinstr.St (Pinstr.Global, _, _, _, _) -> true | _ -> false) l);
+  Alcotest.(check int) "three special registers" 3
+    (count (function Pinstr.Sreg _ -> true | _ -> false) l);
+  Alcotest.(check bool) "a predicate was set" true
+    (count (function Pinstr.Setp _ -> true | _ -> false) l >= 1);
+  Alcotest.(check bool) "a guarded branch exists" true
+    (count (function Pinstr.BraPred _ -> true | _ -> false) l >= 1)
+
+let test_shared_space () =
+  let l =
+    lower_src
+      {|
+__global__ void k(int* out) {
+  __shared__ int buf[64];
+  extern __shared__ unsigned char dyn[];
+  int* alias = (int*)dyn;
+  buf[threadIdx.x % 64] = 1;
+  alias[threadIdx.x % 8] = 2;
+  atomicAdd(&buf[0], 3);
+  __syncthreads();
+  out[threadIdx.x] = buf[0];
+}
+|}
+  in
+  Alcotest.(check bool) "shared stores" true
+    (count (function Pinstr.St (Pinstr.Shared, _, _, _, _) -> true | _ -> false) l
+    >= 2);
+  Alcotest.(check int) "shared atomic" 1
+    (count
+       (function Pinstr.Atom (Pinstr.Shared, "add", _, _, _, _) -> true | _ -> false)
+       l);
+  Alcotest.(check int) "full-block barrier" 1
+    (count (function Pinstr.Bar (0, None) -> true | _ -> false) l);
+  Alcotest.(check bool) "static shared laid out" true (l.shared_bytes >= 256)
+
+let test_loop_lowering () =
+  let l =
+    lower_src
+      {|
+__global__ void k(int* a, int n) {
+  for (int i = 0; i < n; i++) {
+    if (i == 7) { continue; }
+    if (i == 9) { break; }
+    a[i] = i;
+  }
+}
+|}
+  in
+  (* a for loop emits head/step/end labels plus two if-join labels *)
+  Alcotest.(check bool) "labels emitted" true
+    (count (function Pinstr.Label _ -> true | _ -> false) l >= 5);
+  Alcotest.(check bool) "backward branch emitted" true
+    (count (function Pinstr.Bra _ -> true | _ -> false) l >= 3)
+
+let test_bar_sync_lowering () =
+  let l =
+    lower_src
+      "__global__ void k(int* a) { asm(\"bar.sync 3, 256;\"); a[0] = 1; }"
+  in
+  Alcotest.(check int) "partial barrier" 1
+    (count (function Pinstr.Bar (3, Some 256) -> true | _ -> false) l)
+
+(* every corpus kernel (and a fused one) lowers and emits well-formed
+   PTX: all labels referenced by branches are defined, every used
+   register is below the declared count *)
+let well_formed (l : Lower.lowered) : (unit, string) result =
+  let labels = Hashtbl.create 16 in
+  List.iter
+    (function Pinstr.Label s -> Hashtbl.replace labels s () | _ -> ())
+    l.body;
+  let bad = ref None in
+  List.iter
+    (fun i ->
+      (match i with
+      | Pinstr.Bra l | Pinstr.BraPred (_, _, l) ->
+          if not (Hashtbl.mem labels l) then bad := Some ("missing label " ^ l)
+      | _ -> ());
+      List.iter
+        (fun (r : Pinstr.vreg) ->
+          let declared = List.assoc r.cls l.reg_counts in
+          if r.idx > declared then
+            bad := Some (Printf.sprintf "register %s beyond declaration"
+                           (Pinstr.string_of_vreg r)))
+        (Pinstr.defs i @ Pinstr.uses i))
+    l.body;
+  match !bad with None -> Ok () | Some e -> Error e
+
+let corpus_cases =
+  List.map
+    (fun (s : Kernel_corpus.Spec.t) ->
+      Alcotest.test_case ("lower corpus: " ^ s.name) `Quick (fun () ->
+          let prog, fn = Kernel_corpus.Spec.parse s in
+          let fn = Hfuse_frontend.Inline.normalize_kernel prog fn in
+          let l = Lower.lower_fn fn in
+          (match well_formed l with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail e);
+          (* emission runs and produces the expected skeleton *)
+          let ptx = Emit.kernel_to_string l in
+          Alcotest.(check bool) "entry declared" true
+            (Test_util.contains ptx (".visible .entry " ^ l.name));
+          Alcotest.(check bool) "version header" true
+            (Test_util.contains ptx ".version 6.5");
+          (* pressure is within hardware range and at least the minimum *)
+          let p = Liveness.register_pressure l in
+          Alcotest.(check bool) "pressure sane" true (p >= 16 && p <= 255)))
+    Kernel_corpus.Registry.all
+
+let test_fused_kernel_lowers () =
+  let s1 = Kernel_corpus.Registry.find_exn "Batchnorm" in
+  let s2 = Kernel_corpus.Registry.find_exn "Hist" in
+  let mem = Gpusim.Memory.create () in
+  let i1 = s1.instantiate mem ~size:1 and i2 = s2.instantiate mem ~size:1 in
+  let k1 =
+    Hfuse_core.Kernel_info.with_block_dim (Kernel_corpus.Spec.kernel_info s1 i1) 896
+  in
+  let k2 =
+    Hfuse_core.Kernel_info.with_block_dim (Kernel_corpus.Spec.kernel_info s2 i2) 128
+  in
+  let f = Hfuse_core.Hfuse.generate k1 k2 in
+  let fn = Hfuse_frontend.Inline.normalize_kernel f.prog f.fn in
+  let l = Lower.lower_fn fn in
+  (match well_formed l with Ok () -> () | Error e -> Alcotest.fail e);
+  (* the fused kernel's partial barriers survive into PTX *)
+  Alcotest.(check bool) "bar.sync id 1 with 896 threads" true
+    (List.exists
+       (function Pinstr.Bar (1, Some 896) -> true | _ -> false)
+       l.body);
+  Alcotest.(check bool) "bar.sync id 2 with 128 threads" true
+    (List.exists
+       (function Pinstr.Bar (2, Some 128) -> true | _ -> false)
+       l.body);
+  (* the goto guards became branches to the user labels *)
+  let ptx = Emit.kernel_to_string l in
+  Alcotest.(check bool) "K1_end label present" true
+    (Test_util.contains ptx "$U_K1_end:")
+
+let test_liveness_basics () =
+  let mk cls idx = { Pinstr.cls; idx } in
+  let r1 = mk Pinstr.B32 1 and r2 = mk Pinstr.B32 2 and r3 = mk Pinstr.B32 3 in
+  (* r1 and r2 overlap; r3 reuses the space after both die *)
+  let code =
+    [|
+      Pinstr.Mov (Pinstr.S32, r1, Pinstr.Imm 1L);
+      Pinstr.Mov (Pinstr.S32, r2, Pinstr.Imm 2L);
+      Pinstr.Add (Pinstr.S32, r3, Pinstr.Reg r1, Pinstr.Reg r2);
+      Pinstr.St (Pinstr.Global, Pinstr.S32, Pinstr.Imm 0L, 0, Pinstr.Reg r3);
+    |]
+  in
+  Alcotest.(check int) "max live b32" 3
+    (Liveness.max_live_of_class code Pinstr.B32)
+
+let test_liveness_loop_extension () =
+  let mk idx = { Pinstr.cls = Pinstr.B32; idx } in
+  let base = mk 1 and tmp = mk 2 in
+  (* [base] defined before the loop, used inside: it must stay live
+     across the whole loop even though its last textual use is early *)
+  let code =
+    [|
+      Pinstr.Mov (Pinstr.S32, base, Pinstr.Imm 5L);
+      Pinstr.Label "L";
+      Pinstr.Add (Pinstr.S32, tmp, Pinstr.Reg base, Pinstr.Imm 1L);
+      Pinstr.St (Pinstr.Global, Pinstr.S32, Pinstr.Imm 0L, 0, Pinstr.Reg tmp);
+      Pinstr.Bra "L";
+    |]
+  in
+  let tbl = Liveness.intervals code in
+  let iv = Hashtbl.find tbl base in
+  Alcotest.(check int) "extended to the branch" 4 iv.Liveness.last
+
+let test_unsupported_reported () =
+  match lower_src "__global__ void k(int* a, int n) { a[0] = getMSB(n); }" with
+  | exception Lower.Unsupported msg ->
+      Alcotest.(check bool) "mentions getMSB" true
+        (Test_util.contains msg "getMSB")
+  | _ -> Alcotest.fail "expected Unsupported"
+
+let suite =
+  [
+    Alcotest.test_case "simple lowering" `Quick test_simple_lowering;
+    Alcotest.test_case "shared space" `Quick test_shared_space;
+    Alcotest.test_case "loop lowering" `Quick test_loop_lowering;
+    Alcotest.test_case "bar.sync lowering" `Quick test_bar_sync_lowering;
+    Alcotest.test_case "fused kernel lowers" `Quick test_fused_kernel_lowers;
+    Alcotest.test_case "liveness basics" `Quick test_liveness_basics;
+    Alcotest.test_case "liveness loop extension" `Quick
+      test_liveness_loop_extension;
+    Alcotest.test_case "unsupported reported" `Quick test_unsupported_reported;
+  ]
+  @ corpus_cases

@@ -1,0 +1,149 @@
+(* Thread-space partition enumeration and the Fig. 6 search, driven by
+   synthetic cost functions. *)
+
+open Hfuse_core
+
+let k_tunable =
+  {|
+__global__ void t(float* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { a[i] = a[i] + 1.0f; }
+}
+|}
+
+let info = Test_util.info_of_source
+
+let tun ?(block = (256, 1, 1)) ?(regs = 24) () =
+  info ~block ~regs ~tunability:(Kernel_info.Tunable { multiple_of = 32 })
+    k_tunable
+
+let fixed d = info ~block:(d, 1, 1) ~tunability:Kernel_info.Fixed k_tunable
+
+(* -- Partition --------------------------------------------------------- *)
+
+let test_enumerate_tunable () =
+  let parts = Partition.enumerate (tun ()) (tun ()) ~d0:1024 in
+  Alcotest.(check int) "7 partitions at granularity 128" 7
+    (List.length parts);
+  List.iter
+    (fun { Partition.d1; d2 } ->
+      Alcotest.(check int) "sums to d0" 1024 (d1 + d2);
+      Alcotest.(check int) "d1 multiple of 128" 0 (d1 mod 128))
+    parts
+
+let test_enumerate_fixed_pair () =
+  let parts = Partition.enumerate (fixed 256) (fixed 128) ~d0:999 in
+  Alcotest.(check int) "single partition" 1 (List.length parts);
+  let p = List.hd parts in
+  Alcotest.(check int) "d1 native" 256 p.Partition.d1;
+  Alcotest.(check int) "d2 native" 128 p.Partition.d2
+
+let test_enumerate_fixed_oversized () =
+  Alcotest.(check int) "fixed pair too big" 0
+    (List.length (Partition.enumerate (fixed 768) (fixed 512) ~d0:1024))
+
+let test_enumerate_mixed () =
+  (* fixed 128 + tunable: partition fixed at the fixed side's size *)
+  let parts = Partition.enumerate (fixed 128) (tun ()) ~d0:512 in
+  Alcotest.(check int) "one partition" 1 (List.length parts);
+  Alcotest.(check int) "tunable takes rest" 384 (List.hd parts).Partition.d2
+
+let test_enumerate_2d_constraint () =
+  (* a (x, 16) kernel needs d1 divisible by 16 — all multiples of 128
+     qualify, but the constraint path must be exercised *)
+  let bn = tun ~block:(32, 16, 1) () in
+  let parts = Partition.enumerate bn (tun ()) ~d0:1024 in
+  Alcotest.(check int) "still 7" 7 (List.length parts)
+
+let test_naive_even () =
+  match Partition.naive (tun ()) (tun ()) ~d0:1024 with
+  | Some { Partition.d1 = 512; d2 = 512 } -> ()
+  | Some p -> Alcotest.failf "expected 512/512, got %d/%d" p.d1 p.d2
+  | None -> Alcotest.fail "expected a partition"
+
+(* -- Search ------------------------------------------------------------ *)
+
+let lim = Occupancy.pascal_volta_limits
+
+let test_search_minimises () =
+  (* synthetic cost: prefers d1 = 768, and the register bound always
+     helps by 10% *)
+  let profile (f : Hfuse.t) ~reg_bound =
+    let base = float_of_int (abs (f.d1 - 768) + 100) in
+    match reg_bound with Some _ -> base *. 0.9 | None -> base
+  in
+  let r = Search.search ~limits:lim ~profile ~d0:1024 (tun ()) (tun ()) in
+  Alcotest.(check int) "best d1" 768 r.best.fused.d1;
+  Alcotest.(check bool) "bound chosen" true
+    (r.best.config.reg_bound <> None);
+  (* every partition was profiled both ways (bound computable here) *)
+  Alcotest.(check int) "candidate count" 14 (List.length r.all)
+
+let test_search_prefers_unbounded_when_better () =
+  let profile (f : Hfuse.t) ~reg_bound =
+    let base = float_of_int (abs (f.d1 - 512) + 100) in
+    match reg_bound with Some _ -> base *. 2.0 | None -> base
+  in
+  let r = Search.search ~limits:lim ~profile ~d0:1024 (tun ()) (tun ()) in
+  Alcotest.(check int) "best d1" 512 r.best.fused.d1;
+  Alcotest.(check (option int)) "no bound" None r.best.config.reg_bound
+
+let test_search_no_partition () =
+  match
+    Search.search ~limits:lim
+      ~profile:(fun _ ~reg_bound:_ -> 1.0)
+      ~d0:1024 (fixed 768) (fixed 512)
+  with
+  | exception Search.No_valid_partition _ -> ()
+  | _ -> Alcotest.fail "expected No_valid_partition"
+
+let test_search_counts_profile_calls () =
+  let calls = ref 0 in
+  let profile _ ~reg_bound:_ =
+    incr calls;
+    1.0
+  in
+  ignore (Search.search ~limits:lim ~profile ~d0:512 (tun ()) (tun ()));
+  (* 3 partitions (128..384) x 2 variants *)
+  Alcotest.(check int) "profile calls" 6 !calls
+
+let test_naive_search () =
+  match Search.naive ~d0:1024 (tun ()) (tun ()) with
+  | Some f ->
+      Alcotest.(check int) "even split d1" 512 f.d1;
+      Alcotest.(check int) "even split d2" 512 f.d2
+  | None -> Alcotest.fail "expected naive fusion"
+
+(* partitions must respect tunability under random d0 *)
+let partition_prop =
+  QCheck.Test.make ~name:"enumerated partitions are well-formed" ~count:100
+    QCheck.(int_range 2 8)
+    (fun k ->
+      let d0 = k * 128 in
+      let parts = Partition.enumerate (tun ()) (tun ()) ~d0 in
+      List.length parts = k - 1
+      && List.for_all
+           (fun { Partition.d1; d2 } ->
+             d1 > 0 && d2 > 0 && d1 + d2 = d0 && d1 mod 128 = 0)
+           parts)
+
+let suite =
+  [
+    Alcotest.test_case "enumerate tunable" `Quick test_enumerate_tunable;
+    Alcotest.test_case "enumerate fixed pair" `Quick test_enumerate_fixed_pair;
+    Alcotest.test_case "enumerate fixed oversized" `Quick
+      test_enumerate_fixed_oversized;
+    Alcotest.test_case "enumerate mixed" `Quick test_enumerate_mixed;
+    Alcotest.test_case "enumerate 2-D constraint" `Quick
+      test_enumerate_2d_constraint;
+    Alcotest.test_case "naive even split" `Quick test_naive_even;
+    Alcotest.test_case "search minimises" `Quick test_search_minimises;
+    Alcotest.test_case "search prefers unbounded" `Quick
+      test_search_prefers_unbounded_when_better;
+    Alcotest.test_case "search without partitions" `Quick
+      test_search_no_partition;
+    Alcotest.test_case "search profile-call count" `Quick
+      test_search_counts_profile_calls;
+    Alcotest.test_case "naive search" `Quick test_naive_search;
+  ]
+  @ Test_util.qcheck_cases [ partition_prop ]

@@ -1,0 +1,69 @@
+(* Semantic-checker tests: the corpus must pass; characteristic mistakes
+   must be rejected with the right message. *)
+
+open Cuda
+
+let check_ok name src =
+  Alcotest.test_case name `Quick (fun () ->
+      let prog = Parser.parse_program src in
+      match Typecheck.check_program prog with
+      | () -> ()
+      | exception Typecheck.Error (msg, loc) ->
+          Alcotest.failf "unexpected type error at %a: %s" Loc.pp loc msg)
+
+let check_err name src fragment =
+  Alcotest.test_case name `Quick (fun () ->
+      let prog = Parser.parse_program src in
+      match Typecheck.check_program prog with
+      | () -> Alcotest.failf "expected a type error mentioning %S" fragment
+      | exception Typecheck.Error (msg, _) ->
+          if not (Test_util.contains msg fragment) then
+            Alcotest.failf "error %S does not mention %S" msg fragment)
+
+let wrap body = "__global__ void k(float* a, int n) {" ^ body ^ "}"
+
+let corpus_cases =
+  List.map
+    (fun (s : Kernel_corpus.Spec.t) ->
+      check_ok ("corpus: " ^ s.name) s.source)
+    Kernel_corpus.Registry.all
+
+let suite =
+  corpus_cases
+  @ [
+      check_ok "simple kernel" (wrap "a[threadIdx.x] = 1.0f;");
+      check_ok "device call"
+        "__device__ int sq(int x) { return x * x; }\n\
+         __global__ void k(int* a) { a[0] = sq(3); }";
+      check_ok "pointer arithmetic" (wrap "float* p = a + n; p[0] = 0.0f;");
+      check_ok "goto to later label" (wrap "if (n > 0) goto end; a[0] = 1.0f; end: ;");
+      check_ok "goto from nested scope"
+        (wrap "if (n > 0) { if (n > 1) goto out; } out: ;");
+      check_err "undeclared variable" (wrap "a[0] = z;") "undeclared variable z";
+      check_err "redeclaration" (wrap "int x; float x;") "redeclaration of x";
+      check_err "break outside loop" (wrap "break;") "break/continue outside";
+      check_err "goto to missing label" (wrap "goto nowhere;")
+        "undefined label nowhere";
+      check_err "assignment to rvalue" (wrap "1 = 2;") "not an lvalue";
+      check_err "subscript of scalar" (wrap "n[0] = 1;") "subscript of non-pointer";
+      check_err "deref of scalar" (wrap "*n = 1;") "dereference of non-pointer";
+      check_err "unknown function" (wrap "foo(1);") "unknown function foo";
+      check_err "wrong intrinsic arity" (wrap "int x = min(1);")
+        "min expects 2 arguments";
+      check_err "call to __global__"
+        "__global__ void g() { }\n__global__ void k() { g(); }"
+        "cannot call __global__";
+      check_err "shared must be sized array"
+        "__global__ void k() { __shared__ int x; }" "must be a sized array";
+      check_err "extern shared must be unsized"
+        "__global__ void k() { extern __shared__ int x[4]; }"
+        "must be an incomplete array";
+      check_err "scope ends with block"
+        (wrap "{ int t; } a[0] = t;")
+        "undeclared variable t";
+      check_ok "atomic on pointer" (wrap "atomicAdd(&a[0], 1.0f);");
+      check_err "atomic on scalar" (wrap "atomicAdd(n, 1);")
+        "pointer first argument";
+      check_err "shift of float" (wrap "float f = 1.0f; int x = f << 2;")
+        "shift of non-integer";
+    ]

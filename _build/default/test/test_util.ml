@@ -1,0 +1,25 @@
+(* Small shared helpers for the test suites. *)
+
+let contains (s : string) (needle : string) : bool =
+  let n = String.length needle and m = String.length s in
+  if n = 0 then true
+  else begin
+    let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  end
+
+(** Parse a kernel and fail the test on parse errors. *)
+let kernel_of_source (src : string) : Cuda.Ast.program * Cuda.Ast.fn =
+  try Cuda.Parser.parse_kernel src
+  with Cuda.Parser.Error (msg, loc) ->
+    Alcotest.failf "parse error at %a: %s" Cuda.Loc.pp loc msg
+
+(** Build a [Kernel_info.t] quickly for fusion tests. *)
+let info_of_source ?(block = (256, 1, 1)) ?(grid = 8) ?(smem_dynamic = 0)
+    ?(regs = 24) ?(tunability = Hfuse_core.Kernel_info.Tunable { multiple_of = 32 })
+    (src : string) : Hfuse_core.Kernel_info.t =
+  let prog, fn = kernel_of_source src in
+  { Hfuse_core.Kernel_info.fn; prog; block; grid; smem_dynamic; regs; tunability }
+
+let qcheck_cases (tests : QCheck.Test.t list) : unit Alcotest.test_case list =
+  List.map (QCheck_alcotest.to_alcotest ~long:false) tests
