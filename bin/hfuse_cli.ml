@@ -2,6 +2,7 @@
 
      hfuse fuse a.cu b.cu --d1 896 --d2 128     horizontally fuse two files
      hfuse vfuse a.cu b.cu --block 512          vertically fuse two files
+     hfuse check a.cu [b.cu]                    fusion-safety verifier report
      hfuse info a.cu                            parse/typecheck + resources
      hfuse corpus                               list benchmark kernels/pairs
      hfuse simulate --kernel Batchnorm          run a corpus kernel
@@ -83,6 +84,10 @@ let fuse_cmd =
     | exception Hfuse_core.Fuse_common.Fusion_error msg ->
         Printf.eprintf "hfuse: %s\n" msg;
         exit 1
+    | exception Hfuse_analysis.Diag.Unsafe_fusion ds ->
+        Printf.eprintf "hfuse: unsafe fusion\n%s"
+          (Hfuse_analysis.Diag.report_to_string ds);
+        exit 1
   in
   let f1 = Arg.(required & pos 0 (some file) None & info [] ~docv:"K1.cu") in
   let f2 = Arg.(required & pos 1 (some file) None & info [] ~docv:"K2.cu") in
@@ -114,6 +119,85 @@ let vfuse_cmd =
   Cmd.v
     (Cmd.info "vfuse" ~doc:"Vertically fuse two CUDA kernels (baseline).")
     Term.(const run $ f1 $ f2 $ block $ grid_arg)
+
+(* -- check -------------------------------------------------------------- *)
+
+let check_cmd =
+  let run arch f1 f2 d1 d2 smem1 smem2 regs1 regs2 grid =
+    let limits = Gpusim.Arch.sm_limits arch in
+    let diags =
+      match f2 with
+      | None ->
+          (* single-kernel mode: verify the file as-is (it may already
+             contain bar.sync barriers from an earlier fusion) *)
+          let k =
+            info_of_file f1 ~block:d1 ~grid ~smem_dynamic:smem1 ~regs:regs1
+          in
+          let body =
+            (Hfuse_frontend.Inline.normalize_kernel k.prog k.fn).f_body
+          in
+          Hfuse_analysis.Verifier.verify_kernel ~limits
+            ~label:k.fn.Cuda.Ast.f_name
+            ~threads:(Hfuse_core.Kernel_info.threads_per_block k)
+            ~regs:k.regs ~smem_dynamic:k.smem_dynamic body
+      | Some f2 -> (
+          (* pair mode: fuse (verifier disabled) and report on the
+             result, instead of dying on the first error *)
+          let k1 =
+            info_of_file f1 ~block:d1 ~grid ~smem_dynamic:smem1 ~regs:regs1
+          in
+          let k2 =
+            info_of_file f2 ~block:d2 ~grid ~smem_dynamic:smem2 ~regs:regs2
+          in
+          match Hfuse_core.Hfuse.generate ~check:false ~limits k1 k2 with
+          | fused -> Hfuse_core.Hfuse.verify ~limits fused
+          | exception Hfuse_core.Fuse_common.Fusion_error msg ->
+              Printf.eprintf "hfuse: %s\n" msg;
+              exit 1)
+    in
+    print_string (Hfuse_analysis.Diag.report_to_string diags);
+    if not (Hfuse_analysis.Diag.is_clean diags) then exit 1
+  in
+  let f1 = Arg.(required & pos 0 (some file) None & info [] ~docv:"K1.cu") in
+  let f2 = Arg.(value & pos 1 (some file) None & info [] ~docv:"K2.cu") in
+  let d1 =
+    Arg.(value & opt int 256 & info [ "d1" ] ~doc:"Threads for kernel 1.")
+  in
+  let d2 =
+    Arg.(value & opt int 256 & info [ "d2" ] ~doc:"Threads for kernel 2.")
+  in
+  let smem1 =
+    Arg.(
+      value & opt int 0
+      & info [ "smem1" ] ~doc:"Dynamic shared bytes of kernel 1.")
+  in
+  let smem2 =
+    Arg.(
+      value & opt int 0
+      & info [ "smem2" ] ~doc:"Dynamic shared bytes of kernel 2.")
+  in
+  let regs1 =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "regs1" ] ~doc:"Registers/thread of kernel 1.")
+  in
+  let regs2 =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "regs2" ] ~doc:"Registers/thread of kernel 2.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Static fusion-safety report: barrier ids/counts/divergence, \
+          shared-memory races, resource budget.  With one file, checks \
+          the kernel as-is; with two, checks their horizontal fusion.  \
+          Exits 1 when any error-severity diagnostic is found.")
+    Term.(
+      const run $ arch_arg $ f1 $ f2 $ d1 $ d2 $ smem1 $ smem2 $ regs1
+      $ regs2 $ grid_arg)
 
 (* -- info --------------------------------------------------------------- *)
 
@@ -364,6 +448,6 @@ let () =
        (Cmd.group
           (Cmd.info "hfuse" ~version:"1.0.0" ~doc)
           [
-            fuse_cmd; vfuse_cmd; info_cmd; corpus_cmd; simulate_cmd;
-            search_cmd; analyze_cmd; pairs_cmd; ptx_cmd;
+            fuse_cmd; vfuse_cmd; check_cmd; info_cmd; corpus_cmd;
+            simulate_cmd; search_cmd; analyze_cmd; pairs_cmd; ptx_cmd;
           ]))

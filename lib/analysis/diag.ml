@@ -1,0 +1,60 @@
+(* Structured diagnostics produced by the fusion-safety verifier.
+
+   Each diagnostic pairs a machine-matchable [kind] (tests and callers
+   dispatch on it) with a pre-rendered human-readable [detail] line (the
+   CLI report prints it).  [Error] means the fused kernel is unsafe to
+   launch — deadlock, data race, or a block that cannot be scheduled;
+   [Warning] means the analysis cannot prove safety but the pattern is
+   one the corpus legitimately uses (e.g. thread-indexed shared writes
+   the may-alias pass cannot separate). *)
+
+type severity = Error | Warning
+
+type kind =
+  | Barrier_id_out_of_range of { id : int; count : int }
+  | Barrier_count_unaligned of { id : int; count : int }
+  | Barrier_count_mismatch of { id : int; count : int; expected : int }
+  | Barrier_id_collision of { id : int; label1 : string; label2 : string }
+  | Full_barrier_in_partition of { label : string }
+  | Divergent_barrier of { id : int option; label : string }
+  | Shared_overlap of {
+      name1 : string;
+      label1 : string;
+      name2 : string;
+      label2 : string;
+    }
+  | Shared_race of { label : string; array : string; write_write : bool }
+  | Over_budget of { resource : Limits.limiter; required : int; available : int }
+
+type t = { severity : severity; kind : kind; detail : string }
+
+exception Unsafe_fusion of t list
+
+let error kind detail = { severity = Error; kind; detail }
+let warning kind detail = { severity = Warning; kind; detail }
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+let is_clean ds = not (List.exists is_error ds)
+
+(** Raise {!Unsafe_fusion} carrying every diagnostic when any is an
+    [Error]; warnings alone never raise. *)
+let raise_if_unsafe ds = if not (is_clean ds) then raise (Unsafe_fusion ds)
+
+let pp_severity ppf = function
+  | Error -> Fmt.string ppf "error"
+  | Warning -> Fmt.string ppf "warning"
+
+let pp ppf d = Fmt.pf ppf "%a: %s" pp_severity d.severity d.detail
+
+(** Multi-line report: one diagnostic per line, errors first, with a
+    closing verdict line. *)
+let pp_report ppf ds =
+  let errs = errors ds in
+  let warns = List.filter (fun d -> not (is_error d)) ds in
+  List.iter (fun d -> Fmt.pf ppf "%a@." pp d) (errs @ warns);
+  match (errs, warns) with
+  | [], [] -> Fmt.pf ppf "OK: no fusion-safety issues found@."
+  | [], w -> Fmt.pf ppf "OK: no errors (%d warning(s))@." (List.length w)
+  | e, _ -> Fmt.pf ppf "UNSAFE: %d error(s)@." (List.length e)
+
+let report_to_string ds = Fmt.str "%a" pp_report ds

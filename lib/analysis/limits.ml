@@ -1,0 +1,73 @@
+(* Per-SM (and per-block) hardware resource limits, plus the residency
+   arithmetic shared by the occupancy model and the fusion-safety
+   verifier.
+
+   This lives in the analysis library — below [Hfuse_core] in the
+   dependency order — so the verifier can reason about resource legality
+   without depending on the search/occupancy machinery that *uses* the
+   verifier.  [Hfuse_core.Occupancy] re-exports the record type (as an
+   equation, so the two are interchangeable) and delegates here. *)
+
+type t = {
+  regs_per_sm : int;  (** SMNRegs; 64K for Pascal and Volta *)
+  smem_per_sm : int;  (** SMShMem; 96K for Pascal and Volta *)
+  max_threads_per_sm : int;  (** SMNThreads; 2048 for Pascal and Volta *)
+  max_blocks_per_sm : int;  (** hardware block-slot limit; 32 *)
+  reg_alloc_granularity : int;
+      (** registers are allocated in units of this per thread *)
+  max_regs_per_thread : int;  (** 255 on both architectures *)
+  max_threads_per_block : int;  (** hardware block-size cap; 1024 *)
+}
+
+let pascal_volta =
+  {
+    regs_per_sm = 65536;
+    smem_per_sm = 96 * 1024;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+    reg_alloc_granularity = 8;
+    max_regs_per_thread = 255;
+    max_threads_per_block = 1024;
+  }
+
+let round_up_regs lim r =
+  let g = lim.reg_alloc_granularity in
+  max g ((r + g - 1) / g * g)
+
+(** Concurrent blocks per SM for a kernel with the given per-thread
+    register count, per-block thread count and per-block shared memory.
+    Zero when a single block cannot fit at all. *)
+let blocks_per_sm (lim : t) ~regs ~threads ~smem : int =
+  if threads <= 0 then invalid_arg "blocks_per_sm: threads <= 0";
+  let regs = round_up_regs lim regs in
+  let by_regs = lim.regs_per_sm / max 1 (regs * threads) in
+  let by_threads = lim.max_threads_per_sm / threads in
+  let by_smem =
+    if smem = 0 then lim.max_blocks_per_sm else lim.smem_per_sm / smem
+  in
+  min (min by_regs by_threads) (min by_smem lim.max_blocks_per_sm)
+
+(** Which resource limits a kernel's occupancy (for reports/ablations). *)
+type limiter = By_registers | By_threads | By_smem | By_block_slots
+
+let limiting_resource (lim : t) ~regs ~threads ~smem : limiter =
+  let regs' = round_up_regs lim regs in
+  let by_regs = lim.regs_per_sm / max 1 (regs' * threads) in
+  let by_threads = lim.max_threads_per_sm / threads in
+  (* a kernel using no shared memory is never smem-limited: leave the
+     divisor absent rather than defaulting it to the block-slot limit,
+     which used to make slot-limited zero-smem kernels report
+     [By_smem] *)
+  let by_smem = if smem = 0 then max_int else lim.smem_per_sm / smem in
+  let b = min (min by_regs by_threads) (min by_smem lim.max_blocks_per_sm) in
+  if b = by_regs && by_regs <= by_threads && by_regs <= by_smem then
+    By_registers
+  else if b = by_threads && by_threads <= by_smem then By_threads
+  else if smem > 0 && b = by_smem then By_smem
+  else By_block_slots
+
+let pp_limiter ppf = function
+  | By_registers -> Fmt.string ppf "registers"
+  | By_threads -> Fmt.string ppf "threads"
+  | By_smem -> Fmt.string ppf "shared memory"
+  | By_block_slots -> Fmt.string ppf "block slots"

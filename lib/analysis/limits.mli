@@ -1,0 +1,34 @@
+(** Per-SM (and per-block) hardware resource limits plus the residency
+    arithmetic shared by {!Hfuse_core.Occupancy} (which re-exports the
+    record type as an equation and delegates) and the fusion-safety
+    {!Verifier}. *)
+
+type t = {
+  regs_per_sm : int;  (** SMNRegs; 64K on Pascal and Volta *)
+  smem_per_sm : int;  (** SMShMem; 96K *)
+  max_threads_per_sm : int;  (** SMNThreads; 2048 *)
+  max_blocks_per_sm : int;  (** hardware block slots; 32 *)
+  reg_alloc_granularity : int;  (** allocation unit per thread; 8 *)
+  max_regs_per_thread : int;  (** 255 *)
+  max_threads_per_block : int;  (** hardware block-size cap; 1024 *)
+}
+
+val pascal_volta : t
+
+(** Round a register count up to the hardware allocation granularity. *)
+val round_up_regs : t -> int -> int
+
+(** Concurrent blocks per SM for a kernel with the given per-thread
+    registers, per-block threads and shared memory; 0 when one block
+    cannot fit. *)
+val blocks_per_sm : t -> regs:int -> threads:int -> smem:int -> int
+
+(** Which resource limits a kernel's occupancy (reports/ablations). *)
+type limiter = By_registers | By_threads | By_smem | By_block_slots
+
+(** The binding constraint of {!blocks_per_sm}.  A kernel that uses no
+    shared memory is never reported [By_smem]; ties otherwise resolve in
+    the order registers, threads, shared memory, block slots. *)
+val limiting_resource : t -> regs:int -> threads:int -> smem:int -> limiter
+
+val pp_limiter : limiter Fmt.t

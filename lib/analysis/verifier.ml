@@ -1,0 +1,433 @@
+(* The static fusion-safety verifier.
+
+   Horizontal fusion rewrites [__syncthreads()] into partial
+   [bar.sync id, count] barriers (Fig. 5) — exactly the transformation
+   where a wrong id, count, or divergent control path silently becomes a
+   deadlock or a cross-kernel shared-memory race.  This module checks a
+   fused (or about-to-be-fused) kernel statically, in the spirit of
+   GPURepair's barrier-divergence and race properties, instead of
+   waiting for the simulator to hit [Launch.Deadlock] at profile time.
+
+   Three families of checks:
+
+   1. Barrier safety — every [bar.sync id, count] has 1 <= id <= 15 and
+      a warp-aligned count consistent with its sub-kernel's partition;
+      the fused sides' barrier ids do not collide; no barrier sits under
+      thread-dependent divergence; no full [__syncthreads] survives
+      inside a partial side.
+
+   2. Shared-memory race detection — the sides' dynamic shared regions
+      are pairwise disjoint after the fused layout assigns offsets, and
+      intra-side accesses to a shared array that are not separated by a
+      barrier are classified: a non-atomic write at a block-uniform
+      index with no singleton guard is a definite race (error);
+      thread-indexed writes the may-alias pass cannot separate are
+      flagged as warnings (real kernels use them correctly all the
+      time).
+
+   3. Resource legality — the fused block's threads, registers and
+      shared memory fit {!Limits.t}, with the failing limit named.
+
+   The analyses are deliberately conservative in *both* directions by
+   severity: anything that provably deadlocks or races is an [Error];
+   anything merely unprovable is a [Warning].  [Diag.is_clean] (no
+   errors) is the acceptance predicate. *)
+
+open Cuda
+module SS = Ast_util.StrSet
+
+let warp_size = 32
+
+type region = {
+  r_name : string;
+  r_bytes : int;
+  r_offset : int;  (** offset within the unified dynamic buffer *)
+  r_dynamic : bool;
+      (** carved out of the [extern __shared__] buffer (offsets
+          comparable across sides) rather than statically allocated *)
+}
+
+type side = {
+  s_label : string;  (** kernel name, for diagnostics *)
+  s_body : Ast.stmt list;
+  s_count : int;  (** threads the side owns *)
+  s_bar : (int * int) option;
+      (** the (id, count) this side's [__syncthreads] were rewritten to,
+          when fusion assigned one *)
+  s_shared : region list;
+  s_tainted : string list;
+      (** extra thread-dependent variables (prologue-defined thread-id
+          mappings whose definitions lie outside [s_body]) *)
+}
+
+let side ?bar ?(shared = []) ?(tainted = []) ~label ~count body =
+  {
+    s_label = label;
+    s_body = body;
+    s_count = count;
+    s_bar = bar;
+    s_shared = shared;
+    s_tainted = tainted;
+  }
+
+(* -- barrier safety -------------------------------------------------- *)
+
+let side_barrier_ids (s : side) : int list =
+  let used = ref [] in
+  Ast_util.iter_stmts
+    (fun st ->
+      match st.Ast.s with
+      | Ast.Bar_sync (id, _) -> used := id :: !used
+      | _ -> ())
+    s.s_body;
+  let used =
+    match s.s_bar with Some (id, _) -> id :: !used | None -> !used
+  in
+  List.sort_uniq compare used
+
+let check_barriers ~threads ~tainted (s : side) : Diag.t list =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let divergent guards =
+    List.exists (Ast_util.expr_thread_dependent ~tainted) guards
+  in
+  Ast_util.fold_stmts_guarded
+    (fun () ~guards st ->
+      match st.Ast.s with
+      | Ast.Bar_sync (id, count) ->
+            if id < 1 || id > 15 then
+              emit
+                (Diag.error
+                   (Barrier_id_out_of_range { id; count })
+                   (Fmt.str
+                      "%s: bar.sync id %d outside the PTX range 1..15"
+                      s.s_label id));
+            if count <= 0 || count mod warp_size <> 0 then
+              emit
+                (Diag.error
+                   (Barrier_count_unaligned { id; count })
+                   (Fmt.str
+                      "%s: bar.sync %d synchronises %d threads, not a \
+                       positive multiple of the warp size"
+                      s.s_label id count));
+            (match s.s_bar with
+            | Some (bid, bcount) when id = bid && count <> bcount ->
+                emit
+                  (Diag.error
+                     (Barrier_count_mismatch { id; count; expected = bcount })
+                     (Fmt.str
+                        "%s: bar.sync %d waits for %d threads but the \
+                         partition assigns it %d"
+                        s.s_label id count bcount))
+            | _ ->
+                if count > s.s_count then
+                  emit
+                    (Diag.error
+                       (Barrier_count_mismatch
+                          { id; count; expected = s.s_count })
+                       (Fmt.str
+                          "%s: bar.sync %d waits for %d threads but its \
+                           side owns only %d — the rest never arrive"
+                          s.s_label id count s.s_count)));
+            if divergent guards then
+              emit
+                (Diag.error
+                   (Divergent_barrier { id = Some id; label = s.s_label })
+                   (Fmt.str
+                      "%s: bar.sync %d sits under a thread-dependent \
+                       condition; threads that skip it deadlock the rest"
+                      s.s_label id))
+      | Ast.Sync ->
+            if s.s_count < threads then
+              emit
+                (Diag.error
+                   (Full_barrier_in_partition { label = s.s_label })
+                   (Fmt.str
+                      "%s: __syncthreads() waits for all %d threads but \
+                       the side owns only %d — the other side's threads \
+                       never arrive"
+                      s.s_label threads s.s_count))
+            else if divergent guards then
+              emit
+                (Diag.error
+                   (Divergent_barrier { id = None; label = s.s_label })
+                   (Fmt.str
+                      "%s: __syncthreads() sits under a thread-dependent \
+                       condition"
+                      s.s_label))
+      | _ -> ())
+    () s.s_body;
+  List.rev !diags
+
+let check_id_collisions (sides : side list) : Diag.t list =
+  let rec pairs = function
+    | [] -> []
+    | s :: rest -> List.map (fun s' -> (s, s')) rest @ pairs rest
+  in
+  List.concat_map
+    (fun (s1, s2) ->
+      let ids1 = side_barrier_ids s1 and ids2 = side_barrier_ids s2 in
+      List.filter_map
+        (fun id ->
+          if List.mem id ids2 then
+            Some
+              (Diag.error
+                 (Barrier_id_collision
+                    { id; label1 = s1.s_label; label2 = s2.s_label })
+                 (Fmt.str
+                    "%s and %s both use hardware barrier id %d; their \
+                     thread groups would wait on each other"
+                    s1.s_label s2.s_label id))
+          else None)
+        ids1)
+    (pairs sides)
+
+(* -- shared-memory races --------------------------------------------- *)
+
+let regions_overlap a b =
+  a.r_offset < b.r_offset + b.r_bytes && b.r_offset < a.r_offset + a.r_bytes
+
+let check_region_overlap (sides : side list) : Diag.t list =
+  let rec pairs = function
+    | [] -> []
+    | s :: rest -> List.map (fun s' -> (s, s')) rest @ pairs rest
+  in
+  List.concat_map
+    (fun (s1, s2) ->
+      List.concat_map
+        (fun r1 ->
+          if not r1.r_dynamic then []
+          else
+            List.filter_map
+              (fun r2 ->
+                if r2.r_dynamic && r1.r_bytes > 0 && r2.r_bytes > 0
+                   && regions_overlap r1 r2
+                then
+                  Some
+                    (Diag.error
+                       (Shared_overlap
+                          {
+                            name1 = r1.r_name;
+                            label1 = s1.s_label;
+                            name2 = r2.r_name;
+                            label2 = s2.s_label;
+                          })
+                       (Fmt.str
+                          "shared regions overlap: %s's %s \
+                           [%d, %d) and %s's %s [%d, %d)"
+                          s1.s_label r1.r_name r1.r_offset
+                          (r1.r_offset + r1.r_bytes) s2.s_label r2.r_name
+                          r2.r_offset
+                          (r2.r_offset + r2.r_bytes)))
+                else None)
+              s2.s_shared)
+        s1.s_shared)
+    (pairs sides)
+
+(** Does some guard pin the access to (at most) one thread per value of
+    a uniform expression — the [if (tid == 0)] leader-election idiom?
+    Detected as an equality with exactly one thread-dependent operand. *)
+let singleton_guard ~tainted guards =
+  List.exists
+    (fun g ->
+      Ast_util.fold_expr
+        (fun acc e ->
+          acc
+          ||
+          match e with
+          | Ast.Binop (Ast.Eq, a, b) ->
+              Ast_util.expr_thread_dependent ~tainted a
+              <> Ast_util.expr_thread_dependent ~tainted b
+          | _ -> false)
+        false g)
+    guards
+
+let check_races ~tainted (s : side) : Diag.t list =
+  let shared_names =
+    let from_regions =
+      List.fold_left (fun acc r -> SS.add r.r_name acc) SS.empty s.s_shared
+    in
+    List.fold_left
+      (fun acc (d : Ast.decl) ->
+        match d.d_storage with
+        | Ast.Shared | Ast.Shared_extern -> SS.add d.d_name acc
+        | Ast.Local -> acc)
+      from_regions
+      (Ast_util.collect_decls s.s_body)
+  in
+  if SS.is_empty shared_names then []
+  else begin
+    let accs =
+      List.filter
+        (fun (a : Ast_util.access) -> SS.mem a.acc_array shared_names)
+        (Ast_util.array_accesses s.s_body)
+    in
+    let diags = ref [] in
+    let reported_err = ref SS.empty and reported_warn = ref SS.empty in
+    (* definite race: a non-atomic write at a block-uniform index with no
+       singleton guard — every thread of the side stores to the same
+       address in the same barrier interval *)
+    List.iter
+      (fun (a : Ast_util.access) ->
+        if
+          a.acc_kind = `Write
+          && (not (Ast_util.expr_thread_dependent ~tainted a.acc_index))
+          && (not (singleton_guard ~tainted a.acc_guards))
+          && not (SS.mem a.acc_array !reported_err)
+        then begin
+          reported_err := SS.add a.acc_array !reported_err;
+          diags :=
+            Diag.error
+              (Shared_race
+                 { label = s.s_label; array = a.acc_array; write_write = true })
+              (Fmt.str
+                 "%s: all %d threads write %s[] at a block-uniform index \
+                  with no single-writer guard — write/write race"
+                 s.s_label s.s_count a.acc_array)
+            :: !diags
+        end)
+      accs;
+    (* may-race: two accesses to the same array in the same barrier
+       interval, at least one a write, that the alias analysis cannot
+       separate.  Syntactically equal thread-dependent indices are the
+       per-thread-slot idiom (safe); two atomics are safe; distinct
+       integer literals are disjoint. *)
+    let rec scan = function
+      | [] -> ()
+      | (a : Ast_util.access) :: rest ->
+          List.iter
+            (fun (b : Ast_util.access) ->
+              let racy =
+                a.acc_array = b.acc_array
+                && a.acc_interval = b.acc_interval
+                && (a.acc_kind = `Write || b.acc_kind = `Write)
+                && (not (a.acc_kind = `Atomic && b.acc_kind = `Atomic))
+                && (not
+                      (Ast_util.equal_expr a.acc_index b.acc_index
+                      && Ast_util.expr_thread_dependent ~tainted a.acc_index
+                      ))
+                &&
+                match (a.acc_index, b.acc_index) with
+                | Ast.Int_lit (x, _), Ast.Int_lit (y, _) -> Int64.equal x y
+                | _ -> true
+              in
+              if
+                racy
+                && (not (SS.mem a.acc_array !reported_err))
+                && not (SS.mem a.acc_array !reported_warn)
+              then begin
+                reported_warn := SS.add a.acc_array !reported_warn;
+                let ww = a.acc_kind = `Write && b.acc_kind = `Write in
+                diags :=
+                  Diag.warning
+                    (Shared_race
+                       {
+                         label = s.s_label;
+                         array = a.acc_array;
+                         write_write = ww;
+                       })
+                    (Fmt.str
+                       "%s: %s accesses to %s[] in the same barrier \
+                        interval may alias (cannot prove disjoint)"
+                       s.s_label
+                       (if ww then "write/write" else "read/write")
+                       a.acc_array)
+                  :: !diags
+              end)
+            rest;
+          scan rest
+    in
+    scan accs;
+    List.rev !diags
+  end
+
+(* -- resource legality ----------------------------------------------- *)
+
+let check_resources ~(limits : Limits.t) ~threads ~regs ~smem : Diag.t list =
+  let over resource required available detail =
+    [ Diag.error (Over_budget { resource; required; available }) detail ]
+  in
+  if threads > limits.max_threads_per_block then
+    over By_threads threads limits.max_threads_per_block
+      (Fmt.str
+         "fused block of %d threads exceeds the %d-thread hardware limit"
+         threads limits.max_threads_per_block)
+  else if regs > limits.max_regs_per_thread then
+    over By_registers regs limits.max_regs_per_thread
+      (Fmt.str "%d registers per thread exceed the hardware cap of %d" regs
+         limits.max_regs_per_thread)
+  else if smem > limits.smem_per_sm then
+    over By_smem smem limits.smem_per_sm
+      (Fmt.str "%d bytes of shared memory exceed the SM's %d" smem
+         limits.smem_per_sm)
+  else if Limits.blocks_per_sm limits ~regs ~threads ~smem = 0 then begin
+    match Limits.limiting_resource limits ~regs ~threads ~smem with
+    | By_registers ->
+        over By_registers
+          (Limits.round_up_regs limits regs * threads)
+          limits.regs_per_sm
+          (Fmt.str
+             "no block fits: %d threads x %d registers exceed the SM's %d"
+             threads
+             (Limits.round_up_regs limits regs)
+             limits.regs_per_sm)
+    | By_threads ->
+        over By_threads threads limits.max_threads_per_sm
+          (Fmt.str "no block fits: %d threads exceed the SM's %d" threads
+             limits.max_threads_per_sm)
+    | By_smem ->
+        over By_smem smem limits.smem_per_sm
+          (Fmt.str
+             "no block fits: %d bytes of shared memory exceed the SM's %d"
+             smem limits.smem_per_sm)
+    | By_block_slots ->
+        (* blocks_per_sm = 0 cannot come from the slot limit *)
+        []
+  end
+  else []
+
+(* -- entry points ---------------------------------------------------- *)
+
+let static_smem (sides : side list) : int =
+  List.fold_left
+    (fun acc s ->
+      let from_regions =
+        List.fold_left
+          (fun a r -> if r.r_dynamic then a else a + r.r_bytes)
+          0 s.s_shared
+      in
+      let from_decls =
+        List.fold_left
+          (fun a (d : Ast.decl) ->
+            match d.d_storage with
+            | Ast.Shared -> a + Ctype.sizeof d.d_type
+            | _ -> a)
+          0
+          (Ast_util.collect_decls s.s_body)
+      in
+      acc + from_regions + from_decls)
+    0 sides
+
+let verify ?(limits = Limits.pascal_volta) ?(concurrent = true) ~threads
+    ~regs ~smem_dynamic (sides : side list) : Diag.t list =
+  let per_side =
+    List.concat_map
+      (fun s ->
+        let tainted =
+          Ast_util.thread_dependent_vars
+            ~seeds:(SS.of_list s.s_tainted)
+            s.s_body
+        in
+        check_barriers ~threads ~tainted s @ check_races ~tainted s)
+      sides
+  in
+  let smem = smem_dynamic + static_smem sides in
+  per_side
+  @ (if concurrent then check_id_collisions sides else [])
+  @ check_region_overlap sides
+  @ check_resources ~limits ~threads ~regs ~smem
+
+let verify_kernel ?limits ?(label = "kernel") ~threads ~regs ~smem_dynamic
+    (body : Ast.stmt list) : Diag.t list =
+  verify ?limits ~threads ~regs ~smem_dynamic
+    [ side ~label ~count:threads body ]

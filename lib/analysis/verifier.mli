@@ -1,0 +1,73 @@
+(** Static fusion-safety verifier.
+
+    Checks a fused (or about-to-be-fused) kernel for barrier safety
+    (ids in 1..15, warp-aligned counts matching each side's partition,
+    no cross-side id collisions, no barrier under thread-dependent
+    divergence, no surviving full [__syncthreads] in a partial side),
+    shared-memory races (disjointness of the sides' dynamic regions;
+    intra-side accesses not separated by a barrier), and resource
+    legality against {!Limits.t}.
+
+    Provable deadlocks/races are [Diag.Error]; patterns the analysis
+    cannot prove safe are [Diag.Warning].  {!Diag.is_clean} — no errors
+    — is the acceptance predicate. *)
+
+(** A shared-memory region a side owns. *)
+type region = {
+  r_name : string;
+  r_bytes : int;
+  r_offset : int;  (** offset within the unified dynamic buffer *)
+  r_dynamic : bool;
+      (** carved from the [extern __shared__] buffer (offsets comparable
+          across sides) rather than statically allocated *)
+}
+
+(** One input kernel's share of the fused block. *)
+type side = {
+  s_label : string;  (** kernel name, for diagnostics *)
+  s_body : Cuda.Ast.stmt list;
+  s_count : int;  (** threads the side owns *)
+  s_bar : (int * int) option;
+      (** (id, count) its [__syncthreads] were rewritten to, if any *)
+  s_shared : region list;
+  s_tainted : string list;
+      (** extra thread-dependent variables (prologue-defined thread-id
+          mappings defined outside [s_body]) *)
+}
+
+val side :
+  ?bar:int * int ->
+  ?shared:region list ->
+  ?tainted:string list ->
+  label:string ->
+  count:int ->
+  Cuda.Ast.stmt list ->
+  side
+
+(** [verify ~threads ~regs ~smem_dynamic sides] checks a fused kernel of
+    [threads] threads per block.  Static shared memory is computed from
+    the sides' non-dynamic regions and in-body [__shared__]
+    declarations; [smem_dynamic] is added on top for the resource
+    checks.  [concurrent] (default true) states that the sides run
+    simultaneously, as in horizontal fusion — barrier-id collisions
+    across sides are only a fault then; vertically fused halves run
+    sequentially and may legally reuse ids. *)
+val verify :
+  ?limits:Limits.t ->
+  ?concurrent:bool ->
+  threads:int ->
+  regs:int ->
+  smem_dynamic:int ->
+  side list ->
+  Diag.t list
+
+(** Single-kernel mode (the CLI's [check] on an unfused source): one
+    full-width side, no assigned barrier. *)
+val verify_kernel :
+  ?limits:Limits.t ->
+  ?label:string ->
+  threads:int ->
+  regs:int ->
+  smem_dynamic:int ->
+  Cuda.Ast.stmt list ->
+  Diag.t list

@@ -20,7 +20,9 @@ exception Invalid_barrier of string
 (** Replace every [__syncthreads()] in [stmts] with [bar.sync id, count].
     Existing [bar.sync] statements (e.g. from an already-fused kernel
     being fused again) are left untouched — their ids must not collide
-    with [id], which the caller checks with {!used_ids}. *)
+    with [id]; the fusion-safety verifier
+    ({!Hfuse_analysis.Verifier.verify}) reports any collision between
+    the fused sides' id sets. *)
 let replace ~id ~count (stmts : Ast.stmt list) : Ast.stmt list =
   if id < 1 || id > max_barrier_id then
     raise

@@ -214,3 +214,50 @@ let global_tid_init : Ast.expr =
     the maximum over the two code paths (each thread executes only one),
     plus the prologue's live values (tid mapping). *)
 let fused_regs (r1 : int) (r2 : int) : int = max r1 r2 + 4
+
+(** The prologue-defined variables a geometry mapping substitutes for
+    [threadIdx.*] — thread-dependent seeds for the verifier's taint
+    analysis (their definitions live outside the side's body). *)
+let mapping_tid_vars (m : Builtins.mapping) : string list =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun d ->
+         match m.Builtins.tid d with Ast.Var x -> Some x | _ -> None)
+       [ Ast.X; Ast.Y; Ast.Z ])
+
+(** Assemble the fusion-safety verifier's view of one prepared input
+    kernel: its share of the block, its (re)assigned barrier, its
+    dynamic shared region at [dyn_offset] within the unified buffer, its
+    static [__shared__] declarations, and the thread-dependent seed
+    variables. *)
+let verifier_side ?bar ~label ~count ~dyn_offset ~tainted (p : prepared)
+    (body : Ast.stmt list) : Hfuse_analysis.Verifier.side =
+  let dyn =
+    List.map
+      (fun (name, _) ->
+        {
+          Hfuse_analysis.Verifier.r_name = name;
+          r_bytes = p.info.smem_dynamic;
+          r_offset = dyn_offset;
+          r_dynamic = true;
+        })
+      p.extern_shared
+  in
+  let static =
+    List.filter_map
+      (fun (d : Ast.decl) ->
+        match d.d_storage with
+        | Ast.Shared ->
+            Some
+              {
+                Hfuse_analysis.Verifier.r_name = d.d_name;
+                r_bytes =
+                  (try Ctype.sizeof d.d_type with Invalid_argument _ -> 0);
+                r_offset = 0;
+                r_dynamic = false;
+              }
+        | _ -> None)
+      p.decls
+  in
+  Hfuse_analysis.Verifier.side ?bar ~shared:(dyn @ static) ~tainted ~label
+    ~count body

@@ -57,3 +57,23 @@ val global_tid_init : Cuda.Ast.expr
 (** Register estimate for a fused kernel: max over the two code paths
     (each thread runs one) plus the prologue's live values. *)
 val fused_regs : int -> int -> int
+
+(** The prologue-defined variables a geometry mapping substitutes for
+    [threadIdx.*] — thread-dependent seeds for the verifier's taint
+    analysis. *)
+val mapping_tid_vars : Hfuse_frontend.Builtins.mapping -> string list
+
+(** Assemble the fusion-safety verifier's view of one prepared input
+    kernel: its share of the block ([count] threads), its (re)assigned
+    barrier, its dynamic shared region at [dyn_offset] bytes into the
+    unified buffer, its static [__shared__] declarations, and the
+    thread-dependent seed variables [tainted]. *)
+val verifier_side :
+  ?bar:int * int ->
+  label:string ->
+  count:int ->
+  dyn_offset:int ->
+  tainted:string list ->
+  prepared ->
+  Cuda.Ast.stmt list ->
+  Hfuse_analysis.Verifier.side

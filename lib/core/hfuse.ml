@@ -32,6 +32,8 @@ type t = {
   bar2 : int;
   src1 : Kernel_info.t;  (** the inputs, as configured for this fusion *)
   src2 : Kernel_info.t;
+  sides : Hfuse_analysis.Verifier.side list;
+      (** the verifier's view of the two fused sides *)
 }
 
 let threads_per_block t = t.d1 + t.d2
@@ -47,21 +49,29 @@ let info t : Kernel_info.t =
     tunability = Kernel_info.Fixed;
   }
 
+(** Run the fusion-safety verifier on an already-generated fusion. *)
+let verify ?limits (t : t) : Hfuse_analysis.Diag.t list =
+  Hfuse_analysis.Verifier.verify ?limits ~threads:(t.d1 + t.d2) ~regs:t.regs
+    ~smem_dynamic:t.smem_dynamic t.sides
+
 (** [generate k1 k2] horizontally fuses two kernels at their configured
     block dimensions.  Raises {!Fuse_common.Fusion_error} on structural
     problems (unliftable bodies, barrier-id exhaustion, thread counts not
-    multiples of the warp size). *)
-let generate (k1 : Kernel_info.t) (k2 : Kernel_info.t) : t =
+    multiples of the warp size), and — unless [~check:false] —
+    {!Hfuse_analysis.Diag.Unsafe_fusion} when the static fusion-safety
+    verifier finds an error in the result. *)
+let generate ?(check = true) ?(limits = Occupancy.pascal_volta_limits)
+    (k1 : Kernel_info.t) (k2 : Kernel_info.t) : t =
   let d1 = Kernel_info.threads_per_block k1 in
   let d2 = Kernel_info.threads_per_block k2 in
   if d1 mod 32 <> 0 || d2 mod 32 <> 0 then
     Fuse_common.fail
       "block dimensions must be multiples of the warp size (got %d and %d)"
       d1 d2;
-  if d1 + d2 > 1024 then
+  if d1 + d2 > limits.Occupancy.max_threads_per_block then
     Fuse_common.fail
-      "fused block of %d threads exceeds the 1024-thread hardware limit"
-      (d1 + d2);
+      "fused block of %d threads exceeds the %d-thread hardware limit"
+      (d1 + d2) limits.Occupancy.max_threads_per_block;
   (* normalise both inputs *)
   let f1 = Inline.normalize_kernel k1.prog k1.fn in
   let f2 = Inline.normalize_kernel k2.prog k2.fn in
@@ -147,21 +157,38 @@ let generate (k1 : Kernel_info.t) (k2 : Kernel_info.t) : t =
     }
   in
   let prog = { Ast.defines = []; functions = [ fn ] } in
-  {
-    fn;
-    prog;
-    d1;
-    d2;
-    grid;
-    smem_dynamic;
-    regs = Fuse_common.fused_regs k1.regs k2.regs;
-    param_map1 = p1.param_map;
-    param_map2 = p2.param_map;
-    bar1;
-    bar2;
-    src1 = k1;
-    src2 = k2;
-  }
+  let side1 =
+    Fuse_common.verifier_side ~bar:(bar1, d1) ~label:k1.fn.f_name ~count:d1
+      ~dyn_offset:0
+      ~tainted:(global_tid :: Fuse_common.mapping_tid_vars map1)
+      p1 body1
+  in
+  let side2 =
+    Fuse_common.verifier_side ~bar:(bar2, d2) ~label:k2.fn.f_name ~count:d2
+      ~dyn_offset:off2
+      ~tainted:(global_tid :: Fuse_common.mapping_tid_vars map2)
+      p2 body2
+  in
+  let t =
+    {
+      fn;
+      prog;
+      d1;
+      d2;
+      grid;
+      smem_dynamic;
+      regs = Fuse_common.fused_regs k1.regs k2.regs;
+      param_map1 = p1.param_map;
+      param_map2 = p2.param_map;
+      bar1;
+      bar2;
+      src1 = k1;
+      src2 = k2;
+      sides = [ side1; side2 ];
+    }
+  in
+  if check then Hfuse_analysis.Diag.raise_if_unsafe (verify ~limits t);
+  t
 
 (** Emit the fused kernel as CUDA source text. *)
 let to_source (t : t) : string = Pretty.program_to_string t.prog

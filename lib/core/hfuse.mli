@@ -26,6 +26,8 @@ type t = {
   bar2 : int;
   src1 : Kernel_info.t;  (** the inputs, as configured for this fusion *)
   src2 : Kernel_info.t;
+  sides : Hfuse_analysis.Verifier.side list;
+      (** the fusion-safety verifier's view of the two fused sides *)
 }
 
 val threads_per_block : t -> int
@@ -35,12 +37,26 @@ val info : t -> Kernel_info.t
 
 (** [generate k1 k2] horizontally fuses two kernels at their configured
     block dimensions.  Inputs are normalised internally (device calls
-    inlined, declarations lifted, locals freshly renamed).
+    inlined, declarations lifted, locals freshly renamed).  Unless
+    [~check:false], the result is run through the static fusion-safety
+    verifier and rejected when it finds an error.
 
     @raise Fuse_common.Fusion_error when a block dimension is not a
-    warp-size multiple, the fused block exceeds 1024 threads, barrier
-    ids are exhausted, or a body cannot be normalised. *)
-val generate : Kernel_info.t -> Kernel_info.t -> t
+    warp-size multiple, the fused block exceeds the device's block-size
+    cap ([limits.max_threads_per_block]), barrier ids are exhausted, or
+    a body cannot be normalised.
+    @raise Hfuse_analysis.Diag.Unsafe_fusion when [check] (the default)
+    and the verifier reports an error-severity diagnostic. *)
+val generate :
+  ?check:bool ->
+  ?limits:Occupancy.sm_limits ->
+  Kernel_info.t ->
+  Kernel_info.t ->
+  t
+
+(** Run the fusion-safety verifier on an already-generated fusion
+    (never raises; returns all diagnostics including warnings). *)
+val verify : ?limits:Occupancy.sm_limits -> t -> Hfuse_analysis.Diag.t list
 
 (** Emit the fused kernel as CUDA source text. *)
 val to_source : t -> string

@@ -6,12 +6,15 @@
    memory than either original; when the extra requirement crosses a
    breakpoint, fewer blocks fit per SM.  The paper's remedy is to cap the
    register usage ([r0]) so the fused kernel keeps the block-level
-   parallelism of its inputs, at the cost of spilling. *)
+   parallelism of its inputs, at the cost of spilling.
 
-(** The per-SM resource limits the computation needs.  Mirrors
-    [Gpusim.Arch] but kept dependency-free so the core library does not
-    depend on the simulator. *)
-type sm_limits = {
+   The limits record and the residency arithmetic live in
+   {!Hfuse_analysis.Limits} (so the fusion-safety verifier, which sits
+   below this library, can share them); this module re-exports them
+   under their historical names and keeps the register-bound computation
+   that only the search needs. *)
+
+type sm_limits = Hfuse_analysis.Limits.t = {
   regs_per_sm : int;  (** SMNRegs; 64K for Pascal and Volta *)
   smem_per_sm : int;  (** SMShMem; 96K for Pascal and Volta *)
   max_threads_per_sm : int;  (** SMNThreads; 2048 for Pascal and Volta *)
@@ -19,34 +22,12 @@ type sm_limits = {
   reg_alloc_granularity : int;
       (** registers are allocated in units of this per thread *)
   max_regs_per_thread : int;  (** 255 on both architectures *)
+  max_threads_per_block : int;  (** hardware block-size cap; 1024 *)
 }
 
-let pascal_volta_limits =
-  {
-    regs_per_sm = 65536;
-    smem_per_sm = 96 * 1024;
-    max_threads_per_sm = 2048;
-    max_blocks_per_sm = 32;
-    reg_alloc_granularity = 8;
-    max_regs_per_thread = 255;
-  }
-
-let round_up_regs lim r =
-  let g = lim.reg_alloc_granularity in
-  max g ((r + g - 1) / g * g)
-
-(** Concurrent blocks per SM for a kernel with the given per-thread
-    register count, per-block thread count and per-block shared memory.
-    Zero when a single block cannot fit at all. *)
-let blocks_per_sm (lim : sm_limits) ~regs ~threads ~smem : int =
-  if threads <= 0 then invalid_arg "blocks_per_sm: threads <= 0";
-  let regs = round_up_regs lim regs in
-  let by_regs = lim.regs_per_sm / max 1 (regs * threads) in
-  let by_threads = lim.max_threads_per_sm / threads in
-  let by_smem =
-    if smem = 0 then lim.max_blocks_per_sm else lim.smem_per_sm / smem
-  in
-  min (min by_regs by_threads) (min by_smem lim.max_blocks_per_sm)
+let pascal_volta_limits = Hfuse_analysis.Limits.pascal_volta
+let round_up_regs = Hfuse_analysis.Limits.round_up_regs
+let blocks_per_sm = Hfuse_analysis.Limits.blocks_per_sm
 
 (** Theoretical occupancy: resident warps / maximum warps. *)
 let theoretical_occupancy (lim : sm_limits) ~regs ~threads ~smem : float =
@@ -86,24 +67,11 @@ let register_bound (lim : sm_limits) ~d1 ~regs1 ~d2 ~regs2 ~fused_smem :
     Some (min r0 lim.max_regs_per_thread)
 
 (** Which resource limits a kernel's occupancy (for reports/ablations). *)
-type limiter = By_registers | By_threads | By_smem | By_block_slots
+type limiter = Hfuse_analysis.Limits.limiter =
+  | By_registers
+  | By_threads
+  | By_smem
+  | By_block_slots
 
-let limiting_resource (lim : sm_limits) ~regs ~threads ~smem : limiter =
-  let regs' = round_up_regs lim regs in
-  let by_regs = lim.regs_per_sm / max 1 (regs' * threads) in
-  let by_threads = lim.max_threads_per_sm / threads in
-  let by_smem =
-    if smem = 0 then lim.max_blocks_per_sm else lim.smem_per_sm / smem
-  in
-  let b = min (min by_regs by_threads) (min by_smem lim.max_blocks_per_sm) in
-  if b = by_regs && by_regs <= by_threads && by_regs <= by_smem then
-    By_registers
-  else if b = by_threads && by_threads <= by_smem then By_threads
-  else if b = by_smem then By_smem
-  else By_block_slots
-
-let pp_limiter ppf = function
-  | By_registers -> Fmt.string ppf "registers"
-  | By_threads -> Fmt.string ppf "threads"
-  | By_smem -> Fmt.string ppf "shared memory"
-  | By_block_slots -> Fmt.string ppf "block slots"
+let limiting_resource = Hfuse_analysis.Limits.limiting_resource
+let pp_limiter = Hfuse_analysis.Limits.pp_limiter

@@ -6,18 +6,24 @@
     needs more registers and shared memory than either input, and past a
     breakpoint fewer blocks fit.  The paper's remedy caps register usage
     at [r0] so the fused kernel keeps its inputs' block-level
-    parallelism, at the cost of spilling. *)
+    parallelism, at the cost of spilling.
 
-(** Per-SM resource limits.  Mirrors [Gpusim.Arch] but kept
-    dependency-free so the core library does not depend on the
+    The limits record and residency arithmetic are shared with the
+    fusion-safety verifier: the types here are equations on
+    {!Hfuse_analysis.Limits}, so values flow freely between the two
+    libraries. *)
+
+(** Per-SM (and per-block) resource limits.  Mirrors [Gpusim.Arch] but
+    kept dependency-free so the core library does not depend on the
     simulator. *)
-type sm_limits = {
+type sm_limits = Hfuse_analysis.Limits.t = {
   regs_per_sm : int;  (** SMNRegs; 64K on Pascal and Volta *)
   smem_per_sm : int;  (** SMShMem; 96K *)
   max_threads_per_sm : int;  (** SMNThreads; 2048 *)
   max_blocks_per_sm : int;  (** hardware block slots; 32 *)
   reg_alloc_granularity : int;  (** allocation unit per thread; 8 *)
   max_regs_per_thread : int;  (** 255 *)
+  max_threads_per_block : int;  (** hardware block-size cap; 1024 *)
 }
 
 val pascal_volta_limits : sm_limits
@@ -47,8 +53,15 @@ val register_bound :
   int option
 
 (** Which resource limits a kernel's occupancy (reports/ablations). *)
-type limiter = By_registers | By_threads | By_smem | By_block_slots
+type limiter = Hfuse_analysis.Limits.limiter =
+  | By_registers
+  | By_threads
+  | By_smem
+  | By_block_slots
 
+(** The binding constraint of {!blocks_per_sm}.  A kernel that uses no
+    shared memory is never reported [By_smem]; a zero-smem kernel capped
+    by the 32-block slot limit reports [By_block_slots]. *)
 val limiting_resource :
   sm_limits -> regs:int -> threads:int -> smem:int -> limiter
 

@@ -18,8 +18,12 @@ let pp ppf { d1; d2 } = Fmt.pf ppf "%d/%d" d1 d2
 (** All partitions of a [d0]-thread fused block between [k1] and [k2],
     respecting both kernels' tunability.  For two tunable kernels this is
     d1 = 128, 256, ..., d0 - 128 (Fig. 6, lines 5-6 and 22); when either
-    kernel is fixed the only candidate (if any) is its native size. *)
-let enumerate (k1 : Kernel_info.t) (k2 : Kernel_info.t) ~(d0 : int) : t list =
+    kernel is fixed the only candidate (if any) is its native size —
+    two fixed kernels ignore [d0] entirely, their native sizes dictate
+    the split.  [max_threads] is the device's block-size cap (default
+    1024, the Pascal/Volta value): no returned partition exceeds it. *)
+let enumerate ?(max_threads = 1024) (k1 : Kernel_info.t) (k2 : Kernel_info.t)
+    ~(d0 : int) : t list =
   let fits_k1 d =
     match k1.tunability with
     | Kernel_info.Fixed -> d = Kernel_info.threads_per_block k1
@@ -34,36 +38,40 @@ let enumerate (k1 : Kernel_info.t) (k2 : Kernel_info.t) ~(d0 : int) : t list =
         let _, ny, nz = k2.block in
         d > 0 && d mod multiple_of = 0 && d mod (max 1 (ny * nz)) = 0
   in
-  match (k1.tunability, k2.tunability) with
-  | Kernel_info.Fixed, Kernel_info.Fixed ->
-      let d1 = Kernel_info.threads_per_block k1 in
-      let d2 = Kernel_info.threads_per_block k2 in
-      if d1 + d2 <= 1024 then [ { d1; d2 } ] else []
-  | Kernel_info.Fixed, Kernel_info.Tunable _ ->
-      let d1 = Kernel_info.threads_per_block k1 in
-      let d2 = d0 - d1 in
-      if d2 > 0 && fits_k2 d2 then [ { d1; d2 } ] else []
-  | Kernel_info.Tunable _, Kernel_info.Fixed ->
-      let d2 = Kernel_info.threads_per_block k2 in
-      let d1 = d0 - d2 in
-      if d1 > 0 && fits_k1 d1 then [ { d1; d2 } ] else []
-  | Kernel_info.Tunable _, Kernel_info.Tunable _ ->
-      let rec go d1 acc =
-        if d1 >= d0 then List.rev acc
-        else
-          let d2 = d0 - d1 in
-          let acc =
-            if fits_k1 d1 && fits_k2 d2 then { d1; d2 } :: acc else acc
-          in
-          go (d1 + granularity) acc
-      in
-      go granularity []
+  let parts =
+    match (k1.tunability, k2.tunability) with
+    | Kernel_info.Fixed, Kernel_info.Fixed ->
+        let d1 = Kernel_info.threads_per_block k1 in
+        let d2 = Kernel_info.threads_per_block k2 in
+        [ { d1; d2 } ]
+    | Kernel_info.Fixed, Kernel_info.Tunable _ ->
+        let d1 = Kernel_info.threads_per_block k1 in
+        let d2 = d0 - d1 in
+        if d2 > 0 && fits_k2 d2 then [ { d1; d2 } ] else []
+    | Kernel_info.Tunable _, Kernel_info.Fixed ->
+        let d2 = Kernel_info.threads_per_block k2 in
+        let d1 = d0 - d2 in
+        if d1 > 0 && fits_k1 d1 then [ { d1; d2 } ] else []
+    | Kernel_info.Tunable _, Kernel_info.Tunable _ ->
+        let rec go d1 acc =
+          if d1 >= d0 then List.rev acc
+          else
+            let d2 = d0 - d1 in
+            let acc =
+              if fits_k1 d1 && fits_k2 d2 then { d1; d2 } :: acc else acc
+            in
+            go (d1 + granularity) acc
+        in
+        go granularity []
+  in
+  List.filter (fun { d1; d2 } -> d1 + d2 <= max_threads) parts
 
 (** The even split used by the "Naive" variant of the evaluation
     (horizontal fusion without thread-space profiling, Section IV-A), or
     the fixed split when tunability forces one. *)
-let naive (k1 : Kernel_info.t) (k2 : Kernel_info.t) ~(d0 : int) : t option =
-  let parts = enumerate k1 k2 ~d0 in
+let naive ?max_threads (k1 : Kernel_info.t) (k2 : Kernel_info.t) ~(d0 : int)
+    : t option =
+  let parts = enumerate ?max_threads k1 k2 ~d0 in
   match parts with
   | [] -> None
   | [ p ] -> Some p

@@ -13,10 +13,19 @@ val pp : t Fmt.t
 (** All partitions of a [d0]-thread fused block, respecting both
     kernels' tunability: for two tunable kernels, d1 = 128, 256, ...,
     d0 - 128 (Fig. 6 lines 5-6 and 22); a fixed-dimension kernel pins
-    its own share.  Empty when no legal partition exists. *)
-val enumerate : Kernel_info.t -> Kernel_info.t -> d0:int -> t list
+    its own share.  Empty when no legal partition exists.
+
+    When both kernels are fixed, [d0] is ignored — the native sizes
+    dictate the (single) split; callers wanting a specific total must
+    check the returned partition.  [max_threads] is the device's
+    block-size cap (default 1024, the Pascal/Volta value): partitions
+    whose total exceeds it are dropped. *)
+val enumerate :
+  ?max_threads:int -> Kernel_info.t -> Kernel_info.t -> d0:int -> t list
 
 (** The even split used by the evaluation's Naive variant (horizontal
     fusion without thread-space profiling), or the closest legal
-    partition to it. *)
-val naive : Kernel_info.t -> Kernel_info.t -> d0:int -> t option
+    partition to it.  [d0] is ignored for two fixed kernels, as in
+    {!enumerate}. *)
+val naive :
+  ?max_threads:int -> Kernel_info.t -> Kernel_info.t -> d0:int -> t option

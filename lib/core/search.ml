@@ -24,6 +24,9 @@ type candidate = { fused : Hfuse.t; config : config; time : float }
 type result = {
   best : candidate;
   all : candidate list;  (** every profiled candidate, search order *)
+  rejected : (Partition.t * Hfuse_analysis.Diag.t list) list;
+      (** partitions the fusion-safety verifier refused (never
+          profiled), with their diagnostics *)
 }
 
 exception No_valid_partition of string
@@ -44,43 +47,71 @@ exception No_valid_partition of string
 let search ?(limits = Occupancy.pascal_volta_limits)
     ~(profile : Hfuse.t -> reg_bound:int option -> float) ~(d0 : int)
     (k1 : Kernel_info.t) (k2 : Kernel_info.t) : result =
-  let partitions = Partition.enumerate k1 k2 ~d0 in
+  let partitions =
+    Partition.enumerate
+      ~max_threads:limits.Occupancy.max_threads_per_block k1 k2 ~d0
+  in
   if partitions = [] then
     raise
       (No_valid_partition
          (Fmt.str "%s + %s admit no thread-space partition for d0 = %d"
             k1.fn.f_name k2.fn.f_name d0));
   let candidates = ref [] in
+  let rejected = ref [] in
   let consider c = candidates := c :: !candidates in
   List.iter
     (fun ({ Partition.d1; d2 } as partition) ->
       let k1c = Kernel_info.with_block_dim k1 d1 in
       let k2c = Kernel_info.with_block_dim k2 d2 in
-      let fused = Hfuse.generate k1c k2c in
-      (* line 8: profile without register bound *)
-      let t = profile fused ~reg_bound:None in
-      consider { fused; config = { partition; reg_bound = None }; time = t };
-      (* lines 13-17: compute r0 and profile with the bound *)
-      let fused_smem =
-        Kernel_info.smem_total (Hfuse.info fused)
-      in
-      match
-        Occupancy.register_bound limits ~d1 ~regs1:k1.regs ~d2 ~regs2:k2.regs
-          ~fused_smem
-      with
-      | None -> ()
-      | Some r0 ->
-          let t = profile fused ~reg_bound:(Some r0) in
+      (* the verifier gates profiling: an unsafe partition (deadlocking
+         barriers, shared-memory races, over-budget resources) is
+         recorded and never handed to the simulator *)
+      match Hfuse.generate ~limits k1c k2c with
+      | exception Hfuse_analysis.Diag.Unsafe_fusion ds ->
+          rejected := (partition, ds) :: !rejected
+      | fused -> (
+          (* line 8: profile without register bound *)
+          let t = profile fused ~reg_bound:None in
           consider
-            { fused; config = { partition; reg_bound = Some r0 }; time = t })
+            { fused; config = { partition; reg_bound = None }; time = t };
+          (* lines 13-17: compute r0 and profile with the bound *)
+          let fused_smem = Kernel_info.smem_total (Hfuse.info fused) in
+          match
+            Occupancy.register_bound limits ~d1 ~regs1:k1.regs ~d2
+              ~regs2:k2.regs ~fused_smem
+          with
+          | None -> ()
+          | Some r0 when r0 >= fused.Hfuse.regs ->
+              (* the bound would not constrain the kernel: the compiler
+                 already uses fewer registers, so the bounded build is
+                 byte-identical to the unbounded one — profiling it
+                 again would double the simulator work to learn
+                 nothing, and reporting [reg_bound = Some r0] would be
+                 misleading.  The unbounded candidate above already
+                 covers this configuration. *)
+              ()
+          | Some r0 ->
+              let t = profile fused ~reg_bound:(Some r0) in
+              consider
+                { fused; config = { partition; reg_bound = Some r0 }; time = t
+                }))
     partitions;
+  let rejected = List.rev !rejected in
+  if !candidates = [] then
+    raise
+      (No_valid_partition
+         (Fmt.str
+            "%s + %s: the fusion-safety verifier rejected all %d \
+             partition(s)"
+            k1.fn.f_name k2.fn.f_name
+            (List.length rejected)));
   let all = List.rev !candidates in
   let best =
     List.fold_left
       (fun best c -> if c.time < best.time then c else best)
       (List.hd all) (List.tl all)
   in
-  { best; all }
+  { best; all; rejected }
 
 (** The Naive variant of the evaluation: even partition, no profiling,
     no register bound. *)

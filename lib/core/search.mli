@@ -16,6 +16,9 @@ type candidate = { fused : Hfuse.t; config : config; time : float }
 type result = {
   best : candidate;
   all : candidate list;  (** every profiled candidate, in search order *)
+  rejected : (Partition.t * Hfuse_analysis.Diag.t list) list;
+      (** partitions the fusion-safety verifier refused (never
+          profiled), with their diagnostics *)
 }
 
 exception No_valid_partition of string
@@ -24,11 +27,20 @@ exception No_valid_partition of string
     [profile fused ~reg_bound] must return the fused kernel's running
     time under the given register bound (any consistent unit).
 
-    @param limits SM resource limits for the register bound (default:
-           the Pascal/Volta values the paper uses).
+    Each partition's fused kernel passes through the static
+    fusion-safety verifier before any profiling; rejected partitions
+    are recorded in [result.rejected] and never profiled.  A register
+    bound r0 that would not constrain the kernel (r0 at or above the
+    fused register estimate) is also skipped — the unbounded profile
+    already covers it.
+
+    @param limits SM resource limits for the register bound and the
+           partition/verifier thread caps (default: the Pascal/Volta
+           values the paper uses).
     @param d0 desired fused block dimension (1024 for tunable pairs;
            ignored when both kernels are fixed).
-    @raise No_valid_partition when the pair admits no partition. *)
+    @raise No_valid_partition when the pair admits no partition, or
+           the verifier rejects every partition. *)
 val search :
   ?limits:Occupancy.sm_limits ->
   profile:(Hfuse.t -> reg_bound:int option -> float) ->

@@ -29,6 +29,8 @@ type t = {
   param_map2 : (string * string) list;
   src1 : Kernel_info.t;
   src2 : Kernel_info.t;
+  sides : Hfuse_analysis.Verifier.side list;
+      (** the fusion-safety verifier's view of the two halves *)
 }
 
 let info t : Kernel_info.t =
@@ -42,10 +44,21 @@ let info t : Kernel_info.t =
     tunability = Kernel_info.Fixed;
   }
 
+(** Run the fusion-safety verifier on an already-generated fusion. *)
+let verify ?limits (t : t) : Hfuse_analysis.Diag.t list =
+  (* the halves run sequentially, so barrier-id reuse across them is
+     legal: verify as non-concurrent sides *)
+  Hfuse_analysis.Verifier.verify ?limits ~concurrent:false ~threads:t.block
+    ~regs:t.regs ~smem_dynamic:t.smem_dynamic t.sides
+
 (** [generate ?barrier_between k1 k2] vertically fuses two kernels whose
-    configured block dimensions have equal totals. *)
-let generate ?(barrier_between = false) (k1 : Kernel_info.t)
-    (k2 : Kernel_info.t) : t =
+    configured block dimensions have equal totals.  Unless
+    [~check:false], the result is run through the static fusion-safety
+    verifier and {!Hfuse_analysis.Diag.Unsafe_fusion} is raised when it
+    finds an error. *)
+let generate ?(check = true) ?(limits = Occupancy.pascal_volta_limits)
+    ?(barrier_between = false) (k1 : Kernel_info.t) (k2 : Kernel_info.t) : t
+    =
   let d1 = Kernel_info.threads_per_block k1 in
   let d2 = Kernel_info.threads_per_block k2 in
   let d0 = max d1 d2 in
@@ -133,21 +146,39 @@ let generate ?(barrier_between = false) (k1 : Kernel_info.t)
     }
   in
   let prog = { Ast.defines = []; functions = [ fn ] } in
-  {
-    fn;
-    prog;
-    block = d0;
-    grid;
-    smem_dynamic;
-    (* vertical fusion: one thread runs both kernels' code in sequence;
-       live ranges are disjoint across the two halves, but nvcc keeps the
-       union of the hot values live, so pressure is close to the max plus
-       a margin — same model as horizontal *)
-    regs = Fuse_common.fused_regs k1.regs k2.regs;
-    param_map1 = p1.param_map;
-    param_map2 = p2.param_map;
-    src1 = k1;
-    src2 = k2;
-  }
+  (* each half's share is its own thread count: a smaller half runs
+     under a thread guard and is barrier-free (enforced above), so its
+     count is [dk], not [d0] *)
+  let side1 =
+    Fuse_common.verifier_side ~label:k1.fn.f_name ~count:d1 ~dyn_offset:0
+      ~tainted:(global_tid :: Fuse_common.mapping_tid_vars map1)
+      p1 body1
+  in
+  let side2 =
+    Fuse_common.verifier_side ~label:k2.fn.f_name ~count:d2 ~dyn_offset:off2
+      ~tainted:(global_tid :: Fuse_common.mapping_tid_vars map2)
+      p2 body2
+  in
+  let t =
+    {
+      fn;
+      prog;
+      block = d0;
+      grid;
+      smem_dynamic;
+      (* vertical fusion: one thread runs both kernels' code in sequence;
+         live ranges are disjoint across the two halves, but nvcc keeps the
+         union of the hot values live, so pressure is close to the max plus
+         a margin — same model as horizontal *)
+      regs = Fuse_common.fused_regs k1.regs k2.regs;
+      param_map1 = p1.param_map;
+      param_map2 = p2.param_map;
+      src1 = k1;
+      src2 = k2;
+      sides = [ side1; side2 ];
+    }
+  in
+  if check then Hfuse_analysis.Diag.raise_if_unsafe (verify ~limits t);
+  t
 
 let to_source (t : t) : string = Pretty.program_to_string t.prog

@@ -15,6 +15,8 @@ type t = {
   param_map2 : (string * string) list;
   src1 : Kernel_info.t;
   src2 : Kernel_info.t;
+  sides : Hfuse_analysis.Verifier.side list;
+      (** the fusion-safety verifier's view of the two halves *)
 }
 
 val info : t -> Kernel_info.t
@@ -24,10 +26,24 @@ val info : t -> Kernel_info.t
     only if that kernel is barrier-free (vertical fusion has no partial
     barriers to fall back on).  [barrier_between] inserts a full
     [__syncthreads()] between the halves (off by default: the evaluation
-    pairs are independent).
+    pairs are independent).  Unless [~check:false], the result is run
+    through the static fusion-safety verifier.
 
     @raise Fuse_common.Fusion_error on a guarded barrier-bearing kernel
-    or unnormalisable input. *)
-val generate : ?barrier_between:bool -> Kernel_info.t -> Kernel_info.t -> t
+    or unnormalisable input.
+    @raise Hfuse_analysis.Diag.Unsafe_fusion when [check] (the default)
+    and the verifier reports an error-severity diagnostic. *)
+val generate :
+  ?check:bool ->
+  ?limits:Occupancy.sm_limits ->
+  ?barrier_between:bool ->
+  Kernel_info.t ->
+  Kernel_info.t ->
+  t
+
+(** Run the fusion-safety verifier on an already-generated fusion (the
+    halves are treated as sequential, so barrier-id reuse across them is
+    legal).  Never raises; returns all diagnostics. *)
+val verify : ?limits:Occupancy.sm_limits -> t -> Hfuse_analysis.Diag.t list
 
 val to_source : t -> string

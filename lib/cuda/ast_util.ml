@@ -224,6 +224,236 @@ let used_builtins (stmts : stmt list) : builtin list =
   List.sort_uniq compare l
 
 (* ------------------------------------------------------------------ *)
+(* Divergence and aliasing walkers                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Fold over every statement together with the conditions of its
+    enclosing [If]/loop constructs (innermost first).  Loop conditions
+    are included because a barrier inside a loop whose trip count varies
+    per thread diverges just like one under a thread-dependent [If]. *)
+let fold_stmts_guarded (f : 'a -> guards:expr list -> stmt -> 'a) (acc : 'a)
+    (stmts : stmt list) : 'a =
+  let rec go guards acc stmts =
+    List.fold_left
+      (fun acc s ->
+        let acc = f acc ~guards s in
+        match s.s with
+        | If (c, t, e) -> go (c :: guards) (go (c :: guards) acc t) e
+        | While (c, body) | Do_while (body, c) -> go (c :: guards) acc body
+        | For (_, cond, _, body) ->
+            let guards =
+              match cond with Some c -> c :: guards | None -> guards
+            in
+            go guards acc body
+        | Block b -> go guards acc b
+        | _ -> acc)
+      acc stmts
+  in
+  go [] acc stmts
+
+(** Every (variable, defining expression) pair in the statements:
+    initialised declarations (including for-loop init declarations),
+    assignments and compound assignments.  Increments define no *new*
+    dependence (x := x +- 1) and are omitted; uninitialised declarations
+    define no value and are omitted too. *)
+let var_defs (stmts : stmt list) : (string * expr) list =
+  let from_expr acc e =
+    fold_expr
+      (fun acc e ->
+        match e with
+        | Assign (Var x, rhs) | Op_assign (_, Var x, rhs) -> (x, rhs) :: acc
+        | _ -> acc)
+      acc e
+  in
+  let acc = fold_stmts_expr from_expr [] stmts in
+  fold_stmts
+    (fun acc s ->
+      match s.s with
+      | Decl { d_name; d_init = Some e; _ } -> (d_name, e) :: acc
+      | For (Some (For_decl ds), _, _, _) ->
+          List.fold_left
+            (fun acc (d : decl) ->
+              match d.d_init with Some e -> (d.d_name, e) :: acc | None -> acc)
+            acc ds
+      | _ -> acc)
+    acc stmts
+
+(** Variables whose address is taken somewhere — they can be written
+    through the pointer, so their value is opaque to the def analysis. *)
+let address_taken (stmts : stmt list) : StrSet.t =
+  fold_stmts_expr
+    (fun acc e ->
+      fold_expr
+        (fun acc e ->
+          match e with Addr_of (Var x) -> StrSet.add x acc | _ -> acc)
+        acc e)
+    StrSet.empty stmts
+
+(** Is a call to [f] inherently thread-dependent — returning a lane- or
+    memory-order-dependent value even for uniform arguments?  Atomics,
+    shuffles and ballots are; plain math intrinsics are not. *)
+let thread_dependent_call (f : string) : bool =
+  let has_prefix p =
+    String.length f >= String.length p && String.sub f 0 (String.length p) = p
+  in
+  has_prefix "atomic" || has_prefix "__shfl" || has_prefix "__ballot"
+  || has_prefix "WARP_SHFL"
+
+(** [expr_thread_dependent ~tainted e]: may [e] evaluate differently on
+    two threads of the same block, given the set [tainted] of
+    thread-dependent variables?  Memory reads ([Index]/[Deref]) count as
+    thread-dependent: without points-to information, a location written
+    by another thread is exactly the case a divergence check must not
+    miss. *)
+let expr_thread_dependent ~(tainted : StrSet.t) (e : expr) : bool =
+  fold_expr
+    (fun acc e ->
+      acc
+      ||
+      match e with
+      | Builtin (Thread_idx _) -> true
+      | Var x -> StrSet.mem x tainted
+      | Index _ | Deref _ -> true
+      | Call (f, _) -> thread_dependent_call f
+      | _ -> false)
+    false e
+
+(** Fixpoint taint analysis: the variables that may hold values
+    differing across threads of a block.  Seeds are variables whose
+    address is taken (opaque writes) plus any caller-supplied [seeds]
+    (e.g. prologue-defined thread-id variables whose definitions lie
+    outside the analysed statements); a variable becomes tainted when
+    any of its definitions is a thread-dependent expression.  Kernel
+    parameters and [blockIdx]/[blockDim]/[gridDim] are block-uniform and
+    never seed taint. *)
+let thread_dependent_vars ?(seeds = StrSet.empty) (stmts : stmt list) :
+    StrSet.t =
+  let defs = var_defs stmts in
+  let rec fix tainted =
+    let tainted' =
+      List.fold_left
+        (fun acc (x, rhs) ->
+          if StrSet.mem x acc then acc
+          else if expr_thread_dependent ~tainted:acc rhs then StrSet.add x acc
+          else acc)
+        tainted defs
+    in
+    if StrSet.equal tainted' tainted then tainted else fix tainted'
+  in
+  fix (StrSet.union seeds (address_taken stmts))
+
+(** One array access, as collected by {!array_accesses}. *)
+type access = {
+  acc_array : string;  (** base variable being indexed *)
+  acc_index : expr;
+  acc_kind : [ `Read | `Write | `Atomic ];
+  acc_guards : expr list;  (** enclosing structured conditions *)
+  acc_interval : int;
+      (** barrier statements seen before this access in pre-order — two
+          accesses with different intervals are (best-effort) separated
+          by a barrier.  Loops are not unrolled, so accesses from
+          different iterations of a barrier-free loop share an
+          interval. *)
+}
+
+(** All [a\[i\]] accesses in the statements, classified as read, write
+    or atomic, with their guard context and barrier interval.  An
+    [&a\[i\]] argument to an [atomic*] intrinsic is an atomic access;
+    passed to any other call it is conservatively a write. *)
+let array_accesses (stmts : stmt list) : access list =
+  let interval = ref 0 in
+  let out = ref [] in
+  let emit ~guards kind arr idx =
+    out :=
+      {
+        acc_array = arr;
+        acc_index = idx;
+        acc_kind = kind;
+        acc_guards = guards;
+        acc_interval = !interval;
+      }
+      :: !out
+  in
+  let rec expr ~guards kind e =
+    let rd = expr ~guards `Read in
+    match e with
+    | Index (Var a, i) ->
+        emit ~guards kind a i;
+        rd i
+    | Index (a, i) ->
+        expr ~guards kind a;
+        rd i
+    | Assign (lv, rhs) ->
+        expr ~guards `Write lv;
+        rd rhs
+    | Op_assign (_, lv, rhs) ->
+        expr ~guards `Write lv;
+        expr ~guards `Read lv;
+        rd rhs
+    | Incdec { lval; _ } ->
+        expr ~guards `Write lval;
+        expr ~guards `Read lval
+    | Call (f, args) ->
+        let arg_kind =
+          if String.length f >= 6 && String.sub f 0 6 = "atomic" then `Atomic
+          else `Write
+        in
+        List.iter
+          (fun arg ->
+            match arg with
+            | Addr_of (Index (Var a, i)) ->
+                emit ~guards arg_kind a i;
+                rd i
+            | Addr_of inner -> expr ~guards `Write inner
+            | arg -> rd arg)
+          args
+    | Unop (_, a) | Cast (_, a) -> expr ~guards kind a
+    | Deref a -> rd a
+    | Addr_of a -> expr ~guards `Write a
+    | Binop (_, a, b) ->
+        rd a;
+        rd b
+    | Ternary (c, a, b) ->
+        rd c;
+        expr ~guards kind a;
+        expr ~guards kind b
+    | Int_lit _ | Float_lit _ | Bool_lit _ | Var _ | Builtin _ -> ()
+  in
+  let decl ~guards (d : decl) =
+    match d.d_init with Some e -> expr ~guards `Read e | None -> ()
+  in
+  let rec stmt_list guards stmts = List.iter (one guards) stmts
+  and one guards s =
+    match s.s with
+    | Decl d -> decl ~guards d
+    | Expr e -> expr ~guards `Read e
+    | If (c, t, e) ->
+        expr ~guards `Read c;
+        stmt_list (c :: guards) t;
+        stmt_list (c :: guards) e
+    | For (init, cond, step, body) ->
+        (match init with
+        | Some (For_expr e) -> expr ~guards `Read e
+        | Some (For_decl ds) -> List.iter (decl ~guards) ds
+        | None -> ());
+        Option.iter (expr ~guards `Read) cond;
+        let guards' =
+          match cond with Some c -> c :: guards | None -> guards
+        in
+        Option.iter (expr ~guards:guards' `Read) step;
+        stmt_list guards' body
+    | While (c, body) | Do_while (body, c) ->
+        expr ~guards `Read c;
+        stmt_list (c :: guards) body
+    | Return (Some e) -> expr ~guards `Read e
+    | Sync | Bar_sync _ -> incr interval
+    | Block b -> stmt_list guards b
+    | Return None | Break | Continue | Goto _ | Label _ | Nop -> ()
+  in
+  stmt_list [] stmts;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
 (* Substitution                                                         *)
 (* ------------------------------------------------------------------ *)
 

@@ -43,6 +43,55 @@ val has_barrier : Ast.stmt list -> bool
 val barrier_count : Ast.stmt list -> int
 val used_builtins : Ast.stmt list -> Ast.builtin list
 
+(** Fold over every statement together with the conditions of its
+    enclosing [If]/loop constructs, innermost first.  Loop conditions
+    count as guards: a barrier inside a loop whose trip count varies per
+    thread diverges just like one under a thread-dependent [If]. *)
+val fold_stmts_guarded :
+  ('a -> guards:Ast.expr list -> Ast.stmt -> 'a) -> 'a -> Ast.stmt list -> 'a
+
+(** Every (variable, defining expression) pair: initialised declarations
+    and (compound) assignments to plain variables.  Increments and
+    uninitialised declarations are omitted. *)
+val var_defs : Ast.stmt list -> (string * Ast.expr) list
+
+(** Variables whose address is taken somewhere in the statements. *)
+val address_taken : Ast.stmt list -> StrSet.t
+
+(** Is a call to this function inherently thread-dependent (atomics,
+    shuffles, ballots) even for uniform arguments? *)
+val thread_dependent_call : string -> bool
+
+(** May the expression evaluate differently on two threads of the same
+    block, given the set [tainted] of thread-dependent variables?
+    Memory reads count as thread-dependent (no points-to analysis). *)
+val expr_thread_dependent : tainted:StrSet.t -> Ast.expr -> bool
+
+(** Fixpoint taint analysis: variables that may hold values differing
+    across threads of a block.  Address-taken variables and the
+    caller-supplied [seeds] (variables defined outside the analysed
+    statements) seed the set; parameters and block-level builtins are
+    uniform. *)
+val thread_dependent_vars : ?seeds:StrSet.t -> Ast.stmt list -> StrSet.t
+
+(** One array access, as collected by {!array_accesses}. *)
+type access = {
+  acc_array : string;  (** base variable being indexed *)
+  acc_index : Ast.expr;
+  acc_kind : [ `Read | `Write | `Atomic ];
+  acc_guards : Ast.expr list;  (** enclosing structured conditions *)
+  acc_interval : int;
+      (** barrier statements seen before this access in pre-order; two
+          accesses with different intervals are (best-effort) separated
+          by a barrier *)
+}
+
+(** All [a\[i\]] accesses, classified read/write/atomic, with guard
+    context and barrier interval.  [&a\[i\]] passed to an [atomic*]
+    intrinsic is atomic; passed elsewhere it is conservatively a
+    write. *)
+val array_accesses : Ast.stmt list -> access list
+
 (** Simultaneous variable renaming of occurrences and declarations;
     the caller guarantees target freshness. *)
 val rename_stmts :

@@ -157,6 +157,7 @@ let sm_limits t : Hfuse_core.Occupancy.sm_limits =
     max_blocks_per_sm = t.max_blocks_per_sm;
     reg_alloc_granularity = 8;
     max_regs_per_thread = 255;
+    max_threads_per_block = t.max_threads_per_block;
   }
 
 let pp ppf t =

@@ -9,6 +9,7 @@ let () =
       ("ast-util", Test_astutil.suite);
       ("fusion", Test_fusion.suite);
       ("occupancy", Test_occupancy.suite);
+      ("verifier", Test_verifier.suite);
       ("search", Test_search.suite);
       ("value", Test_value.suite);
       ("memory", Test_memory.suite);

@@ -26,6 +26,19 @@ let test_blocks_per_sm () =
   Alcotest.(check int) "does not fit" 0
     (Occupancy.blocks_per_sm lim ~regs:255 ~threads:1024 ~smem:0)
 
+let test_limiting_resource_no_smem () =
+  (* regression: a zero-smem kernel bound by block slots used to report
+     [By_smem] (the absent smem divisor defaulted to the slot limit) *)
+  Alcotest.(check bool) "slot-limited, not smem" true
+    (Occupancy.limiting_resource lim ~regs:8 ~threads:32 ~smem:0
+    = Occupancy.By_block_slots);
+  Alcotest.(check bool) "thread-limited zero smem" true
+    (Occupancy.limiting_resource lim ~regs:16 ~threads:1024 ~smem:0
+    = Occupancy.By_threads);
+  Alcotest.(check bool) "smem-limited still reported" true
+    (Occupancy.limiting_resource lim ~regs:16 ~threads:128 ~smem:(32 * 1024)
+    = Occupancy.By_smem)
+
 let test_theoretical_occupancy () =
   Alcotest.(check (float 1e-9)) "full" 1.0
     (Occupancy.theoretical_occupancy lim ~regs:32 ~threads:512 ~smem:0);
@@ -117,6 +130,8 @@ let bound_restores_occupancy =
 let suite =
   [
     Alcotest.test_case "blocks per SM" `Quick test_blocks_per_sm;
+    Alcotest.test_case "limiting resource (no smem)" `Quick
+      test_limiting_resource_no_smem;
     Alcotest.test_case "theoretical occupancy" `Quick
       test_theoretical_occupancy;
     Alcotest.test_case "register bound (paper case)" `Quick

@@ -13,7 +13,11 @@ __global__ void t(float* a, int n) {
 
 let info = Test_util.info_of_source
 
-let tun ?(block = (256, 1, 1)) ?(regs = 24) () =
+(* 32 regs/thread: high enough that the register bound r0 (32 at full
+   SM thread load) stays below the fused estimate (36) — the search
+   skips the bounded profile when the bound would not constrain the
+   kernel, and these tests want both variants profiled *)
+let tun ?(block = (256, 1, 1)) ?(regs = 32) () =
   info ~block ~regs ~tunability:(Kernel_info.Tunable { multiple_of = 32 })
     k_tunable
 
@@ -54,6 +58,16 @@ let test_enumerate_2d_constraint () =
   let bn = tun ~block:(32, 16, 1) () in
   let parts = Partition.enumerate bn (tun ()) ~d0:1024 in
   Alcotest.(check int) "still 7" 7 (List.length parts)
+
+let test_enumerate_max_threads () =
+  (* regression: the block-size cap is a parameter, not a hard-coded
+     1024 — a fixed pair exceeding a smaller device cap is rejected *)
+  Alcotest.(check int) "fixed pair over cap" 0
+    (List.length
+       (Partition.enumerate ~max_threads:256 (fixed 256) (fixed 128) ~d0:0));
+  Alcotest.(check int) "fixed pair within cap" 1
+    (List.length
+       (Partition.enumerate ~max_threads:384 (fixed 256) (fixed 128) ~d0:0))
 
 let test_naive_even () =
   match Partition.naive (tun ()) (tun ()) ~d0:1024 with
@@ -107,6 +121,53 @@ let test_search_counts_profile_calls () =
   (* 3 partitions (128..384) x 2 variants *)
   Alcotest.(check int) "profile calls" 6 !calls
 
+let test_search_records_rejections () =
+  (* a kernel carrying a barrier that waits for 256 threads: the
+     d1 = 128 partition is unsafe and must never reach the profiler *)
+  let k_wide =
+    {|
+__global__ void wide(float* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  asm("bar.sync 5, 256;");
+  if (i < n) { a[i] = a[i] + 1.0f; }
+}
+|}
+  in
+  let k1 =
+    info ~block:(256, 1, 1) ~regs:32
+      ~tunability:(Kernel_info.Tunable { multiple_of = 32 })
+      k_wide
+  in
+  let profiled = ref [] in
+  let profile (f : Hfuse.t) ~reg_bound:_ =
+    profiled := f.d1 :: !profiled;
+    1.0
+  in
+  let r = Search.search ~limits:lim ~profile ~d0:512 k1 (tun ()) in
+  Alcotest.(check int) "one rejection" 1 (List.length r.rejected);
+  let p, ds = List.hd r.rejected in
+  Alcotest.(check int) "rejected d1" 128 p.Partition.d1;
+  Alcotest.(check bool) "rejected with errors" false
+    (Hfuse_analysis.Diag.is_clean ds);
+  Alcotest.(check bool) "never profiled" false (List.mem 128 !profiled);
+  Alcotest.(check int) "2 safe partitions x 2 variants" 4
+    (List.length r.all)
+
+let test_search_skips_noop_bound () =
+  (* regression: at 8 regs/thread the bound r0 (32) sits above the fused
+     estimate (12) — profiling the bounded build would re-measure the
+     identical kernel, so only the unbounded variant runs *)
+  let calls = ref 0 in
+  let profile _ ~reg_bound =
+    incr calls;
+    Alcotest.(check (option int)) "only unbounded" None reg_bound;
+    1.0
+  in
+  ignore
+    (Search.search ~limits:lim ~profile ~d0:512 (tun ~regs:8 ())
+       (tun ~regs:8 ()));
+  Alcotest.(check int) "3 partitions x 1 variant" 3 !calls
+
 let test_naive_search () =
   match Search.naive ~d0:1024 (tun ()) (tun ()) with
   | Some f ->
@@ -136,6 +197,8 @@ let suite =
     Alcotest.test_case "enumerate mixed" `Quick test_enumerate_mixed;
     Alcotest.test_case "enumerate 2-D constraint" `Quick
       test_enumerate_2d_constraint;
+    Alcotest.test_case "enumerate max-threads cap" `Quick
+      test_enumerate_max_threads;
     Alcotest.test_case "naive even split" `Quick test_naive_even;
     Alcotest.test_case "search minimises" `Quick test_search_minimises;
     Alcotest.test_case "search prefers unbounded" `Quick
@@ -144,6 +207,10 @@ let suite =
       test_search_no_partition;
     Alcotest.test_case "search profile-call count" `Quick
       test_search_counts_profile_calls;
+    Alcotest.test_case "search records verifier rejections" `Quick
+      test_search_records_rejections;
+    Alcotest.test_case "search skips no-op register bound" `Quick
+      test_search_skips_noop_bound;
     Alcotest.test_case "naive search" `Quick test_naive_search;
   ]
   @ Test_util.qcheck_cases [ partition_prop ]

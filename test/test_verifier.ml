@@ -1,0 +1,258 @@
+(* The static fusion-safety verifier: every corpus pair at every
+   enumerated partition verifies clean (no error-severity diagnostics;
+   warnings allowed), hand-written unsafe kernels are rejected with the
+   expected structured diagnostic, and the [~check:false] escape hatch
+   still generates. *)
+
+open Hfuse_core
+module Diag = Hfuse_analysis.Diag
+module V = Hfuse_analysis.Verifier
+
+let info = Test_util.info_of_source
+
+let has_error ds pred = List.exists (fun d -> Diag.is_error d && pred d) ds
+
+(* -- corpus sweep ------------------------------------------------------ *)
+
+let test_corpus_pairs_verify_clean () =
+  List.iter
+    (fun ((s1 : Kernel_corpus.Spec.t), (s2 : Kernel_corpus.Spec.t)) ->
+      let mem = Gpusim.Memory.create () in
+      let k1 =
+        Kernel_corpus.Spec.kernel_info s1 (s1.instantiate mem ~size:1)
+      in
+      let k2 =
+        Kernel_corpus.Spec.kernel_info s2 (s2.instantiate mem ~size:1)
+      in
+      List.iter
+        (fun { Partition.d1; d2 } ->
+          let k1c = Kernel_info.with_block_dim k1 d1 in
+          let k2c = Kernel_info.with_block_dim k2 d2 in
+          match Hfuse.generate k1c k2c with
+          | fused ->
+              (* generate already ran the verifier; re-running must agree *)
+              Alcotest.(check bool)
+                (Fmt.str "%s+%s at %d/%d re-verifies" s1.name s2.name d1 d2)
+                true
+                (Diag.is_clean (Hfuse.verify fused))
+          | exception Diag.Unsafe_fusion ds ->
+              Alcotest.failf "%s + %s at %d/%d rejected:\n%s" s1.name
+                s2.name d1 d2 (Diag.report_to_string ds))
+        (Partition.enumerate k1 k2 ~d0:1024))
+    Kernel_corpus.Registry.all_pairs
+
+(* -- hand-written negatives -------------------------------------------- *)
+
+(* each already fused once: both carry a hardware barrier on id 1 *)
+let k_bar1 name =
+  Fmt.str
+    {|
+__global__ void %s(float* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  asm("bar.sync 1, 128;");
+  if (i < n) { a[i] = a[i] + 1.0f; }
+}
+|}
+    name
+
+let test_rejects_barrier_id_collision () =
+  let k1 = info ~block:(128, 1, 1) (k_bar1 "left") in
+  let k2 = info ~block:(128, 1, 1) (k_bar1 "right") in
+  match Hfuse.generate k1 k2 with
+  | _ -> Alcotest.fail "expected Unsafe_fusion"
+  | exception Diag.Unsafe_fusion ds ->
+      Alcotest.(check bool) "id collision reported" true
+        (has_error ds (fun d ->
+             match d.Diag.kind with
+             | Diag.Barrier_id_collision { id = 1; _ } -> true
+             | _ -> false))
+
+let test_vfuse_allows_barrier_id_reuse () =
+  (* vertical halves run sequentially: reusing id 1 is legal there *)
+  let k1 = info ~block:(128, 1, 1) (k_bar1 "left") in
+  let k2 = info ~block:(128, 1, 1) (k_bar1 "right") in
+  let fused = Vfuse.generate k1 k2 in
+  Alcotest.(check bool) "vertical fusion clean" true
+    (Diag.is_clean (Vfuse.verify fused))
+
+let k_divergent =
+  {|
+__global__ void div_bar(float* a, int n) {
+  __shared__ float buf[128];
+  int i = threadIdx.x;
+  if (i < 32) {
+    buf[i] = a[i];
+    __syncthreads();
+  }
+  if (i < n) { a[i] = buf[0]; }
+}
+|}
+
+let k_plain =
+  {|
+__global__ void plain(float* b, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { b[i] = b[i] * 2.0f; }
+}
+|}
+
+let test_rejects_divergent_barrier () =
+  let k1 = info ~block:(128, 1, 1) k_divergent in
+  let k2 = info ~block:(128, 1, 1) k_plain in
+  match Hfuse.generate k1 k2 with
+  | _ -> Alcotest.fail "expected Unsafe_fusion"
+  | exception Diag.Unsafe_fusion ds ->
+      Alcotest.(check bool) "divergent barrier reported" true
+        (has_error ds (fun d ->
+             match d.Diag.kind with
+             | Diag.Divergent_barrier { label = "div_bar"; _ } -> true
+             | _ -> false))
+
+let test_rejects_oversized_count () =
+  (* a pre-existing barrier waiting for more threads than its side owns *)
+  let src =
+    {|
+__global__ void wide(float* a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  asm("bar.sync 5, 256;");
+  if (i < n) { a[i] = a[i] + 1.0f; }
+}
+|}
+  in
+  let k1 = info ~block:(128, 1, 1) ~tunability:Kernel_info.Fixed src in
+  let k2 = info ~block:(128, 1, 1) ~tunability:Kernel_info.Fixed k_plain in
+  match Hfuse.generate k1 k2 with
+  | _ -> Alcotest.fail "expected Unsafe_fusion"
+  | exception Diag.Unsafe_fusion ds ->
+      Alcotest.(check bool) "count mismatch reported" true
+        (has_error ds (fun d ->
+             match d.Diag.kind with
+             | Diag.Barrier_count_mismatch { id = 5; count = 256; _ } -> true
+             | _ -> false))
+
+let test_rejects_uniform_write_race () =
+  let src =
+    {|
+__global__ void racy(float* a, int n) {
+  __shared__ float acc[32];
+  acc[0] = a[threadIdx.x];
+  __syncthreads();
+  if (threadIdx.x < n) { a[threadIdx.x] = acc[0]; }
+}
+|}
+  in
+  let _, fn = Test_util.kernel_of_source src in
+  let ds =
+    V.verify_kernel ~label:"racy" ~threads:128 ~regs:16 ~smem_dynamic:0
+      fn.f_body
+  in
+  Alcotest.(check bool) "write/write race reported" true
+    (has_error ds (fun d ->
+         match d.Diag.kind with
+         | Diag.Shared_race { array = "acc"; write_write = true; _ } -> true
+         | _ -> false))
+
+let test_accepts_singleton_guard () =
+  let src =
+    {|
+__global__ void leader(float* a, int n) {
+  __shared__ float acc[32];
+  if (threadIdx.x == 0) { acc[0] = a[0]; }
+  __syncthreads();
+  if (threadIdx.x < n) { a[threadIdx.x] = acc[0]; }
+}
+|}
+  in
+  let _, fn = Test_util.kernel_of_source src in
+  let ds =
+    V.verify_kernel ~label:"leader" ~threads:128 ~regs:16 ~smem_dynamic:0
+      fn.f_body
+  in
+  Alcotest.(check bool) "leader election is clean" true (Diag.is_clean ds)
+
+let test_rejects_overlapping_regions () =
+  (* two sides whose dynamic carve-outs of the extern buffer intersect *)
+  let region name off bytes =
+    { V.r_name = name; r_bytes = bytes; r_offset = off; r_dynamic = true }
+  in
+  let s1 =
+    V.side ~label:"left" ~count:128
+      ~shared:[ region "lbuf" 0 512 ]
+      []
+  in
+  let s2 =
+    V.side ~label:"right" ~count:128
+      ~shared:[ region "rbuf" 256 512 ]
+      []
+  in
+  let ds = V.verify ~threads:256 ~regs:16 ~smem_dynamic:768 [ s1; s2 ] in
+  Alcotest.(check bool) "overlap reported" true
+    (has_error ds (fun d ->
+         match d.Diag.kind with
+         | Diag.Shared_overlap { name1 = "lbuf"; name2 = "rbuf"; _ } -> true
+         | _ -> false))
+
+let test_rejects_over_budget_smem () =
+  let ds =
+    V.verify ~threads:256 ~regs:16
+      ~smem_dynamic:(128 * 1024)
+      [ V.side ~label:"huge" ~count:256 [] ]
+  in
+  Alcotest.(check bool) "smem over budget" true
+    (has_error ds (fun d ->
+         match d.Diag.kind with
+         | Diag.Over_budget { resource = Hfuse_analysis.Limits.By_smem; _ }
+           ->
+             true
+         | _ -> false))
+
+let test_rejects_over_budget_threads () =
+  let ds =
+    V.verify ~threads:2048 ~regs:16 ~smem_dynamic:0
+      [ V.side ~label:"wide" ~count:2048 [] ]
+  in
+  Alcotest.(check bool) "thread cap" true
+    (has_error ds (fun d ->
+         match d.Diag.kind with
+         | Diag.Over_budget { resource = Hfuse_analysis.Limits.By_threads; _ }
+           ->
+             true
+         | _ -> false))
+
+(* -- escape hatch ------------------------------------------------------ *)
+
+let test_check_false_escape_hatch () =
+  let k1 = info ~block:(128, 1, 1) (k_bar1 "left") in
+  let k2 = info ~block:(128, 1, 1) (k_bar1 "right") in
+  (* generation itself succeeds; the verdict is available on demand *)
+  let fused = Hfuse.generate ~check:false k1 k2 in
+  let ds = Hfuse.verify fused in
+  Alcotest.(check bool) "diags still produced" false (Diag.is_clean ds);
+  Alcotest.(check bool) "report mentions the ids" true
+    (Test_util.contains (Diag.report_to_string ds) "barrier id 1")
+
+let suite =
+  [
+    Alcotest.test_case "corpus pairs verify clean" `Quick
+      test_corpus_pairs_verify_clean;
+    Alcotest.test_case "rejects barrier-id collision" `Quick
+      test_rejects_barrier_id_collision;
+    Alcotest.test_case "vfuse allows id reuse" `Quick
+      test_vfuse_allows_barrier_id_reuse;
+    Alcotest.test_case "rejects divergent barrier" `Quick
+      test_rejects_divergent_barrier;
+    Alcotest.test_case "rejects oversized count" `Quick
+      test_rejects_oversized_count;
+    Alcotest.test_case "rejects uniform-index write race" `Quick
+      test_rejects_uniform_write_race;
+    Alcotest.test_case "accepts singleton guard" `Quick
+      test_accepts_singleton_guard;
+    Alcotest.test_case "rejects overlapping regions" `Quick
+      test_rejects_overlapping_regions;
+    Alcotest.test_case "rejects over-budget smem" `Quick
+      test_rejects_over_budget_smem;
+    Alcotest.test_case "rejects over-budget threads" `Quick
+      test_rejects_over_budget_threads;
+    Alcotest.test_case "check:false escape hatch" `Quick
+      test_check_false_escape_hatch;
+  ]
