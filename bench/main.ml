@@ -9,9 +9,17 @@
      dune exec bench/main.exe -- ablation  # dispatch-policy & partition ablations
      dune exec bench/main.exe -- micro     # compiler micro-benchmarks
      dune exec bench/main.exe -- fig7 --full   # 5-point ratio sweeps
+     dune exec bench/main.exe -- fig7 -j 4 --cache   # parallel + cached search
 
    The default ratio sweep uses 3 points per pair (0.5x, 1x, 2x the
-   representative size); [--full] uses the paper's 5. *)
+   representative size); [--full] uses the paper's 5.
+
+   [-j N] fans the search's timing replays over N domains; [--cache] /
+   [--no-cache] control the persistent profiling cache (default: the
+   HFUSE_CACHE / HFUSE_CACHE_DIR environment, else off).  Figures are
+   bit-identical for any -j and any cache temperature; a search-stats
+   line (candidates profiled, cache hits, profiling wall time) follows
+   every figure that searches. *)
 
 open Hfuse_profiler
 open Kernel_corpus
@@ -30,6 +38,17 @@ let timed name f =
   say "[%s: %.1fs]" name (Unix.gettimeofday () -. t0);
   r
 
+(* search parallelism / persistent profiling cache, set by the CLI flags *)
+let jobs = ref 1
+let cache = ref (Hfuse_profiler.Profile_cache.from_env ())
+
+let timed_search name f =
+  Runner.reset_search_stats ();
+  let r = timed name f in
+  say "[search: %s]"
+    (Fmt.str "%a" Runner.pp_search_stats (Runner.search_stats ()));
+  r
+
 (* ------------------------------------------------------------------ *)
 (* Figures                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -40,8 +59,9 @@ let multipliers ~full =
 let run_fig7 ~full () =
   section "Figure 7: speedup vs execution-time ratio (16 pairs x 2 GPUs)";
   let sweeps =
-    timed "figure 7" (fun () ->
-        Experiment.figure7 ~multipliers:(multipliers ~full) ())
+    timed_search "figure 7" (fun () ->
+        Experiment.figure7 ~multipliers:(multipliers ~full) ~jobs:!jobs
+          ~cache:!cache ())
   in
   print_string (Report.figure7_to_string sweeps)
 
@@ -52,7 +72,10 @@ let run_fig8 () =
 
 let run_fig9 () =
   section "Figure 9: metrics of HFuse fused kernels (RegCap / N-RegCap)";
-  let rows = timed "figure 9" (fun () -> Experiment.figure9 ()) in
+  let rows =
+    timed_search "figure 9" (fun () ->
+        Experiment.figure9 ~jobs:!jobs ~cache:!cache ())
+  in
   print_string (Report.figure9_to_string rows)
 
 (* ------------------------------------------------------------------ *)
@@ -101,7 +124,7 @@ let run_ablation () =
   let c1 = Runner.configure mem s1 ~size:(Experiment.size_of sizes s1) in
   let c2 = Runner.configure mem s2 ~size:(Experiment.size_of sizes s2) in
   let native = (Runner.native arch c1 c2).Gpusim.Timing.time_ms in
-  let sr = Runner.search arch c1 c2 in
+  let sr = Runner.search ~jobs:!jobs ~cache:!cache arch c1 c2 in
   say "%-12s %-10s %12s %10s" "partition" "regbound" "time (ms)" "speedup%";
   List.iter
     (fun (cand : Hfuse_core.Search.candidate) ->
@@ -190,6 +213,27 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
   let args = List.filter (fun a -> a <> "--full") args in
+  (* -j N / --jobs N, --cache, --no-cache *)
+  let rec parse_flags = function
+    | ("-j" | "--jobs") :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> jobs := n
+        | _ ->
+            Printf.eprintf "bench: -j expects a positive integer, got %s\n" n;
+            exit 2);
+        parse_flags rest
+    | "--cache" :: rest ->
+        cache :=
+          Hfuse_profiler.Profile_cache.create
+            ?dir:(Sys.getenv_opt "HFUSE_CACHE_DIR") ();
+        parse_flags rest
+    | "--no-cache" :: rest ->
+        cache := Hfuse_profiler.Profile_cache.disabled ();
+        parse_flags rest
+    | a :: rest -> a :: parse_flags rest
+    | [] -> []
+  in
+  let args = parse_flags args in
   let t0 = Unix.gettimeofday () in
   (match args with
   | [] ->
@@ -206,7 +250,8 @@ let () =
   | other ->
       Printf.eprintf
         "unknown arguments: %s\n\
-         usage: main.exe [fig7|fig8|fig9|ablation|micro] [--full]\n"
+         usage: main.exe [fig7|fig8|fig9|ablation|micro] [--full] [-j N] \
+         [--cache|--no-cache]\n"
         (String.concat " " other);
       exit 2);
   say "";

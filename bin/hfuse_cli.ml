@@ -67,6 +67,41 @@ let arch_arg =
 let grid_arg =
   Arg.(value & opt int 8 & info [ "grid" ] ~docv:"N" ~doc:"Grid dimension.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Profile search candidates over $(docv) parallel domains \
+           (tracing stays serial; results are identical for any N).")
+
+(* --cache / --no-cache override the HFUSE_CACHE / HFUSE_CACHE_DIR
+   environment; with neither flag nor environment, the cache is off *)
+let cache_arg =
+  let use =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Enable the persistent profiling cache (default directory \
+             $(b,_hfuse_cache), or $(b,HFUSE_CACHE_DIR)).")
+  in
+  let no =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the persistent profiling cache, overriding the \
+                environment.")
+  in
+  let resolve use no =
+    if no then Hfuse_profiler.Profile_cache.disabled ()
+    else if use then
+      Hfuse_profiler.Profile_cache.create
+        ?dir:(Sys.getenv_opt "HFUSE_CACHE_DIR") ()
+    else Hfuse_profiler.Profile_cache.from_env ()
+  in
+  Term.(const resolve $ use $ no)
+
 (* -- fuse --------------------------------------------------------------- *)
 
 let fuse_cmd =
@@ -310,7 +345,7 @@ let simulate_cmd =
 
 let search_cmd =
   let run arch (s1 : Kernel_corpus.Spec.t) (s2 : Kernel_corpus.Spec.t) size1
-      size2 emit =
+      size2 emit jobs cache =
     let sizes = Hfuse_profiler.Experiment.representative_sizes arch in
     let size_of (s : Kernel_corpus.Spec.t) o =
       Option.value o ~default:(Hfuse_profiler.Experiment.size_of sizes s)
@@ -319,7 +354,8 @@ let search_cmd =
     let c1 = Hfuse_profiler.Runner.configure mem s1 ~size:(size_of s1 size1) in
     let c2 = Hfuse_profiler.Runner.configure mem s2 ~size:(size_of s2 size2) in
     let native = (Hfuse_profiler.Runner.native arch c1 c2).Gpusim.Timing.time_ms in
-    let sr = Hfuse_profiler.Runner.search arch c1 c2 in
+    Hfuse_profiler.Runner.reset_search_stats ();
+    let sr = Hfuse_profiler.Runner.search ~jobs ~cache arch c1 c2 in
     Printf.printf "native: %.4f ms\n" native;
     List.iter
       (fun (cand : Hfuse_core.Search.candidate) ->
@@ -336,6 +372,9 @@ let search_cmd =
       (match b.config.reg_bound with
       | None -> "unbounded"
       | Some r -> Printf.sprintf "r0=%d" r);
+    Printf.eprintf "search: %s\n"
+      (Fmt.str "%a" Hfuse_profiler.Runner.pp_search_stats
+         (Hfuse_profiler.Runner.search_stats ()));
     if emit then print_endline (Hfuse_core.Hfuse.to_source b.fused)
   in
   let emit =
@@ -348,7 +387,7 @@ let search_cmd =
           simulator.")
     Term.(
       const run $ arch_arg $ kernel_arg "k1" $ kernel_arg "k2"
-      $ size_arg "size1" $ size_arg "size2" $ emit)
+      $ size_arg "size1" $ size_arg "size2" $ emit $ jobs_arg $ cache_arg)
 
 (* -- analyze ------------------------------------------------------------ *)
 

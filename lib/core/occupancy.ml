@@ -60,6 +60,11 @@ let register_bound (lim : sm_limits) ~d1 ~regs1 ~d2 ~regs2 ~fused_smem :
     else lim.smem_per_sm / fused_smem
   in
   let b0 = min (min b1 b2) (min by_smem (lim.max_threads_per_sm / d0)) in
+  (* the hardware block-slot limit binds in every case: without this
+     clamp a tiny-smem kernel (where [by_smem] is huge and the register
+     and thread divisors are loose) computes an impossible residency b0
+     and, from it, an over-tight — too small — r0 *)
+  let b0 = min b0 lim.max_blocks_per_sm in
   if b0 <= 0 then None
   else
     let r0 = lim.regs_per_sm / (b0 * d0) in

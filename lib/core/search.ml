@@ -5,6 +5,18 @@
    register bound r0 computed by {!Occupancy.register_bound}.  Keep the
    fastest (kernel, bound) pair seen.
 
+   The search runs in two phases.  Phase 1 is serial: enumerate
+   partitions, generate and verify the fused kernels, and compute the
+   register bounds — this builds the candidate list in search order.
+   Phase 2 evaluates the candidates.  By default it maps the [profile]
+   callback over them one by one; a caller may instead supply
+   [profile_batch], which receives the whole candidate list at once and
+   may evaluate it however it likes (the harness fans the pure timing
+   runs out over a domain pool and consults a persistent cache).  Either
+   way the times come back in candidate order, so [best] tie-breaking —
+   first strictly-fastest candidate in search order wins — is identical
+   regardless of evaluation strategy.
+
    Profiling is a callback so the same algorithm runs against the cycle-
    level simulator (the harness), against synthetic cost functions
    (tests), or — in a deployment with real hardware — against nvcc+nvprof. *)
@@ -39,12 +51,16 @@ exception No_valid_partition of string
 
     @param limits  SM resource limits used to compute the register bound
                    (default: the Pascal/Volta values the paper uses).
+    @param profile_batch  when given, evaluates the whole candidate list
+                   instead of per-candidate [profile] calls; must return
+                   one time per candidate, in order.
     @param d0      desired fused block dimension (paper default: 1024 for
                    tunable pairs; for fixed pairs the partition dictates
                    it and [d0] is ignored).
     @raise No_valid_partition when the pair admits no thread-space
            partition (e.g. two fixed kernels whose sum exceeds 1024). *)
 let search ?(limits = Occupancy.pascal_volta_limits)
+    ?(profile_batch : ((Hfuse.t * config) list -> float list) option)
     ~(profile : Hfuse.t -> reg_bound:int option -> float) ~(d0 : int)
     (k1 : Kernel_info.t) (k2 : Kernel_info.t) : result =
   let partitions =
@@ -56,9 +72,11 @@ let search ?(limits = Occupancy.pascal_volta_limits)
       (No_valid_partition
          (Fmt.str "%s + %s admit no thread-space partition for d0 = %d"
             k1.fn.f_name k2.fn.f_name d0));
-  let candidates = ref [] in
+  (* phase 1 (serial): generate, verify, and collect the candidate
+     configurations in search order *)
+  let pending = ref [] in
   let rejected = ref [] in
-  let consider c = candidates := c :: !candidates in
+  let enqueue fused config = pending := (fused, config) :: !pending in
   List.iter
     (fun ({ Partition.d1; d2 } as partition) ->
       let k1c = Kernel_info.with_block_dim k1 d1 in
@@ -70,11 +88,9 @@ let search ?(limits = Occupancy.pascal_volta_limits)
       | exception Hfuse_analysis.Diag.Unsafe_fusion ds ->
           rejected := (partition, ds) :: !rejected
       | fused -> (
-          (* line 8: profile without register bound *)
-          let t = profile fused ~reg_bound:None in
-          consider
-            { fused; config = { partition; reg_bound = None }; time = t };
-          (* lines 13-17: compute r0 and profile with the bound *)
+          (* line 8: the unbounded variant *)
+          enqueue fused { partition; reg_bound = None };
+          (* lines 13-17: compute r0 for the bounded variant *)
           let fused_smem = Kernel_info.smem_total (Hfuse.info fused) in
           match
             Occupancy.register_bound limits ~d1 ~regs1:k1.regs ~d2
@@ -90,14 +106,11 @@ let search ?(limits = Occupancy.pascal_volta_limits)
                  misleading.  The unbounded candidate above already
                  covers this configuration. *)
               ()
-          | Some r0 ->
-              let t = profile fused ~reg_bound:(Some r0) in
-              consider
-                { fused; config = { partition; reg_bound = Some r0 }; time = t
-                }))
+          | Some r0 -> enqueue fused { partition; reg_bound = Some r0 }))
     partitions;
   let rejected = List.rev !rejected in
-  if !candidates = [] then
+  let pending = List.rev !pending in
+  if pending = [] then
     raise
       (No_valid_partition
          (Fmt.str
@@ -105,7 +118,28 @@ let search ?(limits = Occupancy.pascal_volta_limits)
              partition(s)"
             k1.fn.f_name k2.fn.f_name
             (List.length rejected)));
-  let all = List.rev !candidates in
+  (* phase 2: evaluate the candidates — batched when the caller provides
+     an evaluator (parallel timing, persistent cache), serial otherwise *)
+  let times =
+    match profile_batch with
+    | Some f ->
+        let ts = f pending in
+        if List.length ts <> List.length pending then
+          invalid_arg
+            (Fmt.str
+               "Search.search: profile_batch returned %d time(s) for %d \
+                candidate(s)"
+               (List.length ts) (List.length pending));
+        ts
+    | None ->
+        List.map
+          (fun (fused, config) -> profile fused ~reg_bound:config.reg_bound)
+          pending
+  in
+  let all =
+    List.map2 (fun (fused, config) time -> { fused; config; time }) pending
+      times
+  in
   let best =
     List.fold_left
       (fun best c -> if c.time < best.time then c else best)

@@ -23,9 +23,13 @@ type result = {
 
 exception No_valid_partition of string
 
-(** [search ~profile ~d0 k1 k2] runs the Fig. 6 algorithm.
-    [profile fused ~reg_bound] must return the fused kernel's running
-    time under the given register bound (any consistent unit).
+(** [search ~profile ~d0 k1 k2] runs the Fig. 6 algorithm in two
+    phases: a serial phase enumerates partitions, generates and
+    verifies the fused kernels and computes register bounds, building
+    the candidate list in search order; a second phase evaluates the
+    candidates.  [profile fused ~reg_bound] must return the fused
+    kernel's running time under the given register bound (any
+    consistent unit).
 
     Each partition's fused kernel passes through the static
     fusion-safety verifier before any profiling; rejected partitions
@@ -37,12 +41,21 @@ exception No_valid_partition of string
     @param limits SM resource limits for the register bound and the
            partition/verifier thread caps (default: the Pascal/Volta
            values the paper uses).
+    @param profile_batch when given, phase 2 hands it the whole
+           candidate list instead of calling [profile] per candidate —
+           the hook that lets a harness fan pure timing runs out over a
+           domain pool and consult a persistent profiling cache.  It
+           must return one time per candidate, in candidate order
+           ([Invalid_argument] otherwise); [best] tie-breaking (first
+           strictly-fastest in search order) is then identical to the
+           serial path whatever the evaluation strategy.
     @param d0 desired fused block dimension (1024 for tunable pairs;
            ignored when both kernels are fixed).
     @raise No_valid_partition when the pair admits no partition, or
            the verifier rejects every partition. *)
 val search :
   ?limits:Occupancy.sm_limits ->
+  ?profile_batch:((Hfuse.t * config) list -> float list) ->
   profile:(Hfuse.t -> reg_bound:int option -> float) ->
   d0:int ->
   Kernel_info.t ->

@@ -1,0 +1,114 @@
+(* A fixed-size pool of OCaml 5 worker domains with a shared task
+   queue, built on Domain/Mutex/Condition only (no external deps).
+
+   The profiling search uses it to fan out the pure [Timing.run]
+   candidate evaluations: tracing mutates [Memory.t] and stays on the
+   calling domain; timing replays immutable traces and parallelises
+   safely.  [map] preserves input order, so search results are
+   bit-identical to the serial path regardless of worker count. *)
+
+type t = {
+  size : int;  (** worker domains; [<= 1] means no domains, run serial *)
+  mutex : Mutex.t;  (** guards [queue] and [shutting_down] *)
+  has_work : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable shutting_down : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* a backstop against absurd [-j] values, not a tuning choice: domains
+   are OS threads and oversubscription is merely wasteful, never wrong *)
+let max_workers = 64
+
+let rec worker (p : t) : unit =
+  Mutex.lock p.mutex;
+  let rec next () =
+    if p.shutting_down then None
+    else
+      match Queue.take_opt p.queue with
+      | Some _ as task -> task
+      | None ->
+          Condition.wait p.has_work p.mutex;
+          next ()
+  in
+  let task = next () in
+  Mutex.unlock p.mutex;
+  match task with
+  | None -> ()
+  | Some task ->
+      task ();
+      worker p
+
+let create (jobs : int) : t =
+  let size = min (max jobs 0) max_workers in
+  let p =
+    {
+      size;
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      queue = Queue.create ();
+      shutting_down = false;
+      workers = [];
+    }
+  in
+  if size > 1 then
+    p.workers <- List.init size (fun _ -> Domain.spawn (fun () -> worker p));
+  p
+
+let size (p : t) : int = max 1 p.size
+
+let shutdown (p : t) : unit =
+  Mutex.lock p.mutex;
+  p.shutting_down <- true;
+  Condition.broadcast p.has_work;
+  Mutex.unlock p.mutex;
+  List.iter Domain.join p.workers;
+  p.workers <- []
+
+let with_pool (jobs : int) (f : t -> 'a) : 'a =
+  let p = create jobs in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
+
+let map (p : t) (f : 'a -> 'b) (xs : 'a array) : 'b array =
+  let n = Array.length xs in
+  if p.size <= 1 || n <= 1 then Array.map f xs
+  else begin
+    let results : 'b option array = Array.make n None in
+    (* per-call completion latch; the pool mutex only guards the queue *)
+    let latch = Mutex.create () in
+    let all_done = Condition.create () in
+    let remaining = ref n in
+    let first_exn = ref None in
+    let task i () =
+      (match f xs.(i) with
+      | v -> results.(i) <- Some v
+      | exception e ->
+          Mutex.lock latch;
+          if !first_exn = None then first_exn := Some e;
+          Mutex.unlock latch);
+      Mutex.lock latch;
+      decr remaining;
+      if !remaining = 0 then Condition.signal all_done;
+      Mutex.unlock latch
+    in
+    Mutex.lock p.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (task i) p.queue
+    done;
+    Condition.broadcast p.has_work;
+    Mutex.unlock p.mutex;
+    Mutex.lock latch;
+    while !remaining > 0 do
+      Condition.wait all_done latch
+    done;
+    Mutex.unlock latch;
+    match !first_exn with
+    | Some e -> raise e
+    | None ->
+        Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list (p : t) (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  Array.to_list (map p f (Array.of_list xs))
+
+let default_jobs () = min max_workers (Domain.recommended_domain_count ())

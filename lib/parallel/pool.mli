@@ -1,0 +1,40 @@
+(** A fixed-size pool of OCaml 5 worker domains with a shared task
+    queue (Domain/Mutex/Condition only, no external dependencies).
+
+    Built for the profiling search: tracing mutates [Memory.t] and
+    stays on the calling domain, while the pure [Timing.run] candidate
+    evaluations fan out here.  {!map} preserves input order, so callers
+    get results bit-identical to a serial run regardless of worker
+    count. *)
+
+type t
+
+(** [create jobs] spawns [min jobs 64] worker domains.  [jobs <= 1]
+    creates a degenerate pool that runs everything on the calling
+    domain (no domains spawned). *)
+val create : int -> t
+
+(** Effective parallelism: worker count, or 1 for a serial pool. *)
+val size : t -> int
+
+(** [map p f xs] applies [f] to every element, distributing work over
+    the pool's domains.  The result array is in input order.  [f] must
+    be safe to run on another domain (no shared mutable state).  If any
+    application raises, the first exception observed is re-raised after
+    all tasks finish. *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** {!map} over lists, preserving order. *)
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Signal workers to exit and join them.  The pool must not be used
+    afterwards. *)
+val shutdown : t -> unit
+
+(** [with_pool jobs f] runs [f] with a fresh pool and always shuts it
+    down, even if [f] raises. *)
+val with_pool : int -> (t -> 'a) -> 'a
+
+(** A sensible default worker count for this machine
+    ([Domain.recommended_domain_count], capped). *)
+val default_jobs : unit -> int

@@ -98,9 +98,11 @@ let avg_vfuse_speedup (s : sweep) =
 let default_multipliers = [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
 
 (** Sweep one pair on one arch: vary the first kernel's size over
-    [multipliers] x its representative size. *)
-let sweep_pair ?(multipliers = default_multipliers) (arch : Arch.t)
-    (sizes : (string * int) list) ((s1, s2) : Spec.t * Spec.t) : sweep =
+    [multipliers] x its representative size.  [jobs]/[cache] are passed
+    through to {!Runner.search}. *)
+let sweep_pair ?(multipliers = default_multipliers) ?jobs ?cache
+    (arch : Arch.t) (sizes : (string * int) list)
+    ((s1, s2) : Spec.t * Spec.t) : sweep =
   let mem = Memory.create () in
   let base1 = size_of sizes s1 and size2 = size_of sizes s2 in
   let points =
@@ -114,7 +116,7 @@ let sweep_pair ?(multipliers = default_multipliers) (arch : Arch.t)
         let t1 = (Runner.solo arch c1).Timing.time_ms in
         let t2 = (Runner.solo arch c2).Timing.time_ms in
         let native = (Runner.native arch c1 c2).Timing.time_ms in
-        let sr = Runner.search arch c1 c2 in
+        let sr = Runner.search ?jobs ?cache arch c1 c2 in
         let best = sr.Hfuse_core.Search.best in
         let vfuse_ms =
           match Runner.vfuse_generate c1 c2 with
@@ -150,12 +152,14 @@ let sweep_pair ?(multipliers = default_multipliers) (arch : Arch.t)
   { pair = (s1, s2); arch; varied_first = true; points }
 
 (** The full Figure 7: 16 pairs x 2 architectures. *)
-let figure7 ?multipliers ?(archs = Arch.all)
+let figure7 ?multipliers ?jobs ?cache ?(archs = Arch.all)
     ?(pairs = Registry.all_pairs) () : sweep list =
   List.concat_map
     (fun arch ->
       let sizes = representative_sizes arch in
-      List.map (fun pair -> sweep_pair ?multipliers arch sizes pair) pairs)
+      List.map
+        (fun pair -> sweep_pair ?multipliers ?jobs ?cache arch sizes pair)
+        pairs)
     archs
 
 (* ------------------------------------------------------------------ *)
@@ -204,7 +208,7 @@ type fused_row = {
       (** [None] when the bound is not computable (b0 = 0) *)
 }
 
-let figure9_pair (arch : Arch.t) (sizes : (string * int) list)
+let figure9_pair ?jobs ?cache (arch : Arch.t) (sizes : (string * int) list)
     ((s1, s2) : Spec.t * Spec.t) : fused_row =
   let mem = Memory.create () in
   let c1 = Runner.configure mem s1 ~size:(size_of sizes s1) in
@@ -212,7 +216,7 @@ let figure9_pair (arch : Arch.t) (sizes : (string * int) list)
   let m1 = Metrics.of_report ~label:s1.name (Runner.solo arch c1) in
   let m2 = Metrics.of_report ~label:s2.name (Runner.solo arch c2) in
   let native = (Runner.native arch c1 c2).Timing.time_ms in
-  let sr = Runner.search arch c1 c2 in
+  let sr = Runner.search ?jobs ?cache arch c1 c2 in
   (* variants at the searched-best partition *)
   let best = sr.Hfuse_core.Search.best in
   let fused = best.Hfuse_core.Search.fused in
@@ -243,10 +247,10 @@ let figure9_pair (arch : Arch.t) (sizes : (string * int) list)
     regcap = Option.map (fun r -> variant (Some r)) r0;
   }
 
-let figure9 ?(archs = Arch.all) ?(pairs = Registry.all_pairs) () :
-    fused_row list =
+let figure9 ?jobs ?cache ?(archs = Arch.all) ?(pairs = Registry.all_pairs)
+    () : fused_row list =
   List.concat_map
     (fun arch ->
       let sizes = representative_sizes arch in
-      List.map (figure9_pair arch sizes) pairs)
+      List.map (figure9_pair ?jobs ?cache arch sizes) pairs)
     archs

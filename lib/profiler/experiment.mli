@@ -38,8 +38,12 @@ val avg_vfuse_speedup : sweep -> float
 (** The paper's ratio points: 0.25x .. 4x the representative size. *)
 val default_multipliers : float list
 
+(** [jobs]/[cache] are handed to every {!Runner.search} the sweep
+    performs (domain-pool width and persistent profiling cache). *)
 val sweep_pair :
   ?multipliers:float list ->
+  ?jobs:int ->
+  ?cache:Profile_cache.t ->
   Gpusim.Arch.t ->
   (string * int) list ->
   Kernel_corpus.Spec.t * Kernel_corpus.Spec.t ->
@@ -48,6 +52,8 @@ val sweep_pair :
 (** Figure 7: all pairs x all architectures. *)
 val figure7 :
   ?multipliers:float list ->
+  ?jobs:int ->
+  ?cache:Profile_cache.t ->
   ?archs:Gpusim.Arch.t list ->
   ?pairs:(Kernel_corpus.Spec.t * Kernel_corpus.Spec.t) list ->
   unit ->
@@ -78,6 +84,8 @@ type fused_row = {
 }
 
 val figure9_pair :
+  ?jobs:int ->
+  ?cache:Profile_cache.t ->
   Gpusim.Arch.t ->
   (string * int) list ->
   Kernel_corpus.Spec.t * Kernel_corpus.Spec.t ->
@@ -85,6 +93,8 @@ val figure9_pair :
 
 (** Figure 9: both register-bound variants at the searched partition. *)
 val figure9 :
+  ?jobs:int ->
+  ?cache:Profile_cache.t ->
   ?archs:Gpusim.Arch.t list ->
   ?pairs:(Kernel_corpus.Spec.t * Kernel_corpus.Spec.t) list ->
   unit ->

@@ -1,0 +1,150 @@
+(* Persistent on-disk cache of profiled candidate times.
+
+   The Fig. 6 search re-profiles the same fused kernels on every
+   [bench] or [hfuse search] rerun; the cycle-level simulator makes
+   each of those profiles expensive.  This cache keys a candidate by a
+   content hash of everything its simulated time depends on — GPU
+   model, fused kernel source, partition, launch geometry, register
+   bound, workload sizes, and the trace-block count — so a warmed cache
+   reproduces cold-run times exactly and invalidates itself whenever
+   any input changes (including compiler changes that alter the emitted
+   fused source).
+
+   Entries live under [dir]/v1/<digest> as a single hex-float line
+   ([%h], exact round-trip).  Writes go through a temp file + rename so
+   a concurrent reader never sees a torn entry.  Lookups and stores are
+   only ever issued from the search's coordinating domain (the timing
+   fan-out never touches the cache), so no locking is needed. *)
+
+(* bump whenever the key derivation or the timing model's inputs change
+   incompatibly; old entries are simply never looked up again *)
+let version = "v1"
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+}
+
+type t = {
+  enabled : bool;
+  dir : string;  (** versioned entry directory *)
+  stats : stats;
+}
+
+let fresh_stats () = { hits = 0; misses = 0; stores = 0 }
+let hits t = t.stats.hits
+let misses t = t.stats.misses
+let stores t = t.stats.stores
+let enabled t = t.enabled
+let dir t = t.dir
+
+let default_dir = "_hfuse_cache"
+
+let create ?(dir = default_dir) () =
+  { enabled = true; dir = Filename.concat dir version; stats = fresh_stats () }
+
+let disabled () = { enabled = false; dir = ""; stats = fresh_stats () }
+
+(** Environment-driven configuration, so CI and scripts can flip the
+    cache without threading flags everywhere: [HFUSE_CACHE=0] disables
+    it; [HFUSE_CACHE_DIR=path] (or [HFUSE_CACHE=1]) enables it.  With
+    neither set the cache is off. *)
+let from_env () =
+  match Sys.getenv_opt "HFUSE_CACHE" with
+  | Some ("0" | "off" | "no" | "false") -> disabled ()
+  | on -> (
+      match Sys.getenv_opt "HFUSE_CACHE_DIR" with
+      | Some dir -> create ~dir ()
+      | None -> if on <> None then create () else disabled ())
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Content hash of a profiled candidate.  Every input the simulated
+    time depends on participates; the fused source (not just the pair's
+    names) makes compiler changes self-invalidating. *)
+let key ~(arch : string) ~(source : string) ~(d1 : int) ~(d2 : int)
+    ~(grid : int) ~(smem_dynamic : int) ~(regs : int)
+    ~(reg_bound : int option) ~(k1 : string) ~(size1 : int) ~(k2 : string)
+    ~(size2 : int) ~(trace_blocks : int) : string =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\x00')
+    [
+      version;
+      arch;
+      k1;
+      string_of_int size1;
+      k2;
+      string_of_int size2;
+      string_of_int d1;
+      string_of_int d2;
+      string_of_int grid;
+      string_of_int smem_dynamic;
+      string_of_int regs;
+      (match reg_bound with None -> "-" | Some r -> string_of_int r);
+      string_of_int trace_blocks;
+      source;
+    ];
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
+(* Storage                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let entry_path t k = Filename.concat t.dir k
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755
+    with Sys_error _ when Sys.file_exists d -> ()
+  end
+
+let find (t : t) ~(key : string) : float option =
+  if not t.enabled then None
+  else
+    let read () =
+      let ic = open_in (entry_path t key) in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> float_of_string (String.trim (input_line ic)))
+    in
+    match read () with
+    | v ->
+        t.stats.hits <- t.stats.hits + 1;
+        Some v
+    | exception (Sys_error _ | End_of_file | Failure _) ->
+        (* absent or torn/corrupt: treat as a miss; a store overwrites *)
+        t.stats.misses <- t.stats.misses + 1;
+        None
+
+let store (t : t) ~(key : string) (time_ms : float) : unit =
+  if t.enabled then begin
+    mkdir_p t.dir;
+    let final = entry_path t key in
+    let tmp = final ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        (* %h is a hexadecimal float literal: exact binary round-trip,
+           so warmed-cache runs reproduce cold-run times bit-for-bit *)
+        Printf.fprintf oc "%h\n" time_ms);
+    Sys.rename tmp final;
+    t.stats.stores <- t.stats.stores + 1
+  end
+
+let pp_stats ppf (t : t) =
+  if t.enabled then
+    Fmt.pf ppf "%d hit%s, %d miss%s, %d store%s" t.stats.hits
+      (if t.stats.hits = 1 then "" else "s")
+      t.stats.misses
+      (if t.stats.misses = 1 then "" else "es")
+      t.stats.stores
+      (if t.stats.stores = 1 then "" else "s")
+  else Fmt.string ppf "disabled"

@@ -1,0 +1,67 @@
+(** Persistent on-disk cache of profiled candidate times.
+
+    Keys are content hashes of everything a candidate's simulated time
+    depends on (GPU model, fused source, partition, launch geometry,
+    register bound, workload sizes, trace-block count), so repeated
+    [bench] / [hfuse search] sweeps skip the simulator entirely and the
+    cache self-invalidates when any input — including the compiler's
+    emitted source — changes.  Entries are hex-float files under
+    [dir]/v1/, written atomically (temp file + rename).  Lookups and
+    stores must stay on the search's coordinating domain. *)
+
+type t
+
+(** Entry-format/version tag baked into paths and keys. *)
+val version : string
+
+(** Default cache directory ([_hfuse_cache], relative to the cwd). *)
+val default_dir : string
+
+(** An enabled cache rooted at [dir] (default {!default_dir}). *)
+val create : ?dir:string -> unit -> t
+
+(** A cache that never hits and never stores. *)
+val disabled : unit -> t
+
+(** Configuration from the environment: [HFUSE_CACHE=0] forces off;
+    [HFUSE_CACHE_DIR=path] (or [HFUSE_CACHE=1]) forces on.  Neither set:
+    disabled. *)
+val from_env : unit -> t
+
+val enabled : t -> bool
+
+(** Versioned entry directory (empty for a disabled cache). *)
+val dir : t -> string
+
+(** Content hash identifying one profiled candidate. *)
+val key :
+  arch:string ->
+  source:string ->
+  d1:int ->
+  d2:int ->
+  grid:int ->
+  smem_dynamic:int ->
+  regs:int ->
+  reg_bound:int option ->
+  k1:string ->
+  size1:int ->
+  k2:string ->
+  size2:int ->
+  trace_blocks:int ->
+  string
+
+(** Cached time for [key], if present and well-formed.  Counts a hit or
+    a miss. *)
+val find : t -> key:string -> float option
+
+(** Persist a time for [key] (no-op when disabled). *)
+val store : t -> key:string -> float -> unit
+
+(** Lifetime counters for this handle. *)
+val hits : t -> int
+
+val misses : t -> int
+val stores : t -> int
+
+(** ["N hits, M misses, K stores"], or ["disabled"]. *)
+val pp_stats : t Fmt.t

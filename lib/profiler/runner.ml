@@ -6,7 +6,17 @@
    Profiling launches execute only the traced blocks ([exec_blocks]):
    the timing model replays block traces cyclically over the full grid,
    so functional execution of every block matters only for the
-   correctness checks, which use [validate_*] with fresh memory. *)
+   correctness checks, which use [validate_*] with fresh memory.
+
+   The Fig. 6 search runs as a two-phase engine.  Phase 1 is serial:
+   [Search.search] enumerates/generates/verifies candidates, and the
+   batch evaluator acquires any missing traces — tracing interprets the
+   kernel in [Memory.t], which is single-domain state.  Phase 2 fans
+   the pure [Timing.run] replays out over an OCaml 5 domain pool
+   ([Hfuse_parallel.Pool]) and consults a persistent on-disk cache
+   ({!Profile_cache}) keyed by content, so repeated sweeps skip the
+   simulator entirely.  Results are bit-identical to the serial path
+   for any worker count and any cache temperature. *)
 
 open Gpusim
 open Kernel_corpus
@@ -31,14 +41,44 @@ let configure (mem : Memory.t) (spec : Spec.t) ~(size : int) : configured =
 (* Trace cache                                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* Keyed by kernel identity, workload size and block dimension: the
-   dynamic trace of a kernel depends on exactly these (inputs are
-   seed-deterministic). The cache is per-process and unbounded; a full
-   figure-7 sweep fits comfortably. *)
-let cache : (string * int * int, Trace.block array) Hashtbl.t =
-  Hashtbl.create 64
+(** Trace-cache key: kernel identity, workload size(s) and block
+    dimension(s) — exactly what a dynamic trace depends on (inputs are
+    seed-deterministic).  Structured, not packed: the old encoding
+    folded both sizes of a pair into [size1 * 1_000_003 + size2], which
+    collides for distinct size pairs (e.g. (2, 1) and (1, 1_000_004))
+    and silently returned a stale trace. *)
+type trace_key =
+  | K_solo of { kernel : string; size : int; block_dim : int }
+  | K_hfuse of {
+      k1 : string;
+      size1 : int;
+      k2 : string;
+      size2 : int;
+      d1 : int;
+      d2 : int;
+    }
+  | K_vfuse of {
+      k1 : string;
+      size1 : int;
+      k2 : string;
+      size2 : int;
+      block : int;
+    }
+
+(* The cache is per-process and unbounded; a full figure-7 sweep fits
+   comfortably.  Accessed only from the coordinating domain. *)
+let cache : (trace_key, Trace.block array) Hashtbl.t = Hashtbl.create 64
 
 let clear_cache () = Hashtbl.reset cache
+
+let traced (key : trace_key) (record : unit -> Trace.block array) :
+    Trace.block array =
+  match Hashtbl.find_opt cache key with
+  | Some t -> t
+  | None ->
+      let t = record () in
+      Hashtbl.replace cache key t;
+      t
 
 (** Traces of [c] at block dimension [d] (defaults to native). *)
 let traces_of (c : configured) ?(block_dim : int option) () :
@@ -48,17 +88,12 @@ let traces_of (c : configured) ?(block_dim : int option) () :
     | None -> Hfuse_core.Kernel_info.threads_per_block c.info
     | Some d -> d
   in
-  let key = (c.spec.name, c.size, d) in
-  match Hashtbl.find_opt cache key with
-  | Some t -> t
-  | None ->
+  traced (K_solo { kernel = c.spec.name; size = c.size; block_dim = d })
+    (fun () ->
       let info = Hfuse_core.Kernel_info.with_block_dim c.info d in
-      let r =
-        Launch.launch_info ~exec_blocks:trace_blocks c.mem info
-          ~args:c.inst.args ~trace_blocks
-      in
-      Hashtbl.replace cache key r.block_traces;
-      r.block_traces
+      (Launch.launch_info ~exec_blocks:trace_blocks c.mem info
+         ~args:c.inst.args ~trace_blocks)
+        .block_traces)
 
 (* ------------------------------------------------------------------ *)
 (* Timing-spec constructors                                             *)
@@ -98,46 +133,55 @@ let solo (arch : Arch.t) (c : configured) : Timing.report =
 (* Fused runs                                                           *)
 (* ------------------------------------------------------------------ *)
 
-(** Interpret a horizontally fused kernel (profiling mode) and time it
-    under an optional register bound. *)
-let hfuse_report (arch : Arch.t) (c1 : configured) (c2 : configured)
-    (f : Hfuse_core.Hfuse.t) ~(reg_bound : int option) : Timing.report =
+(** Traces of the horizontally fused kernel (interprets it in profiling
+    mode on first use; cached).  Mutates [Memory.t] — coordinating
+    domain only. *)
+let hfuse_traces (c1 : configured) (c2 : configured)
+    (f : Hfuse_core.Hfuse.t) : Trace.block array =
+  traced
+    (K_hfuse
+       {
+         k1 = c1.spec.name;
+         size1 = c1.size;
+         k2 = c2.spec.name;
+         size2 = c2.size;
+         d1 = f.d1;
+         d2 = f.d2;
+       })
+    (fun () ->
+      (Launch.launch_info ~exec_blocks:trace_blocks c1.mem
+         (Hfuse_core.Hfuse.info f)
+         ~args:(c1.inst.args @ c2.inst.args)
+         ~trace_blocks)
+        .block_traces)
+
+(** Launch spec for a fused candidate over already-recorded traces.
+    Pure — safe to build and [Timing.run] on any domain. *)
+let hfuse_spec (f : Hfuse_core.Hfuse.t) ~(reg_bound : int option)
+    ~(traces : Trace.block array) : Timing.launch_spec =
   let finfo = Hfuse_core.Hfuse.info f in
-  let key =
-    ( Printf.sprintf "hfuse:%s+%s:%d" c1.spec.name c2.spec.name f.d1,
-      c1.size * 1_000_003 + c2.size,
-      f.d1 + f.d2 )
-  in
-  let traces =
-    match Hashtbl.find_opt cache key with
-    | Some t -> t
-    | None ->
-        let r =
-          Launch.launch_info ~exec_blocks:trace_blocks c1.mem finfo
-            ~args:(c1.inst.args @ c2.inst.args)
-            ~trace_blocks
-        in
-        Hashtbl.replace cache key r.block_traces;
-        r.block_traces
-  in
   let regs, spill =
     match reg_bound with
     | Some r when r < f.regs -> (r, f.regs - r)
     | _ -> (f.regs, 0)
   in
-  Timing.run arch
-    [
-      {
-        Timing.label = f.fn.f_name;
-        block_traces = traces;
-        grid = f.grid;
-        threads_per_block = f.d1 + f.d2;
-        regs;
-        spill;
-        smem = static_smem finfo + f.smem_dynamic;
-        stream = 0;
-      };
-    ]
+  {
+    Timing.label = f.fn.f_name;
+    block_traces = traces;
+    grid = f.grid;
+    threads_per_block = f.d1 + f.d2;
+    regs;
+    spill;
+    smem = static_smem finfo + f.smem_dynamic;
+    stream = 0;
+  }
+
+(** Interpret a horizontally fused kernel (profiling mode) and time it
+    under an optional register bound. *)
+let hfuse_report (arch : Arch.t) (c1 : configured) (c2 : configured)
+    (f : Hfuse_core.Hfuse.t) ~(reg_bound : int option) : Timing.report =
+  let traces = hfuse_traces c1 c2 f in
+  Timing.run arch [ hfuse_spec f ~reg_bound ~traces ]
 
 (** Vertically fused baseline.  Both kernels run at the larger of the
     two native block dimensions (tunable kernels adapt; a fixed smaller
@@ -160,22 +204,21 @@ let vfuse_generate (c1 : configured) (c2 : configured) : Hfuse_core.Vfuse.t =
 let vfuse_report (arch : Arch.t) (c1 : configured) (c2 : configured)
     (v : Hfuse_core.Vfuse.t) : Timing.report =
   let vinfo = Hfuse_core.Vfuse.info v in
-  let key =
-    ( Printf.sprintf "vfuse:%s+%s" c1.spec.name c2.spec.name,
-      c1.size * 1_000_003 + c2.size,
-      v.block )
-  in
   let traces =
-    match Hashtbl.find_opt cache key with
-    | Some t -> t
-    | None ->
-        let r =
-          Launch.launch_info ~exec_blocks:trace_blocks c1.mem vinfo
-            ~args:(c1.inst.args @ c2.inst.args)
-            ~trace_blocks
-        in
-        Hashtbl.replace cache key r.block_traces;
-        r.block_traces
+    traced
+      (K_vfuse
+         {
+           k1 = c1.spec.name;
+           size1 = c1.size;
+           k2 = c2.spec.name;
+           size2 = c2.size;
+           block = v.block;
+         })
+      (fun () ->
+        (Launch.launch_info ~exec_blocks:trace_blocks c1.mem vinfo
+           ~args:(c1.inst.args @ c2.inst.args)
+           ~trace_blocks)
+          .block_traces)
   in
   Timing.run arch
     [
@@ -205,14 +248,115 @@ let d0_for (c1 : configured) (c2 : configured) : int =
   | Hfuse_core.Kernel_info.Fixed, _ | _, Hfuse_core.Kernel_info.Fixed -> 1024
   | _ -> 1024
 
-let search (arch : Arch.t) (c1 : configured) (c2 : configured) :
-    Hfuse_core.Search.result =
+(** Cumulative observability counters for the profiling search. *)
+type search_stats = {
+  mutable profiled : int;  (** candidates timed on the simulator *)
+  mutable cache_hits : int;  (** candidates answered by the disk cache *)
+  mutable profile_wall_s : float;  (** wall time inside batch profiling *)
+}
+
+let stats : search_stats =
+  { profiled = 0; cache_hits = 0; profile_wall_s = 0.0 }
+
+let search_stats () =
+  {
+    profiled = stats.profiled;
+    cache_hits = stats.cache_hits;
+    profile_wall_s = stats.profile_wall_s;
+  }
+
+let reset_search_stats () =
+  stats.profiled <- 0;
+  stats.cache_hits <- 0;
+  stats.profile_wall_s <- 0.0
+
+let pp_search_stats ppf (s : search_stats) =
+  Fmt.pf ppf "%d candidate%s profiled, %d cache hit%s, %.2fs profiling wall"
+    s.profiled
+    (if s.profiled = 1 then "" else "s")
+    s.cache_hits
+    (if s.cache_hits = 1 then "" else "s")
+    s.profile_wall_s
+
+let candidate_key (arch : Arch.t) (c1 : configured) (c2 : configured)
+    (f : Hfuse_core.Hfuse.t) ~(reg_bound : int option) : string =
+  Profile_cache.key ~arch:arch.Arch.name
+    ~source:(Hfuse_core.Hfuse.to_source f)
+    ~d1:f.d1 ~d2:f.d2 ~grid:f.grid ~smem_dynamic:f.smem_dynamic ~regs:f.regs
+    ~reg_bound ~k1:c1.spec.name ~size1:c1.size ~k2:c2.spec.name
+    ~size2:c2.size ~trace_blocks
+
+let search ?(jobs = 1) ?(cache = Profile_cache.from_env ()) (arch : Arch.t)
+    (c1 : configured) (c2 : configured) : Hfuse_core.Search.result =
   let profile fused ~reg_bound =
     (hfuse_report arch c1 c2 fused ~reg_bound).Timing.time_ms
   in
+  (* phase 2 evaluator: disk-cache probe and trace acquisition run
+     serially on this domain (tracing mutates Memory.t; the cache file
+     I/O and its counters are single-domain too), then the pure
+     Timing.run replays fan out over the pool.  Candidate order is
+     preserved end-to-end, so results are bit-identical to the serial
+     path for any [jobs] and any cache temperature. *)
+  let profile_batch (batch : (Hfuse_core.Hfuse.t * Hfuse_core.Search.config) list)
+      : float list =
+    let t0 = Unix.gettimeofday () in
+    let batch = Array.of_list batch in
+    let keys =
+      Array.map
+        (fun (f, (cfg : Hfuse_core.Search.config)) ->
+          if Profile_cache.enabled cache then
+            Some (candidate_key arch c1 c2 f ~reg_bound:cfg.reg_bound)
+          else None)
+        batch
+    in
+    let cached =
+      Array.map
+        (function Some key -> Profile_cache.find cache ~key | None -> None)
+        keys
+    in
+    (* serial trace acquisition for the misses, in candidate order —
+       the same interpretation order as the serial search *)
+    let miss_specs =
+      Array.mapi
+        (fun i (f, (cfg : Hfuse_core.Search.config)) ->
+          match cached.(i) with
+          | Some _ -> None
+          | None ->
+              let traces = hfuse_traces c1 c2 f in
+              Some (hfuse_spec f ~reg_bound:cfg.reg_bound ~traces))
+        batch
+    in
+    let miss_idx =
+      Array.to_list miss_specs
+      |> List.mapi (fun i s -> (i, s))
+      |> List.filter_map (fun (i, s) -> Option.map (fun s -> (i, s)) s)
+      |> Array.of_list
+    in
+    let miss_times =
+      Hfuse_parallel.Pool.with_pool jobs (fun pool ->
+          Hfuse_parallel.Pool.map pool
+            (fun (_, spec) -> (Timing.run arch [ spec ]).Timing.time_ms)
+            miss_idx)
+    in
+    let times = Array.map (Option.value ~default:nan) cached in
+    Array.iteri
+      (fun j (i, _) ->
+        let t = miss_times.(j) in
+        times.(i) <- t;
+        Option.iter
+          (fun key -> Profile_cache.store cache ~key t)
+          keys.(i))
+      miss_idx;
+    stats.profiled <- stats.profiled + Array.length miss_idx;
+    stats.cache_hits <-
+      stats.cache_hits + (Array.length batch - Array.length miss_idx);
+    stats.profile_wall_s <-
+      stats.profile_wall_s +. (Unix.gettimeofday () -. t0);
+    Array.to_list times
+  in
   Hfuse_core.Search.search
     ~limits:(Arch.sm_limits arch)
-    ~profile ~d0:(d0_for c1 c2) c1.info c2.info
+    ~profile_batch ~profile ~d0:(d0_for c1 c2) c1.info c2.info
 
 let naive_hfuse (c1 : configured) (c2 : configured) : Hfuse_core.Hfuse.t option
     =

@@ -4,7 +4,15 @@
     ratio sweeps do not re-interpret unchanged kernels.
 
     Profiling launches execute only the traced blocks; the correctness
-    entry points ([validate_*]) run whole grids in fresh memory. *)
+    entry points ([validate_*]) run whole grids in fresh memory.
+
+    {!search} is a two-phase engine: tracing (which mutates
+    [Gpusim.Memory.t]) stays serial on the calling domain behind the
+    trace cache, while the pure [Timing.run] candidate replays fan out
+    over an OCaml 5 domain pool ([~jobs]) and consult a persistent
+    on-disk profiling cache ({!Profile_cache}, [~cache]).  Results are
+    bit-identical to the serial path for any worker count and any cache
+    temperature. *)
 
 (** Blocks whose traces are recorded per profiling launch. *)
 val trace_blocks : int
@@ -20,6 +28,29 @@ type configured = {
 
 val configure :
   Gpusim.Memory.t -> Kernel_corpus.Spec.t -> size:int -> configured
+
+(** Trace-cache key: kernel identity, workload size(s) and block
+    dimension(s).  Structured — both sizes and both block dimensions of
+    a fused pair appear explicitly, so distinct size pairs can never
+    collide onto one entry (the old packed encoding could, returning a
+    stale trace). *)
+type trace_key =
+  | K_solo of { kernel : string; size : int; block_dim : int }
+  | K_hfuse of {
+      k1 : string;
+      size1 : int;
+      k2 : string;
+      size2 : int;
+      d1 : int;
+      d2 : int;
+    }
+  | K_vfuse of {
+      k1 : string;
+      size1 : int;
+      k2 : string;
+      size2 : int;
+      block : int;
+    }
 
 val clear_cache : unit -> unit
 
@@ -38,6 +69,18 @@ val native : Gpusim.Arch.t -> configured -> configured -> Gpusim.Timing.report
 
 (** One kernel alone (Fig. 8 metrics, ratio probes). *)
 val solo : Gpusim.Arch.t -> configured -> Gpusim.Timing.report
+
+(** Traces of a horizontally fused kernel (interprets it in profiling
+    mode on first use; cached).  Mutates memory state — call only from
+    the coordinating domain. *)
+val hfuse_traces :
+  configured -> configured -> Hfuse_core.Hfuse.t -> Gpusim.Trace.block array
+
+(** Launch spec for a fused candidate over already-recorded traces.
+    Pure — safe to build and [Timing.run] on any domain. *)
+val hfuse_spec :
+  Hfuse_core.Hfuse.t -> reg_bound:int option ->
+  traces:Gpusim.Trace.block array -> Gpusim.Timing.launch_spec
 
 (** Time a fused kernel under an optional register bound (interprets it
     in profiling mode on first use; cached thereafter). *)
@@ -60,9 +103,31 @@ val vfuse_report :
     when both kernels are fixed. *)
 val d0_for : configured -> configured -> int
 
-(** The Fig. 6 search with the simulator as the profiling oracle. *)
+(** Cumulative observability counters for the profiling search. *)
+type search_stats = {
+  mutable profiled : int;  (** candidates timed on the simulator *)
+  mutable cache_hits : int;  (** candidates answered by the disk cache *)
+  mutable profile_wall_s : float;  (** wall time inside batch profiling *)
+}
+
+(** Snapshot of the process-wide counters. *)
+val search_stats : unit -> search_stats
+
+val reset_search_stats : unit -> unit
+val pp_search_stats : search_stats Fmt.t
+
+(** The Fig. 6 search with the simulator as the profiling oracle.
+
+    @param jobs  domain-pool width for the phase-2 timing fan-out
+                 (default 1: everything on the calling domain).
+    @param cache persistent profiling cache (default
+                 {!Profile_cache.from_env}, i.e. disabled unless the
+                 [HFUSE_CACHE]/[HFUSE_CACHE_DIR] environment enables it).
+    [best], [all] and [rejected] are bit-identical across any [jobs]
+    and across cold/warm cache runs. *)
 val search :
-  Gpusim.Arch.t -> configured -> configured -> Hfuse_core.Search.result
+  ?jobs:int -> ?cache:Profile_cache.t -> Gpusim.Arch.t -> configured ->
+  configured -> Hfuse_core.Search.result
 
 val naive_hfuse : configured -> configured -> Hfuse_core.Hfuse.t option
 

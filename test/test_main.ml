@@ -15,6 +15,8 @@ let () =
       ("memory", Test_memory.suite);
       ("interp", Test_interp.suite);
       ("timing", Test_timing.suite);
+      ("parallel", Test_parallel.suite);
+      ("profiler", Test_profiler.suite);
       ("analyzer", Test_analyzer.suite);
       ("ptx", Test_ptx.suite);
       ("kernels", Test_kernels.suite);

@@ -66,6 +66,23 @@ let test_register_bound_none () =
     (Occupancy.register_bound lim ~d1:1024 ~regs1:255 ~d2:1024 ~regs2:16
        ~fused_smem:0)
 
+let test_register_bound_slot_clamped () =
+  (* regression: with nonzero fused shared memory, b0 was never clamped
+     to the hardware block-slot limit — a tiny-smem kernel computed an
+     impossible residency and, from it, an over-tight (too small) r0.
+     On a 16-slot device: b1 = b2 = 65536/(32*8) = 256, by_smem =
+     98304/768 = 128, threads 2048/64 = 32; unclamped b0 = 32 gave
+     r0 = 32, but only 16 blocks can ever be resident, so r0 = 64. *)
+  let lim16 = { lim with Occupancy.max_blocks_per_sm = 16 } in
+  Alcotest.(check (option int)) "slot-clamped r0" (Some 64)
+    (Occupancy.register_bound lim16 ~d1:32 ~regs1:8 ~d2:32 ~regs2:8
+       ~fused_smem:768);
+  (* the same shape on the real 32-slot limits sits exactly on the slot
+     boundary: the clamp is a no-op and the bound is unchanged *)
+  Alcotest.(check (option int)) "boundary case unchanged" (Some 32)
+    (Occupancy.register_bound lim ~d1:32 ~regs1:8 ~d2:32 ~regs2:8
+       ~fused_smem:768)
+
 let test_register_bound_clamped () =
   (* tiny kernels: r0 would exceed the 255-register hardware cap *)
   match
@@ -140,6 +157,8 @@ let suite =
       test_register_bound_smem_bound;
     Alcotest.test_case "register bound (impossible)" `Quick
       test_register_bound_none;
+    Alcotest.test_case "register bound (slot-clamped)" `Quick
+      test_register_bound_slot_clamped;
     Alcotest.test_case "register bound (clamped)" `Quick
       test_register_bound_clamped;
   ]

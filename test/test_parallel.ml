@@ -1,0 +1,91 @@
+(* The domain pool behind the parallel profiling search: order
+   preservation, exception propagation, reuse, and equivalence with the
+   serial path for any worker count. *)
+
+module Pool = Hfuse_parallel.Pool
+
+let squares n = Array.init n (fun i -> i * i)
+
+let test_serial_pool () =
+  (* jobs <= 1 degenerates to the calling domain: no workers spawned *)
+  Pool.with_pool 1 (fun p ->
+      Alcotest.(check int) "serial size" 1 (Pool.size p);
+      Alcotest.(check (array int)) "serial map" (squares 10)
+        (Pool.map p (fun i -> i * i) (Array.init 10 Fun.id)));
+  Pool.with_pool 0 (fun p ->
+      Alcotest.(check int) "clamped to 1" 1 (Pool.size p))
+
+let test_parallel_map_order () =
+  Pool.with_pool 4 (fun p ->
+      Alcotest.(check int) "pool size" 4 (Pool.size p);
+      (* unequal per-element work shuffles completion order; the result
+         must still land in input order *)
+      let f i =
+        let acc = ref 0 in
+        for _ = 1 to (i mod 13) * 500 do
+          incr acc
+        done;
+        ignore !acc;
+        i * i
+      in
+      Alcotest.(check (array int)) "input order" (squares 100)
+        (Pool.map p f (Array.init 100 Fun.id)))
+
+let test_edge_sizes () =
+  Pool.with_pool 4 (fun p ->
+      Alcotest.(check (array int)) "empty" [||]
+        (Pool.map p (fun i -> i) [||]);
+      Alcotest.(check (array int)) "singleton" [| 42 |]
+        (Pool.map p (fun i -> i * 2) [| 21 |]))
+
+let test_map_list () =
+  Pool.with_pool 3 (fun p ->
+      Alcotest.(check (list int)) "list order" [ 2; 4; 6; 8 ]
+        (Pool.map_list p (fun i -> i * 2) [ 1; 2; 3; 4 ]))
+
+let test_exception_propagates () =
+  Pool.with_pool 4 (fun p ->
+      (match Pool.map p (fun i -> if i = 5 then failwith "boom" else i)
+               (Array.init 8 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+      (* the pool survives a raising batch *)
+      Alcotest.(check (array int)) "usable after failure" (squares 4)
+        (Pool.map p (fun i -> i * i) (Array.init 4 Fun.id)))
+
+let test_pool_reuse () =
+  Pool.with_pool 2 (fun p ->
+      for round = 1 to 5 do
+        let n = 10 * round in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d" round)
+          (squares n)
+          (Pool.map p (fun i -> i * i) (Array.init n Fun.id))
+      done)
+
+let test_default_jobs () =
+  Alcotest.(check bool) "default jobs positive" true (Pool.default_jobs () >= 1)
+
+(* Pool.map must equal Array.map for any jobs and any input *)
+let prop_matches_serial =
+  QCheck.Test.make ~name:"Pool.map equals Array.map for any worker count"
+    ~count:25
+    QCheck.(pair (int_range 1 8) (list small_int))
+    (fun (jobs, xs) ->
+      let xs = Array.of_list xs in
+      let f x = (x * 3) + 1 in
+      Pool.with_pool jobs (fun p -> Pool.map p f xs) = Array.map f xs)
+
+let suite =
+  [
+    Alcotest.test_case "serial pool" `Quick test_serial_pool;
+    Alcotest.test_case "parallel map preserves order" `Quick
+      test_parallel_map_order;
+    Alcotest.test_case "empty and singleton" `Quick test_edge_sizes;
+    Alcotest.test_case "map over lists" `Quick test_map_list;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+    Alcotest.test_case "default jobs" `Quick test_default_jobs;
+  ]
+  @ Test_util.qcheck_cases [ prop_matches_serial ]

@@ -1,0 +1,250 @@
+(* The two-phase profiling search end to end: trace-cache keying (the
+   packed-key collision regression), the persistent profile cache, and
+   bit-identical results across worker counts and cache temperatures. *)
+
+open Cuda
+open Gpusim
+open Kernel_corpus
+module Runner = Hfuse_profiler.Runner
+module Profile_cache = Hfuse_profiler.Profile_cache
+
+let arch = Arch.gtx1080ti
+
+(* Grid-strided synthetic kernels: work — and hence trace length and
+   simulated time — scales with the workload size [n]. *)
+let src name expr =
+  Printf.sprintf
+    {|
+__global__ void %s(float* a, int n) {
+  for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < n;
+       i += gridDim.x * blockDim.x) {
+    a[i] = %s;
+  }
+}
+|}
+    name expr
+
+let mk_spec name expr ~tunability ~native_block : Spec.t =
+  let instantiate mem ~size =
+    let count = max 1 size in
+    let buf = Memory.alloc mem ~name:(name ^ ".a") ~elem:Ctype.Float ~count in
+    Memory.fill_floats mem buf
+      (Array.init count (fun i -> (float_of_int ((i mod 7) + 1)) *. 0.5));
+    {
+      Workload.args = [ Value.Ptr buf; Workload.iv size ];
+      grid = 2;
+      smem_dynamic = 0;
+      outputs = [ ((name ^ ".a"), buf, count) ];
+      check = (fun _ -> Ok ());
+    }
+  in
+  {
+    Spec.name;
+    kind = Spec.Deep_learning;
+    source = src name expr;
+    regs = 32;
+    native_block;
+    tunability;
+    default_size = 4;
+    instantiate;
+  }
+
+(* fixed 32-thread kernels for the trace-key regression *)
+let ta_fixed =
+  mk_spec "ta" "a[i] * 2.0f" ~tunability:Hfuse_core.Kernel_info.Fixed
+    ~native_block:(32, 1, 1)
+
+let tb_fixed =
+  mk_spec "tb" "a[i] + 1.0f" ~tunability:Hfuse_core.Kernel_info.Fixed
+    ~native_block:(32, 1, 1)
+
+(* tunable kernels for the search determinism / cache tests *)
+let ta_tun =
+  mk_spec "tc" "a[i] * 2.0f"
+    ~tunability:(Hfuse_core.Kernel_info.Tunable { multiple_of = 32 })
+    ~native_block:(256, 1, 1)
+
+let tb_tun =
+  mk_spec "td" "a[i] + 1.0f"
+    ~tunability:(Hfuse_core.Kernel_info.Tunable { multiple_of = 32 })
+    ~native_block:(256, 1, 1)
+
+(* -- Trace-cache key collision (regression) ---------------------------- *)
+
+let hfuse_time ~size1 ~size2 =
+  let mem = Memory.create () in
+  let c1 = Runner.configure mem ta_fixed ~size:size1 in
+  let c2 = Runner.configure mem tb_fixed ~size:size2 in
+  let f =
+    Hfuse_core.Hfuse.generate
+      (Hfuse_core.Kernel_info.with_block_dim c1.Runner.info 32)
+      (Hfuse_core.Kernel_info.with_block_dim c2.Runner.info 32)
+  in
+  (Runner.hfuse_report arch c1 c2 f ~reg_bound:None).Timing.time_ms
+
+let test_trace_key_collision () =
+  (* the old packed key folded the pair's sizes into
+     [size1 * 1_000_003 + size2], so (2, 1) and (1, 1_000_004) mapped to
+     the same entry (2_000_007) and the second pair silently reused the
+     first pair's tiny trace.  With distinct keys the big workload must
+     re-trace and run orders of magnitude longer. *)
+  Runner.clear_cache ();
+  let t_small = hfuse_time ~size1:2 ~size2:1 in
+  let t_big = hfuse_time ~size1:1 ~size2:1_000_004 in
+  Alcotest.(check bool)
+    (Printf.sprintf "big pair re-traced (%g ms vs %g ms)" t_big t_small)
+    true
+    (t_big > t_small *. 10.0)
+
+(* -- Profile_cache ------------------------------------------------------ *)
+
+let tmp_cache_dir tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "hfuse_test_%s_%d" tag (Unix.getpid ()))
+
+(* empty the versioned entry directory so each test run starts cold *)
+let clear_cache_dir (cache : Profile_cache.t) =
+  let dir = Profile_cache.dir cache in
+  if dir <> "" && Sys.file_exists dir then
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if not (Sys.is_directory p) then Sys.remove p)
+      (Sys.readdir dir)
+
+let some_time = Alcotest.(option (float 0.0)) (* exact match *)
+
+let mk_key ?(reg_bound = Some 32) () =
+  Profile_cache.key ~arch:"GTX 1080 Ti" ~source:"__global__ void f() {}"
+    ~d1:128 ~d2:896 ~grid:96 ~smem_dynamic:768 ~regs:36 ~reg_bound ~k1:"ta"
+    ~size1:3 ~k2:"tb" ~size2:5 ~trace_blocks:1
+
+let test_profile_cache_roundtrip () =
+  let cache = Profile_cache.create ~dir:(tmp_cache_dir "roundtrip") () in
+  clear_cache_dir cache;
+  let key = mk_key () in
+  Alcotest.check some_time "cold miss" None (Profile_cache.find cache ~key);
+  (* a time with no short decimal representation must round-trip
+     bit-for-bit through the hex-float entry format *)
+  let t = 0.12345678901234567 /. 3.0 in
+  Profile_cache.store cache ~key t;
+  Alcotest.check some_time "bit-exact round trip" (Some t)
+    (Profile_cache.find cache ~key);
+  (* the register bound participates in the key *)
+  let key' = mk_key ~reg_bound:None () in
+  Alcotest.(check bool) "distinct keys" true (key <> key');
+  Alcotest.check some_time "other key misses" None
+    (Profile_cache.find cache ~key:key');
+  Alcotest.(check int) "counters" 2 (Profile_cache.misses cache);
+  Alcotest.(check int) "one hit" 1 (Profile_cache.hits cache);
+  Alcotest.(check int) "one store" 1 (Profile_cache.stores cache)
+
+let test_profile_cache_corrupt_entry () =
+  let cache = Profile_cache.create ~dir:(tmp_cache_dir "corrupt") () in
+  clear_cache_dir cache;
+  let key = mk_key () in
+  Profile_cache.store cache ~key 1.5;
+  (* a torn/garbage entry must read as a miss, not an exception *)
+  let path = Filename.concat (Profile_cache.dir cache) key in
+  let oc = open_out path in
+  output_string oc "not a float\n";
+  close_out oc;
+  Alcotest.check some_time "corrupt entry is a miss" None
+    (Profile_cache.find cache ~key)
+
+let test_profile_cache_disabled () =
+  let cache = Profile_cache.disabled () in
+  Alcotest.(check bool) "disabled" false (Profile_cache.enabled cache);
+  let key = mk_key () in
+  Profile_cache.store cache ~key 1.0;
+  Alcotest.check some_time "never finds" None (Profile_cache.find cache ~key);
+  Alcotest.(check int) "never stores" 0 (Profile_cache.stores cache)
+
+(* -- Runner.search: jobs / cache determinism ---------------------------- *)
+
+let search_tun ~jobs ~cache =
+  (* fresh memory and trace cache per run: each run re-traces from the
+     same deterministic inputs, like independent processes would *)
+  Runner.clear_cache ();
+  let mem = Memory.create () in
+  let c1 = Runner.configure mem ta_tun ~size:3 in
+  let c2 = Runner.configure mem tb_tun ~size:5 in
+  Runner.search ~jobs ~cache arch c1 c2
+
+let sig_of (r : Hfuse_core.Search.result) =
+  List.map
+    (fun (c : Hfuse_core.Search.candidate) ->
+      ( c.fused.Hfuse_core.Hfuse.d1,
+        c.fused.Hfuse_core.Hfuse.d2,
+        c.config.Hfuse_core.Search.reg_bound,
+        c.time ))
+    r.all
+
+let best_of (r : Hfuse_core.Search.result) =
+  let b = r.best in
+  ( b.fused.Hfuse_core.Hfuse.d1,
+    b.fused.Hfuse_core.Hfuse.d2,
+    b.config.Hfuse_core.Search.reg_bound,
+    b.time )
+
+let test_search_jobs_deterministic () =
+  let nocache = Profile_cache.disabled () in
+  let base = search_tun ~jobs:1 ~cache:nocache in
+  Alcotest.(check bool) "several partitions searched" true
+    (List.length base.all >= 7);
+  List.iter
+    (fun jobs ->
+      let r = search_tun ~jobs ~cache:(Profile_cache.disabled ()) in
+      Alcotest.(check bool)
+        (Printf.sprintf "all candidates identical at -j %d" jobs)
+        true
+        (sig_of r = sig_of base);
+      Alcotest.(check bool)
+        (Printf.sprintf "best identical at -j %d" jobs)
+        true
+        (best_of r = best_of base))
+    [ 2; 8 ]
+
+let test_search_cache_warm_matches_cold () =
+  let dir = tmp_cache_dir "search" in
+  let cold_cache = Profile_cache.create ~dir () in
+  clear_cache_dir cold_cache;
+  Runner.reset_search_stats ();
+  let cold = search_tun ~jobs:2 ~cache:cold_cache in
+  let n = List.length cold.all in
+  let cold_stats = Runner.search_stats () in
+  Alcotest.(check int) "cold run profiles every candidate" n
+    cold_stats.Runner.profiled;
+  Alcotest.(check int) "cold run has no hits" 0 cold_stats.Runner.cache_hits;
+  Alcotest.(check int) "every candidate stored" n
+    (Profile_cache.stores cold_cache);
+  (* a second handle on the same directory — as a rerun of the process
+     would create — answers everything from disk, bit-identically *)
+  let warm_cache = Profile_cache.create ~dir () in
+  Runner.reset_search_stats ();
+  let warm = search_tun ~jobs:4 ~cache:warm_cache in
+  let warm_stats = Runner.search_stats () in
+  Alcotest.(check bool) "warm results identical to cold" true
+    (sig_of warm = sig_of cold);
+  Alcotest.(check bool) "warm best identical to cold" true
+    (best_of warm = best_of cold);
+  Alcotest.(check int) "warm run profiles nothing" 0 warm_stats.Runner.profiled;
+  Alcotest.(check int) "warm run all cache hits" n warm_stats.Runner.cache_hits;
+  Alcotest.(check int) "disk hits" n (Profile_cache.hits warm_cache)
+
+let suite =
+  [
+    Alcotest.test_case "trace-key size-pair collision (regression)" `Quick
+      test_trace_key_collision;
+    Alcotest.test_case "profile cache round trip" `Quick
+      test_profile_cache_roundtrip;
+    Alcotest.test_case "profile cache corrupt entry" `Quick
+      test_profile_cache_corrupt_entry;
+    Alcotest.test_case "profile cache disabled" `Quick
+      test_profile_cache_disabled;
+    Alcotest.test_case "search determinism across -j" `Quick
+      test_search_jobs_deterministic;
+    Alcotest.test_case "warm cache reproduces cold run" `Quick
+      test_search_cache_warm_matches_cold;
+  ]

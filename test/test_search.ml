@@ -168,6 +168,84 @@ let test_search_skips_noop_bound () =
        (tun ~regs:8 ()));
   Alcotest.(check int) "3 partitions x 1 variant" 3 !calls
 
+(* -- The batched phase-2 evaluator ------------------------------------- *)
+
+let sig_of (r : Search.result) =
+  List.map
+    (fun (c : Search.candidate) ->
+      (c.fused.d1, c.fused.d2, c.config.reg_bound, c.time))
+    r.all
+
+let cand_sig (c : Search.candidate) =
+  (c.fused.d1, c.fused.d2, c.config.reg_bound, c.time)
+
+let test_search_batch_matches_serial () =
+  let cost (f : Hfuse.t) ~reg_bound =
+    let base = float_of_int (abs (f.d1 - 768) + 100) in
+    match reg_bound with
+    | Some r -> (base *. 0.9) +. float_of_int (r mod 7)
+    | None -> base
+  in
+  let serial = Search.search ~limits:lim ~profile:cost ~d0:1024 (tun ()) (tun ()) in
+  let batches = ref 0 and direct = ref 0 in
+  let profile_batch batch =
+    incr batches;
+    List.map
+      (fun (f, (c : Search.config)) -> cost f ~reg_bound:c.reg_bound)
+      batch
+  in
+  let profile f ~reg_bound =
+    incr direct;
+    cost f ~reg_bound
+  in
+  let r =
+    Search.search ~limits:lim ~profile_batch ~profile ~d0:1024 (tun ())
+      (tun ())
+  in
+  Alcotest.(check int) "whole candidate list in one batch" 1 !batches;
+  Alcotest.(check int) "per-candidate profile never called" 0 !direct;
+  Alcotest.(check bool) "all identical" true (sig_of r = sig_of serial);
+  Alcotest.(check bool) "best identical" true
+    (cand_sig r.best = cand_sig serial.best)
+
+let test_search_batch_length_mismatch () =
+  (* the hook must return one time per candidate, in order *)
+  let profile_batch batch = List.map (fun _ -> 1.0) (List.tl batch) in
+  match
+    Search.search ~limits:lim ~profile_batch
+      ~profile:(fun _ ~reg_bound:_ -> 1.0)
+      ~d0:1024 (tun ()) (tun ())
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* fanning the batch over a domain pool is bit-identical to the serial
+   path, for any worker count and any (pure) cost surface *)
+let pool_batch_prop =
+  QCheck.Test.make
+    ~name:"batched search over a domain pool is bit-identical to serial"
+    ~count:10
+    QCheck.(pair (int_range 1 8) (int_range 0 1000))
+    (fun (jobs, seed) ->
+      let cost (f : Hfuse.t) ~reg_bound =
+        let r = match reg_bound with None -> 1 | Some r -> r + 2 in
+        float_of_int ((((f.d1 * 37) + (r * 101) + seed) mod 997) + 3)
+      in
+      let serial =
+        Search.search ~limits:lim ~profile:cost ~d0:1024 (tun ()) (tun ())
+      in
+      let profile_batch batch =
+        Hfuse_parallel.Pool.with_pool jobs (fun p ->
+            Hfuse_parallel.Pool.map_list p
+              (fun (f, (c : Search.config)) -> cost f ~reg_bound:c.reg_bound)
+              batch)
+      in
+      let r =
+        Search.search ~limits:lim ~profile_batch ~profile:cost ~d0:1024
+          (tun ()) (tun ())
+      in
+      sig_of r = sig_of serial && cand_sig r.best = cand_sig serial.best)
+
 let test_naive_search () =
   match Search.naive ~d0:1024 (tun ()) (tun ()) with
   | Some f ->
@@ -211,6 +289,10 @@ let suite =
       test_search_records_rejections;
     Alcotest.test_case "search skips no-op register bound" `Quick
       test_search_skips_noop_bound;
+    Alcotest.test_case "search batch hook matches serial" `Quick
+      test_search_batch_matches_serial;
+    Alcotest.test_case "search batch length mismatch" `Quick
+      test_search_batch_length_mismatch;
     Alcotest.test_case "naive search" `Quick test_naive_search;
   ]
-  @ Test_util.qcheck_cases [ partition_prop ]
+  @ Test_util.qcheck_cases [ partition_prop; pool_batch_prop ]
