@@ -14,12 +14,21 @@
    The default ratio sweep uses 3 points per pair (0.5x, 1x, 2x the
    representative size); [--full] uses the paper's 5.
 
-   [-j N] fans the search's timing replays over N domains; [--cache] /
-   [--no-cache] control the persistent profiling cache (default: the
-   HFUSE_CACHE / HFUSE_CACHE_DIR environment, else off).  Figures are
-   bit-identical for any -j and any cache temperature; a search-stats
-   line (candidates profiled, cache hits, profiling wall time) follows
-   every figure that searches. *)
+   [-j N] fans the search's timing replays AND the figure measurement
+   replays over N domains; [--cache] / [--no-cache] control the
+   persistent profiling cache (default: the HFUSE_CACHE /
+   HFUSE_CACHE_DIR environment, else off).  Figures are bit-identical
+   for any -j and any cache temperature; a search-stats line
+   (candidates profiled, cache hits, profiling wall time) and an
+   engine-stats line (cycles/SM-steps skipped by the event-driven
+   replay engine, warp-record reuse) follow every figure.
+
+   [--json] additionally writes BENCH_figN.json next to the cwd — the
+   machine-readable perf trajectory (per-pair time_ms and
+   elapsed_cycles, wall-clock, cache stats, engine stats) that future
+   changes diff instead of eyeballing logs.  [--pairs K1+K2[,K3+K4..]]
+   restricts fig7/fig9 to the named corpus pairs (CI smoke runs one);
+   [--trace-blocks N] widens the per-launch traced-block count. *)
 
 open Hfuse_profiler
 open Kernel_corpus
@@ -38,9 +47,12 @@ let timed name f =
   say "[%s: %.1fs]" name (Unix.gettimeofday () -. t0);
   r
 
-(* search parallelism / persistent profiling cache, set by the CLI flags *)
+(* search parallelism / persistent profiling cache / output shape, set
+   by the CLI flags *)
 let jobs = ref 1
 let cache = ref (Hfuse_profiler.Profile_cache.from_env ())
+let json_out = ref false
+let pair_filter : (Spec.t * Spec.t) list option ref = ref None
 
 let timed_search name f =
   Runner.reset_search_stats ();
@@ -48,6 +60,39 @@ let timed_search name f =
   say "[search: %s]"
     (Fmt.str "%a" Runner.pp_search_stats (Runner.search_stats ()));
   r
+
+(* Wall time + the engine's self-profiling counters around a figure.
+   The cumulative counters aggregate across pool worker domains, so
+   they see the fanned-out measurement replays too. *)
+let instrumented f =
+  Gpusim.Timing.reset_cumulative_stats ();
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let engine = Gpusim.Timing.cumulative_stats () in
+  say "[engine: %s]" (Fmt.str "%a" Gpusim.Timing.pp_engine_stats engine);
+  (r, wall, engine)
+
+let write_json name ~wall ~engine rows =
+  let open Report.Json in
+  let j =
+    Obj
+      [
+        ("bench", Str name);
+        ("wall_s", Float wall);
+        ("jobs", Int !jobs);
+        ("trace_blocks", Int (Runner.trace_blocks ()));
+        ("cache", Report.json_of_cache !cache);
+        ("search", Report.json_of_search_stats (Runner.search_stats ()));
+        ("engine_stats", Report.json_of_engine_stats engine);
+        ("rows", rows);
+      ]
+  in
+  let file = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out file in
+  output_string oc (to_string j);
+  close_out oc;
+  say "[json: wrote %s]" file
 
 (* ------------------------------------------------------------------ *)
 (* Figures                                                              *)
@@ -58,25 +103,34 @@ let multipliers ~full =
 
 let run_fig7 ~full () =
   section "Figure 7: speedup vs execution-time ratio (16 pairs x 2 GPUs)";
-  let sweeps =
-    timed_search "figure 7" (fun () ->
-        Experiment.figure7 ~multipliers:(multipliers ~full) ~jobs:!jobs
-          ~cache:!cache ())
+  let sweeps, wall, engine =
+    instrumented (fun () ->
+        timed_search "figure 7" (fun () ->
+            Experiment.figure7 ~multipliers:(multipliers ~full) ~jobs:!jobs
+              ~cache:!cache ?pairs:!pair_filter ()))
   in
-  print_string (Report.figure7_to_string sweeps)
+  print_string (Report.figure7_to_string sweeps);
+  if !json_out then write_json "fig7" ~wall ~engine (Report.figure7_json sweeps)
 
 let run_fig8 () =
   section "Figure 8: metrics of individual kernels";
-  let rows = timed "figure 8" (fun () -> Experiment.figure8 ()) in
-  print_string (Report.figure8_to_string rows)
+  let rows, wall, engine =
+    instrumented (fun () ->
+        timed "figure 8" (fun () ->
+            Experiment.figure8 ~jobs:!jobs ~cache:!cache ()))
+  in
+  print_string (Report.figure8_to_string rows);
+  if !json_out then write_json "fig8" ~wall ~engine (Report.figure8_json rows)
 
 let run_fig9 () =
   section "Figure 9: metrics of HFuse fused kernels (RegCap / N-RegCap)";
-  let rows =
-    timed_search "figure 9" (fun () ->
-        Experiment.figure9 ~jobs:!jobs ~cache:!cache ())
+  let rows, wall, engine =
+    instrumented (fun () ->
+        timed_search "figure 9" (fun () ->
+            Experiment.figure9 ~jobs:!jobs ~cache:!cache ?pairs:!pair_filter ()))
   in
-  print_string (Report.figure9_to_string rows)
+  print_string (Report.figure9_to_string rows);
+  if !json_out then write_json "fig9" ~wall ~engine (Report.figure9_json rows)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md E5)                                             *)
@@ -156,6 +210,14 @@ let run_micro () =
     Hfuse_core.Kernel_info.with_block_dim (Spec.kernel_info s inst) d
   in
   let k1 = mk_info bn 896 and k2 = mk_info hist 128 in
+  (* a native-pair replay: the hot loop the tentpole optimises *)
+  let arch = Gpusim.Arch.gtx1080ti in
+  let replay_specs =
+    let mem = Gpusim.Memory.create () in
+    let c1 = Runner.configure mem bn ~size:32 in
+    let c2 = Runner.configure mem hist ~size:32 in
+    [ Runner.spec_of c1 ~stream:0 (); Runner.spec_of c2 ~stream:1 () ]
+  in
   let tests =
     [
       Test.make ~name:"parse corpus kernel"
@@ -185,6 +247,9 @@ let run_micro () =
                       (f.Hfuse_core.Hfuse.d1
                       + match reg_bound with Some r -> r | None -> 0))
                   ~d0:1024 k1 k2)));
+      Test.make ~name:"timing replay (native pair)"
+        (Staged.stage (fun () ->
+             ignore (Gpusim.Timing.run arch replay_specs)));
     ]
   in
   let ols =
@@ -203,7 +268,13 @@ let run_micro () =
           | Some (t :: _) -> say "%-28s %14.0f" name t
           | _ -> say "%-28s %14s" name "n/a")
         anl)
-    tests
+    tests;
+  (* engine self-profiling for one instrumented replay of the same pair *)
+  let report, es = Gpusim.Timing.run_with_stats arch replay_specs in
+  say "";
+  say "replay engine stats (native pair, %d cycles):"
+    report.Gpusim.Timing.elapsed_cycles;
+  say "  %s" (Fmt.str "%a" Gpusim.Timing.pp_engine_stats es)
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)
@@ -230,6 +301,32 @@ let () =
     | "--no-cache" :: rest ->
         cache := Hfuse_profiler.Profile_cache.disabled ();
         parse_flags rest
+    | "--json" :: rest ->
+        json_out := true;
+        parse_flags rest
+    | "--trace-blocks" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> Runner.set_trace_blocks n
+        | _ ->
+            Printf.eprintf
+              "bench: --trace-blocks expects a positive integer, got %s\n" n;
+            exit 2);
+        parse_flags rest
+    | "--pairs" :: spec :: rest ->
+        let parse_one s =
+          match String.index_opt s '+' with
+          | Some i ->
+              let n1 = String.sub s 0 i
+              and n2 = String.sub s (i + 1) (String.length s - i - 1) in
+              (Registry.find_exn n1, Registry.find_exn n2)
+          | None ->
+              Printf.eprintf
+                "bench: --pairs expects K1+K2[,K3+K4...], got %s\n" s;
+              exit 2
+        in
+        pair_filter :=
+          Some (List.map parse_one (String.split_on_char ',' spec));
+        parse_flags rest
     | a :: rest -> a :: parse_flags rest
     | [] -> []
   in
@@ -251,7 +348,8 @@ let () =
       Printf.eprintf
         "unknown arguments: %s\n\
          usage: main.exe [fig7|fig8|fig9|ablation|micro] [--full] [-j N] \
-         [--cache|--no-cache]\n"
+         [--cache|--no-cache] [--json] [--pairs K1+K2[,..]] \
+         [--trace-blocks N]\n"
         (String.concat " " other);
       exit 2);
   say "";

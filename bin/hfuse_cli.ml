@@ -75,6 +75,27 @@ let jobs_arg =
           "Profile search candidates over $(docv) parallel domains \
            (tracing stays serial; results are identical for any N).")
 
+(* --trace-blocks N widens the per-launch traced-block count (default 1,
+   or the HFUSE_TRACE_BLOCKS environment) *)
+let trace_blocks_arg =
+  let set = function
+    | None -> ()
+    | Some n when n >= 1 -> Hfuse_profiler.Runner.set_trace_blocks n
+    | Some n ->
+        Printf.eprintf "hfuse: --trace-blocks expects N >= 1, got %d\n" n;
+        exit 2
+  in
+  Term.(
+    const set
+    $ Arg.(
+        value
+        & opt (some int) None
+        & info [ "trace-blocks" ] ~docv:"N"
+            ~doc:
+              "Record $(docv) blocks' traces per profiling launch \
+               (default 1, the paper's one-representative-block \
+               methodology, or $(b,HFUSE_TRACE_BLOCKS))."))
+
 (* --cache / --no-cache override the HFUSE_CACHE / HFUSE_CACHE_DIR
    environment; with neither flag nor environment, the cache is off *)
 let cache_arg =
@@ -312,14 +333,18 @@ let size_arg flag_name =
     & info [ flag_name ] ~docv:"N" ~doc:"Workload size (default: representative).")
 
 let simulate_cmd =
-  let run arch (spec : Kernel_corpus.Spec.t) size validate =
+  let run arch (spec : Kernel_corpus.Spec.t) size validate engine_stats () =
     let size = Option.value size ~default:spec.default_size in
     let mem = Gpusim.Memory.create () in
     let c = Hfuse_profiler.Runner.configure mem spec ~size in
-    let r = Hfuse_profiler.Runner.solo arch c in
+    let specs = [ Hfuse_profiler.Runner.spec_of c ~stream:0 () ] in
+    let r, es = Gpusim.Timing.run_with_stats arch specs in
     print_endline Gpusim.Metrics.header;
     print_endline
       (Gpusim.Metrics.row (Gpusim.Metrics.of_report ~label:spec.name r));
+    if engine_stats then
+      Printf.printf "engine: %s\n"
+        (Fmt.str "%a" Gpusim.Timing.pp_engine_stats es);
     if validate then begin
       let mem2 = Gpusim.Memory.create () in
       let inst = spec.instantiate mem2 ~size in
@@ -336,16 +361,27 @@ let simulate_cmd =
   let validate =
     Arg.(value & flag & info [ "validate" ] ~doc:"Check against host reference.")
   in
+  let engine_stats =
+    Arg.(
+      value & flag
+      & info [ "engine-stats" ]
+          ~doc:
+            "Print the replay engine's self-profiling counters (cycles \
+             and SM-steps skipped by event-driven stepping, scan-skip \
+             hits, warp-record reuse).")
+  in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run a corpus kernel on the simulator and print its metrics.")
-    Term.(const run $ arch_arg $ kernel_arg "kernel" $ size_arg "size" $ validate)
+    Term.(
+      const run $ arch_arg $ kernel_arg "kernel" $ size_arg "size" $ validate
+      $ engine_stats $ trace_blocks_arg)
 
 (* -- search ------------------------------------------------------------- *)
 
 let search_cmd =
   let run arch (s1 : Kernel_corpus.Spec.t) (s2 : Kernel_corpus.Spec.t) size1
-      size2 emit jobs cache =
+      size2 emit jobs cache () =
     let sizes = Hfuse_profiler.Experiment.representative_sizes arch in
     let size_of (s : Kernel_corpus.Spec.t) o =
       Option.value o ~default:(Hfuse_profiler.Experiment.size_of sizes s)
@@ -387,7 +423,8 @@ let search_cmd =
           simulator.")
     Term.(
       const run $ arch_arg $ kernel_arg "k1" $ kernel_arg "k2"
-      $ size_arg "size1" $ size_arg "size2" $ emit $ jobs_arg $ cache_arg)
+      $ size_arg "size1" $ size_arg "size2" $ emit $ jobs_arg $ cache_arg
+      $ trace_blocks_arg)
 
 (* -- analyze ------------------------------------------------------------ *)
 

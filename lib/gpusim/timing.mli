@@ -1,16 +1,24 @@
-(** Cycle-level warp-scheduler replay of recorded traces.
+(** Cycle-level warp-scheduler replay — event-driven engine.
 
-    Models per SM: 4 schedulers issuing one instruction per cycle from
-    their warp pools (greedy round-robin); in-order warps with a
-    multi-slot load scoreboard (loads park until a compiler-scheduled
-    use point, so several pipeline per warp); per-class dependency
-    latencies; structural pipes (DRAM bandwidth, MSHR in-flight cap,
-    separate shared-memory and global LD/ST units, SFU, double-width
-    fp32 issue on Volta); partial-barrier arrival counters; block
-    residency limited exactly as {!Hfuse_core.Occupancy} computes; and
-    deterministic spill-traffic injection for register caps.
+    Replays {!Interp} traces through a model of the SM
+    microarchitecture and reports the nvprof-style metrics of the
+    paper's Section IV-A.  Models per SM: 4 schedulers issuing one
+    instruction per cycle from their warp pools (greedy round-robin);
+    in-order warps with a multi-slot load scoreboard (loads park until
+    a compiler-scheduled use point, so several pipeline per warp);
+    per-class dependency latencies; structural pipes (DRAM bandwidth,
+    MSHR in-flight cap, separate shared-memory and global LD/ST units,
+    SFU, double-width fp32 issue on Volta); partial-barrier arrival
+    counters; block residency limited exactly as
+    {!Hfuse_core.Occupancy} computes; and deterministic spill-traffic
+    injection for register caps.
 
-    Counters reproduce the nvprof metrics of the paper's Section IV-A. *)
+    The engine steps per-SM and event-driven: an SM that provably
+    cannot issue sleeps until its next wake (warp latency expiry,
+    structural pipe release, or memory completion) while its constant
+    stall/occupancy contribution is charged arithmetically.  Reports
+    are bit-identical to the reference {!Timing_legacy} engine — the
+    differential test suite enforces this field-for-field. *)
 
 exception Timing_error of string
 
@@ -59,7 +67,46 @@ type report = {
   kernels : kernel_metrics list;
 }
 
+(** Engine self-profiling: how much work the event-driven stepping
+    avoided relative to a step-every-SM-every-cycle loop, and how much
+    the hot path allocates. *)
+type engine_stats = {
+  cycles_stepped : int;
+      (** cycles the main loop actually visited (at least one SM live) *)
+  cycles_skipped : int;
+      (** globally-dead cycles charged arithmetically by skip-ahead *)
+  sm_steps : int;  (** per-SM step invocations (pools were scanned) *)
+  sm_steps_skipped : int;
+      (** SM-cycles on visited cycles served from a sleeping SM's
+          cached stall/residency contribution *)
+  scan_skip_hits : int;
+      (** scheduler steps answered by the scan-skip window cache *)
+  warp_allocs : int;  (** warp records freshly allocated *)
+  warp_reuses : int;  (** warp records recycled from the free list *)
+}
+
+val empty_stats : engine_stats
+val add_stats : engine_stats -> engine_stats -> engine_stats
+val pp_engine_stats : Format.formatter -> engine_stats -> unit
+
 (** Run the launches to completion.  Deterministic.
     @raise Timing_error when a kernel cannot fit one block on an SM,
     a barrier can never be satisfied, or the cycle budget is exceeded. *)
 val run : ?policy:dispatch_policy -> Arch.t -> launch_spec list -> report
+
+(** Like {!run}, also returning this run's {!engine_stats}. *)
+val run_with_stats :
+  ?policy:dispatch_policy -> Arch.t -> launch_spec list -> report * engine_stats
+
+(** Process-wide totals over every {!run} since start (or the last
+    {!reset_cumulative_stats}).  Accumulated atomically, so replays
+    fanned over {!Hfuse_parallel.Pool} worker domains are counted. *)
+val cumulative_stats : unit -> engine_stats
+
+val reset_cumulative_stats : unit -> unit
+
+(** Fold [s] into the process-wide counters exactly as {!run} does with
+    its own stats.  For callers that satisfy a replay from a cache but
+    still want the producing replay's engine work accounted (the
+    profiler's report cache stores each report's stats alongside it). *)
+val accumulate_stats : engine_stats -> unit

@@ -1,4 +1,15 @@
-(* Cycle-level warp-scheduler replay — event-driven engine.
+(* Reference cycle-level replay engine, kept verbatim for differential
+   validation of {!Timing}.
+
+   This is the pre-event-driven engine: one global cycle loop that steps
+   every SM every cycle (with a scheduler-local scan-skip cache and a
+   globally-dead-cycle skip-ahead).  {!Timing} reproduces its report
+   bit-for-bit — every counter, every metric — while stepping each SM
+   only on cycles where its state can change; the qcheck differential
+   suite and the bench harness assert that equivalence over the whole
+   corpus and over randomized launch specs.  Do not modify this module
+   except to mirror a deliberate, report-changing model fix made in
+   {!Timing}.
 
    Replays the dynamic traces recorded by {!Interp} through a model of
    the SM microarchitecture:
@@ -27,35 +38,7 @@
 
    Counters reproduce the nvprof metrics of Section IV-A: issue-slot
    utilization, memory-instruction stall share, achieved occupancy, and
-   elapsed cycles.
-
-   Engine structure (vs the reference {!Timing_legacy} loop, whose
-   report this engine reproduces bit-for-bit):
-
-   - Per-SM event-driven stepping.  Each SM carries a [sm_wake] cycle
-     below which it provably cannot issue and none of its counters'
-     per-cycle contributions can change: every eligibility condition is
-     either warp-local latency ([ready_at]), a structural pipe
-     ([lsu/smem/sfu/gmem_bw_free_at], [sched_free_at]) or an MSHR slot
-     freed by a completion ([gmem_next_complete]), and all of those are
-     SM-local — cross-SM coupling exists only through the block queues,
-     which are only consulted when one of the SM's *own* blocks
-     completes (which requires an issue).  A sleeping SM's stall
-     classification and resident-warp count are therefore constant, so
-     visited cycles charge them from a cached copy without touching the
-     warp pools, and globally-dead windows are charged arithmetically.
-   - Hot-path de-allocation: barrier arrivals decode (id, count)
-     directly from the packed payload; per-latency-class calendar
-     queues replace the (cycle -> count) completion Hashtbl (completion
-     times per class are inserted in nondecreasing order, so a flat
-     ring suffices); block dispatch interns per-warp traces into
-     immutable templates shared by every block instance of a kernel and
-     recycles warp records (and their scoreboard rings) through a free
-     list.
-   - Self-profiling: {!engine_stats} counts visited vs skipped cycles,
-     SM steps avoided, scan-skip hits and warp allocations, per run and
-     cumulatively (atomics, so pooled replays on other domains count
-     too). *)
+   elapsed cycles. *)
 
 exception Timing_error of string
 
@@ -111,110 +94,6 @@ type report = {
   occupancy : float;  (** percent: avg resident warps / max warps *)
   kernels : kernel_metrics list;
 }
-
-(* ------------------------------------------------------------------ *)
-(* Engine self-profiling                                                *)
-(* ------------------------------------------------------------------ *)
-
-(** Observability counters for the replay engine itself: how much work
-    the event-driven stepping avoided relative to a
-    step-every-SM-every-cycle loop, and how much the hot path
-    allocates.  Collected per {!run_with_stats} call and accumulated
-    process-wide (atomically, so replays fanned over a domain pool
-    count too) for the bench harness. *)
-type engine_stats = {
-  cycles_stepped : int;
-      (** cycles the main loop actually visited (at least one SM live) *)
-  cycles_skipped : int;
-      (** globally-dead cycles charged arithmetically by skip-ahead *)
-  sm_steps : int;  (** per-SM step invocations (pools were scanned) *)
-  sm_steps_skipped : int;
-      (** SM-cycles on visited cycles served from the sleeping SM's
-          cached stall/residency contribution — each one is a full
-          scheduler scan the legacy engine would have performed *)
-  scan_skip_hits : int;
-      (** scheduler steps answered by the scan-skip window cache *)
-  warp_allocs : int;  (** warp records freshly allocated *)
-  warp_reuses : int;  (** warp records recycled from the free list *)
-}
-
-let empty_stats =
-  {
-    cycles_stepped = 0;
-    cycles_skipped = 0;
-    sm_steps = 0;
-    sm_steps_skipped = 0;
-    scan_skip_hits = 0;
-    warp_allocs = 0;
-    warp_reuses = 0;
-  }
-
-let add_stats a b =
-  {
-    cycles_stepped = a.cycles_stepped + b.cycles_stepped;
-    cycles_skipped = a.cycles_skipped + b.cycles_skipped;
-    sm_steps = a.sm_steps + b.sm_steps;
-    sm_steps_skipped = a.sm_steps_skipped + b.sm_steps_skipped;
-    scan_skip_hits = a.scan_skip_hits + b.scan_skip_hits;
-    warp_allocs = a.warp_allocs + b.warp_allocs;
-    warp_reuses = a.warp_reuses + b.warp_reuses;
-  }
-
-(* process-wide accumulator; [run] may execute on pool worker domains,
-   hence atomics rather than a plain mutable record *)
-let cum_cycles_stepped = Atomic.make 0
-let cum_cycles_skipped = Atomic.make 0
-let cum_sm_steps = Atomic.make 0
-let cum_sm_steps_skipped = Atomic.make 0
-let cum_scan_skip_hits = Atomic.make 0
-let cum_warp_allocs = Atomic.make 0
-let cum_warp_reuses = Atomic.make 0
-
-let cum_add a n = ignore (Atomic.fetch_and_add a n)
-
-let accumulate (s : engine_stats) =
-  cum_add cum_cycles_stepped s.cycles_stepped;
-  cum_add cum_cycles_skipped s.cycles_skipped;
-  cum_add cum_sm_steps s.sm_steps;
-  cum_add cum_sm_steps_skipped s.sm_steps_skipped;
-  cum_add cum_scan_skip_hits s.scan_skip_hits;
-  cum_add cum_warp_allocs s.warp_allocs;
-  cum_add cum_warp_reuses s.warp_reuses
-
-let accumulate_stats = accumulate
-
-let cumulative_stats () =
-  {
-    cycles_stepped = Atomic.get cum_cycles_stepped;
-    cycles_skipped = Atomic.get cum_cycles_skipped;
-    sm_steps = Atomic.get cum_sm_steps;
-    sm_steps_skipped = Atomic.get cum_sm_steps_skipped;
-    scan_skip_hits = Atomic.get cum_scan_skip_hits;
-    warp_allocs = Atomic.get cum_warp_allocs;
-    warp_reuses = Atomic.get cum_warp_reuses;
-  }
-
-let reset_cumulative_stats () =
-  Atomic.set cum_cycles_stepped 0;
-  Atomic.set cum_cycles_skipped 0;
-  Atomic.set cum_sm_steps 0;
-  Atomic.set cum_sm_steps_skipped 0;
-  Atomic.set cum_scan_skip_hits 0;
-  Atomic.set cum_warp_allocs 0;
-  Atomic.set cum_warp_reuses 0
-
-let pp_engine_stats ppf (s : engine_stats) =
-  let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b in
-  let cycles = s.cycles_stepped + s.cycles_skipped in
-  let sm_cycles = s.sm_steps + s.sm_steps_skipped in
-  Fmt.pf ppf
-    "cycles %d (%d stepped, %d skipped = %.1f%%); SM-steps %d (%d skipped = \
-     %.1f%%, %d scan-skip hits); warps %d alloc + %d reused"
-    cycles s.cycles_stepped s.cycles_skipped
-    (pct s.cycles_skipped cycles)
-    s.sm_steps s.sm_steps_skipped
-    (pct s.sm_steps_skipped sm_cycles)
-    s.scan_skip_hits s.warp_allocs s.warp_reuses
 
 (* ------------------------------------------------------------------ *)
 (* Instruction costs                                                    *)
@@ -296,24 +175,13 @@ let st_ready = 0
 let st_barrier = 1
 let st_done = 2
 
-(* Interned per-warp trace: one immutable template per (kernel, trace
-   block, warp), shared by every block instance of the grid — thousands
-   of dispatches point at the same code/payload arrays instead of
-   copying (pointer-)fields into fresh records. *)
-type wtrace = {
-  wt_codes : int array;
-  wt_payloads : int array;
-  wt_len : int;
-  wt_threads : int;  (** live threads in this warp *)
-}
-
 type warp = {
-  mutable w_kernel : int;  (** index into specs *)
-  mutable w_block_uid : int;  (** unique block instance id (barrier scope) *)
-  mutable w_threads : int;  (** live threads in this warp *)
-  mutable codes : int array;
-  mutable payloads : int array;
-  mutable len : int;
+  w_kernel : int;  (** index into specs *)
+  w_block_uid : int;  (** unique block instance id (for barrier scoping) *)
+  w_threads : int;  (** live threads in this warp *)
+  codes : int array;
+  payloads : int array;
+  len : int;
   mutable pc : int;
   mutable ready_at : int;
   mutable state : int;
@@ -345,48 +213,22 @@ let pool_add p w =
   p.parr.(p.pn) <- w;
   p.pn <- p.pn + 1
 
+let pool_compact p =
+  let j = ref 0 in
+  for i = 0 to p.pn - 1 do
+    if p.parr.(i).state <> st_done then begin
+      p.parr.(!j) <- p.parr.(i);
+      incr j
+    end
+  done;
+  p.pn <- !j;
+  if p.pn > 0 then p.prr <- p.prr mod p.pn else p.prr <- 0
+
 type block_instance = {
   b_kernel : int;
   b_uid : int;
   mutable b_warps_left : int;
 }
-
-(* Calendar queue for in-flight global transactions of one latency
-   class.  Completion times are inserted as [issue cycle + constant
-   latency] with a nondecreasing issue cycle, so they arrive sorted: a
-   flat power-of-two ring of (time, count) pairs replaces the legacy
-   (cycle -> count) Hashtbl — O(1) push/pop, no per-transaction
-   allocation, no lazy full-table filter on drain. *)
-type evq = {
-  mutable q_times : int array;
-  mutable q_counts : int array;
-  mutable q_head : int;
-  mutable q_n : int;
-}
-
-let evq_create () =
-  { q_times = Array.make 64 0; q_counts = Array.make 64 0; q_head = 0; q_n = 0 }
-
-let evq_grow q =
-  let cap = Array.length q.q_times in
-  let ts = Array.make (2 * cap) 0 and cs = Array.make (2 * cap) 0 in
-  for i = 0 to q.q_n - 1 do
-    let j = (q.q_head + i) land (cap - 1) in
-    ts.(i) <- q.q_times.(j);
-    cs.(i) <- q.q_counts.(j)
-  done;
-  q.q_times <- ts;
-  q.q_counts <- cs;
-  q.q_head <- 0
-
-let evq_push q t n =
-  if q.q_n = Array.length q.q_times then evq_grow q;
-  let tail = (q.q_head + q.q_n) land (Array.length q.q_times - 1) in
-  q.q_times.(tail) <- t;
-  q.q_counts.(tail) <- n;
-  q.q_n <- q.q_n + 1
-
-let evq_head_time q = if q.q_n = 0 then max_int else q.q_times.(q.q_head)
 
 type sm = {
   sm_id : int;
@@ -413,20 +255,10 @@ type sm = {
           barrier release, block dispatch, structural-hazard miss *)
   mutable gmem_inflight : int;
   mutable gmem_next_complete : int;
-      (** earliest completion cycle across the three calendar queues *)
-  q_gmem : evq;  (** DRAM-latency completions (misses, stores, atomics) *)
-  q_l1 : evq;  (** cache-hit completions *)
-  q_lmem : evq;  (** local-memory (spill) completions *)
+      (** earliest completion cycle in [gmem_completions] *)
+  gmem_completions : (int, int) Hashtbl.t;
+      (** completion cycle -> transaction count (lazily drained) *)
   barriers : (bar_key, int * warp list) Hashtbl.t;
-  (* --- event-driven stepping state --- *)
-  mutable sm_wake : int;
-      (** earliest cycle at which this SM could issue or change any
-          per-cycle counter contribution; the SM is not stepped before *)
-  wake_classes : int array;
-      (** per scheduler: the stall class contributed at the last step
-          (all >= 0 whenever the SM sleeps — a progressing SM wakes at
-          the very next cycle) *)
-  mutable wake_resident : int;  (** resident warps at the last step *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -445,18 +277,7 @@ type counters = {
   last_complete : int array;
 }
 
-type run_stats = {
-  mutable s_cycles_stepped : int;
-  mutable s_cycles_skipped : int;
-  mutable s_sm_steps : int;
-  mutable s_sm_steps_skipped : int;
-  mutable s_scan_skip_hits : int;
-  mutable s_warp_allocs : int;
-  mutable s_warp_reuses : int;
-}
-
-let run_with_stats ?(policy = Fifo) (arch : Arch.t) (specs : launch_spec list)
-    : report * engine_stats =
+let run ?(policy = Fifo) (arch : Arch.t) (specs : launch_spec list) : report =
   if specs = [] then fail "no launches to simulate";
   let specs_a = Array.of_list specs in
   let nk = Array.length specs_a in
@@ -478,37 +299,6 @@ let run_with_stats ?(policy = Fifo) (arch : Arch.t) (specs : launch_spec list)
         fail "kernel %s cannot fit a single block on an SM (%d regs, %d smem)"
           s.label s.regs s.smem)
     specs_a;
-  let st =
-    {
-      s_cycles_stepped = 0;
-      s_cycles_skipped = 0;
-      s_sm_steps = 0;
-      s_sm_steps_skipped = 0;
-      s_scan_skip_hits = 0;
-      s_warp_allocs = 0;
-      s_warp_reuses = 0;
-    }
-  in
-  (* interned per-warp templates: one per (kernel, trace block, warp),
-     shared by all block instances of that kernel *)
-  let templates =
-    Array.map
-      (fun s ->
-        Array.map
-          (fun traces ->
-            Array.mapi
-              (fun w (t : Trace.t) ->
-                let live = min 32 (s.threads_per_block - (w * 32)) in
-                {
-                  wt_codes = t.Trace.codes;
-                  wt_payloads = t.Trace.payloads;
-                  wt_len = t.Trace.len;
-                  wt_threads = max 1 live;
-                })
-              traces)
-          s.block_traces)
-      specs_a
-  in
   (* stream queues: per stream, FIFO of (kernel, block index) in
      submission order *)
   let streams =
@@ -549,13 +339,8 @@ let run_with_stats ?(policy = Fifo) (arch : Arch.t) (specs : launch_spec list)
           sm_gen = 0;
           gmem_inflight = 0;
           gmem_next_complete = max_int;
-          q_gmem = evq_create ();
-          q_l1 = evq_create ();
-          q_lmem = evq_create ();
+          gmem_completions = Hashtbl.create 64;
           barriers = Hashtbl.create 8;
-          sm_wake = 0;
-          wake_classes = Array.make arch.schedulers_per_sm 0;
-          wake_resident = 0;
         })
   in
   let c =
@@ -586,43 +371,34 @@ let run_with_stats ?(policy = Fifo) (arch : Arch.t) (specs : launch_spec list)
     && sm.regs_used + (reg_granule s.regs * s.threads_per_block)
        <= arch.regs_per_sm
   in
-  (* warp records (and their scoreboard rings) recycle through a free
-     list: the grid dispatches thousands of block instances whose warps
-     differ only in mutable state *)
-  let free_warps = ref [] in
-  let alloc_warp (wt : wtrace) ~kernel ~uid ~cycle : warp =
-    match !free_warps with
-    | w :: rest ->
-        free_warps := rest;
-        st.s_warp_reuses <- st.s_warp_reuses + 1;
-        w.w_kernel <- kernel;
-        w.w_block_uid <- uid;
-        w.w_threads <- wt.wt_threads;
-        w.codes <- wt.wt_codes;
-        w.payloads <- wt.wt_payloads;
-        w.len <- wt.wt_len;
-        w.pc <- 0;
-        w.ready_at <- cycle + 1;
-        w.state <- st_ready;
-        w.last_was_mem <- false;
-        w.icount <- 0;
-        w.pend_head <- 0;
-        w.pend_n <- 0;
-        w.spill_counter <- 0;
-        w.pending_spill <- 0;
-        w
-    | [] ->
-        st.s_warp_allocs <- st.s_warp_allocs + 1;
+  let dispatch_block sm k b ~cycle =
+    let s = specs_a.(k) in
+    let uid = !block_uid in
+    incr block_uid;
+    incr live_blocks;
+    let traces = s.block_traces.(b mod Array.length s.block_traces) in
+    let warps = Array.length traces in
+    let bi = { b_kernel = k; b_uid = uid; b_warps_left = warps } in
+    sm.sm_gen <- sm.sm_gen + 1;
+    sm.blocks <- bi :: sm.blocks;
+    sm.regs_used <- sm.regs_used + (reg_granule s.regs * s.threads_per_block);
+    sm.smem_used <- sm.smem_used + s.smem;
+    sm.threads_used <- sm.threads_used + s.threads_per_block;
+    if c.first_dispatch.(k) = max_int then c.first_dispatch.(k) <- cycle;
+    for w = 0 to warps - 1 do
+      let t = traces.(w) in
+      let live = min 32 (s.threads_per_block - (w * 32)) in
+      let warp =
         {
-          w_kernel = kernel;
+          w_kernel = k;
           w_block_uid = uid;
-          w_threads = wt.wt_threads;
-          codes = wt.wt_codes;
-          payloads = wt.wt_payloads;
-          len = wt.wt_len;
+          w_threads = max 1 live;
+          codes = t.Trace.codes;
+          payloads = t.Trace.payloads;
+          len = t.Trace.len;
           pc = 0;
           ready_at = cycle + 1;
-          state = st_ready;
+          state = (if t.Trace.len = 0 then st_done else st_ready);
           last_was_mem = false;
           icount = 0;
           pend_ready = Array.make arch.load_slots 0;
@@ -632,43 +408,13 @@ let run_with_stats ?(policy = Fifo) (arch : Arch.t) (specs : launch_spec list)
           spill_counter = 0;
           pending_spill = 0;
         }
-  in
-  let pool_compact p =
-    let j = ref 0 in
-    for i = 0 to p.pn - 1 do
-      let w = p.parr.(i) in
-      if w.state <> st_done then begin
-        p.parr.(!j) <- w;
-        incr j
-      end
-      else free_warps := w :: !free_warps
-    done;
-    p.pn <- !j;
-    if p.pn > 0 then p.prr <- p.prr mod p.pn else p.prr <- 0
-  in
-  let dispatch_block sm k b ~cycle =
-    let s = specs_a.(k) in
-    let uid = !block_uid in
-    incr block_uid;
-    incr live_blocks;
-    let tmpl = templates.(k).(b mod Array.length templates.(k)) in
-    let warps = Array.length tmpl in
-    let bi = { b_kernel = k; b_uid = uid; b_warps_left = warps } in
-    sm.sm_gen <- sm.sm_gen + 1;
-    sm.blocks <- bi :: sm.blocks;
-    sm.regs_used <- sm.regs_used + (reg_granule s.regs * s.threads_per_block);
-    sm.smem_used <- sm.smem_used + s.smem;
-    sm.threads_used <- sm.threads_used + s.threads_per_block;
-    if c.first_dispatch.(k) = max_int then c.first_dispatch.(k) <- cycle;
-    for w = 0 to warps - 1 do
-      let wt = tmpl.(w) in
-      if wt.wt_len = 0 then bi.b_warps_left <- bi.b_warps_left - 1
-      else begin
-        let warp = alloc_warp wt ~kernel:k ~uid ~cycle in
+      in
+      if warp.state <> st_done then begin
         let sched = sm.warp_seq mod arch.schedulers_per_sm in
         sm.warp_seq <- sm.warp_seq + 1;
         pool_add sm.pools.(sched) warp
       end
+      else bi.b_warps_left <- bi.b_warps_left - 1
     done;
     if bi.b_warps_left = 0 then begin
       (* degenerate: empty traces *)
@@ -734,19 +480,19 @@ let run_with_stats ?(policy = Fifo) (arch : Arch.t) (specs : launch_spec list)
   (* drain gmem completions up to now *)
   let drain_gmem sm ~now =
     if sm.gmem_next_complete <= now then begin
-      let drain_q q =
-        while q.q_n > 0 && q.q_times.(q.q_head) <= now do
-          sm.gmem_inflight <- sm.gmem_inflight - q.q_counts.(q.q_head);
-          q.q_head <- (q.q_head + 1) land (Array.length q.q_times - 1);
-          q.q_n <- q.q_n - 1
-        done
-      in
-      drain_q sm.q_gmem;
-      drain_q sm.q_l1;
-      drain_q sm.q_lmem;
-      sm.gmem_next_complete <-
-        min (evq_head_time sm.q_gmem)
-          (min (evq_head_time sm.q_l1) (evq_head_time sm.q_lmem));
+      let next = ref max_int in
+      Hashtbl.filter_map_inplace
+        (fun t n ->
+          if t <= now then begin
+            sm.gmem_inflight <- sm.gmem_inflight - n;
+            None
+          end
+          else begin
+            if t < !next then next := t;
+            Some n
+          end)
+        sm.gmem_completions;
+      sm.gmem_next_complete <- !next;
       (* in-flight capacity freed: structural misses may clear *)
       sm.sm_gen <- sm.sm_gen + 1
     end
@@ -814,10 +560,11 @@ let run_with_stats ?(policy = Fifo) (arch : Arch.t) (specs : launch_spec list)
     if sfu > 0 then sm.sfu_free_at <- max sm.sfu_free_at now + sfu;
     let schedc = hot_sched_cycles arch code in
     if schedc > 1 then sm.sched_free_at.(sched) <- now + schedc;
-    let register_completion q t n =
+    let register_completion t n =
       if n > 0 then begin
         if t < sm.gmem_next_complete then sm.gmem_next_complete <- t;
-        evq_push q t n
+        Hashtbl.replace sm.gmem_completions t
+          (n + Option.value (Hashtbl.find_opt sm.gmem_completions t) ~default:0)
       end
     in
     (if code = 5 then begin
@@ -828,8 +575,8 @@ let run_with_stats ?(policy = Fifo) (arch : Arch.t) (specs : launch_spec list)
        if miss > 0 then
          sm.gmem_bw_free_at <-
            max sm.gmem_bw_free_at now + (miss * arch.gmem_cyc_per_txn);
-       register_completion sm.q_gmem (now + arch.gmem_latency) miss;
-       register_completion sm.q_l1 (now + arch.l1_latency) hit
+       register_completion (now + arch.gmem_latency) miss;
+       register_completion (now + arch.l1_latency) hit
      end
      else begin
        let txns = hot_gmem_txns code payload in
@@ -842,36 +589,39 @@ let run_with_stats ?(policy = Fifo) (arch : Arch.t) (specs : launch_spec list)
            else txns * arch.gmem_cyc_per_txn
          in
          sm.gmem_bw_free_at <- max sm.gmem_bw_free_at now + bw_cost;
-         if code = 11 || code = 12 then
-           register_completion sm.q_lmem (now + arch.lmem_latency) txns
-         else register_completion sm.q_gmem (now + arch.gmem_latency) txns
+         register_completion
+           (now + (if code = 11 || code = 12 then arch.lmem_latency
+                   else arch.gmem_latency))
+           txns
        end
      end);
-    (* barrier?  (id, count) decode straight off the packed payload —
-       the legacy engine allocated an [Instr.Bar] here on every arrival *)
-    (if hot_is_bar code then begin
-       let id = payload lsr 20 and count = payload land 0xFFFFF in
-       let key = (w.w_block_uid, id) in
-       let arrived, waiters =
-         Option.value (Hashtbl.find_opt sm.barriers key) ~default:(0, [])
-       in
-       let arrived = arrived + w.w_threads in
-       if arrived >= count then begin
-         (* release all waiters and this warp *)
-         List.iter
-           (fun (x : warp) ->
-             x.state <- st_ready;
-             x.ready_at <- now + arch.alu_latency)
-           waiters;
-         w.ready_at <- now + arch.alu_latency;
-         sm.sm_gen <- sm.sm_gen + 1;
-         Hashtbl.remove sm.barriers key
-       end
-       else begin
-         w.state <- st_barrier;
-         Hashtbl.replace sm.barriers key (arrived, w :: waiters)
-       end
-     end);
+    (* barrier? *)
+    (if hot_is_bar code then
+       match Instr.decode code payload with
+       | Instr.Bar (id, count) ->
+           let key = (w.w_block_uid, id) in
+           let arrived, waiters =
+             Option.value
+               (Hashtbl.find_opt sm.barriers key)
+               ~default:(0, [])
+           in
+           let arrived = arrived + w.w_threads in
+           if arrived >= count then begin
+             (* release all waiters and this warp *)
+             List.iter
+               (fun (x : warp) ->
+                 x.state <- st_ready;
+                 x.ready_at <- now + arch.alu_latency)
+               waiters;
+             w.ready_at <- now + arch.alu_latency;
+             sm.sm_gen <- sm.sm_gen + 1;
+             Hashtbl.remove sm.barriers key
+           end
+           else begin
+             w.state <- st_barrier;
+             Hashtbl.replace sm.barriers key (arrived, w :: waiters)
+           end
+       | _ -> ());
     (* done?  (a warp parked at a barrier is not finished even if the
        barrier was its last instruction) *)
     if w.pc >= w.len && w.pending_spill = 0 && w.state <> st_barrier then begin
@@ -925,11 +675,8 @@ let run_with_stats ?(policy = Fifo) (arch : Arch.t) (specs : launch_spec list)
     end
     else if
       sm.sched_gen.(sched) = sm.sm_gen && sm.sched_next_try.(sched) > now
-    then begin
+    then sm.sched_stall_class.(sched)
       (* cached miss: nothing can have become eligible *)
-      st.s_scan_skip_hits <- st.s_scan_skip_hits + 1;
-      sm.sched_stall_class.(sched)
-    end
     else begin
       let p = sm.pools.(sched) in
       if p.pn = 0 then 0
@@ -986,10 +733,7 @@ let run_with_stats ?(policy = Fifo) (arch : Arch.t) (specs : launch_spec list)
     | 2 -> c.mem_stall <- c.mem_stall + n
     | _ -> c.other_stall <- c.other_stall + n
   in
-  (* next cycle at which this SM could issue or change its per-cycle
-     contribution: warp latency expiries, structural pipes, issue-port
-     completions, and MSHR completions.  All SM-local — cross-SM
-     coupling only happens through an issue on this SM. *)
+  (* next interesting cycle on an SM (for skip-ahead) *)
   let next_event sm ~now =
     let t = ref max_int in
     let upd x = if x > now && x < !t then t := x in
@@ -1012,57 +756,35 @@ let run_with_stats ?(policy = Fifo) (arch : Arch.t) (specs : launch_spec list)
   let all_warps_done () =
     !live_blocks = 0 && queues_empty ()
   in
-  let nsched = arch.schedulers_per_sm in
   let max_cycles = 2_000_000_000 in
   let finished = ref false in
+  let last_classes = Array.make (arch.sms * arch.schedulers_per_sm) (-1) in
   while not !finished do
     if all_warps_done () then finished := true
     else begin
       let now = !cycle in
       if now > max_cycles then fail "timing simulation exceeded cycle budget";
-      st.s_cycles_stepped <- st.s_cycles_stepped + 1;
       let progressed = ref false in
       let total_resident = ref 0 in
-      Array.iter
-        (fun sm ->
-          if sm.sm_wake <= now then begin
-            (* live SM: drain, step every scheduler, re-arm the wake *)
-            st.s_sm_steps <- st.s_sm_steps + 1;
-            drain_gmem sm ~now;
-            let sm_progressed = ref false in
-            for sched = 0 to nsched - 1 do
-              let r = step_scheduler sm sched ~now in
-              sm.wake_classes.(sched) <- r;
-              if r < 0 then sm_progressed := true else add_stall r 1
-            done;
-            let res = ref 0 in
-            Array.iter (fun p -> res := !res + p.pn) sm.pools;
-            sm.wake_resident <- !res;
-            total_resident := !total_resident + !res;
-            if !sm_progressed then begin
-              progressed := true;
-              sm.sm_wake <- now + 1
-            end
-            else sm.sm_wake <- next_event sm ~now
-          end
-          else begin
-            (* sleeping SM: its stall classes and resident count cannot
-               have changed since its last step — charge the cached
-               contribution without touching the pools *)
-            st.s_sm_steps_skipped <- st.s_sm_steps_skipped + 1;
-            for sched = 0 to nsched - 1 do
-              add_stall sm.wake_classes.(sched) 1
-            done;
-            total_resident := !total_resident + sm.wake_resident
-          end)
+      Array.iteri
+        (fun si sm ->
+          drain_gmem sm ~now;
+          for sched = 0 to arch.schedulers_per_sm - 1 do
+            let r = step_scheduler sm sched ~now in
+            last_classes.((si * arch.schedulers_per_sm) + sched) <- r;
+            if r < 0 then progressed := true else add_stall r 1
+          done;
+          Array.iter (fun p -> total_resident := !total_resident + p.pn)
+            sm.pools)
         sms;
       c.resident_warp_cycles <- c.resident_warp_cycles + !total_resident;
       if !progressed then cycle := now + 1
       else begin
-        (* globally dead: skip ahead to the earliest SM wake, charging
-           the skipped cycles with the (constant) per-SM classification *)
+        (* skip ahead to the next event, charging the skipped cycles with
+           this cycle's stall classification *)
         let t =
-          Array.fold_left (fun acc sm -> min acc sm.sm_wake) max_int sms
+          Array.fold_left (fun acc sm -> min acc (next_event sm ~now)) max_int
+            sms
         in
         if t = max_int then begin
           if all_warps_done () then finished := true
@@ -1074,16 +796,12 @@ let run_with_stats ?(policy = Fifo) (arch : Arch.t) (specs : launch_spec list)
         end
         else begin
           let delta = t - now in
+          (* charge the skipped cycles with this cycle's classification *)
           if delta > 1 then begin
-            Array.iter
-              (fun sm ->
-                for sched = 0 to nsched - 1 do
-                  add_stall sm.wake_classes.(sched) (delta - 1)
-                done)
-              sms;
+            Array.iter (fun cls -> if cls >= 0 then add_stall cls (delta - 1))
+              last_classes;
             c.resident_warp_cycles <-
-              c.resident_warp_cycles + (!total_resident * (delta - 1));
-            st.s_cycles_skipped <- st.s_cycles_skipped + (delta - 1)
+              c.resident_warp_cycles + (!total_resident * (delta - 1))
           end;
           cycle := t
         end
@@ -1110,39 +828,23 @@ let run_with_stats ?(policy = Fifo) (arch : Arch.t) (specs : launch_spec list)
         })
       specs
   in
-  let stats =
-    {
-      cycles_stepped = st.s_cycles_stepped;
-      cycles_skipped = st.s_cycles_skipped;
-      sm_steps = st.s_sm_steps;
-      sm_steps_skipped = st.s_sm_steps_skipped;
-      scan_skip_hits = st.s_scan_skip_hits;
-      warp_allocs = st.s_warp_allocs;
-      warp_reuses = st.s_warp_reuses;
-    }
-  in
-  accumulate stats;
-  ( {
-      elapsed_cycles = elapsed;
-      time_ms;
-      issued_slots = issued_all;
-      total_slots;
-      issue_slot_util =
-        100.0 *. float_of_int issued_all /. float_of_int total_slots;
-      mem_stall_slots = c.mem_stall;
-      sync_stall_slots = c.sync_stall;
-      other_stall_slots = c.other_stall;
-      idle_slots = c.idle;
-      mem_stall_pct =
-        (if stall_slots = 0 then 0.0
-         else 100.0 *. float_of_int c.mem_stall /. float_of_int stall_slots);
-      occupancy =
-        100.0
-        *. float_of_int c.resident_warp_cycles
-        /. float_of_int (arch.sms * Arch.max_warps_per_sm arch * max 1 elapsed);
-      kernels;
-    },
-    stats )
-
-let run ?policy (arch : Arch.t) (specs : launch_spec list) : report =
-  fst (run_with_stats ?policy arch specs)
+  {
+    elapsed_cycles = elapsed;
+    time_ms;
+    issued_slots = issued_all;
+    total_slots;
+    issue_slot_util =
+      100.0 *. float_of_int issued_all /. float_of_int total_slots;
+    mem_stall_slots = c.mem_stall;
+    sync_stall_slots = c.sync_stall;
+    other_stall_slots = c.other_stall;
+    idle_slots = c.idle;
+    mem_stall_pct =
+      (if stall_slots = 0 then 0.0
+       else 100.0 *. float_of_int c.mem_stall /. float_of_int stall_slots);
+    occupancy =
+      100.0
+      *. float_of_int c.resident_warp_cycles
+      /. float_of_int (arch.sms * Arch.max_warps_per_sm arch * max 1 elapsed);
+    kernels;
+  }

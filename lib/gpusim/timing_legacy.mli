@@ -1,0 +1,68 @@
+(** Reference cycle-level replay engine (pre-event-driven), kept only
+    for differential validation: {!Timing.run} must reproduce this
+    module's report bit-for-bit.  Quadratic-ish in SM count x cycles;
+    use {!Timing} everywhere else.
+
+    Models per SM: 4 schedulers issuing one instruction per cycle from
+    their warp pools (greedy round-robin); in-order warps with a
+    multi-slot load scoreboard (loads park until a compiler-scheduled
+    use point, so several pipeline per warp); per-class dependency
+    latencies; structural pipes (DRAM bandwidth, MSHR in-flight cap,
+    separate shared-memory and global LD/ST units, SFU, double-width
+    fp32 issue on Volta); partial-barrier arrival counters; block
+    residency limited exactly as {!Hfuse_core.Occupancy} computes; and
+    deterministic spill-traffic injection for register caps.
+
+    Counters reproduce the nvprof metrics of the paper's Section IV-A. *)
+
+exception Timing_error of string
+
+(** How queued blocks reach SMs.  [Fifo] models the real Grid Management
+    Unit for equal-priority streams: global submission order with
+    head-of-line blocking, so concurrent kernels overlap only at the
+    first one's tail.  [Leftover] is an idealised backfilling
+    distributor, exposed for the ablation benches. *)
+type dispatch_policy = Fifo | Leftover
+
+(** One kernel launch submitted to the simulated GPU. *)
+type launch_spec = {
+  label : string;
+  block_traces : Trace.block array;
+      (** representative per-block traces; block [b] replays trace
+          [b mod length] *)
+  grid : int;
+  threads_per_block : int;
+  regs : int;  (** per-thread registers after any cap *)
+  spill : int;  (** registers spilled by the cap (0 = none) *)
+  smem : int;  (** shared bytes per block (static + dynamic) *)
+  stream : int;
+}
+
+type kernel_metrics = {
+  k_label : string;
+  k_elapsed_cycles : int;
+  k_issued : int;
+  k_blocks_per_sm : int;
+}
+
+type report = {
+  elapsed_cycles : int;
+  time_ms : float;
+  issued_slots : int;
+  total_slots : int;
+  issue_slot_util : float;  (** percent *)
+  mem_stall_slots : int;
+  sync_stall_slots : int;
+  other_stall_slots : int;
+  idle_slots : int;
+  mem_stall_pct : float;
+      (** percent of stall slots waiting on global/local memory (the
+          nvprof "memory dependency" definition) *)
+  occupancy : float;  (** percent achieved *)
+  kernels : kernel_metrics list;
+}
+
+(** Run the launches to completion.  Deterministic.
+    @raise Timing_error when a kernel cannot fit one block on an SM,
+    a barrier can never be satisfied, or the cycle budget is exceeded. *)
+val run : ?policy:dispatch_policy -> Arch.t -> launch_spec list -> report

@@ -6,7 +6,18 @@
    - Figure 8: metrics of the 9 individual kernels at representative
      workloads whose pairwise execution-time ratios are close to one.
    - Figure 9: metrics of the 16 HFuse fused kernels, with and without
-     the register bound. *)
+     the register bound.
+
+   Every figure runs in two phases.  Phase 1 is serial on the calling
+   domain: workload configuration, trace acquisition and the Fig. 6
+   searches (tracing interprets kernels in [Memory.t], which is
+   single-domain state) — measurement replays are only *described*, as
+   (arch, launch-spec list) entries pushed onto a run list in the same
+   order the old serial code executed them.  Phase 2 fans the pure
+   [Timing.run] replays over one shared [Hfuse_parallel.Pool]
+   ([Runner.run_many], order-preserving).  Because tracing order — and
+   hence [Memory.t] evolution — is unchanged and replays are pure,
+   every figure is bit-identical to the serial path for any [jobs]. *)
 
 open Gpusim
 open Kernel_corpus
@@ -22,13 +33,23 @@ open Kernel_corpus
     holds for the whole corpus (spatial width or hash iterations). *)
 let rep_cache : (string, (string * int) list) Hashtbl.t = Hashtbl.create 4
 
-let representative_sizes_uncached (arch : Arch.t) : (string * int) list =
+let representative_sizes_uncached ?pool ?cache (arch : Arch.t) :
+    (string * int) list =
   let mem = Memory.create () in
-  let solo_default (s : Spec.t) =
-    let c = Runner.configure mem s ~size:s.default_size in
-    (s, (Runner.solo arch c).Timing.time_ms)
+  (* configure+trace each kernel in registry order, then replay pooled *)
+  let prepped =
+    List.map
+      (fun (s : Spec.t) ->
+        let c = Runner.configure mem s ~size:s.default_size in
+        (s, (arch, [ Runner.spec_of c ~stream:0 () ])))
+      Registry.all
   in
-  let timed = List.map solo_default Registry.all in
+  let reports =
+    Runner.run_many ?pool ?cache (Array.of_list (List.map snd prepped))
+  in
+  let timed =
+    List.mapi (fun i (s, _) -> (s, reports.(i).Timing.time_ms)) prepped
+  in
   let times = List.map snd timed |> List.sort compare in
   let target = List.nth times (List.length times / 2) in
   List.map
@@ -40,16 +61,32 @@ let representative_sizes_uncached (arch : Arch.t) : (string * int) list =
       (s.name, max 1 scaled))
     timed
 
-let representative_sizes (arch : Arch.t) : (string * int) list =
+let representative_sizes ?pool ?cache (arch : Arch.t) : (string * int) list =
   match Hashtbl.find_opt rep_cache arch.Arch.name with
   | Some sizes -> sizes
   | None ->
-      let sizes = representative_sizes_uncached arch in
+      let sizes = representative_sizes_uncached ?pool ?cache arch in
       Hashtbl.replace rep_cache arch.Arch.name sizes;
       sizes
 
 let size_of sizes (s : Spec.t) =
   match List.assoc_opt s.name sizes with Some n -> n | None -> s.default_size
+
+(* A run list under construction: phase 1 pushes (arch, specs) entries
+   and remembers their indices into the phase-2 report array. *)
+type runlist = {
+  mutable rl_rev : (Arch.t * Timing.launch_spec list) list;
+  mutable rl_n : int;
+}
+
+let runlist () = { rl_rev = []; rl_n = 0 }
+
+let push rl entry =
+  rl.rl_rev <- entry :: rl.rl_rev;
+  rl.rl_n <- rl.rl_n + 1;
+  rl.rl_n - 1
+
+let runs_of rl = Array.of_list (List.rev rl.rl_rev)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 7: ratio sweeps                                               *)
@@ -98,14 +135,16 @@ let avg_vfuse_speedup (s : sweep) =
 let default_multipliers = [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
 
 (** Sweep one pair on one arch: vary the first kernel's size over
-    [multipliers] x its representative size.  [jobs]/[cache] are passed
-    through to {!Runner.search}. *)
-let sweep_pair ?(multipliers = default_multipliers) ?jobs ?cache
+    [multipliers] x its representative size.  [jobs]/[pool]/[cache] are
+    passed through to {!Runner.search} and the measurement fan-out. *)
+let sweep_pair ?(multipliers = default_multipliers) ?jobs ?pool ?cache
     (arch : Arch.t) (sizes : (string * int) list)
     ((s1, s2) : Spec.t * Spec.t) : sweep =
   let mem = Memory.create () in
   let base1 = size_of sizes s1 and size2 = size_of sizes s2 in
-  let points =
+  let rl = runlist () in
+  (* phase 1: configure, trace and search each point in order *)
+  let prepped =
     List.map
       (fun m ->
         let size1 =
@@ -113,54 +152,71 @@ let sweep_pair ?(multipliers = default_multipliers) ?jobs ?cache
         in
         let c1 = Runner.configure mem s1 ~size:size1 in
         let c2 = Runner.configure mem s2 ~size:size2 in
-        let t1 = (Runner.solo arch c1).Timing.time_ms in
-        let t2 = (Runner.solo arch c2).Timing.time_ms in
-        let native = (Runner.native arch c1 c2).Timing.time_ms in
-        let sr = Runner.search ?jobs ?cache arch c1 c2 in
+        let i1 = push rl (arch, [ Runner.spec_of c1 ~stream:0 () ]) in
+        let i2 = push rl (arch, [ Runner.spec_of c2 ~stream:0 () ]) in
+        let inat =
+          push rl
+            ( arch,
+              [ Runner.spec_of c1 ~stream:0 (); Runner.spec_of c2 ~stream:1 () ]
+            )
+        in
+        let sr = Runner.search ?jobs ?pool ?cache arch c1 c2 in
         let best = sr.Hfuse_core.Search.best in
-        let vfuse_ms =
+        let ivf =
           match Runner.vfuse_generate c1 c2 with
-          | v -> Some (Runner.vfuse_report arch c1 c2 v).Timing.time_ms
+          | v -> Some (push rl (arch, [ Runner.vfuse_spec c1 c2 v ]))
           | exception Hfuse_core.Fuse_common.Fusion_error _ -> None
         in
-        let naive_ms =
+        let inv =
           if s1.kind = Spec.Deep_learning && s2.kind = Spec.Deep_learning
           then
             match Runner.naive_hfuse c1 c2 with
             | Some f ->
+                let traces = Runner.hfuse_traces c1 c2 f in
                 Some
-                  (Runner.hfuse_report arch c1 c2 f ~reg_bound:None)
-                    .Timing.time_ms
+                  (push rl
+                     (arch, [ Runner.hfuse_spec f ~reg_bound:None ~traces ]))
             | None -> None
           else None
         in
+        (size1, i1, i2, inat, best, ivf, inv))
+      multipliers
+  in
+  (* phase 2: pure measurement replays, fanned over the pool *)
+  let reports = Runner.run_many ?pool ?jobs ?cache (runs_of rl) in
+  let points =
+    List.map
+      (fun (size1, i1, i2, inat, best, ivf, inv) ->
+        let t1 = reports.(i1).Timing.time_ms in
+        let t2 = reports.(i2).Timing.time_ms in
         {
           size1;
           size2;
           ratio = t1 /. t2;
-          native_ms = native;
+          native_ms = reports.(inat).Timing.time_ms;
           hfuse_ms = best.Hfuse_core.Search.time;
           hfuse_d1 = best.Hfuse_core.Search.fused.Hfuse_core.Hfuse.d1;
           hfuse_d2 = best.Hfuse_core.Search.fused.Hfuse_core.Hfuse.d2;
           hfuse_reg_bound =
             best.Hfuse_core.Search.config.Hfuse_core.Search.reg_bound;
-          vfuse_ms;
-          naive_ms;
+          vfuse_ms = Option.map (fun i -> reports.(i).Timing.time_ms) ivf;
+          naive_ms = Option.map (fun i -> reports.(i).Timing.time_ms) inv;
         })
-      multipliers
+      prepped
   in
   { pair = (s1, s2); arch; varied_first = true; points }
 
-(** The full Figure 7: 16 pairs x 2 architectures. *)
-let figure7 ?multipliers ?jobs ?cache ?(archs = Arch.all)
+(** The full Figure 7: 16 pairs x 2 architectures, one shared pool. *)
+let figure7 ?multipliers ?(jobs = 1) ?cache ?(archs = Arch.all)
     ?(pairs = Registry.all_pairs) () : sweep list =
-  List.concat_map
-    (fun arch ->
-      let sizes = representative_sizes arch in
-      List.map
-        (fun pair -> sweep_pair ?multipliers ?jobs ?cache arch sizes pair)
-        pairs)
-    archs
+  Hfuse_parallel.Pool.with_pool jobs (fun pool ->
+      List.concat_map
+        (fun arch ->
+          let sizes = representative_sizes ~pool ?cache arch in
+          List.map
+            (fun pair -> sweep_pair ?multipliers ~pool ?cache arch sizes pair)
+            pairs)
+        archs)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 8: individual kernel metrics                                  *)
@@ -171,21 +227,39 @@ type kernel_row = {
   per_arch : (Arch.t * Metrics.t) list;  (** in [archs] order *)
 }
 
-let figure8 ?(archs = Arch.all) () : kernel_row list =
-  List.map
-    (fun (s : Spec.t) ->
-      {
-        kernel = s;
-        per_arch =
-          List.map
-            (fun arch ->
-              let sizes = representative_sizes arch in
-              let mem = Memory.create () in
-              let c = Runner.configure mem s ~size:(size_of sizes s) in
-              (arch, Metrics.of_report ~label:s.name (Runner.solo arch c)))
-            archs;
-      })
-    Registry.all
+let figure8 ?(jobs = 1) ?pool ?cache ?(archs = Arch.all) () : kernel_row list
+    =
+  let go pool =
+    let rl = runlist () in
+    let prepped =
+      List.map
+        (fun (s : Spec.t) ->
+          ( s,
+            List.map
+              (fun arch ->
+                let sizes = representative_sizes ~pool ?cache arch in
+                let mem = Memory.create () in
+                let c = Runner.configure mem s ~size:(size_of sizes s) in
+                (arch, push rl (arch, [ Runner.spec_of c ~stream:0 () ])))
+              archs ))
+        Registry.all
+    in
+    let reports = Runner.run_many ~pool ?cache (runs_of rl) in
+    List.map
+      (fun ((s : Spec.t), per_arch) ->
+        {
+          kernel = s;
+          per_arch =
+            List.map
+              (fun (arch, i) ->
+                (arch, Metrics.of_report ~label:s.name reports.(i)))
+              per_arch;
+        })
+      prepped
+  in
+  match pool with
+  | Some p -> go p
+  | None -> Hfuse_parallel.Pool.with_pool jobs go
 
 (* ------------------------------------------------------------------ *)
 (* Figure 9: fused kernel metrics, RegCap vs N-RegCap                   *)
@@ -208,28 +282,33 @@ type fused_row = {
       (** [None] when the bound is not computable (b0 = 0) *)
 }
 
-let figure9_pair ?jobs ?cache (arch : Arch.t) (sizes : (string * int) list)
-    ((s1, s2) : Spec.t * Spec.t) : fused_row =
+(* phase-1 product for one fig-9 row: run indices + the searched fusion *)
+type f9_prep = {
+  p_pair : Spec.t * Spec.t;
+  p_arch : Arch.t;
+  p_i1 : int;
+  p_i2 : int;
+  p_inat : int;
+  p_fused : Hfuse_core.Hfuse.t;
+  p_ihf0 : int;  (** index of the unbounded variant's replay *)
+  p_regcap : (int * int) option;  (** (r0, replay index) *)
+}
+
+let f9_prepare ?jobs ?pool ?cache (arch : Arch.t)
+    (sizes : (string * int) list) ((s1, s2) : Spec.t * Spec.t) rl : f9_prep =
   let mem = Memory.create () in
   let c1 = Runner.configure mem s1 ~size:(size_of sizes s1) in
   let c2 = Runner.configure mem s2 ~size:(size_of sizes s2) in
-  let m1 = Metrics.of_report ~label:s1.name (Runner.solo arch c1) in
-  let m2 = Metrics.of_report ~label:s2.name (Runner.solo arch c2) in
-  let native = (Runner.native arch c1 c2).Timing.time_ms in
-  let sr = Runner.search ?jobs ?cache arch c1 c2 in
-  (* variants at the searched-best partition *)
-  let best = sr.Hfuse_core.Search.best in
-  let fused = best.Hfuse_core.Search.fused in
-  let variant reg_bound =
-    let r = Runner.hfuse_report arch c1 c2 fused ~reg_bound in
-    {
-      speedup_pct = speedup ~native ~fused:r.Timing.time_ms;
-      metrics = Metrics.of_report ~label:fused.Hfuse_core.Hfuse.fn.f_name r;
-      d1 = fused.Hfuse_core.Hfuse.d1;
-      d2 = fused.Hfuse_core.Hfuse.d2;
-      reg_bound;
-    }
+  let i1 = push rl (arch, [ Runner.spec_of c1 ~stream:0 () ]) in
+  let i2 = push rl (arch, [ Runner.spec_of c2 ~stream:0 () ]) in
+  let inat =
+    push rl
+      (arch, [ Runner.spec_of c1 ~stream:0 (); Runner.spec_of c2 ~stream:1 () ])
   in
+  let sr = Runner.search ?jobs ?pool ?cache arch c1 c2 in
+  let fused = sr.Hfuse_core.Search.best.Hfuse_core.Search.fused in
+  let traces = Runner.hfuse_traces c1 c2 fused in
+  let ihf0 = push rl (arch, [ Runner.hfuse_spec fused ~reg_bound:None ~traces ]) in
   let fused_smem =
     Hfuse_core.Kernel_info.smem_total (Hfuse_core.Hfuse.info fused)
   in
@@ -239,18 +318,71 @@ let figure9_pair ?jobs ?cache (arch : Arch.t) (sizes : (string * int) list)
       ~d1:fused.Hfuse_core.Hfuse.d1 ~regs1:s1.regs
       ~d2:fused.Hfuse_core.Hfuse.d2 ~regs2:s2.regs ~fused_smem
   in
+  let regcap =
+    Option.map
+      (fun r ->
+        ( r,
+          push rl
+            (arch, [ Runner.hfuse_spec fused ~reg_bound:(Some r) ~traces ]) ))
+      r0
+  in
   {
-    f_pair = (s1, s2);
-    f_arch = arch;
-    native_util = Metrics.weighted_issue_util [ m1; m2 ];
-    no_regcap = variant None;
-    regcap = Option.map (fun r -> variant (Some r)) r0;
+    p_pair = (s1, s2);
+    p_arch = arch;
+    p_i1 = i1;
+    p_i2 = i2;
+    p_inat = inat;
+    p_fused = fused;
+    p_ihf0 = ihf0;
+    p_regcap = regcap;
   }
 
-let figure9 ?jobs ?cache ?(archs = Arch.all) ?(pairs = Registry.all_pairs)
-    () : fused_row list =
-  List.concat_map
-    (fun arch ->
-      let sizes = representative_sizes arch in
-      List.map (figure9_pair ?jobs ?cache arch sizes) pairs)
-    archs
+let f9_row (reports : Timing.report array) (p : f9_prep) : fused_row =
+  let s1, s2 = p.p_pair in
+  let m1 = Metrics.of_report ~label:s1.Spec.name reports.(p.p_i1) in
+  let m2 = Metrics.of_report ~label:s2.Spec.name reports.(p.p_i2) in
+  let native = reports.(p.p_inat).Timing.time_ms in
+  let fused = p.p_fused in
+  let variant reg_bound (r : Timing.report) =
+    {
+      speedup_pct = speedup ~native ~fused:r.Timing.time_ms;
+      metrics = Metrics.of_report ~label:fused.Hfuse_core.Hfuse.fn.f_name r;
+      d1 = fused.Hfuse_core.Hfuse.d1;
+      d2 = fused.Hfuse_core.Hfuse.d2;
+      reg_bound;
+    }
+  in
+  {
+    f_pair = p.p_pair;
+    f_arch = p.p_arch;
+    native_util = Metrics.weighted_issue_util [ m1; m2 ];
+    no_regcap = variant None reports.(p.p_ihf0);
+    regcap =
+      Option.map (fun (r, i) -> variant (Some r) reports.(i)) p.p_regcap;
+  }
+
+let figure9_pair ?jobs ?pool ?cache (arch : Arch.t)
+    (sizes : (string * int) list) (pair : Spec.t * Spec.t) : fused_row =
+  let rl = runlist () in
+  let prep = f9_prepare ?jobs ?pool ?cache arch sizes pair rl in
+  let reports = Runner.run_many ?pool ?jobs ?cache (runs_of rl) in
+  f9_row reports prep
+
+(** Figure 9 over all pairs and architectures: every pair's traces and
+    search run serially (phase 1), then a single pool-wide fan-out
+    replays all measurement runs at once. *)
+let figure9 ?(jobs = 1) ?cache ?(archs = Arch.all)
+    ?(pairs = Registry.all_pairs) () : fused_row list =
+  Hfuse_parallel.Pool.with_pool jobs (fun pool ->
+      let rl = runlist () in
+      let preps =
+        List.concat_map
+          (fun arch ->
+            let sizes = representative_sizes ~pool ?cache arch in
+            List.map
+              (fun pair -> f9_prepare ~pool ?cache arch sizes pair rl)
+              pairs)
+          archs
+      in
+      let reports = Runner.run_many ~pool ?cache (runs_of rl) in
+      List.map (f9_row reports) preps)

@@ -1,11 +1,23 @@
 (** The paper's evaluation (Section IV), experiment by experiment:
     Figure 7 ratio sweeps, Figure 8 individual-kernel metrics, Figure 9
-    fused-kernel metrics with and without the register bound. *)
+    fused-kernel metrics with and without the register bound.
+
+    Every figure runs in two phases: configuration, tracing and the
+    Fig. 6 searches stay serial on the calling domain (they mutate
+    [Gpusim.Memory.t]), while the pure measurement replays fan out over
+    one shared [Hfuse_parallel.Pool] ([~jobs]/[~pool]).  Tracing order
+    is exactly the old serial order, so results are bit-identical for
+    any worker count. *)
 
 (** Per-kernel sizes with solo times close to a common target, per
     architecture (the paper's "execution time ratios close to one");
-    memoised. *)
-val representative_sizes : Gpusim.Arch.t -> (string * int) list
+    memoised.  [pool] parallelises the solo probes on a memo miss;
+    [cache] serves them from the persistent report cache. *)
+val representative_sizes :
+  ?pool:Hfuse_parallel.Pool.t ->
+  ?cache:Profile_cache.t ->
+  Gpusim.Arch.t ->
+  (string * int) list
 
 val size_of : (string * int) list -> Kernel_corpus.Spec.t -> int
 
@@ -38,18 +50,19 @@ val avg_vfuse_speedup : sweep -> float
 (** The paper's ratio points: 0.25x .. 4x the representative size. *)
 val default_multipliers : float list
 
-(** [jobs]/[cache] are handed to every {!Runner.search} the sweep
-    performs (domain-pool width and persistent profiling cache). *)
+(** [jobs]/[pool]/[cache] are handed to every {!Runner.search} the
+    sweep performs and to the measurement fan-out. *)
 val sweep_pair :
   ?multipliers:float list ->
   ?jobs:int ->
+  ?pool:Hfuse_parallel.Pool.t ->
   ?cache:Profile_cache.t ->
   Gpusim.Arch.t ->
   (string * int) list ->
   Kernel_corpus.Spec.t * Kernel_corpus.Spec.t ->
   sweep
 
-(** Figure 7: all pairs x all architectures. *)
+(** Figure 7: all pairs x all architectures, over one shared pool. *)
 val figure7 :
   ?multipliers:float list ->
   ?jobs:int ->
@@ -65,7 +78,13 @@ type kernel_row = {
 }
 
 (** Figure 8: each kernel solo at its representative workload. *)
-val figure8 : ?archs:Gpusim.Arch.t list -> unit -> kernel_row list
+val figure8 :
+  ?jobs:int ->
+  ?pool:Hfuse_parallel.Pool.t ->
+  ?cache:Profile_cache.t ->
+  ?archs:Gpusim.Arch.t list ->
+  unit ->
+  kernel_row list
 
 type fused_variant = {
   speedup_pct : float;
@@ -85,13 +104,16 @@ type fused_row = {
 
 val figure9_pair :
   ?jobs:int ->
+  ?pool:Hfuse_parallel.Pool.t ->
   ?cache:Profile_cache.t ->
   Gpusim.Arch.t ->
   (string * int) list ->
   Kernel_corpus.Spec.t * Kernel_corpus.Spec.t ->
   fused_row
 
-(** Figure 9: both register-bound variants at the searched partition. *)
+(** Figure 9: both register-bound variants at the searched partition.
+    Phase 1 (tracing + search) is serial over all pairs; one pool-wide
+    fan-out then replays every measurement run at once. *)
 val figure9 :
   ?jobs:int ->
   ?cache:Profile_cache.t ->

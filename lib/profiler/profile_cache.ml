@@ -11,7 +11,9 @@
    fused source).
 
    Entries live under [dir]/v1/<digest> as a single hex-float line
-   ([%h], exact round-trip).  Writes go through a temp file + rename so
+   ([%h], exact round-trip).  A second entry kind ([r-<digest>] files)
+   caches whole measurement-replay reports; see the full-report section
+   below.  Writes go through a temp file + rename so
    a concurrent reader never sees a torn entry.  Lookups and stores are
    only ever issued from the search's coordinating domain (the timing
    fan-out never touches the cache), so no locking is needed. *)
@@ -138,6 +140,183 @@ let store (t : t) ~(key : string) (time_ms : float) : unit =
     Sys.rename tmp final;
     t.stats.stores <- t.stats.stores + 1
   end
+
+(* ------------------------------------------------------------------ *)
+(* Full-report entries (measurement replays)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The figure sweeps spend most of their warm-run wall time in pure
+   measurement replays whose inputs (traces included) have not changed
+   since the previous run.  Report entries cache the complete
+   [Timing.report] — every counter exact, every float stored as [%h] —
+   keyed by a content hash over the launch specs and the packed traces
+   themselves, so a hit is bit-identical to re-running the engine and
+   any trace change (compiler, interpreter, workload) self-invalidates.
+   Each entry also records the producing replay's [engine_stats]; a hit
+   folds those into the process-wide counters so cumulative stats keep
+   describing the replays behind the reported numbers. *)
+
+(* FNV-1a-style fold over a packed int array: one xor-multiply per
+   element keeps hashing multi-million-instruction traces cheap; the
+   64-bit state is then digested with everything else, so collisions
+   need simultaneous FNV and MD5 collisions. *)
+let fold_ints (h : int64) (arr : int array) (len : int) : int64 =
+  let h = ref h in
+  for i = 0 to len - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int arr.(i))) 0x100000001b3L
+  done;
+  !h
+
+let fnv_basis = 0xcbf29ce484222325L
+
+let report_key ~(arch : string) ~(policy : string)
+    (specs : Gpusim.Timing.launch_spec list) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf version;
+  Buffer.add_string buf ":report\x00";
+  Buffer.add_string buf arch;
+  Buffer.add_char buf '\x00';
+  Buffer.add_string buf policy;
+  Buffer.add_char buf '\x00';
+  List.iter
+    (fun (s : Gpusim.Timing.launch_spec) ->
+      Buffer.add_string buf s.label;
+      List.iter
+        (fun n ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int n))
+        [
+          s.grid;
+          s.threads_per_block;
+          s.regs;
+          s.spill;
+          s.smem;
+          s.stream;
+          Array.length s.block_traces;
+        ];
+      Array.iter
+        (fun (block : Gpusim.Trace.block) ->
+          Buffer.add_char buf '|';
+          Buffer.add_string buf (string_of_int (Array.length block));
+          Array.iter
+            (fun (tr : Gpusim.Trace.t) ->
+              let h = fold_ints fnv_basis tr.Gpusim.Trace.codes tr.len in
+              let h = fold_ints h tr.payloads tr.len in
+              Buffer.add_char buf ',';
+              Buffer.add_string buf (string_of_int tr.len);
+              Buffer.add_char buf ':';
+              Buffer.add_string buf (Printf.sprintf "%Lx" h))
+            block)
+        s.block_traces;
+      Buffer.add_char buf '\n')
+    specs;
+  (* distinct filename namespace from candidate-time entries *)
+  "r-" ^ Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* entry layout (text, one record per line):
+     line 1: the 11 top-level report fields, floats as %h
+     line 2: kernel count N
+     N lines: label NUL elapsed issued blocks_per_sm
+     last:    the 7 engine_stats counters *)
+
+let store_report (t : t) ~(key : string)
+    ((r : Gpusim.Timing.report), (es : Gpusim.Timing.engine_stats)) : unit =
+  if t.enabled then begin
+    mkdir_p t.dir;
+    let final = entry_path t key in
+    let tmp = final ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Printf.fprintf oc "%d %h %d %d %h %d %d %d %d %h %h\n"
+          r.elapsed_cycles r.time_ms r.issued_slots r.total_slots
+          r.issue_slot_util r.mem_stall_slots r.sync_stall_slots
+          r.other_stall_slots r.idle_slots r.mem_stall_pct r.occupancy;
+        Printf.fprintf oc "%d\n" (List.length r.kernels);
+        List.iter
+          (fun (k : Gpusim.Timing.kernel_metrics) ->
+            Printf.fprintf oc "%s\x00%d %d %d\n" k.k_label k.k_elapsed_cycles
+              k.k_issued k.k_blocks_per_sm)
+          r.kernels;
+        Printf.fprintf oc "%d %d %d %d %d %d %d\n" es.cycles_stepped
+          es.cycles_skipped es.sm_steps es.sm_steps_skipped es.scan_skip_hits
+          es.warp_allocs es.warp_reuses);
+    Sys.rename tmp final;
+    t.stats.stores <- t.stats.stores + 1
+  end
+
+let find_report (t : t) ~(key : string) :
+    (Gpusim.Timing.report * Gpusim.Timing.engine_stats) option =
+  if not t.enabled then None
+  else
+    let split line = String.split_on_char ' ' (String.trim line) in
+    let read () =
+      let ic = open_in (entry_path t key) in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let top =
+            match split (input_line ic) with
+            | [ ec; tm; is; ts; ut; ms; ss; os; id; mp; oc_ ] ->
+                {
+                  Gpusim.Timing.elapsed_cycles = int_of_string ec;
+                  time_ms = float_of_string tm;
+                  issued_slots = int_of_string is;
+                  total_slots = int_of_string ts;
+                  issue_slot_util = float_of_string ut;
+                  mem_stall_slots = int_of_string ms;
+                  sync_stall_slots = int_of_string ss;
+                  other_stall_slots = int_of_string os;
+                  idle_slots = int_of_string id;
+                  mem_stall_pct = float_of_string mp;
+                  occupancy = float_of_string oc_;
+                  kernels = [];
+                }
+            | _ -> failwith "report header"
+          in
+          let n = int_of_string (String.trim (input_line ic)) in
+          let kernels =
+            List.init n (fun _ ->
+                let line = input_line ic in
+                let cut = String.index line '\x00' in
+                let label = String.sub line 0 cut in
+                let rest =
+                  String.sub line (cut + 1) (String.length line - cut - 1)
+                in
+                match split rest with
+                | [ ke; ki; kb ] ->
+                    {
+                      Gpusim.Timing.k_label = label;
+                      k_elapsed_cycles = int_of_string ke;
+                      k_issued = int_of_string ki;
+                      k_blocks_per_sm = int_of_string kb;
+                    }
+                | _ -> failwith "report kernel line")
+          in
+          let es =
+            match split (input_line ic) with
+            | [ cs; ck; st; sk; sc; wa; wr ] ->
+                {
+                  Gpusim.Timing.cycles_stepped = int_of_string cs;
+                  cycles_skipped = int_of_string ck;
+                  sm_steps = int_of_string st;
+                  sm_steps_skipped = int_of_string sk;
+                  scan_skip_hits = int_of_string sc;
+                  warp_allocs = int_of_string wa;
+                  warp_reuses = int_of_string wr;
+                }
+            | _ -> failwith "report stats line"
+          in
+          ({ top with kernels }, es))
+    in
+    match read () with
+    | v ->
+        t.stats.hits <- t.stats.hits + 1;
+        Some v
+    | exception (Sys_error _ | End_of_file | Failure _ | Not_found) ->
+        t.stats.misses <- t.stats.misses + 1;
+        None
 
 let pp_stats ppf (t : t) =
   if t.enabled then

@@ -57,6 +57,26 @@ val find : t -> key:string -> float option
 (** Persist a time for [key] (no-op when disabled). *)
 val store : t -> key:string -> float -> unit
 
+(** Content hash identifying one measurement replay: the launch specs
+    and the packed traces themselves (hashed in full), plus the GPU
+    model and dispatch policy.  Any trace change self-invalidates. *)
+val report_key :
+  arch:string -> policy:string -> Gpusim.Timing.launch_spec list -> string
+
+(** Cached report (with the engine stats of the replay that produced
+    it) for [key], if present and well-formed.  Bit-identical to
+    re-running the engine: every counter is stored exactly and every
+    float as a [%h] hex literal.  Counts a hit or a miss. *)
+val find_report :
+  t -> key:string -> (Gpusim.Timing.report * Gpusim.Timing.engine_stats) option
+
+(** Persist a report and its engine stats (no-op when disabled). *)
+val store_report :
+  t ->
+  key:string ->
+  Gpusim.Timing.report * Gpusim.Timing.engine_stats ->
+  unit
+
 (** Lifetime counters for this handle. *)
 val hits : t -> int
 

@@ -126,3 +126,206 @@ let figure9_to_string (rows : Experiment.fused_row list) : string =
       Option.iter (variant "RegCap") r.regcap)
     rows;
   Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* JSON (hand-rolled; the perf-trajectory files future PRs diff)        *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let opt f = function None -> Null | Some x -> f x
+
+  (* Shortest decimal string that round-trips the float exactly, so the
+     files stay stable (and diffable) across emitter runs. *)
+  let float_str f =
+    if not (Float.is_finite f) then "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.1f" f
+    else
+      let s15 = Printf.sprintf "%.15g" f in
+      if float_of_string s15 = f then s15
+      else
+        let s16 = Printf.sprintf "%.16g" f in
+        if float_of_string s16 = f then s16 else Printf.sprintf "%.17g" f
+
+  let escape b s =
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"'
+
+  let rec emit b indent t =
+    let pad n = Buffer.add_string b (String.make n ' ') in
+    match t with
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (string_of_bool x)
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (float_str f)
+    | Str s -> escape b s
+    | List [] -> Buffer.add_string b "[]"
+    | List xs ->
+        Buffer.add_string b "[\n";
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_string b ",\n";
+            pad (indent + 2);
+            emit b (indent + 2) x)
+          xs;
+        Buffer.add_char b '\n';
+        pad indent;
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj kvs ->
+        Buffer.add_string b "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string b ",\n";
+            pad (indent + 2);
+            escape b k;
+            Buffer.add_string b ": ";
+            emit b (indent + 2) v)
+          kvs;
+        Buffer.add_char b '\n';
+        pad indent;
+        Buffer.add_char b '}'
+
+  let to_string t =
+    let b = Buffer.create 4096 in
+    emit b 0 t;
+    Buffer.add_char b '\n';
+    Buffer.contents b
+end
+
+let json_of_metrics (m : Gpusim.Metrics.t) : Json.t =
+  Json.Obj
+    [
+      ("time_ms", Json.Float m.Gpusim.Metrics.time_ms);
+      ("elapsed_cycles", Json.Int m.Gpusim.Metrics.elapsed_cycles);
+      ("issue_slot_util", Json.Float m.Gpusim.Metrics.issue_slot_util);
+      ("mem_stall", Json.Float m.Gpusim.Metrics.mem_stall);
+      ("occupancy", Json.Float m.Gpusim.Metrics.occupancy);
+    ]
+
+let json_of_engine_stats (s : Gpusim.Timing.engine_stats) : Json.t =
+  Json.Obj
+    [
+      ("cycles_stepped", Json.Int s.Gpusim.Timing.cycles_stepped);
+      ("cycles_skipped", Json.Int s.Gpusim.Timing.cycles_skipped);
+      ("sm_steps", Json.Int s.Gpusim.Timing.sm_steps);
+      ("sm_steps_skipped", Json.Int s.Gpusim.Timing.sm_steps_skipped);
+      ("scan_skip_hits", Json.Int s.Gpusim.Timing.scan_skip_hits);
+      ("warp_allocs", Json.Int s.Gpusim.Timing.warp_allocs);
+      ("warp_reuses", Json.Int s.Gpusim.Timing.warp_reuses);
+    ]
+
+let json_of_search_stats (s : Runner.search_stats) : Json.t =
+  Json.Obj
+    [
+      ("profiled", Json.Int s.Runner.profiled);
+      ("cache_hits", Json.Int s.Runner.cache_hits);
+      ("profile_wall_s", Json.Float s.Runner.profile_wall_s);
+    ]
+
+let json_of_cache (c : Profile_cache.t) : Json.t =
+  Json.Obj
+    [
+      ("enabled", Json.Bool (Profile_cache.enabled c));
+      ("hits", Json.Int (Profile_cache.hits c));
+      ("misses", Json.Int (Profile_cache.misses c));
+      ("stores", Json.Int (Profile_cache.stores c));
+    ]
+
+let figure7_json (sweeps : Experiment.sweep list) : Json.t =
+  let point (p : Experiment.point) =
+    Json.Obj
+      [
+        ("size1", Json.Int p.size1);
+        ("size2", Json.Int p.size2);
+        ("ratio", Json.Float p.ratio);
+        ("native_ms", Json.Float p.native_ms);
+        ("hfuse_ms", Json.Float p.hfuse_ms);
+        ("hfuse_d1", Json.Int p.hfuse_d1);
+        ("hfuse_d2", Json.Int p.hfuse_d2);
+        ("hfuse_reg_bound", Json.opt (fun r -> Json.Int r) p.hfuse_reg_bound);
+        ("vfuse_ms", Json.opt (fun v -> Json.Float v) p.vfuse_ms);
+        ("naive_ms", Json.opt (fun v -> Json.Float v) p.naive_ms);
+      ]
+  in
+  Json.List
+    (List.map
+       (fun (s : Experiment.sweep) ->
+         Json.Obj
+           [
+             ("pair", Json.Str (pair_name s.pair));
+             ("arch", Json.Str s.arch.Gpusim.Arch.name);
+             ("varied_first", Json.Bool s.varied_first);
+             ("avg_hfuse_speedup", Json.Float (Experiment.avg_hfuse_speedup s));
+             ("avg_vfuse_speedup", Json.Float (Experiment.avg_vfuse_speedup s));
+             ("points", Json.List (List.map point s.points));
+           ])
+       sweeps)
+
+let figure8_json (rows : Experiment.kernel_row list) : Json.t =
+  Json.List
+    (List.map
+       (fun (r : Experiment.kernel_row) ->
+         Json.Obj
+           [
+             ("kernel", Json.Str r.kernel.Spec.name);
+             ( "per_arch",
+               Json.List
+                 (List.map
+                    (fun (arch, m) ->
+                      Json.Obj
+                        [
+                          ("arch", Json.Str arch.Gpusim.Arch.name);
+                          ("metrics", json_of_metrics m);
+                        ])
+                    r.per_arch) );
+           ])
+       rows)
+
+let figure9_json (rows : Experiment.fused_row list) : Json.t =
+  let variant (v : Experiment.fused_variant) =
+    Json.Obj
+      [
+        ("speedup_pct", Json.Float v.speedup_pct);
+        ("metrics", json_of_metrics v.metrics);
+        ("d1", Json.Int v.d1);
+        ("d2", Json.Int v.d2);
+        ("reg_bound", Json.opt (fun r -> Json.Int r) v.reg_bound);
+      ]
+  in
+  Json.List
+    (List.map
+       (fun (r : Experiment.fused_row) ->
+         Json.Obj
+           [
+             ( "pair",
+               Json.Str
+                 (Printf.sprintf "%s+%s" (fst r.f_pair).Spec.name
+                    (snd r.f_pair).Spec.name) );
+             ("arch", Json.Str r.f_arch.Gpusim.Arch.name);
+             ("native_util", Json.Float r.native_util);
+             ("no_regcap", variant r.no_regcap);
+             ("regcap", Json.opt variant r.regcap);
+           ])
+       rows)

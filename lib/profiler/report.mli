@@ -6,3 +6,28 @@ val render_sweep : Buffer.t -> Experiment.sweep -> unit
 val figure7_to_string : Experiment.sweep list -> string
 val figure8_to_string : Experiment.kernel_row list -> string
 val figure9_to_string : Experiment.fused_row list -> string
+
+(** Minimal JSON emitter for the machine-readable bench artifacts
+    ([BENCH_figN.json]); floats are printed with the shortest
+    round-tripping decimal (non-finite values become [null]). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val opt : ('a -> t) -> 'a option -> t
+  val to_string : t -> string
+end
+
+val json_of_metrics : Gpusim.Metrics.t -> Json.t
+val json_of_engine_stats : Gpusim.Timing.engine_stats -> Json.t
+val json_of_search_stats : Runner.search_stats -> Json.t
+val json_of_cache : Profile_cache.t -> Json.t
+val figure7_json : Experiment.sweep list -> Json.t
+val figure8_json : Experiment.kernel_row list -> Json.t
+val figure9_json : Experiment.fused_row list -> Json.t

@@ -21,7 +21,25 @@
 open Gpusim
 open Kernel_corpus
 
-let trace_blocks = 1
+(* Traced blocks per profiling launch.  1 matches the paper's
+   methodology (one representative block, replayed cyclically over the
+   grid by the timing model); raising it trades profiling time for
+   sensitivity to inter-block variation.  [HFUSE_TRACE_BLOCKS] sets the
+   process default; `--trace-blocks` on the CLIs overrides per run. *)
+let default_trace_blocks =
+  match Sys.getenv_opt "HFUSE_TRACE_BLOCKS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> 1)
+  | None -> 1
+
+let trace_blocks_ref = ref default_trace_blocks
+let trace_blocks () = !trace_blocks_ref
+
+let set_trace_blocks n =
+  if n <= 0 then invalid_arg "Runner.set_trace_blocks: need n > 0";
+  trace_blocks_ref := n
 
 (** A corpus kernel bound to a workload instance in some memory. *)
 type configured = {
@@ -48,7 +66,7 @@ let configure (mem : Memory.t) (spec : Spec.t) ~(size : int) : configured =
     collides for distinct size pairs (e.g. (2, 1) and (1, 1_000_004))
     and silently returned a stale trace. *)
 type trace_key =
-  | K_solo of { kernel : string; size : int; block_dim : int }
+  | K_solo of { kernel : string; size : int; block_dim : int; tb : int }
   | K_hfuse of {
       k1 : string;
       size1 : int;
@@ -56,6 +74,7 @@ type trace_key =
       size2 : int;
       d1 : int;
       d2 : int;
+      tb : int;
     }
   | K_vfuse of {
       k1 : string;
@@ -63,6 +82,7 @@ type trace_key =
       k2 : string;
       size2 : int;
       block : int;
+      tb : int;
     }
 
 (* The cache is per-process and unbounded; a full figure-7 sweep fits
@@ -88,11 +108,12 @@ let traces_of (c : configured) ?(block_dim : int option) () :
     | None -> Hfuse_core.Kernel_info.threads_per_block c.info
     | Some d -> d
   in
-  traced (K_solo { kernel = c.spec.name; size = c.size; block_dim = d })
+  let tb = trace_blocks () in
+  traced (K_solo { kernel = c.spec.name; size = c.size; block_dim = d; tb })
     (fun () ->
       let info = Hfuse_core.Kernel_info.with_block_dim c.info d in
-      (Launch.launch_info ~exec_blocks:trace_blocks c.mem info
-         ~args:c.inst.args ~trace_blocks)
+      (Launch.launch_info ~exec_blocks:tb c.mem info ~args:c.inst.args
+         ~trace_blocks:tb)
         .block_traces)
 
 (* ------------------------------------------------------------------ *)
@@ -138,6 +159,7 @@ let solo (arch : Arch.t) (c : configured) : Timing.report =
     domain only. *)
 let hfuse_traces (c1 : configured) (c2 : configured)
     (f : Hfuse_core.Hfuse.t) : Trace.block array =
+  let tb = trace_blocks () in
   traced
     (K_hfuse
        {
@@ -147,12 +169,13 @@ let hfuse_traces (c1 : configured) (c2 : configured)
          size2 = c2.size;
          d1 = f.d1;
          d2 = f.d2;
+         tb;
        })
     (fun () ->
-      (Launch.launch_info ~exec_blocks:trace_blocks c1.mem
+      (Launch.launch_info ~exec_blocks:tb c1.mem
          (Hfuse_core.Hfuse.info f)
          ~args:(c1.inst.args @ c2.inst.args)
-         ~trace_blocks)
+         ~trace_blocks:tb)
         .block_traces)
 
 (** Launch spec for a fused candidate over already-recorded traces.
@@ -201,9 +224,13 @@ let vfuse_generate (c1 : configured) (c2 : configured) : Hfuse_core.Vfuse.t =
   in
   Hfuse_core.Vfuse.generate (adapt c1) (adapt c2)
 
-let vfuse_report (arch : Arch.t) (c1 : configured) (c2 : configured)
-    (v : Hfuse_core.Vfuse.t) : Timing.report =
+(** Launch spec for the vertical baseline (interprets the fused kernel
+    in profiling mode on first use; cached).  Mutates memory — build on
+    the coordinating domain; the spec itself is pure. *)
+let vfuse_spec (c1 : configured) (c2 : configured) (v : Hfuse_core.Vfuse.t) :
+    Timing.launch_spec =
   let vinfo = Hfuse_core.Vfuse.info v in
+  let tb = trace_blocks () in
   let traces =
     traced
       (K_vfuse
@@ -213,26 +240,28 @@ let vfuse_report (arch : Arch.t) (c1 : configured) (c2 : configured)
            k2 = c2.spec.name;
            size2 = c2.size;
            block = v.block;
+           tb;
          })
       (fun () ->
-        (Launch.launch_info ~exec_blocks:trace_blocks c1.mem vinfo
+        (Launch.launch_info ~exec_blocks:tb c1.mem vinfo
            ~args:(c1.inst.args @ c2.inst.args)
-           ~trace_blocks)
+           ~trace_blocks:tb)
           .block_traces)
   in
-  Timing.run arch
-    [
-      {
-        Timing.label = v.fn.f_name;
-        block_traces = traces;
-        grid = v.grid;
-        threads_per_block = v.block;
-        regs = v.regs;
-        spill = 0;
-        smem = static_smem vinfo + v.smem_dynamic;
-        stream = 0;
-      };
-    ]
+  {
+    Timing.label = v.fn.f_name;
+    block_traces = traces;
+    grid = v.grid;
+    threads_per_block = v.block;
+    regs = v.regs;
+    spill = 0;
+    smem = static_smem vinfo + v.smem_dynamic;
+    stream = 0;
+  }
+
+let vfuse_report (arch : Arch.t) (c1 : configured) (c2 : configured)
+    (v : Hfuse_core.Vfuse.t) : Timing.report =
+  Timing.run arch [ vfuse_spec c1 c2 v ]
 
 (* ------------------------------------------------------------------ *)
 (* The Fig. 6 search, driven by the simulator                           *)
@@ -284,10 +313,71 @@ let candidate_key (arch : Arch.t) (c1 : configured) (c2 : configured)
     ~source:(Hfuse_core.Hfuse.to_source f)
     ~d1:f.d1 ~d2:f.d2 ~grid:f.grid ~smem_dynamic:f.smem_dynamic ~regs:f.regs
     ~reg_bound ~k1:c1.spec.name ~size1:c1.size ~k2:c2.spec.name
-    ~size2:c2.size ~trace_blocks
+    ~size2:c2.size ~trace_blocks:(trace_blocks ())
 
-let search ?(jobs = 1) ?(cache = Profile_cache.from_env ()) (arch : Arch.t)
-    (c1 : configured) (c2 : configured) : Hfuse_core.Search.result =
+(* Fan pure [Timing.run] replays over a pool: one (arch, spec list) per
+   report.  [Pool.map] preserves order, so results are bit-identical to
+   a serial loop for any pool width.  A caller-supplied [?pool] is
+   reused (figure sweeps time hundreds of spec lists; spawning domains
+   per call would dominate); otherwise a fresh pool of [jobs] workers
+   is scoped to this call.
+
+   With an enabled [cache], each entry is first looked up in the
+   persistent report cache (content-keyed over the specs and their
+   packed traces, so any input change misses); only the misses reach
+   the pool, and their reports are stored afterwards.  Cache hits are
+   bit-identical to replays — entries hold every report field exactly —
+   and each hit folds the producing replay's engine stats into the
+   process-wide counters so cumulative stats still describe the work
+   behind the reported numbers.  Cache I/O stays on the calling
+   domain. *)
+let run_many ?pool ?(jobs = 1) ?(cache = Profile_cache.disabled ())
+    (runs : (Arch.t * Timing.launch_spec list) array) : Timing.report array =
+  let n = Array.length runs in
+  let use_cache = Profile_cache.enabled cache in
+  let keys = Array.make n "" in
+  let results : Timing.report option array = Array.make n None in
+  if use_cache then
+    Array.iteri
+      (fun i (arch, specs) ->
+        let key =
+          Profile_cache.report_key ~arch:arch.Arch.name ~policy:"fifo" specs
+        in
+        keys.(i) <- key;
+        match Profile_cache.find_report cache ~key with
+        | Some (r, es) ->
+            Timing.accumulate_stats es;
+            results.(i) <- Some r
+        | None -> ())
+      runs;
+  let miss_idx =
+    List.filter (fun i -> Option.is_none results.(i)) (List.init n Fun.id)
+    |> Array.of_list
+  in
+  let missing = Array.map (fun i -> runs.(i)) miss_idx in
+  let go p =
+    Hfuse_parallel.Pool.map p
+      (fun (arch, specs) -> Timing.run_with_stats arch specs)
+      missing
+  in
+  let fresh =
+    if Array.length missing = 0 then [||]
+    else
+      match pool with
+      | Some p -> go p
+      | None -> Hfuse_parallel.Pool.with_pool jobs go
+  in
+  Array.iteri
+    (fun j i ->
+      let r, es = fresh.(j) in
+      results.(i) <- Some r;
+      if use_cache then Profile_cache.store_report cache ~key:keys.(i) (r, es))
+    miss_idx;
+  Array.map (function Some r -> r | None -> assert false) results
+
+let search ?(jobs = 1) ?pool ?(cache = Profile_cache.from_env ())
+    (arch : Arch.t) (c1 : configured) (c2 : configured) :
+    Hfuse_core.Search.result =
   let profile fused ~reg_bound =
     (hfuse_report arch c1 c2 fused ~reg_bound).Timing.time_ms
   in
@@ -332,11 +422,15 @@ let search ?(jobs = 1) ?(cache = Profile_cache.from_env ()) (arch : Arch.t)
       |> List.filter_map (fun (i, s) -> Option.map (fun s -> (i, s)) s)
       |> Array.of_list
     in
+    let time_misses p =
+      Hfuse_parallel.Pool.map p
+        (fun (_, spec) -> (Timing.run arch [ spec ]).Timing.time_ms)
+        miss_idx
+    in
     let miss_times =
-      Hfuse_parallel.Pool.with_pool jobs (fun pool ->
-          Hfuse_parallel.Pool.map pool
-            (fun (_, spec) -> (Timing.run arch [ spec ]).Timing.time_ms)
-            miss_idx)
+      match pool with
+      | Some p -> time_misses p
+      | None -> Hfuse_parallel.Pool.with_pool jobs time_misses
     in
     let times = Array.map (Option.value ~default:nan) cached in
     Array.iteri

@@ -14,8 +14,17 @@
     bit-identical to the serial path for any worker count and any cache
     temperature. *)
 
-(** Blocks whose traces are recorded per profiling launch. *)
-val trace_blocks : int
+(** Blocks whose traces are recorded per profiling launch.  Defaults to
+    1 (the paper's one-representative-block methodology) or the
+    [HFUSE_TRACE_BLOCKS] environment variable. *)
+val trace_blocks : unit -> int
+
+(** Set the traced-block count for subsequent profiling launches
+    ([--trace-blocks] on the CLIs).  The in-process trace cache and the
+    persistent {!Profile_cache} both key on it, so entries recorded at
+    other widths are never returned.
+    @raise Invalid_argument when [n <= 0]. *)
+val set_trace_blocks : int -> unit
 
 (** A corpus kernel bound to a workload instance in some memory. *)
 type configured = {
@@ -35,7 +44,7 @@ val configure :
     collide onto one entry (the old packed encoding could, returning a
     stale trace). *)
 type trace_key =
-  | K_solo of { kernel : string; size : int; block_dim : int }
+  | K_solo of { kernel : string; size : int; block_dim : int; tb : int }
   | K_hfuse of {
       k1 : string;
       size1 : int;
@@ -43,6 +52,7 @@ type trace_key =
       size2 : int;
       d1 : int;
       d2 : int;
+      tb : int;
     }
   | K_vfuse of {
       k1 : string;
@@ -50,6 +60,7 @@ type trace_key =
       k2 : string;
       size2 : int;
       block : int;
+      tb : int;
     }
 
 val clear_cache : unit -> unit
@@ -95,6 +106,11 @@ val vfuse_block_dim : configured -> configured -> int
     @raise Hfuse_core.Fuse_common.Fusion_error when illegal. *)
 val vfuse_generate : configured -> configured -> Hfuse_core.Vfuse.t
 
+(** Launch spec for the vertical baseline over cached traces (records
+    them on first use — coordinating domain only; the spec is pure). *)
+val vfuse_spec :
+  configured -> configured -> Hfuse_core.Vfuse.t -> Gpusim.Timing.launch_spec
+
 val vfuse_report :
   Gpusim.Arch.t -> configured -> configured -> Hfuse_core.Vfuse.t ->
   Gpusim.Timing.report
@@ -116,18 +132,38 @@ val search_stats : unit -> search_stats
 val reset_search_stats : unit -> unit
 val pp_search_stats : search_stats Fmt.t
 
+(** Fan pure [Timing.run] replays over worker domains: one
+    (arch, launch-spec list) per report, results in input order
+    (bit-identical to a serial loop for any width).  Pass [?pool] to
+    reuse a live pool across many calls (figure sweeps); otherwise a
+    fresh pool of [jobs] workers is scoped to the call.  Spec lists
+    must already hold their traces — building them traces kernels,
+    which stays on the calling domain.
+
+    An enabled [cache] serves entries from the persistent report cache
+    ({!Profile_cache.find_report}; keyed over the specs and their packed
+    traces) and only fans the misses out, storing their reports after.
+    Hits are bit-identical to replays, and each hit's recorded engine
+    stats are folded into {!Gpusim.Timing.cumulative_stats}. *)
+val run_many :
+  ?pool:Hfuse_parallel.Pool.t -> ?jobs:int -> ?cache:Profile_cache.t ->
+  (Gpusim.Arch.t * Gpusim.Timing.launch_spec list) array ->
+  Gpusim.Timing.report array
+
 (** The Fig. 6 search with the simulator as the profiling oracle.
 
     @param jobs  domain-pool width for the phase-2 timing fan-out
                  (default 1: everything on the calling domain).
+    @param pool  reuse a live pool instead of spawning [jobs] workers
+                 per profiling batch (takes precedence over [jobs]).
     @param cache persistent profiling cache (default
                  {!Profile_cache.from_env}, i.e. disabled unless the
                  [HFUSE_CACHE]/[HFUSE_CACHE_DIR] environment enables it).
     [best], [all] and [rejected] are bit-identical across any [jobs]
     and across cold/warm cache runs. *)
 val search :
-  ?jobs:int -> ?cache:Profile_cache.t -> Gpusim.Arch.t -> configured ->
-  configured -> Hfuse_core.Search.result
+  ?jobs:int -> ?pool:Hfuse_parallel.Pool.t -> ?cache:Profile_cache.t ->
+  Gpusim.Arch.t -> configured -> configured -> Hfuse_core.Search.result
 
 val naive_hfuse : configured -> configured -> Hfuse_core.Hfuse.t option
 

@@ -22,4 +22,5 @@ let () =
       ("kernels", Test_kernels.suite);
       ("equivalence", Test_equivalence.suite);
       ("differential", Test_diff.suite);
+      ("engine-diff", Test_engine_diff.suite);
     ]

@@ -161,6 +161,105 @@ let test_profile_cache_disabled () =
   Alcotest.check some_time "never finds" None (Profile_cache.find cache ~key);
   Alcotest.(check int) "never stores" 0 (Profile_cache.stores cache)
 
+(* -- Profile_cache: full-report entries --------------------------------- *)
+
+(* finite floats with no short decimal representation: the %h entry
+   format must reproduce every bit *)
+let mk_report () : Timing.report =
+  {
+    Timing.elapsed_cycles = 123456;
+    time_ms = 0.12345678901234567 /. 3.0;
+    issued_slots = 9876;
+    total_slots = 43210;
+    issue_slot_util = 100.0 /. 3.0;
+    mem_stall_slots = 11;
+    sync_stall_slots = 22;
+    other_stall_slots = 33;
+    idle_slots = 44;
+    mem_stall_pct = 2.0 /. 7.0;
+    occupancy = 1.0 /. 9.0;
+    kernels =
+      [
+        {
+          Timing.k_label = "k one";
+          k_elapsed_cycles = 5;
+          k_issued = 6;
+          k_blocks_per_sm = 7;
+        };
+        {
+          Timing.k_label = "k2";
+          k_elapsed_cycles = 8;
+          k_issued = 9;
+          k_blocks_per_sm = 10;
+        };
+      ];
+  }
+
+let mk_engine_stats () : Timing.engine_stats =
+  {
+    Timing.cycles_stepped = 1;
+    cycles_skipped = 2;
+    sm_steps = 3;
+    sm_steps_skipped = 4;
+    scan_skip_hits = 5;
+    warp_allocs = 6;
+    warp_reuses = 7;
+  }
+
+let test_report_cache_roundtrip () =
+  let cache = Profile_cache.create ~dir:(tmp_cache_dir "report") () in
+  clear_cache_dir cache;
+  let mem = Memory.create () in
+  let c = Runner.configure mem ta_tun ~size:3 in
+  let specs = [ Runner.spec_of c ~stream:0 () ] in
+  let key =
+    Profile_cache.report_key ~arch:arch.Arch.name ~policy:"fifo" specs
+  in
+  Alcotest.(check bool)
+    "cold miss" true
+    (Profile_cache.find_report cache ~key = None);
+  let entry = (mk_report (), mk_engine_stats ()) in
+  Profile_cache.store_report cache ~key entry;
+  Alcotest.(check bool)
+    "bit-exact round trip" true
+    (Profile_cache.find_report cache ~key = Some entry);
+  (* the packed trace contents participate in the key: a different
+     workload size re-traces and must map to a different entry *)
+  let c' = Runner.configure mem ta_tun ~size:17 in
+  let key' =
+    Profile_cache.report_key ~arch:arch.Arch.name ~policy:"fifo"
+      [ Runner.spec_of c' ~stream:0 () ]
+  in
+  Alcotest.(check bool) "trace contents keyed" true (key <> key');
+  (* a torn/garbage entry must read as a miss, not an exception *)
+  let oc = open_out (Filename.concat (Profile_cache.dir cache) key) in
+  output_string oc "garbage\n";
+  close_out oc;
+  Alcotest.(check bool)
+    "corrupt entry is a miss" true
+    (Profile_cache.find_report cache ~key = None)
+
+let test_run_many_report_cache () =
+  let cache = Profile_cache.create ~dir:(tmp_cache_dir "run_many") () in
+  clear_cache_dir cache;
+  let mem = Memory.create () in
+  let c1 = Runner.configure mem ta_tun ~size:3 in
+  let c2 = Runner.configure mem tb_tun ~size:5 in
+  let runs =
+    [|
+      (arch, [ Runner.spec_of c1 ~stream:0 () ]);
+      ( arch,
+        [ Runner.spec_of c1 ~stream:0 (); Runner.spec_of c2 ~stream:1 () ] );
+    |]
+  in
+  let uncached = Runner.run_many runs in
+  let cold = Runner.run_many ~cache runs in
+  Alcotest.(check int) "cold stores" 2 (Profile_cache.stores cache);
+  let warm = Runner.run_many ~cache runs in
+  Alcotest.(check int) "warm hits" 2 (Profile_cache.hits cache);
+  Alcotest.(check bool) "warm reports bit-identical" true (warm = cold);
+  Alcotest.(check bool) "cache never changes reports" true (uncached = cold)
+
 (* -- Runner.search: jobs / cache determinism ---------------------------- *)
 
 let search_tun ~jobs ~cache =
@@ -243,6 +342,10 @@ let suite =
       test_profile_cache_corrupt_entry;
     Alcotest.test_case "profile cache disabled" `Quick
       test_profile_cache_disabled;
+    Alcotest.test_case "report cache round trip" `Quick
+      test_report_cache_roundtrip;
+    Alcotest.test_case "run_many report cache" `Quick
+      test_run_many_report_cache;
     Alcotest.test_case "search determinism across -j" `Quick
       test_search_jobs_deterministic;
     Alcotest.test_case "warm cache reproduces cold run" `Quick
