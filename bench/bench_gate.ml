@@ -1,0 +1,126 @@
+(* Bench regression gate: compare a freshly produced fig9 JSON report
+   against a committed baseline and fail on any drift in the
+   *simulated* metrics.  Wall-clock-derived fields (wall_s, cache and
+   search counters, engine stats, jobs) vary run to run and are
+   excluded; everything the simulator computes deterministically —
+   per-row native utilisation, speedups, chosen (d1, d2, reg_bound)
+   partitions, and the five metric fields — must match exactly.
+
+   Usage: bench_gate BASELINE.json FRESH.json [--pairs A+B,C+D]
+   With --pairs, only the named pairs are compared (the CI smoke run
+   produces a single-pair report against the full committed baseline). *)
+
+module Json = Hfuse_profiler.Report.Json
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
+
+let read_json path =
+  let ic = try open_in_bin path with Sys_error e -> die "%s" e in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Json.of_string s with
+  | Ok v -> v
+  | Error e -> die "%s: %s" path e
+
+let member_exn path key j =
+  match Json.member key j with
+  | Some v -> v
+  | None -> die "%s: missing field %S" path key
+
+(* The gated (simulated, deterministic) leaves of one row. *)
+let metric_fields =
+  [ "time_ms"; "elapsed_cycles"; "issue_slot_util"; "mem_stall"; "occupancy" ]
+
+let config_fields = [ "speedup_pct"; "d1"; "d2"; "reg_bound" ]
+
+let leaf_to_string = function
+  | Json.Null -> "null"
+  | Json.Int i -> string_of_int i
+  | Json.Float f -> Printf.sprintf "%.17g" f
+  | Json.Str s -> s
+  | Json.Bool b -> string_of_bool b
+  | Json.List _ | Json.Obj _ -> "<structure>"
+
+(** Flatten one row to comparable (label, value) leaves. *)
+let row_leaves path (row : Json.t) : (string * string) list =
+  let leaf prefix obj field =
+    let v = member_exn path field obj in
+    (prefix ^ "." ^ field, leaf_to_string v)
+  in
+  let base = [ leaf "" row "native_util" ] in
+  let side name =
+    match Json.member name row with
+    | None -> die "%s: row missing %S" path name
+    | Some cfg ->
+        let cfg_leaves = List.map (leaf name cfg) config_fields in
+        let metrics = member_exn path "metrics" cfg in
+        let metric_leaves =
+          List.map (fun f -> leaf (name ^ ".metrics") metrics f) metric_fields
+        in
+        cfg_leaves @ metric_leaves
+  in
+  base @ side "no_regcap" @ side "regcap"
+
+let row_key path row =
+  let s k =
+    match member_exn path k row with
+    | Json.Str s -> s
+    | _ -> die "%s: row field %S is not a string" path k
+  in
+  (s "pair", s "arch")
+
+let rows_of path (j : Json.t) : ((string * string) * Json.t) list =
+  match member_exn path "rows" j with
+  | Json.List rows -> List.map (fun r -> (row_key path r, r)) rows
+  | _ -> die "%s: \"rows\" is not a list" path
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let baseline_path, fresh_path, pairs_filter =
+    match args with
+    | [ _; b; f ] -> (b, f, None)
+    | [ _; b; f; "--pairs"; ps ] ->
+        (b, f, Some (String.split_on_char ',' ps))
+    | _ ->
+        die "usage: %s BASELINE.json FRESH.json [--pairs A+B,C+D]"
+          Sys.executable_name
+  in
+  let baseline = rows_of baseline_path (read_json baseline_path) in
+  let fresh = rows_of fresh_path (read_json fresh_path) in
+  let wanted (pair, _arch) =
+    match pairs_filter with
+    | None -> true
+    | Some ps -> List.mem pair ps
+  in
+  let fresh = List.filter (fun (k, _) -> wanted k) fresh in
+  if fresh = [] then die "%s: no rows to compare" fresh_path;
+  let drift = ref 0 in
+  let compared = ref 0 in
+  List.iter
+    (fun ((pair, arch), fresh_row) ->
+      match List.assoc_opt (pair, arch) baseline with
+      | None ->
+          incr drift;
+          Printf.printf "DRIFT %s/%s: not in baseline\n" pair arch
+      | Some base_row ->
+          incr compared;
+          let b = row_leaves baseline_path base_row in
+          let f = row_leaves fresh_path fresh_row in
+          List.iter2
+            (fun (label, bv) (label', fv) ->
+              assert (label = label');
+              if bv <> fv then begin
+                incr drift;
+                Printf.printf "DRIFT %s/%s %s: baseline %s, fresh %s\n" pair
+                  arch label bv fv
+              end)
+            b f)
+    fresh;
+  if !drift > 0 then begin
+    Printf.printf "bench gate: %d drifting value(s) across %d row(s)\n" !drift
+      !compared;
+    exit 1
+  end;
+  Printf.printf
+    "bench gate: %d row(s) match the baseline (simulated metrics only)\n"
+    !compared

@@ -515,6 +515,86 @@ let ptx_cmd =
        ~doc:"Lower a kernel (optionally fused) to PTX-flavoured assembly.")
     Term.(const run $ path $ sm $ fuse_with $ d1 $ d2)
 
+(* -- fuzz --------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let run runs seed jobs out weights_spec max_kernels no_minimize inject =
+    let weights =
+      match
+        Hfuse_fuzz.Gen.weights_of_spec Hfuse_fuzz.Gen.default_weights
+          weights_spec
+      with
+      | Ok w -> w
+      | Error msg ->
+          Printf.eprintf "hfuse fuzz: %s\n" msg;
+          exit 2
+    in
+    let cfg =
+      {
+        Hfuse_fuzz.Driver.default_config with
+        runs;
+        seed;
+        jobs;
+        out_dir = out;
+        weights;
+        max_kernels;
+        minimize = not no_minimize;
+        inject =
+          (if inject then Some Hfuse_fuzz.Driver.inject_barrier_count
+           else None);
+      }
+    in
+    let report = Hfuse_fuzz.Driver.run cfg in
+    Fmt.pr "%a@." Hfuse_fuzz.Driver.pp_report report;
+    if report.failed > 0 then exit 1
+  in
+  let runs =
+    Arg.(value & opt int 100
+         & info [ "runs" ] ~docv:"N" ~doc:"Number of random cases.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"S" ~doc:"Campaign seed; fixes everything.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Write minimized repro files for failures to $(docv).")
+  in
+  let weights =
+    Arg.(value & opt string ""
+         & info [ "weights" ] ~docv:"K=V,..."
+             ~doc:
+               "Grammar weight overrides, e.g. $(b,sync=0,atomic=5). Keys: \
+                global_store local_assign shared_store atomic sync \
+                if_uniform if_divergent loop shuffle divergent_sync.")
+  in
+  let max_kernels =
+    Arg.(value & opt int 3
+         & info [ "max-kernels" ] ~docv:"K"
+             ~doc:"2 fuzzes pairs only; 3 (default) adds occasional triples.")
+  in
+  let no_minimize =
+    Arg.(value & flag
+         & info [ "no-minimize" ] ~doc:"Skip delta-debugging of failures.")
+  in
+  let inject =
+    Arg.(value & flag
+         & info [ "inject-barrier-bug" ]
+             ~doc:
+               "Deliberately corrupt fused barrier counts (oracle \
+                meta-test; every fusable case must fail).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate random kernels, run them unfused \
+          and fused on the simulator, and compare memory byte-for-byte. \
+          Exits non-zero if any case fails.")
+    Term.(
+      const run $ runs $ seed $ jobs_arg $ out $ weights $ max_kernels
+      $ no_minimize $ inject)
+
 (* -- main --------------------------------------------------------------- *)
 
 let () =
@@ -526,4 +606,5 @@ let () =
           [
             fuse_cmd; vfuse_cmd; check_cmd; info_cmd; corpus_cmd;
             simulate_cmd; search_cmd; analyze_cmd; pairs_cmd; ptx_cmd;
+            fuzz_cmd;
           ]))

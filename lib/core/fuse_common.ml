@@ -142,10 +142,10 @@ let geometry_prologue (pool : Rename.pool) ~(tag : string)
   let bdim_x = Rename.fresh pool ("bdim" ^ tag ^ "_x") in
   let stmts = ref [] in
   let emit s = stmts := s :: !stmts in
-  emit (Ast.decl ~init:(Ast.int_lit bx) bdim_x Ctype.Int);
+  emit (Ast.decl ~init:(Ast.int_lit ~ty:Ctype.UInt bx) bdim_x Ctype.UInt);
   (* 1-D kernels: tid_x is just the (re-based) linear id. *)
   if by = 1 && bz = 1 then begin
-    emit (Ast.decl ~init:lin tid_x Ctype.Int);
+    emit (Ast.decl ~init:lin tid_x Ctype.UInt);
     let m =
       Builtins.of_vars ~tid_x ~tid_y:tid_x ~tid_z:tid_x ~bdim_x
         ~bdim_y:bdim_x ~bdim_z:bdim_x
@@ -157,11 +157,11 @@ let geometry_prologue (pool : Rename.pool) ~(tag : string)
         Builtins.tid =
           (function
           | Ast.X -> m.Builtins.tid Ast.X
-          | Ast.Y | Ast.Z -> Ast.int_lit 0);
+          | Ast.Y | Ast.Z -> Ast.int_lit ~ty:Ctype.UInt 0);
         bdim =
           (function
           | Ast.X -> m.Builtins.bdim Ast.X
-          | Ast.Y | Ast.Z -> Ast.int_lit 1);
+          | Ast.Y | Ast.Z -> Ast.int_lit ~ty:Ctype.UInt 1);
       }
     in
     (List.rev !stmts, m')
@@ -171,12 +171,12 @@ let geometry_prologue (pool : Rename.pool) ~(tag : string)
     let tid_z = Rename.fresh pool ("tid" ^ tag ^ "_z") in
     let bdim_y = Rename.fresh pool ("bdim" ^ tag ^ "_y") in
     let bdim_z = Rename.fresh pool ("bdim" ^ tag ^ "_z") in
-    emit (Ast.decl ~init:(Ast.int_lit by) bdim_y Ctype.Int);
-    emit (Ast.decl ~init:(Ast.int_lit bz) bdim_z Ctype.Int);
+    emit (Ast.decl ~init:(Ast.int_lit ~ty:Ctype.UInt by) bdim_y Ctype.UInt);
+    emit (Ast.decl ~init:(Ast.int_lit ~ty:Ctype.UInt bz) bdim_z Ctype.UInt);
     (* x = lin % bx; y = lin / bx % by; z = lin / (bx*by) *)
     emit
       (Ast.decl ~init:(Ast.Binop (Ast.Mod, lin, Ast.Var bdim_x)) tid_x
-         Ctype.Int);
+         Ctype.UInt);
     emit
       (Ast.decl
          ~init:
@@ -184,13 +184,13 @@ let geometry_prologue (pool : Rename.pool) ~(tag : string)
               ( Ast.Mod,
                 Ast.Binop (Ast.Div, lin, Ast.Var bdim_x),
                 Ast.Var bdim_y ))
-         tid_y Ctype.Int);
+         tid_y Ctype.UInt);
     emit
       (Ast.decl
          ~init:
            (Ast.Binop
               (Ast.Div, lin, Ast.Binop (Ast.Mul, Ast.Var bdim_x, Ast.Var bdim_y)))
-         tid_z Ctype.Int);
+         tid_z Ctype.UInt);
     ( List.rev !stmts,
       Builtins.of_vars ~tid_x ~tid_y ~tid_z ~bdim_x ~bdim_y ~bdim_z )
   end

@@ -134,7 +134,10 @@ let generate ?(check = true) ?(limits = Occupancy.pascal_volta_limits)
        (Decl
           {
             d_name = global_tid;
-            d_type = Ctype.Int;
+            (* threadIdx/blockDim are unsigned; the substituted
+               geometry variables must be too, or the input kernel's
+               unsigned arithmetic turns signed after fusion *)
+            d_type = Ctype.UInt;
             d_storage = Local;
             d_init = Some Fuse_common.global_tid_init;
           })

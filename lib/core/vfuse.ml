@@ -124,7 +124,8 @@ let generate ?(check = true) ?(limits = Occupancy.pascal_volta_limits)
        (Decl
           {
             d_name = global_tid;
-            d_type = Ctype.Int;
+            (* unsigned, matching the builtins it stands in for *)
+            d_type = Ctype.UInt;
             d_storage = Local;
             d_init = Some Fuse_common.global_tid_init;
           })

@@ -303,9 +303,18 @@ and parse_binary st min_prec =
 
 and parse_unary st =
   match peek st with
-  | Token.MINUS ->
+  | Token.MINUS -> (
       ignore (next st);
-      Ast.Unop (Neg, parse_unary st)
+      (* fold negation of a literal so negative constants have one
+         canonical AST form: [-3.0f] parses as [Float_lit (-3.0)], the
+         same shape the pretty-printer emits it from.  Without the fold
+         printed negative literals reparse as [Unop (Neg, lit)] and the
+         round-trip property fails. *)
+      match parse_unary st with
+      | Ast.Int_lit (v, ty) when not (Int64.equal v Int64.min_int) ->
+          Ast.Int_lit (Int64.neg v, ty)
+      | Ast.Float_lit (v, ty) -> Ast.Float_lit (-.v, ty)
+      | e -> Ast.Unop (Neg, e))
   | Token.BANG ->
       ignore (next st);
       Ast.Unop (Lnot, parse_unary st)

@@ -94,6 +94,8 @@ and pp_expr_prec ppf ctx e =
       let leading_minus =
         match e with
         | Unop (Neg, _) | Incdec { pre = true; inc = false; _ } -> true
+        | Int_lit (v, _) -> Int64.compare v 0L < 0
+        | Float_lit (v, _) -> v < 0.0 || 1.0 /. v = neg_infinity
         | _ -> false
       in
       if leading_minus then Fmt.pf ppf "-(%a)" pp_expr e

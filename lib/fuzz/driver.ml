@@ -1,0 +1,166 @@
+open Cuda
+module Prng = Kernel_corpus.Prng
+module Pool = Hfuse_parallel.Pool
+
+type config = {
+  runs : int;
+  seed : int;
+  jobs : int;
+  out_dir : string option;
+  weights : Gen.weights;
+  max_kernels : int;
+  minimize : bool;
+  shrink_budget : int;
+  inject : (Ast.fn -> Ast.fn) option;
+}
+
+let default_config =
+  {
+    runs = 100;
+    seed = 42;
+    jobs = 1;
+    out_dir = None;
+    weights = Gen.default_weights;
+    max_kernels = 3;
+    minimize = true;
+    shrink_budget = 2000;
+    inject = None;
+  }
+
+type failure = {
+  fail_seed : int;
+  fail_index : int;
+  verdict : Oracle.verdict;
+  repro : Repro.t;
+  shrink_attempts : int;
+}
+
+type report = {
+  total : int;
+  equivalent : int;
+  rejected : int;
+  invalid : int;
+  failed : int;
+  failures : failure list;
+  repro_files : string list;
+}
+
+(* Independent per-case seeds: each run re-mixes (seed, index) through
+   its own SplitMix64 stream, so results do not depend on scheduling. *)
+let case_seed ~seed index =
+  let p = Prng.create ((seed * 1_000_003) + index) in
+  Int64.to_int (Int64.logand (Prng.next_u64 p) 0x3FFF_FFFF_FFFF_FFFFL)
+
+let inject_barrier_count (fn : Ast.fn) : Ast.fn =
+  let body =
+    Ast_util.map_stmts
+      (fun s ->
+        match s.Ast.s with
+        | Ast.Bar_sync (id, count) ->
+            [ { s with s = Ast.Bar_sync (id, count + 32) } ]
+        | _ -> [ s ])
+      fn.f_body
+  in
+  { fn with f_body = body }
+
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  o_index : int;
+  o_seed : int;
+  o_verdict : Oracle.verdict;
+  o_failure : (Repro.t * int) option;
+}
+
+let run_one (cfg : config) index : outcome =
+  let seed = case_seed ~seed:cfg.seed index in
+  let case =
+    Gen.generate_case ~weights:cfg.weights ~max_kernels:cfg.max_kernels ~seed ()
+  in
+  let verdict = Oracle.run ?inject:cfg.inject case in
+  let failure =
+    match verdict with
+    | Oracle.Failed _ ->
+        let tag = Oracle.verdict_tag verdict in
+        let minimized, attempts =
+          if cfg.minimize then
+            Shrink.minimize ~budget:cfg.shrink_budget
+              (fun cand ->
+                Oracle.verdict_tag (Oracle.run ?inject:cfg.inject cand) = tag)
+              case
+          else (case, 0)
+        in
+        let final_verdict = Oracle.run ?inject:cfg.inject minimized in
+        Some
+          ( Repro.of_case ~expect:(Oracle.verdict_tag final_verdict)
+              ~detail:(Oracle.verdict_to_string final_verdict)
+              minimized,
+            attempts )
+    | _ -> None
+  in
+  { o_index = index; o_seed = seed; o_verdict = verdict; o_failure = failure }
+
+let write_repros out_dir (failures : failure list) : string list =
+  if failures = [] then []
+  else begin
+    (if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755);
+    List.map
+      (fun f ->
+        let path =
+          Filename.concat out_dir (Printf.sprintf "repro_%d.cu" f.fail_seed)
+        in
+        let oc = open_out path in
+        output_string oc (Repro.to_string f.repro);
+        close_out oc;
+        path)
+      failures
+  end
+
+let run (cfg : config) : report =
+  let outcomes =
+    Pool.with_pool cfg.jobs (fun pool ->
+        Pool.map pool (run_one cfg) (Array.init cfg.runs Fun.id))
+  in
+  let count p = Array.fold_left (fun n o -> if p o.o_verdict then n + 1 else n) 0 outcomes in
+  let failures =
+    Array.to_list outcomes
+    |> List.filter_map (fun o ->
+           match o.o_failure with
+           | Some (repro, attempts) ->
+               Some
+                 {
+                   fail_seed = o.o_seed;
+                   fail_index = o.o_index;
+                   verdict = o.o_verdict;
+                   repro;
+                   shrink_attempts = attempts;
+                 }
+           | None -> None)
+  in
+  let repro_files =
+    match cfg.out_dir with
+    | Some dir -> write_repros dir failures
+    | None -> []
+  in
+  {
+    total = cfg.runs;
+    equivalent = count (fun v -> v = Oracle.Equivalent);
+    rejected = count (function Oracle.Rejected _ -> true | _ -> false);
+    invalid = count (function Oracle.Invalid_input _ -> true | _ -> false);
+    failed = count Oracle.is_failure;
+    failures;
+    repro_files;
+  }
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf
+    "@[<v>fuzz: %d runs — %d equivalent, %d rejected, %d invalid, %d FAILED@]"
+    r.total r.equivalent r.rejected r.invalid r.failed;
+  List.iter
+    (fun f ->
+      Fmt.pf ppf "@.  run %d (seed %d): %s (%d-line repro, %d shrink attempts)"
+        f.fail_index f.fail_seed
+        (Oracle.verdict_to_string f.verdict)
+        (Repro.line_count f.repro) f.shrink_attempts)
+    r.failures;
+  List.iter (fun p -> Fmt.pf ppf "@.  wrote %s" p) r.repro_files

@@ -1,0 +1,53 @@
+(** The fuzzing campaign driver: fan independent seeds over
+    {!Hfuse_parallel.Pool}, minimize every failure, and report.
+
+    Results are bit-identical for a fixed [seed] at any [jobs]: each
+    case derives from its own mixed seed, [Pool.map] preserves input
+    order, and repro files are written from the calling domain after
+    the fan-out completes. *)
+
+type config = {
+  runs : int;
+  seed : int;
+  jobs : int;
+  out_dir : string option;  (** where minimized repros land, if set *)
+  weights : Gen.weights;
+  max_kernels : int;  (** 2 = pairs only; 3 enables occasional triples *)
+  minimize : bool;  (** shrink failures (on by default; tests may skip) *)
+  shrink_budget : int;
+  inject : (Cuda.Ast.fn -> Cuda.Ast.fn) option;
+      (** fault injection on the fused kernel, for oracle meta-tests *)
+}
+
+val default_config : config
+
+type failure = {
+  fail_seed : int;  (** the mixed per-case seed *)
+  fail_index : int;  (** run index within the campaign *)
+  verdict : Oracle.verdict;
+  repro : Repro.t;  (** minimized (when [minimize]) repro *)
+  shrink_attempts : int;
+}
+
+type report = {
+  total : int;
+  equivalent : int;
+  rejected : int;
+  invalid : int;
+  failed : int;
+  failures : failure list;  (** in run order *)
+  repro_files : string list;  (** paths written under [out_dir] *)
+}
+
+(** The per-case seed for run [index] of a campaign — exposed so tests
+    can replay a single run. *)
+val case_seed : seed:int -> int -> int
+
+(** Bump every [bar.sync] thread count by one warp — a guaranteed
+    fused-side deadlock the oracle must catch.  The canonical [inject]
+    for meta-testing. *)
+val inject_barrier_count : Cuda.Ast.fn -> Cuda.Ast.fn
+
+val run : config -> report
+
+val pp_report : report Fmt.t

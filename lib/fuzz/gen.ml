@@ -1,0 +1,714 @@
+(* Seeded random kernel generation for the differential fuzzer.
+
+   Design constraints, in order of importance:
+   1. determinism — everything flows from one SplitMix64 stream;
+   2. validity — generated kernels typecheck, terminate (constant trip
+      counts), stay in bounds (indices are masked with [& (count-1)]
+      against power-of-two buffer sizes), and place barriers only at
+      block-uniform points, so the *unfused* reference run is always
+      well-defined;
+   3. coverage — the statement grammar spans the constructs the fusion
+      pipeline rewrites: __syncthreads, shared (static and extern)
+      arrays, atomics, shuffles, divergent branches, bounded loops,
+      multi-dimensional thread geometry, and blockDim/blockIdx/gridDim
+      uses that stress the geometry prologue. *)
+
+open Cuda
+module Prng = Kernel_corpus.Prng
+
+type weights = {
+  w_global_store : int;
+  w_local_assign : int;
+  w_shared_store : int;
+  w_atomic : int;
+  w_sync : int;
+  w_if_uniform : int;
+  w_if_divergent : int;
+  w_loop : int;
+  w_shuffle : int;
+  w_divergent_sync : int;
+}
+
+let default_weights =
+  {
+    w_global_store = 6;
+    w_local_assign = 4;
+    w_shared_store = 3;
+    w_atomic = 2;
+    w_sync = 2;
+    w_if_uniform = 2;
+    w_if_divergent = 3;
+    w_loop = 3;
+    w_shuffle = 1;
+    w_divergent_sync = 0;
+  }
+
+let weights_of_spec (base : weights) (spec : string) :
+    (weights, string) result =
+  let apply w (kv : string) =
+    match String.split_on_char '=' kv with
+    | [ k; v ] -> (
+        match (String.trim k, int_of_string_opt (String.trim v)) with
+        | _, None -> Error (Fmt.str "weight %s: not an integer" kv)
+        | k, Some n when n < 0 ->
+            Error (Fmt.str "weight %s=%d: must be >= 0" k n)
+        | "global_store", Some n -> Ok { w with w_global_store = n }
+        | "local_assign", Some n -> Ok { w with w_local_assign = n }
+        | "shared_store", Some n -> Ok { w with w_shared_store = n }
+        | "atomic", Some n -> Ok { w with w_atomic = n }
+        | "sync", Some n -> Ok { w with w_sync = n }
+        | "if_uniform", Some n -> Ok { w with w_if_uniform = n }
+        | "if_divergent", Some n -> Ok { w with w_if_divergent = n }
+        | "loop", Some n -> Ok { w with w_loop = n }
+        | "shuffle", Some n -> Ok { w with w_shuffle = n }
+        | "divergent_sync", Some n -> Ok { w with w_divergent_sync = n }
+        | k, Some _ -> Error (Fmt.str "unknown weight %s" k))
+    | _ -> Error (Fmt.str "malformed weight %S (want key=value)" kv)
+  in
+  List.fold_left
+    (fun acc kv -> Result.bind acc (fun w -> apply w kv))
+    (Ok base)
+    (List.filter
+       (fun s -> String.trim s <> "")
+       (String.split_on_char ',' spec))
+
+type buffer = { b_name : string; b_elem : Ctype.t; b_count : int }
+
+type kernel = {
+  g_info : Hfuse_core.Kernel_info.t;
+  g_buffers : buffer list;
+  g_n : int;
+  g_fill_seed : int;
+}
+
+type case = { c_seed : int; c_kernels : kernel list }
+
+(* ------------------------------------------------------------------ *)
+(* Kernel record plumbing                                               *)
+(* ------------------------------------------------------------------ *)
+
+let buffers_of_params ~n (params : Ast.param list) : buffer list =
+  List.filter_map
+    (fun (p : Ast.param) ->
+      match p.p_type with
+      | Ctype.Ptr elem -> Some { b_name = p.p_name; b_elem = elem; b_count = n }
+      | _ -> None)
+    params
+
+let kernel_of_fn ~(prog : Ast.program) ~(fn : Ast.fn) ~block ~grid
+    ~smem_dynamic ~n ~fill_seed : kernel =
+  let info : Hfuse_core.Kernel_info.t =
+    {
+      fn;
+      prog;
+      block;
+      grid;
+      smem_dynamic;
+      regs = Gpusim.Resource_model.estimate_fn fn;
+      tunability = Hfuse_core.Kernel_info.Fixed;
+    }
+  in
+  {
+    g_info = info;
+    g_buffers = buffers_of_params ~n fn.f_params;
+    g_n = n;
+    g_fill_seed = fill_seed;
+  }
+
+let rebuild (k : kernel) (fn : Ast.fn) : kernel =
+  let prog = { k.g_info.prog with Ast.functions = [ fn ] } in
+  {
+    k with
+    g_info = { k.g_info with fn; prog };
+    g_buffers = buffers_of_params ~n:k.g_n fn.f_params;
+  }
+
+let with_body (k : kernel) (body : Ast.stmt list) : kernel =
+  rebuild k { k.g_info.fn with f_body = body }
+
+let with_params (k : kernel) (params : Ast.param list) : kernel =
+  rebuild k { k.g_info.fn with f_params = params }
+
+let kernel_source (k : kernel) : string =
+  Pretty.program_to_string k.g_info.prog
+
+let case_source (c : case) : string =
+  String.concat "\n\n" (List.map kernel_source c.c_kernels)
+
+(* ------------------------------------------------------------------ *)
+(* Generation state                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type gctx = {
+  prng : Prng.t;
+  w : weights;
+  bufs : buffer list;  (** global buffers *)
+  shared : buffer list;  (** static and extern shared arrays *)
+  multidim : bool;  (** block.y > 1: threadIdx.y is meaningful *)
+  allow_griddim : bool;
+  mutable ints : string list;  (** assignable integer locals *)
+  mutable floats : string list;  (** assignable float locals *)
+  mutable loop_vars : string list;  (** read-only loop counters *)
+  mutable fresh : int;
+}
+
+let pick ctx l = List.nth l (Prng.next_int ctx.prng ~bound:(List.length l))
+let chance ctx pct = Prng.next_int ctx.prng ~bound:100 < pct
+let fresh ctx prefix =
+  let n = ctx.fresh in
+  ctx.fresh <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+(** Weighted choice over (weight, thunk) productions; zero weights drop
+    out.  The caller guarantees at least one positive weight. *)
+let weighted ctx (choices : (int * (unit -> 'a)) list) : 'a =
+  let choices = List.filter (fun (w, _) -> w > 0) choices in
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 choices in
+  let r = Prng.next_int ctx.prng ~bound:total in
+  let rec go r = function
+    | [ (_, f) ] -> f ()
+    | (w, f) :: rest -> if r < w then f () else go (r - w) rest
+    | [] -> assert false
+  in
+  go r choices
+
+let ilit n = Ast.Int_lit (Int64.of_int n, Ctype.Int)
+let open_mask = Ast.Int_lit (0xffffffffL, Ctype.UInt)
+
+(* float literals are multiples of 0.25: exactly representable in both
+   binary32 and binary64, and printed/reparsed without rounding drama *)
+let float_lit ctx =
+  let n = Prng.next_int ctx.prng ~bound:33 - 16 in
+  Ast.Float_lit (float_of_int n /. 4.0, Ctype.Float)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_float_buffer b = Ctype.is_float b.b_elem
+let is_int_buffer b = Ctype.is_integer b.b_elem
+
+let tid_atom ctx : Ast.expr =
+  if ctx.multidim && chance ctx 40 then Ast.Builtin (Ast.Thread_idx Ast.Y)
+  else Ast.Builtin (Ast.Thread_idx Ast.X)
+
+let uniform_int_atom ctx : Ast.expr =
+  weighted ctx
+    [
+      (3, fun () -> ilit (Prng.next_int ctx.prng ~bound:10));
+      (2, fun () -> Ast.Builtin (Ast.Block_idx Ast.X));
+      (2, fun () -> Ast.Builtin (Ast.Block_dim Ast.X));
+      (1, fun () -> Ast.Var "n");
+      ( (if ctx.allow_griddim then 1 else 0),
+        fun () -> Ast.Builtin (Ast.Grid_dim Ast.X) );
+      ( (if ctx.multidim then 1 else 0),
+        fun () -> Ast.Builtin (Ast.Block_dim Ast.Y) );
+    ]
+
+let int_atom ctx : Ast.expr =
+  weighted ctx
+    [
+      (3, fun () -> uniform_int_atom ctx);
+      (3, fun () -> tid_atom ctx);
+      ( (if ctx.ints = [] then 0 else 3),
+        fun () -> Ast.Var (pick ctx ctx.ints) );
+      ( (if ctx.loop_vars = [] then 0 else 2),
+        fun () -> Ast.Var (pick ctx ctx.loop_vars) );
+    ]
+
+let rec gen_int ctx depth : Ast.expr =
+  if depth <= 0 then int_atom ctx
+  else
+    weighted ctx
+      [
+        (4, fun () -> int_atom ctx);
+        ( 5,
+          fun () ->
+            let op = pick ctx [ Ast.Add; Ast.Sub; Ast.Mul ] in
+            Ast.Binop (op, gen_int ctx (depth - 1), gen_int ctx (depth - 1)) );
+        ( 3,
+          fun () ->
+            let op = pick ctx [ Ast.Band; Ast.Bor; Ast.Bxor ] in
+            Ast.Binop (op, gen_int ctx (depth - 1), gen_int ctx (depth - 1)) );
+        ( 1,
+          fun () ->
+            let op = pick ctx [ Ast.Shl; Ast.Shr ] in
+            Ast.Binop
+              (op, gen_int ctx (depth - 1),
+               ilit (1 + Prng.next_int ctx.prng ~bound:6)) );
+        ( 2,
+          fun () ->
+            (* strictly positive constant divisor: no div-by-zero, no
+               INT_MIN / -1 overflow *)
+            let op = pick ctx [ Ast.Div; Ast.Mod ] in
+            Ast.Binop
+              (op, gen_int ctx (depth - 1),
+               ilit (1 + Prng.next_int ctx.prng ~bound:7)) );
+        ( 1,
+          fun () ->
+            let f = pick ctx [ "min"; "max" ] in
+            Ast.Call (f, [ gen_int ctx (depth - 1); gen_int ctx (depth - 1) ]) );
+        ( 1,
+          fun () ->
+            Ast.Ternary
+              (gen_cond ctx (depth - 1), gen_int ctx (depth - 1),
+               gen_int ctx (depth - 1)) );
+        ( (if List.exists is_int_buffer ctx.bufs then 2 else 0),
+          fun () ->
+            let b = pick ctx (List.filter is_int_buffer ctx.bufs) in
+            Ast.Index (Ast.Var b.b_name, gen_index ctx b (depth - 1)) );
+        ( (if List.exists is_int_buffer ctx.shared then 1 else 0),
+          fun () ->
+            let b = pick ctx (List.filter is_int_buffer ctx.shared) in
+            Ast.Index (Ast.Var b.b_name, gen_index ctx b (depth - 1)) );
+        (1, fun () -> Ast.Cast (Ctype.Int, gen_float ctx (depth - 1)));
+      ]
+
+(** In-bounds index into [b]: arbitrary integer expression masked with
+    the power-of-two size.  Bitwise AND of any int32 with [count-1]
+    lands in [0, count). *)
+and gen_index ctx (b : buffer) depth : Ast.expr =
+  Ast.Binop (Ast.Band, gen_int ctx (max 0 depth), ilit (b.b_count - 1))
+
+(** Like {!gen_index} but guaranteed thread-dependent — shared-array
+    stores use it so every thread owns its own slot family and the
+    verifier's uniform-write race check stays quiet. *)
+and gen_tid_index ctx (b : buffer) depth : Ast.expr =
+  Ast.Binop
+    ( Ast.Band,
+      Ast.Binop
+        ( Ast.Add,
+          Ast.Builtin (Ast.Thread_idx Ast.X),
+          gen_int ctx (max 0 depth) ),
+      ilit (b.b_count - 1) )
+
+and gen_float ctx depth : Ast.expr =
+  let atom () =
+    weighted ctx
+      [
+        (3, fun () -> float_lit ctx);
+        ( (if ctx.floats = [] then 0 else 3),
+          fun () -> Ast.Var (pick ctx ctx.floats) );
+        ( (if List.exists is_float_buffer ctx.bufs then 2 else 0),
+          fun () ->
+            let b = pick ctx (List.filter is_float_buffer ctx.bufs) in
+            Ast.Index (Ast.Var b.b_name, gen_index ctx b (depth - 1)) );
+        ( (if List.exists is_float_buffer ctx.shared then 1 else 0),
+          fun () ->
+            let b = pick ctx (List.filter is_float_buffer ctx.shared) in
+            Ast.Index (Ast.Var b.b_name, gen_index ctx b (depth - 1)) );
+        (1, fun () -> Ast.Cast (Ctype.Float, gen_int ctx (max 0 (depth - 1))));
+      ]
+  in
+  if depth <= 0 then atom ()
+  else
+    weighted ctx
+      [
+        (4, fun () -> atom ());
+        ( 5,
+          fun () ->
+            let op = pick ctx [ Ast.Add; Ast.Sub; Ast.Mul ] in
+            Ast.Binop (op, gen_float ctx (depth - 1), gen_float ctx (depth - 1))
+        );
+        ( 1,
+          fun () ->
+            let f = pick ctx [ "fminf"; "fmaxf" ] in
+            Ast.Call
+              (f, [ gen_float ctx (depth - 1); gen_float ctx (depth - 1) ]) );
+        (1, fun () -> Ast.Call ("fabsf", [ gen_float ctx (depth - 1) ]));
+        ( 1,
+          fun () ->
+            Ast.Call ("sqrtf", [ Ast.Call ("fabsf", [ gen_float ctx (depth - 1) ]) ])
+        );
+        ( 1,
+          fun () ->
+            Ast.Ternary
+              (gen_cond ctx (depth - 1), gen_float ctx (depth - 1),
+               gen_float ctx (depth - 1)) );
+      ]
+
+and gen_cond ctx depth : Ast.expr =
+  let cmp = pick ctx [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Eq; Ast.Ne ] in
+  if chance ctx 75 then
+    Ast.Binop (cmp, gen_int ctx depth, gen_int ctx depth)
+  else Ast.Binop (cmp, gen_float ctx depth, gen_float ctx depth)
+
+(** A condition every thread of a block agrees on (blockIdx / sizes /
+    constants only) — barriers may sit underneath it. *)
+let gen_uniform_cond ctx : Ast.expr =
+  let cmp = pick ctx [ Ast.Lt; Ast.Gt; Ast.Eq; Ast.Ne ] in
+  let lhs =
+    weighted ctx
+      [
+        ( 3,
+          fun () ->
+            Ast.Binop
+              ( Ast.Mod,
+                Ast.Builtin (Ast.Block_idx Ast.X),
+                ilit (2 + Prng.next_int ctx.prng ~bound:2) ) );
+        (2, fun () -> Ast.Builtin (Ast.Block_idx Ast.X));
+        (1, fun () -> Ast.Var "n");
+        (1, fun () -> Ast.Builtin (Ast.Block_dim Ast.X));
+      ]
+  in
+  Ast.Binop (cmp, lhs, ilit (Prng.next_int ctx.prng ~bound:4))
+
+(** A condition guaranteed to involve the thread id (used where the
+    point is to diverge). *)
+let gen_divergent_cond ctx : Ast.expr =
+  let cmp = pick ctx [ Ast.Lt; Ast.Gt; Ast.Eq; Ast.Ne; Ast.Le; Ast.Ge ] in
+  Ast.Binop
+    ( cmp,
+      Ast.Binop
+        ( Ast.Band,
+          Ast.Binop (Ast.Add, tid_atom ctx, gen_int ctx 1),
+          ilit 15 ),
+      ilit (Prng.next_int ctx.prng ~bound:12) )
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let value_for ctx (elem : Ctype.t) depth : Ast.expr =
+  if Ctype.is_float elem then gen_float ctx depth else gen_int ctx depth
+
+(** [sync_ok] — a barrier emitted here is reached by every thread of
+    the block (we are not under a divergent branch).  Loops with
+    constant trip counts preserve it. *)
+let rec gen_stmt ctx ~sync_ok ~depth : Ast.stmt list =
+  let w = ctx.w in
+  let store_global () =
+    let b = pick ctx ctx.bufs in
+    let lhs = Ast.Index (Ast.Var b.b_name, gen_index ctx b 2) in
+    let rhs = value_for ctx b.b_elem 2 in
+    let e =
+      if chance ctx 65 then Ast.Assign (lhs, rhs)
+      else
+        let ops =
+          if Ctype.is_float b.b_elem then [ Ast.Add; Ast.Sub; Ast.Mul ]
+          else [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Bxor; Ast.Bor; Ast.Band ]
+        in
+        Ast.Op_assign (pick ctx ops, lhs, rhs)
+    in
+    [ Ast.mk_stmt (Ast.Expr e) ]
+  in
+  let assign_local () =
+    if ctx.ints = [] && ctx.floats = [] then store_global ()
+    else
+      let use_int =
+        ctx.floats = [] || (ctx.ints <> [] && chance ctx 50)
+      in
+      let e =
+        if use_int then
+          Ast.Assign (Ast.Var (pick ctx ctx.ints), gen_int ctx 2)
+        else Ast.Assign (Ast.Var (pick ctx ctx.floats), gen_float ctx 2)
+      in
+      [ Ast.mk_stmt (Ast.Expr e) ]
+  in
+  let store_shared () =
+    match ctx.shared with
+    | [] -> store_global ()
+    | _ ->
+        let b = pick ctx ctx.shared in
+        let lhs = Ast.Index (Ast.Var b.b_name, gen_tid_index ctx b 1) in
+        let rhs = value_for ctx b.b_elem 2 in
+        let e =
+          if chance ctx 70 then Ast.Assign (lhs, rhs)
+          else Ast.Op_assign (Ast.Add, lhs, rhs)
+        in
+        [ Ast.mk_stmt (Ast.Expr e) ]
+  in
+  let atomic () =
+    let targets = ctx.bufs @ List.filter (fun b -> b.b_count > 0) ctx.shared in
+    let b = pick ctx targets in
+    let addr = Ast.Addr_of (Ast.Index (Ast.Var b.b_name, gen_index ctx b 1)) in
+    let f =
+      if Ctype.is_float b.b_elem then "atomicAdd"
+      else pick ctx [ "atomicAdd"; "atomicMax"; "atomicMin" ]
+    in
+    [ Ast.mk_stmt (Ast.Expr (Ast.Call (f, [ addr; value_for ctx b.b_elem 1 ]))) ]
+  in
+  let sync () = [ Ast.mk_stmt Ast.Sync ] in
+  let divergent_sync () =
+    [
+      Ast.mk_stmt
+        (Ast.If (gen_divergent_cond ctx, [ Ast.mk_stmt Ast.Sync ], []));
+    ]
+  in
+  let if_uniform () =
+    let then_ = gen_body ctx ~sync_ok ~depth:(depth - 1) ~stmts:2 in
+    let else_ =
+      if chance ctx 40 then gen_body ctx ~sync_ok ~depth:(depth - 1) ~stmts:1
+      else []
+    in
+    [ Ast.mk_stmt (Ast.If (gen_uniform_cond ctx, then_, else_)) ]
+  in
+  let if_divergent () =
+    let then_ = gen_body ctx ~sync_ok:false ~depth:(depth - 1) ~stmts:2 in
+    let else_ =
+      if chance ctx 40 then
+        gen_body ctx ~sync_ok:false ~depth:(depth - 1) ~stmts:1
+      else []
+    in
+    [ Ast.mk_stmt (Ast.If (gen_divergent_cond ctx, then_, else_)) ]
+  in
+  let loop () =
+    let trip = 1 + Prng.next_int ctx.prng ~bound:4 in
+    match Prng.next_int ctx.prng ~bound:3 with
+    | 0 ->
+        (* for (int i = 0; i < trip; i++) { ... } *)
+        let i = fresh ctx "i" in
+        ctx.loop_vars <- i :: ctx.loop_vars;
+        let body = gen_body ctx ~sync_ok ~depth:(depth - 1) ~stmts:2 in
+        ctx.loop_vars <- List.filter (fun v -> v <> i) ctx.loop_vars;
+        [
+          Ast.mk_stmt
+            (Ast.For
+               ( Some
+                   (Ast.For_decl
+                      [
+                        {
+                          d_name = i;
+                          d_type = Ctype.Int;
+                          d_storage = Ast.Local;
+                          d_init = Some (ilit 0);
+                        };
+                      ]),
+                 Some (Ast.Binop (Ast.Lt, Ast.Var i, ilit trip)),
+                 Some (Ast.Incdec { pre = false; inc = true; lval = Ast.Var i }),
+                 body ));
+        ]
+    | 1 ->
+        (* int w = trip; while (w > 0) { ...; w = w - 1; } *)
+        let v = fresh ctx "w" in
+        ctx.loop_vars <- v :: ctx.loop_vars;
+        let body = gen_body ctx ~sync_ok ~depth:(depth - 1) ~stmts:2 in
+        ctx.loop_vars <- List.filter (fun x -> x <> v) ctx.loop_vars;
+        let dec =
+          Ast.mk_stmt
+            (Ast.Expr
+               (Ast.Assign (Ast.Var v, Ast.Binop (Ast.Sub, Ast.Var v, ilit 1))))
+        in
+        [
+          Ast.decl ~init:(ilit trip) v Ctype.Int;
+          Ast.mk_stmt
+            (Ast.While (Ast.Binop (Ast.Gt, Ast.Var v, ilit 0), body @ [ dec ]));
+        ]
+    | _ ->
+        (* int w = trip; do { ...; w = w - 1; } while (w > 0); *)
+        let v = fresh ctx "d" in
+        ctx.loop_vars <- v :: ctx.loop_vars;
+        let body = gen_body ctx ~sync_ok ~depth:(depth - 1) ~stmts:2 in
+        ctx.loop_vars <- List.filter (fun x -> x <> v) ctx.loop_vars;
+        let dec =
+          Ast.mk_stmt
+            (Ast.Expr
+               (Ast.Assign (Ast.Var v, Ast.Binop (Ast.Sub, Ast.Var v, ilit 1))))
+        in
+        [
+          Ast.decl ~init:(ilit trip) v Ctype.Int;
+          Ast.mk_stmt
+            (Ast.Do_while
+               (body @ [ dec ], Ast.Binop (Ast.Gt, Ast.Var v, ilit 0)));
+        ]
+  in
+  let shuffle () =
+    if ctx.ints = [] && ctx.floats = [] then store_global ()
+    else
+      let use_int = ctx.floats = [] || (ctx.ints <> [] && chance ctx 50) in
+      let v = if use_int then pick ctx ctx.ints else pick ctx ctx.floats in
+      let f = pick ctx [ "__shfl_xor_sync"; "__shfl_down_sync" ] in
+      let lane = pick ctx [ 1; 2; 4; 8; 16 ] in
+      [
+        Ast.mk_stmt
+          (Ast.Expr
+             (Ast.Assign
+                (Ast.Var v, Ast.Call (f, [ open_mask; Ast.Var v; ilit lane ]))));
+      ]
+  in
+  weighted ctx
+    [
+      (w.w_global_store, store_global);
+      (w.w_local_assign, assign_local);
+      ((if ctx.shared = [] then 0 else w.w_shared_store), store_shared);
+      (w.w_atomic, atomic);
+      ((if sync_ok then w.w_sync else 0), sync);
+      ((if sync_ok then w.w_divergent_sync else 0), divergent_sync);
+      ((if depth > 0 then w.w_if_uniform else 0), if_uniform);
+      ((if depth > 0 then w.w_if_divergent else 0), if_divergent);
+      ((if depth > 0 then w.w_loop else 0), loop);
+      (w.w_shuffle, shuffle);
+    ]
+
+and gen_body ctx ~sync_ok ~depth ~stmts : Ast.stmt list =
+  List.concat
+    (List.init stmts (fun _ -> gen_stmt ctx ~sync_ok ~depth))
+
+(* ------------------------------------------------------------------ *)
+(* Whole kernels and cases                                              *)
+(* ------------------------------------------------------------------ *)
+
+let block_shapes = [ (32, 1, 1); (64, 1, 1); (96, 1, 1); (128, 1, 1);
+                     (32, 2, 1); (16, 4, 1) ]
+
+let elem_choices = [ Ctype.Float; Ctype.Int; Ctype.UInt ]
+
+let generate_kernel ?(weights = default_weights) ~(prng : Prng.t)
+    ~(name : string) ~(grid : int) ~(allow_griddim : bool) () : kernel =
+  let pickl l = List.nth l (Prng.next_int prng ~bound:(List.length l)) in
+  let block = pickl block_shapes in
+  let bx, by, _ = block in
+  let n = pickl [ 64; 128; 256 ] in
+  let nbufs = 1 + Prng.next_int prng ~bound:3 in
+  let bufs =
+    List.init nbufs (fun i ->
+        {
+          b_name = Printf.sprintf "%s_b%d" name i;
+          b_elem = pickl elem_choices;
+          b_count = n;
+        })
+  in
+  (* shared arrays: up to two static, at most one extern *)
+  let shared = ref [] in
+  if Prng.next_int prng ~bound:100 < 55 then
+    shared :=
+      {
+        b_name = Printf.sprintf "%s_sh0" name;
+        b_elem = pickl [ Ctype.Float; Ctype.Int ];
+        b_count = pickl [ 32; 64 ];
+      }
+      :: !shared;
+  if !shared <> [] && Prng.next_int prng ~bound:100 < 30 then
+    shared :=
+      {
+        b_name = Printf.sprintf "%s_sh1" name;
+        b_elem = pickl [ Ctype.Float; Ctype.Int ];
+        b_count = 32;
+      }
+      :: !shared;
+  let extern_shared =
+    if Prng.next_int prng ~bound:100 < 30 then
+      Some
+        {
+          b_name = Printf.sprintf "%s_dyn" name;
+          b_elem = pickl [ Ctype.Float; Ctype.Int ];
+          b_count = pickl [ 32; 64 ];
+        }
+    else None
+  in
+  let smem_dynamic =
+    match extern_shared with
+    | None -> 0
+    | Some b -> b.b_count * Ctype.sizeof b.b_elem
+  in
+  let ctx =
+    {
+      prng;
+      w = weights;
+      bufs;
+      shared = !shared @ Option.to_list extern_shared;
+      multidim = by > 1;
+      allow_griddim;
+      ints = [];
+      floats = [];
+      loop_vars = [];
+      fresh = 0;
+    }
+  in
+  (* declarations: shared arrays first, then seeded locals *)
+  let shared_decls =
+    List.map
+      (fun b ->
+        Ast.decl ~storage:Ast.Shared b.b_name
+          (Ctype.Array (b.b_elem, Some b.b_count)))
+      !shared
+    @ (match extern_shared with
+      | None -> []
+      | Some b ->
+          [
+            Ast.decl ~storage:Ast.Shared_extern b.b_name
+              (Ctype.Array (b.b_elem, None));
+          ])
+  in
+  let local_decls =
+    let n_ints = 1 + Prng.next_int prng ~bound:3 in
+    let n_floats = 1 + Prng.next_int prng ~bound:2 in
+    let ds = ref [] in
+    for _ = 1 to n_ints do
+      let v = fresh ctx "t" in
+      let d = Ast.decl ~init:(gen_int ctx 2) v Ctype.Int in
+      ctx.ints <- v :: ctx.ints;
+      ds := d :: !ds
+    done;
+    for _ = 1 to n_floats do
+      let v = fresh ctx "f" in
+      let d = Ast.decl ~init:(gen_float ctx 2) v Ctype.Float in
+      ctx.floats <- v :: ctx.floats;
+      ds := d :: !ds
+    done;
+    List.rev !ds
+  in
+  let stmts = 3 + Prng.next_int prng ~bound:5 in
+  let main = gen_body ctx ~sync_ok:true ~depth:2 ~stmts in
+  (* every kernel ends with an observable store so no case degenerates
+     into a no-op *)
+  let final_store =
+    let b = List.hd bufs in
+    let gidx =
+      Ast.Binop
+        ( Ast.Band,
+          Ast.Binop
+            ( Ast.Add,
+              Ast.Builtin (Ast.Thread_idx Ast.X),
+              Ast.Binop
+                ( Ast.Mul,
+                  Ast.Builtin (Ast.Block_idx Ast.X),
+                  Ast.Builtin (Ast.Block_dim Ast.X) ) ),
+          ilit (b.b_count - 1) )
+    in
+    let v = value_for ctx b.b_elem 2 in
+    [ Ast.mk_stmt (Ast.Expr (Ast.Op_assign (Ast.Add, Ast.Index (Ast.Var b.b_name, gidx), v))) ]
+  in
+  let body = shared_decls @ local_decls @ main @ final_store in
+  let params =
+    List.map
+      (fun b -> { Ast.p_name = b.b_name; p_type = Ctype.Ptr b.b_elem })
+      bufs
+    @ [ { Ast.p_name = "n"; p_type = Ctype.Int } ]
+  in
+  let fn =
+    {
+      Ast.f_name = name;
+      f_kind = Ast.Global;
+      f_params = params;
+      f_ret = Ctype.Void;
+      f_body = body;
+      f_launch_bounds = None;
+    }
+  in
+  ignore bx;
+  let prog = { Ast.defines = []; functions = [ fn ] } in
+  kernel_of_fn ~prog ~fn ~block ~grid ~smem_dynamic ~n
+    ~fill_seed:(Prng.next_int prng ~bound:1_000_000)
+
+let generate_case ?(weights = default_weights) ?(max_kernels = 2)
+    ~(seed : int) () : case =
+  let prng = Prng.create seed in
+  let nk =
+    if max_kernels >= 3 && Prng.next_int prng ~bound:100 < 25 then 3 else 2
+  in
+  let same_grid = Prng.next_int prng ~bound:100 < 60 in
+  let shared_grid = 1 + Prng.next_int prng ~bound:2 in
+  let grids =
+    List.init nk (fun _ ->
+        if same_grid then shared_grid else 1 + Prng.next_int prng ~bound:2)
+  in
+  let uniform = List.for_all (fun g -> g = List.hd grids) grids in
+  let kernels =
+    List.mapi
+      (fun i g ->
+        generate_kernel ~weights ~prng ~name:(Printf.sprintf "k%d" i) ~grid:g
+          ~allow_griddim:uniform ())
+      grids
+  in
+  { c_seed = seed; c_kernels = kernels }

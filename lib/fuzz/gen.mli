@@ -1,0 +1,89 @@
+(** Seeded random generation of well-typed kernels in the CUDA subset.
+
+    The generator produces kernels the whole pipeline can digest: every
+    loop has a bounded trip count, every array index is masked into
+    bounds, barriers only appear where all threads of a block reach them
+    (unless {!weights.w_divergent_sync} deliberately asks for invalid
+    input), and each kernel touches only its own global buffers so that
+    any two generated kernels are fusable without cross-kernel races.
+    Generation is fully deterministic for a fixed seed — the harness
+    never touches the global [Random]. *)
+
+(** Grammar weights (relative frequencies) for statement production.
+    A weight of 0 disables the production. *)
+type weights = {
+  w_global_store : int;  (** [buf\[idx\] = e] / [buf\[idx\] op= e] *)
+  w_local_assign : int;  (** [t = e] on a local scalar *)
+  w_shared_store : int;  (** store to a [__shared__] array *)
+  w_atomic : int;  (** [atomicAdd/Max/Min] on global or shared *)
+  w_sync : int;  (** [__syncthreads()] at a block-uniform point *)
+  w_if_uniform : int;  (** branch on block-uniform condition *)
+  w_if_divergent : int;  (** branch on thread-dependent condition *)
+  w_loop : int;  (** bounded [for] / [while] / [do]-[while] *)
+  w_shuffle : int;  (** [__shfl_*_sync] into a local *)
+  w_divergent_sync : int;
+      (** deliberately-invalid [__syncthreads()] under a
+          thread-dependent branch; 0 in the default weights — such
+          kernels deadlock even unfused *)
+}
+
+val default_weights : weights
+
+(** Parse ["sync=0,atomic=3"]-style overrides onto a base weight set.
+    Keys are the field names without the [w_] prefix. *)
+val weights_of_spec : weights -> string -> (weights, string) result
+
+(** One global buffer backing a pointer parameter. *)
+type buffer = { b_name : string; b_elem : Cuda.Ctype.t; b_count : int }
+
+(** A generated kernel plus everything needed to launch it. *)
+type kernel = {
+  g_info : Hfuse_core.Kernel_info.t;
+  g_buffers : buffer list;  (** pointer params, in parameter order *)
+  g_n : int;  (** value bound to the trailing [int n] parameter *)
+  g_fill_seed : int;  (** seed for deterministic buffer contents *)
+}
+
+type case = { c_seed : int; c_kernels : kernel list }
+
+(** Rebuild a kernel record around an externally-constructed function
+    (repro replay, shrinking).  Buffers are derived from the pointer
+    parameters; [n] doubles as every buffer's element count. *)
+val kernel_of_fn :
+  prog:Cuda.Ast.program ->
+  fn:Cuda.Ast.fn ->
+  block:int * int * int ->
+  grid:int ->
+  smem_dynamic:int ->
+  n:int ->
+  fill_seed:int ->
+  kernel
+
+(** Replace a kernel's body, keeping its launch configuration. *)
+val with_body : kernel -> Cuda.Ast.stmt list -> kernel
+
+(** Replace a kernel's parameter list (and buffers) — shrinking only;
+    the caller guarantees the body no longer references dropped
+    parameters. *)
+val with_params : kernel -> Cuda.Ast.param list -> kernel
+
+val kernel_source : kernel -> string
+
+(** Generate one kernel.  [allow_griddim] must only be set when every
+    kernel of the case shares the same grid (fusion keeps the original
+    [gridDim], so kernels reading it are only fusable at equal grids). *)
+val generate_kernel :
+  ?weights:weights ->
+  prng:Kernel_corpus.Prng.t ->
+  name:string ->
+  grid:int ->
+  allow_griddim:bool ->
+  unit ->
+  kernel
+
+(** Generate a whole differential-test case: 2 (or, with probability
+    1/4 when [max_kernels >= 3], 3) kernels with independent buffers. *)
+val generate_case :
+  ?weights:weights -> ?max_kernels:int -> seed:int -> unit -> case
+
+val case_source : case -> string

@@ -1,0 +1,48 @@
+(** The differential oracle: run a generated case unfused and fused and
+    compare final global memory byte-for-byte.
+
+    Verdict taxonomy matters more than the comparison itself:
+
+    - {!Equivalent} — the pair fused, the verifier accepted it, and both
+      executions agree.  The only "pass".
+    - {!Rejected} — the verifier (or the fusion front-end) refused the
+      pair.  Logged, never a failure: soundness only promises that
+      *accepted* fusions are equivalent.
+    - {!Invalid_input} — the generated input itself is broken (fails to
+      typecheck, or crashes/deadlocks in the *unfused* reference run).
+      A generator bug or a deliberately-invalid weight, not a pipeline
+      bug; shrinking treats these as uninteresting.
+    - {!Failed} — the pipeline broke its promise.  These are the bugs
+      the fuzzer exists to find. *)
+
+type failure =
+  | Roundtrip of { label : string; detail : string }
+      (** pretty-printed source did not reparse to an equal AST *)
+  | Generate_crash of string
+      (** [Hfuse.generate]/[Multi.generate] raised something other than
+          a rejection *)
+  | Fused_crash of string  (** fused run deadlocked or faulted *)
+  | Mismatch of { buffer : string; detail : string }
+      (** final memories differ *)
+
+type verdict =
+  | Equivalent
+  | Rejected of string
+  | Invalid_input of string
+  | Failed of failure
+
+val verdict_to_string : verdict -> string
+
+(** Stable one-word classification — what repro files record as their
+    expectation: ["equivalent"], ["rejected"], ["invalid"],
+    ["fail-roundtrip"], ["fail-generate"], ["fail-fused-crash"],
+    ["fail-mismatch"]. *)
+val verdict_tag : verdict -> string
+
+val is_failure : verdict -> bool
+
+(** Run the full differential check.  [inject] rewrites the fused
+    kernel between generation and execution — the hook the
+    injected-bug meta-test uses to prove the oracle catches barrier
+    miscounts. *)
+val run : ?inject:(Cuda.Ast.fn -> Cuda.Ast.fn) -> Gen.case -> verdict

@@ -1,0 +1,149 @@
+open Cuda
+
+type t = { case : Gen.case; expect : string; detail : string option }
+
+let of_case ~expect ?detail case = { case; expect; detail }
+
+let kernel_header (k : Gen.kernel) : string =
+  let bx, by, bz = k.g_info.block in
+  Printf.sprintf "// kernel %s: block=%dx%dx%d grid=%d n=%d fill=%d smem=%d"
+    k.g_info.fn.f_name bx by bz k.g_info.grid k.g_n k.g_fill_seed
+    k.g_info.smem_dynamic
+
+let to_string (t : t) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "// hfuse-fuzz repro\n";
+  Buffer.add_string b (Printf.sprintf "// seed: %d\n" t.case.c_seed);
+  Buffer.add_string b (Printf.sprintf "// expect: %s\n" t.expect);
+  (match t.detail with
+  | Some d ->
+      (* keep the header machine-parseable: one line per detail line *)
+      String.split_on_char '\n' d
+      |> List.iter (fun l -> Buffer.add_string b ("// detail: " ^ l ^ "\n"))
+  | None -> ());
+  List.iter
+    (fun k -> Buffer.add_string b (kernel_header k ^ "\n"))
+    t.case.c_kernels;
+  Buffer.add_string b (Gen.case_source t.case);
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let line_count (t : t) : int =
+  List.length (String.split_on_char '\n' (String.trim (to_string t)))
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type header = {
+  h_name : string;
+  h_block : int * int * int;
+  h_grid : int;
+  h_n : int;
+  h_fill : int;
+  h_smem : int;
+}
+
+let parse_kernel_header (line : string) : (header, string) result =
+  try
+    Scanf.sscanf line "// kernel %s@: block=%dx%dx%d grid=%d n=%d fill=%d smem=%d"
+      (fun name bx by bz grid n fill smem ->
+        Ok
+          {
+            h_name = name;
+            h_block = (bx, by, bz);
+            h_grid = grid;
+            h_n = n;
+            h_fill = fill;
+            h_smem = smem;
+          })
+  with Scanf.Scan_failure m -> Error ("bad kernel header: " ^ m)
+     | End_of_file -> Error ("truncated kernel header: " ^ line)
+
+let prefixed ~prefix line =
+  if String.length line >= String.length prefix
+     && String.sub line 0 (String.length prefix) = prefix
+  then Some (String.trim (String.sub line (String.length prefix)
+                            (String.length line - String.length prefix)))
+  else None
+
+let of_string (s : string) : (t, string) result =
+  let lines = String.split_on_char '\n' s in
+  let seed = ref None
+  and expect = ref None
+  and details = ref []
+  and headers = ref []
+  and src = Buffer.create 1024
+  and err = ref None in
+  List.iter
+    (fun line ->
+      if !err <> None then ()
+      else
+        match prefixed ~prefix:"// seed:" line with
+        | Some v -> seed := int_of_string_opt v
+        | None -> (
+            match prefixed ~prefix:"// expect:" line with
+            | Some v -> expect := Some v
+            | None -> (
+                match prefixed ~prefix:"// detail:" line with
+                | Some v -> details := v :: !details
+                | None -> (
+                    match prefixed ~prefix:"// kernel " line with
+                    | Some _ -> (
+                        match parse_kernel_header line with
+                        | Ok h -> headers := h :: !headers
+                        | Error e -> err := Some e)
+                    | None ->
+                        if prefixed ~prefix:"//" line = None then begin
+                          Buffer.add_string src line;
+                          Buffer.add_char src '\n'
+                        end))))
+    lines;
+  match !err with
+  | Some e -> Error e
+  | None -> (
+      match (!expect, List.rev !headers) with
+      | None, _ -> Error "missing // expect: header"
+      | _, [] -> Error "no // kernel headers"
+      | Some expect, headers -> (
+          match
+            try Ok (Parser.parse_program (Buffer.contents src))
+            with Parser.Error (m, _) -> Error ("source: " ^ m)
+               | Failure m -> Error ("source: " ^ m)
+          with
+          | Error e -> Error e
+          | Ok prog -> (
+              let missing = ref None in
+              let kernels =
+                List.filter_map
+                  (fun h ->
+                    match Ast.find_fn prog h.h_name with
+                    | None ->
+                        missing := Some h.h_name;
+                        None
+                    | Some fn ->
+                        let kprog = { Ast.defines = []; functions = [ fn ] } in
+                        Some
+                          (Gen.kernel_of_fn ~prog:kprog ~fn ~block:h.h_block
+                             ~grid:h.h_grid ~smem_dynamic:h.h_smem ~n:h.h_n
+                             ~fill_seed:h.h_fill))
+                  headers
+              in
+              match !missing with
+              | Some name -> Error ("kernel " ^ name ^ " not found in source")
+              | None ->
+                  let detail =
+                    match List.rev !details with
+                    | [] -> None
+                    | ls -> Some (String.concat "\n" ls)
+                  in
+                  Ok
+                    {
+                      case =
+                        {
+                          c_seed = Option.value !seed ~default:0;
+                          c_kernels = kernels;
+                        };
+                      expect;
+                      detail;
+                    })))

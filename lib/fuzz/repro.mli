@@ -1,0 +1,35 @@
+(** Self-contained repro files.
+
+    A repro is plain CUDA source prefixed with [//] headers carrying
+    everything the source cannot: the seed it came from, the expected
+    verdict tag, and each kernel's launch configuration.  The same
+    format serves failure artifacts written by the driver and the
+    committed seed-corpus regressions replayed by the test suite.
+
+    {v
+    // hfuse-fuzz repro
+    // seed: 42
+    // expect: fail-mismatch
+    // detail: FAIL mismatch in k0_b0: ...
+    // kernel k0: block=32x1x1 grid=2 n=128 fill=1234 smem=0
+    // kernel k1: block=64x1x1 grid=2 n=64 fill=99 smem=256
+    __global__ void k0(float* k0_b0, int n) { ... }
+    __global__ void k1(...) { ... }
+    v} *)
+
+type t = {
+  case : Gen.case;
+  expect : string;  (** {!Oracle.verdict_tag} expected on replay *)
+  detail : string option;  (** free-form context, not machine-read *)
+}
+
+val to_string : t -> string
+
+(** Parse a repro; errors name the offending header or parse failure. *)
+val of_string : string -> (t, string) result
+
+val of_case : expect:string -> ?detail:string -> Gen.case -> t
+
+(** Number of lines of the rendered repro ([to_string]), the size the
+    minimization acceptance criterion is stated in. *)
+val line_count : t -> int

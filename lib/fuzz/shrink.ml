@@ -1,0 +1,197 @@
+open Cuda
+
+(* ------------------------------------------------------------------ *)
+(* Counted statement surgery                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Apply [f] to the [n]-th statement of a pre-order traversal
+    (descending into nested bodies); [None] when [n] is past the end. *)
+let map_nth_stmt (body : Ast.stmt list) (n : int)
+    (f : Ast.stmt -> Ast.stmt list) : Ast.stmt list option =
+  let cnt = ref 0 in
+  let hit = ref false in
+  let rec go_list ss = List.concat_map go ss
+  and go (s : Ast.stmt) =
+    let i = !cnt in
+    incr cnt;
+    if i = n then (
+      hit := true;
+      f s)
+    else
+      match s.s with
+      | Ast.If (c, t, e) -> [ { s with s = Ast.If (c, go_list t, go_list e) } ]
+      | Ast.For (init, cond, step, b) ->
+          [ { s with s = Ast.For (init, cond, step, go_list b) } ]
+      | Ast.While (c, b) -> [ { s with s = Ast.While (c, go_list b) } ]
+      | Ast.Do_while (b, c) -> [ { s with s = Ast.Do_while (go_list b, c) } ]
+      | Ast.Block b -> [ { s with s = Ast.Block (go_list b) } ]
+      | _ -> [ s ]
+  in
+  let body' = go_list body in
+  if !hit then Some body' else None
+
+let count_stmts body = Ast_util.fold_stmts (fun n _ -> n + 1) 0 body
+
+(** Unwrapping a control construct keeps its body (both branches for
+    [If]); anything else is left alone. *)
+let unwrap (s : Ast.stmt) : Ast.stmt list =
+  match s.s with
+  | Ast.If (_, t, e) -> t @ e
+  | Ast.For (_, _, _, b) | Ast.While (_, b) | Ast.Do_while (b, _) | Ast.Block b
+    ->
+      b
+  | _ -> [ s ]
+
+(* ------------------------------------------------------------------ *)
+(* Counted expression shrinking                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Smaller expressions a node may collapse to.  Type-breaking
+    alternatives are fine — the oracle rejects ill-typed candidates. *)
+let shrink_alts (e : Ast.expr) : Ast.expr list =
+  match e with
+  | Ast.Binop (_, a, b) -> [ a; b ]
+  | Ast.Ternary (_, a, b) -> [ a; b ]
+  | Ast.Call (_, args) -> args
+  | Ast.Cast (_, inner) | Ast.Unop (_, inner) -> [ inner ]
+  | Ast.Op_assign (_, lhs, rhs) -> [ Ast.Assign (lhs, rhs) ]
+  | Ast.Index (a, i) when i <> Ast.int_lit 0 -> [ Ast.Index (a, Ast.int_lit 0) ]
+  | _ -> []
+
+(** Apply the [n]-th (node, alternative) expression shrink of the body.
+    Sites are numbered deterministically by the traversal order of
+    {!Ast_util.map_stmts_expr}, each node contributing as many sites as
+    it has alternatives. *)
+let shrink_nth_expr (body : Ast.stmt list) (n : int) : Ast.stmt list option =
+  let cnt = ref 0 in
+  let hit = ref false in
+  let body' =
+    Ast_util.map_stmts_expr
+      (fun e ->
+        let alts = List.filter (fun a -> a <> e) (shrink_alts e) in
+        let base = !cnt in
+        cnt := base + List.length alts;
+        if (not !hit) && n >= base && n < base + List.length alts then (
+          hit := true;
+          List.nth alts (n - base))
+        else e)
+      body
+  in
+  if !hit then Some body' else None
+
+(* ------------------------------------------------------------------ *)
+(* Case-level candidates                                                *)
+(* ------------------------------------------------------------------ *)
+
+let with_kernel (c : Gen.case) (i : int) (k : Gen.kernel) : Gen.case =
+  { c with c_kernels = List.mapi (fun j k0 -> if j = i then k else k0) c.c_kernels }
+
+let drop_unused_params (k : Gen.kernel) : Gen.kernel option =
+  let used = Ast_util.used_names k.g_info.fn.f_body in
+  let keep (p : Ast.param) =
+    (* [n] stays: the harness always binds it, and dropping it would
+       re-index nothing of interest *)
+    p.p_name = "n" || Ast_util.StrSet.mem p.p_name used
+  in
+  let params = List.filter keep k.g_info.fn.f_params in
+  if List.length params = List.length k.g_info.fn.f_params then None
+  else Some (Gen.with_params k params)
+
+(** Lazily enumerated candidate reductions, coarsest first. *)
+let candidates (c : Gen.case) : Gen.case Seq.t =
+  let kernels = c.c_kernels in
+  let nk = List.length kernels in
+  let drop_kernel =
+    if nk <= 2 then Seq.empty
+    else
+      Seq.init nk (fun i ->
+          { c with c_kernels = List.filteri (fun j _ -> j <> i) kernels })
+  in
+  let geometry =
+    List.to_seq kernels
+    |> Seq.mapi (fun i (k : Gen.kernel) ->
+           List.to_seq
+             [
+               (if k.g_info.grid > 1 then
+                  Some
+                    (with_kernel c i
+                       { k with g_info = { k.g_info with grid = 1 } })
+                else None);
+               (if k.g_info.block <> (32, 1, 1) then
+                  Some
+                    (with_kernel c i
+                       { k with g_info = { k.g_info with block = (32, 1, 1) } })
+                else None);
+             ]
+           |> Seq.filter_map Fun.id)
+    |> Seq.concat
+  in
+  let per_kernel_body mk count_sites =
+    List.to_seq kernels
+    |> Seq.mapi (fun i (k : Gen.kernel) ->
+           let body = k.g_info.fn.f_body in
+           Seq.init (count_sites body) (fun n -> (i, k, n)))
+    |> Seq.concat
+    |> Seq.filter_map (fun (i, (k : Gen.kernel), n) ->
+           Option.map
+             (fun body' -> with_kernel c i (Gen.with_body k body'))
+             (mk k.g_info.fn.f_body n))
+  in
+  let remove_stmt =
+    per_kernel_body (fun b n -> map_nth_stmt b n (fun _ -> [])) count_stmts
+  in
+  let unwrap_stmt =
+    per_kernel_body
+      (fun b n ->
+        match map_nth_stmt b n unwrap with
+        | Some b' when b' <> b -> Some b'
+        | _ -> None)
+      count_stmts
+  in
+  let shrink_exprs =
+    per_kernel_body
+      (fun b n -> shrink_nth_expr b n)
+      (fun b ->
+        Ast_util.fold_stmts_expr
+          (fun n e -> n + List.length (shrink_alts e))
+          0 b)
+  in
+  let prune_params =
+    List.to_seq kernels
+    |> Seq.mapi (fun i k -> (i, k))
+    |> Seq.filter_map (fun (i, k) ->
+           Option.map (with_kernel c i) (drop_unused_params k))
+  in
+  Seq.concat
+    (List.to_seq
+       [
+         drop_kernel; remove_stmt; unwrap_stmt; geometry; shrink_exprs;
+         prune_params;
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Greedy fixpoint                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let minimize ?(budget = 2000) (pred : Gen.case -> bool) (case : Gen.case) :
+    Gen.case * int =
+  let spent = ref 0 in
+  let rec pass c =
+    if !spent >= budget then c
+    else
+      let improved =
+        Seq.find_map
+          (fun cand ->
+            if !spent >= budget then Some None
+            else begin
+              incr spent;
+              if pred cand then Some (Some cand) else None
+            end)
+          (candidates c)
+      in
+      match improved with
+      | Some (Some cand) -> pass cand
+      | Some None | None -> c
+  in
+  let result = pass case in
+  (result, !spent)

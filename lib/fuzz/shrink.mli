@@ -1,0 +1,19 @@
+(** Delta-debugging minimizer for failing fuzz cases.
+
+    [minimize pred case] greedily applies structural reductions —
+    dropping whole kernels, deleting statements, unwrapping loop and
+    branch bodies, replacing expressions by their subexpressions,
+    collapsing the launch geometry, and pruning unused parameters —
+    keeping a candidate only when [pred] still holds (the candidate
+    still exhibits the failure), and iterates to a fixpoint or until
+    the attempt [budget] runs out.
+
+    Candidates that break the generator's invariants (out-of-bounds
+    after unmasking, ill-typed after a cast removal, ...) are harmless:
+    the oracle classifies them as invalid input, [pred] returns false,
+    and the candidate is discarded. *)
+
+val minimize :
+  ?budget:int -> (Gen.case -> bool) -> Gen.case -> Gen.case * int
+(** Returns the minimized case and the number of candidate evaluations
+    spent.  [budget] bounds evaluations (default 2000). *)

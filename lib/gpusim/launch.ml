@@ -207,8 +207,8 @@ let run_block ~(warps : int) ~(kernel_name : string)
     declarations) over the grid, executing every block functionally and
     recording dynamic traces for the first [config.trace_blocks] blocks.
     [args] bind the kernel parameters positionally. *)
-let launch (mem : Memory.t) ~(prog : Ast.program) ~(fn : Ast.fn)
-    ~(args : Value.t list) (config : config) : result =
+let launch ?(loop_fuel = 3_000_000) (mem : Memory.t) ~(prog : Ast.program)
+    ~(fn : Ast.fn) ~(args : Value.t list) (config : config) : result =
   let bx, by, bz = config.block in
   let threads = bx * by * bz in
   if threads <= 0 || threads > 1024 then
@@ -272,7 +272,7 @@ let launch (mem : Memory.t) ~(prog : Ast.program) ~(fn : Ast.fn)
           l1;
           locals = Hashtbl.create 8;
           local_seq = 0;
-          loop_fuel = 3_000_000;
+          loop_fuel;
         }
       in
       fun () -> Interp.run_body ctx fn.f_body
@@ -287,10 +287,10 @@ let launch (mem : Memory.t) ~(prog : Ast.program) ~(fn : Ast.fn)
   }
 
 (** Launch from a {!Hfuse_core.Kernel_info.t}, the common harness path. *)
-let launch_info ?exec_blocks ?(l1_sectors = 512) (mem : Memory.t)
+let launch_info ?exec_blocks ?(l1_sectors = 512) ?loop_fuel (mem : Memory.t)
     (info : Hfuse_core.Kernel_info.t) ~(args : Value.t list)
     ~(trace_blocks : int) : result =
-  launch mem ~prog:info.prog ~fn:info.fn ~args
+  launch ?loop_fuel mem ~prog:info.prog ~fn:info.fn ~args
     {
       grid = info.grid;
       block = info.block;

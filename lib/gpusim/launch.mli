@@ -47,6 +47,7 @@ val static_shared_bytes : Cuda.Ast.stmt list -> int
     @raise Launch_error on bad geometry or argument counts.
     @raise Interp.Exec_error on runtime faults in the kernel. *)
 val launch :
+  ?loop_fuel:int ->
   Memory.t ->
   prog:Cuda.Ast.program ->
   fn:Cuda.Ast.fn ->
@@ -58,6 +59,7 @@ val launch :
 val launch_info :
   ?exec_blocks:int ->
   ?l1_sectors:int ->
+  ?loop_fuel:int ->
   Memory.t ->
   Hfuse_core.Kernel_info.t ->
   args:Value.t list ->

@@ -212,6 +212,162 @@ module Json = struct
     emit b 0 t;
     Buffer.add_char b '\n';
     Buffer.contents b
+
+  (* -- parsing (the bench regression gate reads committed baselines) -- *)
+
+  exception Parse_error of string
+
+  type parser_state = { src : string; mutable pos : int }
+
+  let peek_char st =
+    if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+  let skip_ws st =
+    while
+      st.pos < String.length st.src
+      && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      st.pos <- st.pos + 1
+    done
+
+  let expect st c =
+    if peek_char st = Some c then st.pos <- st.pos + 1
+    else
+      raise
+        (Parse_error
+           (Printf.sprintf "expected '%c' at offset %d" c st.pos))
+
+  let literal st word value =
+    let n = String.length word in
+    if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word
+    then (
+      st.pos <- st.pos + n;
+      value)
+    else raise (Parse_error (Printf.sprintf "bad literal at offset %d" st.pos))
+
+  let parse_string_lit st =
+    expect st '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek_char st with
+      | None -> raise (Parse_error "unterminated string")
+      | Some '"' -> st.pos <- st.pos + 1
+      | Some '\\' -> (
+          st.pos <- st.pos + 1;
+          match peek_char st with
+          | Some 'n' -> Buffer.add_char b '\n'; st.pos <- st.pos + 1; go ()
+          | Some 't' -> Buffer.add_char b '\t'; st.pos <- st.pos + 1; go ()
+          | Some 'r' -> Buffer.add_char b '\r'; st.pos <- st.pos + 1; go ()
+          | Some 'u' ->
+              if st.pos + 5 > String.length st.src then
+                raise (Parse_error "truncated \\u escape");
+              let code = int_of_string ("0x" ^ String.sub st.src (st.pos + 1) 4) in
+              (* the emitter only writes \u for control bytes *)
+              Buffer.add_char b (Char.chr (code land 0xff));
+              st.pos <- st.pos + 5;
+              go ()
+          | Some c -> Buffer.add_char b c; st.pos <- st.pos + 1; go ()
+          | None -> raise (Parse_error "unterminated escape"))
+      | Some c ->
+          Buffer.add_char b c;
+          st.pos <- st.pos + 1;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+
+  let parse_number st =
+    let start = st.pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while
+      st.pos < String.length st.src && is_num_char st.src.[st.pos]
+    do
+      st.pos <- st.pos + 1
+    done;
+    let s = String.sub st.src start (st.pos - start) in
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'E'
+    then Float (float_of_string s)
+    else
+      match int_of_string_opt s with
+      | Some i -> Int i
+      | None -> Float (float_of_string s)
+
+  let rec parse_value st =
+    skip_ws st;
+    match peek_char st with
+    | None -> raise (Parse_error "unexpected end of input")
+    | Some '{' ->
+        st.pos <- st.pos + 1;
+        skip_ws st;
+        if peek_char st = Some '}' then (
+          st.pos <- st.pos + 1;
+          Obj [])
+        else
+          let rec members acc =
+            skip_ws st;
+            let k = parse_string_lit st in
+            skip_ws st;
+            expect st ':';
+            let v = parse_value st in
+            skip_ws st;
+            match peek_char st with
+            | Some ',' ->
+                st.pos <- st.pos + 1;
+                members ((k, v) :: acc)
+            | Some '}' ->
+                st.pos <- st.pos + 1;
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> raise (Parse_error "expected ',' or '}'")
+          in
+          members []
+    | Some '[' ->
+        st.pos <- st.pos + 1;
+        skip_ws st;
+        if peek_char st = Some ']' then (
+          st.pos <- st.pos + 1;
+          List [])
+        else
+          let rec elements acc =
+            let v = parse_value st in
+            skip_ws st;
+            match peek_char st with
+            | Some ',' ->
+                st.pos <- st.pos + 1;
+                elements (v :: acc)
+            | Some ']' ->
+                st.pos <- st.pos + 1;
+                List (List.rev (v :: acc))
+            | _ -> raise (Parse_error "expected ',' or ']'")
+          in
+          elements []
+    | Some '"' -> Str (parse_string_lit st)
+    | Some 't' -> literal st "true" (Bool true)
+    | Some 'f' -> literal st "false" (Bool false)
+    | Some 'n' -> literal st "null" Null
+    | Some _ -> parse_number st
+
+  let of_string (s : string) : (t, string) result =
+    let st = { src = s; pos = 0 } in
+    match parse_value st with
+    | v ->
+        skip_ws st;
+        if st.pos = String.length s then Ok v
+        else Error (Printf.sprintf "trailing input at offset %d" st.pos)
+    | exception Parse_error msg -> Error msg
+    | exception Failure msg -> Error msg
+
+  (* -- structural helpers for gate-style consumers -- *)
+
+  let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+  let to_float_opt = function
+    | Float f -> Some f
+    | Int i -> Some (float_of_int i)
+    | _ -> None
 end
 
 let json_of_metrics (m : Gpusim.Metrics.t) : Json.t =

@@ -22,6 +22,18 @@ module Json : sig
 
   val opt : ('a -> t) -> 'a option -> t
   val to_string : t -> string
+
+  (** Parse the subset of JSON {!to_string} emits (sufficient for any
+      output of this module; numbers become [Int] when they have no
+      fraction or exponent).  Used by the bench regression gate to read
+      committed baseline reports. *)
+  val of_string : string -> (t, string) result
+
+  (** [member k (Obj ...)] is the value bound to [k], if any. *)
+  val member : string -> t -> t option
+
+  (** Numeric coercion: [Int]s widen to float. *)
+  val to_float_opt : t -> float option
 end
 
 val json_of_metrics : Gpusim.Metrics.t -> Json.t

@@ -1,0 +1,17 @@
+// hfuse-fuzz repro
+// seed: 7
+// expect: rejected
+// detail: a barrier under a thread-dependent branch must be refused by
+// detail: the static verifier before anything is executed
+// kernel k0: block=32x1x1 grid=1 n=64 fill=11 smem=0
+// kernel k1: block=32x1x1 grid=1 n=64 fill=12 smem=0
+__global__ void k0(float* k0_b0, int n) {
+  if (threadIdx.x < 16u) {
+    __syncthreads();
+  }
+  k0_b0[threadIdx.x & 63] += 1.0f;
+}
+
+__global__ void k1(float* k1_b0, int n) {
+  k1_b0[threadIdx.x & 63] += 2.0f;
+}

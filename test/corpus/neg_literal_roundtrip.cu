@@ -1,0 +1,16 @@
+// hfuse-fuzz repro
+// seed: 2122592666237104735
+// expect: equivalent
+// detail: regression: negative float literals printed as "-3.0f" used to
+// detail: reparse as Unop(Neg, lit) and fail the round-trip phase
+// kernel k0: block=32x1x1 grid=1 n=64 fill=332476 smem=0
+// kernel k1: block=32x1x1 grid=1 n=64 fill=527331 smem=0
+__global__ void k0(float* k0_b0, int n) {
+  float f0 = -3.0f;
+  int t0 = -5;
+  k0_b0[threadIdx.x & 63] += f0 * (float)t0;
+}
+
+__global__ void k1(float* k1_b0, int n) {
+  k1_b0[threadIdx.x & 63] = -0.75f;
+}

@@ -1,0 +1,26 @@
+// hfuse-fuzz repro
+// seed: 99
+// expect: equivalent
+// detail: three-way fusion (Multi.generate) with partial barriers,
+// detail: static shared memory, and atomics on both memory spaces
+// kernel k0: block=64x1x1 grid=2 n=128 fill=21 smem=0
+// kernel k1: block=32x1x1 grid=2 n=64 fill=22 smem=0
+// kernel k2: block=32x1x1 grid=2 n=64 fill=23 smem=0
+__global__ void k0(float* k0_b0, int n) {
+  __shared__ float k0_sh0[64];
+  k0_sh0[threadIdx.x & 63] = k0_b0[threadIdx.x & 127] * 2.0f;
+  __syncthreads();
+  k0_b0[(threadIdx.x + blockIdx.x * blockDim.x) & 127] += k0_sh0[(threadIdx.x + 1) & 63];
+}
+
+__global__ void k1(int* k1_b0, int n) {
+  atomicAdd(&k1_b0[threadIdx.x & 7], 3);
+  k1_b0[(threadIdx.x + blockIdx.x * blockDim.x) & 63] ^= n;
+}
+
+__global__ void k2(float* k2_b0, int n) {
+  __shared__ float k2_sh0[32];
+  k2_sh0[threadIdx.x & 31] = 0.25f;
+  __syncthreads();
+  atomicAdd(&k2_b0[threadIdx.x & 63], k2_sh0[(threadIdx.x * 3) & 31]);
+}

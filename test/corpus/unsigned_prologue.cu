@@ -1,0 +1,18 @@
+// hfuse-fuzz repro
+// seed: 560553596806919533
+// expect: equivalent
+// detail: regression: the fused geometry prologue used to rebind
+// detail: threadIdx/blockDim to signed int locals, so unsigned
+// detail: subtraction/division/comparison in the input kernels turned
+// detail: signed after fusion and produced different memory
+// kernel k0: block=32x1x1 grid=1 n=128 fill=380844 smem=0
+// kernel k1: block=32x1x1 grid=1 n=128 fill=543811 smem=0
+__global__ void k0(unsigned int* k0_b0, int n) {
+  int t0 = blockDim.x - threadIdx.x - threadIdx.x;
+  int t1 = threadIdx.x;
+  k0_b0[((threadIdx.x ^ threadIdx.x) <= t0 ? t1 : min(t0, threadIdx.x)) & 127] *= threadIdx.x;
+}
+
+__global__ void k1(unsigned int* k1_b0, int n) {
+  k1_b0[threadIdx.x * threadIdx.y & 127] = (1 - threadIdx.x) / 7;
+}

@@ -1,0 +1,226 @@
+(* The fuzzing subsystem's own tests: generator sanity properties,
+   driver determinism across worker counts, the injected-bug meta-test
+   (the oracle must catch a deliberately corrupted barrier count and
+   minimize it), and replay of the committed seed corpus. *)
+
+open Hfuse_fuzz
+
+let case_of_seed seed = Gen.generate_case ~seed ()
+
+(* -- generator sanity ------------------------------------------------- *)
+
+let test_well_typed () =
+  for seed = 0 to 40 do
+    let case = case_of_seed seed in
+    List.iter
+      (fun (k : Gen.kernel) ->
+        match Cuda.Typecheck.check_program_result k.g_info.prog with
+        | Ok () -> ()
+        | Error (msg, _) ->
+            Alcotest.failf "seed %d kernel %s ill-typed: %s" seed
+              k.g_info.fn.f_name msg)
+      case.c_kernels
+  done
+
+let test_generator_deterministic () =
+  for seed = 0 to 20 do
+    let a = Gen.case_source (case_of_seed seed) in
+    let b = Gen.case_source (case_of_seed seed) in
+    Alcotest.(check string) (Printf.sprintf "seed %d" seed) a b
+  done
+
+let test_kernel_round_trip () =
+  for seed = 0 to 30 do
+    let case = case_of_seed seed in
+    List.iter
+      (fun (k : Gen.kernel) ->
+        let src = Gen.kernel_source k in
+        let prog = Cuda.Parser.parse_program src in
+        match Cuda.Ast.find_fn prog k.g_info.fn.f_name with
+        | None -> Alcotest.failf "seed %d: kernel lost in reparse" seed
+        | Some fn ->
+            Alcotest.(check bool)
+              (Printf.sprintf "seed %d %s body round-trips" seed fn.f_name)
+              true
+              (Cuda.Ast_util.equal_normalized k.g_info.fn.f_body fn.f_body))
+      case.c_kernels
+  done
+
+(* -- oracle ------------------------------------------------------------ *)
+
+(* Default weights generate only valid input, so every case must come
+   back equivalent (the verifier may still reject; it must never be
+   contradicted by execution, which [Oracle.run] internally asserts by
+   classifying any accepted-but-different pair as a failure). *)
+let test_oracle_no_failures () =
+  for seed = 0 to 25 do
+    let v = Oracle.run (case_of_seed seed) in
+    if Oracle.is_failure v then
+      Alcotest.failf "seed %d: %s" seed (Oracle.verdict_to_string v);
+    match v with
+    | Oracle.Invalid_input r ->
+        Alcotest.failf "seed %d generated invalid input: %s" seed r
+    | _ -> ()
+  done
+
+let test_divergent_sync_rejected () =
+  (* cranking the invalid production up must eventually produce cases
+     the verifier refuses — and refusal must happen statically, before
+     the (deadlocking) kernels would ever run *)
+  let weights = { Gen.default_weights with w_divergent_sync = 20; w_sync = 0 } in
+  let rejected = ref 0 in
+  for seed = 0 to 30 do
+    let case = Gen.generate_case ~weights ~seed () in
+    match Oracle.run case with
+    | Oracle.Rejected _ -> incr rejected
+    | v when Oracle.is_failure v ->
+        Alcotest.failf "seed %d: %s" seed (Oracle.verdict_to_string v)
+    | _ -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "some divergent-sync case rejected (%d)" !rejected)
+    true (!rejected > 0)
+
+(* -- driver ------------------------------------------------------------ *)
+
+let small_config =
+  { Driver.default_config with runs = 10; seed = 123; shrink_budget = 300 }
+
+let report_string r = Fmt.str "%a" Driver.pp_report r
+
+let test_driver_deterministic_jobs () =
+  let r1 = Driver.run { small_config with jobs = 1 } in
+  let r3 = Driver.run { small_config with jobs = 3 } in
+  Alcotest.(check string) "jobs=1 and jobs=3 agree" (report_string r1)
+    (report_string r3);
+  Alcotest.(check int) "clean campaign" 0 r1.failed
+
+let test_injected_barrier_bug_caught () =
+  let cfg =
+    {
+      small_config with
+      runs = 6;
+      seed = 42;
+      inject = Some Driver.inject_barrier_count;
+    }
+  in
+  let r = Driver.run cfg in
+  Alcotest.(check bool) "at least one injected failure caught" true
+    (r.failed > 0);
+  List.iter
+    (fun (f : Driver.failure) ->
+      Alcotest.(check string)
+        "caught as a fused-side crash" "fail-fused-crash"
+        (Oracle.verdict_tag f.verdict);
+      let lines = Repro.line_count f.repro in
+      Alcotest.(check bool)
+        (Printf.sprintf "repro minimized to %d <= 30 lines" lines)
+        true (lines <= 30))
+    r.failures
+
+(* -- shrinker ---------------------------------------------------------- *)
+
+let stmt_count (c : Gen.case) =
+  List.fold_left
+    (fun n (k : Gen.kernel) ->
+      n + Cuda.Ast_util.fold_stmts (fun n _ -> n + 1) 0 k.g_info.fn.f_body)
+    0 c.c_kernels
+
+let test_shrinker_reduces () =
+  (* find a seed whose first kernel contains a barrier, then minimize
+     under the predicate "kernel 0 still has a barrier" *)
+  let seed = ref 0 in
+  while
+    not
+      (Cuda.Ast_util.has_barrier
+         (List.hd (case_of_seed !seed).c_kernels).g_info.fn.f_body)
+  do
+    incr seed
+  done;
+  let case = case_of_seed !seed in
+  let pred (c : Gen.case) =
+    match c.c_kernels with
+    | k :: _ -> Cuda.Ast_util.has_barrier k.g_info.fn.f_body
+    | [] -> false
+  in
+  let minimized, attempts = Shrink.minimize ~budget:500 pred case in
+  Alcotest.(check bool) "attempts spent" true (attempts > 0);
+  Alcotest.(check bool) "barrier preserved" true (pred minimized);
+  Alcotest.(check bool)
+    (Printf.sprintf "shrank %d -> %d statements" (stmt_count case)
+       (stmt_count minimized))
+    true
+    (stmt_count minimized < stmt_count case)
+
+(* -- repro format ------------------------------------------------------ *)
+
+let test_repro_round_trip () =
+  let case = case_of_seed 5 in
+  let r = Repro.of_case ~expect:"equivalent" ~detail:"two\nlines" case in
+  let s = Repro.to_string r in
+  match Repro.of_string s with
+  | Error e -> Alcotest.failf "repro did not parse back: %s" e
+  | Ok r' ->
+      Alcotest.(check string) "stable rendering" s (Repro.to_string r');
+      Alcotest.(check string) "expectation kept" r.expect r'.expect;
+      Alcotest.(check (option string)) "detail kept" r.detail r'.detail;
+      Alcotest.(check int) "seed kept" case.c_seed r'.case.c_seed
+
+(* -- committed corpus replay ------------------------------------------- *)
+
+let corpus_dir () =
+  (* dune runtest runs from _build/default/test; dune exec from the
+     workspace root *)
+  if Sys.file_exists "corpus" then "corpus" else Filename.concat "test" "corpus"
+
+let corpus_files () =
+  let dir = corpus_dir () in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".cu")
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_corpus_replay () =
+  let files = corpus_files () in
+  Alcotest.(check bool) "corpus present" true (List.length files >= 4);
+  let rejections = ref 0 in
+  List.iter
+    (fun path ->
+      match Repro.of_string (read_file path) with
+      | Error e -> Alcotest.failf "%s: %s" path e
+      | Ok r ->
+          let v = Oracle.run r.case in
+          (match v with Oracle.Rejected _ -> incr rejections | _ -> ());
+          Alcotest.(check string)
+            (Printf.sprintf "%s replays as %s" path r.expect)
+            r.expect (Oracle.verdict_tag v))
+    files;
+  Alcotest.(check bool) "corpus covers a verifier rejection" true
+    (!rejections > 0)
+
+let suite =
+  [
+    Alcotest.test_case "generator well-typed" `Quick test_well_typed;
+    Alcotest.test_case "generator deterministic" `Quick
+      test_generator_deterministic;
+    Alcotest.test_case "kernel print/parse round trip" `Quick
+      test_kernel_round_trip;
+    Alcotest.test_case "oracle: default weights never fail" `Slow
+      test_oracle_no_failures;
+    Alcotest.test_case "oracle: divergent sync statically rejected" `Slow
+      test_divergent_sync_rejected;
+    Alcotest.test_case "driver deterministic across jobs" `Slow
+      test_driver_deterministic_jobs;
+    Alcotest.test_case "injected barrier bug caught and minimized" `Slow
+      test_injected_barrier_bug_caught;
+    Alcotest.test_case "shrinker reduces while preserving predicate" `Quick
+      test_shrinker_reduces;
+    Alcotest.test_case "repro file round trip" `Quick test_repro_round_trip;
+    Alcotest.test_case "seed corpus replay" `Slow test_corpus_replay;
+  ]

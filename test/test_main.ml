@@ -23,4 +23,5 @@ let () =
       ("equivalence", Test_equivalence.suite);
       ("differential", Test_diff.suite);
       ("engine-diff", Test_engine_diff.suite);
+      ("fuzz", Test_fuzz.suite);
     ]
