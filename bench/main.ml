@@ -28,10 +28,21 @@
    elapsed_cycles, wall-clock, cache stats, engine stats) that future
    changes diff instead of eyeballing logs.  [--pairs K1+K2[,K3+K4..]]
    restricts fig7/fig9 to the named corpus pairs (CI smoke runs one);
-   [--trace-blocks N] widens the per-launch traced-block count. *)
+   [--trace-blocks N] widens the per-launch traced-block count.
+
+   Fault tolerance: [--resume] journals every profiled result to
+   _hfuse_cache/journal/<run_id>.jnl as it is produced, so a run killed
+   mid-figure (crash, SIGKILL, Ctrl-C) restarted with the same flags
+   replays the journal and recomputes only the remainder —
+   bit-identically to an uninterrupted run.  [--fault SPEC] (or
+   HFUSE_FAULT) arms the chaos harness, e.g.
+   [--fault worker_crash:0.05,cache_corrupt:0.1,sim_hang:0.02]: faults
+   are injected deterministically, recovered transparently, and tallied
+   in [fault:]/[pool:] lines; figures are unchanged under any spec. *)
 
 open Hfuse_profiler
 open Kernel_corpus
+module Fault = Hfuse_fault.Fault
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
@@ -53,6 +64,52 @@ let jobs = ref 1
 let cache = ref (Hfuse_profiler.Profile_cache.from_env ())
 let json_out = ref false
 let pair_filter : (Spec.t * Spec.t) list option ref = ref None
+
+(* checkpoint/resume state: --resume opens one journal per figure,
+   identified by everything that shapes the figure's outputs (the pairs
+   spec, --full, --trace-blocks).  -j and --fault are deliberately
+   excluded: results are bit-identical across them, so a resume may
+   change either. *)
+let resume = ref false
+let raw_pairs = ref "all"
+let full_ref = ref false
+let active_checkpoint = ref Checkpoint.disabled
+
+let checkpoint_for (figure : string) : Checkpoint.t =
+  if not !resume then Checkpoint.disabled
+  else begin
+    let id =
+      Checkpoint.run_id
+        ~parts:
+          [
+            figure;
+            !raw_pairs;
+            (if !full_ref then "full" else "short");
+            string_of_int (Runner.trace_blocks ());
+          ]
+    in
+    let ck = Checkpoint.open_ ~run_id:id () in
+    if Checkpoint.loaded ck > 0 then
+      say "[resume: replaying %d journaled result%s from %s]"
+        (Checkpoint.loaded ck)
+        (if Checkpoint.loaded ck = 1 then "" else "s")
+        (Checkpoint.path ck);
+    active_checkpoint := ck;
+    ck
+  end
+
+let finish_checkpoint () =
+  Checkpoint.close !active_checkpoint;
+  active_checkpoint := Checkpoint.disabled
+
+(* chaos observability: how many faults were injected and recovered
+   (the figures themselves must not change under any fault spec) *)
+let chaos_report () =
+  if Fault.enabled () then begin
+    say "[fault: %s]" (Fmt.str "%a" Fault.pp_tally (Fault.tally ()));
+    say "[pool: %s]"
+      (Fmt.str "%a" Hfuse_parallel.Pool.pp_tally (Hfuse_parallel.Pool.tally ()))
+  end
 
 let timed_search name f =
   Runner.reset_search_stats ();
@@ -103,33 +160,43 @@ let multipliers ~full =
 
 let run_fig7 ~full () =
   section "Figure 7: speedup vs execution-time ratio (16 pairs x 2 GPUs)";
+  let checkpoint = checkpoint_for "fig7" in
   let sweeps, wall, engine =
     instrumented (fun () ->
         timed_search "figure 7" (fun () ->
             Experiment.figure7 ~multipliers:(multipliers ~full) ~jobs:!jobs
-              ~cache:!cache ?pairs:!pair_filter ()))
+              ~cache:!cache ~checkpoint ?pairs:!pair_filter ()))
   in
+  finish_checkpoint ();
   print_string (Report.figure7_to_string sweeps);
+  chaos_report ();
   if !json_out then write_json "fig7" ~wall ~engine (Report.figure7_json sweeps)
 
 let run_fig8 () =
   section "Figure 8: metrics of individual kernels";
+  let checkpoint = checkpoint_for "fig8" in
   let rows, wall, engine =
     instrumented (fun () ->
         timed "figure 8" (fun () ->
-            Experiment.figure8 ~jobs:!jobs ~cache:!cache ()))
+            Experiment.figure8 ~jobs:!jobs ~cache:!cache ~checkpoint ()))
   in
+  finish_checkpoint ();
   print_string (Report.figure8_to_string rows);
+  chaos_report ();
   if !json_out then write_json "fig8" ~wall ~engine (Report.figure8_json rows)
 
 let run_fig9 () =
   section "Figure 9: metrics of HFuse fused kernels (RegCap / N-RegCap)";
+  let checkpoint = checkpoint_for "fig9" in
   let rows, wall, engine =
     instrumented (fun () ->
         timed_search "figure 9" (fun () ->
-            Experiment.figure9 ~jobs:!jobs ~cache:!cache ?pairs:!pair_filter ()))
+            Experiment.figure9 ~jobs:!jobs ~cache:!cache ~checkpoint
+              ?pairs:!pair_filter ()))
   in
+  finish_checkpoint ();
   print_string (Report.figure9_to_string rows);
+  chaos_report ();
   if !json_out then write_json "fig9" ~wall ~engine (Report.figure9_json rows)
 
 (* ------------------------------------------------------------------ *)
@@ -281,8 +348,11 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  Fault.from_env ();
+  Sys.catch_break true;
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
+  full_ref := full;
   let args = List.filter (fun a -> a <> "--full") args in
   (* -j N / --jobs N, --cache, --no-cache *)
   let rec parse_flags = function
@@ -324,33 +394,56 @@ let () =
                 "bench: --pairs expects K1+K2[,K3+K4...], got %s\n" s;
               exit 2
         in
+        raw_pairs := spec;
         pair_filter :=
           Some (List.map parse_one (String.split_on_char ',' spec));
+        parse_flags rest
+    | "--resume" :: rest ->
+        resume := true;
+        parse_flags rest
+    | "--fault" :: spec :: rest ->
+        (match Fault.configure spec with
+        | Ok () -> ()
+        | Error msg ->
+            Printf.eprintf "bench: --fault: %s\n" msg;
+            exit 2);
         parse_flags rest
     | a :: rest -> a :: parse_flags rest
     | [] -> []
   in
   let args = parse_flags args in
   let t0 = Unix.gettimeofday () in
-  (match args with
-  | [] ->
-      run_fig8 ();
-      run_fig9 ();
-      run_fig7 ~full ();
-      run_ablation ();
-      run_micro ()
-  | [ "fig7" ] -> run_fig7 ~full ()
-  | [ "fig8" ] -> run_fig8 ()
-  | [ "fig9" ] -> run_fig9 ()
-  | [ "ablation" ] -> run_ablation ()
-  | [ "micro" ] -> run_micro ()
-  | other ->
-      Printf.eprintf
-        "unknown arguments: %s\n\
-         usage: main.exe [fig7|fig8|fig9|ablation|micro] [--full] [-j N] \
-         [--cache|--no-cache] [--json] [--pairs K1+K2[,..]] \
-         [--trace-blocks N]\n"
-        (String.concat " " other);
-      exit 2);
+  (try
+     match args with
+     | [] ->
+         run_fig8 ();
+         run_fig9 ();
+         run_fig7 ~full ();
+         run_ablation ();
+         run_micro ()
+     | [ "fig7" ] -> run_fig7 ~full ()
+     | [ "fig8" ] -> run_fig8 ()
+     | [ "fig9" ] -> run_fig9 ()
+     | [ "ablation" ] -> run_ablation ()
+     | [ "micro" ] -> run_micro ()
+     | other ->
+         Printf.eprintf
+           "unknown arguments: %s\n\
+            usage: main.exe [fig7|fig8|fig9|ablation|micro] [--full] [-j N] \
+            [--cache|--no-cache] [--json] [--pairs K1+K2[,..]] \
+            [--trace-blocks N] [--resume] [--fault SPEC]\n"
+           (String.concat " " other);
+         exit 2
+   with Sys.Break ->
+     (* journal records are flushed as written; close for good measure
+        and point at the resume path *)
+     Checkpoint.flush !active_checkpoint;
+     Checkpoint.close !active_checkpoint;
+     Printf.eprintf
+       "\nbench: interrupted%s\n"
+       (if !resume then
+          "; journaled results saved — rerun with --resume to continue"
+        else "; rerun with --resume to make interrupted runs resumable");
+     exit 130);
   say "";
   say "total bench time: %.1fs" (Unix.gettimeofday () -. t0)

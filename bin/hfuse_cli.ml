@@ -123,6 +123,40 @@ let cache_arg =
   in
   Term.(const resolve $ use $ no)
 
+(* --fault SPEC arms the deterministic chaos harness (overrides the
+   HFUSE_FAULT environment); malformed specs abort before any work *)
+let fault_arg =
+  let set = function
+    | None -> ()
+    | Some spec -> (
+        match Hfuse_fault.Fault.configure spec with
+        | Ok () -> ()
+        | Error msg ->
+            Printf.eprintf "hfuse: --fault: %s\n" msg;
+            exit 2)
+  in
+  Term.(
+    const set
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "fault" ] ~docv:"SPEC"
+            ~doc:
+              "Inject deterministic faults, e.g. \
+               $(b,worker_crash:0.05,cache_corrupt:0.1,sim_hang:0.02)[,seed:N]. \
+               Faults are recovered transparently; results are unchanged. \
+               Overrides $(b,HFUSE_FAULT)."))
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Journal every profiled result to \
+           $(b,_hfuse_cache/journal/<run_id>.jnl) and replay a previous \
+           interrupted run's journal, recomputing only the remainder \
+           (bit-identical to an uninterrupted run).")
+
 (* -- fuse --------------------------------------------------------------- *)
 
 let fuse_cmd =
@@ -381,17 +415,48 @@ let simulate_cmd =
 
 let search_cmd =
   let run arch (s1 : Kernel_corpus.Spec.t) (s2 : Kernel_corpus.Spec.t) size1
-      size2 emit jobs cache () =
+      size2 emit jobs cache resume () () =
     let sizes = Hfuse_profiler.Experiment.representative_sizes arch in
     let size_of (s : Kernel_corpus.Spec.t) o =
       Option.value o ~default:(Hfuse_profiler.Experiment.size_of sizes s)
     in
+    let size1 = size_of s1 size1 and size2 = size_of s2 size2 in
+    let checkpoint =
+      if not resume then Hfuse_profiler.Checkpoint.disabled
+      else
+        let id =
+          Hfuse_profiler.Checkpoint.run_id
+            ~parts:
+              [
+                "search"; arch.Gpusim.Arch.name; s1.name; string_of_int size1;
+                s2.name; string_of_int size2;
+                string_of_int (Hfuse_profiler.Runner.trace_blocks ());
+              ]
+        in
+        let ck = Hfuse_profiler.Checkpoint.open_ ~run_id:id () in
+        if Hfuse_profiler.Checkpoint.loaded ck > 0 then
+          Printf.eprintf "resume: replaying %d journaled result(s) from %s\n%!"
+            (Hfuse_profiler.Checkpoint.loaded ck)
+            (Hfuse_profiler.Checkpoint.path ck);
+        ck
+    in
     let mem = Gpusim.Memory.create () in
-    let c1 = Hfuse_profiler.Runner.configure mem s1 ~size:(size_of s1 size1) in
-    let c2 = Hfuse_profiler.Runner.configure mem s2 ~size:(size_of s2 size2) in
+    let c1 = Hfuse_profiler.Runner.configure mem s1 ~size:size1 in
+    let c2 = Hfuse_profiler.Runner.configure mem s2 ~size:size2 in
     let native = (Hfuse_profiler.Runner.native arch c1 c2).Gpusim.Timing.time_ms in
     Hfuse_profiler.Runner.reset_search_stats ();
-    let sr = Hfuse_profiler.Runner.search ~jobs ~cache arch c1 c2 in
+    let sr =
+      try Hfuse_profiler.Runner.search ~jobs ~cache ~checkpoint arch c1 c2
+      with Sys.Break ->
+        Hfuse_profiler.Checkpoint.close checkpoint;
+        Printf.eprintf
+          "\nhfuse: interrupted%s\n"
+          (if resume then
+             "; journaled results saved — rerun with --resume to continue"
+           else "; rerun with --resume to make interrupted runs resumable");
+        exit 130
+    in
+    Hfuse_profiler.Checkpoint.close checkpoint;
     Printf.printf "native: %.4f ms\n" native;
     List.iter
       (fun (cand : Hfuse_core.Search.candidate) ->
@@ -411,6 +476,9 @@ let search_cmd =
     Printf.eprintf "search: %s\n"
       (Fmt.str "%a" Hfuse_profiler.Runner.pp_search_stats
          (Hfuse_profiler.Runner.search_stats ()));
+    if Hfuse_fault.Fault.enabled () then
+      Printf.eprintf "fault: %s\n"
+        (Fmt.str "%a" Hfuse_fault.Fault.pp_tally (Hfuse_fault.Fault.tally ()));
     if emit then print_endline (Hfuse_core.Hfuse.to_source b.fused)
   in
   let emit =
@@ -424,7 +492,7 @@ let search_cmd =
     Term.(
       const run $ arch_arg $ kernel_arg "k1" $ kernel_arg "k2"
       $ size_arg "size1" $ size_arg "size2" $ emit $ jobs_arg $ cache_arg
-      $ trace_blocks_arg)
+      $ resume_arg $ fault_arg $ trace_blocks_arg)
 
 (* -- analyze ------------------------------------------------------------ *)
 
@@ -598,13 +666,29 @@ let fuzz_cmd =
 (* -- main --------------------------------------------------------------- *)
 
 let () =
+  Hfuse_fault.Fault.from_env ();
+  Sys.catch_break true;
   let doc = "automatic horizontal fusion for GPU kernels (CGO 2022)" in
   exit
-    (Cmd.eval
-       (Cmd.group
-          (Cmd.info "hfuse" ~version:"1.0.0" ~doc)
-          [
-            fuse_cmd; vfuse_cmd; check_cmd; info_cmd; corpus_cmd;
-            simulate_cmd; search_cmd; analyze_cmd; pairs_cmd; ptx_cmd;
-            fuzz_cmd;
-          ]))
+    (try
+       Cmd.eval ~catch:false
+         (Cmd.group
+            (Cmd.info "hfuse" ~version:"1.0.0" ~doc)
+            [
+              fuse_cmd; vfuse_cmd; check_cmd; info_cmd; corpus_cmd;
+              simulate_cmd; search_cmd; analyze_cmd; pairs_cmd; ptx_cmd;
+              fuzz_cmd;
+            ])
+     with
+     | Gpusim.Launch.Sim_timeout { kernel; fuel; block } ->
+         (* the fuel watchdog fired outside a recovery layer: a clean
+            diagnostic, not cmdliner's "internal error" banner *)
+         Printf.eprintf
+           "hfuse: simulation watchdog: kernel %s exhausted its loop fuel \
+            (%d steps) in block %d — runaway loop?  Raise HFUSE_SIM_FUEL to \
+            allow longer simulations.\n"
+           kernel fuel block;
+         1
+     | Sys.Break ->
+         prerr_endline "hfuse: interrupted";
+         130)

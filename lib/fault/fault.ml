@@ -1,0 +1,209 @@
+(* Deterministic chaos injection (see the interface for the model).
+
+   A fault plan is a set of per-kind probabilities plus a campaign
+   seed.  Draws are pure: [fires k ~key] hashes (seed, kind, key)
+   through a SplitMix64-style finalizer and compares the top 53 bits
+   against the rate, so the same call site faults (or not) identically
+   on every run, at any [-j], in any interleaving.  No wall clock and
+   no global PRNG anywhere.
+
+   The plan and the tallies are process-wide: the plan is installed
+   once at startup (before worker domains exist) and read-only after;
+   tallies are [Atomic] counters so injection points on worker domains
+   can note faults without locks. *)
+
+type kind = Worker_crash | Cache_corrupt | Sim_hang
+
+let all_kinds = [ Worker_crash; Cache_corrupt; Sim_hang ]
+
+let kind_name = function
+  | Worker_crash -> "worker_crash"
+  | Cache_corrupt -> "cache_corrupt"
+  | Sim_hang -> "sim_hang"
+
+let kind_index = function Worker_crash -> 0 | Cache_corrupt -> 1 | Sim_hang -> 2
+let nkinds = 3
+
+exception Injected of kind
+
+let () =
+  Printexc.register_printer (function
+    | Injected k -> Some ("Fault.Injected(" ^ kind_name k ^ ")")
+    | _ -> None)
+
+type plan = { seed : int; rates : float array (* indexed by kind_index *) }
+
+let plan : plan option Atomic.t = Atomic.make None
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let kind_of_name = function
+  | "worker_crash" -> Some Worker_crash
+  | "cache_corrupt" -> Some Cache_corrupt
+  | "sim_hang" -> Some Sim_hang
+  | _ -> None
+
+let parse (spec : string) : (plan option, string) result =
+  let spec = String.trim spec in
+  if spec = "" then Ok None
+  else
+    let rates = Array.make nkinds 0.0 in
+    let seed = ref 1 in
+    let entry e =
+      match String.index_opt e ':' with
+      | None -> Error (Printf.sprintf "expected kind:rate, got %S" e)
+      | Some i -> (
+          let name = String.trim (String.sub e 0 i) in
+          let v = String.trim (String.sub e (i + 1) (String.length e - i - 1)) in
+          match name with
+          | "seed" -> (
+              match int_of_string_opt v with
+              | Some s ->
+                  seed := s;
+                  Ok ()
+              | None -> Error (Printf.sprintf "seed expects an integer, got %S" v))
+          | _ -> (
+              match kind_of_name name with
+              | None -> Error (Printf.sprintf "unknown fault kind %S" name)
+              | Some k -> (
+                  match float_of_string_opt v with
+                  | Some r when r >= 0.0 && r <= 1.0 ->
+                      rates.(kind_index k) <- r;
+                      Ok ()
+                  | _ ->
+                      Error
+                        (Printf.sprintf "rate for %s must be in [0, 1], got %S"
+                           name v))))
+    in
+    let rec go = function
+      | [] -> Ok (Some { seed = !seed; rates })
+      | e :: rest -> ( match entry e with Ok () -> go rest | Error _ as err -> err)
+    in
+    go (List.filter (fun s -> String.trim s <> "") (String.split_on_char ',' spec))
+
+let configure spec =
+  match parse spec with
+  | Ok p ->
+      Atomic.set plan p;
+      Ok ()
+  | Error _ as e -> e
+
+let from_env () =
+  match Sys.getenv_opt "HFUSE_FAULT" with
+  | None -> ()
+  | Some spec -> (
+      match configure spec with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "hfuse: HFUSE_FAULT: %s\n%!" msg;
+          exit 2)
+
+let clear () = Atomic.set plan None
+let enabled () = Atomic.get plan <> None
+
+let rate k =
+  match Atomic.get plan with None -> 0.0 | Some p -> p.rates.(kind_index k)
+
+(* ------------------------------------------------------------------ *)
+(* Draws                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* SplitMix64 finalizer: full-avalanche mix, so consecutive keys give
+   independent-looking draws (same construction as Kernel_corpus.Prng,
+   replicated here to keep this library dependency-free). *)
+let mix64 (z : int64) : int64 =
+  let z = Int64.add z 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let mix (a : int) (b : int) : int =
+  Int64.to_int (mix64 (Int64.logxor (mix64 (Int64.of_int a)) (Int64.of_int b)))
+
+(* top 53 bits as a uniform float in [0, 1) *)
+let uniform ~(seed : int) ~(salt : int) ~(key : int) : float =
+  let h = mix64 (Int64.of_int (mix (mix seed salt) key)) in
+  Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53
+
+let fires k ~key =
+  match Atomic.get plan with
+  | None -> false
+  | Some p ->
+      let r = p.rates.(kind_index k) in
+      r > 0.0 && uniform ~seed:p.seed ~salt:(kind_index k) ~key < r
+
+let key_seq = Array.init nkinds (fun _ -> Atomic.make 0)
+let fresh_key k = Atomic.fetch_and_add key_seq.(kind_index k) 1
+
+(* Deterministic backoff: 0.5 ms * 2^attempt (capped at 2^6), plus up
+   to 100% seed-mixed jitter so simultaneous retries de-correlate —
+   still a pure function of (key, attempt). *)
+let jitter ~key ~attempt =
+  let seed = match Atomic.get plan with None -> 0 | Some p -> p.seed in
+  let base = 0.0005 *. Float.of_int (1 lsl min attempt 6) in
+  base *. (1.0 +. uniform ~seed ~salt:100 ~key:(mix key attempt))
+
+(* ------------------------------------------------------------------ *)
+(* Tally                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type tally = { injected : (kind * int) list; recovered : (kind * int) list }
+
+let injected_counts = Array.init nkinds (fun _ -> Atomic.make 0)
+let recovered_counts = Array.init nkinds (fun _ -> Atomic.make 0)
+let note_injected k = Atomic.incr injected_counts.(kind_index k)
+let note_recovered k = Atomic.incr recovered_counts.(kind_index k)
+
+let tally () =
+  let snap arr = List.map (fun k -> (k, Atomic.get arr.(kind_index k))) all_kinds in
+  { injected = snap injected_counts; recovered = snap recovered_counts }
+
+let total arr = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 arr
+let injected_total () = total injected_counts
+let recovered_total () = total recovered_counts
+
+let reset_tally () =
+  Array.iter (fun c -> Atomic.set c 0) injected_counts;
+  Array.iter (fun c -> Atomic.set c 0) recovered_counts
+
+let pp_tally ppf (t : tally) =
+  let count kind l = try List.assoc kind l with Not_found -> 0 in
+  let sum l = List.fold_left (fun acc (_, n) -> acc + n) 0 l in
+  Fmt.pf ppf "injected %d (crash %d, corrupt %d, hang %d), recovered %d"
+    (sum t.injected)
+    (count Worker_crash t.injected)
+    (count Cache_corrupt t.injected)
+    (count Sim_hang t.injected)
+    (sum t.recovered)
+
+(* ------------------------------------------------------------------ *)
+(* Retry wrapper                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Injected faults are transient by construction (a retry re-draws or
+   skips the injection point), so they always get another attempt, up
+   to a hard cap that only a rate close to 1.0 can reach.  Real
+   exceptions are retried [budget] times — in a deterministic
+   simulator a genuine failure usually repeats, so the default is no
+   retry.  No sleeping here: this library has no Unix dependency;
+   callers that want backoff pair the loop with {!jitter}. *)
+let injected_cap = 64
+
+let with_retries ?(budget = 0) ~key:_ (f : unit -> 'a) : 'a =
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception Injected k when attempt < injected_cap ->
+        (* recovery is noted when the retried attempt succeeds *)
+        let v = go (attempt + 1) in
+        note_recovered k;
+        v
+    | exception e when (match e with Injected _ -> false | _ -> true) && attempt < budget ->
+        let bt = Printexc.get_raw_backtrace () in
+        (match go (attempt + 1) with
+        | v -> v
+        | exception _ -> Printexc.raise_with_backtrace e bt)
+  in
+  go 0

@@ -1,0 +1,97 @@
+(** Deterministic chaos injection for the profiling pipeline.
+
+    The harness injects three availability faults — a worker domain
+    crashing mid-task, a committed cache entry getting corrupted, and a
+    simulated kernel hanging — so the recovery paths (retry, quarantine
+    + recompute, fuel watchdog) are exercised in tests and CI, the same
+    philosophy as the fuzzer's [--inject-barrier-bug] extended from
+    correctness to availability.
+
+    Every draw is a pure hash of (campaign seed, fault kind, call-site
+    key): whether a given operation faults never depends on wall time,
+    worker count, or scheduling, so runs with injection enabled remain
+    reproducible.  Injected faults are transient by construction — a
+    retry of the same operation draws a fresh key (or skips the
+    injection point) and succeeds — which is what makes the end-to-end
+    guarantee testable: results under [--fault] are bit-identical to a
+    fault-free run. *)
+
+type kind =
+  | Worker_crash  (** a pool task dies with an exception mid-flight *)
+  | Cache_corrupt  (** a committed cache entry is truncated on disk *)
+  | Sim_hang  (** a launch spins until the fuel watchdog fires *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+
+(** Raised at an injection point when the draw fires.  Recovery layers
+    treat it as transient: retry (pool, launch) or recompute
+    (quarantined cache entry). *)
+exception Injected of kind
+
+(** [configure spec] parses and installs a fault plan.  [spec] is a
+    comma-separated [kind:rate] list, e.g.
+    ["worker_crash:0.05,cache_corrupt:0.1,sim_hang:0.02"], optionally
+    with a [seed:N] entry (default seed 1).  Rates must be in [0, 1].
+    An empty spec clears the plan. *)
+val configure : string -> (unit, string) result
+
+(** Install a plan from the [HFUSE_FAULT] environment variable, if set
+    (same syntax as {!configure}; a malformed value aborts with a
+    message on stderr, exit 2, so CI never silently runs fault-free). *)
+val from_env : unit -> unit
+
+(** Remove the plan: all draws stop firing. *)
+val clear : unit -> unit
+
+(** Whether any fault plan is installed. *)
+val enabled : unit -> bool
+
+(** Configured rate for a kind (0 when unconfigured or disabled). *)
+val rate : kind -> float
+
+(** [fires k ~key] — pure deterministic draw: true with probability
+    [rate k], as a hash of (seed, kind, key).  Same key, same answer. *)
+val fires : kind -> key:int -> bool
+
+(** A fresh draw key for call sites with no natural stable key (e.g.
+    launches): a per-kind atomic sequence number.  Monotonic within a
+    process; combined with the seed by {!fires}. *)
+val fresh_key : kind -> int
+
+(** [mix a b] — a cheap avalanche mix of two ints, for deriving
+    per-task draw keys (e.g. pool call id x task index). *)
+val mix : int -> int -> int
+
+(** Deterministic retry backoff: exponential in [attempt] with
+    seed-mixed jitter derived from [key] — no wall clock, no global
+    PRNG, so a retried schedule is identical on every run.  Seconds;
+    bounded (~2 ms at attempt 0, capped well under a second). *)
+val jitter : key:int -> attempt:int -> float
+
+(** Tally of injected faults and recoveries, process-wide and
+    domain-safe.  [recovered] counts operations that failed with an
+    injected fault and subsequently succeeded (retry) or were repaired
+    (quarantine + recompute). *)
+type tally = {
+  injected : (kind * int) list;  (** per kind, [all_kinds] order *)
+  recovered : (kind * int) list;
+}
+
+val note_injected : kind -> unit
+val note_recovered : kind -> unit
+val tally : unit -> tally
+val injected_total : unit -> int
+val recovered_total : unit -> int
+val reset_tally : unit -> unit
+
+(** ["injected N (crash C, corrupt K, hang H), recovered M"]. *)
+val pp_tally : tally Fmt.t
+
+(** [with_retries ~key f] runs [f], re-running it after an {!Injected}
+    fault (deterministic backoff-free retry; injected faults re-draw
+    and are transient, capped at 64 attempts) and up to [budget]
+    (default 0) times after any other exception.  Notes a recovery when
+    a retried call succeeds.  When attempts are exhausted the last
+    exception is re-raised with its original backtrace. *)
+val with_retries : ?budget:int -> key:int -> (unit -> 'a) -> 'a

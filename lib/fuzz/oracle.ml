@@ -173,6 +173,11 @@ let run_unfused (c : Gen.case) : (string * Bytes.t) list =
       raise (Stop (Invalid_input ("unfused deadlock: " ^ msg)))
   | Launch.Launch_error msg ->
       raise (Stop (Invalid_input ("unfused launch error: " ^ msg)))
+  | Launch.Sim_timeout { kernel; fuel; _ } ->
+      raise
+        (Stop
+           (Invalid_input
+              (Fmt.str "unfused %s: loop fuel %d exhausted" kernel fuel)))
   | Gpusim.Interp.Exec_error msg ->
       raise (Stop (Invalid_input ("unfused exec error: " ^ msg)))
   | Value.Runtime_error msg ->
@@ -196,6 +201,11 @@ let run_fused ?(inject = fun fn -> fn) (c : Gen.case) (fused : Hfuse.t) :
   | Launch.Deadlock msg -> raise (Stop (Failed (Fused_crash ("deadlock: " ^ msg))))
   | Launch.Launch_error msg ->
       raise (Stop (Failed (Fused_crash ("launch error: " ^ msg))))
+  | Launch.Sim_timeout { kernel; fuel; _ } ->
+      raise
+        (Stop
+           (Failed
+              (Fused_crash (Fmt.str "%s: loop fuel %d exhausted" kernel fuel))))
   | Gpusim.Interp.Exec_error msg ->
       raise (Stop (Failed (Fused_crash ("exec error: " ^ msg))))
   | Value.Runtime_error msg ->

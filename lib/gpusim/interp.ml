@@ -26,6 +26,12 @@ open Cuda
 
 exception Exec_error of string
 
+(** Fuel watchdog trip: a warp burned through its per-launch loop fuel.
+    Structured (not an [Exec_error] string) so {!Launch} can attach the
+    launch context and report a {!Launch.Sim_timeout} instead of
+    hanging a profiling worker on a runaway kernel. *)
+exception Fuel_exhausted
+
 let fail fmt = Fmt.kstr (fun s -> raise (Exec_error s)) fmt
 
 (** Raised by [goto]; caught at the top level of the kernel body where
@@ -726,9 +732,7 @@ let pure_fall mask = { fall = mask; brk = 0; cont = 0; ret = 0 }
 
 let burn_fuel ctx =
   ctx.loop_fuel <- ctx.loop_fuel - 1;
-  if ctx.loop_fuel <= 0 then
-    fail "loop fuel exhausted (likely an infinite loop in kernel %s)"
-      "body"
+  if ctx.loop_fuel <= 0 then raise Fuel_exhausted
 
 let exec_decl ctx mask (d : Ast.decl) : unit =
   match d.d_storage with

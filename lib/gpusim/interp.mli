@@ -14,6 +14,11 @@
 
 exception Exec_error of string
 
+(** A warp exhausted its per-launch loop fuel (runaway loop).  Caught
+    by {!Launch}, which re-raises it as the structured
+    [Launch.Sim_timeout] with the launch context attached. *)
+exception Fuel_exhausted
+
 (** Raised by [goto]; resolved at the kernel body's top level. *)
 exception Goto_exn of string
 
@@ -54,6 +59,6 @@ val full_of_threads : int -> int
 
 (** Execute a kernel body for one warp (labels resolve at the top
     statement level, where HFuse places them).
-    @raise Exec_error on runtime faults, divergent gotos or barriers,
-    or loop-fuel exhaustion. *)
+    @raise Exec_error on runtime faults, divergent gotos or barriers.
+    @raise Fuel_exhausted when the warp's loop fuel runs out. *)
 val run_body : wctx -> Cuda.Ast.stmt list -> unit

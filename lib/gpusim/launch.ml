@@ -16,7 +16,39 @@ open Hfuse_frontend
 exception Deadlock of string
 exception Launch_error of string
 
+(** Fuel watchdog: a warp of [block] exhausted [fuel] interpreter loop
+    iterations.  Structured so the profiler can record which candidate
+    timed out and degrade gracefully instead of parsing a message. *)
+exception Sim_timeout of { kernel : string; fuel : int; block : int }
+
+let () =
+  Printexc.register_printer (function
+    | Sim_timeout { kernel; fuel; block } ->
+        Some
+          (Printf.sprintf
+             "Sim_timeout(kernel %s: loop fuel %d exhausted in block %d — \
+              runaway loop?)"
+             kernel fuel block)
+    | _ -> None)
+
 let fail fmt = Fmt.kstr (fun s -> raise (Launch_error s)) fmt
+
+(* Per-launch watchdog budget: interpreter loop iterations per warp.
+   3M covers every corpus workload by orders of magnitude while still
+   tripping on genuinely runaway kernels in seconds; [HFUSE_SIM_FUEL]
+   tunes the process default, [?loop_fuel] overrides per launch. *)
+let default_loop_fuel =
+  match Sys.getenv_opt "HFUSE_SIM_FUEL" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> 3_000_000)
+  | None -> 3_000_000
+
+(* An injected hang shrinks the budget to a token amount instead of
+   looping: the watchdog then trips exactly as it would on a real
+   runaway kernel, exercising the same recovery path at test speed. *)
+let injected_hang_fuel = 64
 
 type config = {
   grid : int;
@@ -207,8 +239,18 @@ let run_block ~(warps : int) ~(kernel_name : string)
     declarations) over the grid, executing every block functionally and
     recording dynamic traces for the first [config.trace_blocks] blocks.
     [args] bind the kernel parameters positionally. *)
-let launch ?(loop_fuel = 3_000_000) (mem : Memory.t) ~(prog : Ast.program)
-    ~(fn : Ast.fn) ~(args : Value.t list) (config : config) : result =
+let launch ?(loop_fuel = default_loop_fuel) (mem : Memory.t)
+    ~(prog : Ast.program) ~(fn : Ast.fn) ~(args : Value.t list)
+    (config : config) : result =
+  (* chaos harness: a [sim_hang] draw (fresh key per launch) emulates a
+     hung kernel by collapsing the fuel budget; the resulting watchdog
+     trip is re-raised as the transient [Fault.Injected Sim_hang] so
+     retry layers can distinguish it from a real runaway kernel *)
+  let injected_hang =
+    Hfuse_fault.Fault.(
+      enabled () && fires Sim_hang ~key:(fresh_key Sim_hang))
+  in
+  let loop_fuel = if injected_hang then min loop_fuel injected_hang_fuel else loop_fuel in
   let bx, by, bz = config.block in
   let threads = bx * by * bz in
   if threads <= 0 || threads > 1024 then
@@ -277,7 +319,14 @@ let launch ?(loop_fuel = 3_000_000) (mem : Memory.t) ~(prog : Ast.program)
       in
       fun () -> Interp.run_body ctx fn.f_body
     in
-    run_block ~warps ~kernel_name:fn.f_name make_warp
+    (try run_block ~warps ~kernel_name:fn.f_name make_warp
+     with Interp.Fuel_exhausted ->
+       if injected_hang then begin
+         Hfuse_fault.Fault.note_injected Hfuse_fault.Fault.Sim_hang;
+         raise (Hfuse_fault.Fault.Injected Hfuse_fault.Fault.Sim_hang)
+       end
+       else
+         raise (Sim_timeout { kernel = fn.f_name; fuel = loop_fuel; block = block_idx }))
   done;
   {
     block_traces;

@@ -12,6 +12,15 @@
 exception Deadlock of string
 exception Launch_error of string
 
+(** Fuel-watchdog trip: a warp of [block] exhausted its [fuel]
+    interpreter loop iterations — a runaway (or injected-hung) kernel
+    terminated instead of hanging its worker.  Structured so callers
+    can record the diagnostic and degrade gracefully. *)
+exception Sim_timeout of { kernel : string; fuel : int; block : int }
+
+(** Default per-warp loop-fuel budget: 3,000,000, or [HFUSE_SIM_FUEL]. *)
+val default_loop_fuel : int
+
 type config = {
   grid : int;
   block : int * int * int;
@@ -42,10 +51,14 @@ val shared_layout :
 val static_shared_bytes : Cuda.Ast.stmt list -> int
 
 (** Launch [fn] (normalised internally) over the grid; [args] bind the
-    kernel parameters positionally.
+    kernel parameters positionally.  [loop_fuel] defaults to
+    {!default_loop_fuel}.
     @raise Deadlock on unsatisfiable barriers.
     @raise Launch_error on bad geometry or argument counts.
-    @raise Interp.Exec_error on runtime faults in the kernel. *)
+    @raise Interp.Exec_error on runtime faults in the kernel.
+    @raise Sim_timeout when a warp exhausts its loop fuel.
+    @raise Hfuse_fault.Fault.Injected on an injected [sim_hang] (the
+    chaos harness; transient — a retry re-draws). *)
 val launch :
   ?loop_fuel:int ->
   Memory.t ->

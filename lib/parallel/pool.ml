@@ -1,11 +1,20 @@
 (* A fixed-size pool of OCaml 5 worker domains with a shared task
-   queue, built on Domain/Mutex/Condition only (no external deps).
+   queue, built on Domain/Mutex/Condition.
 
    The profiling search uses it to fan out the pure [Timing.run]
    candidate evaluations: tracing mutates [Memory.t] and stays on the
    calling domain; timing replays immutable traces and parallelises
    safely.  [map] preserves input order, so search results are
-   bit-identical to the serial path regardless of worker count. *)
+   bit-identical to the serial path regardless of worker count.
+
+   Availability: every task runs inside [run_task], which isolates
+   exceptions (one dying task never kills the pool or its siblings),
+   retries transient faults with deterministic seed-mixed backoff, and
+   feeds the process-wide failures/retries/recovered tally.  The
+   serial path runs the identical wrapper so fault-injection draws and
+   tallies cannot depend on [-j]. *)
+
+module Fault = Hfuse_fault.Fault
 
 type t = {
   size : int;  (** worker domains; [<= 1] means no domains, run serial *)
@@ -69,23 +78,107 @@ let with_pool (jobs : int) (f : t -> 'a) : 'a =
   let p = create jobs in
   Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
 
-let map (p : t) (f : 'a -> 'b) (xs : 'a array) : 'b array =
+(* ------------------------------------------------------------------ *)
+(* Per-task isolation and retry                                         *)
+(* ------------------------------------------------------------------ *)
+
+type failure = {
+  f_index : int;
+  f_attempts : int;
+  f_exn : exn;
+  f_backtrace : Printexc.raw_backtrace;
+}
+
+type tally = { failures : int; retries : int; recovered : int }
+
+let failures_c = Atomic.make 0
+let retries_c = Atomic.make 0
+let recovered_c = Atomic.make 0
+
+let tally () =
+  {
+    failures = Atomic.get failures_c;
+    retries = Atomic.get retries_c;
+    recovered = Atomic.get recovered_c;
+  }
+
+let reset_tally () =
+  Atomic.set failures_c 0;
+  Atomic.set retries_c 0;
+  Atomic.set recovered_c 0
+
+let pp_tally ppf (t : tally) =
+  Format.fprintf ppf "%d failure%s, %d retr%s, %d recovered" t.failures
+    (if t.failures = 1 then "" else "s")
+    t.retries
+    (if t.retries = 1 then "y" else "ies")
+    t.recovered
+
+(* injected faults are transient by construction (the retry re-draws or
+   skips the injection point); the cap only guards rates close to 1 *)
+let injected_cap = 64
+
+(* per-[map] call salt: combined with the task index it gives every
+   task a stable draw key, deterministic for a given call sequence *)
+let call_seq = Atomic.make 0
+
+(* Run one task to a terminal [Ok]/[Error], never raising.  Injection
+   of [Worker_crash] happens once, before the first attempt, keyed on
+   (call salt, task index) — pure, so the same task crashes (or not)
+   at any [-j].  Backoff sleeps are deterministic in duration
+   ([Fault.jitter] is a pure function) and never touch result
+   ordering: [map_isolated] slots results by index. *)
+let run_task ~(retries : int) ~(salt : int) (i : int) (f : 'a -> 'b) (x : 'a) :
+    ('b, failure) result =
+  let key = Fault.mix salt i in
+  let rec go attempt ever_failed =
+    let res =
+      try
+        if attempt = 0 && Fault.fires Worker_crash ~key then begin
+          Fault.note_injected Worker_crash;
+          raise (Fault.Injected Worker_crash)
+        end;
+        Ok (f x)
+      with e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    match res with
+    | Ok v ->
+        if ever_failed then Atomic.incr recovered_c;
+        Ok v
+    | Error (Fault.Injected k, _) when attempt < injected_cap -> (
+        Atomic.incr retries_c;
+        Unix.sleepf (Fault.jitter ~key ~attempt);
+        match go (attempt + 1) true with
+        | Ok _ as ok ->
+            Fault.note_recovered k;
+            ok
+        | Error _ as err -> err)
+    | Error (_, _) when attempt < retries ->
+        Atomic.incr retries_c;
+        Unix.sleepf (Fault.jitter ~key ~attempt);
+        go (attempt + 1) true
+    | Error (e, bt) ->
+        Atomic.incr failures_c;
+        Error { f_index = i; f_attempts = attempt + 1; f_exn = e; f_backtrace = bt }
+  in
+  go 0 false
+
+let map_isolated ?(retries = 0) (p : t) (f : 'a -> 'b) (xs : 'a array) :
+    ('b, failure) result array =
   let n = Array.length xs in
-  if p.size <= 1 || n <= 1 then Array.map f xs
+  let salt = Atomic.fetch_and_add call_seq 1 in
+  let task i x = run_task ~retries ~salt i f x in
+  if p.size <= 1 || n <= 1 then Array.mapi task xs
   else begin
-    let results : 'b option array = Array.make n None in
+    let results : ('b, failure) result option array = Array.make n None in
     (* per-call completion latch; the pool mutex only guards the queue *)
     let latch = Mutex.create () in
     let all_done = Condition.create () in
     let remaining = ref n in
-    let first_exn = ref None in
-    let task i () =
-      (match f xs.(i) with
-      | v -> results.(i) <- Some v
-      | exception e ->
-          Mutex.lock latch;
-          if !first_exn = None then first_exn := Some e;
-          Mutex.unlock latch);
+    let job i () =
+      let r = task i xs.(i) in
+      (* [run_task] never raises, so the slot is always filled *)
+      results.(i) <- Some r;
       Mutex.lock latch;
       decr remaining;
       if !remaining = 0 then Condition.signal all_done;
@@ -93,7 +186,7 @@ let map (p : t) (f : 'a -> 'b) (xs : 'a array) : 'b array =
     in
     Mutex.lock p.mutex;
     for i = 0 to n - 1 do
-      Queue.add (task i) p.queue
+      Queue.add (job i) p.queue
     done;
     Condition.broadcast p.has_work;
     Mutex.unlock p.mutex;
@@ -102,11 +195,24 @@ let map (p : t) (f : 'a -> 'b) (xs : 'a array) : 'b array =
       Condition.wait all_done latch
     done;
     Mutex.unlock latch;
-    match !first_exn with
-    | Some e -> raise e
-    | None ->
-        Array.map (function Some v -> v | None -> assert false) results
+    Array.map (function Some r -> r | None -> assert false) results
   end
+
+let map (p : t) (f : 'a -> 'b) (xs : 'a array) : 'b array =
+  let rs = map_isolated p f xs in
+  (* the lowest-index terminal failure is re-raised with the backtrace
+     captured where it was raised — deterministic at any [-j], and the
+     trace points into the task, not at the pool plumbing *)
+  let first_failure = ref None in
+  Array.iter
+    (fun r ->
+      match (r, !first_failure) with
+      | Error fl, None -> first_failure := Some fl
+      | _ -> ())
+    rs;
+  match !first_failure with
+  | Some fl -> Printexc.raise_with_backtrace fl.f_exn fl.f_backtrace
+  | None -> Array.map (function Ok v -> v | Error _ -> assert false) rs
 
 let map_list (p : t) (f : 'a -> 'b) (xs : 'a list) : 'b list =
   Array.to_list (map p f (Array.of_list xs))

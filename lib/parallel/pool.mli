@@ -1,11 +1,22 @@
 (** A fixed-size pool of OCaml 5 worker domains with a shared task
-    queue (Domain/Mutex/Condition only, no external dependencies).
+    queue (Domain/Mutex/Condition only).
 
     Built for the profiling search: tracing mutates [Memory.t] and
     stays on the calling domain, while the pure [Timing.run] candidate
     evaluations fan out here.  {!map} preserves input order, so callers
     get results bit-identical to a serial run regardless of worker
-    count. *)
+    count.
+
+    Every task runs isolated: an exception in one task never kills the
+    pool or the other tasks.  Failed tasks are retried a bounded number
+    of times with deterministic, seed-mixed backoff
+    ({!Hfuse_fault.Fault.jitter} — a pure function of the task key and
+    attempt, never the wall clock), so retries cannot perturb result
+    determinism at any [-j].  Faults injected by the chaos harness
+    ({!Hfuse_fault.Fault.Injected}) are transient by construction and
+    always retried.  The serial ([jobs <= 1]) path runs the identical
+    isolation/retry wrapper, so fault draws and tallies do not depend
+    on worker count. *)
 
 type t
 
@@ -17,11 +28,30 @@ val create : int -> t
 (** Effective parallelism: worker count, or 1 for a serial pool. *)
 val size : t -> int
 
-(** [map p f xs] applies [f] to every element, distributing work over
-    the pool's domains.  The result array is in input order.  [f] must
-    be safe to run on another domain (no shared mutable state).  If any
-    application raises, the first exception observed is re-raised after
-    all tasks finish. *)
+(** One task's terminal failure: the exception that exhausted its
+    retry budget, with the backtrace captured where it was raised. *)
+type failure = {
+  f_index : int;  (** index into the input array *)
+  f_attempts : int;  (** total attempts made (>= 1) *)
+  f_exn : exn;
+  f_backtrace : Printexc.raw_backtrace;
+}
+
+(** [map_isolated p f xs] applies [f] to every element with per-task
+    isolation: each element yields either its result or its terminal
+    {!failure}; one task's failure never affects another's.  Results
+    are in input order.  [retries] bounds re-runs after a *real*
+    exception (default 0 — a deterministic simulator usually fails the
+    same way twice); injected faults are always retried.  [f] must be
+    safe to run on another domain (no shared mutable state). *)
+val map_isolated :
+  ?retries:int -> t -> ('a -> 'b) -> 'a array -> ('b, failure) result array
+
+(** [map p f xs] is {!map_isolated} that re-raises on failure: if any
+    task fails terminally, the lowest-index failure's exception is
+    re-raised with its original backtrace after all tasks finish
+    (deterministic at any [-j]; satellite of debuggability — the trace
+    points at the raising task, not at the pool). *)
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 
 (** {!map} over lists, preserving order. *)
@@ -38,3 +68,14 @@ val with_pool : int -> (t -> 'a) -> 'a
 (** A sensible default worker count for this machine
     ([Domain.recommended_domain_count], capped). *)
 val default_jobs : unit -> int
+
+(** Process-wide availability counters: terminal task failures, retry
+    attempts, and tasks that failed at least once but ultimately
+    succeeded.  Domain-safe. *)
+type tally = { failures : int; retries : int; recovered : int }
+
+val tally : unit -> tally
+val reset_tally : unit -> unit
+
+(** ["F failures, R retries, C recovered"]. *)
+val pp_tally : Format.formatter -> tally -> unit

@@ -1,0 +1,193 @@
+(* Append-only checkpoint journal; see checkpoint.mli.
+
+   Record grammar (one record per line):
+
+     # <free-form header, ignored>
+     T <key> <md5> <escaped-payload>      candidate time
+     R <key> <md5> <escaped-payload>      measurement replay
+
+   The payload is the exact Profile_cache text encoding with newlines,
+   backslashes and NULs escaped so a record is one line; the digest
+   covers kind, key and the escaped payload, so any torn or damaged
+   line fails verification and is dropped on load (counted in [torn])
+   rather than crashing the resume.  Appends are flushed per record:
+   after a kill, at most the line being written is lost, and that line
+   is exactly what the digest check drops. *)
+
+type entry = Gpusim.Timing.report * Gpusim.Timing.engine_stats
+
+type t = {
+  enabled : bool;
+  path : string;
+  mutable oc : out_channel option;
+  times : (string, float) Hashtbl.t;
+  reports : (string, entry) Hashtbl.t;
+  mutable loaded : int;
+  mutable torn : int;
+}
+
+let default_dir = Filename.concat "_hfuse_cache" "journal"
+
+let disabled =
+  {
+    enabled = false;
+    path = "";
+    oc = None;
+    times = Hashtbl.create 1;
+    reports = Hashtbl.create 1;
+    loaded = 0;
+    torn = 0;
+  }
+
+let enabled t = t.enabled
+let path t = t.path
+let loaded t = t.loaded
+let torn t = t.torn
+
+let run_id ~(parts : string list) : string =
+  Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+(* ------------------------------------------------------------------ *)
+(* Record encoding                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 16) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\x00' -> Buffer.add_string buf "\\z"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '\\' when !i + 1 < n ->
+        incr i;
+        Buffer.add_char buf
+          (match s.[!i] with
+          | 'n' -> '\n'
+          | 'z' -> '\x00'
+          | c (* includes '\\' *) -> c)
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let record_digest ~kind ~key ~escaped =
+  Digest.to_hex (Digest.string (kind ^ "\x00" ^ key ^ "\x00" ^ escaped))
+
+let append t ~kind ~key (payload : string) : unit =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+      let escaped = escape payload in
+      Printf.fprintf oc "%s %s %s %s\n" kind key
+        (record_digest ~kind ~key ~escaped)
+        escaped;
+      (* a record is durable the moment it is written: a kill can only
+         tear the line in flight, which the load-time digest drops *)
+      flush oc
+
+(* [T key digest escaped-payload] -> (kind, key, payload) *)
+let parse_line (line : string) : (string * string * string) option =
+  match String.split_on_char ' ' line with
+  | kind :: key :: digest :: rest when kind = "T" || kind = "R" ->
+      let escaped = String.concat " " rest in
+      if digest = record_digest ~kind ~key ~escaped then
+        Some (kind, key, unescape escaped)
+      else None
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let load (t : t) : unit =
+  match open_in t.path with
+  | exception Sys_error _ -> ()
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try
+            while true do
+              let line = input_line ic in
+              if line <> "" && line.[0] <> '#' then
+                match parse_line line with
+                | Some ("T", key, payload) -> (
+                    match Profile_cache.decode_time payload with
+                    | v ->
+                        Hashtbl.replace t.times key v;
+                        t.loaded <- t.loaded + 1
+                    | exception _ -> t.torn <- t.torn + 1)
+                | Some ("R", key, payload) -> (
+                    match Profile_cache.decode_report payload with
+                    | v ->
+                        Hashtbl.replace t.reports key v;
+                        t.loaded <- t.loaded + 1
+                    | exception _ -> t.torn <- t.torn + 1)
+                | Some _ | None -> t.torn <- t.torn + 1
+            done
+          with End_of_file -> ())
+
+let open_ ?(dir = default_dir) ~(run_id : string) () : t =
+  Profile_cache.mkdir_p dir;
+  let path = Filename.concat dir (run_id ^ ".jnl") in
+  let t =
+    {
+      enabled = true;
+      path;
+      oc = None;
+      times = Hashtbl.create 64;
+      reports = Hashtbl.create 64;
+      loaded = 0;
+      torn = 0;
+    }
+  in
+  load t;
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  if t.loaded = 0 && t.torn = 0 then
+    Printf.fprintf oc "# hfuse-journal %s run %s\n" Profile_cache.version
+      run_id;
+  t.oc <- Some oc;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Records                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let find_time t ~key = if t.enabled then Hashtbl.find_opt t.times key else None
+
+let record_time t ~key (v : float) : unit =
+  if t.enabled && not (Hashtbl.mem t.times key) then begin
+    Hashtbl.replace t.times key v;
+    append t ~kind:"T" ~key (Profile_cache.encode_time v)
+  end
+
+let find_report t ~key =
+  if t.enabled then Hashtbl.find_opt t.reports key else None
+
+let record_report t ~key (v : entry) : unit =
+  if t.enabled && not (Hashtbl.mem t.reports key) then begin
+    Hashtbl.replace t.reports key v;
+    append t ~kind:"R" ~key (Profile_cache.encode_report v)
+  end
+
+let flush t =
+  match t.oc with Some oc -> Stdlib.flush oc | None -> ()
+
+let close t =
+  match t.oc with
+  | Some oc ->
+      t.oc <- None;
+      (try Stdlib.flush oc with Sys_error _ -> ());
+      close_out_noerr oc
+  | None -> ()

@@ -33,7 +33,7 @@ open Kernel_corpus
     holds for the whole corpus (spatial width or hash iterations). *)
 let rep_cache : (string, (string * int) list) Hashtbl.t = Hashtbl.create 4
 
-let representative_sizes_uncached ?pool ?cache (arch : Arch.t) :
+let representative_sizes_uncached ?pool ?cache ?checkpoint (arch : Arch.t) :
     (string * int) list =
   let mem = Memory.create () in
   (* configure+trace each kernel in registry order, then replay pooled *)
@@ -45,7 +45,8 @@ let representative_sizes_uncached ?pool ?cache (arch : Arch.t) :
       Registry.all
   in
   let reports =
-    Runner.run_many ?pool ?cache (Array.of_list (List.map snd prepped))
+    Runner.run_many ?pool ?cache ?checkpoint
+      (Array.of_list (List.map snd prepped))
   in
   let timed =
     List.mapi (fun i (s, _) -> (s, reports.(i).Timing.time_ms)) prepped
@@ -61,11 +62,12 @@ let representative_sizes_uncached ?pool ?cache (arch : Arch.t) :
       (s.name, max 1 scaled))
     timed
 
-let representative_sizes ?pool ?cache (arch : Arch.t) : (string * int) list =
+let representative_sizes ?pool ?cache ?checkpoint (arch : Arch.t) :
+    (string * int) list =
   match Hashtbl.find_opt rep_cache arch.Arch.name with
   | Some sizes -> sizes
   | None ->
-      let sizes = representative_sizes_uncached ?pool ?cache arch in
+      let sizes = representative_sizes_uncached ?pool ?cache ?checkpoint arch in
       Hashtbl.replace rep_cache arch.Arch.name sizes;
       sizes
 
@@ -138,7 +140,7 @@ let default_multipliers = [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
     [multipliers] x its representative size.  [jobs]/[pool]/[cache] are
     passed through to {!Runner.search} and the measurement fan-out. *)
 let sweep_pair ?(multipliers = default_multipliers) ?jobs ?pool ?cache
-    (arch : Arch.t) (sizes : (string * int) list)
+    ?checkpoint (arch : Arch.t) (sizes : (string * int) list)
     ((s1, s2) : Spec.t * Spec.t) : sweep =
   let mem = Memory.create () in
   let base1 = size_of sizes s1 and size2 = size_of sizes s2 in
@@ -160,7 +162,7 @@ let sweep_pair ?(multipliers = default_multipliers) ?jobs ?pool ?cache
               [ Runner.spec_of c1 ~stream:0 (); Runner.spec_of c2 ~stream:1 () ]
             )
         in
-        let sr = Runner.search ?jobs ?pool ?cache arch c1 c2 in
+        let sr = Runner.search ?jobs ?pool ?cache ?checkpoint arch c1 c2 in
         let best = sr.Hfuse_core.Search.best in
         let ivf =
           match Runner.vfuse_generate c1 c2 with
@@ -183,7 +185,7 @@ let sweep_pair ?(multipliers = default_multipliers) ?jobs ?pool ?cache
       multipliers
   in
   (* phase 2: pure measurement replays, fanned over the pool *)
-  let reports = Runner.run_many ?pool ?jobs ?cache (runs_of rl) in
+  let reports = Runner.run_many ?pool ?jobs ?cache ?checkpoint (runs_of rl) in
   let points =
     List.map
       (fun (size1, i1, i2, inat, best, ivf, inv) ->
@@ -207,14 +209,15 @@ let sweep_pair ?(multipliers = default_multipliers) ?jobs ?pool ?cache
   { pair = (s1, s2); arch; varied_first = true; points }
 
 (** The full Figure 7: 16 pairs x 2 architectures, one shared pool. *)
-let figure7 ?multipliers ?(jobs = 1) ?cache ?(archs = Arch.all)
+let figure7 ?multipliers ?(jobs = 1) ?cache ?checkpoint ?(archs = Arch.all)
     ?(pairs = Registry.all_pairs) () : sweep list =
   Hfuse_parallel.Pool.with_pool jobs (fun pool ->
       List.concat_map
         (fun arch ->
-          let sizes = representative_sizes ~pool ?cache arch in
+          let sizes = representative_sizes ~pool ?cache ?checkpoint arch in
           List.map
-            (fun pair -> sweep_pair ?multipliers ~pool ?cache arch sizes pair)
+            (fun pair ->
+              sweep_pair ?multipliers ~pool ?cache ?checkpoint arch sizes pair)
             pairs)
         archs)
 
@@ -227,8 +230,8 @@ type kernel_row = {
   per_arch : (Arch.t * Metrics.t) list;  (** in [archs] order *)
 }
 
-let figure8 ?(jobs = 1) ?pool ?cache ?(archs = Arch.all) () : kernel_row list
-    =
+let figure8 ?(jobs = 1) ?pool ?cache ?checkpoint ?(archs = Arch.all) () :
+    kernel_row list =
   let go pool =
     let rl = runlist () in
     let prepped =
@@ -237,14 +240,14 @@ let figure8 ?(jobs = 1) ?pool ?cache ?(archs = Arch.all) () : kernel_row list
           ( s,
             List.map
               (fun arch ->
-                let sizes = representative_sizes ~pool ?cache arch in
+                let sizes = representative_sizes ~pool ?cache ?checkpoint arch in
                 let mem = Memory.create () in
                 let c = Runner.configure mem s ~size:(size_of sizes s) in
                 (arch, push rl (arch, [ Runner.spec_of c ~stream:0 () ])))
               archs ))
         Registry.all
     in
-    let reports = Runner.run_many ~pool ?cache (runs_of rl) in
+    let reports = Runner.run_many ~pool ?cache ?checkpoint (runs_of rl) in
     List.map
       (fun ((s : Spec.t), per_arch) ->
         {
@@ -294,7 +297,7 @@ type f9_prep = {
   p_regcap : (int * int) option;  (** (r0, replay index) *)
 }
 
-let f9_prepare ?jobs ?pool ?cache (arch : Arch.t)
+let f9_prepare ?jobs ?pool ?cache ?checkpoint (arch : Arch.t)
     (sizes : (string * int) list) ((s1, s2) : Spec.t * Spec.t) rl : f9_prep =
   let mem = Memory.create () in
   let c1 = Runner.configure mem s1 ~size:(size_of sizes s1) in
@@ -305,7 +308,7 @@ let f9_prepare ?jobs ?pool ?cache (arch : Arch.t)
     push rl
       (arch, [ Runner.spec_of c1 ~stream:0 (); Runner.spec_of c2 ~stream:1 () ])
   in
-  let sr = Runner.search ?jobs ?pool ?cache arch c1 c2 in
+  let sr = Runner.search ?jobs ?pool ?cache ?checkpoint arch c1 c2 in
   let fused = sr.Hfuse_core.Search.best.Hfuse_core.Search.fused in
   let traces = Runner.hfuse_traces c1 c2 fused in
   let ihf0 = push rl (arch, [ Runner.hfuse_spec fused ~reg_bound:None ~traces ]) in
@@ -361,28 +364,29 @@ let f9_row (reports : Timing.report array) (p : f9_prep) : fused_row =
       Option.map (fun (r, i) -> variant (Some r) reports.(i)) p.p_regcap;
   }
 
-let figure9_pair ?jobs ?pool ?cache (arch : Arch.t)
+let figure9_pair ?jobs ?pool ?cache ?checkpoint (arch : Arch.t)
     (sizes : (string * int) list) (pair : Spec.t * Spec.t) : fused_row =
   let rl = runlist () in
-  let prep = f9_prepare ?jobs ?pool ?cache arch sizes pair rl in
-  let reports = Runner.run_many ?pool ?jobs ?cache (runs_of rl) in
+  let prep = f9_prepare ?jobs ?pool ?cache ?checkpoint arch sizes pair rl in
+  let reports = Runner.run_many ?pool ?jobs ?cache ?checkpoint (runs_of rl) in
   f9_row reports prep
 
 (** Figure 9 over all pairs and architectures: every pair's traces and
     search run serially (phase 1), then a single pool-wide fan-out
     replays all measurement runs at once. *)
-let figure9 ?(jobs = 1) ?cache ?(archs = Arch.all)
+let figure9 ?(jobs = 1) ?cache ?checkpoint ?(archs = Arch.all)
     ?(pairs = Registry.all_pairs) () : fused_row list =
   Hfuse_parallel.Pool.with_pool jobs (fun pool ->
       let rl = runlist () in
       let preps =
         List.concat_map
           (fun arch ->
-            let sizes = representative_sizes ~pool ?cache arch in
+            let sizes = representative_sizes ~pool ?cache ?checkpoint arch in
             List.map
-              (fun pair -> f9_prepare ~pool ?cache arch sizes pair rl)
+              (fun pair ->
+                f9_prepare ~pool ?cache ?checkpoint arch sizes pair rl)
               pairs)
           archs
       in
-      let reports = Runner.run_many ~pool ?cache (runs_of rl) in
+      let reports = Runner.run_many ~pool ?cache ?checkpoint (runs_of rl) in
       List.map (f9_row reports) preps)

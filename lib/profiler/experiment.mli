@@ -16,6 +16,7 @@
 val representative_sizes :
   ?pool:Hfuse_parallel.Pool.t ->
   ?cache:Profile_cache.t ->
+  ?checkpoint:Checkpoint.t ->
   Gpusim.Arch.t ->
   (string * int) list
 
@@ -57,6 +58,7 @@ val sweep_pair :
   ?jobs:int ->
   ?pool:Hfuse_parallel.Pool.t ->
   ?cache:Profile_cache.t ->
+  ?checkpoint:Checkpoint.t ->
   Gpusim.Arch.t ->
   (string * int) list ->
   Kernel_corpus.Spec.t * Kernel_corpus.Spec.t ->
@@ -67,6 +69,7 @@ val figure7 :
   ?multipliers:float list ->
   ?jobs:int ->
   ?cache:Profile_cache.t ->
+  ?checkpoint:Checkpoint.t ->
   ?archs:Gpusim.Arch.t list ->
   ?pairs:(Kernel_corpus.Spec.t * Kernel_corpus.Spec.t) list ->
   unit ->
@@ -82,6 +85,7 @@ val figure8 :
   ?jobs:int ->
   ?pool:Hfuse_parallel.Pool.t ->
   ?cache:Profile_cache.t ->
+  ?checkpoint:Checkpoint.t ->
   ?archs:Gpusim.Arch.t list ->
   unit ->
   kernel_row list
@@ -106,6 +110,7 @@ val figure9_pair :
   ?jobs:int ->
   ?pool:Hfuse_parallel.Pool.t ->
   ?cache:Profile_cache.t ->
+  ?checkpoint:Checkpoint.t ->
   Gpusim.Arch.t ->
   (string * int) list ->
   Kernel_corpus.Spec.t * Kernel_corpus.Spec.t ->
@@ -117,6 +122,7 @@ val figure9_pair :
 val figure9 :
   ?jobs:int ->
   ?cache:Profile_cache.t ->
+  ?checkpoint:Checkpoint.t ->
   ?archs:Gpusim.Arch.t list ->
   ?pairs:(Kernel_corpus.Spec.t * Kernel_corpus.Spec.t) list ->
   unit ->

@@ -10,22 +10,33 @@
    any input changes (including compiler changes that alter the emitted
    fused source).
 
-   Entries live under [dir]/v1/<digest> as a single hex-float line
-   ([%h], exact round-trip).  A second entry kind ([r-<digest>] files)
-   caches whole measurement-replay reports; see the full-report section
-   below.  Writes go through a temp file + rename so
-   a concurrent reader never sees a torn entry.  Lookups and stores are
-   only ever issued from the search's coordinating domain (the timing
-   fan-out never touches the cache), so no locking is needed. *)
+   Entries live under [dir]/v2/<digest>: a one-line header
+   ([hfuse-cache v2 <md5-of-payload>]) followed by the payload (times
+   as a single [%h] hex-float line; [r-<digest>] files hold whole
+   measurement-replay reports — see the full-report section below).
+   Writes go through a unique temp file + rename so a concurrent
+   reader never sees a torn entry even with several processes sharing
+   the directory; the header checksum catches everything rename cannot
+   (a crash that left a truncated file behind, bit rot, a partial copy)
+   and such entries are moved aside to [<root>/quarantine/<key>] and
+   treated as misses, so the value is recomputed and re-stored.
+   Lookups and stores are only ever issued from the search's
+   coordinating domain (the timing fan-out never touches the cache),
+   so no in-process locking is needed. *)
 
-(* bump whenever the key derivation or the timing model's inputs change
-   incompatibly; old entries are simply never looked up again *)
-let version = "v1"
+module Fault = Hfuse_fault.Fault
+
+(* bump whenever the key derivation, the entry format, or the timing
+   model's inputs change incompatibly; old entries are simply never
+   looked up again *)
+let version = "v2"
+let magic = "hfuse-cache"
 
 type stats = {
   mutable hits : int;
   mutable misses : int;
   mutable stores : int;
+  mutable corrupt : int;  (** entries quarantined after checksum failure *)
 }
 
 type t = {
@@ -34,10 +45,11 @@ type t = {
   stats : stats;
 }
 
-let fresh_stats () = { hits = 0; misses = 0; stores = 0 }
+let fresh_stats () = { hits = 0; misses = 0; stores = 0; corrupt = 0 }
 let hits t = t.stats.hits
 let misses t = t.stats.misses
 let stores t = t.stats.stores
+let corrupt t = t.stats.corrupt
 let enabled t = t.enabled
 let dir t = t.dir
 
@@ -100,46 +112,126 @@ let key ~(arch : string) ~(source : string) ~(d1 : int) ~(d2 : int)
 
 let entry_path t k = Filename.concat t.dir k
 
+(* Tolerates concurrent creators: several workers (or several [bench]
+   processes) may race to create the directory, so EEXIST is success,
+   not an error.  The old [Sys.file_exists]-then-[Sys.mkdir] dance had
+   a window where both checks passed and one mkdir failed. *)
 let rec mkdir_p d =
-  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
-    mkdir_p (Filename.dirname d);
-    try Sys.mkdir d 0o755
-    with Sys_error _ when Sys.file_exists d -> ()
+  if d <> "" && d <> "." && d <> "/" then
+    match Unix.mkdir d 0o755 with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+        mkdir_p (Filename.dirname d);
+        (try Unix.mkdir d 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+
+let checksum payload = Digest.to_hex (Digest.string payload)
+
+(* whole-file read; [Sys_error] means the entry is simply absent *)
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* header check: magic, version, and payload digest must all match *)
+let parse_entry (raw : string) : string option =
+  match String.index_opt raw '\n' with
+  | None -> None
+  | Some nl -> (
+      let header = String.sub raw 0 nl in
+      let payload = String.sub raw (nl + 1) (String.length raw - nl - 1) in
+      match String.split_on_char ' ' header with
+      | [ m; v; d ] when m = magic && v = version && d = checksum payload ->
+          Some payload
+      | _ -> None)
+
+let quarantine_dir t = Filename.concat (Filename.dirname t.dir) "quarantine"
+
+(* A checksum-failing entry is evidence of a crash or corruption, not a
+   stale format: keep the bytes for post-mortem instead of deleting
+   them, and get the entry out of the lookup path so the value is
+   recomputed. *)
+let quarantine t ~key ~path =
+  t.stats.corrupt <- t.stats.corrupt + 1;
+  (try
+     mkdir_p (quarantine_dir t);
+     Sys.rename path (Filename.concat (quarantine_dir t) key)
+   with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ()));
+  if Fault.enabled () then Fault.note_recovered Fault.Cache_corrupt
+
+type 'a entry = Absent | Corrupt | Found of 'a
+
+let read_entry (t : t) ~(key : string) (decode : string -> 'a) : 'a entry =
+  let path = entry_path t key in
+  match read_file path with
+  | exception Sys_error _ -> Absent
+  | raw -> (
+      match parse_entry raw with
+      | None ->
+          quarantine t ~key ~path;
+          Corrupt
+      | Some payload -> (
+          (* a payload that passed its digest but fails to decode means
+             the format and the checksum disagree — same treatment *)
+          match decode payload with
+          | v -> Found v
+          | exception _ ->
+              quarantine t ~key ~path;
+              Corrupt))
+
+let tmp_seq = Atomic.make 0
+
+let write_entry (t : t) ~(key : string) (payload : string) : unit =
+  mkdir_p t.dir;
+  let final = entry_path t key in
+  (* pid + per-process counter: unique even when one process stores the
+     same key twice or two processes share the directory *)
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" final (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_seq 1)
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "%s %s %s\n" magic version (checksum payload);
+      output_string oc payload);
+  Sys.rename tmp final;
+  t.stats.stores <- t.stats.stores + 1;
+  (* chaos hook: model a crash that committed a torn entry.  Drawn from
+     the entry key so the same (seed, key) corrupts on every run
+     regardless of scheduling; the checksum path above recovers it. *)
+  if Fault.enabled () && Fault.fires Fault.Cache_corrupt ~key:(Hashtbl.hash key)
+  then begin
+    Fault.note_injected Fault.Cache_corrupt;
+    try Unix.truncate final (max 8 (String.length payload / 2))
+    with Unix.Unix_error _ -> ()
   end
+
+(* ------------------------------------------------------------------ *)
+(* Candidate-time entries                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* %h is a hexadecimal float literal: exact binary round-trip, so
+   warmed-cache runs reproduce cold-run times bit-for-bit *)
+let encode_time (time_ms : float) : string = Printf.sprintf "%h\n" time_ms
+let decode_time (s : string) : float = float_of_string (String.trim s)
 
 let find (t : t) ~(key : string) : float option =
   if not t.enabled then None
   else
-    let read () =
-      let ic = open_in (entry_path t key) in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> float_of_string (String.trim (input_line ic)))
-    in
-    match read () with
-    | v ->
+    match read_entry t ~key decode_time with
+    | Found v ->
         t.stats.hits <- t.stats.hits + 1;
         Some v
-    | exception (Sys_error _ | End_of_file | Failure _) ->
-        (* absent or torn/corrupt: treat as a miss; a store overwrites *)
+    | Absent | Corrupt ->
         t.stats.misses <- t.stats.misses + 1;
         None
 
 let store (t : t) ~(key : string) (time_ms : float) : unit =
-  if t.enabled then begin
-    mkdir_p t.dir;
-    let final = entry_path t key in
-    let tmp = final ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
-    let oc = open_out tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        (* %h is a hexadecimal float literal: exact binary round-trip,
-           so warmed-cache runs reproduce cold-run times bit-for-bit *)
-        Printf.fprintf oc "%h\n" time_ms);
-    Sys.rename tmp final;
-    t.stats.stores <- t.stats.stores + 1
-  end
+  if t.enabled then write_entry t ~key (encode_time time_ms)
 
 (* ------------------------------------------------------------------ *)
 (* Full-report entries (measurement replays)                            *)
@@ -213,117 +305,119 @@ let report_key ~(arch : string) ~(policy : string)
   (* distinct filename namespace from candidate-time entries *)
   "r-" ^ Digest.to_hex (Digest.string (Buffer.contents buf))
 
-(* entry layout (text, one record per line):
+(* payload layout (text, one record per line):
      line 1: the 11 top-level report fields, floats as %h
      line 2: kernel count N
      N lines: label NUL elapsed issued blocks_per_sm
-     last:    the 7 engine_stats counters *)
+     last:    the 7 engine_stats counters
+   Also the checkpoint journal's report encoding (see Checkpoint). *)
+
+let encode_report
+    ((r : Gpusim.Timing.report), (es : Gpusim.Timing.engine_stats)) : string =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "%d %h %d %d %h %d %d %d %d %h %h\n" r.elapsed_cycles
+    r.time_ms r.issued_slots r.total_slots r.issue_slot_util r.mem_stall_slots
+    r.sync_stall_slots r.other_stall_slots r.idle_slots r.mem_stall_pct
+    r.occupancy;
+  Printf.bprintf buf "%d\n" (List.length r.kernels);
+  List.iter
+    (fun (k : Gpusim.Timing.kernel_metrics) ->
+      Printf.bprintf buf "%s\x00%d %d %d\n" k.k_label k.k_elapsed_cycles
+        k.k_issued k.k_blocks_per_sm)
+    r.kernels;
+  Printf.bprintf buf "%d %d %d %d %d %d %d\n" es.cycles_stepped
+    es.cycles_skipped es.sm_steps es.sm_steps_skipped es.scan_skip_hits
+    es.warp_allocs es.warp_reuses;
+  Buffer.contents buf
+
+let decode_report (s : string) :
+    Gpusim.Timing.report * Gpusim.Timing.engine_stats =
+  let lines = ref (String.split_on_char '\n' s) in
+  let next () =
+    match !lines with
+    | [] -> failwith "report: truncated"
+    | l :: rest ->
+        lines := rest;
+        l
+  in
+  let split line = String.split_on_char ' ' (String.trim line) in
+  let top =
+    match split (next ()) with
+    | [ ec; tm; is; ts; ut; ms; ss; os; id; mp; oc_ ] ->
+        {
+          Gpusim.Timing.elapsed_cycles = int_of_string ec;
+          time_ms = float_of_string tm;
+          issued_slots = int_of_string is;
+          total_slots = int_of_string ts;
+          issue_slot_util = float_of_string ut;
+          mem_stall_slots = int_of_string ms;
+          sync_stall_slots = int_of_string ss;
+          other_stall_slots = int_of_string os;
+          idle_slots = int_of_string id;
+          mem_stall_pct = float_of_string mp;
+          occupancy = float_of_string oc_;
+          kernels = [];
+        }
+    | _ -> failwith "report header"
+  in
+  let n = int_of_string (String.trim (next ())) in
+  let kernels =
+    List.init n (fun _ ->
+        let line = next () in
+        let cut = String.index line '\x00' in
+        let label = String.sub line 0 cut in
+        let rest = String.sub line (cut + 1) (String.length line - cut - 1) in
+        match split rest with
+        | [ ke; ki; kb ] ->
+            {
+              Gpusim.Timing.k_label = label;
+              k_elapsed_cycles = int_of_string ke;
+              k_issued = int_of_string ki;
+              k_blocks_per_sm = int_of_string kb;
+            }
+        | _ -> failwith "report kernel line")
+  in
+  let es =
+    match split (next ()) with
+    | [ cs; ck; st; sk; sc; wa; wr ] ->
+        {
+          Gpusim.Timing.cycles_stepped = int_of_string cs;
+          cycles_skipped = int_of_string ck;
+          sm_steps = int_of_string st;
+          sm_steps_skipped = int_of_string sk;
+          scan_skip_hits = int_of_string sc;
+          warp_allocs = int_of_string wa;
+          warp_reuses = int_of_string wr;
+        }
+    | _ -> failwith "report stats line"
+  in
+  ({ top with kernels }, es)
 
 let store_report (t : t) ~(key : string)
-    ((r : Gpusim.Timing.report), (es : Gpusim.Timing.engine_stats)) : unit =
-  if t.enabled then begin
-    mkdir_p t.dir;
-    let final = entry_path t key in
-    let tmp = final ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
-    let oc = open_out tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        Printf.fprintf oc "%d %h %d %d %h %d %d %d %d %h %h\n"
-          r.elapsed_cycles r.time_ms r.issued_slots r.total_slots
-          r.issue_slot_util r.mem_stall_slots r.sync_stall_slots
-          r.other_stall_slots r.idle_slots r.mem_stall_pct r.occupancy;
-        Printf.fprintf oc "%d\n" (List.length r.kernels);
-        List.iter
-          (fun (k : Gpusim.Timing.kernel_metrics) ->
-            Printf.fprintf oc "%s\x00%d %d %d\n" k.k_label k.k_elapsed_cycles
-              k.k_issued k.k_blocks_per_sm)
-          r.kernels;
-        Printf.fprintf oc "%d %d %d %d %d %d %d\n" es.cycles_stepped
-          es.cycles_skipped es.sm_steps es.sm_steps_skipped es.scan_skip_hits
-          es.warp_allocs es.warp_reuses);
-    Sys.rename tmp final;
-    t.stats.stores <- t.stats.stores + 1
-  end
+    (entry : Gpusim.Timing.report * Gpusim.Timing.engine_stats) : unit =
+  if t.enabled then write_entry t ~key (encode_report entry)
 
 let find_report (t : t) ~(key : string) :
     (Gpusim.Timing.report * Gpusim.Timing.engine_stats) option =
   if not t.enabled then None
   else
-    let split line = String.split_on_char ' ' (String.trim line) in
-    let read () =
-      let ic = open_in (entry_path t key) in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          let top =
-            match split (input_line ic) with
-            | [ ec; tm; is; ts; ut; ms; ss; os; id; mp; oc_ ] ->
-                {
-                  Gpusim.Timing.elapsed_cycles = int_of_string ec;
-                  time_ms = float_of_string tm;
-                  issued_slots = int_of_string is;
-                  total_slots = int_of_string ts;
-                  issue_slot_util = float_of_string ut;
-                  mem_stall_slots = int_of_string ms;
-                  sync_stall_slots = int_of_string ss;
-                  other_stall_slots = int_of_string os;
-                  idle_slots = int_of_string id;
-                  mem_stall_pct = float_of_string mp;
-                  occupancy = float_of_string oc_;
-                  kernels = [];
-                }
-            | _ -> failwith "report header"
-          in
-          let n = int_of_string (String.trim (input_line ic)) in
-          let kernels =
-            List.init n (fun _ ->
-                let line = input_line ic in
-                let cut = String.index line '\x00' in
-                let label = String.sub line 0 cut in
-                let rest =
-                  String.sub line (cut + 1) (String.length line - cut - 1)
-                in
-                match split rest with
-                | [ ke; ki; kb ] ->
-                    {
-                      Gpusim.Timing.k_label = label;
-                      k_elapsed_cycles = int_of_string ke;
-                      k_issued = int_of_string ki;
-                      k_blocks_per_sm = int_of_string kb;
-                    }
-                | _ -> failwith "report kernel line")
-          in
-          let es =
-            match split (input_line ic) with
-            | [ cs; ck; st; sk; sc; wa; wr ] ->
-                {
-                  Gpusim.Timing.cycles_stepped = int_of_string cs;
-                  cycles_skipped = int_of_string ck;
-                  sm_steps = int_of_string st;
-                  sm_steps_skipped = int_of_string sk;
-                  scan_skip_hits = int_of_string sc;
-                  warp_allocs = int_of_string wa;
-                  warp_reuses = int_of_string wr;
-                }
-            | _ -> failwith "report stats line"
-          in
-          ({ top with kernels }, es))
-    in
-    match read () with
-    | v ->
+    match read_entry t ~key decode_report with
+    | Found v ->
         t.stats.hits <- t.stats.hits + 1;
         Some v
-    | exception (Sys_error _ | End_of_file | Failure _ | Not_found) ->
+    | Absent | Corrupt ->
         t.stats.misses <- t.stats.misses + 1;
         None
 
 let pp_stats ppf (t : t) =
-  if t.enabled then
+  if t.enabled then begin
     Fmt.pf ppf "%d hit%s, %d miss%s, %d store%s" t.stats.hits
       (if t.stats.hits = 1 then "" else "s")
       t.stats.misses
       (if t.stats.misses = 1 then "" else "es")
       t.stats.stores
-      (if t.stats.stores = 1 then "" else "s")
+      (if t.stats.stores = 1 then "" else "s");
+    if t.stats.corrupt > 0 then
+      Fmt.pf ppf ", %d quarantined" t.stats.corrupt
+  end
   else Fmt.string ppf "disabled"

@@ -5,9 +5,16 @@
     register bound, workload sizes, trace-block count), so repeated
     [bench] / [hfuse search] sweeps skip the simulator entirely and the
     cache self-invalidates when any input — including the compiler's
-    emitted source — changes.  Entries are hex-float files under
-    [dir]/v1/, written atomically (temp file + rename).  Lookups and
-    stores must stay on the search's coordinating domain. *)
+    emitted source — changes.
+
+    Crash safety: every entry under [dir]/v2/ carries a one-line header
+    with an MD5 checksum of its payload and is committed with a unique
+    temp file + atomic rename.  An entry whose header or checksum fails
+    (torn write from a crash, bit flip, truncation) is moved to
+    [<root>/quarantine/<key>] for post-mortem, counted in {!corrupt},
+    and treated as a miss, so the value is recomputed and re-stored —
+    a corrupted cache can slow a run down but never change its result.
+    Lookups and stores must stay on the search's coordinating domain. *)
 
 type t
 
@@ -33,6 +40,11 @@ val enabled : t -> bool
 (** Versioned entry directory (empty for a disabled cache). *)
 val dir : t -> string
 
+(** Directory-creation helper shared with the checkpoint journal:
+    [mkdir -p] semantics that tolerate concurrent creators (EEXIST from
+    a racing worker or process is success, not an error). *)
+val mkdir_p : string -> unit
+
 (** Content hash identifying one profiled candidate. *)
 val key :
   arch:string ->
@@ -51,7 +63,8 @@ val key :
   string
 
 (** Cached time for [key], if present and well-formed.  Counts a hit or
-    a miss. *)
+    a miss; a checksum-failing entry is quarantined and counts as both
+    a miss and a {!corrupt}. *)
 val find : t -> key:string -> float option
 
 (** Persist a time for [key] (no-op when disabled). *)
@@ -77,11 +90,24 @@ val store_report :
   Gpusim.Timing.report * Gpusim.Timing.engine_stats ->
   unit
 
+(** Exact textual payload encodings, shared with the checkpoint
+    journal.  [encode_time]/[encode_report] round-trip bit-identically
+    through their decoders; the decoders raise [Failure] on malformed
+    input. *)
+val encode_time : float -> string
+
+val decode_time : string -> float
+val encode_report : Gpusim.Timing.report * Gpusim.Timing.engine_stats -> string
+val decode_report : string -> Gpusim.Timing.report * Gpusim.Timing.engine_stats
+
 (** Lifetime counters for this handle. *)
 val hits : t -> int
 
 val misses : t -> int
 val stores : t -> int
 
-(** ["N hits, M misses, K stores"], or ["disabled"]. *)
+(** Entries quarantined after a header/checksum/decode failure. *)
+val corrupt : t -> int
+
+(** ["N hits, M misses, K stores(, J quarantined)"], or ["disabled"]. *)
 val pp_stats : t Fmt.t

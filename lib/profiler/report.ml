@@ -398,6 +398,7 @@ let json_of_search_stats (s : Runner.search_stats) : Json.t =
       ("profiled", Json.Int s.Runner.profiled);
       ("cache_hits", Json.Int s.Runner.cache_hits);
       ("profile_wall_s", Json.Float s.Runner.profile_wall_s);
+      ("failed", Json.Int s.Runner.failed);
     ]
 
 let json_of_cache (c : Profile_cache.t) : Json.t =
@@ -407,6 +408,7 @@ let json_of_cache (c : Profile_cache.t) : Json.t =
       ("hits", Json.Int (Profile_cache.hits c));
       ("misses", Json.Int (Profile_cache.misses c));
       ("stores", Json.Int (Profile_cache.stores c));
+      ("quarantined", Json.Int (Profile_cache.corrupt c));
     ]
 
 let figure7_json (sweeps : Experiment.sweep list) : Json.t =

@@ -20,6 +20,7 @@
 
 open Gpusim
 open Kernel_corpus
+module Fault = Hfuse_fault.Fault
 
 (* Traced blocks per profiling launch.  1 matches the paper's
    methodology (one representative block, replayed cyclically over the
@@ -96,7 +97,10 @@ let traced (key : trace_key) (record : unit -> Trace.block array) :
   match Hashtbl.find_opt cache key with
   | Some t -> t
   | None ->
-      let t = record () in
+      (* every trace-recording launch is an injection point for the
+         chaos harness's sim_hang; injected faults are transient, so
+         the retry wrapper keeps them out of callers *)
+      let t = Fault.with_retries ~key:(Hashtbl.hash key) record in
       Hashtbl.replace cache key t;
       t
 
@@ -282,22 +286,25 @@ type search_stats = {
   mutable profiled : int;  (** candidates timed on the simulator *)
   mutable cache_hits : int;  (** candidates answered by the disk cache *)
   mutable profile_wall_s : float;  (** wall time inside batch profiling *)
+  mutable failed : int;  (** candidates whose profile failed (excluded) *)
 }
 
 let stats : search_stats =
-  { profiled = 0; cache_hits = 0; profile_wall_s = 0.0 }
+  { profiled = 0; cache_hits = 0; profile_wall_s = 0.0; failed = 0 }
 
 let search_stats () =
   {
     profiled = stats.profiled;
     cache_hits = stats.cache_hits;
     profile_wall_s = stats.profile_wall_s;
+    failed = stats.failed;
   }
 
 let reset_search_stats () =
   stats.profiled <- 0;
   stats.cache_hits <- 0;
-  stats.profile_wall_s <- 0.0
+  stats.profile_wall_s <- 0.0;
+  stats.failed <- 0
 
 let pp_search_stats ppf (s : search_stats) =
   Fmt.pf ppf "%d candidate%s profiled, %d cache hit%s, %.2fs profiling wall"
@@ -305,7 +312,8 @@ let pp_search_stats ppf (s : search_stats) =
     (if s.profiled = 1 then "" else "s")
     s.cache_hits
     (if s.cache_hits = 1 then "" else "s")
-    s.profile_wall_s
+    s.profile_wall_s;
+  if s.failed > 0 then Fmt.pf ppf ", %d failed" s.failed
 
 let candidate_key (arch : Arch.t) (c1 : configured) (c2 : configured)
     (f : Hfuse_core.Hfuse.t) ~(reg_bound : int option) : string =
@@ -330,25 +338,39 @@ let candidate_key (arch : Arch.t) (c1 : configured) (c2 : configured)
    and each hit folds the producing replay's engine stats into the
    process-wide counters so cumulative stats still describe the work
    behind the reported numbers.  Cache I/O stays on the calling
-   domain. *)
+   domain.
+
+   An enabled [checkpoint] journal is consulted before the cache (a
+   resumed run answers everything the interrupted run already
+   produced), and every result — cache hit or fresh replay — is also
+   recorded into it, so a later resume replays this call entirely from
+   the journal. *)
 let run_many ?pool ?(jobs = 1) ?(cache = Profile_cache.disabled ())
+    ?(checkpoint = Checkpoint.disabled)
     (runs : (Arch.t * Timing.launch_spec list) array) : Timing.report array =
   let n = Array.length runs in
   let use_cache = Profile_cache.enabled cache in
+  let use_ckpt = Checkpoint.enabled checkpoint in
   let keys = Array.make n "" in
   let results : Timing.report option array = Array.make n None in
-  if use_cache then
+  if use_cache || use_ckpt then
     Array.iteri
       (fun i (arch, specs) ->
         let key =
           Profile_cache.report_key ~arch:arch.Arch.name ~policy:"fifo" specs
         in
         keys.(i) <- key;
-        match Profile_cache.find_report cache ~key with
+        match Checkpoint.find_report checkpoint ~key with
         | Some (r, es) ->
             Timing.accumulate_stats es;
             results.(i) <- Some r
-        | None -> ())
+        | None -> (
+            match Profile_cache.find_report cache ~key with
+            | Some (r, es) ->
+                Timing.accumulate_stats es;
+                Checkpoint.record_report checkpoint ~key (r, es);
+                results.(i) <- Some r
+            | None -> ()))
       runs;
   let miss_idx =
     List.filter (fun i -> Option.is_none results.(i)) (List.init n Fun.id)
@@ -371,15 +393,38 @@ let run_many ?pool ?(jobs = 1) ?(cache = Profile_cache.disabled ())
     (fun j i ->
       let r, es = fresh.(j) in
       results.(i) <- Some r;
-      if use_cache then Profile_cache.store_report cache ~key:keys.(i) (r, es))
+      if use_cache then Profile_cache.store_report cache ~key:keys.(i) (r, es);
+      if use_ckpt then Checkpoint.record_report checkpoint ~key:keys.(i) (r, es))
     miss_idx;
+  Checkpoint.flush checkpoint;
   Array.map (function Some r -> r | None -> assert false) results
 
+(* Exceptions that fail one candidate's profile without invalidating
+   the rest of the search: simulator watchdog trips, launch/geometry
+   problems and runtime faults in the candidate itself.  Anything else
+   (Out_of_memory, programming errors) still aborts the search. *)
+let is_profile_failure = function
+  | Launch.Sim_timeout _ | Launch.Deadlock _ | Launch.Launch_error _
+  | Interp.Exec_error _ | Value.Runtime_error _ ->
+      true
+  | _ -> false
+
 let search ?(jobs = 1) ?pool ?(cache = Profile_cache.from_env ())
-    (arch : Arch.t) (c1 : configured) (c2 : configured) :
-    Hfuse_core.Search.result =
+    ?(checkpoint = Checkpoint.disabled) (arch : Arch.t) (c1 : configured)
+    (c2 : configured) : Hfuse_core.Search.result =
+  (* a candidate whose profile fails (fuel exhaustion, deadlock, a
+     crashed worker past its retry budget) is excluded by giving it an
+     infinite time: the Fig. 6 fold keeps the first strictly-fastest
+     candidate, so infinity never wins while any candidate completed *)
+  let candidate_failed (f : Hfuse_core.Hfuse.t) (e : exn) : float =
+    stats.failed <- stats.failed + 1;
+    Printf.eprintf "hfuse: warning: candidate %s (d1=%d d2=%d) failed: %s\n%!"
+      f.fn.f_name f.d1 f.d2 (Printexc.to_string e);
+    Float.infinity
+  in
   let profile fused ~reg_bound =
-    (hfuse_report arch c1 c2 fused ~reg_bound).Timing.time_ms
+    Fault.with_retries ~key:(Hashtbl.hash (fused.Hfuse_core.Hfuse.d1, reg_bound))
+      (fun () -> (hfuse_report arch c1 c2 fused ~reg_bound).Timing.time_ms)
   in
   (* phase 2 evaluator: disk-cache probe and trace acquisition run
      serially on this domain (tracing mutates Memory.t; the cache file
@@ -391,29 +436,51 @@ let search ?(jobs = 1) ?pool ?(cache = Profile_cache.from_env ())
       : float list =
     let t0 = Unix.gettimeofday () in
     let batch = Array.of_list batch in
+    let keyed = Profile_cache.enabled cache || Checkpoint.enabled checkpoint in
     let keys =
       Array.map
         (fun (f, (cfg : Hfuse_core.Search.config)) ->
-          if Profile_cache.enabled cache then
+          if keyed then
             Some (candidate_key arch c1 c2 f ~reg_bound:cfg.reg_bound)
           else None)
         batch
     in
+    (* resolution order: checkpoint journal (a resumed run replays the
+       interrupted run's answers), then the persistent cache (hits are
+       journaled so the resume no longer depends on the cache file) *)
     let cached =
       Array.map
-        (function Some key -> Profile_cache.find cache ~key | None -> None)
+        (function
+          | Some key -> (
+              match Checkpoint.find_time checkpoint ~key with
+              | Some t -> Some t
+              | None -> (
+                  match Profile_cache.find cache ~key with
+                  | Some t ->
+                      Checkpoint.record_time checkpoint ~key t;
+                      Some t
+                  | None -> None))
+          | None -> None)
         keys
     in
+    let times = Array.map (Option.value ~default:nan) cached in
     (* serial trace acquisition for the misses, in candidate order —
-       the same interpretation order as the serial search *)
+       the same interpretation order as the serial search.  Injected
+       faults (sim_hang) are transient and retried here; a real
+       failure excludes just this candidate. *)
     let miss_specs =
       Array.mapi
         (fun i (f, (cfg : Hfuse_core.Search.config)) ->
           match cached.(i) with
           | Some _ -> None
-          | None ->
-              let traces = hfuse_traces c1 c2 f in
-              Some (hfuse_spec f ~reg_bound:cfg.reg_bound ~traces))
+          | None -> (
+              match
+                Fault.with_retries ~key:i (fun () -> hfuse_traces c1 c2 f)
+              with
+              | traces -> Some (hfuse_spec f ~reg_bound:cfg.reg_bound ~traces)
+              | exception e when is_profile_failure e ->
+                  times.(i) <- candidate_failed f e;
+                  None))
         batch
     in
     let miss_idx =
@@ -422,8 +489,10 @@ let search ?(jobs = 1) ?pool ?(cache = Profile_cache.from_env ())
       |> List.filter_map (fun (i, s) -> Option.map (fun s -> (i, s)) s)
       |> Array.of_list
     in
+    (* per-task isolation: a worker exception (or a crashed injected
+       task past its retry budget) fails one candidate, not the batch *)
     let time_misses p =
-      Hfuse_parallel.Pool.map p
+      Hfuse_parallel.Pool.map_isolated p
         (fun (_, spec) -> (Timing.run arch [ spec ]).Timing.time_ms)
         miss_idx
     in
@@ -432,25 +501,52 @@ let search ?(jobs = 1) ?pool ?(cache = Profile_cache.from_env ())
       | Some p -> time_misses p
       | None -> Hfuse_parallel.Pool.with_pool jobs time_misses
     in
-    let times = Array.map (Option.value ~default:nan) cached in
+    let completed = ref 0 in
     Array.iteri
       (fun j (i, _) ->
-        let t = miss_times.(j) in
-        times.(i) <- t;
-        Option.iter
-          (fun key -> Profile_cache.store cache ~key t)
-          keys.(i))
+        match miss_times.(j) with
+        | Ok t ->
+            incr completed;
+            times.(i) <- t;
+            Option.iter
+              (fun key ->
+                Profile_cache.store cache ~key t;
+                Checkpoint.record_time checkpoint ~key t)
+              keys.(i)
+        | Error (fl : Hfuse_parallel.Pool.failure) ->
+            let f, _ = batch.(i) in
+            times.(i) <- candidate_failed f fl.f_exn)
       miss_idx;
-    stats.profiled <- stats.profiled + Array.length miss_idx;
+    Checkpoint.flush checkpoint;
+    stats.profiled <- stats.profiled + !completed;
     stats.cache_hits <-
-      stats.cache_hits + (Array.length batch - Array.length miss_idx);
+      stats.cache_hits
+      + Array.fold_left
+          (fun acc c -> acc + if Option.is_some c then 1 else 0)
+          0 cached;
     stats.profile_wall_s <-
       stats.profile_wall_s +. (Unix.gettimeofday () -. t0);
     Array.to_list times
   in
-  Hfuse_core.Search.search
-    ~limits:(Arch.sm_limits arch)
-    ~profile_batch ~profile ~d0:(d0_for c1 c2) c1.info c2.info
+  let failed_before = stats.failed in
+  let result =
+    Hfuse_core.Search.search
+      ~limits:(Arch.sm_limits arch)
+      ~profile_batch ~profile ~d0:(d0_for c1 c2) c1.info c2.info
+  in
+  if not (Float.is_finite result.Hfuse_core.Search.best.Hfuse_core.Search.time)
+  then
+    failwith
+      (Printf.sprintf "Runner.search: every candidate of %s + %s failed to profile"
+         c1.spec.name c2.spec.name);
+  if stats.failed > failed_before then
+    Printf.eprintf
+      "hfuse: warning: search %s + %s degraded: %d candidate(s) failed, best \
+       is best-of-completed\n\
+       %!"
+      c1.spec.name c2.spec.name
+      (stats.failed - failed_before);
+  result
 
 let naive_hfuse (c1 : configured) (c2 : configured) : Hfuse_core.Hfuse.t option
     =
@@ -464,6 +560,11 @@ let naive_hfuse (c1 : configured) (c2 : configured) : Hfuse_core.Hfuse.t option
     both kernels' outputs against their host references. *)
 let validate_hfuse (s1 : Spec.t) ~(size1 : int) (s2 : Spec.t)
     ~(size2 : int) ~(d1 : int) ~(d2 : int) : (unit, string) result =
+  (* retried from scratch on an injected hang: the whole run restarts
+     with fresh memory, so a partial first execution cannot leak into
+     the correctness check *)
+  Fault.with_retries ~key:(Hashtbl.hash (s1.Spec.name, s2.Spec.name, d1, d2))
+  @@ fun () ->
   let mem = Memory.create () in
   let i1 = s1.instantiate mem ~size:size1 in
   let i2 = s2.instantiate mem ~size:size2 in
@@ -488,6 +589,8 @@ let validate_hfuse (s1 : Spec.t) ~(size1 : int) (s2 : Spec.t)
 
 let validate_vfuse (s1 : Spec.t) ~(size1 : int) (s2 : Spec.t)
     ~(size2 : int) : (unit, string) result =
+  Fault.with_retries ~key:(Hashtbl.hash (s1.Spec.name, s2.Spec.name))
+  @@ fun () ->
   let mem = Memory.create () in
   let i1 = s1.instantiate mem ~size:size1 in
   let i2 = s2.instantiate mem ~size:size2 in

@@ -122,8 +122,12 @@ val d0_for : configured -> configured -> int
 (** Cumulative observability counters for the profiling search. *)
 type search_stats = {
   mutable profiled : int;  (** candidates timed on the simulator *)
-  mutable cache_hits : int;  (** candidates answered by the disk cache *)
+  mutable cache_hits : int;
+      (** candidates answered by the disk cache or a resume journal *)
   mutable profile_wall_s : float;  (** wall time inside batch profiling *)
+  mutable failed : int;
+      (** candidates whose profile failed and were excluded from the
+          search (their time is infinite, so they can never win) *)
 }
 
 (** Snapshot of the process-wide counters. *)
@@ -144,9 +148,14 @@ val pp_search_stats : search_stats Fmt.t
     ({!Profile_cache.find_report}; keyed over the specs and their packed
     traces) and only fans the misses out, storing their reports after.
     Hits are bit-identical to replays, and each hit's recorded engine
-    stats are folded into {!Gpusim.Timing.cumulative_stats}. *)
+    stats are folded into {!Gpusim.Timing.cumulative_stats}.
+
+    An enabled [checkpoint] journal is consulted before the cache and
+    records every result, so a killed run resumed with the same journal
+    replays this call's answers bit-identically. *)
 val run_many :
   ?pool:Hfuse_parallel.Pool.t -> ?jobs:int -> ?cache:Profile_cache.t ->
+  ?checkpoint:Checkpoint.t ->
   (Gpusim.Arch.t * Gpusim.Timing.launch_spec list) array ->
   Gpusim.Timing.report array
 
@@ -159,10 +168,21 @@ val run_many :
     @param cache persistent profiling cache (default
                  {!Profile_cache.from_env}, i.e. disabled unless the
                  [HFUSE_CACHE]/[HFUSE_CACHE_DIR] environment enables it).
-    [best], [all] and [rejected] are bit-identical across any [jobs]
-    and across cold/warm cache runs. *)
+    @param checkpoint resume journal: candidate times already recorded
+                 by an interrupted run are replayed, and every fresh
+                 time is journaled (default {!Checkpoint.disabled}).
+    [best], [all] and [rejected] are bit-identical across any [jobs],
+    across cold/warm cache runs, and across interrupted-and-resumed
+    runs.
+
+    Fault tolerance: a candidate whose profile fails (simulator
+    watchdog trip, deadlock, a crashed worker past its retry budget)
+    is excluded with an infinite time and a stderr warning, and the
+    search degrades to best-of-completed; only when {e every}
+    candidate fails does the call raise [Failure]. *)
 val search :
   ?jobs:int -> ?pool:Hfuse_parallel.Pool.t -> ?cache:Profile_cache.t ->
+  ?checkpoint:Checkpoint.t ->
   Gpusim.Arch.t -> configured -> configured -> Hfuse_core.Search.result
 
 val naive_hfuse : configured -> configured -> Hfuse_core.Hfuse.t option

@@ -1,0 +1,181 @@
+(* The chaos-injection harness: spec parsing, pure deterministic draws,
+   backoff jitter, retry/recovery semantics, and the fault tally.  Every
+   test clears the plan on exit so the other suites stay fault-free. *)
+
+module Fault = Hfuse_fault.Fault
+
+let with_plan spec f =
+  (match Fault.configure spec with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "configure %S rejected: %s" spec e);
+  Fun.protect ~finally:(fun () ->
+      Fault.clear ();
+      Fault.reset_tally ())
+    f
+
+let test_configure_ok () =
+  with_plan "worker_crash:0.05,cache_corrupt:0.1,sim_hang:0.02,seed:7"
+    (fun () ->
+      Alcotest.(check bool) "enabled" true (Fault.enabled ());
+      Alcotest.(check (float 0.0)) "crash rate" 0.05 (Fault.rate Worker_crash);
+      Alcotest.(check (float 0.0)) "corrupt rate" 0.1 (Fault.rate Cache_corrupt);
+      Alcotest.(check (float 0.0)) "hang rate" 0.02 (Fault.rate Sim_hang));
+  Alcotest.(check bool) "cleared" false (Fault.enabled ());
+  Alcotest.(check (float 0.0)) "rates drop to 0" 0.0 (Fault.rate Worker_crash)
+
+let test_configure_errors () =
+  let rejects spec =
+    match Fault.configure spec with
+    | Ok () ->
+        Fault.clear ();
+        Alcotest.failf "malformed spec %S accepted" spec
+    | Error _ -> ()
+  in
+  rejects "worker_crash";
+  rejects "worker_crash:nope";
+  rejects "worker_crash:1.5";
+  rejects "worker_crash:-0.1";
+  rejects "disk_full:0.5";
+  (* an empty spec is the documented way to clear the plan *)
+  (match Fault.configure "worker_crash:1.0" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid spec rejected: %s" e);
+  (match Fault.configure "" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "empty spec rejected: %s" e);
+  Alcotest.(check bool) "empty spec clears" false (Fault.enabled ())
+
+let test_fires_deterministic () =
+  with_plan "worker_crash:0.5,seed:3" (fun () ->
+      let draws = Array.init 512 (fun k -> Fault.fires Worker_crash ~key:k) in
+      Array.iteri
+        (fun k d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "key %d draws the same answer twice" k)
+            d
+            (Fault.fires Worker_crash ~key:k))
+        draws;
+      let hits =
+        Array.fold_left (fun n d -> if d then n + 1 else n) 0 draws
+      in
+      (* a 0.5 draw over 512 keys lands well inside [128, 384] *)
+      Alcotest.(check bool)
+        (Printf.sprintf "rate 0.5 fires about half the time (%d/512)" hits)
+        true
+        (hits > 128 && hits < 384))
+
+let test_fires_extremes () =
+  with_plan "cache_corrupt:1.0,sim_hang:0.0" (fun () ->
+      for k = 0 to 255 do
+        Alcotest.(check bool) "rate 1 always fires" true
+          (Fault.fires Cache_corrupt ~key:k);
+        Alcotest.(check bool) "rate 0 never fires" false
+          (Fault.fires Sim_hang ~key:k);
+        (* unconfigured kinds never fire either *)
+        Alcotest.(check bool) "unconfigured kind never fires" false
+          (Fault.fires Worker_crash ~key:k)
+      done);
+  Alcotest.(check bool) "disabled plan never fires" false
+    (Fault.fires Cache_corrupt ~key:0)
+
+let test_jitter () =
+  for attempt = 0 to 8 do
+    for key = 0 to 63 do
+      let j = Fault.jitter ~key ~attempt in
+      Alcotest.(check bool) "jitter positive" true (j > 0.0);
+      Alcotest.(check bool) "jitter bounded" true (j < 1.0);
+      Alcotest.(check (float 0.0)) "jitter deterministic" j
+        (Fault.jitter ~key ~attempt)
+    done
+  done
+
+let test_with_retries_injected () =
+  with_plan "worker_crash:1.0" (fun () ->
+      Fault.reset_tally ();
+      (* an injected fault is transient: the wrapper retries until the
+         task runs clean, even with no real-failure budget *)
+      let calls = ref 0 in
+      let v =
+        Fault.with_retries ~key:11 (fun () ->
+            incr calls;
+            if !calls = 1 then raise (Fault.Injected Worker_crash);
+            41 + 1)
+      in
+      Alcotest.(check int) "recovered value" 42 v;
+      Alcotest.(check int) "retried once" 2 !calls;
+      Alcotest.(check bool) "recovery noted" true
+        (Fault.recovered_total () >= 1))
+
+let test_with_retries_budget () =
+  (* no plan installed: only the explicit budget applies *)
+  Fault.clear ();
+  Fault.reset_tally ();
+  let calls = ref 0 in
+  let v =
+    Fault.with_retries ~budget:2 ~key:5 (fun () ->
+        incr calls;
+        if !calls < 3 then failwith "flaky";
+        "ok")
+  in
+  Alcotest.(check string) "recovers within budget" "ok" v;
+  Alcotest.(check int) "two retries used" 3 !calls;
+  let calls = ref 0 in
+  (match
+     Fault.with_retries ~budget:1 ~key:5 (fun () ->
+         incr calls;
+         failwith "always")
+   with
+  | _ -> Alcotest.fail "exhausted retries must re-raise"
+  | exception Failure msg ->
+      Alcotest.(check string) "original exception" "always" msg);
+  Alcotest.(check int) "budget 1 means two attempts" 2 !calls;
+  (* default budget is zero: a real failure propagates immediately *)
+  let calls = ref 0 in
+  (match
+     Fault.with_retries ~key:5 (fun () ->
+         incr calls;
+         failwith "once")
+   with
+  | _ -> Alcotest.fail "default budget must not retry"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "single attempt" 1 !calls;
+  Fault.reset_tally ()
+
+let test_tally () =
+  Fault.clear ();
+  Fault.reset_tally ();
+  Alcotest.(check int) "fresh tally empty" 0 (Fault.injected_total ());
+  Fault.note_injected Worker_crash;
+  Fault.note_injected Worker_crash;
+  Fault.note_injected Sim_hang;
+  Fault.note_recovered Worker_crash;
+  let t = Fault.tally () in
+  Alcotest.(check int) "injected total" 3 (Fault.injected_total ());
+  Alcotest.(check int) "recovered total" 1 (Fault.recovered_total ());
+  Alcotest.(check int) "crash count" 2
+    (List.assoc Fault.Worker_crash t.Fault.injected);
+  Alcotest.(check int) "hang count" 1
+    (List.assoc Fault.Sim_hang t.Fault.injected);
+  let s = Fmt.str "%a" Fault.pp_tally t in
+  Alcotest.(check string) "pp_tally"
+    "injected 3 (crash 2, corrupt 0, hang 1), recovered 1" s;
+  Fault.reset_tally ();
+  Alcotest.(check int) "reset" 0 (Fault.injected_total ())
+
+let suite =
+  [
+    Alcotest.test_case "spec parsing accepts the documented form" `Quick
+      test_configure_ok;
+    Alcotest.test_case "spec parsing rejects malformed plans" `Quick
+      test_configure_errors;
+    Alcotest.test_case "draws are pure in the key" `Quick
+      test_fires_deterministic;
+    Alcotest.test_case "rate 0 and rate 1 are exact" `Quick test_fires_extremes;
+    Alcotest.test_case "backoff jitter is bounded and deterministic" `Quick
+      test_jitter;
+    Alcotest.test_case "injected faults are retried to success" `Quick
+      test_with_retries_injected;
+    Alcotest.test_case "real failures respect the retry budget" `Quick
+      test_with_retries_budget;
+    Alcotest.test_case "fault tally" `Quick test_tally;
+  ]

@@ -452,9 +452,10 @@ __global__ void k(int* out) {
 |}
       (fun mem -> [ Value.Ptr (alloc_out mem) ])
   with
-  | exception Interp.Exec_error msg ->
-      Alcotest.(check bool) "mentions fuel/loop" true
-        (Test_util.contains msg "loop")
+  | exception Launch.Sim_timeout { kernel; fuel; block } ->
+      Alcotest.(check string) "kernel name" "k" kernel;
+      Alcotest.(check bool) "positive fuel" true (fuel > 0);
+      Alcotest.(check int) "block 0" 0 block
   | _ -> Alcotest.fail "expected loop-fuel exhaustion"
 
 let suite =

@@ -15,6 +15,7 @@ let () =
       ("memory", Test_memory.suite);
       ("interp", Test_interp.suite);
       ("timing", Test_timing.suite);
+      ("fault", Test_fault.suite);
       ("parallel", Test_parallel.suite);
       ("profiler", Test_profiler.suite);
       ("analyzer", Test_analyzer.suite);

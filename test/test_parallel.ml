@@ -67,6 +67,113 @@ let test_pool_reuse () =
 let test_default_jobs () =
   Alcotest.(check bool) "default jobs positive" true (Pool.default_jobs () >= 1)
 
+(* -- isolation, retries, chaos ----------------------------------------- *)
+
+module Fault = Hfuse_fault.Fault
+
+let test_map_isolated_shapes () =
+  Pool.with_pool 4 (fun p ->
+      let results =
+        Pool.map_isolated p
+          (fun i -> if i mod 3 = 1 then failwith (string_of_int i) else i * i)
+          (Array.init 9 Fun.id)
+      in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v ->
+              Alcotest.(check bool) "only passing indices succeed" true
+                (i mod 3 <> 1);
+              Alcotest.(check int) "value" (i * i) v
+          | Error (fl : Pool.failure) ->
+              Alcotest.(check bool) "only failing indices fail" true
+                (i mod 3 = 1);
+              Alcotest.(check int) "failure carries its index" i fl.f_index;
+              Alcotest.(check int) "no retries by default" 1 fl.f_attempts;
+              (match fl.f_exn with
+              | Failure m ->
+                  Alcotest.(check string) "original exception" (string_of_int i)
+                    m
+              | _ -> Alcotest.fail "expected Failure");
+              (* the backtrace was captured where the task raised *)
+              ignore (Printexc.raw_backtrace_to_string fl.f_backtrace))
+        results)
+
+let test_map_isolated_retries () =
+  Pool.reset_tally ();
+  Pool.with_pool 2 (fun p ->
+      (* each task fails on its first attempt and succeeds on retry;
+         per-index atomics survive the task landing on any domain *)
+      let n = 8 in
+      let attempts = Array.init n (fun _ -> Atomic.make 0) in
+      let results =
+        Pool.map_isolated ~retries:1 p
+          (fun i ->
+            if Atomic.fetch_and_add attempts.(i) 1 = 0 then failwith "flaky";
+            i + 100)
+          (Array.init n Fun.id)
+      in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> Alcotest.(check int) "recovered value" (i + 100) v
+          | Error _ -> Alcotest.failf "task %d not recovered" i)
+        results;
+      let t = Pool.tally () in
+      Alcotest.(check bool) "retries counted" true (t.Pool.retries >= n);
+      Alcotest.(check bool) "recoveries counted" true (t.Pool.recovered >= n);
+      (* past the budget the task fails terminally with the attempt count *)
+      let r =
+        Pool.map_isolated ~retries:2 p
+          (fun _ -> failwith "always")
+          [| 0 |]
+      in
+      match r.(0) with
+      | Ok _ -> Alcotest.fail "expected terminal failure"
+      | Error fl -> Alcotest.(check int) "budget exhausted" 3 fl.f_attempts);
+  Pool.reset_tally ()
+
+let test_map_lowest_index_failure () =
+  Pool.with_pool 4 (fun p ->
+      match
+        Pool.map p
+          (fun i -> if i >= 5 then failwith (string_of_int i) else i)
+          (Array.init 10 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure m ->
+          Alcotest.(check string) "lowest-index failure re-raised" "5" m)
+
+let test_injected_crashes_recovered () =
+  (* a certain worker-crash plan: every task is killed once and must
+     still produce the fault-free answer, at any worker count *)
+  (match Fault.configure "worker_crash:1.0" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "configure rejected: %s" e);
+  Fun.protect ~finally:(fun () ->
+      Fault.clear ();
+      Fault.reset_tally ();
+      Pool.reset_tally ())
+  @@ fun () ->
+  Fault.reset_tally ();
+  Pool.reset_tally ();
+  let xs = Array.init 24 Fun.id in
+  let expect = Array.map (fun i -> (i * 7) + 1) xs in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool jobs (fun p ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "bit-identical under crashes at -j %d" jobs)
+            expect
+            (Pool.map p (fun i -> (i * 7) + 1) xs)))
+    [ 1; 4 ];
+  Alcotest.(check bool) "crashes were injected" true
+    (Fault.injected_total () >= Array.length xs);
+  Alcotest.(check int) "every crash recovered" (Fault.injected_total ())
+    (Fault.recovered_total ());
+  let t = Pool.tally () in
+  Alcotest.(check int) "no terminal failures" 0 t.Pool.failures
+
 (* Pool.map must equal Array.map for any jobs and any input *)
 let prop_matches_serial =
   QCheck.Test.make ~name:"Pool.map equals Array.map for any worker count"
@@ -87,5 +194,12 @@ let suite =
     Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
     Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
     Alcotest.test_case "default jobs" `Quick test_default_jobs;
+    Alcotest.test_case "map_isolated shapes" `Quick test_map_isolated_shapes;
+    Alcotest.test_case "map_isolated retry budget" `Quick
+      test_map_isolated_retries;
+    Alcotest.test_case "map re-raises the lowest-index failure" `Quick
+      test_map_lowest_index_failure;
+    Alcotest.test_case "injected crashes recover transparently" `Quick
+      test_injected_crashes_recovered;
   ]
   @ Test_util.qcheck_cases [ prop_matches_serial ]

@@ -332,6 +332,228 @@ let test_search_cache_warm_matches_cold () =
   Alcotest.(check int) "warm run all cache hits" n warm_stats.Runner.cache_hits;
   Alcotest.(check int) "disk hits" n (Profile_cache.hits warm_cache)
 
+(* -- crash-safe cache: quarantine + recompute --------------------------- *)
+
+let corrupt_on_disk path =
+  (* flip a byte in the middle of the committed entry *)
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  let i = n / 2 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x55));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let test_cache_quarantine () =
+  let cache = Profile_cache.create ~dir:(tmp_cache_dir "quarantine") () in
+  clear_cache_dir cache;
+  let qdir =
+    Filename.concat (Filename.dirname (Profile_cache.dir cache)) "quarantine"
+  in
+  if Sys.file_exists qdir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat qdir f))
+      (Sys.readdir qdir);
+  let key = mk_key () in
+  let t = 0.12345678901234567 /. 3.0 in
+  Profile_cache.store cache ~key t;
+  let path = Filename.concat (Profile_cache.dir cache) key in
+  (* a truncated entry (torn write) is quarantined and reads as a miss *)
+  let oc = open_out_bin path in
+  output_string oc "hfuse-cache v2 0123";
+  close_out oc;
+  Alcotest.check some_time "truncated entry is a miss" None
+    (Profile_cache.find cache ~key);
+  Alcotest.(check int) "one quarantined" 1 (Profile_cache.corrupt cache);
+  Alcotest.(check bool) "entry moved aside" false (Sys.file_exists path);
+  Alcotest.(check bool) "entry in quarantine" true
+    (Sys.file_exists (Filename.concat qdir key));
+  (* re-store and bit-flip: a checksum failure is also quarantined *)
+  Profile_cache.store cache ~key t;
+  corrupt_on_disk path;
+  Alcotest.check some_time "bit-flipped entry is a miss" None
+    (Profile_cache.find cache ~key);
+  Alcotest.(check int) "two quarantined" 2 (Profile_cache.corrupt cache);
+  Alcotest.(check bool) "flipped entry moved aside" false
+    (Sys.file_exists path);
+  (* recompute path: a fresh store over the quarantined key heals the
+     cache and the value round-trips bit-exactly again *)
+  Profile_cache.store cache ~key t;
+  Alcotest.check some_time "healed entry round-trips" (Some t)
+    (Profile_cache.find cache ~key)
+
+let test_run_many_recomputes_corrupted () =
+  let dir = tmp_cache_dir "heal" in
+  let cache = Profile_cache.create ~dir () in
+  clear_cache_dir cache;
+  let mem = Memory.create () in
+  let c1 = Runner.configure mem ta_tun ~size:3 in
+  let c2 = Runner.configure mem tb_tun ~size:5 in
+  let runs =
+    [|
+      (arch, [ Runner.spec_of c1 ~stream:0 () ]);
+      ( arch,
+        [ Runner.spec_of c1 ~stream:0 (); Runner.spec_of c2 ~stream:1 () ] );
+    |]
+  in
+  let cold = Runner.run_many ~cache runs in
+  (* corrupt every committed entry on disk *)
+  Array.iter
+    (fun f -> corrupt_on_disk (Filename.concat (Profile_cache.dir cache) f))
+    (Sys.readdir (Profile_cache.dir cache));
+  let healing = Profile_cache.create ~dir () in
+  let healed = Runner.run_many ~cache:healing runs in
+  Alcotest.(check bool) "recompute identical to cold run" true (healed = cold);
+  Alcotest.(check int) "both entries quarantined" 2
+    (Profile_cache.corrupt healing);
+  Alcotest.(check int) "both entries recomputed and re-stored" 2
+    (Profile_cache.stores healing);
+  (* the healed cache answers from disk again *)
+  let warm = Profile_cache.create ~dir () in
+  Alcotest.(check bool) "healed cache hits" true
+    (Runner.run_many ~cache:warm runs = cold);
+  Alcotest.(check int) "two disk hits" 2 (Profile_cache.hits warm)
+
+(* -- Checkpoint journal -------------------------------------------------- *)
+
+module Checkpoint = Hfuse_profiler.Checkpoint
+
+let fresh_journal tag =
+  let dir = tmp_cache_dir ("jnl_" ^ tag) in
+  let run_id = Checkpoint.run_id ~parts:[ "test"; tag ] in
+  let file = Filename.concat dir (run_id ^ ".jnl") in
+  if Sys.file_exists file then Sys.remove file;
+  (dir, run_id)
+
+let test_checkpoint_roundtrip () =
+  let dir, run_id = fresh_journal "roundtrip" in
+  let ck = Checkpoint.open_ ~dir ~run_id () in
+  Alcotest.(check bool) "enabled" true (Checkpoint.enabled ck);
+  Alcotest.(check int) "fresh journal empty" 0 (Checkpoint.loaded ck);
+  let t = 0.12345678901234567 /. 3.0 in
+  let entry = (mk_report (), mk_engine_stats ()) in
+  Checkpoint.record_time ck ~key:(mk_key ()) t;
+  Checkpoint.record_report ck ~key:"rk" entry;
+  Alcotest.check some_time "answers before close" (Some t)
+    (Checkpoint.find_time ck ~key:(mk_key ()));
+  Checkpoint.close ck;
+  (* reopening the same run id replays both records bit-exactly *)
+  let ck' = Checkpoint.open_ ~dir ~run_id () in
+  Alcotest.(check int) "both records loaded" 2 (Checkpoint.loaded ck');
+  Alcotest.(check int) "nothing torn" 0 (Checkpoint.torn ck');
+  Alcotest.check some_time "time replayed" (Some t)
+    (Checkpoint.find_time ck' ~key:(mk_key ()));
+  Alcotest.(check bool) "report replayed (newlines survive escaping)" true
+    (Checkpoint.find_report ck' ~key:"rk" = Some entry);
+  Alcotest.check some_time "other keys still miss" None
+    (Checkpoint.find_time ck' ~key:"absent");
+  Checkpoint.close ck';
+  (* a different run id opens a different journal: no stale replays *)
+  let other = Checkpoint.open_ ~dir ~run_id:(run_id ^ "x") () in
+  Alcotest.(check int) "other run sees nothing" 0 (Checkpoint.loaded other);
+  Checkpoint.close other;
+  (* the disabled journal records and answers nothing *)
+  Alcotest.(check bool) "disabled" false (Checkpoint.enabled Checkpoint.disabled);
+  Checkpoint.record_time Checkpoint.disabled ~key:"k" 1.0;
+  Alcotest.check some_time "disabled never finds" None
+    (Checkpoint.find_time Checkpoint.disabled ~key:"k")
+
+let test_checkpoint_torn_tail () =
+  let dir, run_id = fresh_journal "torn" in
+  let ck = Checkpoint.open_ ~dir ~run_id () in
+  let t = 1.0 /. 7.0 in
+  Checkpoint.record_time ck ~key:"good" t;
+  Checkpoint.close ck;
+  (* simulate a crash mid-append: a checksum-failing line and a torn
+     half-record after the good one *)
+  let oc =
+    open_out_gen [ Open_append ] 0o644 (Checkpoint.path ck)
+  in
+  output_string oc "T bad 00000000000000000000000000000000 0x1p-1\n";
+  output_string oc "T torn 0123";
+  close_out oc;
+  let ck' = Checkpoint.open_ ~dir ~run_id () in
+  Alcotest.(check int) "good record survives" 1 (Checkpoint.loaded ck');
+  Alcotest.(check int) "damaged tail dropped" 2 (Checkpoint.torn ck');
+  Alcotest.check some_time "good record replayed" (Some t)
+    (Checkpoint.find_time ck' ~key:"good");
+  Alcotest.check some_time "bad record not replayed" None
+    (Checkpoint.find_time ck' ~key:"bad");
+  Checkpoint.close ck'
+
+let search_ck ~jobs ~checkpoint =
+  Runner.clear_cache ();
+  let mem = Memory.create () in
+  let c1 = Runner.configure mem ta_tun ~size:3 in
+  let c2 = Runner.configure mem tb_tun ~size:5 in
+  Runner.search ~jobs ~cache:(Profile_cache.disabled ()) ~checkpoint arch c1 c2
+
+let test_search_resume_identity () =
+  let baseline = search_tun ~jobs:2 ~cache:(Profile_cache.disabled ()) in
+  let n = List.length baseline.all in
+  let dir, run_id = fresh_journal "resume" in
+  let ck = Checkpoint.open_ ~dir ~run_id () in
+  Runner.reset_search_stats ();
+  let first = search_ck ~jobs:2 ~checkpoint:ck in
+  Checkpoint.close ck;
+  Alcotest.(check bool) "journaled run identical to plain run" true
+    (sig_of first = sig_of baseline);
+  (* a resumed run answers every candidate from the journal: nothing is
+     re-profiled and the result is bit-identical *)
+  let ck' = Checkpoint.open_ ~dir ~run_id () in
+  Alcotest.(check bool) "journal replays candidates" true
+    (Checkpoint.loaded ck' > 0);
+  Runner.reset_search_stats ();
+  let resumed = search_ck ~jobs:4 ~checkpoint:ck' in
+  Checkpoint.close ck';
+  let stats = Runner.search_stats () in
+  Alcotest.(check bool) "resumed results identical" true
+    (sig_of resumed = sig_of baseline);
+  Alcotest.(check bool) "resumed best identical" true
+    (best_of resumed = best_of baseline);
+  Alcotest.(check int) "resume profiles nothing" 0 stats.Runner.profiled;
+  Alcotest.(check int) "every candidate replayed" n stats.Runner.cache_hits
+
+(* -- chaos: injected faults leave results bit-identical ------------------ *)
+
+module Fault = Hfuse_fault.Fault
+
+let test_search_chaos_identity () =
+  let baseline = search_tun ~jobs:2 ~cache:(Profile_cache.disabled ()) in
+  Fun.protect ~finally:(fun () ->
+      Fault.clear ();
+      Fault.reset_tally ())
+  @@ fun () ->
+  (match
+     Fault.configure "worker_crash:1.0,sim_hang:0.2,cache_corrupt:1.0,seed:3"
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "configure rejected: %s" e);
+  Fault.reset_tally ();
+  let dir = tmp_cache_dir "chaos" in
+  let cache = Profile_cache.create ~dir () in
+  clear_cache_dir cache;
+  let faulted = search_tun ~jobs:4 ~cache in
+  Alcotest.(check bool) "faulted candidates identical to baseline" true
+    (sig_of faulted = sig_of baseline);
+  Alcotest.(check bool) "faulted best identical to baseline" true
+    (best_of faulted = best_of baseline);
+  Alcotest.(check bool) "faults were injected" true
+    (Fault.injected_total () > 0);
+  Alcotest.(check bool) "faults were recovered" true
+    (Fault.recovered_total () > 0);
+  (* cache_corrupt:1.0 truncated every committed entry; a warm run
+     quarantines them all, recomputes, and still matches the baseline *)
+  let warm_cache = Profile_cache.create ~dir () in
+  let warm = search_tun ~jobs:2 ~cache:warm_cache in
+  Alcotest.(check bool) "quarantine-and-recompute identical" true
+    (sig_of warm = sig_of baseline);
+  Alcotest.(check bool) "corrupted entries quarantined" true
+    (Profile_cache.corrupt warm_cache > 0)
+
 let suite =
   [
     Alcotest.test_case "trace-key size-pair collision (regression)" `Quick
@@ -350,4 +572,16 @@ let suite =
       test_search_jobs_deterministic;
     Alcotest.test_case "warm cache reproduces cold run" `Quick
       test_search_cache_warm_matches_cold;
+    Alcotest.test_case "corrupted entries quarantined" `Quick
+      test_cache_quarantine;
+    Alcotest.test_case "run_many heals a corrupted cache" `Quick
+      test_run_many_recomputes_corrupted;
+    Alcotest.test_case "checkpoint journal round trip" `Quick
+      test_checkpoint_roundtrip;
+    Alcotest.test_case "checkpoint torn tail dropped" `Quick
+      test_checkpoint_torn_tail;
+    Alcotest.test_case "resumed search is bit-identical" `Quick
+      test_search_resume_identity;
+    Alcotest.test_case "chaos run is bit-identical" `Quick
+      test_search_chaos_identity;
   ]
