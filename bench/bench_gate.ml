@@ -7,8 +7,15 @@
    partitions, and the five metric fields — must match exactly.
 
    Usage: bench_gate BASELINE.json FRESH.json [--pairs A+B,C+D]
+                     [--max-regret PCT]
    With --pairs, only the named pairs are compared (the CI smoke run
-   produces a single-pair report against the full committed baseline). *)
+   produces a single-pair report against the full committed baseline).
+
+   The gate also reads the fresh report's cost-model quality fields
+   (search.rank_agree / rank_total / max_regret_pct): when present, the
+   model's worst chosen-vs-best regret must stay within --max-regret
+   percent (default 2) — the bound that keeps top-K pruned searches
+   honest.  Reports from before the cost model (no such fields) pass. *)
 
 module Json = Hfuse_profiler.Report.Json
 
@@ -74,19 +81,78 @@ let rows_of path (j : Json.t) : ((string * string) * Json.t) list =
   | Json.List rows -> List.map (fun r -> (row_key path r, r)) rows
   | _ -> die "%s: \"rows\" is not a list" path
 
+(* Cost-model quality gate over the fresh report's "search" stats.
+   [max_regret_pct] non-finite values arrive as JSON null and read back
+   as infinity via [to_float_opt] — an infinite regret must fail, not
+   vanish. *)
+let check_model_quality ~(max_regret : float) path (j : Json.t) : int =
+  match Json.member "search" j with
+  | None -> 0
+  | Some search -> (
+      let int_of k =
+        Option.bind (Json.member k search) (function
+          | Json.Int i -> Some i
+          | _ -> None)
+      in
+      match
+        Option.bind (Json.member "max_regret_pct" search) (fun v ->
+            Json.to_float_opt v)
+      with
+      | None -> 0 (* pre-cost-model report *)
+      | Some regret ->
+          let agree = Option.value (int_of "rank_agree") ~default:0 in
+          let total = Option.value (int_of "rank_total") ~default:0 in
+          Printf.printf
+            "bench gate: model rank agreement %d/%d, max regret %s%%\n"
+            agree total
+            (if Float.is_finite regret then Printf.sprintf "%.3f" regret
+             else "inf");
+          if regret > max_regret then begin
+            Printf.printf
+              "REGRET %s: cost-model regret %s%% exceeds the %.2f%% bound\n"
+              path
+              (if Float.is_finite regret then Printf.sprintf "%.3f" regret
+               else "inf")
+              max_regret;
+            1
+          end
+          else 0)
+
 let () =
-  let args = Array.to_list Sys.argv in
-  let baseline_path, fresh_path, pairs_filter =
-    match args with
-    | [ _; b; f ] -> (b, f, None)
-    | [ _; b; f; "--pairs"; ps ] ->
-        (b, f, Some (String.split_on_char ',' ps))
-    | _ ->
-        die "usage: %s BASELINE.json FRESH.json [--pairs A+B,C+D]"
-          Sys.executable_name
+  let args = List.tl (Array.to_list Sys.argv) in
+  let usage () =
+    die
+      "usage: %s BASELINE.json FRESH.json [--pairs A+B,C+D] [--max-regret \
+       PCT]"
+      Sys.executable_name
   in
+  let positional = ref [] in
+  let pairs_filter = ref None in
+  let max_regret = ref 2.0 in
+  let rec parse = function
+    | [] -> ()
+    | "--pairs" :: ps :: rest ->
+        pairs_filter := Some (String.split_on_char ',' ps);
+        parse rest
+    | "--max-regret" :: p :: rest ->
+        (match float_of_string_opt p with
+        | Some v when v >= 0.0 -> max_regret := v
+        | _ -> die "bench_gate: --max-regret expects a percentage, got %s" p);
+        parse rest
+    | a :: _ when String.length a > 1 && a.[0] = '-' ->
+        die "bench_gate: unknown flag %s" a
+    | a :: rest ->
+        positional := a :: !positional;
+        parse rest
+  in
+  parse args;
+  let baseline_path, fresh_path =
+    match List.rev !positional with [ b; f ] -> (b, f) | _ -> usage ()
+  in
+  let pairs_filter = !pairs_filter in
   let baseline = rows_of baseline_path (read_json baseline_path) in
-  let fresh = rows_of fresh_path (read_json fresh_path) in
+  let fresh_json = read_json fresh_path in
+  let fresh = rows_of fresh_path fresh_json in
   let wanted (pair, _arch) =
     match pairs_filter with
     | None -> true
@@ -116,9 +182,13 @@ let () =
               end)
             b f)
     fresh;
-  if !drift > 0 then begin
-    Printf.printf "bench gate: %d drifting value(s) across %d row(s)\n" !drift
-      !compared;
+  let regret_failures =
+    check_model_quality ~max_regret:!max_regret fresh_path fresh_json
+  in
+  if !drift > 0 || regret_failures > 0 then begin
+    if !drift > 0 then
+      Printf.printf "bench gate: %d drifting value(s) across %d row(s)\n"
+        !drift !compared;
     exit 1
   end;
   Printf.printf

@@ -30,6 +30,13 @@
    restricts fig7/fig9 to the named corpus pairs (CI smoke runs one);
    [--trace-blocks N] widens the per-launch traced-block count.
 
+   [--prune] / [--top-k K] enable the analytical cost model's phase-1.5
+   pruning: candidates are ranked (statically, then refined by a few
+   profiled probes) and only the top K ([Hfuse_costmodel.default_top_k]
+   under --prune) are profiled.  Without either flag the search stays
+   exhaustive; the model still scores every candidate and the search
+   line / JSON report its rank agreement and worst regret.
+
    Fault tolerance: [--resume] journals every profiled result to
    _hfuse_cache/journal/<run_id>.jnl as it is produced, so a run killed
    mid-figure (crash, SIGKILL, Ctrl-C) restarted with the same flags
@@ -65,6 +72,11 @@ let cache = ref (Hfuse_profiler.Profile_cache.from_env ())
 let json_out = ref false
 let pair_filter : (Spec.t * Spec.t) list option ref = ref None
 
+(* --prune / --top-k K: phase-1.5 analytical pruning of the search.
+   --top-k implies --prune; --prune alone uses the default K. *)
+let default_top_k = Hfuse_costmodel.default_top_k
+let top_k : int option ref = ref None
+
 (* checkpoint/resume state: --resume opens one journal per figure,
    identified by everything that shapes the figure's outputs (the pairs
    spec, --full, --trace-blocks).  -j and --fault are deliberately
@@ -86,7 +98,11 @@ let checkpoint_for (figure : string) : Checkpoint.t =
             !raw_pairs;
             (if !full_ref then "full" else "short");
             string_of_int (Runner.trace_blocks ());
+            (match !top_k with
+            | None -> "exhaustive"
+            | Some k -> "top" ^ string_of_int k);
           ]
+        ()
     in
     let ck = Checkpoint.open_ ~run_id:id () in
     if Checkpoint.loaded ck > 0 then
@@ -165,7 +181,7 @@ let run_fig7 ~full () =
     instrumented (fun () ->
         timed_search "figure 7" (fun () ->
             Experiment.figure7 ~multipliers:(multipliers ~full) ~jobs:!jobs
-              ~cache:!cache ~checkpoint ?pairs:!pair_filter ()))
+              ~cache:!cache ~checkpoint ?top_k:!top_k ?pairs:!pair_filter ()))
   in
   finish_checkpoint ();
   print_string (Report.figure7_to_string sweeps);
@@ -192,7 +208,7 @@ let run_fig9 () =
     instrumented (fun () ->
         timed_search "figure 9" (fun () ->
             Experiment.figure9 ~jobs:!jobs ~cache:!cache ~checkpoint
-              ?pairs:!pair_filter ()))
+              ?top_k:!top_k ?pairs:!pair_filter ()))
   in
   finish_checkpoint ();
   print_string (Report.figure9_to_string rows);
@@ -401,6 +417,16 @@ let () =
     | "--resume" :: rest ->
         resume := true;
         parse_flags rest
+    | "--prune" :: rest ->
+        if !top_k = None then top_k := Some default_top_k;
+        parse_flags rest
+    | "--top-k" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some k when k >= 1 -> top_k := Some k
+        | _ ->
+            Printf.eprintf "bench: --top-k expects a positive integer, got %s\n" n;
+            exit 2);
+        parse_flags rest
     | "--fault" :: spec :: rest ->
         (match Fault.configure spec with
         | Ok () -> ()
@@ -431,7 +457,8 @@ let () =
            "unknown arguments: %s\n\
             usage: main.exe [fig7|fig8|fig9|ablation|micro] [--full] [-j N] \
             [--cache|--no-cache] [--json] [--pairs K1+K2[,..]] \
-            [--trace-blocks N] [--resume] [--fault SPEC]\n"
+            [--trace-blocks N] [--resume] [--prune] [--top-k K] \
+            [--fault SPEC]\n"
            (String.concat " " other);
          exit 2
    with Sys.Break ->

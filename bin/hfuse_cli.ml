@@ -157,6 +157,50 @@ let resume_arg =
            interrupted run's journal, recomputing only the remainder \
            (bit-identical to an uninterrupted run).")
 
+(* --prune / --top-k K: phase-1.5 analytical pruning of the Fig. 6
+   search.  --top-k implies --prune; --prune alone uses the default K. *)
+let default_top_k = Hfuse_costmodel.default_top_k
+
+let prune_arg =
+  let prune =
+    Arg.(
+      value & flag
+      & info [ "prune" ]
+          ~doc:
+            (Printf.sprintf
+               "Rank candidates with the analytical cost model and \
+                profile only the top K (default K = %d; see \
+                $(b,--top-k)).  Without pruning the search is \
+                exhaustive and the model only reports rank agreement \
+                and regret."
+               default_top_k))
+  in
+  let top_k =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "top-k" ] ~docv:"K"
+          ~doc:
+            "Profile only the $(docv) best-scored candidates (implies \
+             $(b,--prune)).  A K at or above the candidate count is \
+             bit-identical to the exhaustive search.")
+  in
+  let resolve prune top_k =
+    match top_k with
+    | Some k when k < 1 ->
+        Printf.eprintf "hfuse: --top-k expects K >= 1, got %d\n" k;
+        exit 2
+    | Some k -> Some k
+    | None -> if prune then Some default_top_k else None
+  in
+  Term.(const resolve $ prune $ top_k)
+
+(* The pruning configuration changes which candidates are profiled, so
+   it is part of a resumable run's identity. *)
+let prune_id_part = function
+  | None -> "exhaustive"
+  | Some k -> "top" ^ string_of_int k
+
 (* -- fuse --------------------------------------------------------------- *)
 
 let fuse_cmd =
@@ -415,7 +459,7 @@ let simulate_cmd =
 
 let search_cmd =
   let run arch (s1 : Kernel_corpus.Spec.t) (s2 : Kernel_corpus.Spec.t) size1
-      size2 emit jobs cache resume () () =
+      size2 emit jobs cache resume top_k () () =
     let sizes = Hfuse_profiler.Experiment.representative_sizes arch in
     let size_of (s : Kernel_corpus.Spec.t) o =
       Option.value o ~default:(Hfuse_profiler.Experiment.size_of sizes s)
@@ -431,7 +475,9 @@ let search_cmd =
                 "search"; arch.Gpusim.Arch.name; s1.name; string_of_int size1;
                 s2.name; string_of_int size2;
                 string_of_int (Hfuse_profiler.Runner.trace_blocks ());
+                prune_id_part top_k;
               ]
+            ()
         in
         let ck = Hfuse_profiler.Checkpoint.open_ ~run_id:id () in
         if Hfuse_profiler.Checkpoint.loaded ck > 0 then
@@ -446,7 +492,7 @@ let search_cmd =
     let native = (Hfuse_profiler.Runner.native arch c1 c2).Gpusim.Timing.time_ms in
     Hfuse_profiler.Runner.reset_search_stats ();
     let sr =
-      try Hfuse_profiler.Runner.search ~jobs ~cache ~checkpoint arch c1 c2
+      try Hfuse_profiler.Runner.search ~jobs ~cache ~checkpoint ?top_k arch c1 c2
       with Sys.Break ->
         Hfuse_profiler.Checkpoint.close checkpoint;
         Printf.eprintf
@@ -458,16 +504,33 @@ let search_cmd =
     in
     Hfuse_profiler.Checkpoint.close checkpoint;
     Printf.printf "native: %.4f ms\n" native;
-    List.iter
-      (fun (cand : Hfuse_core.Search.candidate) ->
-        Printf.printf "%5d/%-5d %-9s %.4f ms (%+.1f%%)\n" cand.fused.d1
+    let scores =
+      match sr.scores with
+      | [] -> List.map (fun _ -> None) sr.all
+      | ss -> List.map Option.some ss
+    in
+    List.iter2
+      (fun (cand : Hfuse_core.Search.candidate) score ->
+        Printf.printf "%5d/%-5d %-9s %.4f ms (%+.1f%%)%s\n" cand.fused.d1
           cand.fused.d2
           (match cand.config.reg_bound with
           | None -> "unbounded"
           | Some r -> Printf.sprintf "r0=%d" r)
           cand.time
-          (100.0 *. ((native /. cand.time) -. 1.0)))
-      sr.all;
+          (100.0 *. ((native /. cand.time) -. 1.0))
+          (match score with
+          | None -> ""
+          | Some s -> Printf.sprintf "  [model %.4g]" s))
+      sr.all scores;
+    List.iter
+      (fun ((f : Hfuse_core.Hfuse.t), (cfg : Hfuse_core.Search.config), score)
+      ->
+        Printf.printf "%5d/%-5d %-9s pruned (model score %.4g)\n" f.d1 f.d2
+          (match cfg.reg_bound with
+          | None -> "unbounded"
+          | Some r -> Printf.sprintf "r0=%d" r)
+          score)
+      sr.pruned;
     let b = sr.best in
     Printf.printf "best: %d/%d %s\n" b.fused.d1 b.fused.d2
       (match b.config.reg_bound with
@@ -492,7 +555,70 @@ let search_cmd =
     Term.(
       const run $ arch_arg $ kernel_arg "k1" $ kernel_arg "k2"
       $ size_arg "size1" $ size_arg "size2" $ emit $ jobs_arg $ cache_arg
-      $ resume_arg $ fault_arg $ trace_blocks_arg)
+      $ resume_arg $ prune_arg $ fault_arg $ trace_blocks_arg)
+
+(* -- model -------------------------------------------------------------- *)
+
+(* Dump the analytical cost model's view of a corpus pair: the static
+   per-kernel features and every candidate's score, without running the
+   simulator.  The calibration workflow compares this against a
+   simulated `search` of the same pair. *)
+let model_cmd =
+  let run arch (s1 : Kernel_corpus.Spec.t) (s2 : Kernel_corpus.Spec.t) size1
+      size2 () =
+    let sizes = Hfuse_profiler.Experiment.representative_sizes arch in
+    let size_of (s : Kernel_corpus.Spec.t) o =
+      Option.value o ~default:(Hfuse_profiler.Experiment.size_of sizes s)
+    in
+    let size1 = size_of s1 size1 and size2 = size_of s2 size2 in
+    let mem = Gpusim.Memory.create () in
+    let c1 = Hfuse_profiler.Runner.configure mem s1 ~size:size1 in
+    let c2 = Hfuse_profiler.Runner.configure mem s2 ~size:size2 in
+    let inputs = Hfuse_costmodel.of_pair ~arch c1.info c2.info in
+    Printf.printf "arch: %s\n" arch.Gpusim.Arch.name;
+    Printf.printf "k1 %-12s work %8d  mix %s\n" s1.name inputs.work1
+      (Fmt.str "%a" Hfuse_core.Analyzer.pp_mix inputs.mix1);
+    Printf.printf "k2 %-12s work %8d  mix %s\n" s2.name inputs.work2
+      (Fmt.str "%a" Hfuse_core.Analyzer.pp_mix inputs.mix2);
+    (* enumerate exactly as the search does, but score instead of
+       profiling *)
+    let sr =
+      Hfuse_core.Search.search
+        ~limits:(Gpusim.Arch.sm_limits arch)
+        ~profile:(fun fused ~reg_bound ->
+          Hfuse_costmodel.score inputs ~fused
+            ~config:
+              {
+                Hfuse_core.Search.partition =
+                  { Hfuse_core.Partition.d1 = fused.d1; d2 = fused.d2 };
+                reg_bound;
+              })
+        ~d0:(Hfuse_profiler.Runner.d0_for c1 c2)
+        c1.info c2.info
+    in
+    List.iter
+      (fun (cand : Hfuse_core.Search.candidate) ->
+        Printf.printf "%5d/%-5d %-9s model %.6g\n" cand.fused.d1
+          cand.fused.d2
+          (match cand.config.reg_bound with
+          | None -> "unbounded"
+          | Some r -> Printf.sprintf "r0=%d" r)
+          cand.time)
+      sr.all;
+    let b = sr.best in
+    Printf.printf "model pick: %d/%d %s\n" b.fused.d1 b.fused.d2
+      (match b.config.reg_bound with
+      | None -> "unbounded"
+      | Some r -> Printf.sprintf "r0=%d" r)
+  in
+  Cmd.v
+    (Cmd.info "model"
+       ~doc:
+         "Score a corpus pair's fusion candidates with the analytical \
+          cost model (no simulation).")
+    Term.(
+      const run $ arch_arg $ kernel_arg "k1" $ kernel_arg "k2"
+      $ size_arg "size1" $ size_arg "size2" $ trace_blocks_arg)
 
 (* -- analyze ------------------------------------------------------------ *)
 
@@ -676,7 +802,7 @@ let () =
             (Cmd.info "hfuse" ~version:"1.0.0" ~doc)
             [
               fuse_cmd; vfuse_cmd; check_cmd; info_cmd; corpus_cmd;
-              simulate_cmd; search_cmd; analyze_cmd; pairs_cmd; ptx_cmd;
+              simulate_cmd; search_cmd; model_cmd; analyze_cmd; pairs_cmd; ptx_cmd;
               fuzz_cmd;
             ])
      with

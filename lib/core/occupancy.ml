@@ -68,6 +68,13 @@ let register_bound (lim : sm_limits) ~d1 ~regs1 ~d2 ~regs2 ~fused_smem :
   if b0 <= 0 then None
   else
     let r0 = lim.regs_per_sm / (b0 * d0) in
+    (* the hardware allocates registers in units of
+       [reg_alloc_granularity]: a raw r0 that is not a multiple gets
+       rounded back *up* at launch, which can cross a breakpoint and
+       cost a block per SM — exactly the occupancy the bound exists to
+       protect.  Align down (floor), never below one allocation unit. *)
+    let g = lim.reg_alloc_granularity in
+    let r0 = max g (r0 / g * g) in
     (* the bound is only meaningful within hardware limits *)
     Some (min r0 lim.max_regs_per_thread)
 

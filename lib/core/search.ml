@@ -39,6 +39,13 @@ type result = {
   rejected : (Partition.t * Hfuse_analysis.Diag.t list) list;
       (** partitions the fusion-safety verifier refused (never
           profiled), with their diagnostics *)
+  pruned : (Hfuse.t * config * float) list;
+      (** verified candidates the phase-1.5 ranking cut before
+          profiling (search order, with their model scores); empty
+          unless both [rank] and [top_k] were given and binding *)
+  scores : float list;
+      (** model scores of the profiled candidates, aligned with [all];
+          empty when no [rank] callback was supplied *)
 }
 
 exception No_valid_partition of string
@@ -54,6 +61,16 @@ exception No_valid_partition of string
     @param profile_batch  when given, evaluates the whole candidate list
                    instead of per-candidate [profile] calls; must return
                    one time per candidate, in order.
+    @param rank    analytical cost model: scores for the whole verified
+                   candidate list (lower is better, same order).  Scores
+                   are recorded in the result; with [top_k] they drive
+                   pruning.
+    @param top_k   profile only the [top_k] best-scored candidates
+                   (phase 1.5).  Requires [rank]; ignored without it.
+                   Ties keep search order, the survivors are profiled in
+                   search order, and a [top_k] at or above the candidate
+                   count is a no-op — the search is then bit-identical
+                   to the exhaustive one.
     @param d0      desired fused block dimension (paper default: 1024 for
                    tunable pairs; for fixed pairs the partition dictates
                    it and [d0] is ignored).
@@ -61,6 +78,8 @@ exception No_valid_partition of string
            partition (e.g. two fixed kernels whose sum exceeds 1024). *)
 let search ?(limits = Occupancy.pascal_volta_limits)
     ?(profile_batch : ((Hfuse.t * config) list -> float list) option)
+    ?(rank : ((Hfuse.t * config) list -> float list) option)
+    ?(top_k : int option)
     ~(profile : Hfuse.t -> reg_bound:int option -> float) ~(d0 : int)
     (k1 : Kernel_info.t) (k2 : Kernel_info.t) : result =
   let partitions =
@@ -118,6 +137,54 @@ let search ?(limits = Occupancy.pascal_volta_limits)
              partition(s)"
             k1.fn.f_name k2.fn.f_name
             (List.length rejected)));
+  (* phase 1.5: analytical ranking.  Scores are computed whenever the
+     caller supplies a model (they are cheap and reported alongside the
+     simulated times); pruning happens only under a binding [top_k] —
+     keep the k best-scored candidates, break score ties in favour of
+     search order, and preserve search order among the survivors so
+     phase 2 and the [best] tie-breaking are unchanged. *)
+  let n = List.length pending in
+  let scores =
+    match rank with
+    | None -> []
+    | Some f ->
+        let ss = f pending in
+        if List.length ss <> n then
+          invalid_arg
+            (Fmt.str
+               "Search.search: rank returned %d score(s) for %d \
+                candidate(s)"
+               (List.length ss) n);
+        ss
+  in
+  let pending, scores, pruned =
+    match top_k with
+    | Some k when scores <> [] && max 1 k < n ->
+        let k = max 1 k in
+        let sarr = Array.of_list scores in
+        let order = Array.init n (fun i -> i) in
+        Array.sort
+          (fun i j ->
+            match Float.compare sarr.(i) sarr.(j) with
+            | 0 -> compare i j
+            | c -> c)
+          order;
+        let keep = Array.make n false in
+        Array.iteri (fun pos i -> if pos < k then keep.(i) <- true) order;
+        let parr = Array.of_list pending in
+        let kept = ref [] and kept_scores = ref [] and cut = ref [] in
+        for i = n - 1 downto 0 do
+          if keep.(i) then begin
+            kept := parr.(i) :: !kept;
+            kept_scores := sarr.(i) :: !kept_scores
+          end
+          else
+            let fused, config = parr.(i) in
+            cut := (fused, config, sarr.(i)) :: !cut
+        done;
+        (!kept, !kept_scores, !cut)
+    | _ -> (pending, scores, [])
+  in
   (* phase 2: evaluate the candidates — batched when the caller provides
      an evaluator (parallel timing, persistent cache), serial otherwise *)
   let times =
@@ -145,7 +212,7 @@ let search ?(limits = Occupancy.pascal_volta_limits)
       (fun best c -> if c.time < best.time then c else best)
       (List.hd all) (List.tl all)
   in
-  { best; all; rejected }
+  { best; all; rejected; pruned; scores }
 
 (** The Naive variant of the evaluation: even partition, no profiling,
     no register bound. *)

@@ -19,6 +19,13 @@ type result = {
   rejected : (Partition.t * Hfuse_analysis.Diag.t list) list;
       (** partitions the fusion-safety verifier refused (never
           profiled), with their diagnostics *)
+  pruned : (Hfuse.t * config * float) list;
+      (** verified candidates the phase-1.5 ranking cut before
+          profiling (search order, with their model scores); empty
+          unless both [rank] and [top_k] were given and binding *)
+  scores : float list;
+      (** model scores of the profiled candidates, aligned with [all];
+          empty when no [rank] callback was supplied *)
 }
 
 exception No_valid_partition of string
@@ -49,6 +56,17 @@ exception No_valid_partition of string
            ([Invalid_argument] otherwise); [best] tie-breaking (first
            strictly-fastest in search order) is then identical to the
            serial path whatever the evaluation strategy.
+    @param rank analytical cost model (phase 1.5): given the whole
+           verified candidate list, returns one score per candidate in
+           order (lower is better; [Invalid_argument] on a length
+           mismatch).  Scores are recorded in [result.scores]; with
+           [top_k] they drive pruning.
+    @param top_k profile only the [top_k] best-scored candidates
+           (clamped to at least 1); the rest land in [result.pruned]
+           un-profiled.  Ties keep search order and the survivors are
+           profiled in search order, so a [top_k] at or above the
+           candidate count — or an absent [rank] — leaves the search
+           bit-identical to the exhaustive one.
     @param d0 desired fused block dimension (1024 for tunable pairs;
            ignored when both kernels are fixed).
     @raise No_valid_partition when the pair admits no partition, or
@@ -56,6 +74,8 @@ exception No_valid_partition of string
 val search :
   ?limits:Occupancy.sm_limits ->
   ?profile_batch:((Hfuse.t * config) list -> float list) ->
+  ?rank:((Hfuse.t * config) list -> float list) ->
+  ?top_k:int ->
   profile:(Hfuse.t -> reg_bound:int option -> float) ->
   d0:int ->
   Kernel_info.t ->

@@ -89,6 +89,12 @@ val empty_stats : engine_stats
 val add_stats : engine_stats -> engine_stats -> engine_stats
 val pp_engine_stats : Format.formatter -> engine_stats -> unit
 
+(** Instructions between injected local-memory round trips for a
+    register cap spilling [spill] registers ([max_int] when nothing
+    spills).  Exposed so analytical models can mirror the engine's
+    spill-traffic rate instead of hard-coding its calibration. *)
+val spill_interval : int -> int
+
 (** Run the launches to completion.  Deterministic.
     @raise Timing_error when a kernel cannot fit one block on an SM,
     a barrier can never be satisfied, or the cycle budget is exceeded. *)

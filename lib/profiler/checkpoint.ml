@@ -44,8 +44,16 @@ let path t = t.path
 let loaded t = t.loaded
 let torn t = t.torn
 
-let run_id ~(parts : string list) : string =
-  Digest.to_hex (Digest.string (String.concat "\x00" parts))
+(* The simulation fuel changes every simulated outcome (a run that
+   times out under a small budget may succeed under a larger one), so a
+   journal written under one HFUSE_SIM_FUEL must never be resumed under
+   another — fold the effective fuel into the identity. *)
+let run_id ?(sim_fuel = Gpusim.Launch.default_loop_fuel)
+    ~(parts : string list) () : string =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          (parts @ [ Printf.sprintf "sim_fuel=%d" sim_fuel ])))
 
 (* ------------------------------------------------------------------ *)
 (* Record encoding                                                      *)

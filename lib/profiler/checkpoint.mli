@@ -38,8 +38,12 @@ val open_ : ?dir:string -> run_id:string -> unit -> t
 
 val enabled : t -> bool
 
-(** Content-hash a run identity from its defining parameters. *)
-val run_id : parts:string list -> string
+(** Content-hash a run identity from its defining parameters.
+    [sim_fuel] (default {!Gpusim.Launch.default_loop_fuel}, i.e. the
+    effective [HFUSE_SIM_FUEL]) is always folded in: simulated
+    outcomes depend on the fuel budget, so a journal written under one
+    fuel must not be resumed under another. *)
+val run_id : ?sim_fuel:int -> parts:string list -> unit -> string
 
 (** Path of the journal file (empty when disabled). *)
 val path : t -> string

@@ -140,7 +140,7 @@ let default_multipliers = [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
     [multipliers] x its representative size.  [jobs]/[pool]/[cache] are
     passed through to {!Runner.search} and the measurement fan-out. *)
 let sweep_pair ?(multipliers = default_multipliers) ?jobs ?pool ?cache
-    ?checkpoint (arch : Arch.t) (sizes : (string * int) list)
+    ?checkpoint ?top_k (arch : Arch.t) (sizes : (string * int) list)
     ((s1, s2) : Spec.t * Spec.t) : sweep =
   let mem = Memory.create () in
   let base1 = size_of sizes s1 and size2 = size_of sizes s2 in
@@ -162,7 +162,7 @@ let sweep_pair ?(multipliers = default_multipliers) ?jobs ?pool ?cache
               [ Runner.spec_of c1 ~stream:0 (); Runner.spec_of c2 ~stream:1 () ]
             )
         in
-        let sr = Runner.search ?jobs ?pool ?cache ?checkpoint arch c1 c2 in
+        let sr = Runner.search ?jobs ?pool ?cache ?checkpoint ?top_k arch c1 c2 in
         let best = sr.Hfuse_core.Search.best in
         let ivf =
           match Runner.vfuse_generate c1 c2 with
@@ -209,7 +209,7 @@ let sweep_pair ?(multipliers = default_multipliers) ?jobs ?pool ?cache
   { pair = (s1, s2); arch; varied_first = true; points }
 
 (** The full Figure 7: 16 pairs x 2 architectures, one shared pool. *)
-let figure7 ?multipliers ?(jobs = 1) ?cache ?checkpoint ?(archs = Arch.all)
+let figure7 ?multipliers ?(jobs = 1) ?cache ?checkpoint ?top_k ?(archs = Arch.all)
     ?(pairs = Registry.all_pairs) () : sweep list =
   Hfuse_parallel.Pool.with_pool jobs (fun pool ->
       List.concat_map
@@ -217,7 +217,7 @@ let figure7 ?multipliers ?(jobs = 1) ?cache ?checkpoint ?(archs = Arch.all)
           let sizes = representative_sizes ~pool ?cache ?checkpoint arch in
           List.map
             (fun pair ->
-              sweep_pair ?multipliers ~pool ?cache ?checkpoint arch sizes pair)
+              sweep_pair ?multipliers ~pool ?cache ?checkpoint ?top_k arch sizes pair)
             pairs)
         archs)
 
@@ -297,7 +297,7 @@ type f9_prep = {
   p_regcap : (int * int) option;  (** (r0, replay index) *)
 }
 
-let f9_prepare ?jobs ?pool ?cache ?checkpoint (arch : Arch.t)
+let f9_prepare ?jobs ?pool ?cache ?checkpoint ?top_k (arch : Arch.t)
     (sizes : (string * int) list) ((s1, s2) : Spec.t * Spec.t) rl : f9_prep =
   let mem = Memory.create () in
   let c1 = Runner.configure mem s1 ~size:(size_of sizes s1) in
@@ -308,7 +308,7 @@ let f9_prepare ?jobs ?pool ?cache ?checkpoint (arch : Arch.t)
     push rl
       (arch, [ Runner.spec_of c1 ~stream:0 (); Runner.spec_of c2 ~stream:1 () ])
   in
-  let sr = Runner.search ?jobs ?pool ?cache ?checkpoint arch c1 c2 in
+  let sr = Runner.search ?jobs ?pool ?cache ?checkpoint ?top_k arch c1 c2 in
   let fused = sr.Hfuse_core.Search.best.Hfuse_core.Search.fused in
   let traces = Runner.hfuse_traces c1 c2 fused in
   let ihf0 = push rl (arch, [ Runner.hfuse_spec fused ~reg_bound:None ~traces ]) in
@@ -364,17 +364,17 @@ let f9_row (reports : Timing.report array) (p : f9_prep) : fused_row =
       Option.map (fun (r, i) -> variant (Some r) reports.(i)) p.p_regcap;
   }
 
-let figure9_pair ?jobs ?pool ?cache ?checkpoint (arch : Arch.t)
+let figure9_pair ?jobs ?pool ?cache ?checkpoint ?top_k (arch : Arch.t)
     (sizes : (string * int) list) (pair : Spec.t * Spec.t) : fused_row =
   let rl = runlist () in
-  let prep = f9_prepare ?jobs ?pool ?cache ?checkpoint arch sizes pair rl in
+  let prep = f9_prepare ?jobs ?pool ?cache ?checkpoint ?top_k arch sizes pair rl in
   let reports = Runner.run_many ?pool ?jobs ?cache ?checkpoint (runs_of rl) in
   f9_row reports prep
 
 (** Figure 9 over all pairs and architectures: every pair's traces and
     search run serially (phase 1), then a single pool-wide fan-out
     replays all measurement runs at once. *)
-let figure9 ?(jobs = 1) ?cache ?checkpoint ?(archs = Arch.all)
+let figure9 ?(jobs = 1) ?cache ?checkpoint ?top_k ?(archs = Arch.all)
     ?(pairs = Registry.all_pairs) () : fused_row list =
   Hfuse_parallel.Pool.with_pool jobs (fun pool ->
       let rl = runlist () in
@@ -384,7 +384,7 @@ let figure9 ?(jobs = 1) ?cache ?checkpoint ?(archs = Arch.all)
             let sizes = representative_sizes ~pool ?cache ?checkpoint arch in
             List.map
               (fun pair ->
-                f9_prepare ~pool ?cache ?checkpoint arch sizes pair rl)
+                f9_prepare ~pool ?cache ?checkpoint ?top_k arch sizes pair rl)
               pairs)
           archs
       in

@@ -51,14 +51,15 @@ val avg_vfuse_speedup : sweep -> float
 (** The paper's ratio points: 0.25x .. 4x the representative size. *)
 val default_multipliers : float list
 
-(** [jobs]/[pool]/[cache] are handed to every {!Runner.search} the
-    sweep performs and to the measurement fan-out. *)
+(** [jobs]/[pool]/[cache]/[top_k] are handed to every {!Runner.search}
+    the sweep performs and to the measurement fan-out. *)
 val sweep_pair :
   ?multipliers:float list ->
   ?jobs:int ->
   ?pool:Hfuse_parallel.Pool.t ->
   ?cache:Profile_cache.t ->
   ?checkpoint:Checkpoint.t ->
+  ?top_k:int ->
   Gpusim.Arch.t ->
   (string * int) list ->
   Kernel_corpus.Spec.t * Kernel_corpus.Spec.t ->
@@ -70,6 +71,7 @@ val figure7 :
   ?jobs:int ->
   ?cache:Profile_cache.t ->
   ?checkpoint:Checkpoint.t ->
+  ?top_k:int ->
   ?archs:Gpusim.Arch.t list ->
   ?pairs:(Kernel_corpus.Spec.t * Kernel_corpus.Spec.t) list ->
   unit ->
@@ -111,6 +113,7 @@ val figure9_pair :
   ?pool:Hfuse_parallel.Pool.t ->
   ?cache:Profile_cache.t ->
   ?checkpoint:Checkpoint.t ->
+  ?top_k:int ->
   Gpusim.Arch.t ->
   (string * int) list ->
   Kernel_corpus.Spec.t * Kernel_corpus.Spec.t ->
@@ -123,6 +126,7 @@ val figure9 :
   ?jobs:int ->
   ?cache:Profile_cache.t ->
   ?checkpoint:Checkpoint.t ->
+  ?top_k:int ->
   ?archs:Gpusim.Arch.t list ->
   ?pairs:(Kernel_corpus.Spec.t * Kernel_corpus.Spec.t) list ->
   unit ->

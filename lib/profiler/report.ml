@@ -367,6 +367,11 @@ module Json = struct
   let to_float_opt = function
     | Float f -> Some f
     | Int i -> Some (float_of_int i)
+    (* non-finite floats serialize as [null] (JSON has no inf/nan);
+       failed candidates carry infinite time, so [null] reads back as
+       the infinity it stood for rather than vanishing — a gate
+       comparing two reports must see the failure, not a missing key *)
+    | Null -> Some Float.infinity
     | _ -> None
 end
 
@@ -399,6 +404,11 @@ let json_of_search_stats (s : Runner.search_stats) : Json.t =
       ("cache_hits", Json.Int s.Runner.cache_hits);
       ("profile_wall_s", Json.Float s.Runner.profile_wall_s);
       ("failed", Json.Int s.Runner.failed);
+      ("ranked", Json.Int s.Runner.ranked);
+      ("pruned", Json.Int s.Runner.pruned);
+      ("rank_agree", Json.Int s.Runner.rank_agree);
+      ("rank_total", Json.Int s.Runner.rank_total);
+      ("max_regret_pct", Json.Float s.Runner.max_regret_pct);
     ]
 
 let json_of_cache (c : Profile_cache.t) : Json.t =

@@ -90,7 +90,13 @@ type trace_key =
    comfortably.  Accessed only from the coordinating domain. *)
 let cache : (trace_key, Trace.block array) Hashtbl.t = Hashtbl.create 64
 
-let clear_cache () = Hashtbl.reset cache
+(* Per-kernel solo elapsed cycles for the cost model's calibration,
+   memoized per process (see [solo_cycles] below). *)
+let solo_memo : (string, float option) Hashtbl.t = Hashtbl.create 16
+
+let clear_cache () =
+  Hashtbl.reset cache;
+  Hashtbl.reset solo_memo
 
 let traced (key : trace_key) (record : unit -> Trace.block array) :
     Trace.block array =
@@ -287,10 +293,27 @@ type search_stats = {
   mutable cache_hits : int;  (** candidates answered by the disk cache *)
   mutable profile_wall_s : float;  (** wall time inside batch profiling *)
   mutable failed : int;  (** candidates whose profile failed (excluded) *)
+  mutable ranked : int;  (** candidates scored by the cost model *)
+  mutable pruned : int;  (** candidates top-K pruning skipped *)
+  mutable rank_agree : int;
+      (** searches where the model's pick tied the simulated best *)
+  mutable rank_total : int;  (** searches with a model-vs-sim verdict *)
+  mutable max_regret_pct : float;
+      (** worst chosen-vs-best simulated-time gap, percent *)
 }
 
 let stats : search_stats =
-  { profiled = 0; cache_hits = 0; profile_wall_s = 0.0; failed = 0 }
+  {
+    profiled = 0;
+    cache_hits = 0;
+    profile_wall_s = 0.0;
+    failed = 0;
+    ranked = 0;
+    pruned = 0;
+    rank_agree = 0;
+    rank_total = 0;
+    max_regret_pct = 0.0;
+  }
 
 let search_stats () =
   {
@@ -298,13 +321,23 @@ let search_stats () =
     cache_hits = stats.cache_hits;
     profile_wall_s = stats.profile_wall_s;
     failed = stats.failed;
+    ranked = stats.ranked;
+    pruned = stats.pruned;
+    rank_agree = stats.rank_agree;
+    rank_total = stats.rank_total;
+    max_regret_pct = stats.max_regret_pct;
   }
 
 let reset_search_stats () =
   stats.profiled <- 0;
   stats.cache_hits <- 0;
   stats.profile_wall_s <- 0.0;
-  stats.failed <- 0
+  stats.failed <- 0;
+  stats.ranked <- 0;
+  stats.pruned <- 0;
+  stats.rank_agree <- 0;
+  stats.rank_total <- 0;
+  stats.max_regret_pct <- 0.0
 
 let pp_search_stats ppf (s : search_stats) =
   Fmt.pf ppf "%d candidate%s profiled, %d cache hit%s, %.2fs profiling wall"
@@ -313,7 +346,57 @@ let pp_search_stats ppf (s : search_stats) =
     s.cache_hits
     (if s.cache_hits = 1 then "" else "s")
     s.profile_wall_s;
-  if s.failed > 0 then Fmt.pf ppf ", %d failed" s.failed
+  if s.failed > 0 then Fmt.pf ppf ", %d failed" s.failed;
+  if s.pruned > 0 then Fmt.pf ppf ", %d pruned" s.pruned;
+  if s.rank_total > 0 then
+    Fmt.pf ppf ", model agreement %d/%d (max regret %.2f%%)" s.rank_agree
+      s.rank_total s.max_regret_pct
+
+(* Model-vs-simulator verdict over one (exhaustive) search's profiled
+   candidates: what would top-[k] pruning have cost?  The model's
+   window is the [k] lowest-scored candidates whose profiles completed
+   (ties to the earlier candidate, matching the pruning order); the
+   pruned search would then profile exactly that window and pick its
+   fastest member, so the verdict is (index of that member, its regret
+   versus the exhaustive best, in percent).  Regret 0 means pruning
+   would have selected an exhaustive winner.  [None] when no candidate
+   has both a finite score and a finite time (no model ran, or every
+   profile failed). *)
+let model_eval ?(k = 1) ~(scores : float list) ~(times : float list) () :
+    (int * float) option =
+  let sarr = Array.of_list scores and tarr = Array.of_list times in
+  let n = min (Array.length sarr) (Array.length tarr) in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun i j ->
+      match compare sarr.(i) sarr.(j) with 0 -> compare i j | c -> c)
+    order;
+  let best_t = ref Float.infinity in
+  for i = 0 to n - 1 do
+    if Float.is_finite tarr.(i) && tarr.(i) < !best_t then best_t := tarr.(i)
+  done;
+  let window_pick = ref None and taken = ref 0 in
+  Array.iter
+    (fun i ->
+      if
+        !taken < max 1 k
+        && Float.is_finite sarr.(i)
+        && Float.is_finite tarr.(i)
+      then begin
+        incr taken;
+        match !window_pick with
+        | Some (_, t) when t <= tarr.(i) -> ()
+        | _ -> window_pick := Some (i, tarr.(i))
+      end)
+    order;
+  match !window_pick with
+  | Some (i, t) when Float.is_finite !best_t ->
+      let regret =
+        if !best_t <= 0.0 then 0.0
+        else (t -. !best_t) /. !best_t *. 100.0
+      in
+      Some (i, regret)
+  | _ -> None
 
 let candidate_key (arch : Arch.t) (c1 : configured) (c2 : configured)
     (f : Hfuse_core.Hfuse.t) ~(reg_bound : int option) : string =
@@ -409,9 +492,47 @@ let is_profile_failure = function
       true
   | _ -> false
 
+(* Observed solo elapsed cycles of one kernel at its native launch —
+   the cost model's per-kernel calibration input.  Memoized per process
+   and persisted through the report cache (content-keyed over the spec
+   and its packed traces, so any trace change self-invalidates); a
+   warm search never re-simulates it.  A failed solo yields [None] and
+   the model runs uncalibrated. *)
+let solo_cycles ~(cache : Profile_cache.t) (arch : Arch.t) (c : configured) :
+    float option =
+  let memo_key =
+    Printf.sprintf "%s|%s|%d|%d" arch.Arch.name c.spec.name c.size
+      (trace_blocks ())
+  in
+  match Hashtbl.find_opt solo_memo memo_key with
+  | Some v -> v
+  | None ->
+      let v =
+        match
+          let spec = spec_of c ~stream:0 () in
+          let key =
+            Profile_cache.report_key ~arch:arch.Arch.name ~policy:"fifo"
+              [ spec ]
+          in
+          match Profile_cache.find_report cache ~key with
+          | Some (r, es) ->
+              Timing.accumulate_stats es;
+              r
+          | None ->
+              let r, es = Timing.run_with_stats arch [ spec ] in
+              Profile_cache.store_report cache ~key (r, es);
+              r
+        with
+        | r -> Some (float_of_int r.Timing.elapsed_cycles)
+        | exception e when is_profile_failure e -> None
+      in
+      Hashtbl.replace solo_memo memo_key v;
+      v
+
 let search ?(jobs = 1) ?pool ?(cache = Profile_cache.from_env ())
-    ?(checkpoint = Checkpoint.disabled) (arch : Arch.t) (c1 : configured)
-    (c2 : configured) : Hfuse_core.Search.result =
+    ?(checkpoint = Checkpoint.disabled) ?(top_k : int option)
+    (arch : Arch.t) (c1 : configured) (c2 : configured) :
+    Hfuse_core.Search.result =
   (* a candidate whose profile fails (fuel exhaustion, deadlock, a
      crashed worker past its retry budget) is excluded by giving it an
      infinite time: the Fig. 6 fold keeps the first strictly-fastest
@@ -529,11 +650,184 @@ let search ?(jobs = 1) ?pool ?(cache = Profile_cache.from_env ())
     Array.to_list times
   in
   let failed_before = stats.failed in
+  (* phase 1.5: the analytical cost model always scores the verified
+     candidates (scores are static and cheap, and the default
+     exhaustive run uses them to report model quality — rank agreement
+     and regret — against the full simulated sweep).  Only an explicit
+     [top_k] makes the scores prune. *)
+  let rank candidates =
+    let inputs =
+      Hfuse_costmodel.of_pair
+        ~limits:(Arch.sm_limits arch)
+        ~arch c1.info c2.info
+    in
+    (* pin each side's cost magnitude to its observed solo run (cached
+       and shared across every pair involving the kernel); a failed
+       solo leaves the model uncalibrated rather than failing the
+       search *)
+    let inputs =
+      match (solo_cycles ~cache arch c1, solo_cycles ~cache arch c2) with
+      | Some s1, Some s2 -> Hfuse_costmodel.calibrate inputs ~solo1:s1 ~solo2:s2
+      | _ -> inputs
+    in
+    (* fit the pair's empirical time-vs-partition shape from profiled
+       probes: the two extreme unbounded candidates (minimal d1 starves
+       kernel 1, maximal d1 starves kernel 2), the unbounded one
+       nearest the middle (pins the residency-invariant floor), and per
+       spilling register bound that group's extremes and middle.  The
+       probes are real candidates profiled through [profile_batch], so
+       they fan out over the worker pool and their times come from
+       (and land in) the same caches as phase 2.
+
+       When a [top_k] was requested but cannot cut anything (the pair
+       has no more candidates than the window), the probe simulations
+       would buy nothing — the search profiles every candidate anyway —
+       so they are skipped and the static scores stand.  An exhaustive
+       run (no [top_k]) always fits probes: it is the only run that can
+       measure model quality, and with caching enabled the probes are
+       phase-2 cache hits, not extra simulations. *)
+    let probes_useful =
+      match top_k with
+      | None -> true
+      | Some k -> max 1 k < List.length candidates
+    in
+    let inputs =
+      if not probes_useful then inputs
+      else
+      let unbounded, bounded =
+        List.partition
+          (fun ((_, cfg) : Hfuse_core.Hfuse.t * Hfuse_core.Search.config) ->
+            cfg.Hfuse_core.Search.reg_bound = None)
+          candidates
+      in
+      let d1_of ((_, cfg) : Hfuse_core.Hfuse.t * Hfuse_core.Search.config) =
+        cfg.Hfuse_core.Search.partition.Hfuse_core.Partition.d1
+      in
+      match unbounded with
+      | first :: (_ :: _ as rest) ->
+          let lo, hi =
+            List.fold_left
+              (fun (mn, mx) c ->
+                ( (if d1_of c < d1_of mn then c else mn),
+                  if d1_of c > d1_of mx then c else mx ))
+              (first, first) rest
+          in
+          let target = (d1_of lo + d1_of hi) / 2 in
+          let nearest_mid pool ~skip_extremes =
+            List.fold_left
+              (fun best c ->
+                if skip_extremes && (c == lo || c == hi) then best
+                else
+                  match best with
+                  | Some b when abs (d1_of b - target) <= abs (d1_of c - target)
+                    ->
+                      best
+                  | _ -> Some c)
+              None pool
+          in
+          let mid = nearest_mid unbounded ~skip_extremes:true in
+          let capped =
+            (* per spilling register bound: that group's extremes and
+               the member nearest the middle — only candidates whose
+               bound actually forces spilling reveal the capped
+               physics *)
+            let spilling =
+              List.filter
+                (fun ((f, cfg) : Hfuse_core.Hfuse.t * Hfuse_core.Search.config)
+                   ->
+                  match cfg.Hfuse_core.Search.reg_bound with
+                  | Some r -> f.Hfuse_core.Hfuse.regs > r
+                  | None -> false)
+                bounded
+            in
+            let bounds =
+              List.sort_uniq compare
+                (List.filter_map
+                   (fun ((_, cfg) :
+                          Hfuse_core.Hfuse.t * Hfuse_core.Search.config) ->
+                     cfg.Hfuse_core.Search.reg_bound)
+                   spilling)
+            in
+            List.concat_map
+              (fun r ->
+                let group =
+                  List.filter
+                    (fun ((_, cfg) :
+                           Hfuse_core.Hfuse.t * Hfuse_core.Search.config) ->
+                      cfg.Hfuse_core.Search.reg_bound = Some r)
+                    spilling
+                in
+                match group with
+                | [] -> []
+                | first :: rest ->
+                    let glo, ghi =
+                      List.fold_left
+                        (fun (mn, mx) c ->
+                          ( (if d1_of c < d1_of mn then c else mn),
+                            if d1_of c > d1_of mx then c else mx ))
+                        (first, first) rest
+                    in
+                    let gmid =
+                      List.fold_left
+                        (fun best c ->
+                          if c == glo || c == ghi then best
+                          else
+                            let gt = (d1_of glo + d1_of ghi) / 2 in
+                            match best with
+                            | Some b
+                              when abs (d1_of b - gt) <= abs (d1_of c - gt) ->
+                                best
+                            | _ -> Some c)
+                        None group
+                    in
+                    List.filter_map Fun.id
+                      [ Some glo; gmid; (if ghi == glo then None else Some ghi) ])
+              bounds
+          in
+          let probes = (lo :: Option.to_list mid) @ (hi :: capped) in
+          let timed = List.combine probes (profile_batch probes) in
+          let time_of c = List.assq c timed in
+          Hfuse_costmodel.calibrate_probes inputs
+            ~lo:(lo, time_of lo)
+            ?mid:(Option.map (fun c -> (c, time_of c)) mid)
+            ~capped:(List.map (fun c -> (c, time_of c)) capped)
+            ~hi:(hi, time_of hi)
+            ()
+      | _ -> inputs
+    in
+    Checkpoint.flush checkpoint;
+    Hfuse_costmodel.rank inputs candidates
+  in
   let result =
     Hfuse_core.Search.search
       ~limits:(Arch.sm_limits arch)
-      ~profile_batch ~profile ~d0:(d0_for c1 c2) c1.info c2.info
+      ~profile_batch ~profile ~rank ?top_k ~d0:(d0_for c1 c2) c1.info
+      c2.info
   in
+  stats.ranked <-
+    stats.ranked
+    + List.length result.Hfuse_core.Search.scores
+    + List.length result.Hfuse_core.Search.pruned;
+  stats.pruned <- stats.pruned + List.length result.Hfuse_core.Search.pruned;
+  (* Model quality is only measurable against an exhaustive sweep: a
+     pruned run has no ground truth beyond its own window (its best IS
+     the window's best, regret trivially zero), so the verdict is
+     recorded only when no pruning was requested. *)
+  (if top_k = None then
+     match
+       model_eval ~k:Hfuse_costmodel.default_top_k
+         ~scores:result.Hfuse_core.Search.scores
+         ~times:
+           (List.map
+              (fun (c : Hfuse_core.Search.candidate) -> c.time)
+              result.Hfuse_core.Search.all)
+         ()
+     with
+     | Some (_, regret) ->
+         stats.rank_total <- stats.rank_total + 1;
+         if regret <= 0.0 then stats.rank_agree <- stats.rank_agree + 1;
+         if regret > stats.max_regret_pct then stats.max_regret_pct <- regret
+     | None -> ());
   if not (Float.is_finite result.Hfuse_core.Search.best.Hfuse_core.Search.time)
   then
     failwith

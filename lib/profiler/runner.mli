@@ -128,6 +128,18 @@ type search_stats = {
   mutable failed : int;
       (** candidates whose profile failed and were excluded from the
           search (their time is infinite, so they can never win) *)
+  mutable ranked : int;
+      (** candidates scored by the analytical cost model (phase 1.5) *)
+  mutable pruned : int;
+      (** verified candidates top-K pruning skipped (never profiled) *)
+  mutable rank_agree : int;
+      (** searches where the model's pick matched the simulated best
+          time exactly *)
+  mutable rank_total : int;
+      (** searches that produced a model-vs-simulator verdict *)
+  mutable max_regret_pct : float;
+      (** worst gap between the model's pick and the fastest simulated
+          candidate, in percent of the latter (0 when they agree) *)
 }
 
 (** Snapshot of the process-wide counters. *)
@@ -135,6 +147,19 @@ val search_stats : unit -> search_stats
 
 val reset_search_stats : unit -> unit
 val pp_search_stats : search_stats Fmt.t
+
+(** Model-vs-simulator verdict over one search's profiled candidates:
+    [Some (i, regret_pct)] where [i] is the index of the fastest
+    simulated candidate inside the model's top-[k] window (default 1)
+    and [regret_pct] that candidate's simulated-time gap to the overall
+    fastest, in percent — i.e. what a [--top-k k] pruned search would
+    have lost against the exhaustive sweep.  [0.] means the window
+    contains the true optimum.  [None] when no candidate has both a
+    finite score and a finite time — no model ran, or every profile
+    failed (failed candidates carry infinite time and are never
+    picked). *)
+val model_eval :
+  ?k:int -> scores:float list -> times:float list -> unit -> (int * float) option
 
 (** Fan pure [Timing.run] replays over worker domains: one
     (arch, launch-spec list) per report, results in input order
@@ -171,9 +196,17 @@ val run_many :
     @param checkpoint resume journal: candidate times already recorded
                  by an interrupted run are replayed, and every fresh
                  time is journaled (default {!Checkpoint.disabled}).
+    @param top_k profile only the [top_k] candidates the analytical
+                 cost model ({!Hfuse_costmodel}) ranks best; the rest
+                 are recorded un-profiled in [result.pruned].  Without
+                 it the search stays exhaustive — the model still
+                 scores every candidate (reported in [result.scores]
+                 and the rank-agreement/regret stats) but prunes
+                 nothing, so results are bit-identical to previous
+                 releases.
     [best], [all] and [rejected] are bit-identical across any [jobs],
     across cold/warm cache runs, and across interrupted-and-resumed
-    runs.
+    runs — and, for a given [top_k], across all of those too.
 
     Fault tolerance: a candidate whose profile fails (simulator
     watchdog trip, deadlock, a crashed worker past its retry budget)
@@ -182,7 +215,7 @@ val run_many :
     candidate fails does the call raise [Failure]. *)
 val search :
   ?jobs:int -> ?pool:Hfuse_parallel.Pool.t -> ?cache:Profile_cache.t ->
-  ?checkpoint:Checkpoint.t ->
+  ?checkpoint:Checkpoint.t -> ?top_k:int ->
   Gpusim.Arch.t -> configured -> configured -> Hfuse_core.Search.result
 
 val naive_hfuse : configured -> configured -> Hfuse_core.Hfuse.t option

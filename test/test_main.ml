@@ -11,6 +11,7 @@ let () =
       ("occupancy", Test_occupancy.suite);
       ("verifier", Test_verifier.suite);
       ("search", Test_search.suite);
+      ("costmodel", Test_costmodel.suite);
       ("value", Test_value.suite);
       ("memory", Test_memory.suite);
       ("interp", Test_interp.suite);

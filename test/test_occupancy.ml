@@ -83,6 +83,36 @@ let test_register_bound_slot_clamped () =
     (Occupancy.register_bound lim ~d1:32 ~regs1:8 ~d2:32 ~regs2:8
        ~fused_smem:768)
 
+let test_register_bound_granularity () =
+  (* regression: the raw r0 was not aligned down to the allocation
+     granularity, so the hardware's own rounding could cross a
+     breakpoint and cost a block per SM.  96+64 threads at 34 regs
+     each: b1 = 65536/3264 = 20, b2 = 65536/2176 = 30, threads bound
+     2048/160 = 12 -> b0 = 12 -> raw r0 = 65536/1920 = 34.  Launching
+     at 34 the hardware allocates 40/thread and only 10 blocks fit —
+     below the b0 = 12 the bound promised.  Aligned down to 32, all 12
+     fit. *)
+  Alcotest.(check (option int)) "aligned r0" (Some 32)
+    (Occupancy.register_bound lim ~d1:96 ~regs1:34 ~d2:64 ~regs2:34
+       ~fused_smem:0);
+  (* the aligned bound really does preserve the promised residency
+     under hardware rounding; the raw value of 34 would not *)
+  Alcotest.(check int) "b0 preserved at 32" 12
+    (Occupancy.blocks_per_sm lim ~regs:32 ~threads:160 ~smem:0);
+  Alcotest.(check int) "raw 34 loses blocks" 10
+    (Occupancy.blocks_per_sm lim ~regs:34 ~threads:160 ~smem:0)
+
+let test_register_bound_granularity_floor () =
+  (* the floor never drops below one allocation unit: on a device with
+     a huge thread budget, b1 = b2 = 65536/(512*8) = 16 and the thread
+     bound 16384/1024 = 16 give b0 = 16, so raw r0 = 65536/16384 = 4 —
+     below the granularity of 8.  Align up to the single-unit minimum
+     rather than down to an unallocatable 0. *)
+  let lim_big = { lim with Occupancy.max_threads_per_sm = 16384 } in
+  Alcotest.(check (option int)) "clamped to one unit" (Some 8)
+    (Occupancy.register_bound lim_big ~d1:512 ~regs1:8 ~d2:512 ~regs2:8
+       ~fused_smem:0)
+
 let test_register_bound_clamped () =
   (* tiny kernels: r0 would exceed the 255-register hardware cap *)
   match
@@ -144,6 +174,23 @@ let bound_restores_occupancy =
           (* raw-regs residency at the bound (the formula's own metric) *)
           lim.regs_per_sm / (r0 * (d1 + d2)) >= b0)
 
+let bound_granularity =
+  QCheck.Test.make
+    ~name:"register bound is allocation-granularity aligned" ~count:300
+    QCheck.(
+      quad (int_range 8 64) (int_range 8 64) (int_range 1 7) (int_range 1 7))
+    (fun (regs1, regs2, w1, w2) ->
+      let d1 = w1 * 128 and d2 = w2 * 128 in
+      QCheck.assume (d1 + d2 <= 1024);
+      match
+        Occupancy.register_bound lim ~d1 ~regs1 ~d2 ~regs2 ~fused_smem:0
+      with
+      | None -> QCheck.assume_fail ()
+      | Some r0 ->
+          (r0 mod lim.reg_alloc_granularity = 0
+          || r0 = lim.max_regs_per_thread)
+          && r0 >= lim.reg_alloc_granularity)
+
 let suite =
   [
     Alcotest.test_case "blocks per SM" `Quick test_blocks_per_sm;
@@ -159,11 +206,15 @@ let suite =
       test_register_bound_none;
     Alcotest.test_case "register bound (slot-clamped)" `Quick
       test_register_bound_slot_clamped;
+    Alcotest.test_case "register bound (granularity-aligned)" `Quick
+      test_register_bound_granularity;
+    Alcotest.test_case "register bound (granularity floor)" `Quick
+      test_register_bound_granularity_floor;
     Alcotest.test_case "register bound (clamped)" `Quick
       test_register_bound_clamped;
   ]
   @ Test_util.qcheck_cases
       [
         blocks_monotone_regs; blocks_monotone_smem; blocks_respect_limits;
-        bound_restores_occupancy;
+        bound_restores_occupancy; bound_granularity;
       ]

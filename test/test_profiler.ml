@@ -313,10 +313,16 @@ let test_search_cache_warm_matches_cold () =
   let cold = search_tun ~jobs:2 ~cache:cold_cache in
   let n = List.length cold.all in
   let cold_stats = Runner.search_stats () in
-  Alcotest.(check int) "cold run profiles every candidate" n
+  Alcotest.(check int) "cold run profiles every candidate once" n
     cold_stats.Runner.profiled;
-  Alcotest.(check int) "cold run has no hits" 0 cold_stats.Runner.cache_hits;
-  Alcotest.(check int) "every candidate stored" n
+  (* the cost model's probes are profiled during ranking and stored;
+     phase 2 then re-hits exactly those entries, so the cold run's hit
+     count IS the probe count *)
+  let probes = cold_stats.Runner.cache_hits in
+  Alcotest.(check bool) "probes hit, not re-simulated" true
+    (probes > 0 && probes < n);
+  Alcotest.(check int) "every candidate stored once, plus two solo reports"
+    (n + 2)
     (Profile_cache.stores cold_cache);
   (* a second handle on the same directory — as a rerun of the process
      would create — answers everything from disk, bit-identically *)
@@ -329,8 +335,11 @@ let test_search_cache_warm_matches_cold () =
   Alcotest.(check bool) "warm best identical to cold" true
     (best_of warm = best_of cold);
   Alcotest.(check int) "warm run profiles nothing" 0 warm_stats.Runner.profiled;
-  Alcotest.(check int) "warm run all cache hits" n warm_stats.Runner.cache_hits;
-  Alcotest.(check int) "disk hits" n (Profile_cache.hits warm_cache)
+  Alcotest.(check int) "warm run all cache hits (probes again + phase 2)"
+    (n + probes) warm_stats.Runner.cache_hits;
+  Alcotest.(check int) "disk hits include the two solo reports"
+    (n + probes + 2)
+    (Profile_cache.hits warm_cache)
 
 (* -- crash-safe cache: quarantine + recompute --------------------------- *)
 
@@ -423,7 +432,7 @@ module Checkpoint = Hfuse_profiler.Checkpoint
 
 let fresh_journal tag =
   let dir = tmp_cache_dir ("jnl_" ^ tag) in
-  let run_id = Checkpoint.run_id ~parts:[ "test"; tag ] in
+  let run_id = Checkpoint.run_id ~parts:[ "test"; tag ] () in
   let file = Filename.concat dir (run_id ^ ".jnl") in
   if Sys.file_exists file then Sys.remove file;
   (dir, run_id)
@@ -499,6 +508,9 @@ let test_search_resume_identity () =
   Runner.reset_search_stats ();
   let first = search_ck ~jobs:2 ~checkpoint:ck in
   Checkpoint.close ck;
+  (* the first journaled run hits its own journal once per probe (the
+     model profiles them in phase 1.5, phase 2 replays them) *)
+  let probes = (Runner.search_stats ()).Runner.cache_hits in
   Alcotest.(check bool) "journaled run identical to plain run" true
     (sig_of first = sig_of baseline);
   (* a resumed run answers every candidate from the journal: nothing is
@@ -515,7 +527,133 @@ let test_search_resume_identity () =
   Alcotest.(check bool) "resumed best identical" true
     (best_of resumed = best_of baseline);
   Alcotest.(check int) "resume profiles nothing" 0 stats.Runner.profiled;
-  Alcotest.(check int) "every candidate replayed" n stats.Runner.cache_hits
+  Alcotest.(check int) "every candidate and probe replayed" (n + probes)
+    stats.Runner.cache_hits
+
+(* -- run ids fold in the simulator fuel budget --------------------------- *)
+
+let test_run_id_sim_fuel () =
+  (* a journal recorded under one fuel budget must be invisible to a
+     resume under another: the same simulation can legitimately produce
+     different times (a watchdogged candidate completes under a bigger
+     budget), so replaying it would be wrong, not just stale *)
+  let id_a = Checkpoint.run_id ~sim_fuel:1_000 ~parts:[ "fuel"; "t" ] () in
+  let id_b = Checkpoint.run_id ~sim_fuel:2_000 ~parts:[ "fuel"; "t" ] () in
+  Alcotest.(check bool) "different fuel, different run id" true
+    (id_a <> id_b);
+  Alcotest.(check string) "same fuel, same run id" id_a
+    (Checkpoint.run_id ~sim_fuel:1_000 ~parts:[ "fuel"; "t" ] ());
+  Alcotest.(check string) "default fuel is the engine's default"
+    (Checkpoint.run_id ~sim_fuel:Gpusim.Launch.default_loop_fuel
+       ~parts:[ "fuel"; "t" ] ())
+    (Checkpoint.run_id ~parts:[ "fuel"; "t" ] ());
+  let dir = tmp_cache_dir "jnl_fuel" in
+  List.iter
+    (fun id ->
+      let f = Filename.concat dir (id ^ ".jnl") in
+      if Sys.file_exists f then Sys.remove f)
+    [ id_a; id_b ];
+  let ck = Checkpoint.open_ ~dir ~run_id:id_a () in
+  Checkpoint.record_time ck ~key:"cand" 1.0;
+  Checkpoint.close ck;
+  (* resuming under a changed fuel budget sees an empty journal... *)
+  let ck_b = Checkpoint.open_ ~dir ~run_id:id_b () in
+  Alcotest.(check int) "changed fuel: stale journal not reused" 0
+    (Checkpoint.loaded ck_b);
+  Alcotest.check some_time "changed fuel: no stale answer" None
+    (Checkpoint.find_time ck_b ~key:"cand");
+  Checkpoint.close ck_b;
+  (* ...while the same budget replays it *)
+  let ck_a = Checkpoint.open_ ~dir ~run_id:id_a () in
+  Alcotest.(check int) "same fuel: journal replayed" 1
+    (Checkpoint.loaded ck_a);
+  Checkpoint.close ck_a
+
+(* -- model_eval: the top-k window verdict -------------------------------- *)
+
+let check_verdict = Alcotest.(check (option (pair int (float 1e-9))))
+
+let test_model_eval_window () =
+  let scores = [ 1.; 2.; 3.; 4. ] and times = [ 10.; 1.; 5.; 8. ] in
+  (* k=1: the window is the model's single pick, which is 10x off *)
+  check_verdict "k=1 pays the model's full regret" (Some (0, 900.))
+    (Runner.model_eval ~k:1 ~scores ~times ());
+  (* k=2: the window now contains the true best; regret vanishes *)
+  check_verdict "k=2 window contains the optimum" (Some (1, 0.))
+    (Runner.model_eval ~k:2 ~scores ~times ());
+  (* score ties break to the earlier candidate, like the pruner *)
+  check_verdict "ties keep search order" (Some (0, 250.))
+    (Runner.model_eval ~k:1 ~scores:[ 5.; 5. ] ~times:[ 7.; 2. ] ());
+  (* a failed profile (infinite time) can never be the window's pick *)
+  check_verdict "failed candidates fall out of the window" (Some (1, 0.))
+    (Runner.model_eval ~k:1 ~scores:[ 1.; 2. ]
+       ~times:[ Float.infinity; 3. ] ());
+  (* no verdict without a finite (score, time) pair *)
+  check_verdict "no finite pair" None
+    (Runner.model_eval ~scores:[ Float.nan ] ~times:[ 1. ] ());
+  check_verdict "empty" None (Runner.model_eval ~scores:[] ~times:[] ())
+
+(* -- report JSON: non-finite floats -------------------------------------- *)
+
+module Report = Hfuse_profiler.Report
+module Json = Report.Json
+
+let test_json_nonfinite_null () =
+  (* regression: Float.infinity used to print as a bare [inf], which no
+     JSON parser (including ours) accepts — a single failed candidate
+     poisoned the whole bench artifact *)
+  Alcotest.(check string) "infinity serializes as null" "null"
+    (String.trim (Json.to_string (Json.Float Float.infinity)));
+  Alcotest.(check string) "nan serializes as null" "null"
+    (String.trim (Json.to_string (Json.Float Float.nan)));
+  Alcotest.(check string) "negative infinity too" "null"
+    (String.trim (Json.to_string (Json.Float Float.neg_infinity)));
+  (* the parser accepts the null back, and the bench gate's numeric
+     coercion reads it as infinite — an infinite regret must FAIL the
+     gate, not vanish *)
+  (match Json.of_string "null" with
+  | Ok v ->
+      Alcotest.(check (option (float 0.))) "null reads as infinite"
+        (Some Float.infinity) (Json.to_float_opt v)
+  | Error e -> Alcotest.failf "null must parse: %s" e);
+  match Json.of_string {|{"t": null, "u": 3.5}|} with
+  | Ok obj ->
+      Alcotest.(check (option (float 0.))) "null member" (Some Float.infinity)
+        (Option.bind (Json.member "t" obj) Json.to_float_opt);
+      Alcotest.(check (option (float 0.))) "finite member" (Some 3.5)
+        (Option.bind (Json.member "u" obj) Json.to_float_opt)
+  | Error e -> Alcotest.failf "object must parse: %s" e
+
+let test_json_stats_roundtrip_nonfinite () =
+  (* a search whose every window candidate failed leaves an infinite
+     max-regret in the stats; the serialized artifact must still be
+     machine-readable end to end *)
+  let stats =
+    {
+      Runner.profiled = 3;
+      cache_hits = 0;
+      profile_wall_s = Float.nan;
+      failed = 3;
+      ranked = 3;
+      pruned = 0;
+      rank_agree = 0;
+      rank_total = 1;
+      max_regret_pct = Float.infinity;
+    }
+  in
+  let s = Json.to_string (Report.json_of_search_stats stats) in
+  match Json.of_string s with
+  | Ok obj ->
+      Alcotest.(check (option (float 0.))) "infinite regret survives"
+        (Some Float.infinity)
+        (Option.bind (Json.member "max_regret_pct" obj) Json.to_float_opt);
+      Alcotest.(check (option (float 0.))) "nan wall survives as infinite"
+        (Some Float.infinity)
+        (Option.bind (Json.member "profile_wall_s" obj) Json.to_float_opt);
+      Alcotest.(check (option (float 0.))) "finite fields unharmed"
+        (Some 3.)
+        (Option.bind (Json.member "profiled" obj) Json.to_float_opt)
+  | Error e -> Alcotest.failf "stats JSON must parse: %s" e
 
 (* -- chaos: injected faults leave results bit-identical ------------------ *)
 
@@ -536,7 +674,16 @@ let test_search_chaos_identity () =
   let dir = tmp_cache_dir "chaos" in
   let cache = Profile_cache.create ~dir () in
   clear_cache_dir cache;
+  Runner.reset_search_stats ();
   let faulted = search_tun ~jobs:4 ~cache in
+  (* regression: under injected worker crashes the stats JSON must stay
+     machine-readable whatever the float fields hold *)
+  (match
+     Json.of_string
+       (Json.to_string (Report.json_of_search_stats (Runner.search_stats ())))
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "faulted stats JSON must parse: %s" e);
   Alcotest.(check bool) "faulted candidates identical to baseline" true
     (sig_of faulted = sig_of baseline);
   Alcotest.(check bool) "faulted best identical to baseline" true
@@ -582,6 +729,14 @@ let suite =
       test_checkpoint_torn_tail;
     Alcotest.test_case "resumed search is bit-identical" `Quick
       test_search_resume_identity;
+    Alcotest.test_case "run id folds in the fuel budget" `Quick
+      test_run_id_sim_fuel;
+    Alcotest.test_case "model_eval window verdict" `Quick
+      test_model_eval_window;
+    Alcotest.test_case "JSON non-finite floats become null" `Quick
+      test_json_nonfinite_null;
+    Alcotest.test_case "stats JSON round-trips non-finite fields" `Quick
+      test_json_stats_roundtrip_nonfinite;
     Alcotest.test_case "chaos run is bit-identical" `Quick
       test_search_chaos_identity;
   ]

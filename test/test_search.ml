@@ -246,6 +246,142 @@ let pool_batch_prop =
       in
       sig_of r = sig_of serial && cand_sig r.best = cand_sig serial.best)
 
+(* -- phase 1.5: analytical ranking and top-k pruning ------------------- *)
+
+(* a deterministic stand-in for the cost model: arbitrary but fixed
+   scores, decorrelated from the cost surface by the seed *)
+let mock_rank seed cands =
+  List.map
+    (fun ((f : Hfuse.t), (c : Search.config)) ->
+      let r = match c.reg_bound with None -> 1 | Some r -> r + 2 in
+      float_of_int ((((f.d1 * 13) + (r * 7) + seed) mod 101) + 1))
+    cands
+
+let conf_sig (c : Search.candidate) =
+  (c.fused.d1, c.fused.d2, c.config.reg_bound)
+
+let rec is_subseq xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xt, y :: yt -> if x = y then is_subseq xt yt else is_subseq xs yt
+
+let test_prune_keeps_top_k () =
+  let cost (f : Hfuse.t) ~reg_bound =
+    let r = match reg_bound with None -> 0 | Some r -> r in
+    float_of_int (abs (f.d1 - 640) + r + 1)
+  in
+  let exhaustive =
+    Search.search ~limits:lim ~profile:cost ~d0:1024 (tun ()) (tun ())
+  in
+  let n = List.length exhaustive.all in
+  let rank = mock_rank 0 in
+  let scores =
+    rank
+      (List.map
+         (fun (c : Search.candidate) -> (c.fused, c.config))
+         exhaustive.all)
+  in
+  let k = 3 in
+  let r =
+    Search.search ~limits:lim ~profile:cost ~rank ~top_k:k ~d0:1024 (tun ())
+      (tun ())
+  in
+  Alcotest.(check int) "window size" k (List.length r.all);
+  Alcotest.(check int) "rest pruned, un-profiled" (n - k)
+    (List.length r.pruned);
+  Alcotest.(check int) "survivor scores recorded" k (List.length r.scores);
+  (* the survivors are exactly the k best-scored; ties keep search
+     order *)
+  let kth = List.nth (List.sort compare scores) (k - 1) in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "survivor within the score window" true (s <= kth))
+    r.scores;
+  List.iter
+    (fun (_, _, s) ->
+      Alcotest.(check bool) "pruned outside the score window" true (s >= kth))
+    r.pruned;
+  (* survivors keep search order and their profiled times are the
+     exhaustive run's times for the same configurations *)
+  Alcotest.(check bool) "survivors are a subsequence of the sweep" true
+    (is_subseq (List.map cand_sig r.all) (sig_of exhaustive));
+  (* the best is the fastest among the survivors only *)
+  List.iter
+    (fun (c : Search.candidate) ->
+      Alcotest.(check bool) "best no slower than any survivor" true
+        (r.best.time <= c.time))
+    r.all
+
+(* a top-k at or above the candidate count — or an absent rank — must
+   leave the search bit-identical to the exhaustive sweep, for any
+   worker count (the ISSUE's prune-identity property) *)
+let prune_identity_prop =
+  QCheck.Test.make
+    ~name:"non-binding top-k is bit-identical to the exhaustive sweep"
+    ~count:10
+    QCheck.(triple (int_range 1 4) (int_range 0 1000) (int_range 0 20))
+    (fun (jobs, seed, slack) ->
+      let cost (f : Hfuse.t) ~reg_bound =
+        let r = match reg_bound with None -> 1 | Some r -> r + 2 in
+        float_of_int ((((f.d1 * 37) + (r * 101) + seed) mod 997) + 3)
+      in
+      let serial =
+        Search.search ~limits:lim ~profile:cost ~d0:1024 (tun ()) (tun ())
+      in
+      let n = List.length serial.all in
+      let profile_batch batch =
+        Hfuse_parallel.Pool.with_pool jobs (fun p ->
+            Hfuse_parallel.Pool.map_list p
+              (fun (f, (c : Search.config)) -> cost f ~reg_bound:c.reg_bound)
+              batch)
+      in
+      let ranked =
+        Search.search ~limits:lim ~profile_batch ~profile:cost
+          ~rank:(mock_rank seed) ~top_k:(n + slack) ~d0:1024 (tun ()) (tun ())
+      in
+      let unranked =
+        Search.search ~limits:lim ~profile_batch ~profile:cost
+          ~top_k:1 (* no rank: scores are empty, top_k cannot bite *)
+          ~d0:1024 (tun ()) (tun ())
+      in
+      sig_of ranked = sig_of serial
+      && cand_sig ranked.best = cand_sig serial.best
+      && ranked.pruned = []
+      && List.length ranked.scores = n
+      && sig_of unranked = sig_of serial
+      && unranked.pruned = [])
+
+(* any top-k yields a window of min(n, max(1, k)) survivors, and
+   survivors + pruned partition the exhaustive candidate set *)
+let prune_window_prop =
+  QCheck.Test.make
+    ~name:"top-k window size and candidate-set partition" ~count:20
+    QCheck.(pair (int_range (-2) 20) (int_range 0 1000))
+    (fun (k, seed) ->
+      let cost (f : Hfuse.t) ~reg_bound =
+        let r = match reg_bound with None -> 1 | Some r -> r + 2 in
+        float_of_int ((((f.d1 * 37) + (r * 101) + seed) mod 997) + 3)
+      in
+      let exhaustive =
+        Search.search ~limits:lim ~profile:cost ~d0:1024 (tun ()) (tun ())
+      in
+      let n = List.length exhaustive.all in
+      let r =
+        Search.search ~limits:lim ~profile:cost ~rank:(mock_rank seed)
+          ~top_k:k ~d0:1024 (tun ()) (tun ())
+      in
+      let kept = List.map conf_sig r.all in
+      let cut =
+        List.map
+          (fun ((f : Hfuse.t), (c : Search.config), _) ->
+            (f.d1, f.d2, c.reg_bound))
+          r.pruned
+      in
+      List.length kept = min n (max 1 k)
+      && List.sort compare (kept @ cut)
+         = List.sort compare (List.map conf_sig exhaustive.all))
+
 let test_naive_search () =
   match Search.naive ~d0:1024 (tun ()) (tun ()) with
   | Some f ->
@@ -293,6 +429,10 @@ let suite =
       test_search_batch_matches_serial;
     Alcotest.test_case "search batch length mismatch" `Quick
       test_search_batch_length_mismatch;
+    Alcotest.test_case "prune keeps the top-k best-scored" `Quick
+      test_prune_keeps_top_k;
     Alcotest.test_case "naive search" `Quick test_naive_search;
   ]
-  @ Test_util.qcheck_cases [ partition_prop; pool_batch_prop ]
+  @ Test_util.qcheck_cases
+      [ partition_prop; pool_batch_prop; prune_identity_prop;
+        prune_window_prop ]
