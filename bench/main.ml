@@ -364,7 +364,10 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  Fault.from_env ();
+  (try Fault.from_env ()
+   with Fault.Invalid_spec msg ->
+     Printf.eprintf "bench: %s\n" msg;
+     exit 2);
   Sys.catch_break true;
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in

@@ -48,6 +48,51 @@ let info_of_file path ~block ~grid ~smem_dynamic ~regs : Hfuse_core.Kernel_info.
   { fn; prog; block = (block, 1, 1); grid; smem_dynamic; regs;
     tunability = Hfuse_core.Kernel_info.Fixed }
 
+(* -- daemon routing ----------------------------------------------------- *)
+
+module Ops = Hfuse_serve.Ops
+module Protocol = Hfuse_serve.Protocol
+
+let kernel_src_of_file path ~block ~smem ~regs : Ops.kernel_src =
+  { Ops.ks_path = path; ks_source = read_file path; ks_block = block;
+    ks_smem = smem; ks_regs = regs }
+
+(* print an outcome the way the in-line verb bodies used to: payload to
+   stdout, diagnostics to stderr, then the verb's exit code *)
+let finish (o : Ops.outcome) =
+  print_string o.Ops.output;
+  prerr_string o.Ops.log;
+  if o.Ops.exit_code <> 0 then exit o.Ops.exit_code
+
+(* When HFUSE_SERVER names a daemon socket, route the verb there with
+   the CLI's effective settings (the installed fault plan travels as a
+   spec string); otherwise run in process.  Both paths execute the same
+   [Ops] body, so the bytes on stdout are identical either way. *)
+let route ?settings (params : Ops.request_params) : Ops.outcome =
+  match Hfuse_serve.Client.default_socket () with
+  | None -> Ops.run ?settings params
+  | Some socket -> (
+      let settings =
+        match settings with
+        | Some s -> s
+        | None -> Hfuse_profiler.Settings.current ()
+      in
+      let req =
+        { Protocol.id = "cli"; priority = 0;
+          settings = Protocol.spec_of_settings settings;
+          verb = Protocol.Work params }
+      in
+      match Hfuse_serve.Client.call ~socket req with
+      | Error msg ->
+          Printf.eprintf "hfuse: %s\n" msg;
+          exit 3
+      | Ok (Protocol.Failure f) ->
+          Printf.eprintf "hfuse: server: %s (%s)\n" f.message f.code;
+          exit 1
+      | Ok (Protocol.Result r) ->
+          { Ops.output = r.output; log = r.log; exit_code = r.exit_code;
+            telemetry = r.telemetry })
+
 (* -- common args ------------------------------------------------------- *)
 
 let arch_arg =
@@ -97,8 +142,11 @@ let trace_blocks_arg =
                methodology, or $(b,HFUSE_TRACE_BLOCKS))."))
 
 (* --cache / --no-cache override the HFUSE_CACHE / HFUSE_CACHE_DIR
-   environment; with neither flag nor environment, the cache is off *)
-let cache_arg =
+   environment; with neither flag nor environment, the cache is off.
+   Resolves to a cache *root*, not a handle: the root goes into the
+   per-request settings record (and over the wire when routed), and
+   the verb body opens its own handle from it. *)
+let cache_dir_arg =
   let use =
     Arg.(
       value & flag
@@ -114,12 +162,14 @@ let cache_arg =
           ~doc:"Disable the persistent profiling cache, overriding the \
                 environment.")
   in
-  let resolve use no =
-    if no then Hfuse_profiler.Profile_cache.disabled ()
+  let resolve use no : string option =
+    if no then None
     else if use then
-      Hfuse_profiler.Profile_cache.create
-        ?dir:(Sys.getenv_opt "HFUSE_CACHE_DIR") ()
-    else Hfuse_profiler.Profile_cache.from_env ()
+      Some
+        (Option.value
+           (Sys.getenv_opt "HFUSE_CACHE_DIR")
+           ~default:Hfuse_profiler.Profile_cache.default_dir)
+    else Hfuse_profiler.Profile_cache.env_dir ()
   in
   Term.(const resolve $ use $ no)
 
@@ -205,23 +255,14 @@ let prune_id_part = function
 
 let fuse_cmd =
   let run f1 f2 d1 d2 smem1 smem2 regs1 regs2 grid =
-    let k1 = info_of_file f1 ~block:d1 ~grid ~smem_dynamic:smem1 ~regs:regs1 in
-    let k2 = info_of_file f2 ~block:d2 ~grid ~smem_dynamic:smem2 ~regs:regs2 in
-    match Hfuse_core.Hfuse.generate k1 k2 with
-    | fused ->
-        print_endline (Hfuse_core.Hfuse.to_source fused);
-        Printf.eprintf
-          "// fused: %d+%d threads, barriers %d/%d, ~%d regs, %dB dynamic \
-           smem\n"
-          fused.d1 fused.d2 fused.bar1 fused.bar2 fused.regs
-          fused.smem_dynamic
-    | exception Hfuse_core.Fuse_common.Fusion_error msg ->
-        Printf.eprintf "hfuse: %s\n" msg;
-        exit 1
-    | exception Hfuse_analysis.Diag.Unsafe_fusion ds ->
-        Printf.eprintf "hfuse: unsafe fusion\n%s"
-          (Hfuse_analysis.Diag.report_to_string ds);
-        exit 1
+    finish
+      (route
+         (Ops.Fuse
+            {
+              f_k1 = kernel_src_of_file f1 ~block:d1 ~smem:smem1 ~regs:regs1;
+              f_k2 = kernel_src_of_file f2 ~block:d2 ~smem:smem2 ~regs:regs2;
+              f_grid = grid;
+            }))
   in
   let f1 = Arg.(required & pos 0 (some file) None & info [] ~docv:"K1.cu") in
   let f2 = Arg.(required & pos 1 (some file) None & info [] ~docv:"K2.cu") in
@@ -258,39 +299,19 @@ let vfuse_cmd =
 
 let check_cmd =
   let run arch f1 f2 d1 d2 smem1 smem2 regs1 regs2 grid =
-    let limits = Gpusim.Arch.sm_limits arch in
-    let diags =
-      match f2 with
-      | None ->
-          (* single-kernel mode: verify the file as-is (it may already
-             contain bar.sync barriers from an earlier fusion) *)
-          let k =
-            info_of_file f1 ~block:d1 ~grid ~smem_dynamic:smem1 ~regs:regs1
-          in
-          let body =
-            (Hfuse_frontend.Inline.normalize_kernel k.prog k.fn).f_body
-          in
-          Hfuse_analysis.Verifier.verify_kernel ~limits
-            ~label:k.fn.Cuda.Ast.f_name
-            ~threads:(Hfuse_core.Kernel_info.threads_per_block k)
-            ~regs:k.regs ~smem_dynamic:k.smem_dynamic body
-      | Some f2 -> (
-          (* pair mode: fuse (verifier disabled) and report on the
-             result, instead of dying on the first error *)
-          let k1 =
-            info_of_file f1 ~block:d1 ~grid ~smem_dynamic:smem1 ~regs:regs1
-          in
-          let k2 =
-            info_of_file f2 ~block:d2 ~grid ~smem_dynamic:smem2 ~regs:regs2
-          in
-          match Hfuse_core.Hfuse.generate ~check:false ~limits k1 k2 with
-          | fused -> Hfuse_core.Hfuse.verify ~limits fused
-          | exception Hfuse_core.Fuse_common.Fusion_error msg ->
-              Printf.eprintf "hfuse: %s\n" msg;
-              exit 1)
-    in
-    print_string (Hfuse_analysis.Diag.report_to_string diags);
-    if not (Hfuse_analysis.Diag.is_clean diags) then exit 1
+    finish
+      (route
+         (Ops.Check
+            {
+              c_arch = arch;
+              c_k1 = kernel_src_of_file f1 ~block:d1 ~smem:smem1 ~regs:regs1;
+              c_k2 =
+                Option.map
+                  (fun f2 ->
+                    kernel_src_of_file f2 ~block:d2 ~smem:smem2 ~regs:regs2)
+                  f2;
+              c_grid = grid;
+            }))
   in
   let f1 = Arg.(required & pos 0 (some file) None & info [] ~docv:"K1.cu") in
   let f2 = Arg.(value & pos 1 (some file) None & info [] ~docv:"K2.cu") in
@@ -412,29 +433,16 @@ let size_arg flag_name =
 
 let simulate_cmd =
   let run arch (spec : Kernel_corpus.Spec.t) size validate engine_stats () =
-    let size = Option.value size ~default:spec.default_size in
-    let mem = Gpusim.Memory.create () in
-    let c = Hfuse_profiler.Runner.configure mem spec ~size in
-    let specs = [ Hfuse_profiler.Runner.spec_of c ~stream:0 () ] in
-    let r, es = Gpusim.Timing.run_with_stats arch specs in
-    print_endline Gpusim.Metrics.header;
-    print_endline
-      (Gpusim.Metrics.row (Gpusim.Metrics.of_report ~label:spec.name r));
-    if engine_stats then
-      Printf.printf "engine: %s\n"
-        (Fmt.str "%a" Gpusim.Timing.pp_engine_stats es);
-    if validate then begin
-      let mem2 = Gpusim.Memory.create () in
-      let inst = spec.instantiate mem2 ~size in
-      let info = Kernel_corpus.Spec.kernel_info spec inst in
-      ignore
-        (Gpusim.Launch.launch_info mem2 info ~args:inst.args ~trace_blocks:0);
-      match inst.check mem2 with
-      | Ok () -> print_endline "outputs match the host reference"
-      | Error e ->
-          Printf.eprintf "validation failed: %s\n" e;
-          exit 1
-    end
+    finish
+      (route
+         (Ops.Simulate
+            {
+              m_arch = arch;
+              m_kernel = spec;
+              m_size = size;
+              m_validate = validate;
+              m_engine_stats = engine_stats;
+            }))
   in
   let validate =
     Arg.(value & flag & info [ "validate" ] ~doc:"Check against host reference.")
@@ -459,22 +467,26 @@ let simulate_cmd =
 
 let search_cmd =
   let run arch (s1 : Kernel_corpus.Spec.t) (s2 : Kernel_corpus.Spec.t) size1
-      size2 emit jobs cache resume top_k () () =
-    let sizes = Hfuse_profiler.Experiment.representative_sizes arch in
-    let size_of (s : Kernel_corpus.Spec.t) o =
-      Option.value o ~default:(Hfuse_profiler.Experiment.size_of sizes s)
-    in
-    let size1 = size_of s1 size1 and size2 = size_of s2 size2 in
+      size2 emit jobs cache_dir resume top_k () () =
+    (* the per-request settings record: one env/flag capture up front,
+       threaded explicitly (and shipped to the daemon when routed) *)
+    let settings = Hfuse_profiler.Settings.resolve ~cache_dir () in
     let checkpoint =
       if not resume then Hfuse_profiler.Checkpoint.disabled
       else
+        (* the journal's identity needs the resolved sizes *)
+        let sizes = Hfuse_profiler.Experiment.representative_sizes arch in
+        let size_of (s : Kernel_corpus.Spec.t) o =
+          Option.value o ~default:(Hfuse_profiler.Experiment.size_of sizes s)
+        in
         let id =
           Hfuse_profiler.Checkpoint.run_id
             ~parts:
               [
-                "search"; arch.Gpusim.Arch.name; s1.name; string_of_int size1;
-                s2.name; string_of_int size2;
-                string_of_int (Hfuse_profiler.Runner.trace_blocks ());
+                "search"; arch.Gpusim.Arch.name; s1.name;
+                string_of_int (size_of s1 size1); s2.name;
+                string_of_int (size_of s2 size2);
+                string_of_int settings.Hfuse_profiler.Settings.trace_blocks;
                 prune_id_part top_k;
               ]
             ()
@@ -486,63 +498,33 @@ let search_cmd =
             (Hfuse_profiler.Checkpoint.path ck);
         ck
     in
-    let mem = Gpusim.Memory.create () in
-    let c1 = Hfuse_profiler.Runner.configure mem s1 ~size:size1 in
-    let c2 = Hfuse_profiler.Runner.configure mem s2 ~size:size2 in
-    let native = (Hfuse_profiler.Runner.native arch c1 c2).Gpusim.Timing.time_ms in
-    Hfuse_profiler.Runner.reset_search_stats ();
-    let sr =
-      try Hfuse_profiler.Runner.search ~jobs ~cache ~checkpoint ?top_k arch c1 c2
+    let params =
+      {
+        Ops.s_arch = arch;
+        s_k1 = s1;
+        s_k2 = s2;
+        s_size1 = size1;
+        s_size2 = size2;
+        s_emit = emit;
+        s_jobs = jobs;
+        s_top_k = top_k;
+      }
+    in
+    let outcome =
+      (* --resume journals to local disk, so it always runs in process *)
+      try
+        if resume then Ops.search ~settings ~checkpoint params
+        else route ~settings (Ops.Search params)
       with Sys.Break ->
         Hfuse_profiler.Checkpoint.close checkpoint;
-        Printf.eprintf
-          "\nhfuse: interrupted%s\n"
+        Printf.eprintf "\nhfuse: interrupted%s\n"
           (if resume then
              "; journaled results saved — rerun with --resume to continue"
            else "; rerun with --resume to make interrupted runs resumable");
         exit 130
     in
     Hfuse_profiler.Checkpoint.close checkpoint;
-    Printf.printf "native: %.4f ms\n" native;
-    let scores =
-      match sr.scores with
-      | [] -> List.map (fun _ -> None) sr.all
-      | ss -> List.map Option.some ss
-    in
-    List.iter2
-      (fun (cand : Hfuse_core.Search.candidate) score ->
-        Printf.printf "%5d/%-5d %-9s %.4f ms (%+.1f%%)%s\n" cand.fused.d1
-          cand.fused.d2
-          (match cand.config.reg_bound with
-          | None -> "unbounded"
-          | Some r -> Printf.sprintf "r0=%d" r)
-          cand.time
-          (100.0 *. ((native /. cand.time) -. 1.0))
-          (match score with
-          | None -> ""
-          | Some s -> Printf.sprintf "  [model %.4g]" s))
-      sr.all scores;
-    List.iter
-      (fun ((f : Hfuse_core.Hfuse.t), (cfg : Hfuse_core.Search.config), score)
-      ->
-        Printf.printf "%5d/%-5d %-9s pruned (model score %.4g)\n" f.d1 f.d2
-          (match cfg.reg_bound with
-          | None -> "unbounded"
-          | Some r -> Printf.sprintf "r0=%d" r)
-          score)
-      sr.pruned;
-    let b = sr.best in
-    Printf.printf "best: %d/%d %s\n" b.fused.d1 b.fused.d2
-      (match b.config.reg_bound with
-      | None -> "unbounded"
-      | Some r -> Printf.sprintf "r0=%d" r);
-    Printf.eprintf "search: %s\n"
-      (Fmt.str "%a" Hfuse_profiler.Runner.pp_search_stats
-         (Hfuse_profiler.Runner.search_stats ()));
-    if Hfuse_fault.Fault.enabled () then
-      Printf.eprintf "fault: %s\n"
-        (Fmt.str "%a" Hfuse_fault.Fault.pp_tally (Hfuse_fault.Fault.tally ()));
-    if emit then print_endline (Hfuse_core.Hfuse.to_source b.fused)
+    finish outcome
   in
   let emit =
     Arg.(value & flag & info [ "emit" ] ~doc:"Print the best fused source.")
@@ -554,7 +536,7 @@ let search_cmd =
           simulator.")
     Term.(
       const run $ arch_arg $ kernel_arg "k1" $ kernel_arg "k2"
-      $ size_arg "size1" $ size_arg "size2" $ emit $ jobs_arg $ cache_arg
+      $ size_arg "size1" $ size_arg "size2" $ emit $ jobs_arg $ cache_dir_arg
       $ resume_arg $ prune_arg $ fault_arg $ trace_blocks_arg)
 
 (* -- model -------------------------------------------------------------- *)
@@ -789,10 +771,120 @@ let fuzz_cmd =
       const run $ runs $ seed $ jobs_arg $ out $ weights $ max_kernels
       $ no_minimize $ inject)
 
+(* -- serve -------------------------------------------------------------- *)
+
+let serve_cmd =
+  let run socket jobs queue_limit () =
+    match
+      Hfuse_serve.Server.create
+        { Hfuse_serve.Server.socket_path = socket; jobs; queue_limit }
+    with
+    | exception Failure msg ->
+        Printf.eprintf "hfuse: serve: %s\n" msg;
+        exit 1
+    | t ->
+        let stop _ = Hfuse_serve.Server.request_stop t in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Printf.eprintf "hfuse: serving on %s (%d worker%s, queue limit %d)\n%!"
+          socket jobs
+          (if jobs = 1 then "" else "s")
+          queue_limit;
+        Hfuse_serve.Server.serve t
+  in
+  let socket =
+    Arg.(
+      value
+      & opt string "_hfuse.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket to listen on.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Hfuse_parallel.Pool.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains executing requests (default: machine size).")
+  in
+  let queue_limit =
+    Arg.(
+      value
+      & opt int Hfuse_serve.Server.default_queue_limit
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Admission control: answer $(b,overloaded) instead of queueing \
+             more than $(docv) unstarted requests.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent fusion daemon: a Unix-socket server answering \
+          fuse/check/simulate/search/stats requests (newline-delimited \
+          JSON) with a shared warm trace cache.  Responses are \
+          byte-identical to the one-shot CLI.  Point $(b,HFUSE_SERVER) at \
+          the socket to route ordinary hfuse invocations through it.")
+    Term.(const run $ socket $ jobs $ queue_limit $ fault_arg)
+
+(* -- client ------------------------------------------------------------- *)
+
+let client_cmd =
+  let run socket line =
+    let socket =
+      match (socket, Hfuse_serve.Client.default_socket ()) with
+      | Some s, _ | None, Some s -> s
+      | None, None ->
+          Printf.eprintf
+            "hfuse: client: no server socket (--socket or HFUSE_SERVER)\n";
+          exit 2
+    in
+    let send line =
+      match Hfuse_serve.Client.roundtrip ~socket line with
+      | Ok resp -> print_endline resp
+      | Error msg ->
+          Printf.eprintf "hfuse: %s\n" msg;
+          exit 3
+    in
+    match line with
+    | Some l -> send l
+    | None -> (
+        try
+          while true do
+            send (input_line stdin)
+          done
+        with End_of_file -> ())
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Daemon socket (default $(b,HFUSE_SERVER)).")
+  in
+  let line =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "One JSON request line (omitted: read request lines from \
+             stdin).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send raw protocol request lines to a running $(b,hfuse serve) \
+          daemon and print the response lines.")
+    Term.(const run $ socket $ line)
+
 (* -- main --------------------------------------------------------------- *)
 
 let () =
-  Hfuse_fault.Fault.from_env ();
+  (* exit-code policy lives here, not in the library: a malformed
+     HFUSE_FAULT raises [Invalid_spec], and only the CLI turns it into
+     the usage exit (a daemon maps it to an error response instead) *)
+  (try Hfuse_fault.Fault.from_env ()
+   with Hfuse_fault.Fault.Invalid_spec msg ->
+     Printf.eprintf "hfuse: %s\n" msg;
+     exit 2);
   Sys.catch_break true;
   let doc = "automatic horizontal fusion for GPU kernels (CGO 2022)" in
   exit
@@ -803,7 +895,7 @@ let () =
             [
               fuse_cmd; vfuse_cmd; check_cmd; info_cmd; corpus_cmd;
               simulate_cmd; search_cmd; model_cmd; analyze_cmd; pairs_cmd; ptx_cmd;
-              fuzz_cmd;
+              fuzz_cmd; serve_cmd; client_cmd;
             ])
      with
      | Gpusim.Launch.Sim_timeout { kernel; fuel; block } ->

@@ -26,14 +26,20 @@ let nkinds = 3
 
 exception Injected of kind
 
+(** A malformed fault spec.  Raised instead of exiting: library code
+    must never kill its host process (a daemon serving many requests
+    maps this to one failed request, the CLI maps it to exit 2). *)
+exception Invalid_spec of string
+
 let () =
   Printexc.register_printer (function
     | Injected k -> Some ("Fault.Injected(" ^ kind_name k ^ ")")
+    | Invalid_spec msg -> Some ("Fault.Invalid_spec(" ^ msg ^ ")")
     | _ -> None)
 
 type plan = { seed : int; rates : float array (* indexed by kind_index *) }
 
-let plan : plan option Atomic.t = Atomic.make None
+let installed_plan : plan option Atomic.t = Atomic.make None
 
 (* ------------------------------------------------------------------ *)
 (* Spec parsing                                                         *)
@@ -83,10 +89,33 @@ let parse (spec : string) : (plan option, string) result =
     in
     go (List.filter (fun s -> String.trim s <> "") (String.split_on_char ',' spec))
 
+(* [plan_of_spec] is the request-scoped entry point: it never touches
+   the installed process plan, so concurrent requests can each carry
+   their own plan without clobbering one another. *)
+let plan_of_spec spec =
+  match parse spec with Ok p -> p | Error msg -> raise (Invalid_spec msg)
+
+let install p = Atomic.set installed_plan p
+let installed () = Atomic.get installed_plan
+
+(* Round-trips through {!plan_of_spec}: rates print with enough digits
+   to reparse exactly, so a client can ship its installed plan to a
+   server verbatim. *)
+let to_spec (p : plan) : string =
+  let parts =
+    List.filter_map
+      (fun k ->
+        let r = p.rates.(kind_index k) in
+        if r > 0.0 then Some (Printf.sprintf "%s:%.17g" (kind_name k) r)
+        else None)
+      all_kinds
+  in
+  String.concat "," (parts @ [ "seed:" ^ string_of_int p.seed ])
+
 let configure spec =
   match parse spec with
   | Ok p ->
-      Atomic.set plan p;
+      install p;
       Ok ()
   | Error _ as e -> e
 
@@ -96,15 +125,22 @@ let from_env () =
   | Some spec -> (
       match configure spec with
       | Ok () -> ()
-      | Error msg ->
-          Printf.eprintf "hfuse: HFUSE_FAULT: %s\n%!" msg;
-          exit 2)
+      | Error msg -> raise (Invalid_spec ("HFUSE_FAULT: " ^ msg)))
 
-let clear () = Atomic.set plan None
-let enabled () = Atomic.get plan <> None
+let clear () = install None
 
-let rate k =
-  match Atomic.get plan with None -> 0.0 | Some p -> p.rates.(kind_index k)
+(* An explicitly passed [?plan] wins; omitted falls back to the
+   installed process plan — the one-shot default. *)
+let effective = function
+  | Some _ as p -> p
+  | None -> Atomic.get installed_plan
+
+let enabled ?plan () = effective plan <> None
+
+let rate ?plan k =
+  match effective plan with
+  | None -> 0.0
+  | Some p -> p.rates.(kind_index k)
 
 (* ------------------------------------------------------------------ *)
 (* Draws                                                                *)
@@ -127,8 +163,8 @@ let uniform ~(seed : int) ~(salt : int) ~(key : int) : float =
   let h = mix64 (Int64.of_int (mix (mix seed salt) key)) in
   Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53
 
-let fires k ~key =
-  match Atomic.get plan with
+let fires ?plan k ~key =
+  match effective plan with
   | None -> false
   | Some p ->
       let r = p.rates.(kind_index k) in
@@ -140,8 +176,8 @@ let fresh_key k = Atomic.fetch_and_add key_seq.(kind_index k) 1
 (* Deterministic backoff: 0.5 ms * 2^attempt (capped at 2^6), plus up
    to 100% seed-mixed jitter so simultaneous retries de-correlate —
    still a pure function of (key, attempt). *)
-let jitter ~key ~attempt =
-  let seed = match Atomic.get plan with None -> 0 | Some p -> p.seed in
+let jitter ?plan ~key ~attempt () =
+  let seed = match effective plan with None -> 0 | Some p -> p.seed in
   let base = 0.0005 *. Float.of_int (1 lsl min attempt 6) in
   base *. (1.0 +. uniform ~seed ~salt:100 ~key:(mix key attempt))
 
@@ -167,6 +203,21 @@ let recovered_total () = total recovered_counts
 let reset_tally () =
   Array.iter (fun c -> Atomic.set c 0) injected_counts;
   Array.iter (fun c -> Atomic.set c 0) recovered_counts
+
+(* Per-request telemetry in a long-lived process: snapshot the
+   cumulative tally around a request and report the delta.  Counters
+   only grow, so the difference is non-negative for a consistent pair
+   of snapshots; clamping guards a reset between them. *)
+let diff ~(before : tally) ~(after : tally) : tally =
+  let sub a b =
+    List.map
+      (fun (k, n) ->
+        let m = try List.assoc k b with Not_found -> 0 in
+        (k, max 0 (n - m)))
+      a
+  in
+  { injected = sub after.injected before.injected;
+    recovered = sub after.recovered before.recovered }
 
 let pp_tally ppf (t : tally) =
   let count kind l = try List.assoc kind l with Not_found -> 0 in

@@ -29,30 +29,61 @@ val kind_name : kind -> string
     (quarantined cache entry). *)
 exception Injected of kind
 
-(** [configure spec] parses and installs a fault plan.  [spec] is a
-    comma-separated [kind:rate] list, e.g.
+(** A malformed fault spec.  Raised by {!plan_of_spec} and {!from_env}
+    instead of exiting: library code never kills its host process.  A
+    daemon maps it to one failed request; the CLIs map it to exit 2. *)
+exception Invalid_spec of string
+
+(** A parsed fault plan: per-kind rates plus a campaign seed.  Beyond
+    the single installed process plan, plans are first-class so a
+    long-lived server can thread one per request ([?plan] on the draw
+    functions below) without concurrent requests clobbering each
+    other's configuration. *)
+type plan
+
+(** [plan_of_spec spec] parses a spec without installing it.  [spec] is
+    a comma-separated [kind:rate] list, e.g.
     ["worker_crash:0.05,cache_corrupt:0.1,sim_hang:0.02"], optionally
     with a [seed:N] entry (default seed 1).  Rates must be in [0, 1].
-    An empty spec clears the plan. *)
+    [None] for an empty spec (no faults).
+    @raise Invalid_spec on a malformed spec. *)
+val plan_of_spec : string -> plan option
+
+(** Render a plan as a spec string that {!plan_of_spec} reparses to an
+    equal plan — how a client ships its installed plan to a server. *)
+val to_spec : plan -> string
+
+(** Install a plan as the process default ([None] clears it). *)
+val install : plan option -> unit
+
+(** The installed process plan, if any. *)
+val installed : unit -> plan option
+
+(** [configure spec] parses and installs a fault plan (spec syntax as
+    {!plan_of_spec}).  An empty spec clears the plan. *)
 val configure : string -> (unit, string) result
 
 (** Install a plan from the [HFUSE_FAULT] environment variable, if set
-    (same syntax as {!configure}; a malformed value aborts with a
-    message on stderr, exit 2, so CI never silently runs fault-free). *)
+    (same syntax as {!configure}).
+    @raise Invalid_spec on a malformed value, so CI never silently
+    runs fault-free — the CLI entry points map it to exit 2. *)
 val from_env : unit -> unit
 
-(** Remove the plan: all draws stop firing. *)
+(** Remove the installed plan: all draws stop firing. *)
 val clear : unit -> unit
 
-(** Whether any fault plan is installed. *)
-val enabled : unit -> bool
+(** Whether a fault plan is in force.  An explicit [?plan] is
+    consulted instead of the installed process plan — the same
+    convention as every draw function below: the installed plan is
+    only the one-shot default. *)
+val enabled : ?plan:plan -> unit -> bool
 
 (** Configured rate for a kind (0 when unconfigured or disabled). *)
-val rate : kind -> float
+val rate : ?plan:plan -> kind -> float
 
 (** [fires k ~key] — pure deterministic draw: true with probability
     [rate k], as a hash of (seed, kind, key).  Same key, same answer. *)
-val fires : kind -> key:int -> bool
+val fires : ?plan:plan -> kind -> key:int -> bool
 
 (** A fresh draw key for call sites with no natural stable key (e.g.
     launches): a per-kind atomic sequence number.  Monotonic within a
@@ -67,7 +98,7 @@ val mix : int -> int -> int
     seed-mixed jitter derived from [key] — no wall clock, no global
     PRNG, so a retried schedule is identical on every run.  Seconds;
     bounded (~2 ms at attempt 0, capped well under a second). *)
-val jitter : key:int -> attempt:int -> float
+val jitter : ?plan:plan -> key:int -> attempt:int -> unit -> float
 
 (** Tally of injected faults and recoveries, process-wide and
     domain-safe.  [recovered] counts operations that failed with an
@@ -84,6 +115,12 @@ val tally : unit -> tally
 val injected_total : unit -> int
 val recovered_total : unit -> int
 val reset_tally : unit -> unit
+
+(** [diff ~before ~after] — per-kind deltas between two {!tally}
+    snapshots, clamped at 0.  A long-lived server brackets each
+    request with {!tally} and reports the difference, so per-request
+    telemetry never bleeds earlier requests' counts. *)
+val diff : before:tally -> after:tally -> tally
 
 (** ["injected N (crash C, corrupt K, hang H), recovered M"]. *)
 val pp_tally : tally Fmt.t

@@ -239,16 +239,20 @@ let run_block ~(warps : int) ~(kernel_name : string)
     declarations) over the grid, executing every block functionally and
     recording dynamic traces for the first [config.trace_blocks] blocks.
     [args] bind the kernel parameters positionally. *)
-let launch ?(loop_fuel = default_loop_fuel) (mem : Memory.t)
+let launch ?fault ?(loop_fuel = default_loop_fuel) (mem : Memory.t)
     ~(prog : Ast.program) ~(fn : Ast.fn) ~(args : Value.t list)
     (config : config) : result =
   (* chaos harness: a [sim_hang] draw (fresh key per launch) emulates a
      hung kernel by collapsing the fuel budget; the resulting watchdog
      trip is re-raised as the transient [Fault.Injected Sim_hang] so
-     retry layers can distinguish it from a real runaway kernel *)
+     retry layers can distinguish it from a real runaway kernel.  The
+     draw consults the caller's plan when one is threaded through
+     ([?fault], e.g. one server request's plan), falling back to the
+     installed process plan. *)
   let injected_hang =
     Hfuse_fault.Fault.(
-      enabled () && fires Sim_hang ~key:(fresh_key Sim_hang))
+      enabled ?plan:fault ()
+      && fires ?plan:fault Sim_hang ~key:(fresh_key Sim_hang))
   in
   let loop_fuel = if injected_hang then min loop_fuel injected_hang_fuel else loop_fuel in
   let bx, by, bz = config.block in
@@ -336,10 +340,10 @@ let launch ?(loop_fuel = default_loop_fuel) (mem : Memory.t)
   }
 
 (** Launch from a {!Hfuse_core.Kernel_info.t}, the common harness path. *)
-let launch_info ?exec_blocks ?(l1_sectors = 512) ?loop_fuel (mem : Memory.t)
-    (info : Hfuse_core.Kernel_info.t) ~(args : Value.t list)
-    ~(trace_blocks : int) : result =
-  launch ?loop_fuel mem ~prog:info.prog ~fn:info.fn ~args
+let launch_info ?exec_blocks ?(l1_sectors = 512) ?fault ?loop_fuel
+    (mem : Memory.t) (info : Hfuse_core.Kernel_info.t)
+    ~(args : Value.t list) ~(trace_blocks : int) : result =
+  launch ?fault ?loop_fuel mem ~prog:info.prog ~fn:info.fn ~args
     {
       grid = info.grid;
       block = info.block;

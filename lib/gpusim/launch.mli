@@ -52,7 +52,9 @@ val static_shared_bytes : Cuda.Ast.stmt list -> int
 
 (** Launch [fn] (normalised internally) over the grid; [args] bind the
     kernel parameters positionally.  [loop_fuel] defaults to
-    {!default_loop_fuel}.
+    {!default_loop_fuel}.  [fault] scopes chaos-injection draws
+    ([sim_hang]) to an explicit plan — e.g. one server request's —
+    instead of the installed process plan.
     @raise Deadlock on unsatisfiable barriers.
     @raise Launch_error on bad geometry or argument counts.
     @raise Interp.Exec_error on runtime faults in the kernel.
@@ -60,6 +62,7 @@ val static_shared_bytes : Cuda.Ast.stmt list -> int
     @raise Hfuse_fault.Fault.Injected on an injected [sim_hang] (the
     chaos harness; transient — a retry re-draws). *)
 val launch :
+  ?fault:Hfuse_fault.Fault.plan ->
   ?loop_fuel:int ->
   Memory.t ->
   prog:Cuda.Ast.program ->
@@ -72,6 +75,7 @@ val launch :
 val launch_info :
   ?exec_blocks:int ->
   ?l1_sectors:int ->
+  ?fault:Hfuse_fault.Fault.plan ->
   ?loop_fuel:int ->
   Memory.t ->
   Hfuse_core.Kernel_info.t ->

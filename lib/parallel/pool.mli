@@ -22,8 +22,12 @@ type t
 
 (** [create jobs] spawns [min jobs 64] worker domains.  [jobs <= 1]
     creates a degenerate pool that runs everything on the calling
-    domain (no domains spawned). *)
-val create : int -> t
+    domain (no domains spawned) — unless [queue_limit] is given, which
+    makes a {e service} pool: at least one worker always spawns (so
+    {!submit} jobs drain asynchronously) and at most [queue_limit]
+    submitted jobs may wait unstarted before {!submit} answers
+    [`Overloaded] (admission control for a long-lived server). *)
+val create : ?queue_limit:int -> int -> t
 
 (** Effective parallelism: worker count, or 1 for a serial pool. *)
 val size : t -> int
@@ -42,28 +46,52 @@ type failure = {
     {!failure}; one task's failure never affects another's.  Results
     are in input order.  [retries] bounds re-runs after a *real*
     exception (default 0 — a deterministic simulator usually fails the
-    same way twice); injected faults are always retried.  [f] must be
-    safe to run on another domain (no shared mutable state). *)
+    same way twice); injected faults are always retried.  [fault]
+    scopes chaos-injection draws to an explicit plan (e.g. one
+    request's plan in a server); omitted, the installed process plan
+    applies as before.  [f] must be safe to run on another domain (no
+    shared mutable state). *)
 val map_isolated :
-  ?retries:int -> t -> ('a -> 'b) -> 'a array -> ('b, failure) result array
+  ?retries:int -> ?fault:Hfuse_fault.Fault.plan -> t -> ('a -> 'b) ->
+  'a array -> ('b, failure) result array
 
 (** [map p f xs] is {!map_isolated} that re-raises on failure: if any
     task fails terminally, the lowest-index failure's exception is
     re-raised with its original backtrace after all tasks finish
     (deterministic at any [-j]; satellite of debuggability — the trace
     points at the raising task, not at the pool). *)
-val map : t -> ('a -> 'b) -> 'a array -> 'b array
+val map : ?fault:Hfuse_fault.Fault.plan -> t -> ('a -> 'b) -> 'a array -> 'b array
 
 (** {!map} over lists, preserving order. *)
-val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+val map_list : ?fault:Hfuse_fault.Fault.plan -> t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Admission verdict for one {!submit}. *)
+type admission = [ `Queued | `Overloaded | `Shutdown ]
+
+(** [submit ?priority p job] enqueues a fire-and-forget job on a
+    service pool ({!create} with [~queue_limit]).  Higher [priority]
+    (default 0) drains sooner; FIFO within a priority — {!map} batches
+    ride the same queue at priority 0.  Answers [`Overloaded] without
+    queueing when [queue_limit] unstarted jobs are already waiting,
+    and [`Shutdown] once {!shutdown} began (including after it
+    completed — a late submit racing a server's exit is refused, never
+    an exception).  [job] runs on a worker domain; its exceptions are
+    swallowed (the pool must outlive any one job), so the job itself
+    must report its outcome.
+    @raise Invalid_argument on a non-service pool (no [queue_limit]). *)
+val submit : ?priority:int -> t -> (unit -> unit) -> admission
+
+(** Submitted jobs queued but not yet started (always within
+    [queue_limit]); the daemon's [stats] telemetry. *)
+val pending_submits : t -> int
 
 (** Signal workers to exit and join them.  The pool must not be used
     afterwards. *)
 val shutdown : t -> unit
 
 (** [with_pool jobs f] runs [f] with a fresh pool and always shuts it
-    down, even if [f] raises. *)
-val with_pool : int -> (t -> 'a) -> 'a
+    down, even if [f] raises.  [queue_limit] as in {!create}. *)
+val with_pool : ?queue_limit:int -> int -> (t -> 'a) -> 'a
 
 (** A sensible default worker count for this machine
     ([Domain.recommended_domain_count], capped). *)
@@ -76,6 +104,12 @@ type tally = { failures : int; retries : int; recovered : int }
 
 val tally : unit -> tally
 val reset_tally : unit -> unit
+
+(** [diff ~before ~after] — deltas between two {!tally} snapshots
+    (clamped at 0): per-request availability telemetry in a long-lived
+    server, without resetting the cumulative counters the one-shot
+    CLIs print. *)
+val diff : before:tally -> after:tally -> tally
 
 (** ["F failures, R retries, C recovered"]. *)
 val pp_tally : Format.formatter -> tally -> unit

@@ -43,6 +43,10 @@ type t = {
   enabled : bool;
   dir : string;  (** versioned entry directory *)
   stats : stats;
+  fault : Fault.plan option;
+      (** chaos plan for this handle's corruption draws; [None] falls
+          back to the installed process plan.  A server threads each
+          request's plan through its per-request handle. *)
 }
 
 let fresh_stats () = { hits = 0; misses = 0; stores = 0; corrupt = 0 }
@@ -55,22 +59,37 @@ let dir t = t.dir
 
 let default_dir = "_hfuse_cache"
 
-let create ?(dir = default_dir) () =
-  { enabled = true; dir = Filename.concat dir version; stats = fresh_stats () }
+let create ?(dir = default_dir) ?fault () =
+  {
+    enabled = true;
+    dir = Filename.concat dir version;
+    stats = fresh_stats ();
+    fault;
+  }
 
-let disabled () = { enabled = false; dir = ""; stats = fresh_stats () }
+let disabled () =
+  { enabled = false; dir = ""; stats = fresh_stats (); fault = None }
 
 (** Environment-driven configuration, so CI and scripts can flip the
     cache without threading flags everywhere: [HFUSE_CACHE=0] disables
     it; [HFUSE_CACHE_DIR=path] (or [HFUSE_CACHE=1]) enables it.  With
-    neither set the cache is off. *)
-let from_env () =
+    neither set the cache is off.  [env_dir] exposes just the
+    resolution (the root directory, or [None] for disabled), so a
+    per-request settings record can capture the environment's answer
+    once and mint fresh handles from it. *)
+let env_dir () =
   match Sys.getenv_opt "HFUSE_CACHE" with
-  | Some ("0" | "off" | "no" | "false") -> disabled ()
+  | Some ("0" | "off" | "no" | "false") -> None
   | on -> (
       match Sys.getenv_opt "HFUSE_CACHE_DIR" with
-      | Some dir -> create ~dir ()
-      | None -> if on <> None then create () else disabled ())
+      | Some dir -> Some dir
+      | None -> if on <> None then Some default_dir else None)
+
+let of_dir ?fault = function
+  | Some dir -> create ~dir ?fault ()
+  | None -> disabled ()
+
+let from_env () = of_dir (env_dir ())
 
 (* ------------------------------------------------------------------ *)
 (* Keys                                                                 *)
@@ -159,7 +178,7 @@ let quarantine t ~key ~path =
      mkdir_p (quarantine_dir t);
      Sys.rename path (Filename.concat (quarantine_dir t) key)
    with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ()));
-  if Fault.enabled () then Fault.note_recovered Fault.Cache_corrupt
+  if Fault.enabled ?plan:t.fault () then Fault.note_recovered Fault.Cache_corrupt
 
 type 'a entry = Absent | Corrupt | Found of 'a
 
@@ -203,7 +222,9 @@ let write_entry (t : t) ~(key : string) (payload : string) : unit =
   (* chaos hook: model a crash that committed a torn entry.  Drawn from
      the entry key so the same (seed, key) corrupts on every run
      regardless of scheduling; the checksum path above recovers it. *)
-  if Fault.enabled () && Fault.fires Fault.Cache_corrupt ~key:(Hashtbl.hash key)
+  if
+    Fault.enabled ?plan:t.fault ()
+    && Fault.fires ?plan:t.fault Fault.Cache_corrupt ~key:(Hashtbl.hash key)
   then begin
     Fault.note_injected Fault.Cache_corrupt;
     try Unix.truncate final (max 8 (String.length payload / 2))

@@ -213,6 +213,41 @@ module Json = struct
     Buffer.add_char b '\n';
     Buffer.contents b
 
+  (* compact single-line emission: the daemon's newline-delimited wire
+     framing needs values with no embedded raw newlines ([escape]
+     already encodes them inside strings).  [of_string] reads both
+     forms identically. *)
+  let rec emit_compact b t =
+    match t with
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (string_of_bool x)
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (float_str f)
+    | Str s -> escape b s
+    | List xs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            emit_compact b x)
+          xs;
+        Buffer.add_char b ']'
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            escape b k;
+            Buffer.add_char b ':';
+            emit_compact b v)
+          kvs;
+        Buffer.add_char b '}'
+
+  let to_line t =
+    let b = Buffer.create 1024 in
+    emit_compact b t;
+    Buffer.contents b
+
   (* -- parsing (the bench regression gate reads committed baselines) -- *)
 
   exception Parse_error of string

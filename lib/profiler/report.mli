@@ -23,6 +23,11 @@ module Json : sig
   val opt : ('a -> t) -> 'a option -> t
   val to_string : t -> string
 
+  (** Compact single-line rendering (no trailing newline; raw newlines
+      only ever appear escaped inside strings) — the daemon's
+      newline-delimited wire framing.  {!of_string} reads both forms. *)
+  val to_line : t -> string
+
   (** Parse the subset of JSON {!to_string} emits (sufficient for any
       output of this module; numbers become [Int] when they have no
       fraction or exponent).  Used by the bench regression gate to read

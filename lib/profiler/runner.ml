@@ -25,22 +25,19 @@ module Fault = Hfuse_fault.Fault
 (* Traced blocks per profiling launch.  1 matches the paper's
    methodology (one representative block, replayed cyclically over the
    grid by the timing model); raising it trades profiling time for
-   sensitivity to inter-block variation.  [HFUSE_TRACE_BLOCKS] sets the
-   process default; `--trace-blocks` on the CLIs overrides per run. *)
-let default_trace_blocks =
-  match Sys.getenv_opt "HFUSE_TRACE_BLOCKS" with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n > 0 -> n
-      | _ -> 1)
-  | None -> 1
+   sensitivity to inter-block variation.  The knob now lives in
+   {!Settings} (the per-request configuration record); these delegates
+   keep the historical entry points working.  Every profiling function
+   below takes [?settings] and captures its knobs from there — the
+   process default is only the fallback source. *)
+let trace_blocks = Settings.trace_blocks
+let set_trace_blocks = Settings.set_trace_blocks
 
-let trace_blocks_ref = ref default_trace_blocks
-let trace_blocks () = !trace_blocks_ref
-
-let set_trace_blocks n =
-  if n <= 0 then invalid_arg "Runner.set_trace_blocks: need n > 0";
-  trace_blocks_ref := n
+(* [?settings] resolution: an omitted record means "the process
+   defaults, resolved now" — exactly what a one-shot CLI wants. *)
+let resolved : Settings.t option -> Settings.t = function
+  | Some s -> s
+  | None -> Settings.current ()
 
 (** A corpus kernel bound to a workload instance in some memory. *)
 type configured = {
@@ -87,42 +84,78 @@ type trace_key =
     }
 
 (* The cache is per-process and unbounded; a full figure-7 sweep fits
-   comfortably.  Accessed only from the coordinating domain. *)
+   comfortably.  A daemon runs one search per request-coordinating
+   domain, so lookups and inserts are mutex-guarded; the traced
+   computation itself runs outside the lock (it can take seconds), so
+   two requests racing on one key at worst both record the — bitwise
+   identical, the simulator is deterministic — trace. *)
 let cache : (trace_key, Trace.block array) Hashtbl.t = Hashtbl.create 64
+let cache_mutex = Mutex.create ()
+
+let locked (f : unit -> 'a) : 'a =
+  Mutex.lock cache_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_mutex) f
 
 (* Per-kernel solo elapsed cycles for the cost model's calibration,
-   memoized per process (see [solo_cycles] below). *)
+   memoized per process (see [solo_cycles] below; same mutex). *)
 let solo_memo : (string, float option) Hashtbl.t = Hashtbl.create 16
 
+(* In-memory candidate-report memo, content-keyed exactly like the
+   persistent report cache (specs + packed traces + arch), shared by
+   every request in the process: the daemon's warm profile cache.
+   Hits are bit-identical to replays — the simulator is deterministic
+   and entries keep every report field.  Consulted only after the
+   checkpoint journal and the persistent cache, so their observable
+   behaviour (hit/store counters) is unchanged in one-shot runs. *)
+let report_memo : (string, Timing.report * Timing.engine_stats) Hashtbl.t =
+  Hashtbl.create 256
+
+let report_memo_find key = locked (fun () -> Hashtbl.find_opt report_memo key)
+
+let report_memo_store key v =
+  locked (fun () -> Hashtbl.replace report_memo key v)
+
+(* Same idea for the search's per-candidate times (the persistent
+   cache's time entries, keyed by [candidate_key]): a daemon answering
+   the same search twice replays nothing the second time. *)
+let time_memo : (string, float) Hashtbl.t = Hashtbl.create 256
+let time_memo_find key = locked (fun () -> Hashtbl.find_opt time_memo key)
+let time_memo_store key v = locked (fun () -> Hashtbl.replace time_memo key v)
+
 let clear_cache () =
+  locked @@ fun () ->
   Hashtbl.reset cache;
-  Hashtbl.reset solo_memo
+  Hashtbl.reset solo_memo;
+  Hashtbl.reset report_memo;
+  Hashtbl.reset time_memo
 
 let traced (key : trace_key) (record : unit -> Trace.block array) :
     Trace.block array =
-  match Hashtbl.find_opt cache key with
+  match locked (fun () -> Hashtbl.find_opt cache key) with
   | Some t -> t
   | None ->
       (* every trace-recording launch is an injection point for the
          chaos harness's sim_hang; injected faults are transient, so
          the retry wrapper keeps them out of callers *)
       let t = Fault.with_retries ~key:(Hashtbl.hash key) record in
-      Hashtbl.replace cache key t;
+      locked (fun () -> Hashtbl.replace cache key t);
       t
 
 (** Traces of [c] at block dimension [d] (defaults to native). *)
-let traces_of (c : configured) ?(block_dim : int option) () :
+let traces_of ?settings (c : configured) ?(block_dim : int option) () :
     Trace.block array =
+  let s = resolved settings in
   let d =
     match block_dim with
     | None -> Hfuse_core.Kernel_info.threads_per_block c.info
     | Some d -> d
   in
-  let tb = trace_blocks () in
+  let tb = s.Settings.trace_blocks in
   traced (K_solo { kernel = c.spec.name; size = c.size; block_dim = d; tb })
     (fun () ->
       let info = Hfuse_core.Kernel_info.with_block_dim c.info d in
-      (Launch.launch_info ~exec_blocks:tb c.mem info ~args:c.inst.args
+      (Launch.launch_info ~exec_blocks:tb ?fault:s.Settings.fault
+         ~loop_fuel:s.Settings.sim_fuel c.mem info ~args:c.inst.args
          ~trace_blocks:tb)
         .block_traces)
 
@@ -133,8 +166,8 @@ let traces_of (c : configured) ?(block_dim : int option) () :
 let static_smem (info : Hfuse_core.Kernel_info.t) : int =
   Launch.static_shared_bytes info.fn.f_body
 
-let spec_of (c : configured) ?(block_dim : int option) ~(stream : int) () :
-    Timing.launch_spec =
+let spec_of ?settings (c : configured) ?(block_dim : int option)
+    ~(stream : int) () : Timing.launch_spec =
   let d =
     match block_dim with
     | None -> Hfuse_core.Kernel_info.threads_per_block c.info
@@ -142,7 +175,7 @@ let spec_of (c : configured) ?(block_dim : int option) ~(stream : int) () :
   in
   {
     Timing.label = c.spec.name;
-    block_traces = traces_of c ~block_dim:d ();
+    block_traces = traces_of ?settings c ~block_dim:d ();
     grid = c.inst.grid;
     threads_per_block = d;
     regs = c.spec.regs;
@@ -152,13 +185,14 @@ let spec_of (c : configured) ?(block_dim : int option) ~(stream : int) () :
   }
 
 (** Native baseline: both kernels submitted via parallel streams. *)
-let native (arch : Arch.t) (c1 : configured) (c2 : configured) :
+let native ?settings (arch : Arch.t) (c1 : configured) (c2 : configured) :
     Timing.report =
-  Timing.run arch [ spec_of c1 ~stream:0 (); spec_of c2 ~stream:1 () ]
+  Timing.run arch
+    [ spec_of ?settings c1 ~stream:0 (); spec_of ?settings c2 ~stream:1 () ]
 
 (** One kernel alone (Fig. 8 metrics; also the ratio probes). *)
-let solo (arch : Arch.t) (c : configured) : Timing.report =
-  Timing.run arch [ spec_of c ~stream:0 () ]
+let solo ?settings (arch : Arch.t) (c : configured) : Timing.report =
+  Timing.run arch [ spec_of ?settings c ~stream:0 () ]
 
 (* ------------------------------------------------------------------ *)
 (* Fused runs                                                           *)
@@ -167,9 +201,10 @@ let solo (arch : Arch.t) (c : configured) : Timing.report =
 (** Traces of the horizontally fused kernel (interprets it in profiling
     mode on first use; cached).  Mutates [Memory.t] — coordinating
     domain only. *)
-let hfuse_traces (c1 : configured) (c2 : configured)
+let hfuse_traces ?settings (c1 : configured) (c2 : configured)
     (f : Hfuse_core.Hfuse.t) : Trace.block array =
-  let tb = trace_blocks () in
+  let s = resolved settings in
+  let tb = s.Settings.trace_blocks in
   traced
     (K_hfuse
        {
@@ -182,7 +217,8 @@ let hfuse_traces (c1 : configured) (c2 : configured)
          tb;
        })
     (fun () ->
-      (Launch.launch_info ~exec_blocks:tb c1.mem
+      (Launch.launch_info ~exec_blocks:tb ?fault:s.Settings.fault
+         ~loop_fuel:s.Settings.sim_fuel c1.mem
          (Hfuse_core.Hfuse.info f)
          ~args:(c1.inst.args @ c2.inst.args)
          ~trace_blocks:tb)
@@ -211,9 +247,10 @@ let hfuse_spec (f : Hfuse_core.Hfuse.t) ~(reg_bound : int option)
 
 (** Interpret a horizontally fused kernel (profiling mode) and time it
     under an optional register bound. *)
-let hfuse_report (arch : Arch.t) (c1 : configured) (c2 : configured)
-    (f : Hfuse_core.Hfuse.t) ~(reg_bound : int option) : Timing.report =
-  let traces = hfuse_traces c1 c2 f in
+let hfuse_report ?settings (arch : Arch.t) (c1 : configured)
+    (c2 : configured) (f : Hfuse_core.Hfuse.t) ~(reg_bound : int option) :
+    Timing.report =
+  let traces = hfuse_traces ?settings c1 c2 f in
   Timing.run arch [ hfuse_spec f ~reg_bound ~traces ]
 
 (** Vertically fused baseline.  Both kernels run at the larger of the
@@ -237,10 +274,11 @@ let vfuse_generate (c1 : configured) (c2 : configured) : Hfuse_core.Vfuse.t =
 (** Launch spec for the vertical baseline (interprets the fused kernel
     in profiling mode on first use; cached).  Mutates memory — build on
     the coordinating domain; the spec itself is pure. *)
-let vfuse_spec (c1 : configured) (c2 : configured) (v : Hfuse_core.Vfuse.t) :
-    Timing.launch_spec =
+let vfuse_spec ?settings (c1 : configured) (c2 : configured)
+    (v : Hfuse_core.Vfuse.t) : Timing.launch_spec =
+  let s = resolved settings in
   let vinfo = Hfuse_core.Vfuse.info v in
-  let tb = trace_blocks () in
+  let tb = s.Settings.trace_blocks in
   let traces =
     traced
       (K_vfuse
@@ -253,7 +291,8 @@ let vfuse_spec (c1 : configured) (c2 : configured) (v : Hfuse_core.Vfuse.t) :
            tb;
          })
       (fun () ->
-        (Launch.launch_info ~exec_blocks:tb c1.mem vinfo
+        (Launch.launch_info ~exec_blocks:tb ?fault:s.Settings.fault
+           ~loop_fuel:s.Settings.sim_fuel c1.mem vinfo
            ~args:(c1.inst.args @ c2.inst.args)
            ~trace_blocks:tb)
           .block_traces)
@@ -269,9 +308,9 @@ let vfuse_spec (c1 : configured) (c2 : configured) (v : Hfuse_core.Vfuse.t) :
     stream = 0;
   }
 
-let vfuse_report (arch : Arch.t) (c1 : configured) (c2 : configured)
-    (v : Hfuse_core.Vfuse.t) : Timing.report =
-  Timing.run arch [ vfuse_spec c1 c2 v ]
+let vfuse_report ?settings (arch : Arch.t) (c1 : configured)
+    (c2 : configured) (v : Hfuse_core.Vfuse.t) : Timing.report =
+  Timing.run arch [ vfuse_spec ?settings c1 c2 v ]
 
 (* ------------------------------------------------------------------ *)
 (* The Fig. 6 search, driven by the simulator                           *)
@@ -302,7 +341,7 @@ type search_stats = {
       (** worst chosen-vs-best simulated-time gap, percent *)
 }
 
-let stats : search_stats =
+let fresh_search_stats () : search_stats =
   {
     profiled = 0;
     cache_hits = 0;
@@ -315,29 +354,33 @@ let stats : search_stats =
     max_regret_pct = 0.0;
   }
 
+(* the process-wide accumulator the one-shot CLIs print; a server
+   passes each request its own [fresh_search_stats ()] via [?stats] *)
+let global_stats : search_stats = fresh_search_stats ()
+
 let search_stats () =
   {
-    profiled = stats.profiled;
-    cache_hits = stats.cache_hits;
-    profile_wall_s = stats.profile_wall_s;
-    failed = stats.failed;
-    ranked = stats.ranked;
-    pruned = stats.pruned;
-    rank_agree = stats.rank_agree;
-    rank_total = stats.rank_total;
-    max_regret_pct = stats.max_regret_pct;
+    profiled = global_stats.profiled;
+    cache_hits = global_stats.cache_hits;
+    profile_wall_s = global_stats.profile_wall_s;
+    failed = global_stats.failed;
+    ranked = global_stats.ranked;
+    pruned = global_stats.pruned;
+    rank_agree = global_stats.rank_agree;
+    rank_total = global_stats.rank_total;
+    max_regret_pct = global_stats.max_regret_pct;
   }
 
 let reset_search_stats () =
-  stats.profiled <- 0;
-  stats.cache_hits <- 0;
-  stats.profile_wall_s <- 0.0;
-  stats.failed <- 0;
-  stats.ranked <- 0;
-  stats.pruned <- 0;
-  stats.rank_agree <- 0;
-  stats.rank_total <- 0;
-  stats.max_regret_pct <- 0.0
+  global_stats.profiled <- 0;
+  global_stats.cache_hits <- 0;
+  global_stats.profile_wall_s <- 0.0;
+  global_stats.failed <- 0;
+  global_stats.ranked <- 0;
+  global_stats.pruned <- 0;
+  global_stats.rank_agree <- 0;
+  global_stats.rank_total <- 0;
+  global_stats.max_regret_pct <- 0.0
 
 let pp_search_stats ppf (s : search_stats) =
   Fmt.pf ppf "%d candidate%s profiled, %d cache hit%s, %.2fs profiling wall"
@@ -398,13 +441,15 @@ let model_eval ?(k = 1) ~(scores : float list) ~(times : float list) () :
       Some (i, regret)
   | _ -> None
 
-let candidate_key (arch : Arch.t) (c1 : configured) (c2 : configured)
-    (f : Hfuse_core.Hfuse.t) ~(reg_bound : int option) : string =
+let candidate_key ?settings (arch : Arch.t) (c1 : configured)
+    (c2 : configured) (f : Hfuse_core.Hfuse.t) ~(reg_bound : int option) :
+    string =
+  let s = resolved settings in
   Profile_cache.key ~arch:arch.Arch.name
     ~source:(Hfuse_core.Hfuse.to_source f)
     ~d1:f.d1 ~d2:f.d2 ~grid:f.grid ~smem_dynamic:f.smem_dynamic ~regs:f.regs
     ~reg_bound ~k1:c1.spec.name ~size1:c1.size ~k2:c2.spec.name
-    ~size2:c2.size ~trace_blocks:(trace_blocks ())
+    ~size2:c2.size ~trace_blocks:s.Settings.trace_blocks
 
 (* Fan pure [Timing.run] replays over a pool: one (arch, spec list) per
    report.  [Pool.map] preserves order, so results are bit-identical to
@@ -436,25 +481,38 @@ let run_many ?pool ?(jobs = 1) ?(cache = Profile_cache.disabled ())
   let use_ckpt = Checkpoint.enabled checkpoint in
   let keys = Array.make n "" in
   let results : Timing.report option array = Array.make n None in
-  if use_cache || use_ckpt then
-    Array.iteri
-      (fun i (arch, specs) ->
-        let key =
-          Profile_cache.report_key ~arch:arch.Arch.name ~policy:"fifo" specs
-        in
-        keys.(i) <- key;
-        match Checkpoint.find_report checkpoint ~key with
-        | Some (r, es) ->
-            Timing.accumulate_stats es;
-            results.(i) <- Some r
-        | None -> (
-            match Profile_cache.find_report cache ~key with
-            | Some (r, es) ->
-                Timing.accumulate_stats es;
-                Checkpoint.record_report checkpoint ~key (r, es);
-                results.(i) <- Some r
-            | None -> ()))
-      runs;
+  Array.iteri
+    (fun i (arch, specs) ->
+      let key =
+        Profile_cache.report_key ~arch:arch.Arch.name ~policy:"fifo" specs
+      in
+      keys.(i) <- key;
+      match
+        if use_ckpt then Checkpoint.find_report checkpoint ~key else None
+      with
+      | Some (r, es) ->
+          Timing.accumulate_stats es;
+          results.(i) <- Some r
+      | None -> (
+          match
+            if use_cache then Profile_cache.find_report cache ~key else None
+          with
+          | Some (r, es) ->
+              Timing.accumulate_stats es;
+              Checkpoint.record_report checkpoint ~key (r, es);
+              report_memo_store key (r, es);
+              results.(i) <- Some r
+          | None -> (
+              match report_memo_find key with
+              | Some ((r, es) as v) ->
+                  Timing.accumulate_stats es;
+                  if use_ckpt then Checkpoint.record_report checkpoint ~key v;
+                  (* a warm-memo hit backfills an enabled persistent
+                     cache that missed (e.g. a fresh cache root) *)
+                  if use_cache then Profile_cache.store_report cache ~key v;
+                  results.(i) <- Some r
+              | None -> ())))
+    runs;
   let miss_idx =
     List.filter (fun i -> Option.is_none results.(i)) (List.init n Fun.id)
     |> Array.of_list
@@ -476,6 +534,7 @@ let run_many ?pool ?(jobs = 1) ?(cache = Profile_cache.disabled ())
     (fun j i ->
       let r, es = fresh.(j) in
       results.(i) <- Some r;
+      report_memo_store keys.(i) (r, es);
       if use_cache then Profile_cache.store_report cache ~key:keys.(i) (r, es);
       if use_ckpt then Checkpoint.record_report checkpoint ~key:keys.(i) (r, es))
     miss_idx;
@@ -498,18 +557,19 @@ let is_profile_failure = function
    and its packed traces, so any trace change self-invalidates); a
    warm search never re-simulates it.  A failed solo yields [None] and
    the model runs uncalibrated. *)
-let solo_cycles ~(cache : Profile_cache.t) (arch : Arch.t) (c : configured) :
-    float option =
+let solo_cycles ?settings ~(cache : Profile_cache.t) (arch : Arch.t)
+    (c : configured) : float option =
+  let s = resolved settings in
   let memo_key =
     Printf.sprintf "%s|%s|%d|%d" arch.Arch.name c.spec.name c.size
-      (trace_blocks ())
+      s.Settings.trace_blocks
   in
-  match Hashtbl.find_opt solo_memo memo_key with
+  match locked (fun () -> Hashtbl.find_opt solo_memo memo_key) with
   | Some v -> v
   | None ->
       let v =
         match
-          let spec = spec_of c ~stream:0 () in
+          let spec = spec_of ~settings:s c ~stream:0 () in
           let key =
             Profile_cache.report_key ~arch:arch.Arch.name ~policy:"fifo"
               [ spec ]
@@ -526,13 +586,18 @@ let solo_cycles ~(cache : Profile_cache.t) (arch : Arch.t) (c : configured) :
         | r -> Some (float_of_int r.Timing.elapsed_cycles)
         | exception e when is_profile_failure e -> None
       in
-      Hashtbl.replace solo_memo memo_key v;
+      locked (fun () -> Hashtbl.replace solo_memo memo_key v);
       v
 
-let search ?(jobs = 1) ?pool ?(cache = Profile_cache.from_env ())
+let search ?(jobs = 1) ?pool ?settings ?stats ?cache
     ?(checkpoint = Checkpoint.disabled) ?(top_k : int option)
     (arch : Arch.t) (c1 : configured) (c2 : configured) :
     Hfuse_core.Search.result =
+  let s = resolved settings in
+  (* per-request stats land in the caller's record; the historical
+     default keeps accumulating into the process-wide counters *)
+  let stats = match stats with Some st -> st | None -> global_stats in
+  let cache = match cache with Some c -> c | None -> Settings.cache s in
   (* a candidate whose profile fails (fuel exhaustion, deadlock, a
      crashed worker past its retry budget) is excluded by giving it an
      infinite time: the Fig. 6 fold keeps the first strictly-fastest
@@ -545,7 +610,8 @@ let search ?(jobs = 1) ?pool ?(cache = Profile_cache.from_env ())
   in
   let profile fused ~reg_bound =
     Fault.with_retries ~key:(Hashtbl.hash (fused.Hfuse_core.Hfuse.d1, reg_bound))
-      (fun () -> (hfuse_report arch c1 c2 fused ~reg_bound).Timing.time_ms)
+      (fun () ->
+        (hfuse_report ~settings:s arch c1 c2 fused ~reg_bound).Timing.time_ms)
   in
   (* phase 2 evaluator: disk-cache probe and trace acquisition run
      serially on this domain (tracing mutates Memory.t; the cache file
@@ -557,31 +623,35 @@ let search ?(jobs = 1) ?pool ?(cache = Profile_cache.from_env ())
       : float list =
     let t0 = Unix.gettimeofday () in
     let batch = Array.of_list batch in
-    let keyed = Profile_cache.enabled cache || Checkpoint.enabled checkpoint in
     let keys =
       Array.map
         (fun (f, (cfg : Hfuse_core.Search.config)) ->
-          if keyed then
-            Some (candidate_key arch c1 c2 f ~reg_bound:cfg.reg_bound)
-          else None)
+          candidate_key ~settings:s arch c1 c2 f ~reg_bound:cfg.reg_bound)
         batch
     in
     (* resolution order: checkpoint journal (a resumed run replays the
        interrupted run's answers), then the persistent cache (hits are
-       journaled so the resume no longer depends on the cache file) *)
+       journaled so the resume no longer depends on the cache file),
+       then the process-wide warm memo (a long-lived daemon's previous
+       requests; hits backfill the cache and journal) *)
     let cached =
       Array.map
-        (function
-          | Some key -> (
-              match Checkpoint.find_time checkpoint ~key with
-              | Some t -> Some t
+        (fun key ->
+          match Checkpoint.find_time checkpoint ~key with
+          | Some t -> Some t
+          | None -> (
+              match Profile_cache.find cache ~key with
+              | Some t ->
+                  Checkpoint.record_time checkpoint ~key t;
+                  time_memo_store key t;
+                  Some t
               | None -> (
-                  match Profile_cache.find cache ~key with
+                  match time_memo_find key with
                   | Some t ->
+                      Profile_cache.store cache ~key t;
                       Checkpoint.record_time checkpoint ~key t;
                       Some t
-                  | None -> None))
-          | None -> None)
+                  | None -> None)))
         keys
     in
     let times = Array.map (Option.value ~default:nan) cached in
@@ -596,7 +666,8 @@ let search ?(jobs = 1) ?pool ?(cache = Profile_cache.from_env ())
           | Some _ -> None
           | None -> (
               match
-                Fault.with_retries ~key:i (fun () -> hfuse_traces c1 c2 f)
+                Fault.with_retries ~key:i (fun () ->
+                    hfuse_traces ~settings:s c1 c2 f)
               with
               | traces -> Some (hfuse_spec f ~reg_bound:cfg.reg_bound ~traces)
               | exception e when is_profile_failure e ->
@@ -613,7 +684,7 @@ let search ?(jobs = 1) ?pool ?(cache = Profile_cache.from_env ())
     (* per-task isolation: a worker exception (or a crashed injected
        task past its retry budget) fails one candidate, not the batch *)
     let time_misses p =
-      Hfuse_parallel.Pool.map_isolated p
+      Hfuse_parallel.Pool.map_isolated ?fault:s.Settings.fault p
         (fun (_, spec) -> (Timing.run arch [ spec ]).Timing.time_ms)
         miss_idx
     in
@@ -629,11 +700,10 @@ let search ?(jobs = 1) ?pool ?(cache = Profile_cache.from_env ())
         | Ok t ->
             incr completed;
             times.(i) <- t;
-            Option.iter
-              (fun key ->
-                Profile_cache.store cache ~key t;
-                Checkpoint.record_time checkpoint ~key t)
-              keys.(i)
+            let key = keys.(i) in
+            time_memo_store key t;
+            Profile_cache.store cache ~key t;
+            Checkpoint.record_time checkpoint ~key t
         | Error (fl : Hfuse_parallel.Pool.failure) ->
             let f, _ = batch.(i) in
             times.(i) <- candidate_failed f fl.f_exn)
@@ -666,7 +736,10 @@ let search ?(jobs = 1) ?pool ?(cache = Profile_cache.from_env ())
        solo leaves the model uncalibrated rather than failing the
        search *)
     let inputs =
-      match (solo_cycles ~cache arch c1, solo_cycles ~cache arch c2) with
+      match
+        ( solo_cycles ~settings:s ~cache arch c1,
+          solo_cycles ~settings:s ~cache arch c2 )
+      with
       | Some s1, Some s2 -> Hfuse_costmodel.calibrate inputs ~solo1:s1 ~solo2:s2
       | _ -> inputs
     in
@@ -852,8 +925,9 @@ let naive_hfuse (c1 : configured) (c2 : configured) : Hfuse_core.Hfuse.t option
 
 (** Run the fused kernel over the whole grid in fresh memory and check
     both kernels' outputs against their host references. *)
-let validate_hfuse (s1 : Spec.t) ~(size1 : int) (s2 : Spec.t)
+let validate_hfuse ?settings (s1 : Spec.t) ~(size1 : int) (s2 : Spec.t)
     ~(size2 : int) ~(d1 : int) ~(d2 : int) : (unit, string) result =
+  let s = resolved settings in
   (* retried from scratch on an injected hang: the whole run restarts
      with fresh memory, so a partial first execution cannot leak into
      the correctness check *)
@@ -873,7 +947,9 @@ let validate_hfuse (s1 : Spec.t) ~(size1 : int) (s2 : Spec.t)
   | f -> (
       let finfo = Hfuse_core.Hfuse.info f in
       match
-        Launch.launch_info mem finfo ~args:(i1.args @ i2.args) ~trace_blocks:0
+        Launch.launch_info ?fault:s.Settings.fault
+          ~loop_fuel:s.Settings.sim_fuel mem finfo ~args:(i1.args @ i2.args)
+          ~trace_blocks:0
       with
       | exception Launch.Deadlock e -> Error e
       | _ -> (
@@ -881,8 +957,9 @@ let validate_hfuse (s1 : Spec.t) ~(size1 : int) (s2 : Spec.t)
           | Error _ as e -> e
           | Ok () -> i2.check mem))
 
-let validate_vfuse (s1 : Spec.t) ~(size1 : int) (s2 : Spec.t)
+let validate_vfuse ?settings (s1 : Spec.t) ~(size1 : int) (s2 : Spec.t)
     ~(size2 : int) : (unit, string) result =
+  let s = resolved settings in
   Fault.with_retries ~key:(Hashtbl.hash (s1.Spec.name, s2.Spec.name))
   @@ fun () ->
   let mem = Memory.create () in
@@ -895,7 +972,9 @@ let validate_vfuse (s1 : Spec.t) ~(size1 : int) (s2 : Spec.t)
   | v -> (
       let vinfo = Hfuse_core.Vfuse.info v in
       match
-        Launch.launch_info mem vinfo ~args:(i1.args @ i2.args) ~trace_blocks:0
+        Launch.launch_info ?fault:s.Settings.fault
+          ~loop_fuel:s.Settings.sim_fuel mem vinfo ~args:(i1.args @ i2.args)
+          ~trace_blocks:0
       with
       | exception Launch.Deadlock e -> Error e
       | _ -> (

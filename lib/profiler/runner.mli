@@ -67,25 +67,32 @@ val clear_cache : unit -> unit
 
 (** Dynamic traces of [c] at a block dimension (default: native);
     cached. *)
-val traces_of : configured -> ?block_dim:int -> unit -> Gpusim.Trace.block array
+val traces_of :
+  ?settings:Settings.t -> configured -> ?block_dim:int -> unit ->
+  Gpusim.Trace.block array
 
 val static_smem : Hfuse_core.Kernel_info.t -> int
 
 (** Timing spec for one kernel (building block for custom runs). *)
 val spec_of :
-  configured -> ?block_dim:int -> stream:int -> unit -> Gpusim.Timing.launch_spec
+  ?settings:Settings.t -> configured -> ?block_dim:int -> stream:int ->
+  unit -> Gpusim.Timing.launch_spec
 
 (** Native baseline: both kernels via parallel streams (FIFO dispatch). *)
-val native : Gpusim.Arch.t -> configured -> configured -> Gpusim.Timing.report
+val native :
+  ?settings:Settings.t -> Gpusim.Arch.t -> configured -> configured ->
+  Gpusim.Timing.report
 
 (** One kernel alone (Fig. 8 metrics, ratio probes). *)
-val solo : Gpusim.Arch.t -> configured -> Gpusim.Timing.report
+val solo :
+  ?settings:Settings.t -> Gpusim.Arch.t -> configured -> Gpusim.Timing.report
 
 (** Traces of a horizontally fused kernel (interprets it in profiling
     mode on first use; cached).  Mutates memory state — call only from
     the coordinating domain. *)
 val hfuse_traces :
-  configured -> configured -> Hfuse_core.Hfuse.t -> Gpusim.Trace.block array
+  ?settings:Settings.t -> configured -> configured -> Hfuse_core.Hfuse.t ->
+  Gpusim.Trace.block array
 
 (** Launch spec for a fused candidate over already-recorded traces.
     Pure — safe to build and [Timing.run] on any domain. *)
@@ -96,8 +103,8 @@ val hfuse_spec :
 (** Time a fused kernel under an optional register bound (interprets it
     in profiling mode on first use; cached thereafter). *)
 val hfuse_report :
-  Gpusim.Arch.t -> configured -> configured -> Hfuse_core.Hfuse.t ->
-  reg_bound:int option -> Gpusim.Timing.report
+  ?settings:Settings.t -> Gpusim.Arch.t -> configured -> configured ->
+  Hfuse_core.Hfuse.t -> reg_bound:int option -> Gpusim.Timing.report
 
 val vfuse_block_dim : configured -> configured -> int
 
@@ -109,11 +116,12 @@ val vfuse_generate : configured -> configured -> Hfuse_core.Vfuse.t
 (** Launch spec for the vertical baseline over cached traces (records
     them on first use — coordinating domain only; the spec is pure). *)
 val vfuse_spec :
-  configured -> configured -> Hfuse_core.Vfuse.t -> Gpusim.Timing.launch_spec
+  ?settings:Settings.t -> configured -> configured -> Hfuse_core.Vfuse.t ->
+  Gpusim.Timing.launch_spec
 
 val vfuse_report :
-  Gpusim.Arch.t -> configured -> configured -> Hfuse_core.Vfuse.t ->
-  Gpusim.Timing.report
+  ?settings:Settings.t -> Gpusim.Arch.t -> configured -> configured ->
+  Hfuse_core.Vfuse.t -> Gpusim.Timing.report
 
 (** Fused block dimension target: 1024 for tunable pairs; the native sum
     when both kernels are fixed. *)
@@ -141,6 +149,10 @@ type search_stats = {
       (** worst gap between the model's pick and the fastest simulated
           candidate, in percent of the latter (0 when they agree) *)
 }
+
+(** A zeroed record — one per server request, passed to {!search}'s
+    [?stats] so per-request telemetry never mixes across requests. *)
+val fresh_search_stats : unit -> search_stats
 
 (** Snapshot of the process-wide counters. *)
 val search_stats : unit -> search_stats
@@ -190,9 +202,17 @@ val run_many :
                  (default 1: everything on the calling domain).
     @param pool  reuse a live pool instead of spawning [jobs] workers
                  per profiling batch (takes precedence over [jobs]).
-    @param cache persistent profiling cache (default
-                 {!Profile_cache.from_env}, i.e. disabled unless the
-                 [HFUSE_CACHE]/[HFUSE_CACHE_DIR] environment enables it).
+    @param settings per-request configuration ({!Settings.t}: traced
+                 blocks, simulator fuel, cache root, chaos plan).
+                 Default: {!Settings.current} — the process defaults,
+                 resolved at call time.
+    @param stats per-request telemetry sink; counters accumulate into
+                 the caller's record instead of the process-wide one
+                 ({!fresh_search_stats} mints an empty record).
+    @param cache persistent profiling cache (default: minted from
+                 [settings] — disabled unless its [cache_dir] is set,
+                 which the [HFUSE_CACHE]/[HFUSE_CACHE_DIR] environment
+                 seeds).
     @param checkpoint resume journal: candidate times already recorded
                  by an interrupted run are replayed, and every fresh
                  time is journaled (default {!Checkpoint.disabled}).
@@ -214,7 +234,8 @@ val run_many :
     search degrades to best-of-completed; only when {e every}
     candidate fails does the call raise [Failure]. *)
 val search :
-  ?jobs:int -> ?pool:Hfuse_parallel.Pool.t -> ?cache:Profile_cache.t ->
+  ?jobs:int -> ?pool:Hfuse_parallel.Pool.t -> ?settings:Settings.t ->
+  ?stats:search_stats -> ?cache:Profile_cache.t ->
   ?checkpoint:Checkpoint.t -> ?top_k:int ->
   Gpusim.Arch.t -> configured -> configured -> Hfuse_core.Search.result
 
@@ -223,9 +244,10 @@ val naive_hfuse : configured -> configured -> Hfuse_core.Hfuse.t option
 (** Full-grid correctness: run the fused kernel in fresh memory and
     check both kernels' outputs against their host references. *)
 val validate_hfuse :
-  Kernel_corpus.Spec.t -> size1:int -> Kernel_corpus.Spec.t -> size2:int ->
-  d1:int -> d2:int -> (unit, string) result
+  ?settings:Settings.t -> Kernel_corpus.Spec.t -> size1:int ->
+  Kernel_corpus.Spec.t -> size2:int -> d1:int -> d2:int ->
+  (unit, string) result
 
 val validate_vfuse :
-  Kernel_corpus.Spec.t -> size1:int -> Kernel_corpus.Spec.t -> size2:int ->
-  (unit, string) result
+  ?settings:Settings.t -> Kernel_corpus.Spec.t -> size1:int ->
+  Kernel_corpus.Spec.t -> size2:int -> (unit, string) result

@@ -1,0 +1,70 @@
+(* One explicit record for the knobs that used to be read from the
+   environment at their use sites ([HFUSE_TRACE_BLOCKS],
+   [HFUSE_SIM_FUEL], [HFUSE_CACHE]/[HFUSE_CACHE_DIR]) plus the chaos
+   plan.  A one-shot CLI resolves it once at startup; a long-lived
+   server resolves one per request — possibly overridden by the
+   request itself — and threads it explicitly, so two concurrent
+   requests with different knobs cannot observe each other. *)
+
+module Fault = Hfuse_fault.Fault
+
+type t = {
+  trace_blocks : int;
+  sim_fuel : int;
+  cache_dir : string option;
+  fault : Fault.plan option;
+}
+
+let env_positive name ~default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> default)
+  | None -> default
+
+(* Process-default traced-block count.  The environment seeds it at
+   startup; [set_trace_blocks] (the CLIs' [--trace-blocks]) retunes it.
+   Per-request work should capture it through {!resolve} instead of
+   reading the mutable default at use sites. *)
+let trace_blocks_ref = ref (env_positive "HFUSE_TRACE_BLOCKS" ~default:1)
+let trace_blocks () = !trace_blocks_ref
+
+let set_trace_blocks n =
+  if n <= 0 then invalid_arg "Settings.set_trace_blocks: need n > 0";
+  trace_blocks_ref := n
+
+(* The environment is consulted here, once per resolution, not at the
+   eventual use sites deep in the profiler. *)
+let current () =
+  {
+    trace_blocks = trace_blocks ();
+    sim_fuel =
+      env_positive "HFUSE_SIM_FUEL" ~default:Gpusim.Launch.default_loop_fuel;
+    cache_dir = Profile_cache.env_dir ();
+    fault = Fault.installed ();
+  }
+
+let resolve ?trace_blocks:tb ?sim_fuel ?cache_dir ?fault () =
+  let d = current () in
+  (match tb with
+  | Some n when n <= 0 -> invalid_arg "Settings.resolve: need trace_blocks > 0"
+  | _ -> ());
+  (match sim_fuel with
+  | Some n when n <= 0 -> invalid_arg "Settings.resolve: need sim_fuel > 0"
+  | _ -> ());
+  {
+    trace_blocks = Option.value tb ~default:d.trace_blocks;
+    sim_fuel = Option.value sim_fuel ~default:d.sim_fuel;
+    cache_dir = (match cache_dir with Some v -> v | None -> d.cache_dir);
+    fault = (match fault with Some v -> v | None -> d.fault);
+  }
+
+let cache (s : t) : Profile_cache.t =
+  Profile_cache.of_dir ?fault:s.fault s.cache_dir
+
+let pp ppf (s : t) =
+  Fmt.pf ppf "trace_blocks=%d sim_fuel=%d cache=%s fault=%s" s.trace_blocks
+    s.sim_fuel
+    (match s.cache_dir with Some d -> d | None -> "off")
+    (if s.fault = None then "off" else "on")

@@ -1,0 +1,53 @@
+(** Per-request profiling configuration, resolved once and threaded
+    explicitly.
+
+    Historically the profiler read [HFUSE_TRACE_BLOCKS],
+    [HFUSE_SIM_FUEL] and [HFUSE_CACHE]/[HFUSE_CACHE_DIR] at their use
+    sites, which is fine for a one-shot CLI but racy in a daemon where
+    concurrent requests want different knobs.  A {!t} captures every
+    knob at one point in time; the environment (and the installed
+    process chaos plan) is only the {e default source}, consulted by
+    {!current}/{!resolve}, never by the code that uses the values. *)
+
+type t = {
+  trace_blocks : int;  (** traced blocks per profiling launch *)
+  sim_fuel : int;  (** per-warp interpreter loop-fuel watchdog budget *)
+  cache_dir : string option;
+      (** persistent profile-cache root; [None] disables the cache *)
+  fault : Hfuse_fault.Fault.plan option;
+      (** chaos plan scoping this work's injection draws; [None] means
+          no injection (the installed process plan is captured into
+          this field at resolution, not consulted later) *)
+}
+
+(** Process-default traced-block count: seeded from
+    [HFUSE_TRACE_BLOCKS] at startup, retuned by {!set_trace_blocks}. *)
+val trace_blocks : unit -> int
+
+(** Set the process-default traced-block count ([--trace-blocks]).
+    @raise Invalid_argument when [n <= 0]. *)
+val set_trace_blocks : int -> unit
+
+(** The process defaults, resolved now: the current traced-block
+    default, [HFUSE_SIM_FUEL] (or the simulator's 3M default),
+    [HFUSE_CACHE]/[HFUSE_CACHE_DIR], and the installed chaos plan. *)
+val current : unit -> t
+
+(** {!current} with per-field overrides (a server request's knobs).
+    @raise Invalid_argument on non-positive [trace_blocks]/[sim_fuel]. *)
+val resolve :
+  ?trace_blocks:int ->
+  ?sim_fuel:int ->
+  ?cache_dir:string option ->
+  ?fault:Hfuse_fault.Fault.plan option ->
+  unit ->
+  t
+
+(** A fresh profile-cache handle for these settings: enabled at
+    [cache_dir] when set (chaos draws scoped to [fault]), disabled
+    otherwise.  Handles are cheap; concurrent requests sharing one
+    directory are safe (entries commit by atomic rename). *)
+val cache : t -> Profile_cache.t
+
+(** ["trace_blocks=N sim_fuel=M cache=DIR|off fault=on|off"]. *)
+val pp : t Fmt.t

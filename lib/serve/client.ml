@@ -1,0 +1,50 @@
+(* Client side of the daemon protocol: connect, ship one request
+   line, read one response line.
+
+   The CLI routes its verbs here when HFUSE_SERVER names a socket; the
+   `hfuse client` subcommand exposes the raw line protocol.  Transport
+   problems come back as [Error] strings — the caller decides whether
+   to fail or fall back to the in-process path. *)
+
+let default_socket () = Sys.getenv_opt "HFUSE_SERVER"
+
+let with_connection (socket : string) (f : in_channel -> out_channel -> 'a) :
+    ('a, string) result =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with _ -> ());
+          Error
+            (Printf.sprintf "cannot reach server at %s: %s" socket
+               (Unix.error_message e))
+      | () ->
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              match f ic oc with
+              | v -> Ok v
+              | exception End_of_file ->
+                  Error "server closed the connection"
+              | exception Sys_error msg -> Error msg
+              | exception Unix.Unix_error (e, _, _) ->
+                  Error (Unix.error_message e)))
+
+(* [roundtrip ~socket line] sends one raw request line and returns the
+   raw response line. *)
+let roundtrip ~(socket : string) (line : string) : (string, string) result =
+  with_connection socket (fun ic oc ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc;
+      input_line ic)
+
+(* Typed round trip: serialize the request, parse the response. *)
+let call ~(socket : string) (req : Protocol.request) :
+    (Protocol.response, string) result =
+  match roundtrip ~socket (Protocol.request_to_line req) with
+  | Error _ as e -> e
+  | Ok line -> Protocol.parse_response line

@@ -1,0 +1,14 @@
+(** Client side of the daemon protocol: connect to the Unix socket,
+    ship one request line, read one response line.  Transport problems
+    are [Error] strings — the caller decides whether to fail or fall
+    back to the in-process path. *)
+
+(** The [HFUSE_SERVER] socket path, if set: the CLI's routing switch. *)
+val default_socket : unit -> string option
+
+(** Raw line in, raw line out ([hfuse client]). *)
+val roundtrip : socket:string -> string -> (string, string) result
+
+(** Typed round trip: serialize, send, parse. *)
+val call :
+  socket:string -> Protocol.request -> (Protocol.response, string) result

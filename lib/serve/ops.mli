@@ -1,0 +1,100 @@
+(** The verb engine shared by the one-shot CLI and the daemon.
+
+    Each serving verb maps typed parameters to an {!outcome} whose
+    [output] field is the byte-exact stdout the one-shot CLI prints —
+    the daemon serialises the same record into a response, so answers
+    from the two paths are bit-identical by construction.
+
+    Daemon-safety contract: no function here calls [exit], writes to
+    the process's std channels, or mutates global configuration.
+    Request-scoped knobs arrive as an explicit
+    {!Hfuse_profiler.Settings.t}; request-scoped counters leave in the
+    [telemetry] field. *)
+
+module Json := Hfuse_profiler.Report.Json
+
+type outcome = {
+  output : string;  (** deterministic stdout payload *)
+  log : string;  (** stderr: diagnostics, wall-clock stats *)
+  exit_code : int;
+  telemetry : Json.t;  (** per-request counters (cache/pool/fault/…) *)
+}
+
+(** A kernel source shipped to the engine: the CLI reads the file, the
+    daemon receives it inline.  [ks_path] only labels diagnostics. *)
+type kernel_src = {
+  ks_path : string;
+  ks_source : string;
+  ks_block : int;
+  ks_smem : int;
+  ks_regs : int option;  (** [None]: estimate from the AST *)
+}
+
+type fuse_params = { f_k1 : kernel_src; f_k2 : kernel_src; f_grid : int }
+
+type check_params = {
+  c_arch : Gpusim.Arch.t;
+  c_k1 : kernel_src;
+  c_k2 : kernel_src option;  (** [None]: single-kernel mode *)
+  c_grid : int;
+}
+
+type simulate_params = {
+  m_arch : Gpusim.Arch.t;
+  m_kernel : Kernel_corpus.Spec.t;
+  m_size : int option;  (** [None]: the spec's default size *)
+  m_validate : bool;
+  m_engine_stats : bool;
+}
+
+type search_params = {
+  s_arch : Gpusim.Arch.t;
+  s_k1 : Kernel_corpus.Spec.t;
+  s_k2 : Kernel_corpus.Spec.t;
+  s_size1 : int option;  (** [None]: representative size *)
+  s_size2 : int option;
+  s_emit : bool;
+  s_jobs : int;
+  s_top_k : int option;  (** [Some k]: analytical top-K pruning *)
+}
+
+type request_params =
+  | Fuse of fuse_params
+  | Check of check_params
+  | Simulate of simulate_params
+  | Search of search_params
+
+val verb_name : request_params -> string
+
+(** Tally-to-JSON helpers shared with the daemon's [stats] verb. *)
+val json_of_pool_tally : Hfuse_parallel.Pool.tally -> Json.t
+
+val json_of_fault_tally : Hfuse_fault.Fault.tally -> Json.t
+
+val fuse : fuse_params -> outcome
+val check : check_params -> outcome
+
+(** [settings] defaults to {!Hfuse_profiler.Settings.current} — the
+    CLI's environment capture.  The daemon always passes the resolved
+    per-request record. *)
+val simulate : ?settings:Hfuse_profiler.Settings.t -> simulate_params -> outcome
+
+(** Runs the Fig. 6 search with a fresh per-request stats record and a
+    cache handle derived from [settings]; [telemetry] carries the
+    search/cache counters plus pool and fault tally deltas bracketing
+    the request.  [checkpoint] (resume journalling) and [pool] (shared
+    worker pool) are CLI/daemon concerns respectively and default off.
+    @raise Sys.Break and simulator exceptions as the CLI path does. *)
+val search :
+  ?settings:Hfuse_profiler.Settings.t ->
+  ?checkpoint:Hfuse_profiler.Checkpoint.t ->
+  ?pool:Hfuse_parallel.Pool.t ->
+  search_params ->
+  outcome
+
+val run :
+  ?settings:Hfuse_profiler.Settings.t ->
+  ?checkpoint:Hfuse_profiler.Checkpoint.t ->
+  ?pool:Hfuse_parallel.Pool.t ->
+  request_params ->
+  outcome

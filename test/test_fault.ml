@@ -81,11 +81,11 @@ let test_fires_extremes () =
 let test_jitter () =
   for attempt = 0 to 8 do
     for key = 0 to 63 do
-      let j = Fault.jitter ~key ~attempt in
+      let j = Fault.jitter ~key ~attempt () in
       Alcotest.(check bool) "jitter positive" true (j > 0.0);
       Alcotest.(check bool) "jitter bounded" true (j < 1.0);
       Alcotest.(check (float 0.0)) "jitter deterministic" j
-        (Fault.jitter ~key ~attempt)
+        (Fault.jitter ~key ~attempt ())
     done
   done
 
@@ -162,6 +162,107 @@ let test_tally () =
   Fault.reset_tally ();
   Alcotest.(check int) "reset" 0 (Fault.injected_total ())
 
+let test_from_env_raises () =
+  (* regression: a malformed HFUSE_FAULT used to exit the process with
+     code 2 from library code — fatal inside a daemon.  It now raises
+     Invalid_spec and leaves the installed plan untouched. *)
+  Unix.putenv "HFUSE_FAULT" "bogus_kind:0.5";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "HFUSE_FAULT" "";
+      Fault.clear ())
+    (fun () ->
+      (match Fault.from_env () with
+      | () -> Alcotest.fail "malformed HFUSE_FAULT accepted"
+      | exception Fault.Invalid_spec msg ->
+          Alcotest.(check bool) "message names the bad kind" true
+            (String.length msg > 0));
+      Alcotest.(check bool) "no plan installed" false (Fault.enabled ());
+      Unix.putenv "HFUSE_FAULT" "sim_hang:0.5,seed:4";
+      Fault.from_env ();
+      Alcotest.(check (float 0.0)) "valid env installs" 0.5
+        (Fault.rate Sim_hang))
+
+let test_spec_round_trip () =
+  let spec = "worker_crash:0.05,cache_corrupt:0.1,sim_hang:0.02,seed:7" in
+  match Fault.plan_of_spec spec with
+  | None -> Alcotest.fail "documented spec parsed to no plan"
+  | Some plan -> (
+      match Fault.plan_of_spec (Fault.to_spec plan) with
+      | None -> Alcotest.fail "rendered spec parsed to no plan"
+      | Some plan' ->
+          List.iter
+            (fun k ->
+              Alcotest.(check (float 0.0))
+                (Fault.kind_name k ^ " rate survives")
+                (Fault.rate ~plan k)
+                (Fault.rate ~plan:plan' k))
+            Fault.all_kinds;
+          (* same seed: the draw streams are identical *)
+          for key = 0 to 255 do
+            List.iter
+              (fun k ->
+                Alcotest.(check bool) "draw stream survives"
+                  (Fault.fires ~plan k ~key)
+                  (Fault.fires ~plan:plan' k ~key))
+              Fault.all_kinds
+          done)
+
+let test_explicit_plans_are_independent () =
+  (* two requests with different plans must not clobber each other, nor
+     the installed process plan — the daemon threads ?plan explicitly *)
+  let plan_of spec =
+    match Fault.plan_of_spec spec with
+    | Some p -> p
+    | None -> Alcotest.failf "spec %S parsed to no plan" spec
+  in
+  let a = plan_of "worker_crash:1.0,seed:1" in
+  let b = plan_of "sim_hang:1.0,seed:2" in
+  with_plan "cache_corrupt:1.0,seed:3" (fun () ->
+      let results = Array.make 2 true in
+      let drain i plan kind other =
+        for key = 0 to 999 do
+          if not (Fault.fires ~plan kind ~key) || Fault.fires ~plan other ~key
+          then results.(i) <- false
+        done
+      in
+      let t1 = Thread.create (fun () -> drain 0 a Worker_crash Sim_hang) () in
+      let t2 = Thread.create (fun () -> drain 1 b Sim_hang Worker_crash) () in
+      Thread.join t1;
+      Thread.join t2;
+      Alcotest.(check bool) "plan a saw only its own rates" true results.(0);
+      Alcotest.(check bool) "plan b saw only its own rates" true results.(1);
+      (* the installed plan is untouched by the explicit draws *)
+      Alcotest.(check (float 0.0)) "installed rate intact" 1.0
+        (Fault.rate Cache_corrupt);
+      Alcotest.(check (float 0.0)) "installed crash rate intact" 0.0
+        (Fault.rate Worker_crash))
+
+let test_diff_clamps () =
+  let tally_of injected recovered = { Fault.injected; recovered } in
+  let before =
+    tally_of
+      [ (Fault.Worker_crash, 5); (Fault.Cache_corrupt, 2); (Fault.Sim_hang, 0) ]
+      [ (Fault.Worker_crash, 3); (Fault.Cache_corrupt, 0); (Fault.Sim_hang, 0) ]
+  in
+  let after =
+    tally_of
+      [ (Fault.Worker_crash, 7); (Fault.Cache_corrupt, 1); (Fault.Sim_hang, 4) ]
+      [ (Fault.Worker_crash, 2); (Fault.Cache_corrupt, 0); (Fault.Sim_hang, 1) ]
+  in
+  let d = Fault.diff ~before ~after in
+  Alcotest.(check int) "crash delta" 2
+    (List.assoc Fault.Worker_crash d.Fault.injected);
+  (* a counter reset between snapshots clamps at 0, never negative *)
+  Alcotest.(check int) "corrupt delta clamped" 0
+    (List.assoc Fault.Cache_corrupt d.Fault.injected);
+  Alcotest.(check int) "hang delta" 4
+    (List.assoc Fault.Sim_hang d.Fault.injected);
+  Alcotest.(check int) "recovered delta clamped" 0
+    (List.assoc Fault.Worker_crash d.Fault.recovered);
+  Alcotest.(check int) "hang recovery delta" 1
+    (List.assoc Fault.Sim_hang d.Fault.recovered)
+
 let suite =
   [
     Alcotest.test_case "spec parsing accepts the documented form" `Quick
@@ -178,4 +279,11 @@ let suite =
     Alcotest.test_case "real failures respect the retry budget" `Quick
       test_with_retries_budget;
     Alcotest.test_case "fault tally" `Quick test_tally;
+    Alcotest.test_case "malformed HFUSE_FAULT raises, never exits" `Quick
+      test_from_env_raises;
+    Alcotest.test_case "to_spec/plan_of_spec round trip" `Quick
+      test_spec_round_trip;
+    Alcotest.test_case "explicit plans never clobber each other" `Quick
+      test_explicit_plans_are_independent;
+    Alcotest.test_case "tally diff clamps at zero" `Quick test_diff_clamps;
   ]

@@ -26,4 +26,5 @@ let () =
       ("differential", Test_diff.suite);
       ("engine-diff", Test_engine_diff.suite);
       ("fuzz", Test_fuzz.suite);
+      ("serve", Test_serve.suite);
     ]

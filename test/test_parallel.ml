@@ -174,6 +174,119 @@ let test_injected_crashes_recovered () =
   let t = Pool.tally () in
   Alcotest.(check int) "no terminal failures" 0 t.Pool.failures
 
+(* -- service pools: submit, priorities, admission ----------------------- *)
+
+(* A gate the single worker parks on, so the submit queue's contents
+   are deterministic while we poke at it from the test thread. *)
+module Gate = struct
+  type t = { m : Mutex.t; c : Condition.t; mutable open_ : bool }
+
+  let make () = { m = Mutex.create (); c = Condition.create (); open_ = false }
+
+  let wait g =
+    Mutex.lock g.m;
+    while not g.open_ do
+      Condition.wait g.c g.m
+    done;
+    Mutex.unlock g.m
+
+  let release g =
+    Mutex.lock g.m;
+    g.open_ <- true;
+    Condition.broadcast g.c;
+    Mutex.unlock g.m
+end
+
+let spin_until ?(timeout = 10.0) pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  while (not (pred ())) && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+  Alcotest.(check bool) "condition reached before timeout" true (pred ())
+
+let test_submit_priority_order () =
+  let p = Pool.create ~queue_limit:16 1 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  let gate = Gate.make () in
+  let order = ref [] in
+  let order_m = Mutex.create () in
+  let done_count = Atomic.make 0 in
+  let job tag () =
+    Mutex.lock order_m;
+    order := tag :: !order;
+    Mutex.unlock order_m;
+    Atomic.incr done_count
+  in
+  (* park the worker, then queue behind it in submission order
+     0, 5a, 1, 5b, 9: drain order must be priority-major, FIFO within *)
+  Alcotest.(check bool) "blocker admitted" true
+    (Pool.submit p (fun () -> Gate.wait gate) = `Queued);
+  spin_until (fun () -> Pool.pending_submits p = 0);
+  List.iter
+    (fun (prio, tag) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s admitted" tag)
+        true
+        (Pool.submit ~priority:prio p (job tag) = `Queued))
+    [ (0, "p0"); (5, "p5a"); (1, "p1"); (5, "p5b"); (9, "p9") ];
+  Alcotest.(check int) "all five waiting" 5 (Pool.pending_submits p);
+  Gate.release gate;
+  spin_until (fun () -> Atomic.get done_count = 5);
+  Alcotest.(check (list string)) "priority-major, FIFO within"
+    [ "p9"; "p5a"; "p5b"; "p1"; "p0" ]
+    (List.rev !order)
+
+let test_submit_admission () =
+  let p = Pool.create ~queue_limit:2 1 in
+  let gate = Gate.make () in
+  Fun.protect ~finally:(fun () ->
+      Gate.release gate;
+      Pool.shutdown p)
+  @@ fun () ->
+  let ran = Atomic.make 0 in
+  Alcotest.(check bool) "blocker admitted" true
+    (Pool.submit p (fun () -> Gate.wait gate) = `Queued);
+  (* the blocker may still be queued or already running; wait until the
+     worker picked it up so exactly queue_limit slots remain *)
+  spin_until (fun () -> Pool.pending_submits p = 0);
+  Alcotest.(check bool) "slot 1 queued" true
+    (Pool.submit p (fun () -> Atomic.incr ran) = `Queued);
+  Alcotest.(check bool) "slot 2 queued" true
+    (Pool.submit p (fun () -> Atomic.incr ran) = `Queued);
+  Alcotest.(check bool) "past the limit: refused, not queued" true
+    (Pool.submit p (fun () -> Atomic.incr ran) = `Overloaded);
+  Alcotest.(check int) "refused job never counted" 2 (Pool.pending_submits p);
+  Gate.release gate;
+  spin_until (fun () -> Atomic.get ran = 2);
+  (* a drained queue admits again *)
+  Alcotest.(check bool) "admits after drain" true
+    (Pool.submit p (fun () -> Atomic.incr ran) = `Queued);
+  spin_until (fun () -> Atomic.get ran = 3)
+
+let test_submit_shutdown_and_plain_pool () =
+  (* submit on a worker-less serial pool is a programming error: there
+     is no domain to ever drain the job *)
+  Pool.with_pool 1 (fun p ->
+      try
+        ignore (Pool.submit p (fun () -> ()));
+        Alcotest.fail "submit accepted on a worker-less pool"
+      with Invalid_argument _ -> ());
+  let p = Pool.create ~queue_limit:4 1 in
+  Pool.shutdown p;
+  Alcotest.(check bool) "submit after shutdown" true
+    (Pool.submit p (fun () -> ()) = `Shutdown)
+
+let test_pool_diff_clamps () =
+  let before = { Pool.failures = 4; retries = 10; recovered = 3 } in
+  let after = { Pool.failures = 2; retries = 16; recovered = 3 } in
+  let d = Pool.diff ~before ~after in
+  (* a reset between snapshots clamps at 0, never negative *)
+  Alcotest.(check int) "failures clamped" 0 d.Pool.failures;
+  Alcotest.(check int) "retries delta" 6 d.Pool.retries;
+  Alcotest.(check int) "recovered delta" 0 d.Pool.recovered;
+  let s = Fmt.str "%a" Pool.pp_tally d in
+  Alcotest.(check string) "pp_tally" "0 failures, 6 retries, 0 recovered" s
+
 (* Pool.map must equal Array.map for any jobs and any input *)
 let prop_matches_serial =
   QCheck.Test.make ~name:"Pool.map equals Array.map for any worker count"
@@ -201,5 +314,12 @@ let suite =
       test_map_lowest_index_failure;
     Alcotest.test_case "injected crashes recover transparently" `Quick
       test_injected_crashes_recovered;
+    Alcotest.test_case "submit drains priority-major" `Quick
+      test_submit_priority_order;
+    Alcotest.test_case "submit admission control" `Quick test_submit_admission;
+    Alcotest.test_case "submit on shut-down or map-only pools" `Quick
+      test_submit_shutdown_and_plain_pool;
+    Alcotest.test_case "pool tally diff clamps at zero" `Quick
+      test_pool_diff_clamps;
   ]
   @ Test_util.qcheck_cases [ prop_matches_serial ]

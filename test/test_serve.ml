@@ -1,0 +1,460 @@
+(* The serve daemon: wire-protocol round trips, pre-shaped error
+   responses, per-request settings resolution, fault containment,
+   admission control, and the acceptance bar — concurrent daemon
+   searches byte-identical to the one-shot engine. *)
+
+module Ops = Hfuse_serve.Ops
+module Protocol = Hfuse_serve.Protocol
+module Server = Hfuse_serve.Server
+module Client = Hfuse_serve.Client
+module Settings = Hfuse_profiler.Settings
+module Registry = Kernel_corpus.Registry
+module Fault = Hfuse_fault.Fault
+module J = Hfuse_profiler.Report.Json
+
+(* Unix-domain socket paths are length-limited (~108 bytes), so the
+   harness binds under the system temp dir, never the build sandbox. *)
+let fresh_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "hsrv-%d-%d" (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    Filename.concat dir "d.sock"
+
+let search_params : Ops.search_params =
+  {
+    s_arch = Gpusim.Arch.gtx1080ti;
+    s_k1 = Registry.find_exn "Maxpool";
+    s_k2 = Registry.find_exn "Upsample";
+    s_size1 = Some 32;
+    s_size2 = Some 32;
+    s_emit = true;
+    s_jobs = 1;
+    s_top_k = None;
+  }
+
+let search_request ?(priority = 0) ?(settings = Protocol.no_overrides) id :
+    Protocol.request =
+  { id; priority; settings; verb = Protocol.Work (Ops.Search search_params) }
+
+(* Force the persistent cache off for every daemon request so the
+   identity comparison never depends on leftover state in the build
+   directory; the in-memory warm memos are exactly what is under test. *)
+let no_disk_cache = { Protocol.no_overrides with sp_cache_dir = Some None }
+
+(* ------------------------------------------------------------------ *)
+(* Wire format                                                         *)
+
+let fuse_request : Protocol.request =
+  let src name body : Ops.kernel_src =
+    { ks_path = name; ks_source = body; ks_block = 128; ks_smem = 16; ks_regs = Some 40 }
+  in
+  {
+    id = "rt-fuse";
+    priority = 3;
+    settings =
+      {
+        sp_trace_blocks = Some 2;
+        sp_sim_fuel = Some 100000;
+        sp_cache_dir = Some (Some "/tmp/cache");
+        sp_fault = Some (Some "sim_hang:0.25,seed:9");
+      };
+    verb =
+      Protocol.Work
+        (Ops.Fuse
+           {
+             f_k1 = src "a.cu" "__global__ void a(int *p) {\n  p[0] = 1;\n}\n";
+             f_k2 = src "b.cu" "__global__ void b(int *p) {\n  p[1] = 2;\n}\n";
+             f_grid = 8;
+           });
+  }
+
+let test_request_round_trip () =
+  let check_fixed_point (req : Protocol.request) =
+    let line = Protocol.request_to_line req in
+    Alcotest.(check bool)
+      "single line" false
+      (String.contains line '\n');
+    match Protocol.parse_request line with
+    | Error _ -> Alcotest.failf "reparse rejected %s" line
+    | Ok req' ->
+        Alcotest.(check string) "id survives" req.id req'.id;
+        Alcotest.(check int) "priority survives" req.priority req'.priority;
+        (* the serializer is a fixed point of parse . serialize *)
+        Alcotest.(check string)
+          "canonical form" line
+          (Protocol.request_to_line req')
+  in
+  check_fixed_point fuse_request;
+  check_fixed_point (search_request ~priority:7 ~settings:no_disk_cache "rt-s");
+  check_fixed_point { id = "rt-ping"; priority = 0;
+                      settings = Protocol.no_overrides; verb = Protocol.Ping };
+  check_fixed_point { id = "rt-stats"; priority = 1;
+                      settings = Protocol.no_overrides; verb = Protocol.Stats }
+
+let test_response_round_trip () =
+  let resp =
+    Protocol.Result
+      {
+        id = "r1";
+        exit_code = 1;
+        output = "line one\nline \"two\"\n\ttab\n";
+        log = "hfuse: some diagnostic\n";
+        telemetry = J.Obj [ ("n", J.Int 3); ("t", J.Float 0.5) ];
+      }
+  in
+  let line = Protocol.response_to_line resp in
+  Alcotest.(check bool) "single line" false (String.contains line '\n');
+  (match Protocol.parse_response line with
+  | Error e -> Alcotest.failf "reparse rejected: %s" e
+  | Ok (Protocol.Result r) ->
+      Alcotest.(check string) "id" "r1" r.id;
+      Alcotest.(check int) "exit code" 1 r.exit_code;
+      Alcotest.(check string) "output bytes" "line one\nline \"two\"\n\ttab\n"
+        r.output;
+      Alcotest.(check string) "log bytes" "hfuse: some diagnostic\n" r.log
+  | Ok (Protocol.Failure _) -> Alcotest.fail "Result became Failure");
+  let fail_line =
+    Protocol.response_to_line
+      (Protocol.failure ~id:"r2" Protocol.Overloaded "queue full")
+  in
+  match Protocol.parse_response fail_line with
+  | Ok (Protocol.Failure f) ->
+      Alcotest.(check (option string)) "id echoed" (Some "r2") f.id;
+      Alcotest.(check string) "code" "overloaded" f.code;
+      Alcotest.(check string) "message" "queue full" f.message
+  | Ok (Protocol.Result _) -> Alcotest.fail "Failure became Result"
+  | Error e -> Alcotest.failf "reparse rejected: %s" e
+
+let expect_failure line code =
+  match Protocol.parse_request line with
+  | Ok _ -> Alcotest.failf "accepted %s" line
+  | Error (Protocol.Result _) -> Alcotest.fail "error shaped as Result"
+  | Error (Protocol.Failure f) ->
+      Alcotest.(check string) (Printf.sprintf "code for %s" line) code f.code;
+      f.id
+
+let test_parse_errors_pre_shaped () =
+  let id = expect_failure "this is not json" "parse_error" in
+  Alcotest.(check (option string)) "no id readable" None id;
+  let id = expect_failure {|{"id":"z","verb":"frobnicate","params":{}}|}
+      "unknown_verb" in
+  Alcotest.(check (option string)) "id echoed" (Some "z") id;
+  ignore (expect_failure {|{"id":"z","verb":"search","params":{}}|}
+            "invalid_request");
+  ignore (expect_failure
+            {|{"id":"z","verb":"search","params":{"k1":"Maxpool","k2":"NoSuchKernel"}}|}
+            "invalid_request");
+  ignore (expect_failure {|{"verb":"ping"}|} "invalid_request");
+  ignore (expect_failure {|[1,2,3]|} "invalid_request")
+
+(* ------------------------------------------------------------------ *)
+(* Per-request settings                                                *)
+
+let test_resolve_settings () =
+  let spec =
+    {
+      Protocol.no_overrides with
+      sp_trace_blocks = Some 3;
+      sp_fault = Some (Some "sim_hang:0.25,seed:9");
+    }
+  in
+  let s = Protocol.resolve_settings spec in
+  Alcotest.(check int) "trace blocks override" 3 s.Settings.trace_blocks;
+  (match s.Settings.fault with
+  | None -> Alcotest.fail "fault plan dropped"
+  | Some plan ->
+      Alcotest.(check (float 0.0)) "plan rate" 0.25
+        (Fault.rate ~plan Fault.Sim_hang));
+  (* an explicit null forces the fault plan off even when the process
+     has one installed — the daemon-safety rule that broke under the
+     old ambient-global scheme *)
+  (match Fault.configure "worker_crash:0.5,seed:3" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "configure: %s" e);
+  Fun.protect ~finally:Fault.clear (fun () ->
+      let s =
+        Protocol.resolve_settings
+          { Protocol.no_overrides with sp_fault = Some None }
+      in
+      Alcotest.(check bool) "null disables inherited plan" true
+        (s.Settings.fault = None);
+      let s = Protocol.resolve_settings Protocol.no_overrides in
+      Alcotest.(check bool) "absent inherits installed plan" true
+        (s.Settings.fault <> None));
+  (* malformed specs raise instead of exiting the process *)
+  (try
+     ignore (Protocol.resolve_settings
+               { Protocol.no_overrides with
+                 sp_fault = Some (Some "bogus_kind:0.5") });
+     Alcotest.fail "bad fault spec accepted"
+   with Fault.Invalid_spec _ -> ());
+  try
+    ignore (Protocol.resolve_settings
+              { Protocol.no_overrides with sp_trace_blocks = Some 0 });
+    Alcotest.fail "trace_blocks 0 accepted"
+  with Invalid_argument _ -> ()
+
+let test_spec_of_settings_round_trip () =
+  let plan =
+    match Fault.plan_of_spec "cache_corrupt:0.125,seed:11" with
+    | Some p -> p
+    | None -> Alcotest.fail "plan_of_spec returned None"
+  in
+  let s =
+    Settings.resolve ~trace_blocks:2 ~sim_fuel:50000 ~cache_dir:None
+      ~fault:(Some plan) ()
+  in
+  let s' = Protocol.resolve_settings (Protocol.spec_of_settings s) in
+  Alcotest.(check int) "trace blocks" s.Settings.trace_blocks
+    s'.Settings.trace_blocks;
+  Alcotest.(check int) "sim fuel" s.Settings.sim_fuel s'.Settings.sim_fuel;
+  Alcotest.(check bool) "cache off" true (s'.Settings.cache_dir = None);
+  match s'.Settings.fault with
+  | None -> Alcotest.fail "fault plan lost in transit"
+  | Some plan' ->
+      Alcotest.(check string) "plan spec survives" (Fault.to_spec plan)
+        (Fault.to_spec plan')
+
+(* ------------------------------------------------------------------ *)
+(* Daemon integration                                                  *)
+
+(* One raw connection, many request lines: responses may come back in
+   any order, so collect them all and index by id. *)
+let burst ~socket lines =
+  let addr = Unix.ADDR_UNIX socket in
+  let ic, oc = Unix.open_connection addr in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.shutdown_connection ic with _ -> ());
+      close_in_noerr ic)
+    (fun () ->
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      flush oc;
+      List.map (fun _ -> input_line ic) lines)
+
+let call_exn ~socket req =
+  match Client.call ~socket req with
+  | Ok resp -> resp
+  | Error e -> Alcotest.failf "transport: %s" e
+
+(* [Protocol.response]'s payloads are inlined records, which cannot
+   escape a match; project the success arm into a plain record. *)
+type result_fields = {
+  rid : string;
+  rexit : int;
+  rout : string;
+  rtel : J.t;
+}
+
+let expect_result = function
+  | Protocol.Result { id; exit_code; output; telemetry; _ } ->
+      { rid = id; rexit = exit_code; rout = output; rtel = telemetry }
+  | Protocol.Failure f ->
+      Alcotest.failf "unexpected failure %s: %s" f.code f.message
+
+let test_daemon_end_to_end () =
+  let socket = fresh_socket () in
+  let server = Server.start { socket_path = socket; jobs = 2; queue_limit = 16 } in
+  Fun.protect
+    ~finally:(fun () -> try Server.stop server with _ -> ())
+    (fun () ->
+      (* a second daemon on a live socket is refused *)
+      (try
+         ignore (Server.create { socket_path = socket; jobs = 1; queue_limit = 1 });
+         Alcotest.fail "second daemon bound a live socket"
+       with Failure _ -> ());
+      let ping =
+        expect_result
+          (call_exn ~socket
+             { id = "p0"; priority = 0; settings = Protocol.no_overrides;
+               verb = Protocol.Ping })
+      in
+      Alcotest.(check string) "pong" "pong\n" ping.rout;
+      (* fault containment: a malformed line costs one error response *)
+      (match burst ~socket [ "this is not json" ] with
+      | [ line ] -> (
+          match Protocol.parse_response line with
+          | Ok (Protocol.Failure f) ->
+              Alcotest.(check string) "parse error code" "parse_error" f.code
+          | _ -> Alcotest.fail "malformed line not answered with parse_error")
+      | _ -> Alcotest.fail "expected one response");
+      (* ... as does an injected bad fault spec ... *)
+      (match
+         call_exn ~socket
+           (search_request
+              ~settings:{ no_disk_cache with sp_fault = Some (Some "bogus_kind:0.5") }
+              "bad-fault")
+       with
+      | Protocol.Failure f ->
+          Alcotest.(check string) "bad fault spec code" "invalid_request" f.code
+      | Protocol.Result _ -> Alcotest.fail "bad fault spec accepted");
+      (* ... and the daemon is still alive afterwards *)
+      let ping =
+        expect_result
+          (call_exn ~socket
+             { id = "p1"; priority = 0; settings = Protocol.no_overrides;
+               verb = Protocol.Ping })
+      in
+      Alcotest.(check string) "still serving" "pong\n" ping.rout;
+      (* acceptance: >= 4 concurrent searches, byte-identical to the
+         one-shot engine path *)
+      let settings = Settings.resolve ~cache_dir:None () in
+      let oneshot = Ops.search ~settings search_params in
+      Alcotest.(check int) "one-shot exit code" 0 oneshot.exit_code;
+      let results = Array.make 4 None in
+      let threads =
+        List.init 4 (fun i ->
+            Thread.create
+              (fun i ->
+                let req =
+                  search_request ~priority:i ~settings:no_disk_cache
+                    (Printf.sprintf "c%d" i)
+                in
+                results.(i) <- Some (Client.call ~socket req))
+              i)
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i r ->
+          match r with
+          | None -> Alcotest.failf "request c%d never completed" i
+          | Some (Error e) -> Alcotest.failf "c%d transport: %s" i e
+          | Some (Ok resp) ->
+              let r = expect_result resp in
+              Alcotest.(check string)
+                (Printf.sprintf "c%d id" i)
+                (Printf.sprintf "c%d" i)
+                r.rid;
+              Alcotest.(check int)
+                (Printf.sprintf "c%d exit code" i)
+                oneshot.exit_code r.rexit;
+              Alcotest.(check string)
+                (Printf.sprintf "c%d output bytes" i)
+                oneshot.output r.rout)
+        results;
+      (* stats reports per-request tallies *)
+      let stats =
+        expect_result
+          (call_exn ~socket
+             { id = "st"; priority = 0; settings = Protocol.no_overrides;
+               verb = Protocol.Stats })
+      in
+      Alcotest.(check bool) "stats text" true
+        (String.length stats.rout > 9
+        && String.sub stats.rout 0 9 = "requests:");
+      let member k =
+        match J.member k stats.rtel with
+        | Some v -> v
+        | None -> Alcotest.failf "stats telemetry lacks %s" k
+      in
+      (match member "total" with
+      | J.Int n -> Alcotest.(check bool) "total counts requests" true (n >= 7)
+      | _ -> Alcotest.fail "total not an int");
+      (match member "errors" with
+      | J.Int n -> Alcotest.(check bool) "errors counted" true (n >= 2)
+      | _ -> Alcotest.fail "errors not an int");
+      (match member "recent" with
+      | J.List entries ->
+          Alcotest.(check bool) "recent entries present" true
+            (List.length entries >= 4);
+          List.iter
+            (fun e ->
+              if J.member "verb" e = Some (J.Str "search") then
+                let tel = J.member "telemetry" e in
+                let has k = Option.bind tel (J.member k) <> None in
+                Alcotest.(check bool)
+                  "search entries carry per-request tallies" true
+                  (has "search" && has "pool" && has "fault"))
+            entries
+      | _ -> Alcotest.fail "recent not a list"));
+  Alcotest.(check bool) "socket unlinked on stop" false (Sys.file_exists socket)
+
+let test_daemon_admission_control () =
+  let socket = fresh_socket () in
+  let server = Server.start { socket_path = socket; jobs = 1; queue_limit = 1 } in
+  Fun.protect
+    ~finally:(fun () -> try Server.stop server with _ -> ())
+    (fun () ->
+      (* 8 searches into a 1-worker, 1-slot daemon: some run, some
+         queue, and with at most 2 admitted at any instant at least
+         one of the burst must be refused *)
+      let lines =
+        List.init 8 (fun i ->
+            Protocol.request_to_line
+              (search_request ~settings:no_disk_cache
+                 (Printf.sprintf "b%d" i)))
+      in
+      let responses = burst ~socket lines in
+      Alcotest.(check int) "every request answered" 8 (List.length responses);
+      let ok, overloaded =
+        List.fold_left
+          (fun (ok, ov) line ->
+            match Protocol.parse_response line with
+            | Ok (Protocol.Result r) when r.exit_code = 0 -> (ok + 1, ov)
+            | Ok (Protocol.Failure f) when f.code = "overloaded" -> (ok, ov + 1)
+            | Ok _ -> Alcotest.failf "unexpected response: %s" line
+            | Error e -> Alcotest.failf "unparseable response: %s" e)
+          (0, 0) responses
+      in
+      Alcotest.(check bool) "some requests served" true (ok >= 1);
+      Alcotest.(check bool) "some requests refused" true (overloaded >= 1);
+      Alcotest.(check int) "no response lost" 8 (ok + overloaded);
+      let stats =
+        expect_result
+          (call_exn ~socket
+             { id = "st"; priority = 0; settings = Protocol.no_overrides;
+               verb = Protocol.Stats })
+      in
+      match J.member "overloaded" stats.rtel with
+      | Some (J.Int n) ->
+          Alcotest.(check int) "stats counts refusals" overloaded n
+      | _ -> Alcotest.fail "stats telemetry lacks overloaded")
+
+let test_stale_socket_replaced () =
+  let socket = fresh_socket () in
+  (* simulate a dead daemon: a bound socket file with no listener *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX socket);
+  Unix.close fd;
+  Alcotest.(check bool) "stale file present" true (Sys.file_exists socket);
+  let server = Server.start { socket_path = socket; jobs = 1; queue_limit = 1 } in
+  Fun.protect
+    ~finally:(fun () -> try Server.stop server with _ -> ())
+    (fun () ->
+      let ping =
+        expect_result
+          (call_exn ~socket
+             { id = "p"; priority = 0; settings = Protocol.no_overrides;
+               verb = Protocol.Ping })
+      in
+      Alcotest.(check string) "rebound over stale socket" "pong\n" ping.rout)
+
+let suite =
+  [
+    Alcotest.test_case "request lines round-trip" `Quick
+      test_request_round_trip;
+    Alcotest.test_case "response lines round-trip" `Quick
+      test_response_round_trip;
+    Alcotest.test_case "malformed requests are pre-shaped errors" `Quick
+      test_parse_errors_pre_shaped;
+    Alcotest.test_case "per-request settings resolve" `Quick
+      test_resolve_settings;
+    Alcotest.test_case "settings spec round-trips client to daemon" `Quick
+      test_spec_of_settings_round_trip;
+    Alcotest.test_case "daemon end to end: identity, containment, stats" `Slow
+      test_daemon_end_to_end;
+    Alcotest.test_case "admission control refuses past the queue limit" `Slow
+      test_daemon_admission_control;
+    Alcotest.test_case "stale socket file is replaced" `Quick
+      test_stale_socket_replaced;
+  ]
