@@ -1,8 +1,9 @@
 (* Bench regression gate: compare a freshly produced fig9 JSON report
    against a committed baseline and fail on any drift in the
-   *simulated* metrics.  Wall-clock-derived fields (wall_s, cache and
-   search counters, engine stats, jobs) vary run to run and are
-   excluded; everything the simulator computes deterministically —
+   *simulated* metrics.  Wall-clock-derived fields (wall_s, cache,
+   search and trace_store counters, engine stats, jobs) vary run to
+   run and are excluded; everything the simulator computes
+   deterministically —
    per-row native utilisation, speedups, chosen (d1, d2, reg_bound)
    partitions, and the five metric fields — must match exactly.
 
@@ -118,6 +119,23 @@ let check_model_quality ~(max_regret : float) path (j : Json.t) : int =
           end
           else 0)
 
+(* Informational only: surface the fresh report's trace-store traffic
+   (recorded vs answered vs deduped) so cold/warm CI steps are easy to
+   eyeball.  Never gated — temperature legitimately differs per run. *)
+let print_trace_traffic (j : Json.t) : unit =
+  match Json.member "trace_store" j with
+  | None -> () (* pre-trace-store report *)
+  | Some ts ->
+      let int_of k =
+        match Json.member k ts with Some (Json.Int i) -> i | _ -> 0
+      in
+      Printf.printf
+        "bench gate: trace store %d recorded, %d hit(s) (%d mem + %d disk), \
+         %d merged (not gated)\n"
+        (int_of "recorded")
+        (int_of "mem_hits" + int_of "disk_hits")
+        (int_of "mem_hits") (int_of "disk_hits") (int_of "merges")
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let usage () =
@@ -185,6 +203,7 @@ let () =
   let regret_failures =
     check_model_quality ~max_regret:!max_regret fresh_path fresh_json
   in
+  print_trace_traffic fresh_json;
   if !drift > 0 || regret_failures > 0 then begin
     if !drift > 0 then
       Printf.printf "bench gate: %d drifting value(s) across %d row(s)\n"

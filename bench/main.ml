@@ -92,12 +92,13 @@ let checkpoint_for (figure : string) : Checkpoint.t =
   else begin
     let id =
       Checkpoint.run_id
+        ~sim_fuel:(Settings.current ()).Settings.sim_fuel
+        ~trace_blocks:(Runner.trace_blocks ())
         ~parts:
           [
             figure;
             !raw_pairs;
             (if !full_ref then "full" else "short");
-            string_of_int (Runner.trace_blocks ());
             (match !top_k with
             | None -> "exhaustive"
             | Some k -> "top" ^ string_of_int k);
@@ -129,6 +130,7 @@ let chaos_report () =
 
 let timed_search name f =
   Runner.reset_search_stats ();
+  Trace_store.reset_tally ();
   let r = timed name f in
   say "[search: %s]"
     (Fmt.str "%a" Runner.pp_search_stats (Runner.search_stats ()));
@@ -157,6 +159,7 @@ let write_json name ~wall ~engine rows =
         ("trace_blocks", Int (Runner.trace_blocks ()));
         ("cache", Report.json_of_cache !cache);
         ("search", Report.json_of_search_stats (Runner.search_stats ()));
+        ("trace_store", Report.json_of_trace_tally (Trace_store.tally ()));
         ("engine_stats", Report.json_of_engine_stats engine);
         ("rows", rows);
       ]

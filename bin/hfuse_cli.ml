@@ -118,7 +118,8 @@ let jobs_arg =
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Profile search candidates over $(docv) parallel domains \
-           (tracing stays serial; results are identical for any N).")
+           (missing traces are recorded concurrently too, deduped per \
+           distinct key; results are identical for any N).")
 
 (* --trace-blocks N widens the per-launch traced-block count (default 1,
    or the HFUSE_TRACE_BLOCKS environment) *)
@@ -481,12 +482,13 @@ let search_cmd =
         in
         let id =
           Hfuse_profiler.Checkpoint.run_id
+            ~sim_fuel:settings.Hfuse_profiler.Settings.sim_fuel
+            ~trace_blocks:settings.Hfuse_profiler.Settings.trace_blocks
             ~parts:
               [
                 "search"; arch.Gpusim.Arch.name; s1.name;
                 string_of_int (size_of s1 size1); s2.name;
                 string_of_int (size_of s2 size2);
-                string_of_int settings.Hfuse_profiler.Settings.trace_blocks;
                 prune_id_part top_k;
               ]
             ()

@@ -28,3 +28,18 @@ val mix : t -> int array
 type block = t array
 
 val block_instructions : block -> int
+
+(** Binary serialization of a [block array] — the payload format of
+    the persistent trace store.  [encode_blocks] writes only the live
+    [len] prefix of each trace (capacity slack never leaks), so
+    [decode_blocks (encode_blocks bs)] rebuilds traces that replay and
+    re-encode byte-identically.  [decode_blocks] answers [None] on any
+    malformed input instead of raising or over-allocating; integrity
+    (versioning, checksums) is the calling store's concern. *)
+
+val encode_blocks : block array -> string
+val decode_blocks : string -> block array option
+
+(** Approximate in-memory footprint of a block array in bytes (live
+    elements only) — the unit of the trace store's LRU bound. *)
+val blocks_bytes : block array -> int

@@ -47,13 +47,20 @@ let torn t = t.torn
 (* The simulation fuel changes every simulated outcome (a run that
    times out under a small budget may succeed under a larger one), so a
    journal written under one HFUSE_SIM_FUEL must never be resumed under
-   another — fold the effective fuel into the identity. *)
+   another — fold the effective fuel into the identity.  The traced-
+   block count is folded in for the same reason: every profiled time is
+   a function of how many blocks were traced, so resuming a 1-block
+   journal under HFUSE_TRACE_BLOCKS=4 must re-profile, not replay. *)
 let run_id ?(sim_fuel = Gpusim.Launch.default_loop_fuel)
-    ~(parts : string list) () : string =
+    ?(trace_blocks = 1) ~(parts : string list) () : string =
   Digest.to_hex
     (Digest.string
        (String.concat "\x00"
-          (parts @ [ Printf.sprintf "sim_fuel=%d" sim_fuel ])))
+          (parts
+          @ [
+              Printf.sprintf "sim_fuel=%d" sim_fuel;
+              Printf.sprintf "trace_blocks=%d" trace_blocks;
+            ])))
 
 (* ------------------------------------------------------------------ *)
 (* Record encoding                                                      *)

@@ -444,6 +444,24 @@ let json_of_search_stats (s : Runner.search_stats) : Json.t =
       ("rank_agree", Json.Int s.Runner.rank_agree);
       ("rank_total", Json.Int s.Runner.rank_total);
       ("max_regret_pct", Json.Float s.Runner.max_regret_pct);
+      ("traced", Json.Int s.Runner.traced);
+      ("trace_hits", Json.Int s.Runner.trace_hits);
+      ("trace_merged", Json.Int s.Runner.trace_merged);
+      ("trace_wall_s", Json.Float s.Runner.trace_wall_s);
+    ]
+
+let json_of_trace_tally (t : Trace_store.tally) : Json.t =
+  Json.Obj
+    [
+      ("mem_hits", Json.Int t.Trace_store.mem_hits);
+      ("disk_hits", Json.Int t.Trace_store.disk_hits);
+      ("recorded", Json.Int t.Trace_store.recorded);
+      ("stores", Json.Int t.Trace_store.stores);
+      ("quarantined", Json.Int t.Trace_store.corrupt);
+      ("evictions", Json.Int t.Trace_store.evictions);
+      ("merges", Json.Int t.Trace_store.merges);
+      ("mem_entries", Json.Int (Trace_store.mem_entries ()));
+      ("mem_bytes", Json.Int (Trace_store.mem_bytes ()));
     ]
 
 let json_of_cache (c : Profile_cache.t) : Json.t =

@@ -44,6 +44,11 @@ end
 val json_of_metrics : Gpusim.Metrics.t -> Json.t
 val json_of_engine_stats : Gpusim.Timing.engine_stats -> Json.t
 val json_of_search_stats : Runner.search_stats -> Json.t
+
+(** Cumulative trace-store counters plus current memory-tier occupancy
+    ([mem_entries]/[mem_bytes] are sampled at render time). *)
+val json_of_trace_tally : Trace_store.tally -> Json.t
+
 val json_of_cache : Profile_cache.t -> Json.t
 val figure7_json : Experiment.sweep list -> Json.t
 val figure8_json : Experiment.kernel_row list -> Json.t

@@ -1,22 +1,34 @@
 (* Drives the four execution modes of the evaluation — native (parallel
    streams), vertically fused, horizontally fused (searched), and the
-   Naive even-partition variant — through the simulator, with a trace
-   cache so ratio sweeps don't re-interpret unchanged kernels.
+   Naive even-partition variant — through the simulator, with a
+   two-tier trace store so ratio sweeps don't re-interpret unchanged
+   kernels (and warm reruns don't re-interpret anything at all).
 
    Profiling launches execute only the traced blocks ([exec_blocks]):
    the timing model replays block traces cyclically over the full grid,
    so functional execution of every block matters only for the
    correctness checks, which use [validate_*] with fresh memory.
 
-   The Fig. 6 search runs as a two-phase engine.  Phase 1 is serial:
-   [Search.search] enumerates/generates/verifies candidates, and the
-   batch evaluator acquires any missing traces — tracing interprets the
-   kernel in [Memory.t], which is single-domain state.  Phase 2 fans
-   the pure [Timing.run] replays out over an OCaml 5 domain pool
-   ([Hfuse_parallel.Pool]) and consults a persistent on-disk cache
-   ({!Profile_cache}) keyed by content, so repeated sweeps skip the
-   simulator entirely.  Results are bit-identical to the serial path
-   for any worker count and any cache temperature. *)
+   Every trace is recorded in a canonical environment: a fresh
+   [Memory.t] holding only the keyed workload, instantiated in key
+   order.  The interpreter's trace payloads are coalescing analysis
+   results over distinct (buffer, sector) pairs — not addresses — and
+   buffer-id renaming is order-isomorphic for both the coalescer and
+   the L1 sector FIFO, so these recordings are byte-identical to the
+   old in-search ones while being pure functions of their key.  That
+   purity buys two things: recordings parallelize (each task owns its
+   memory), and they persist ({!Trace_store}'s disk tier).
+
+   The Fig. 6 search runs as a two-phase engine.  Phase 1 is serial
+   enumeration/verification ([Search.search]); the batch evaluator
+   then resolves candidate times from the journal/cache/memo tiers,
+   records the missing traces concurrently (deduped per distinct
+   trace key — N register-bound variants of one partition share one
+   recording), and fans the pure [Timing.run] replays out over an
+   OCaml 5 domain pool ([Hfuse_parallel.Pool]) with a persistent
+   on-disk cache ({!Profile_cache}) keyed by content.  Results are
+   bit-identical to the serial path for any worker count and any
+   cache temperature. *)
 
 open Gpusim
 open Kernel_corpus
@@ -54,10 +66,10 @@ let configure (mem : Memory.t) (spec : Spec.t) ~(size : int) : configured =
   { spec; size; info; inst; mem }
 
 (* ------------------------------------------------------------------ *)
-(* Trace cache                                                          *)
+(* Trace store                                                          *)
 (* ------------------------------------------------------------------ *)
 
-(** Trace-cache key: kernel identity, workload size(s) and block
+(** Trace key: kernel identity, workload size(s) and block
     dimension(s) — exactly what a dynamic trace depends on (inputs are
     seed-deterministic).  Structured, not packed: the old encoding
     folded both sizes of a pair into [size1 * 1_000_003 + size2], which
@@ -83,13 +95,14 @@ type trace_key =
       tb : int;
     }
 
-(* The cache is per-process and unbounded; a full figure-7 sweep fits
-   comfortably.  A daemon runs one search per request-coordinating
-   domain, so lookups and inserts are mutex-guarded; the traced
-   computation itself runs outside the lock (it can take seconds), so
-   two requests racing on one key at worst both record the — bitwise
-   identical, the simulator is deterministic — trace. *)
-let cache : (trace_key, Trace.block array) Hashtbl.t = Hashtbl.create 64
+(* Traces themselves live in {!Trace_store}: a process-wide in-memory
+   LRU (shared by every request, bounded by [Settings.trace_mem_mb])
+   over a persistent on-disk tier under the profile-cache root.  The
+   store's digests fold in everything the keys above name plus the
+   simulation fuel, the kernel source (names alone would go stale when
+   a kernel's source changes under a persistent directory), and — on
+   disk only — the arch.  This mutex guards the report/time/solo memos
+   below. *)
 let cache_mutex = Mutex.create ()
 
 let locked (f : unit -> 'a) : 'a =
@@ -123,27 +136,48 @@ let time_memo_find key = locked (fun () -> Hashtbl.find_opt time_memo key)
 let time_memo_store key v = locked (fun () -> Hashtbl.replace time_memo key v)
 
 let clear_cache () =
+  Trace_store.clear_memory ();
   locked @@ fun () ->
-  Hashtbl.reset cache;
   Hashtbl.reset solo_memo;
   Hashtbl.reset report_memo;
   Hashtbl.reset time_memo
 
-let traced (key : trace_key) (record : unit -> Trace.block array) :
+(* render a trace key into the store's digest input *)
+let trace_ident (key : trace_key) : string list =
+  match key with
+  | K_solo { kernel; size; block_dim; tb } ->
+      [ "solo"; kernel; string_of_int size; string_of_int block_dim;
+        string_of_int tb ]
+  | K_hfuse { k1; size1; k2; size2; d1; d2; tb } ->
+      [ "hfuse"; k1; string_of_int size1; k2; string_of_int size2;
+        string_of_int d1; string_of_int d2; string_of_int tb ]
+  | K_vfuse { k1; size1; k2; size2; block; tb } ->
+      [ "vfuse"; k1; string_of_int size1; k2; string_of_int size2;
+        string_of_int block; string_of_int tb ]
+
+let store_key ~(s : Settings.t) ~(arch : string) ~(source : string)
+    (key : trace_key) : Trace_store.key =
+  Trace_store.keys ~arch ~sim_fuel:s.Settings.sim_fuel
+    ~trace_blocks:s.Settings.trace_blocks
+    ~ident:(trace_ident key @ [ Digest.to_hex (Digest.string source) ])
+
+let traced ~(s : Settings.t) ~(arch : string) ~(source : string)
+    (key : trace_key) (record : unit -> Trace.block array) :
     Trace.block array =
-  match locked (fun () -> Hashtbl.find_opt cache key) with
-  | Some t -> t
-  | None ->
+  Trace_store.get_or_record (Settings.trace_store s)
+    ?limit_bytes:(Settings.trace_limit_bytes s)
+    ~key:(store_key ~s ~arch ~source key)
+    (fun () ->
       (* every trace-recording launch is an injection point for the
          chaos harness's sim_hang; injected faults are transient, so
          the retry wrapper keeps them out of callers *)
-      let t = Fault.with_retries ~key:(Hashtbl.hash key) record in
-      locked (fun () -> Hashtbl.replace cache key t);
-      t
+      Fault.with_retries ~key:(Hashtbl.hash key) record)
 
-(** Traces of [c] at block dimension [d] (defaults to native). *)
-let traces_of ?settings (c : configured) ?(block_dim : int option) () :
-    Trace.block array =
+(** Traces of [c] at block dimension [d] (defaults to native).
+    [arch] scopes only the persistent entry (traces themselves are
+    arch-independent). *)
+let traces_of ?settings ?(arch = "-") (c : configured)
+    ?(block_dim : int option) () : Trace.block array =
   let s = resolved settings in
   let d =
     match block_dim with
@@ -151,11 +185,16 @@ let traces_of ?settings (c : configured) ?(block_dim : int option) () :
     | Some d -> d
   in
   let tb = s.Settings.trace_blocks in
-  traced (K_solo { kernel = c.spec.name; size = c.size; block_dim = d; tb })
+  traced ~s ~arch ~source:c.spec.source
+    (K_solo { kernel = c.spec.name; size = c.size; block_dim = d; tb })
     (fun () ->
+      (* canonical recording environment: a fresh memory holding only
+         this workload (see the header comment) *)
+      let mem = Memory.create () in
+      let inst = c.spec.instantiate mem ~size:c.size in
       let info = Hfuse_core.Kernel_info.with_block_dim c.info d in
       (Launch.launch_info ~exec_blocks:tb ?fault:s.Settings.fault
-         ~loop_fuel:s.Settings.sim_fuel c.mem info ~args:c.inst.args
+         ~loop_fuel:s.Settings.sim_fuel mem info ~args:inst.args
          ~trace_blocks:tb)
         .block_traces)
 
@@ -166,7 +205,7 @@ let traces_of ?settings (c : configured) ?(block_dim : int option) () :
 let static_smem (info : Hfuse_core.Kernel_info.t) : int =
   Launch.static_shared_bytes info.fn.f_body
 
-let spec_of ?settings (c : configured) ?(block_dim : int option)
+let spec_of ?settings ?arch (c : configured) ?(block_dim : int option)
     ~(stream : int) () : Timing.launch_spec =
   let d =
     match block_dim with
@@ -175,7 +214,7 @@ let spec_of ?settings (c : configured) ?(block_dim : int option)
   in
   {
     Timing.label = c.spec.name;
-    block_traces = traces_of ?settings c ~block_dim:d ();
+    block_traces = traces_of ?settings ?arch c ~block_dim:d ();
     grid = c.inst.grid;
     threads_per_block = d;
     regs = c.spec.regs;
@@ -188,41 +227,57 @@ let spec_of ?settings (c : configured) ?(block_dim : int option)
 let native ?settings (arch : Arch.t) (c1 : configured) (c2 : configured) :
     Timing.report =
   Timing.run arch
-    [ spec_of ?settings c1 ~stream:0 (); spec_of ?settings c2 ~stream:1 () ]
+    [
+      spec_of ?settings ~arch:arch.Arch.name c1 ~stream:0 ();
+      spec_of ?settings ~arch:arch.Arch.name c2 ~stream:1 ();
+    ]
 
 (** One kernel alone (Fig. 8 metrics; also the ratio probes). *)
 let solo ?settings (arch : Arch.t) (c : configured) : Timing.report =
-  Timing.run arch [ spec_of ?settings c ~stream:0 () ]
+  Timing.run arch [ spec_of ?settings ~arch:arch.Arch.name c ~stream:0 () ]
 
 (* ------------------------------------------------------------------ *)
 (* Fused runs                                                           *)
 (* ------------------------------------------------------------------ *)
 
-(** Traces of the horizontally fused kernel (interprets it in profiling
-    mode on first use; cached).  Mutates [Memory.t] — coordinating
-    domain only. *)
-let hfuse_traces ?settings (c1 : configured) (c2 : configured)
+(** The canonical recording of a horizontally fused candidate's
+    traces: a fresh memory with both workloads instantiated in pair
+    order.  Pure up to its inputs — safe to run on any domain (the
+    batch evaluator fans these over the pool). *)
+let record_hfuse ~(s : Settings.t) (c1 : configured) (c2 : configured)
+    (f : Hfuse_core.Hfuse.t) : Trace.block array =
+  let tb = s.Settings.trace_blocks in
+  let mem = Memory.create () in
+  let i1 = c1.spec.instantiate mem ~size:c1.size in
+  let i2 = c2.spec.instantiate mem ~size:c2.size in
+  (Launch.launch_info ~exec_blocks:tb ?fault:s.Settings.fault
+     ~loop_fuel:s.Settings.sim_fuel mem
+     (Hfuse_core.Hfuse.info f)
+     ~args:(i1.args @ i2.args) ~trace_blocks:tb)
+    .block_traces
+
+let hfuse_key ~(tb : int) (c1 : configured) (c2 : configured)
+    (f : Hfuse_core.Hfuse.t) : trace_key =
+  K_hfuse
+    {
+      k1 = c1.spec.name;
+      size1 = c1.size;
+      k2 = c2.spec.name;
+      size2 = c2.size;
+      d1 = f.d1;
+      d2 = f.d2;
+      tb;
+    }
+
+(** Traces of the horizontally fused kernel (recorded on first use;
+    stored).  [arch] scopes only the persistent entry. *)
+let hfuse_traces ?settings ?(arch = "-") (c1 : configured) (c2 : configured)
     (f : Hfuse_core.Hfuse.t) : Trace.block array =
   let s = resolved settings in
-  let tb = s.Settings.trace_blocks in
-  traced
-    (K_hfuse
-       {
-         k1 = c1.spec.name;
-         size1 = c1.size;
-         k2 = c2.spec.name;
-         size2 = c2.size;
-         d1 = f.d1;
-         d2 = f.d2;
-         tb;
-       })
-    (fun () ->
-      (Launch.launch_info ~exec_blocks:tb ?fault:s.Settings.fault
-         ~loop_fuel:s.Settings.sim_fuel c1.mem
-         (Hfuse_core.Hfuse.info f)
-         ~args:(c1.inst.args @ c2.inst.args)
-         ~trace_blocks:tb)
-        .block_traces)
+  traced ~s ~arch
+    ~source:(Hfuse_core.Hfuse.to_source f)
+    (hfuse_key ~tb:s.Settings.trace_blocks c1 c2 f)
+    (fun () -> record_hfuse ~s c1 c2 f)
 
 (** Launch spec for a fused candidate over already-recorded traces.
     Pure — safe to build and [Timing.run] on any domain. *)
@@ -250,7 +305,7 @@ let hfuse_spec (f : Hfuse_core.Hfuse.t) ~(reg_bound : int option)
 let hfuse_report ?settings (arch : Arch.t) (c1 : configured)
     (c2 : configured) (f : Hfuse_core.Hfuse.t) ~(reg_bound : int option) :
     Timing.report =
-  let traces = hfuse_traces ?settings c1 c2 f in
+  let traces = hfuse_traces ?settings ~arch:arch.Arch.name c1 c2 f in
   Timing.run arch [ hfuse_spec f ~reg_bound ~traces ]
 
 (** Vertically fused baseline.  Both kernels run at the larger of the
@@ -271,16 +326,16 @@ let vfuse_generate (c1 : configured) (c2 : configured) : Hfuse_core.Vfuse.t =
   in
   Hfuse_core.Vfuse.generate (adapt c1) (adapt c2)
 
-(** Launch spec for the vertical baseline (interprets the fused kernel
-    in profiling mode on first use; cached).  Mutates memory — build on
-    the coordinating domain; the spec itself is pure. *)
-let vfuse_spec ?settings (c1 : configured) (c2 : configured)
+(** Launch spec for the vertical baseline (records the fused kernel's
+    traces in a fresh memory on first use; stored). *)
+let vfuse_spec ?settings ?(arch = "-") (c1 : configured) (c2 : configured)
     (v : Hfuse_core.Vfuse.t) : Timing.launch_spec =
   let s = resolved settings in
   let vinfo = Hfuse_core.Vfuse.info v in
   let tb = s.Settings.trace_blocks in
   let traces =
-    traced
+    traced ~s ~arch
+      ~source:(Hfuse_core.Vfuse.to_source v)
       (K_vfuse
          {
            k1 = c1.spec.name;
@@ -291,10 +346,12 @@ let vfuse_spec ?settings (c1 : configured) (c2 : configured)
            tb;
          })
       (fun () ->
+        let mem = Memory.create () in
+        let i1 = c1.spec.instantiate mem ~size:c1.size in
+        let i2 = c2.spec.instantiate mem ~size:c2.size in
         (Launch.launch_info ~exec_blocks:tb ?fault:s.Settings.fault
-           ~loop_fuel:s.Settings.sim_fuel c1.mem vinfo
-           ~args:(c1.inst.args @ c2.inst.args)
-           ~trace_blocks:tb)
+           ~loop_fuel:s.Settings.sim_fuel mem vinfo
+           ~args:(i1.args @ i2.args) ~trace_blocks:tb)
           .block_traces)
   in
   {
@@ -310,7 +367,7 @@ let vfuse_spec ?settings (c1 : configured) (c2 : configured)
 
 let vfuse_report ?settings (arch : Arch.t) (c1 : configured)
     (c2 : configured) (v : Hfuse_core.Vfuse.t) : Timing.report =
-  Timing.run arch [ vfuse_spec ?settings c1 c2 v ]
+  Timing.run arch [ vfuse_spec ?settings ~arch:arch.Arch.name c1 c2 v ]
 
 (* ------------------------------------------------------------------ *)
 (* The Fig. 6 search, driven by the simulator                           *)
@@ -339,6 +396,12 @@ type search_stats = {
   mutable rank_total : int;  (** searches with a model-vs-sim verdict *)
   mutable max_regret_pct : float;
       (** worst chosen-vs-best simulated-time gap, percent *)
+  mutable traced : int;  (** distinct trace keys freshly recorded *)
+  mutable trace_hits : int;
+      (** distinct trace keys answered by the store (memory or disk) *)
+  mutable trace_merged : int;
+      (** candidate trace needs deduped onto an already-requested key *)
+  mutable trace_wall_s : float;  (** wall time inside trace acquisition *)
 }
 
 let fresh_search_stats () : search_stats =
@@ -352,6 +415,10 @@ let fresh_search_stats () : search_stats =
     rank_agree = 0;
     rank_total = 0;
     max_regret_pct = 0.0;
+    traced = 0;
+    trace_hits = 0;
+    trace_merged = 0;
+    trace_wall_s = 0.0;
   }
 
 (* the process-wide accumulator the one-shot CLIs print; a server
@@ -369,6 +436,10 @@ let search_stats () =
     rank_agree = global_stats.rank_agree;
     rank_total = global_stats.rank_total;
     max_regret_pct = global_stats.max_regret_pct;
+    traced = global_stats.traced;
+    trace_hits = global_stats.trace_hits;
+    trace_merged = global_stats.trace_merged;
+    trace_wall_s = global_stats.trace_wall_s;
   }
 
 let reset_search_stats () =
@@ -380,7 +451,11 @@ let reset_search_stats () =
   global_stats.pruned <- 0;
   global_stats.rank_agree <- 0;
   global_stats.rank_total <- 0;
-  global_stats.max_regret_pct <- 0.0
+  global_stats.max_regret_pct <- 0.0;
+  global_stats.traced <- 0;
+  global_stats.trace_hits <- 0;
+  global_stats.trace_merged <- 0;
+  global_stats.trace_wall_s <- 0.0
 
 let pp_search_stats ppf (s : search_stats) =
   Fmt.pf ppf "%d candidate%s profiled, %d cache hit%s, %.2fs profiling wall"
@@ -389,6 +464,12 @@ let pp_search_stats ppf (s : search_stats) =
     s.cache_hits
     (if s.cache_hits = 1 then "" else "s")
     s.profile_wall_s;
+  Fmt.pf ppf ", %d trace%s recorded, %d trace hit%s, %d merged, %.2fs trace wall"
+    s.traced
+    (if s.traced = 1 then "" else "s")
+    s.trace_hits
+    (if s.trace_hits = 1 then "" else "s")
+    s.trace_merged s.trace_wall_s;
   if s.failed > 0 then Fmt.pf ppf ", %d failed" s.failed;
   if s.pruned > 0 then Fmt.pf ppf ", %d pruned" s.pruned;
   if s.rank_total > 0 then
@@ -569,7 +650,7 @@ let solo_cycles ?settings ~(cache : Profile_cache.t) (arch : Arch.t)
   | None ->
       let v =
         match
-          let spec = spec_of ~settings:s c ~stream:0 () in
+          let spec = spec_of ~settings:s ~arch:arch.Arch.name c ~stream:0 () in
           let key =
             Profile_cache.report_key ~arch:arch.Arch.name ~policy:"fifo"
               [ spec ]
@@ -613,12 +694,13 @@ let search ?(jobs = 1) ?pool ?settings ?stats ?cache
       (fun () ->
         (hfuse_report ~settings:s arch c1 c2 fused ~reg_bound).Timing.time_ms)
   in
-  (* phase 2 evaluator: disk-cache probe and trace acquisition run
-     serially on this domain (tracing mutates Memory.t; the cache file
-     I/O and its counters are single-domain too), then the pure
-     Timing.run replays fan out over the pool.  Candidate order is
-     preserved end-to-end, so results are bit-identical to the serial
-     path for any [jobs] and any cache temperature. *)
+  (* phase 2 evaluator: disk-cache probes run serially on this domain
+     (the cache file I/O and its counters are single-domain), missing
+     traces are recorded concurrently in fresh memories (deduped per
+     distinct trace key), then the pure Timing.run replays fan out
+     over the pool.  Candidate order is preserved end-to-end, so
+     results are bit-identical to the serial path for any [jobs] and
+     any cache/store temperature. *)
   let profile_batch (batch : (Hfuse_core.Hfuse.t * Hfuse_core.Search.config) list)
       : float list =
     let t0 = Unix.gettimeofday () in
@@ -655,26 +737,107 @@ let search ?(jobs = 1) ?pool ?settings ?stats ?cache
         keys
     in
     let times = Array.map (Option.value ~default:nan) cached in
-    (* serial trace acquisition for the misses, in candidate order —
-       the same interpretation order as the serial search.  Injected
-       faults (sim_hang) are transient and retried here; a real
-       failure excludes just this candidate. *)
+    (* trace acquisition for the misses: one fresh-memory recording
+       per *distinct* trace key, fanned over the worker pool.
+       Candidates sharing a key — the same partition under different
+       register bounds — are merged onto one recording (the search's
+       deterministic single-flight).  Keys are collected in candidate
+       order and recordings are pure, so results are bit-identical
+       for any [jobs] and any store temperature. *)
+    let t_trace = Unix.gettimeofday () in
+    let store = Settings.trace_store s in
+    let limit_bytes = Settings.trace_limit_bytes s in
+    let tb = s.Settings.trace_blocks in
+    let key_slot : (trace_key, int) Hashtbl.t = Hashtbl.create 16 in
+    let uniq_rev = ref [] and n_uniq = ref 0 and miss_candidates = ref 0 in
+    Array.iteri
+      (fun i (f, (_ : Hfuse_core.Search.config)) ->
+        match cached.(i) with
+        | Some _ -> ()
+        | None ->
+            incr miss_candidates;
+            let k = hfuse_key ~tb c1 c2 f in
+            if not (Hashtbl.mem key_slot k) then begin
+              Hashtbl.add key_slot k !n_uniq;
+              incr n_uniq;
+              uniq_rev := f :: !uniq_rev
+            end)
+      batch;
+    let uniq = Array.of_list (List.rev !uniq_rev) in
+    let skeys =
+      Array.map
+        (fun f ->
+          store_key ~s ~arch:arch.Arch.name
+            ~source:(Hfuse_core.Hfuse.to_source f)
+            (hfuse_key ~tb c1 c2 f))
+        uniq
+    in
+    (* store lookups stay on the coordinating domain (disk I/O and the
+       shared memory tier's counters) *)
+    let have = Array.map (fun k -> Trace_store.find store ~key:k) skeys in
+    let to_record =
+      List.init (Array.length uniq) Fun.id
+      |> List.filter (fun j -> Option.is_none have.(j))
+      |> Array.of_list
+    in
+    let recorded =
+      let go p =
+        Hfuse_parallel.Pool.map_isolated ?fault:s.Settings.fault p
+          (fun j -> record_hfuse ~s c1 c2 uniq.(j))
+          to_record
+      in
+      if Array.length to_record = 0 then [||]
+      else
+        match pool with
+        | Some p -> go p
+        | None -> Hfuse_parallel.Pool.with_pool jobs go
+    in
+    (* an exception that is not a per-candidate profile failure
+       (Out_of_memory, programming errors) still aborts the search,
+       exactly as it did when recording ran inline *)
+    Array.iter
+      (function
+        | Error (fl : Hfuse_parallel.Pool.failure)
+          when not (is_profile_failure fl.f_exn) ->
+            Printexc.raise_with_backtrace fl.f_exn fl.f_backtrace
+        | _ -> ())
+      recorded;
+    let rec_failed : (int, exn) Hashtbl.t = Hashtbl.create 4 in
+    let fresh_traces = ref 0 in
+    (* stores run on the coordinating domain, in key order *)
+    Array.iteri
+      (fun jj j ->
+        match recorded.(jj) with
+        | Ok traces ->
+            incr fresh_traces;
+            Trace_store.add store ?limit_bytes ~key:skeys.(j) traces;
+            have.(j) <- Some traces
+        | Error (fl : Hfuse_parallel.Pool.failure) ->
+            Hashtbl.add rec_failed j fl.f_exn)
+      to_record;
     let miss_specs =
       Array.mapi
         (fun i (f, (cfg : Hfuse_core.Search.config)) ->
           match cached.(i) with
           | Some _ -> None
           | None -> (
-              match
-                Fault.with_retries ~key:i (fun () ->
-                    hfuse_traces ~settings:s c1 c2 f)
-              with
-              | traces -> Some (hfuse_spec f ~reg_bound:cfg.reg_bound ~traces)
-              | exception e when is_profile_failure e ->
-                  times.(i) <- candidate_failed f e;
+              let j = Hashtbl.find key_slot (hfuse_key ~tb c1 c2 f) in
+              match have.(j) with
+              | Some traces ->
+                  Some (hfuse_spec f ~reg_bound:cfg.reg_bound ~traces)
+              | None ->
+                  times.(i) <- candidate_failed f (Hashtbl.find rec_failed j);
                   None))
         batch
     in
+    stats.traced <- stats.traced + !fresh_traces;
+    stats.trace_hits <-
+      stats.trace_hits + (Array.length uniq - Array.length to_record);
+    let merged = !miss_candidates - !n_uniq in
+    stats.trace_merged <- stats.trace_merged + merged;
+    Trace_store.note_merged merged;
+    stats.trace_wall_s <-
+      stats.trace_wall_s +. (Unix.gettimeofday () -. t_trace);
     let miss_idx =
       Array.to_list miss_specs
       |> List.mapi (fun i s -> (i, s))

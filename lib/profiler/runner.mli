@@ -1,18 +1,26 @@
 (** Drives the evaluation's four execution modes — native (parallel
     streams), vertically fused, horizontally fused (searched), and the
-    Naive even partition — through the simulator, with a trace cache so
-    ratio sweeps do not re-interpret unchanged kernels.
+    Naive even partition — through the simulator, with a two-tier
+    trace store ({!Trace_store}) so ratio sweeps do not re-interpret
+    unchanged kernels and warm reruns re-interpret nothing at all.
 
     Profiling launches execute only the traced blocks; the correctness
     entry points ([validate_*]) run whole grids in fresh memory.
 
-    {!search} is a two-phase engine: tracing (which mutates
-    [Gpusim.Memory.t]) stays serial on the calling domain behind the
-    trace cache, while the pure [Timing.run] candidate replays fan out
-    over an OCaml 5 domain pool ([~jobs]) and consult a persistent
-    on-disk profiling cache ({!Profile_cache}, [~cache]).  Results are
-    bit-identical to the serial path for any worker count and any cache
-    temperature. *)
+    Every trace is recorded in a canonical environment — a fresh
+    [Gpusim.Memory.t] holding only the keyed workload — which makes
+    recordings pure functions of their key: they parallelize (each
+    recording task owns its memory), persist on disk, and stay
+    byte-identical to in-search recordings (trace payloads are
+    coalescing analysis results, invariant under buffer renaming).
+
+    {!search} is a two-phase engine: candidates are enumerated and
+    verified serially, missing traces are recorded concurrently
+    (deduped per distinct trace key), and the pure [Timing.run]
+    replays fan out over an OCaml 5 domain pool ([~jobs]) with a
+    persistent on-disk profiling cache ({!Profile_cache}, [~cache]).
+    Results are bit-identical to the serial path for any worker count
+    and any cache/store temperature. *)
 
 (** Blocks whose traces are recorded per profiling launch.  Defaults to
     1 (the paper's one-representative-block methodology) or the
@@ -38,11 +46,12 @@ type configured = {
 val configure :
   Gpusim.Memory.t -> Kernel_corpus.Spec.t -> size:int -> configured
 
-(** Trace-cache key: kernel identity, workload size(s) and block
+(** Trace key: kernel identity, workload size(s) and block
     dimension(s).  Structured — both sizes and both block dimensions of
     a fused pair appear explicitly, so distinct size pairs can never
     collide onto one entry (the old packed encoding could, returning a
-    stale trace). *)
+    stale trace).  {!Trace_store} digests additionally fold in the
+    simulation fuel, the kernel source, and (on disk) the arch. *)
 type trace_key =
   | K_solo of { kernel : string; size : int; block_dim : int; tb : int }
   | K_hfuse of {
@@ -63,20 +72,24 @@ type trace_key =
       tb : int;
     }
 
+(** Drop the in-process memo tiers (trace-store memory, solo/report/
+    time memos); persistent entries survive. *)
 val clear_cache : unit -> unit
 
 (** Dynamic traces of [c] at a block dimension (default: native);
-    cached. *)
+    stored.  [arch] scopes only the persistent trace entry — traces
+    themselves are arch-independent, so the in-memory tier shares
+    them across archs. *)
 val traces_of :
-  ?settings:Settings.t -> configured -> ?block_dim:int -> unit ->
-  Gpusim.Trace.block array
+  ?settings:Settings.t -> ?arch:string -> configured -> ?block_dim:int ->
+  unit -> Gpusim.Trace.block array
 
 val static_smem : Hfuse_core.Kernel_info.t -> int
 
 (** Timing spec for one kernel (building block for custom runs). *)
 val spec_of :
-  ?settings:Settings.t -> configured -> ?block_dim:int -> stream:int ->
-  unit -> Gpusim.Timing.launch_spec
+  ?settings:Settings.t -> ?arch:string -> configured -> ?block_dim:int ->
+  stream:int -> unit -> Gpusim.Timing.launch_spec
 
 (** Native baseline: both kernels via parallel streams (FIFO dispatch). *)
 val native :
@@ -87,12 +100,12 @@ val native :
 val solo :
   ?settings:Settings.t -> Gpusim.Arch.t -> configured -> Gpusim.Timing.report
 
-(** Traces of a horizontally fused kernel (interprets it in profiling
-    mode on first use; cached).  Mutates memory state — call only from
-    the coordinating domain. *)
+(** Traces of a horizontally fused kernel (recorded in a fresh memory
+    on first use; stored).  Single-flighted: concurrent callers of one
+    key share the first recording. *)
 val hfuse_traces :
-  ?settings:Settings.t -> configured -> configured -> Hfuse_core.Hfuse.t ->
-  Gpusim.Trace.block array
+  ?settings:Settings.t -> ?arch:string -> configured -> configured ->
+  Hfuse_core.Hfuse.t -> Gpusim.Trace.block array
 
 (** Launch spec for a fused candidate over already-recorded traces.
     Pure — safe to build and [Timing.run] on any domain. *)
@@ -113,11 +126,11 @@ val vfuse_block_dim : configured -> configured -> int
     @raise Hfuse_core.Fuse_common.Fusion_error when illegal. *)
 val vfuse_generate : configured -> configured -> Hfuse_core.Vfuse.t
 
-(** Launch spec for the vertical baseline over cached traces (records
-    them on first use — coordinating domain only; the spec is pure). *)
+(** Launch spec for the vertical baseline over stored traces (records
+    them in a fresh memory on first use; the spec is pure). *)
 val vfuse_spec :
-  ?settings:Settings.t -> configured -> configured -> Hfuse_core.Vfuse.t ->
-  Gpusim.Timing.launch_spec
+  ?settings:Settings.t -> ?arch:string -> configured -> configured ->
+  Hfuse_core.Vfuse.t -> Gpusim.Timing.launch_spec
 
 val vfuse_report :
   ?settings:Settings.t -> Gpusim.Arch.t -> configured -> configured ->
@@ -148,6 +161,15 @@ type search_stats = {
   mutable max_regret_pct : float;
       (** worst gap between the model's pick and the fastest simulated
           candidate, in percent of the latter (0 when they agree) *)
+  mutable traced : int;
+      (** distinct trace keys freshly recorded (interpreter runs) *)
+  mutable trace_hits : int;
+      (** distinct trace keys answered by the store, memory or disk *)
+  mutable trace_merged : int;
+      (** candidate trace needs deduped onto an already-requested key
+          (register-bound variants of one partition share a trace) *)
+  mutable trace_wall_s : float;
+      (** wall time inside trace acquisition (lookup + record + store) *)
 }
 
 (** A zeroed record — one per server request, passed to {!search}'s

@@ -11,6 +11,7 @@ module Fault = Hfuse_fault.Fault
 type t = {
   trace_blocks : int;
   sim_fuel : int;
+  trace_mem_mb : int;
   cache_dir : string option;
   fault : Fault.plan option;
 }
@@ -20,6 +21,15 @@ let env_positive name ~default =
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some n when n > 0 -> n
+      | _ -> default)
+  | None -> default
+
+(* like [env_positive] but 0 is meaningful ("unbounded") *)
+let env_nonneg name ~default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> n
       | _ -> default)
   | None -> default
 
@@ -41,11 +51,12 @@ let current () =
     trace_blocks = trace_blocks ();
     sim_fuel =
       env_positive "HFUSE_SIM_FUEL" ~default:Gpusim.Launch.default_loop_fuel;
+    trace_mem_mb = env_nonneg "HFUSE_TRACE_MEM_MB" ~default:0;
     cache_dir = Profile_cache.env_dir ();
     fault = Fault.installed ();
   }
 
-let resolve ?trace_blocks:tb ?sim_fuel ?cache_dir ?fault () =
+let resolve ?trace_blocks:tb ?sim_fuel ?trace_mem_mb ?cache_dir ?fault () =
   let d = current () in
   (match tb with
   | Some n when n <= 0 -> invalid_arg "Settings.resolve: need trace_blocks > 0"
@@ -53,9 +64,13 @@ let resolve ?trace_blocks:tb ?sim_fuel ?cache_dir ?fault () =
   (match sim_fuel with
   | Some n when n <= 0 -> invalid_arg "Settings.resolve: need sim_fuel > 0"
   | _ -> ());
+  (match trace_mem_mb with
+  | Some n when n < 0 -> invalid_arg "Settings.resolve: need trace_mem_mb >= 0"
+  | _ -> ());
   {
     trace_blocks = Option.value tb ~default:d.trace_blocks;
     sim_fuel = Option.value sim_fuel ~default:d.sim_fuel;
+    trace_mem_mb = Option.value trace_mem_mb ~default:d.trace_mem_mb;
     cache_dir = (match cache_dir with Some v -> v | None -> d.cache_dir);
     fault = (match fault with Some v -> v | None -> d.fault);
   }
@@ -63,8 +78,16 @@ let resolve ?trace_blocks:tb ?sim_fuel ?cache_dir ?fault () =
 let cache (s : t) : Profile_cache.t =
   Profile_cache.of_dir ?fault:s.fault s.cache_dir
 
+let trace_store (s : t) : Trace_store.t =
+  Trace_store.of_dir ?fault:s.fault s.cache_dir
+
+let trace_limit_bytes (s : t) : int option =
+  if s.trace_mem_mb > 0 then Some (s.trace_mem_mb * 1024 * 1024) else None
+
 let pp ppf (s : t) =
-  Fmt.pf ppf "trace_blocks=%d sim_fuel=%d cache=%s fault=%s" s.trace_blocks
-    s.sim_fuel
+  Fmt.pf ppf "trace_blocks=%d sim_fuel=%d trace_mem=%s cache=%s fault=%s"
+    s.trace_blocks s.sim_fuel
+    (if s.trace_mem_mb > 0 then Printf.sprintf "%dMB" s.trace_mem_mb
+     else "unbounded")
     (match s.cache_dir with Some d -> d | None -> "off")
     (if s.fault = None then "off" else "on")

@@ -12,6 +12,9 @@
 type t = {
   trace_blocks : int;  (** traced blocks per profiling launch *)
   sim_fuel : int;  (** per-warp interpreter loop-fuel watchdog budget *)
+  trace_mem_mb : int;
+      (** byte bound (in MB) on the process-wide in-memory trace
+          store; [0] means unbounded ([HFUSE_TRACE_MEM_MB]) *)
   cache_dir : string option;
       (** persistent profile-cache root; [None] disables the cache *)
   fault : Hfuse_fault.Fault.plan option;
@@ -38,6 +41,7 @@ val current : unit -> t
 val resolve :
   ?trace_blocks:int ->
   ?sim_fuel:int ->
+  ?trace_mem_mb:int ->
   ?cache_dir:string option ->
   ?fault:Hfuse_fault.Fault.plan option ->
   unit ->
@@ -49,5 +53,15 @@ val resolve :
     directory are safe (entries commit by atomic rename). *)
 val cache : t -> Profile_cache.t
 
-(** ["trace_blocks=N sim_fuel=M cache=DIR|off fault=on|off"]. *)
+(** A fresh trace-store handle for these settings: its disk tier lives
+    under [cache_dir/traces/] when [cache_dir] is set, disabled
+    otherwise (the shared in-memory tier always works). *)
+val trace_store : t -> Trace_store.t
+
+(** The memory-tier bound in bytes, or [None] for unbounded
+    ([trace_mem_mb = 0]). *)
+val trace_limit_bytes : t -> int option
+
+(** ["trace_blocks=N sim_fuel=M trace_mem=KMB|unbounded cache=DIR|off
+    fault=on|off"]. *)
 val pp : t Fmt.t

@@ -1,0 +1,408 @@
+(* Persistent, bounded, shared store of recorded block traces.
+
+   PR 6 left the serial trace phase dominating warm searches: every
+   [bench] / [hfuse search] rerun re-interprets the same kernels to
+   re-record the same traces, and the daemon re-traces identical
+   kernels across requests.  This store makes traces behave like the
+   profile cache made times behave: recorded once, shared everywhere.
+
+   Soundness rests on traces being a pure function of their key.  The
+   interpreter's trace payloads are coalescing/bank-conflict *analysis
+   results* (distinct (buffer, sector) counts — see Instr), not
+   addresses, and buffer-id renaming is order-isomorphic for both the
+   coalescer and the L1 sector FIFO; inputs are seeded-deterministic.
+   So a recording made in a fresh memory with only the keyed workload
+   instantiated is byte-identical to one made mid-search — Runner
+   records all traces that way, and warmed-store runs reproduce
+   cold-run results exactly.
+
+   Two tiers:
+
+   - a process-wide in-memory LRU keyed by a digest of everything the
+     trace depends on (kernel identities + sizes + partition + launch
+     geometry + trace-block count + simulation fuel).  One table for
+     the whole process, so concurrent daemon requests share warm
+     traces; an optional byte bound ([Settings.trace_mem_mb]) keeps a
+     long-lived daemon from growing without limit.
+
+   - a per-handle on-disk tier mirroring Profile_cache v2: entries
+     under [<root>/traces/v1/<digest>] with a checksummed one-line
+     header, unique-tmp + atomic-rename commits, and corrupt entries
+     quarantined to [<root>/traces/quarantine/<digest>] and re-recorded.
+     Disk keys additionally fold in the GPU model name and a source
+     digest, so shared directories self-invalidate across archs and
+     kernel-source changes even though trace keys only carry kernel
+     *names*.
+
+   A single-flight table dedups concurrent recordings of one key:
+   the first caller records while the rest wait and share the result
+   (counted in [merges]).  Disk I/O happens outside the lock. *)
+
+module Fault = Hfuse_fault.Fault
+module Trace = Gpusim.Trace
+
+(* bump whenever the key derivation or Trace.encode_blocks changes
+   incompatibly; old entries are simply never looked up again *)
+let version = "v1"
+let magic = "hfuse-traces"
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type key = {
+  mem : string;
+      (** in-memory tier digest: everything the recorded trace is a
+          function of.  Deliberately excludes [arch] — traces are
+          arch-independent (the interpreter takes no device model), so
+          a two-arch sweep records each pair once. *)
+  disk : string;
+      (** on-disk tier digest: [mem]'s inputs plus arch.  Disk entries
+          outlive the process and may be shared across machines, so
+          they pay for defensive splitting the memory tier need not. *)
+}
+
+let digest parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+let keys ~(arch : string) ~(sim_fuel : int) ~(trace_blocks : int)
+    ~(ident : string list) : key =
+  let base =
+    magic :: version
+    :: string_of_int sim_fuel
+    :: string_of_int trace_blocks
+    :: ident
+  in
+  { mem = digest base; disk = digest (arch :: base) }
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide tally                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type tally = {
+  mem_hits : int;
+  disk_hits : int;
+  recorded : int;  (** fresh recordings added to the store *)
+  stores : int;  (** on-disk entry writes *)
+  corrupt : int;  (** on-disk entries quarantined *)
+  evictions : int;  (** memory-tier entries dropped by the LRU bound *)
+  merges : int;  (** recordings saved by single-flight / batch dedup *)
+}
+
+let c_mem_hits = Atomic.make 0
+let c_disk_hits = Atomic.make 0
+let c_recorded = Atomic.make 0
+let c_stores = Atomic.make 0
+let c_corrupt = Atomic.make 0
+let c_evictions = Atomic.make 0
+let c_merges = Atomic.make 0
+
+let tally () =
+  {
+    mem_hits = Atomic.get c_mem_hits;
+    disk_hits = Atomic.get c_disk_hits;
+    recorded = Atomic.get c_recorded;
+    stores = Atomic.get c_stores;
+    corrupt = Atomic.get c_corrupt;
+    evictions = Atomic.get c_evictions;
+    merges = Atomic.get c_merges;
+  }
+
+let reset_tally () =
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [
+      c_mem_hits;
+      c_disk_hits;
+      c_recorded;
+      c_stores;
+      c_corrupt;
+      c_evictions;
+      c_merges;
+    ]
+
+let diff ~(before : tally) ~(after : tally) : tally =
+  {
+    mem_hits = after.mem_hits - before.mem_hits;
+    disk_hits = after.disk_hits - before.disk_hits;
+    recorded = after.recorded - before.recorded;
+    stores = after.stores - before.stores;
+    corrupt = after.corrupt - before.corrupt;
+    evictions = after.evictions - before.evictions;
+    merges = after.merges - before.merges;
+  }
+
+let note_merged n = if n > 0 then ignore (Atomic.fetch_and_add c_merges n)
+
+let pp_tally ppf (t : tally) =
+  Fmt.pf ppf "%d mem hit%s, %d disk hit%s, %d recorded, %d merged"
+    t.mem_hits
+    (if t.mem_hits = 1 then "" else "s")
+    t.disk_hits
+    (if t.disk_hits = 1 then "" else "s")
+    t.recorded t.merges;
+  if t.evictions > 0 then Fmt.pf ppf ", %d evicted" t.evictions;
+  if t.corrupt > 0 then Fmt.pf ppf ", %d quarantined" t.corrupt
+
+(* ------------------------------------------------------------------ *)
+(* Memory tier: process-wide LRU                                        *)
+(* ------------------------------------------------------------------ *)
+
+type mem_entry = {
+  blocks : Trace.block array;
+  bytes : int;
+  mutable stamp : int;  (** last-use tick, for LRU eviction *)
+}
+
+let mem_mutex = Mutex.create ()
+let mem_cond = Condition.create ()
+let mem_tbl : (string, mem_entry) Hashtbl.t = Hashtbl.create 64
+let mem_total = ref 0
+let mem_clock = ref 0
+
+(* keys currently being recorded (single-flight); waiters sleep on
+   [mem_cond] until the recorder publishes or gives up *)
+let in_flight : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+(* test hook: overrides any per-call limit so eviction can be forced
+   with sub-megabyte budgets *)
+let limit_override : int option ref = ref None
+let set_mem_limit_override v = limit_override := v
+
+let mem_entries () = Mutex.protect mem_mutex (fun () -> Hashtbl.length mem_tbl)
+let mem_bytes () = Mutex.protect mem_mutex (fun () -> !mem_total)
+
+let clear_memory () =
+  Mutex.protect mem_mutex (fun () ->
+      Hashtbl.reset mem_tbl;
+      mem_total := 0;
+      mem_clock := 0)
+
+let touch (e : mem_entry) =
+  incr mem_clock;
+  e.stamp <- !mem_clock
+
+(* caller holds [mem_mutex] *)
+let evict_to (limit : int) =
+  while !mem_total > limit && Hashtbl.length mem_tbl > 1 do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k e ->
+        match !victim with
+        | Some (_, v) when v.stamp <= e.stamp -> ()
+        | _ -> victim := Some (k, e))
+      mem_tbl;
+    match !victim with
+    | None -> ()
+    | Some (k, e) ->
+        Hashtbl.remove mem_tbl k;
+        mem_total := !mem_total - e.bytes;
+        ignore (Atomic.fetch_and_add c_evictions 1)
+  done
+
+(* caller holds [mem_mutex].  The just-inserted entry carries the
+   freshest stamp, so it survives its own insertion even when it alone
+   exceeds the bound (the [> 1] guard above); a search can always keep
+   the trace it is about to replay. *)
+let insert_mem ~(limit_bytes : int option) (k : string)
+    (blocks : Trace.block array) : unit =
+  (if not (Hashtbl.mem mem_tbl k) then begin
+     let e = { blocks; bytes = Trace.blocks_bytes blocks; stamp = 0 } in
+     touch e;
+     Hashtbl.add mem_tbl k e;
+     mem_total := !mem_total + e.bytes
+   end);
+  match (!limit_override, limit_bytes) with
+  | Some l, _ | None, Some l -> evict_to l
+  | None, None -> ()
+
+let find_mem (k : string) : Trace.block array option =
+  Mutex.protect mem_mutex (fun () ->
+      match Hashtbl.find_opt mem_tbl k with
+      | Some e ->
+          touch e;
+          ignore (Atomic.fetch_and_add c_mem_hits 1);
+          Some e.blocks
+      | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Disk tier                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  enabled : bool;
+  dir : string;  (** versioned entry directory: [<root>/traces/v1] *)
+  fault : Fault.plan option;
+      (** chaos plan for this handle's corruption draws; [None] falls
+          back to the installed process plan *)
+}
+
+let enabled t = t.enabled
+let dir t = t.dir
+
+let create ?(dir = Profile_cache.default_dir) ?fault () =
+  {
+    enabled = true;
+    dir = Filename.concat (Filename.concat dir "traces") version;
+    fault;
+  }
+
+let disabled () = { enabled = false; dir = ""; fault = None }
+
+let of_dir ?fault = function
+  | Some dir -> create ~dir ?fault ()
+  | None -> disabled ()
+
+let entry_path t k = Filename.concat t.dir k
+let checksum payload = Digest.to_hex (Digest.string payload)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_entry (raw : string) : string option =
+  match String.index_opt raw '\n' with
+  | None -> None
+  | Some nl -> (
+      let header = String.sub raw 0 nl in
+      let payload = String.sub raw (nl + 1) (String.length raw - nl - 1) in
+      match String.split_on_char ' ' header with
+      | [ m; v; d ] when m = magic && v = version && d = checksum payload ->
+          Some payload
+      | _ -> None)
+
+let quarantine_dir t = Filename.concat (Filename.dirname t.dir) "quarantine"
+
+(* same policy as Profile_cache: keep the bytes for post-mortem, get
+   the entry out of the lookup path, recover by re-recording *)
+let quarantine t ~key ~path =
+  ignore (Atomic.fetch_and_add c_corrupt 1);
+  (try
+     Profile_cache.mkdir_p (quarantine_dir t);
+     Sys.rename path (Filename.concat (quarantine_dir t) key)
+   with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ()));
+  if Fault.enabled ?plan:t.fault () then
+    Fault.note_recovered Fault.Cache_corrupt
+
+let find_disk (t : t) (k : string) : Trace.block array option =
+  if not t.enabled then None
+  else
+    let path = entry_path t k in
+    match read_file path with
+    | exception Sys_error _ -> None
+    | raw -> (
+        match parse_entry raw with
+        | None ->
+            quarantine t ~key:k ~path;
+            None
+        | Some payload -> (
+            match Trace.decode_blocks payload with
+            | Some blocks ->
+                ignore (Atomic.fetch_and_add c_disk_hits 1);
+                Some blocks
+            | None ->
+                (* payload passed its digest yet fails to decode: the
+                   format and the checksum disagree — same treatment *)
+                quarantine t ~key:k ~path;
+                None))
+
+let tmp_seq = Atomic.make 0
+
+let store_disk (t : t) (k : string) (payload : string) : unit =
+  if t.enabled then begin
+    Profile_cache.mkdir_p t.dir;
+    let final = entry_path t k in
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" final (Unix.getpid ())
+        (Atomic.fetch_and_add tmp_seq 1)
+    in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Printf.fprintf oc "%s %s %s\n" magic version (checksum payload);
+        output_string oc payload);
+    Sys.rename tmp final;
+    ignore (Atomic.fetch_and_add c_stores 1);
+    (* chaos hook: model a crash that committed a torn entry; drawn
+       from the entry key so the same (seed, key) corrupts on every
+       run regardless of scheduling.  The checksum path recovers it. *)
+    if
+      Fault.enabled ?plan:t.fault ()
+      && Fault.fires ?plan:t.fault Fault.Cache_corrupt ~key:(Hashtbl.hash k)
+    then begin
+      Fault.note_injected Fault.Cache_corrupt;
+      try Unix.truncate final (max 8 (String.length payload / 2))
+      with Unix.Unix_error _ -> ()
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lookup / insert                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let find (t : t) ~(key : key) : Trace.block array option =
+  match find_mem key.mem with
+  | Some _ as hit -> hit
+  | None -> (
+      match find_disk t key.disk with
+      | None -> None
+      | Some blocks ->
+          Mutex.protect mem_mutex (fun () ->
+              (* disk hits enter the memory tier un-bounded here; the
+                 next [add] under a limit rebalances.  Re-check the
+                 table: a racing request may have published already. *)
+              insert_mem ~limit_bytes:None key.mem blocks);
+          Some blocks)
+
+let add (t : t) ?limit_bytes ~(key : key) (blocks : Trace.block array) : unit =
+  ignore (Atomic.fetch_and_add c_recorded 1);
+  Mutex.protect mem_mutex (fun () -> insert_mem ~limit_bytes key.mem blocks);
+  store_disk t key.disk (Trace.encode_blocks blocks)
+
+let get_or_record (t : t) ?limit_bytes ~(key : key)
+    (record : unit -> Trace.block array) : Trace.block array =
+  (* phase 1: memory tier + single-flight arbitration under the lock *)
+  let claimed =
+    Mutex.protect mem_mutex (fun () ->
+        let rec arbitrate ~waited =
+          match Hashtbl.find_opt mem_tbl key.mem with
+          | Some e ->
+              touch e;
+              ignore (Atomic.fetch_and_add c_mem_hits 1);
+              if waited then ignore (Atomic.fetch_and_add c_merges 1);
+              Either.Left e.blocks
+          | None ->
+              if Hashtbl.mem in_flight key.mem then begin
+                Condition.wait mem_cond mem_mutex;
+                arbitrate ~waited:true
+              end
+              else begin
+                Hashtbl.add in_flight key.mem ();
+                Either.Right ()
+              end
+        in
+        arbitrate ~waited:false)
+  in
+  match claimed with
+  | Either.Left blocks -> blocks
+  | Either.Right () ->
+      let release () =
+        Mutex.protect mem_mutex (fun () ->
+            Hashtbl.remove in_flight key.mem;
+            Condition.broadcast mem_cond)
+      in
+      (* phase 2: disk then record, outside the lock.  On failure the
+         claim is released so waiters retry (a deterministic failure
+         simply repeats for them, as it would have serially). *)
+      Fun.protect ~finally:release (fun () ->
+          match find_disk t key.disk with
+          | Some blocks ->
+              Mutex.protect mem_mutex (fun () ->
+                  insert_mem ~limit_bytes key.mem blocks);
+              blocks
+          | None ->
+              let blocks = record () in
+              add t ?limit_bytes ~key blocks;
+              blocks)

@@ -1,0 +1,111 @@
+(** Persistent, bounded, shared store of recorded block traces.
+
+    Traces are a pure function of their key (the interpreter's
+    payloads are coalescing analysis results, not addresses, and the
+    recording environment is a fresh memory with only the keyed
+    workload instantiated — see Runner), so a warmed store reproduces
+    cold-run results bit-for-bit.
+
+    Two tiers: a process-wide in-memory LRU shared by every handle
+    (bounded via [limit_bytes], see {!Settings.trace_mem_mb}), and a
+    per-handle on-disk tier mirroring Profile_cache v2 — checksummed
+    entries under [<root>/traces/v1/<digest>], unique-tmp + rename
+    commits, corrupt entries quarantined and re-recorded.  A
+    single-flight table dedups concurrent recordings of one key. *)
+
+(** Entry-format/version tag baked into paths and keys. *)
+val version : string
+
+(** The two-tier digest pair for one trace identity. *)
+type key = private { mem : string; disk : string }
+
+(** Derive both digests.  [ident] is the rendered trace identity
+    (kernel names, sizes, partition, geometry, plus a source digest);
+    [sim_fuel] and [trace_blocks] always participate (a trace recorded
+    under generous fuel must not mask a timeout under a tight one).
+    [arch] participates only in the disk digest: traces are
+    arch-independent, so the in-memory tier shares them across a
+    two-arch sweep, while long-lived shared directories pay for the
+    defensive split. *)
+val keys :
+  arch:string -> sim_fuel:int -> trace_blocks:int -> ident:string list -> key
+
+type t
+
+(** An enabled store rooted at [dir] (default
+    [Profile_cache.default_dir]); entries live under [dir/traces/v1].
+    [fault] scopes this handle's chaos-corruption draws to an explicit
+    plan; omitted, the installed process plan applies. *)
+val create : ?dir:string -> ?fault:Hfuse_fault.Fault.plan -> unit -> t
+
+(** A store whose disk tier never hits and never writes (the shared
+    memory tier still works). *)
+val disabled : unit -> t
+
+(** Handle from a resolved root: [Some dir] enables, [None] disables. *)
+val of_dir : ?fault:Hfuse_fault.Fault.plan -> string option -> t
+
+val enabled : t -> bool
+
+(** Versioned entry directory (empty for a disabled store). *)
+val dir : t -> string
+
+(** Memory-then-disk lookup.  A disk hit is decoded, verified, and
+    promoted into the memory tier; a checksum- or decode-failing entry
+    is quarantined to [<root>/traces/quarantine/<digest>] and treated
+    as a miss. *)
+val find : t -> key:key -> Gpusim.Trace.block array option
+
+(** Insert a fresh recording: memory tier (evicting past [limit_bytes]
+    if given), then disk.  Counts one [recorded]. *)
+val add :
+  t -> ?limit_bytes:int -> key:key -> Gpusim.Trace.block array -> unit
+
+(** [find] then [record]-and-[add] under single-flight arbitration:
+    when several callers want one absent key, the first records while
+    the rest block and share the result (each counted in [merges]).
+    If the recorder raises, the claim is released and a waiter retries.
+    Disk I/O and recording happen outside the store lock. *)
+val get_or_record :
+  t ->
+  ?limit_bytes:int ->
+  key:key ->
+  (unit -> Gpusim.Trace.block array) ->
+  Gpusim.Trace.block array
+
+(** Drop every memory-tier entry (disk entries survive) — the trace
+    half of [Runner.clear_cache]. *)
+val clear_memory : unit -> unit
+
+(** Test hook: force the memory bound to [Some bytes] regardless of
+    the per-call [limit_bytes] ([None] restores normal behaviour). *)
+val set_mem_limit_override : int option -> unit
+
+(** Memory-tier occupancy, for daemon telemetry and tests. *)
+val mem_entries : unit -> int
+
+val mem_bytes : unit -> int
+
+(** Process-wide cumulative counters (all handles share them, like the
+    pool and fault tallies); [recorded] doubles as the miss count. *)
+type tally = {
+  mem_hits : int;
+  disk_hits : int;
+  recorded : int;
+  stores : int;
+  corrupt : int;
+  evictions : int;
+  merges : int;
+}
+
+val tally : unit -> tally
+val reset_tally : unit -> unit
+
+(** Per-request delta between two snapshots. *)
+val diff : before:tally -> after:tally -> tally
+
+(** Credit [n] recordings saved by batch-level key dedup (the search's
+    deterministic counterpart of the single-flight table). *)
+val note_merged : int -> unit
+
+val pp_tally : tally Fmt.t

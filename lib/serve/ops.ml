@@ -19,6 +19,7 @@ module Runner = Hfuse_profiler.Runner
 module Settings = Hfuse_profiler.Settings
 module Report = Hfuse_profiler.Report
 module Checkpoint = Hfuse_profiler.Checkpoint
+module Trace_store = Hfuse_profiler.Trace_store
 module Fault = Hfuse_fault.Fault
 module Pool = Hfuse_parallel.Pool
 
@@ -281,6 +282,7 @@ let search ?settings ?(checkpoint = Checkpoint.disabled) ?pool
   let cache = Settings.cache s in
   let fault_before = Fault.tally () in
   let pool_before = Pool.tally () in
+  let trace_before = Trace_store.tally () in
   let mem = Gpusim.Memory.create () in
   let c1 = Runner.configure mem p.s_k1 ~size:size1 in
   let c2 = Runner.configure mem p.s_k2 ~size:size2 in
@@ -291,6 +293,9 @@ let search ?settings ?(checkpoint = Checkpoint.disabled) ?pool
   in
   let fault_delta = Fault.diff ~before:fault_before ~after:(Fault.tally ()) in
   let pool_delta = Pool.diff ~before:pool_before ~after:(Pool.tally ()) in
+  let trace_delta =
+    Trace_store.diff ~before:trace_before ~after:(Trace_store.tally ())
+  in
   let b = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "native: %.4f ms\n" native;
@@ -322,6 +327,8 @@ let search ?settings ?(checkpoint = Checkpoint.disabled) ?pool
   let lb = Buffer.create 256 in
   Printf.ksprintf (Buffer.add_string lb) "search: %s\n"
     (Fmt.str "%a" Runner.pp_search_stats stats);
+  Printf.ksprintf (Buffer.add_string lb) "trace store: %s\n"
+    (Fmt.str "%a" Trace_store.pp_tally trace_delta);
   if s.Settings.fault <> None then
     Printf.ksprintf (Buffer.add_string lb) "fault: %s\n"
       (Fmt.str "%a" Fault.pp_tally fault_delta);
@@ -334,6 +341,7 @@ let search ?settings ?(checkpoint = Checkpoint.disabled) ?pool
         [
           ("search", Report.json_of_search_stats stats);
           ("cache", Report.json_of_cache cache);
+          ("trace_store", Report.json_of_trace_tally trace_delta);
           ("pool", json_of_pool_tally pool_delta);
           ("fault", json_of_fault_tally fault_delta);
         ];

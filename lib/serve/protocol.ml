@@ -22,13 +22,14 @@ module Fault = Hfuse_fault.Fault
 type settings_spec = {
   sp_trace_blocks : int option;
   sp_sim_fuel : int option;
+  sp_trace_mem_mb : int option;
   sp_cache_dir : string option option;
   sp_fault : string option option;  (** fault spec string, {!Fault.to_spec} *)
 }
 
 let no_overrides =
-  { sp_trace_blocks = None; sp_sim_fuel = None; sp_cache_dir = None;
-    sp_fault = None }
+  { sp_trace_blocks = None; sp_sim_fuel = None; sp_trace_mem_mb = None;
+    sp_cache_dir = None; sp_fault = None }
 
 type verb = Work of Ops.request_params | Stats | Ping
 
@@ -159,6 +160,7 @@ let settings_of j =
       {
         sp_trace_blocks = int_opt "trace_blocks" s;
         sp_sim_fuel = int_opt "sim_fuel" s;
+        sp_trace_mem_mb = int_opt "trace_mem_mb" s;
         sp_cache_dir = nullable_str_field "cache_dir" s;
         sp_fault = nullable_str_field "fault" s;
       }
@@ -270,7 +272,7 @@ let resolve_settings (sp : settings_spec) : Settings.t =
     | Some (Some spec) -> Some (Fault.plan_of_spec spec)
   in
   Settings.resolve ?trace_blocks:sp.sp_trace_blocks ?sim_fuel:sp.sp_sim_fuel
-    ?cache_dir:sp.sp_cache_dir ?fault ()
+    ?trace_mem_mb:sp.sp_trace_mem_mb ?cache_dir:sp.sp_cache_dir ?fault ()
 
 (* The CLI's capture of its own effective configuration, for shipping
    with a routed request so the daemon reproduces the one-shot
@@ -279,6 +281,7 @@ let spec_of_settings (s : Settings.t) : settings_spec =
   {
     sp_trace_blocks = Some s.Settings.trace_blocks;
     sp_sim_fuel = Some s.Settings.sim_fuel;
+    sp_trace_mem_mb = Some s.Settings.trace_mem_mb;
     sp_cache_dir = Some s.Settings.cache_dir;
     sp_fault = Some (Option.map Fault.to_spec s.Settings.fault);
   }
@@ -357,6 +360,9 @@ let json_of_settings (sp : settings_spec) : (string * Json.t) list =
     @ (match sp.sp_sim_fuel with
       | None -> []
       | Some n -> [ ("sim_fuel", Json.Int n) ])
+    @ (match sp.sp_trace_mem_mb with
+      | None -> []
+      | Some n -> [ ("trace_mem_mb", Json.Int n) ])
     @ (match sp.sp_cache_dir with
       | None -> []
       | Some None -> [ ("cache_dir", Json.Null) ]

@@ -28,6 +28,7 @@ module Json := Hfuse_profiler.Report.Json
 type settings_spec = {
   sp_trace_blocks : int option;
   sp_sim_fuel : int option;
+  sp_trace_mem_mb : int option;
   sp_cache_dir : string option option;
   sp_fault : string option option;
       (** fault spec string ({!Hfuse_fault.Fault.to_spec} syntax) *)

@@ -87,6 +87,7 @@ let stats_outcome t : Ops.outcome =
   let pending = Pool.pending_submits t.pool in
   let pool_tally = Pool.tally () in
   let fault_tally = Fault.tally () in
+  let trace_tally = Hfuse_profiler.Trace_store.tally () in
   let engine = Gpusim.Timing.cumulative_stats () in
   let b = Buffer.create 512 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
@@ -99,6 +100,11 @@ let stats_outcome t : Ops.outcome =
     t.config.queue_limit;
   add "pool: %s\n" (Fmt.str "%a" Pool.pp_tally pool_tally);
   add "fault: %s\n" (Fmt.str "%a" Fault.pp_tally fault_tally);
+  add "trace store: %s (%d entr%s, %d bytes in memory)\n"
+    (Fmt.str "%a" Hfuse_profiler.Trace_store.pp_tally trace_tally)
+    (Hfuse_profiler.Trace_store.mem_entries ())
+    (if Hfuse_profiler.Trace_store.mem_entries () = 1 then "y" else "ies")
+    (Hfuse_profiler.Trace_store.mem_bytes ());
   add "engine: %s\n" (Fmt.str "%a" Gpusim.Timing.pp_engine_stats engine);
   {
     Ops.output = Buffer.contents b;
@@ -115,6 +121,7 @@ let stats_outcome t : Ops.outcome =
           ("verbs", Json.Obj (List.map (fun (v, n) -> (v, Json.Int n)) verbs));
           ("pool", Ops.json_of_pool_tally pool_tally);
           ("fault", Ops.json_of_fault_tally fault_tally);
+          ("trace_store", Report.json_of_trace_tally trace_tally);
           ("engine", Report.json_of_engine_stats engine);
           ( "recent",
             Json.List

@@ -639,6 +639,10 @@ let test_json_stats_roundtrip_nonfinite () =
       rank_agree = 0;
       rank_total = 1;
       max_regret_pct = Float.infinity;
+      traced = 3;
+      trace_hits = 0;
+      trace_merged = 0;
+      trace_wall_s = 0.0;
     }
   in
   let s = Json.to_string (Report.json_of_search_stats stats) in
@@ -701,6 +705,330 @@ let test_search_chaos_identity () =
   Alcotest.(check bool) "corrupted entries quarantined" true
     (Profile_cache.corrupt warm_cache > 0)
 
+(* -- Trace binary codec -------------------------------------------------- *)
+
+module Trace_store = Hfuse_profiler.Trace_store
+module Settings = Hfuse_profiler.Settings
+module Trace = Gpusim.Trace
+module Pool = Hfuse_parallel.Pool
+
+(* build a trace with deliberate capacity slack after [len]: the codec
+   must serialize only the live prefix *)
+let mk_trace codes payloads =
+  let pad a = Array.append a (Array.make 3 max_int) in
+  { Trace.codes = pad codes; payloads = pad payloads; len = Array.length codes }
+
+let mk_blocks () : Trace.block array =
+  [|
+    [|
+      mk_trace [| 0; 1; 2 |] [| 5; -7; 1 lsl 40 |];
+      mk_trace [| 3 |] [| -(1 lsl 40) |];
+    |];
+    [| mk_trace [||] [||] |];
+  |]
+
+let test_trace_codec_roundtrip () =
+  let blocks = mk_blocks () in
+  let enc = Trace.encode_blocks blocks in
+  (match Trace.decode_blocks enc with
+  | None -> Alcotest.fail "decode rejected its own encoding"
+  | Some dec ->
+      Alcotest.(check int) "block count" 2 (Array.length dec);
+      Alcotest.(check int) "warp count" 2 (Array.length dec.(0));
+      Alcotest.(check int) "live prefix only" 3 dec.(0).(0).Trace.len;
+      Alcotest.(check int) "negative payload survives" (-7)
+        dec.(0).(0).Trace.payloads.(1);
+      Alcotest.(check int) "wide payload survives" (1 lsl 40)
+        dec.(0).(0).Trace.payloads.(2);
+      (* decode . encode is a fixed point: re-encoding reproduces every
+         byte, which is what makes warmed stores bit-identical *)
+      Alcotest.(check string) "re-encode byte-identical" enc
+        (Trace.encode_blocks dec));
+  (* malformed inputs answer None, never raise or over-allocate *)
+  List.iter
+    (fun (label, s) ->
+      Alcotest.(check bool) label true (Trace.decode_blocks s = None))
+    [
+      ("empty input", "");
+      ("garbage input", "not a trace");
+      ("truncated input", String.sub enc 0 (String.length enc - 1));
+      ("trailing bytes", enc ^ "\x00");
+    ]
+
+(* -- Trace_store: key derivation ----------------------------------------- *)
+
+let test_trace_store_keys () =
+  let base ?(arch = "1080Ti") ?(sim_fuel = 1000) ?(trace_blocks = 1)
+      ?(ident = [ "hfuse"; "ta"; "3"; "tb"; "5" ]) () =
+    Trace_store.keys ~arch ~sim_fuel ~trace_blocks ~ident
+  in
+  let k = base () in
+  Alcotest.(check bool) "deterministic" true (base () = k);
+  (* fuel: a trace recorded under generous fuel must not mask a timeout
+     under a tight one — both tiers invalidate *)
+  let kf = base ~sim_fuel:2000 () in
+  Alcotest.(check bool) "fuel changes mem digest" true (kf.Trace_store.mem <> k.Trace_store.mem);
+  Alcotest.(check bool) "fuel changes disk digest" true
+    (kf.Trace_store.disk <> k.Trace_store.disk);
+  let kb = base ~trace_blocks:2 () in
+  Alcotest.(check bool) "trace_blocks changes mem digest" true
+    (kb.Trace_store.mem <> k.Trace_store.mem);
+  Alcotest.(check bool) "trace_blocks changes disk digest" true
+    (kb.Trace_store.disk <> k.Trace_store.disk);
+  let ki = base ~ident:[ "hfuse"; "ta"; "4"; "tb"; "5" ] () in
+  Alcotest.(check bool) "identity changes both digests" true
+    (ki.Trace_store.mem <> k.Trace_store.mem
+    && ki.Trace_store.disk <> k.Trace_store.disk);
+  (* arch: traces are arch-independent, so the memory tier shares them
+     across a two-arch sweep; persistent entries split defensively *)
+  let ka = base ~arch:"V100" () in
+  Alcotest.(check string) "arch keeps the mem digest" k.Trace_store.mem
+    ka.Trace_store.mem;
+  Alcotest.(check bool) "arch changes the disk digest" true
+    (ka.Trace_store.disk <> k.Trace_store.disk)
+
+(* -- Trace_store: disk round trip, quarantine, LRU ----------------------- *)
+
+let clear_trace_root root =
+  let rm d =
+    if Sys.file_exists d then
+      Array.iter
+        (fun f ->
+          let p = Filename.concat d f in
+          if not (Sys.is_directory p) then Sys.remove p)
+        (Sys.readdir d)
+  in
+  let traces = Filename.concat root "traces" in
+  rm (Filename.concat traces Trace_store.version);
+  rm (Filename.concat traces "quarantine")
+
+let sf_key tag =
+  Trace_store.keys ~arch:"1080Ti" ~sim_fuel:1000 ~trace_blocks:1
+    ~ident:[ "test"; tag ]
+
+let test_trace_store_roundtrip () =
+  let root = tmp_cache_dir "traces_rt" in
+  clear_trace_root root;
+  Trace_store.clear_memory ();
+  let store = Trace_store.create ~dir:root () in
+  let key = sf_key "rt" in
+  Alcotest.(check bool) "cold miss" true (Trace_store.find store ~key = None);
+  let blocks = mk_blocks () in
+  let before = Trace_store.tally () in
+  Trace_store.add store ~key blocks;
+  (* a second handle over a cold memory tier — as a fresh process would
+     be — answers from disk, byte-identically *)
+  Trace_store.clear_memory ();
+  let store' = Trace_store.create ~dir:root () in
+  (match Trace_store.find store' ~key with
+  | None -> Alcotest.fail "warm disk lookup missed"
+  | Some got ->
+      Alcotest.(check string) "disk round trip byte-identical"
+        (Trace.encode_blocks blocks)
+        (Trace.encode_blocks got));
+  (* ...and the disk hit was promoted into the memory tier *)
+  (match Trace_store.find store' ~key with
+  | Some _ -> ()
+  | None -> Alcotest.fail "promotion into the memory tier failed");
+  let d = Trace_store.diff ~before ~after:(Trace_store.tally ()) in
+  Alcotest.(check int) "one recording" 1 d.Trace_store.recorded;
+  Alcotest.(check int) "one disk store" 1 d.Trace_store.stores;
+  Alcotest.(check int) "one disk hit" 1 d.Trace_store.disk_hits;
+  Alcotest.(check bool) "memory hits counted" true (d.Trace_store.mem_hits >= 1)
+
+let test_trace_store_quarantine () =
+  let root = tmp_cache_dir "traces_q" in
+  clear_trace_root root;
+  Trace_store.clear_memory ();
+  let store = Trace_store.create ~dir:root () in
+  let key = sf_key "quarantine" in
+  let blocks = mk_blocks () in
+  Trace_store.add store ~key blocks;
+  let path = Filename.concat (Trace_store.dir store) key.Trace_store.disk in
+  corrupt_on_disk path;
+  Trace_store.clear_memory ();
+  let before = Trace_store.tally () in
+  Alcotest.(check bool) "corrupt entry is a miss" true
+    (Trace_store.find store ~key = None);
+  let d = Trace_store.diff ~before ~after:(Trace_store.tally ()) in
+  Alcotest.(check int) "one quarantined" 1 d.Trace_store.corrupt;
+  Alcotest.(check bool) "entry moved aside" false (Sys.file_exists path);
+  Alcotest.(check bool) "entry kept for post-mortem" true
+    (Sys.file_exists
+       (Filename.concat
+          (Filename.concat (Filename.concat root "traces") "quarantine")
+          key.Trace_store.disk));
+  (* re-recording heals the store *)
+  Trace_store.add store ~key blocks;
+  Trace_store.clear_memory ();
+  match Trace_store.find store ~key with
+  | None -> Alcotest.fail "healed entry missed"
+  | Some got ->
+      Alcotest.(check string) "healed entry byte-identical"
+        (Trace.encode_blocks blocks)
+        (Trace.encode_blocks got)
+
+let test_trace_store_single_flight () =
+  Trace_store.clear_memory ();
+  let store = Trace_store.disabled () in
+  let key = sf_key "single_flight" in
+  let blocks = mk_blocks () in
+  let recordings = Atomic.make 0 in
+  let before = Trace_store.tally () in
+  let results =
+    Pool.with_pool 4 (fun p ->
+        Pool.map p
+          (fun _ ->
+            Trace_store.get_or_record store ~key (fun () ->
+                Atomic.incr recordings;
+                (* widen the race window: waiters must block on the
+                   claim, not re-record *)
+                Unix.sleepf 0.02;
+                blocks))
+          [| 0; 1; 2; 3 |])
+  in
+  Alcotest.(check int) "exactly one recording ran" 1 (Atomic.get recordings);
+  Array.iter
+    (fun got ->
+      Alcotest.(check string) "every caller shares the recording"
+        (Trace.encode_blocks blocks)
+        (Trace.encode_blocks got))
+    results;
+  let d = Trace_store.diff ~before ~after:(Trace_store.tally ()) in
+  Alcotest.(check int) "store saw one recording" 1 d.Trace_store.recorded
+
+let test_trace_store_lru_eviction () =
+  let root = tmp_cache_dir "traces_lru" in
+  clear_trace_root root;
+  Trace_store.clear_memory ();
+  let store = Trace_store.create ~dir:root () in
+  let blocks = mk_blocks () in
+  let keys = List.map (fun i -> sf_key (Printf.sprintf "lru%d" i)) [ 1; 2; 3 ] in
+  Fun.protect ~finally:(fun () ->
+      Trace_store.set_mem_limit_override None;
+      Trace_store.clear_memory ())
+  @@ fun () ->
+  (* a 1-byte bound: every insertion evicts its predecessor, but the
+     just-inserted entry always survives (a search can keep the trace
+     it is about to replay) *)
+  Trace_store.set_mem_limit_override (Some 1);
+  let before = Trace_store.tally () in
+  List.iter (fun key -> Trace_store.add store ~key blocks) keys;
+  Alcotest.(check int) "bound holds at one entry" 1 (Trace_store.mem_entries ());
+  let d = Trace_store.diff ~before ~after:(Trace_store.tally ()) in
+  Alcotest.(check int) "two evictions" 2 d.Trace_store.evictions;
+  (* an evicted key re-fetches from disk, byte-identically *)
+  match Trace_store.find store ~key:(List.hd keys) with
+  | None -> Alcotest.fail "evicted entry lost (disk refetch missed)"
+  | Some got ->
+      Alcotest.(check string) "refetched entry byte-identical"
+        (Trace.encode_blocks blocks)
+        (Trace.encode_blocks got)
+
+(* -- Runner.search over the trace store ---------------------------------- *)
+
+let search_traced ~jobs ~dir =
+  Runner.clear_cache ();
+  let settings = Settings.resolve ~cache_dir:(Some dir) () in
+  let mem = Memory.create () in
+  let c1 = Runner.configure mem ta_tun ~size:3 in
+  let c2 = Runner.configure mem tb_tun ~size:5 in
+  Runner.search ~jobs ~settings ~cache:(Profile_cache.disabled ()) arch c1 c2
+
+let test_search_trace_store_warm_identity () =
+  let baseline = search_tun ~jobs:1 ~cache:(Profile_cache.disabled ()) in
+  let root = tmp_cache_dir "traces_search" in
+  clear_trace_root root;
+  Runner.reset_search_stats ();
+  let cold = search_traced ~jobs:2 ~dir:root in
+  let cold_stats = Runner.search_stats () in
+  Alcotest.(check bool) "store never changes results" true
+    (sig_of cold = sig_of baseline);
+  Alcotest.(check bool) "cold run records traces" true
+    (cold_stats.Runner.traced > 0);
+  Alcotest.(check int) "cold run hits nothing" 0 cold_stats.Runner.trace_hits;
+  (* register-bound variants of one partition share a trace key: the
+     batch dedups them instead of recording per candidate *)
+  Alcotest.(check bool) "batch dedup merged candidates" true
+    (cold_stats.Runner.trace_merged > 0);
+  (* [search_traced] clears the in-process tiers, so this rerun answers
+     from the persistent store alone — like a fresh process would *)
+  Runner.reset_search_stats ();
+  let warm = search_traced ~jobs:4 ~dir:root in
+  let warm_stats = Runner.search_stats () in
+  Alcotest.(check bool) "warm results identical to cold" true
+    (sig_of warm = sig_of cold);
+  Alcotest.(check bool) "warm best identical" true (best_of warm = best_of cold);
+  Alcotest.(check int) "warm run records nothing" 0 warm_stats.Runner.traced;
+  Alcotest.(check int) "warm run all store hits" cold_stats.Runner.traced
+    warm_stats.Runner.trace_hits;
+  (* an LRU bound tight enough to evict continuously still reproduces
+     the same results (evict-then-refetch identity) *)
+  Fun.protect ~finally:(fun () -> Trace_store.set_mem_limit_override None)
+  @@ fun () ->
+  Trace_store.set_mem_limit_override (Some 1);
+  let bounded = search_traced ~jobs:2 ~dir:root in
+  Alcotest.(check bool) "bounded store identical results" true
+    (sig_of bounded = sig_of cold)
+
+let test_search_trace_chaos_heal () =
+  let baseline = search_tun ~jobs:2 ~cache:(Profile_cache.disabled ()) in
+  Fun.protect ~finally:(fun () ->
+      Fault.clear ();
+      Fault.reset_tally ())
+  @@ fun () ->
+  (match Fault.configure "cache_corrupt:1.0,seed:5" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "configure rejected: %s" e);
+  Fault.reset_tally ();
+  let root = tmp_cache_dir "traces_chaos" in
+  clear_trace_root root;
+  (* every committed trace entry is torn by the chaos hook; lookups
+     quarantine and re-record, and the search never notices *)
+  let cold = search_traced ~jobs:2 ~dir:root in
+  Alcotest.(check bool) "chaos cold identical to baseline" true
+    (sig_of cold = sig_of baseline);
+  Alcotest.(check bool) "trace corruption injected" true
+    (Fault.injected_total () > 0);
+  let before = Trace_store.tally () in
+  let warm = search_traced ~jobs:2 ~dir:root in
+  let d = Trace_store.diff ~before ~after:(Trace_store.tally ()) in
+  Alcotest.(check bool) "chaos warm identical to baseline" true
+    (sig_of warm = sig_of baseline);
+  Alcotest.(check bool) "torn entries quarantined" true
+    (d.Trace_store.corrupt > 0);
+  Alcotest.(check bool) "quarantined entries re-recorded" true
+    (d.Trace_store.recorded > 0);
+  Alcotest.(check bool) "recoveries tallied" true
+    (Fault.recovered_total () > 0)
+
+(* -- run ids fold in the traced-block count ------------------------------- *)
+
+let test_run_id_trace_blocks () =
+  (* same bug class as the fuel fix: profiled times are a function of
+     how many blocks were traced, so a journal recorded at one width
+     must be invisible to a resume at another *)
+  let id_a = Checkpoint.run_id ~trace_blocks:1 ~parts:[ "tb"; "t" ] () in
+  let id_b = Checkpoint.run_id ~trace_blocks:4 ~parts:[ "tb"; "t" ] () in
+  Alcotest.(check bool) "different width, different run id" true (id_a <> id_b);
+  Alcotest.(check string) "same width, same run id" id_a
+    (Checkpoint.run_id ~trace_blocks:1 ~parts:[ "tb"; "t" ] ());
+  Alcotest.(check string) "default width is one block" id_a
+    (Checkpoint.run_id ~parts:[ "tb"; "t" ] ());
+  let dir = tmp_cache_dir "jnl_tb" in
+  List.iter
+    (fun id ->
+      let f = Filename.concat dir (id ^ ".jnl") in
+      if Sys.file_exists f then Sys.remove f)
+    [ id_a; id_b ];
+  let ck = Checkpoint.open_ ~dir ~run_id:id_a () in
+  Checkpoint.record_time ck ~key:"cand" 1.0;
+  Checkpoint.close ck;
+  let ck_b = Checkpoint.open_ ~dir ~run_id:id_b () in
+  Alcotest.(check int) "changed width: stale journal not reused" 0
+    (Checkpoint.loaded ck_b);
+  Checkpoint.close ck_b
+
 let suite =
   [
     Alcotest.test_case "trace-key size-pair collision (regression)" `Quick
@@ -739,4 +1067,22 @@ let suite =
       test_json_stats_roundtrip_nonfinite;
     Alcotest.test_case "chaos run is bit-identical" `Quick
       test_search_chaos_identity;
+    Alcotest.test_case "trace codec round trip" `Quick
+      test_trace_codec_roundtrip;
+    Alcotest.test_case "trace store key derivation" `Quick
+      test_trace_store_keys;
+    Alcotest.test_case "trace store disk round trip" `Quick
+      test_trace_store_roundtrip;
+    Alcotest.test_case "trace store quarantines torn entries" `Quick
+      test_trace_store_quarantine;
+    Alcotest.test_case "trace recording is single-flight" `Quick
+      test_trace_store_single_flight;
+    Alcotest.test_case "trace store LRU eviction and refetch" `Quick
+      test_trace_store_lru_eviction;
+    Alcotest.test_case "warm trace store reproduces cold search" `Quick
+      test_search_trace_store_warm_identity;
+    Alcotest.test_case "chaos-torn trace store heals" `Quick
+      test_search_trace_chaos_heal;
+    Alcotest.test_case "run id folds in trace blocks" `Quick
+      test_run_id_trace_blocks;
   ]

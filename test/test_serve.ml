@@ -61,6 +61,7 @@ let fuse_request : Protocol.request =
       {
         sp_trace_blocks = Some 2;
         sp_sim_fuel = Some 100000;
+        sp_trace_mem_mb = Some 64;
         sp_cache_dir = Some (Some "/tmp/cache");
         sp_fault = Some (Some "sim_hang:0.25,seed:9");
       };
