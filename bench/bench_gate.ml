@@ -16,7 +16,23 @@
    (search.rank_agree / rank_total / max_regret_pct): when present, the
    model's worst chosen-vs-best regret must stay within --max-regret
    percent (default 2) — the bound that keeps top-K pruned searches
-   honest.  Reports from before the cost model (no such fields) pass. *)
+   honest.  Reports from before the cost model (no such fields) pass.
+
+   Fleet mode: bench_gate --fleet BASELINE.json FRESH.json...
+                          [--min-hit-rate PCT] [--min-throughput N]
+   compares BENCH_fleet.json reports.  FRESH may be several shard
+   reports: their rows must partition the baseline's exactly — every
+   baseline index covered once, no overlap, no strays — and each row's
+   deterministic fields (pair, domain, status, output digest, times,
+   speedup) must match byte-for-byte, which is how CI enforces
+   bit-identical results across shard counts, -j and cache
+   temperature.  Corpus digests must agree (different corpus,
+   incomparable rows).  Every fresh report must report zero
+   unrecovered faults (fault.unrecovered — failed rows — is the chaos
+   invariant).  --min-hit-rate gates the aggregate profile-cache hit
+   rate (the warm-run scaling check); --min-throughput prints the
+   aggregate searches/min and warns below the floor but never fails —
+   wall clock is not a simulated metric. *)
 
 module Json = Hfuse_profiler.Report.Json
 
@@ -136,17 +152,153 @@ let print_trace_traffic (j : Json.t) : unit =
         (int_of "mem_hits" + int_of "disk_hits")
         (int_of "mem_hits") (int_of "disk_hits") (int_of "merges")
 
+(* ------------------------------------------------------------------ *)
+(* Fleet mode                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The deterministic leaves of one fleet row: everything except wall
+   time, which fleet reports deliberately keep out of rows. *)
+let fleet_row_fields =
+  [ "pair"; "domain"; "status"; "digest"; "native_ms"; "best_ms"; "speedup_pct" ]
+
+let fleet_rows_of path (j : Json.t) : (int * Json.t) list =
+  match member_exn path "rows" j with
+  | Json.List rows ->
+      List.map
+        (fun r ->
+          match member_exn path "i" r with
+          | Json.Int i -> (i, r)
+          | _ -> die "%s: row field \"i\" is not an integer" path)
+        rows
+  | _ -> die "%s: \"rows\" is not a list" path
+
+let fleet_int path key j =
+  match Json.member key j with
+  | Some (Json.Int i) -> i
+  | _ -> die "%s: missing integer field %S" path key
+
+let fleet_str path key j =
+  match Json.member key j with
+  | Some (Json.Str s) -> s
+  | _ -> die "%s: missing string field %S" path key
+
+let run_fleet_gate ~baseline_path ~fresh_paths ~min_hit_rate ~min_throughput =
+  let baseline_json = read_json baseline_path in
+  let baseline = fleet_rows_of baseline_path baseline_json in
+  let base_digest = fleet_str baseline_path "corpus_digest" baseline_json in
+  let drift = ref 0 in
+  let seen : (int, string) Hashtbl.t = Hashtbl.create 1024 in
+  let hits = ref 0 and misses = ref 0 in
+  let throughput = ref 0.0 in
+  List.iter
+    (fun path ->
+      let j = read_json path in
+      let digest = fleet_str path "corpus_digest" j in
+      if digest <> base_digest then
+        die "%s: corpus digest %s differs from baseline %s — incomparable rows"
+          path digest base_digest;
+      let unrecovered =
+        match Json.member "fault" j with
+        | Some f -> fleet_int path "unrecovered" f
+        | None -> die "%s: missing \"fault\" section" path
+      in
+      if unrecovered > 0 then begin
+        incr drift;
+        Printf.printf "FAULT %s: %d unrecovered fault(s) (failed rows)\n" path
+          unrecovered
+      end;
+      (match Json.member "cache" j with
+      | Some c ->
+          hits := !hits + fleet_int path "hits" c;
+          misses := !misses + fleet_int path "misses" c
+      | None -> ());
+      (match
+         Option.bind (Json.member "searches_per_min" j) Json.to_float_opt
+       with
+      | Some t -> throughput := !throughput +. t
+      | None -> ());
+      List.iter
+        (fun (i, row) ->
+          (if Hashtbl.mem seen i then begin
+             incr drift;
+             Printf.printf "OVERLAP row %d: in both %s and %s\n" i
+               (Hashtbl.find seen i) path
+           end);
+          Hashtbl.replace seen i path;
+          match List.assoc_opt i baseline with
+          | None ->
+              incr drift;
+              Printf.printf "DRIFT %s row %d: not in baseline\n" path i
+          | Some base_row ->
+              List.iter
+                (fun field ->
+                  let bv = leaf_to_string (member_exn baseline_path field base_row) in
+                  let fv = leaf_to_string (member_exn path field row) in
+                  if bv <> fv then begin
+                    incr drift;
+                    Printf.printf "DRIFT row %d %s: baseline %s, fresh %s\n" i
+                      field bv fv
+                  end)
+                fleet_row_fields)
+        (fleet_rows_of path j))
+    fresh_paths;
+  (* coverage: the fresh shards must union to exactly the baseline *)
+  List.iter
+    (fun (i, _) ->
+      if not (Hashtbl.mem seen i) then begin
+        incr drift;
+        Printf.printf "MISSING row %d: in baseline but no fresh shard\n" i
+      end)
+    baseline;
+  (match min_hit_rate with
+  | None -> ()
+  | Some floor ->
+      let total = !hits + !misses in
+      let rate =
+        if total = 0 then 0.0
+        else 100.0 *. float_of_int !hits /. float_of_int total
+      in
+      Printf.printf "bench gate: fleet cache hit rate %.1f%% (%d/%d)\n" rate
+        !hits total;
+      if rate < floor then begin
+        incr drift;
+        Printf.printf "HITRATE: %.1f%% below the %.1f%% floor\n" rate floor
+      end);
+  (match min_throughput with
+  | None -> ()
+  | Some floor ->
+      Printf.printf
+        "bench gate: fleet throughput %.1f searches/min (informational%s)\n"
+        !throughput
+        (if !throughput < floor then
+           Printf.sprintf "; below the %.1f floor — NOT gated" floor
+         else ""));
+  if !drift > 0 then begin
+    Printf.printf "bench gate: %d fleet violation(s) across %d fresh row(s)\n"
+      !drift (Hashtbl.length seen);
+    exit 1
+  end;
+  Printf.printf
+    "bench gate: %d fleet row(s) partition the baseline exactly (%d shard \
+     report(s))\n"
+    (Hashtbl.length seen) (List.length fresh_paths)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let usage () =
     die
       "usage: %s BASELINE.json FRESH.json [--pairs A+B,C+D] [--max-regret \
-       PCT]"
-      Sys.executable_name
+       PCT]\n\
+      \       %s --fleet BASELINE.json FRESH.json... [--min-hit-rate PCT] \
+       [--min-throughput N]"
+      Sys.executable_name Sys.executable_name
   in
   let positional = ref [] in
   let pairs_filter = ref None in
   let max_regret = ref 2.0 in
+  let fleet_mode = ref false in
+  let min_hit_rate = ref None in
+  let min_throughput = ref None in
   let rec parse = function
     | [] -> ()
     | "--pairs" :: ps :: rest ->
@@ -157,6 +309,20 @@ let () =
         | Some v when v >= 0.0 -> max_regret := v
         | _ -> die "bench_gate: --max-regret expects a percentage, got %s" p);
         parse rest
+    | "--fleet" :: rest ->
+        fleet_mode := true;
+        parse rest
+    | "--min-hit-rate" :: p :: rest ->
+        (match float_of_string_opt p with
+        | Some v when v >= 0.0 -> min_hit_rate := Some v
+        | _ -> die "bench_gate: --min-hit-rate expects a percentage, got %s" p);
+        parse rest
+    | "--min-throughput" :: p :: rest ->
+        (match float_of_string_opt p with
+        | Some v when v >= 0.0 -> min_throughput := Some v
+        | _ ->
+            die "bench_gate: --min-throughput expects a number, got %s" p);
+        parse rest
     | a :: _ when String.length a > 1 && a.[0] = '-' ->
         die "bench_gate: unknown flag %s" a
     | a :: rest ->
@@ -164,6 +330,14 @@ let () =
         parse rest
   in
   parse args;
+  if !fleet_mode then begin
+    match List.rev !positional with
+    | baseline_path :: (_ :: _ as fresh_paths) ->
+        run_fleet_gate ~baseline_path ~fresh_paths
+          ~min_hit_rate:!min_hit_rate ~min_throughput:!min_throughput;
+        exit 0
+    | _ -> usage ()
+  end;
   let baseline_path, fresh_path =
     match List.rev !positional with [ b; f ] -> (b, f) | _ -> usage ()
   in

@@ -45,7 +45,20 @@
    HFUSE_FAULT) arms the chaos harness, e.g.
    [--fault worker_crash:0.05,cache_corrupt:0.1,sim_hang:0.02]: faults
    are injected deterministically, recovered transparently, and tallied
-   in [fault:]/[pool:] lines; figures are unchanged under any spec. *)
+   in [fault:]/[pool:] lines; figures are unchanged under any spec.
+
+   [fleet] is the corpus-scale soak: every unordered pair of the fleet
+   corpus (extended registry + curated fuzzer-generated kernels), each
+   pair a full Fig. 6 search, deterministically sharded with
+   [--shards N --shard I] and optionally cut to the first [--limit N]
+   pairs.  [--via-server SOCKET] drives a live [hfuse serve] daemon
+   with [-j] concurrent client threads instead of searching
+   in-process; [--out DIR] writes .cu repros of failed pairs;
+   [--resume] journals finished rows (and candidate times) so a killed
+   shard resumes without recomputation.  Per-pair rows are
+   bit-identical across shard counts, [-j], cache temperature, chaos
+   specs and daemon routing — the invariant [bench_gate --fleet]
+   enforces; [--json] writes the BENCH_fleet.json it gates. *)
 
 open Hfuse_profiler
 open Kernel_corpus
@@ -86,6 +99,18 @@ let resume = ref false
 let raw_pairs = ref "all"
 let full_ref = ref false
 let active_checkpoint = ref Checkpoint.disabled
+
+(* fleet subcommand state: sharding, corpus cut, daemon routing.  The
+   profile cache resolves through Settings (the fleet drives the verb
+   engine, which derives its own handles), so --cache/--no-cache are
+   tracked as a cache_dir override here. *)
+let fleet_shards = ref 1
+let fleet_shard = ref 0
+let fleet_limit : int option ref = ref None
+let fleet_size = ref 1
+let fleet_server : string option ref = ref None
+let fleet_out : string option ref = ref None
+let cache_dir_override : string option option ref = ref None
 
 let checkpoint_for (figure : string) : Checkpoint.t =
   if not !resume then Checkpoint.disabled
@@ -282,6 +307,121 @@ let run_ablation () =
     | Some r -> Printf.sprintf "register bound %d" r)
 
 (* ------------------------------------------------------------------ *)
+(* Fleet: corpus-scale sharded soak                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_fleet () =
+  let module Fleet = Hfuse_fleet.Fleet in
+  section
+    (Printf.sprintf "Fleet: corpus-scale fusion-search soak (shard %d/%d)"
+       !fleet_shard !fleet_shards);
+  (* the fleet drives the verb engine, which derives cache/trace-store
+     handles from an explicit settings record *)
+  let settings = Settings.resolve ?cache_dir:!cache_dir_override () in
+  let progress_every = 25 in
+  let on_row ~completed ~total (r : Fleet.row) =
+    if r.Fleet.r_status <> "ok" then
+      say "  [%d/%d] %s: %s" completed total r.Fleet.r_pair r.Fleet.r_status
+    else if completed mod progress_every = 0 || completed = total then
+      say "  [%d/%d] %s %+.1f%%" completed total r.Fleet.r_pair
+        r.Fleet.r_speedup_pct
+  in
+  let cfg =
+    {
+      Fleet.arch = Gpusim.Arch.gtx1080ti;
+      shards = !fleet_shards;
+      shard = !fleet_shard;
+      limit = !fleet_limit;
+      jobs = !jobs;
+      size = !fleet_size;
+      top_k = !top_k;
+      via_server = !fleet_server;
+      resume = !resume;
+      out_dir = !fleet_out;
+      settings;
+      on_row;
+    }
+  in
+  say "corpus digest %s%s%s" (Hfuse_fleet.Corpus.digest ())
+    (match !fleet_limit with
+    | None -> ""
+    | Some n -> Printf.sprintf ", first %d pairs" n)
+    (match !fleet_server with
+    | None -> ""
+    | Some s -> Printf.sprintf ", via daemon at %s" s);
+  let r = timed "fleet" (fun () -> Fleet.run cfg) in
+  let count st =
+    List.length (List.filter (fun x -> x.Fleet.r_status = st) r.Fleet.rows)
+  in
+  say "%d kernels, %d corpus pairs; shard ran %d rows: %d ok, %d rejected, \
+       %d failed (%d executed, %d resumed)"
+    r.Fleet.kernels r.Fleet.pairs_total
+    (List.length r.Fleet.rows)
+    (count "ok") (count "rejected") (count "failed") r.Fleet.executed
+    r.Fleet.resumed;
+  say "wall %.1fs, %.1f searches/min" r.Fleet.wall_s
+    (if r.Fleet.wall_s > 0.0 then
+       float_of_int r.Fleet.executed /. r.Fleet.wall_s *. 60.0
+     else 0.0);
+  let tget = Fleet.telemetry_get r.Fleet.telemetry in
+  let hits = tget "cache" "hits" and misses = tget "cache" "misses" in
+  if hits + misses > 0 then
+    say "cache: %d hits / %d misses (%.1f%% hit rate), %d stores, %d \
+         quarantined"
+      hits misses
+      (100.0 *. float_of_int hits /. float_of_int (hits + misses))
+      (tget "cache" "stores")
+      (tget "cache" "quarantined");
+  say "trace store: %d mem hits, %d disk hits, %d recorded"
+    (tget "trace_store" "mem_hits")
+    (tget "trace_store" "disk_hits")
+    (tget "trace_store" "recorded");
+  if tget "fault" "injected" > 0 || tget "pool" "retries" > 0 then
+    say "fault: %d injected, %d recovered, %d unrecovered; pool: %d \
+         retries, %d recovered"
+      (tget "fault" "injected")
+      (tget "fault" "recovered")
+      (count "failed")
+      (tget "pool" "retries")
+      (tget "pool" "recovered");
+  (* per-domain speedup distribution over ok rows *)
+  let domains =
+    List.sort_uniq compare (List.map (fun x -> x.Fleet.r_domain) r.Fleet.rows)
+  in
+  say "%-12s %6s %6s %9s %9s %9s" "domain" "pairs" "ok" "min%" "median%"
+    "max%";
+  List.iter
+    (fun d ->
+      let dr =
+        List.filter (fun x -> x.Fleet.r_domain = d) r.Fleet.rows
+      in
+      let ok = List.filter (fun x -> x.Fleet.r_status = "ok") dr in
+      let ss =
+        List.map (fun x -> x.Fleet.r_speedup_pct) ok |> List.sort compare
+      in
+      match ss with
+      | [] ->
+          say "%-12s %6d %6d %9s %9s %9s" d (List.length dr) 0 "-" "-" "-"
+      | _ ->
+          let arr = Array.of_list ss in
+          let n = Array.length arr in
+          let median =
+            if n mod 2 = 1 then arr.(n / 2)
+            else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+          in
+          say "%-12s %6d %6d %+8.1f%% %+8.1f%% %+8.1f%%" d (List.length dr)
+            n arr.(0) median arr.(n - 1))
+    domains;
+  chaos_report ();
+  if !json_out then begin
+    let file = Printf.sprintf "BENCH_fleet.json" in
+    let oc = open_out file in
+    output_string oc (Report.Json.to_string (Fleet.report_json cfg r));
+    close_out oc;
+    say "[json: wrote %s]" file
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Compiler micro-benchmarks (Bechamel)                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -389,9 +529,16 @@ let () =
         cache :=
           Hfuse_profiler.Profile_cache.create
             ?dir:(Sys.getenv_opt "HFUSE_CACHE_DIR") ();
+        cache_dir_override :=
+          Some
+            (Some
+               (Option.value
+                  (Sys.getenv_opt "HFUSE_CACHE_DIR")
+                  ~default:Hfuse_profiler.Profile_cache.default_dir));
         parse_flags rest
     | "--no-cache" :: rest ->
         cache := Hfuse_profiler.Profile_cache.disabled ();
+        cache_dir_override := Some None;
         parse_flags rest
     | "--json" :: rest ->
         json_out := true;
@@ -440,6 +587,40 @@ let () =
             Printf.eprintf "bench: --fault: %s\n" msg;
             exit 2);
         parse_flags rest
+    | "--shards" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> fleet_shards := n
+        | _ ->
+            Printf.eprintf "bench: --shards expects a positive integer, got %s\n" n;
+            exit 2);
+        parse_flags rest
+    | "--shard" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 0 -> fleet_shard := n
+        | _ ->
+            Printf.eprintf "bench: --shard expects a non-negative integer, got %s\n" n;
+            exit 2);
+        parse_flags rest
+    | "--limit" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> fleet_limit := Some n
+        | _ ->
+            Printf.eprintf "bench: --limit expects a positive integer, got %s\n" n;
+            exit 2);
+        parse_flags rest
+    | "--size" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> fleet_size := n
+        | _ ->
+            Printf.eprintf "bench: --size expects a positive integer, got %s\n" n;
+            exit 2);
+        parse_flags rest
+    | "--via-server" :: socket :: rest ->
+        fleet_server := Some socket;
+        parse_flags rest
+    | "--out" :: dir :: rest ->
+        fleet_out := Some dir;
+        parse_flags rest
     | a :: rest -> a :: parse_flags rest
     | [] -> []
   in
@@ -458,13 +639,15 @@ let () =
      | [ "fig9" ] -> run_fig9 ()
      | [ "ablation" ] -> run_ablation ()
      | [ "micro" ] -> run_micro ()
+     | [ "fleet" ] -> run_fleet ()
      | other ->
          Printf.eprintf
            "unknown arguments: %s\n\
-            usage: main.exe [fig7|fig8|fig9|ablation|micro] [--full] [-j N] \
-            [--cache|--no-cache] [--json] [--pairs K1+K2[,..]] \
+            usage: main.exe [fig7|fig8|fig9|ablation|micro|fleet] [--full] \
+            [-j N] [--cache|--no-cache] [--json] [--pairs K1+K2[,..]] \
             [--trace-blocks N] [--resume] [--prune] [--top-k K] \
-            [--fault SPEC]\n"
+            [--fault SPEC] [--shards N --shard I] [--limit N] [--size N] \
+            [--via-server SOCKET] [--out DIR]\n"
            (String.concat " " other);
          exit 2
    with Sys.Break ->

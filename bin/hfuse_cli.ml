@@ -390,25 +390,47 @@ let info_cmd =
 (* -- corpus ------------------------------------------------------------- *)
 
 let corpus_cmd =
-  let run () =
-    Printf.printf "%-11s %-13s %7s %9s %8s\n" "kernel" "kind" "block"
-      "regs" "tunable";
+  let run fleet () =
+    let specs =
+      if fleet then begin
+        Hfuse_fleet.Corpus.install ();
+        Hfuse_fleet.Corpus.all_specs ()
+      end
+      else Kernel_corpus.Registry.all
+    in
+    Printf.printf "%-11s %-13s %9s %6s %8s\n" "kernel" "kind" "block" "regs"
+      "tunable";
     List.iter
       (fun (s : Kernel_corpus.Spec.t) ->
         let x, y, z = s.native_block in
-        Printf.printf "%-11s %-13s %3dx%dx%d %9d %8s\n" s.name
+        Printf.printf "%-11s %-13s %3dx%dx%d %6d %8s\n" s.name
           (Fmt.str "%a" Kernel_corpus.Spec.pp_kind s.kind)
           x y z s.regs
           (match s.tunability with
           | Hfuse_core.Kernel_info.Tunable _ -> "yes"
           | Hfuse_core.Kernel_info.Fixed -> "no"))
-      Kernel_corpus.Registry.all;
-    Printf.printf "\n%d benchmark pairs\n"
-      (List.length Kernel_corpus.Registry.all_pairs)
+      specs;
+    if fleet then begin
+      let n = List.length specs in
+      Printf.printf "\n%d kernels, %d fleet pairs, corpus digest %s\n" n
+        (n * (n - 1) / 2)
+        (Hfuse_fleet.Corpus.digest ())
+    end
+    else
+      Printf.printf "\n%d benchmark pairs\n"
+        (List.length Kernel_corpus.Registry.all_pairs)
+  in
+  let fleet =
+    Arg.(
+      value & flag
+      & info [ "fleet" ]
+          ~doc:
+            "List the whole fleet corpus (extended registry + curated \
+             generated kernels) and its digest instead of the paper's nine.")
   in
   Cmd.v
     (Cmd.info "corpus" ~doc:"List the paper's benchmark kernels.")
-    Term.(const run $ const ())
+    Term.(const run $ fleet $ const ())
 
 (* -- simulate ----------------------------------------------------------- *)
 
@@ -785,6 +807,10 @@ let serve_cmd =
         Printf.eprintf "hfuse: serve: %s\n" msg;
         exit 1
     | t ->
+        (* publish the fleet corpus before accepting requests, so
+           name-based resolution ("k1":"gen007") works and the scan's
+           cost is paid once at startup, not on the first search *)
+        Hfuse_fleet.Corpus.install ();
         let stop _ = Hfuse_serve.Server.request_stop t in
         Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
         Sys.set_signal Sys.sigint (Sys.Signal_handle stop);

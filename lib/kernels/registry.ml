@@ -1,5 +1,10 @@
 (* The benchmark corpus: the paper's 5 deep-learning + 4 crypto kernels
-   (Section IV-A), and the 10 + 6 benchmark pairs formed from them. *)
+   (Section IV-A), and the 10 + 6 benchmark pairs formed from them.
+   Beyond the paper set, [extended] adds the image-processing and
+   segmented-reduction kernels of the fleet corpus, and [register_extra]
+   lets callers (the fleet's curated fuzzer corpus) publish further
+   specs so name-based resolution — the CLI, the daemon protocol —
+   sees them. *)
 
 let all : Spec.t list =
   [
@@ -18,12 +23,31 @@ let deep_learning =
   List.filter (fun (s : Spec.t) -> s.kind = Spec.Deep_learning) all
 
 let crypto = List.filter (fun (s : Spec.t) -> s.kind = Spec.Crypto) all
+let image : Spec.t list = [ Resize.spec; Muladd.spec; Blur3.spec; Rgb2gray.spec ]
+let reduction : Spec.t list = [ Segsum.spec; Segmax.spec ]
+
+(* [all] must stay exactly the paper's nine: the profiler's
+   representative-size probe and every committed figure baseline iterate
+   it. The wider corpus lives here. *)
+let extended = all @ image @ reduction
+
+(* Specs published at runtime (fleet's curated generated kernels), most
+   recent registration first so re-registration shadows. *)
+let extras : Spec.t list ref = ref []
+
+let register_extra (s : Spec.t) =
+  extras :=
+    s
+    :: List.filter
+         (fun (e : Spec.t) ->
+           String.lowercase_ascii e.name <> String.lowercase_ascii s.name)
+         !extras
 
 let find (name : string) : Spec.t option =
   List.find_opt
     (fun (s : Spec.t) ->
       String.lowercase_ascii s.name = String.lowercase_ascii name)
-    all
+    (extended @ !extras)
 
 let find_exn name =
   match find name with
@@ -32,7 +56,7 @@ let find_exn name =
       invalid_arg
         (Fmt.str "unknown kernel %s (known: %a)" name
            Fmt.(list ~sep:comma string)
-           (List.map (fun (s : Spec.t) -> s.name) all))
+           (List.map (fun (s : Spec.t) -> s.name) (extended @ !extras)))
 
 (** All unordered pairs within a kind — the 10 deep-learning and 6 crypto
     benchmark pairs of the evaluation. *)

@@ -1,11 +1,30 @@
 (** The benchmark corpus: the paper's 5 deep-learning + 4 crypto kernels
-    and the 10 + 6 evaluation pairs formed from them (Section IV-A). *)
+    and the 10 + 6 evaluation pairs formed from them (Section IV-A),
+    plus the fleet corpus's image/reduction extensions. *)
 
 val all : Spec.t list
+(** Exactly the paper's nine kernels — the figure suite and the
+    profiler's representative-size probe iterate this list, so it never
+    grows.  The wider corpus is {!extended}. *)
+
 val deep_learning : Spec.t list
 val crypto : Spec.t list
 
-(** Case-insensitive lookup. *)
+val image : Spec.t list
+(** Image-processing patterns: Resize, MulAdd, Blur3, Rgb2gray. *)
+
+val reduction : Spec.t list
+(** Segmented reductions: Segsum, Segmax. *)
+
+val extended : Spec.t list
+(** [all @ image @ reduction] — every hand-written corpus kernel. *)
+
+val register_extra : Spec.t -> unit
+(** Publish a runtime-built spec (the fleet's curated generated
+    kernels) so {!find} resolves it by name.  Re-registering a name
+    replaces the earlier spec. *)
+
+(** Case-insensitive lookup over [extended] and the registered extras. *)
 val find : string -> Spec.t option
 
 (** @raise Invalid_argument with the known names on a miss. *)

@@ -3,7 +3,7 @@
 
 open Gpusim
 
-type kind = Deep_learning | Crypto
+type kind = Deep_learning | Crypto | Image | Reduction | Generated
 
 type t = {
   name : string;
@@ -40,3 +40,6 @@ let kernel_info (t : t) (inst : Workload.instance) : Hfuse_core.Kernel_info.t
 let pp_kind ppf = function
   | Deep_learning -> Fmt.string ppf "deep-learning"
   | Crypto -> Fmt.string ppf "crypto"
+  | Image -> Fmt.string ppf "image"
+  | Reduction -> Fmt.string ppf "reduction"
+  | Generated -> Fmt.string ppf "generated"

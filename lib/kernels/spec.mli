@@ -1,7 +1,12 @@
 (** Common shape of a corpus kernel: CUDA source, calibration data, and
     a workload factory. *)
 
-type kind = Deep_learning | Crypto
+type kind =
+  | Deep_learning  (** the paper's 5 DL kernels *)
+  | Crypto  (** the paper's 4 crypto kernels *)
+  | Image  (** image-processing patterns (resize/mulAdd/blur chains) *)
+  | Reduction  (** segmented reductions *)
+  | Generated  (** curated fuzzer-generated kernels (fleet corpus) *)
 
 type t = {
   name : string;

@@ -268,9 +268,14 @@ let search ?settings ?(checkpoint = Checkpoint.disabled) ?pool
     (p : search_params) : outcome =
   let s = match settings with Some s -> s | None -> Settings.current () in
   let arch = p.s_arch in
-  let sizes = Hfuse_profiler.Experiment.representative_sizes arch in
+  (* the representative-size probe simulates all nine paper kernels; a
+     request that pins both sizes (the fleet driver always does) must
+     not pay for it *)
+  let sizes = lazy (Hfuse_profiler.Experiment.representative_sizes arch) in
   let size_of (spec : Kernel_corpus.Spec.t) o =
-    Option.value o ~default:(Hfuse_profiler.Experiment.size_of sizes spec)
+    match o with
+    | Some s -> s
+    | None -> Hfuse_profiler.Experiment.size_of (Lazy.force sizes) spec
   in
   let size1 = size_of p.s_k1 p.s_size1 and size2 = size_of p.s_k2 p.s_size2 in
   (* per-request counters: a fresh stats record, a fresh cache handle,

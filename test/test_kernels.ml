@@ -16,6 +16,8 @@ let validate (s : Spec.t) ~size () =
   | Ok () -> ()
   | Error e -> Alcotest.failf "%s: %s" s.name e
 
+(* every hand-written kernel — the paper nine AND the fleet extensions —
+   must match its OCaml host reference at two sizes *)
 let corpus_cases =
   List.concat_map
     (fun (s : Spec.t) ->
@@ -23,12 +25,15 @@ let corpus_cases =
         Alcotest.test_case (s.name ^ " @size=1") `Quick (validate s ~size:1);
         Alcotest.test_case (s.name ^ " @size=3") `Slow (validate s ~size:3);
       ])
-    Registry.all
+    Registry.extended
 
 let test_registry_inventory () =
   Alcotest.(check int) "9 kernels" 9 (List.length Registry.all);
   Alcotest.(check int) "5 deep-learning" 5 (List.length Registry.deep_learning);
   Alcotest.(check int) "4 crypto" 4 (List.length Registry.crypto);
+  Alcotest.(check int) "4 image" 4 (List.length Registry.image);
+  Alcotest.(check int) "2 reduction" 2 (List.length Registry.reduction);
+  Alcotest.(check int) "15 extended" 15 (List.length Registry.extended);
   Alcotest.(check int) "10 DL pairs" 10 (List.length Registry.dl_pairs);
   Alcotest.(check int) "6 crypto pairs" 6 (List.length Registry.crypto_pairs);
   Alcotest.(check int) "16 total" 16 (List.length Registry.all_pairs)
@@ -48,7 +53,7 @@ let test_all_typecheck () =
       try Cuda.Typecheck.check_program prog
       with Cuda.Typecheck.Error (msg, _) ->
         Alcotest.failf "%s: %s" s.name msg)
-    Registry.all
+    Registry.extended
 
 let test_tunability_declared () =
   List.iter
@@ -56,10 +61,15 @@ let test_tunability_declared () =
       match (s.kind, s.tunability) with
       | Spec.Deep_learning, Hfuse_core.Kernel_info.Tunable _ -> ()
       | Spec.Crypto, Hfuse_core.Kernel_info.Fixed -> ()
+      (* fleet extensions: image kernels retune like DL; block-per-
+         segment reductions bake blockDim into the tree and stay fixed *)
+      | Spec.Image, Hfuse_core.Kernel_info.Tunable _ -> ()
+      | Spec.Reduction, Hfuse_core.Kernel_info.Fixed -> ()
+      | Spec.Generated, Hfuse_core.Kernel_info.Fixed -> ()
       | _ ->
-          Alcotest.failf "%s: tunability does not match the paper (DL \
-                          tunable, crypto fixed)" s.name)
-    Registry.all
+          Alcotest.failf "%s: tunability does not match its domain (DL/image \
+                          tunable, crypto/reduction/generated fixed)" s.name)
+    Registry.extended
 
 let test_prng_determinism () =
   let a = Prng.create 42 and b = Prng.create 42 in
@@ -92,7 +102,7 @@ let test_workload_determinism () =
         (s.name ^ " deterministic")
         true
         (Memory.equal_snapshot (snap s) (snap s)))
-    Registry.all
+    Registry.extended
 
 let test_crypto_sources_generated () =
   (* the generated crypto sources must parse to exactly one kernel and

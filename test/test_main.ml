@@ -27,4 +27,5 @@ let () =
       ("engine-diff", Test_engine_diff.suite);
       ("fuzz", Test_fuzz.suite);
       ("serve", Test_serve.suite);
+      ("fleet", Test_fleet.suite);
     ]
