@@ -161,6 +161,10 @@ let print_trace_traffic (j : Json.t) : unit =
 let fleet_row_fields =
   [ "pair"; "domain"; "status"; "digest"; "native_ms"; "best_ms"; "speedup_pct" ]
 
+(* Deterministic too, but absent from pre-repair baselines: compare
+   with a [false] default so old baselines stay comparable. *)
+let fleet_row_bool_fields = [ "repaired"; "newly_fusable" ]
+
 let fleet_rows_of path (j : Json.t) : (int * Json.t) list =
   match member_exn path "rows" j with
   | Json.List rows ->
@@ -207,6 +211,30 @@ let run_fleet_gate ~baseline_path ~fresh_paths ~min_hit_rate ~min_throughput =
         Printf.printf "FAULT %s: %d unrecovered fault(s) (failed rows)\n" path
           unrecovered
       end;
+      (* Repair soundness invariant: every oracle-refuted repair must
+         fail closed, so the summed counter must be exactly zero.
+         Absent on pre-repair reports. *)
+      (match Json.member "search" j with
+      | Some search -> (
+          let int_of k =
+            match Json.member k search with Some (Json.Int i) -> i | _ -> 0
+          in
+          match Json.member "repair_unsound" search with
+          | Some (Json.Int u) ->
+              if int_of "repair_attempted" > 0 then
+                Printf.printf
+                  "bench gate: fleet repair %d attempted, %d admitted, %d \
+                   unsound\n"
+                  (int_of "repair_attempted") (int_of "repaired") u;
+              if u > 0 then begin
+                incr drift;
+                Printf.printf
+                  "UNSOUND %s: %d repair(s) refuted by the differential \
+                   oracle\n"
+                  path u
+              end
+          | _ -> ())
+      | None -> ());
       (match Json.member "cache" j with
       | Some c ->
           hits := !hits + fleet_int path "hits" c;
@@ -239,7 +267,21 @@ let run_fleet_gate ~baseline_path ~fresh_paths ~min_hit_rate ~min_throughput =
                     Printf.printf "DRIFT row %d %s: baseline %s, fresh %s\n" i
                       field bv fv
                   end)
-                fleet_row_fields)
+                fleet_row_fields;
+              List.iter
+                (fun field ->
+                  let default_false o =
+                    match Json.member field o with
+                    | Some v -> leaf_to_string v
+                    | None -> "false"
+                  in
+                  let bv = default_false base_row and fv = default_false row in
+                  if bv <> fv then begin
+                    incr drift;
+                    Printf.printf "DRIFT row %d %s: baseline %s, fresh %s\n" i
+                      field bv fv
+                  end)
+                fleet_row_bool_fields)
         (fleet_rows_of path j))
     fresh_paths;
   (* coverage: the fresh shards must union to exactly the baseline *)

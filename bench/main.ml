@@ -110,6 +110,7 @@ let fleet_limit : int option ref = ref None
 let fleet_size = ref 1
 let fleet_server : string option ref = ref None
 let fleet_out : string option ref = ref None
+let fleet_repair = ref false
 let cache_dir_override : string option option ref = ref None
 
 let checkpoint_for (figure : string) : Checkpoint.t =
@@ -335,6 +336,7 @@ let run_fleet () =
       jobs = !jobs;
       size = !fleet_size;
       top_k = !top_k;
+      repair = !fleet_repair;
       via_server = !fleet_server;
       resume = !resume;
       out_dir = !fleet_out;
@@ -364,6 +366,15 @@ let run_fleet () =
        float_of_int r.Fleet.executed /. r.Fleet.wall_s *. 60.0
      else 0.0);
   let tget = Fleet.telemetry_get r.Fleet.telemetry in
+  if !fleet_repair then
+    say "repair: %d attempted, %d admitted, %d unsound; %d rows repaired \
+         (%d newly fusable)"
+      (tget "search" "repair_attempted")
+      (tget "search" "repaired")
+      (tget "search" "repair_unsound")
+      (List.length (List.filter (fun x -> x.Fleet.r_repaired) r.Fleet.rows))
+      (List.length
+         (List.filter (fun x -> x.Fleet.r_newly_fusable) r.Fleet.rows));
   let hits = tget "cache" "hits" and misses = tget "cache" "misses" in
   if hits + misses > 0 then
     say "cache: %d hits / %d misses (%.1f%% hit rate), %d stores, %d \
@@ -621,6 +632,9 @@ let () =
     | "--out" :: dir :: rest ->
         fleet_out := Some dir;
         parse_flags rest
+    | "--repair" :: rest ->
+        fleet_repair := true;
+        parse_flags rest
     | a :: rest -> a :: parse_flags rest
     | [] -> []
   in
@@ -647,7 +661,7 @@ let () =
             [-j N] [--cache|--no-cache] [--json] [--pairs K1+K2[,..]] \
             [--trace-blocks N] [--resume] [--prune] [--top-k K] \
             [--fault SPEC] [--shards N --shard I] [--limit N] [--size N] \
-            [--via-server SOCKET] [--out DIR]\n"
+            [--via-server SOCKET] [--out DIR] [--repair]\n"
            (String.concat " " other);
          exit 2
    with Sys.Break ->

@@ -299,7 +299,7 @@ let vfuse_cmd =
 (* -- check -------------------------------------------------------------- *)
 
 let check_cmd =
-  let run arch f1 f2 d1 d2 smem1 smem2 regs1 regs2 grid =
+  let run arch f1 f2 d1 d2 smem1 smem2 regs1 regs2 grid repair =
     finish
       (route
          (Ops.Check
@@ -312,7 +312,19 @@ let check_cmd =
                     kernel_src_of_file f2 ~block:d2 ~smem:smem2 ~regs:regs2)
                   f2;
               c_grid = grid;
+              c_repair = repair;
             }))
+  in
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "On rejection, run the diagnostic-driven repair engine and \
+             report the transformed kernel's verdict.  Static preview \
+             only: $(b,check) has no workload, so the differential \
+             soundness oracle that gates admission in $(b,search) and \
+             the fleet does not run here.")
   in
   let f1 = Arg.(required & pos 0 (some file) None & info [] ~docv:"K1.cu") in
   let f2 = Arg.(value & pos 1 (some file) None & info [] ~docv:"K2.cu") in
@@ -353,7 +365,7 @@ let check_cmd =
           Exits 1 when any error-severity diagnostic is found.")
     Term.(
       const run $ arch_arg $ f1 $ f2 $ d1 $ d2 $ smem1 $ smem2 $ regs1
-      $ regs2 $ grid_arg)
+      $ regs2 $ grid_arg $ repair)
 
 (* -- info --------------------------------------------------------------- *)
 
@@ -490,7 +502,7 @@ let simulate_cmd =
 
 let search_cmd =
   let run arch (s1 : Kernel_corpus.Spec.t) (s2 : Kernel_corpus.Spec.t) size1
-      size2 emit jobs cache_dir resume top_k () () =
+      size2 emit jobs cache_dir resume top_k repair () () =
     (* the per-request settings record: one env/flag capture up front,
        threaded explicitly (and shipped to the daemon when routed) *)
     let settings = Hfuse_profiler.Settings.resolve ~cache_dir () in
@@ -507,12 +519,16 @@ let search_cmd =
             ~sim_fuel:settings.Hfuse_profiler.Settings.sim_fuel
             ~trace_blocks:settings.Hfuse_profiler.Settings.trace_blocks
             ~parts:
-              [
-                "search"; arch.Gpusim.Arch.name; s1.name;
-                string_of_int (size_of s1 size1); s2.name;
-                string_of_int (size_of s2 size2);
-                prune_id_part top_k;
-              ]
+              ([
+                 "search"; arch.Gpusim.Arch.name; s1.name;
+                 string_of_int (size_of s1 size1); s2.name;
+                 string_of_int (size_of s2 size2);
+                 prune_id_part top_k;
+               ]
+               (* only when enabled: repair adds candidates, so it is
+                  part of a resumable run's identity, but repair-off
+                  ids must keep matching pre-repair journals *)
+              @ if repair then [ "repair" ] else [])
             ()
         in
         let ck = Hfuse_profiler.Checkpoint.open_ ~run_id:id () in
@@ -532,6 +548,7 @@ let search_cmd =
         s_emit = emit;
         s_jobs = jobs;
         s_top_k = top_k;
+        s_repair = repair;
       }
     in
     let outcome =
@@ -553,6 +570,17 @@ let search_cmd =
   let emit =
     Arg.(value & flag & info [ "emit" ] ~doc:"Print the best fused source.")
   in
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "Hand verifier-rejected partitions to the diagnostic-driven \
+             repair engine.  A repaired candidate enters profiling only \
+             after the differential soundness oracle passes (unfused \
+             vs. fused, global memory byte-for-byte); refuted repairs \
+             fail closed back to rejection.")
+  in
   Cmd.v
     (Cmd.info "search"
        ~doc:
@@ -561,7 +589,7 @@ let search_cmd =
     Term.(
       const run $ arch_arg $ kernel_arg "k1" $ kernel_arg "k2"
       $ size_arg "size1" $ size_arg "size2" $ emit $ jobs_arg $ cache_dir_arg
-      $ resume_arg $ prune_arg $ fault_arg $ trace_blocks_arg)
+      $ resume_arg $ prune_arg $ repair $ fault_arg $ trace_blocks_arg)
 
 (* -- model -------------------------------------------------------------- *)
 
@@ -718,7 +746,7 @@ let ptx_cmd =
 (* -- fuzz --------------------------------------------------------------- *)
 
 let fuzz_cmd =
-  let run runs seed jobs out weights_spec max_kernels no_minimize inject =
+  let run runs seed jobs out weights_spec max_kernels no_minimize inject repair =
     let weights =
       match
         Hfuse_fuzz.Gen.weights_of_spec Hfuse_fuzz.Gen.default_weights
@@ -742,6 +770,7 @@ let fuzz_cmd =
         inject =
           (if inject then Some Hfuse_fuzz.Driver.inject_barrier_count
            else None);
+        repair;
       }
     in
     let report = Hfuse_fuzz.Driver.run cfg in
@@ -785,6 +814,15 @@ let fuzz_cmd =
                "Deliberately corrupt fused barrier counts (oracle \
                 meta-test; every fusable case must fail).")
   in
+  let repair =
+    Arg.(value & flag
+         & info [ "repair" ]
+             ~doc:
+               "Feed every rejected pair through the repair engine and \
+                report the serviceable fraction. Repairs the differential \
+                oracle refutes are minimized to repro files and count as \
+                failures.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -793,7 +831,7 @@ let fuzz_cmd =
           Exits non-zero if any case fails.")
     Term.(
       const run $ runs $ seed $ jobs_arg $ out $ weights $ max_kernels
-      $ no_minimize $ inject)
+      $ no_minimize $ inject $ repair)
 
 (* -- serve -------------------------------------------------------------- *)
 

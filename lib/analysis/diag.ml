@@ -40,18 +40,51 @@ let is_clean ds = not (List.exists is_error ds)
     [Error]; warnings alone never raise. *)
 let raise_if_unsafe ds = if not (is_clean ds) then raise (Unsafe_fusion ds)
 
+(* Stable machine-parsable tag per diagnostic kind.  The repair engine
+   keys its strategy table on these, report lines carry them in
+   brackets, and the rejection histograms use them as JSON field
+   suffixes — treat the vocabulary as a wire format. *)
+let kind_tag = function
+  | Barrier_id_out_of_range _ -> "barrier-id-out-of-range"
+  | Barrier_count_unaligned _ -> "barrier-count-unaligned"
+  | Barrier_count_mismatch _ -> "barrier-count-mismatch"
+  | Barrier_id_collision _ -> "barrier-id-collision"
+  | Full_barrier_in_partition _ -> "full-barrier-in-partition"
+  | Divergent_barrier _ -> "divergent-barrier"
+  | Shared_overlap _ -> "shared-overlap"
+  | Shared_race _ -> "shared-race"
+  | Over_budget _ -> "over-budget"
+
+let all_kind_tags =
+  [
+    "barrier-id-out-of-range";
+    "barrier-count-unaligned";
+    "barrier-count-mismatch";
+    "barrier-id-collision";
+    "full-barrier-in-partition";
+    "divergent-barrier";
+    "shared-overlap";
+    "shared-race";
+    "over-budget";
+  ]
+
 let pp_severity ppf = function
   | Error -> Fmt.string ppf "error"
   | Warning -> Fmt.string ppf "warning"
 
 let pp ppf d = Fmt.pf ppf "%a: %s" pp_severity d.severity d.detail
 
+let pp_tagged ppf d =
+  Fmt.pf ppf "%a[%s]: %s" pp_severity d.severity (kind_tag d.kind) d.detail
+
 (** Multi-line report: one diagnostic per line, errors first, with a
-    closing verdict line. *)
+    closing verdict line.  Each line carries its kind tag in brackets
+    ([error[shared-race]: ...]) so logs and repro headers can be
+    machine-parsed. *)
 let pp_report ppf ds =
   let errs = errors ds in
   let warns = List.filter (fun d -> not (is_error d)) ds in
-  List.iter (fun d -> Fmt.pf ppf "%a@." pp d) (errs @ warns);
+  List.iter (fun d -> Fmt.pf ppf "%a@." pp_tagged d) (errs @ warns);
   match (errs, warns) with
   | [], [] -> Fmt.pf ppf "OK: no fusion-safety issues found@."
   | [], w -> Fmt.pf ppf "OK: no errors (%d warning(s))@." (List.length w)

@@ -47,10 +47,24 @@ val is_clean : t list -> bool
 (** Raise {!Unsafe_fusion} with all diagnostics when any is an error. *)
 val raise_if_unsafe : t list -> unit
 
+(** Stable machine-parsable kebab-case tag for a diagnostic kind
+    (e.g. ["shared-race"]).  Used by report lines, the repair engine's
+    strategy table and the rejection histograms; the vocabulary is a
+    wire format — do not rename tags. *)
+val kind_tag : kind -> string
+
+(** Every tag {!kind_tag} can produce, in declaration order. *)
+val all_kind_tags : string list
+
 val pp_severity : severity Fmt.t
 val pp : t Fmt.t
 
-(** Multi-line report, errors first, with a closing verdict line. *)
+(** Like {!pp} but with the kind tag in brackets after the severity:
+    [error[shared-race]: <detail>]. *)
+val pp_tagged : t Fmt.t
+
+(** Multi-line report, errors first (each line tagged as {!pp_tagged}),
+    with a closing verdict line. *)
 val pp_report : t list Fmt.t
 
 val report_to_string : t list -> string

@@ -44,6 +44,11 @@ val side :
   Cuda.Ast.stmt list ->
   side
 
+(** Static shared memory of the sides: non-dynamic regions plus sized
+    in-body [__shared__] declarations.  Exposed for the repair engine's
+    residency arithmetic. *)
+val static_smem : side list -> int
+
 (** [verify ~threads ~regs ~smem_dynamic sides] checks a fused kernel of
     [threads] threads per block.  Static shared memory is computed from
     the sides' non-dynamic regions and in-body [__shared__]

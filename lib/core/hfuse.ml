@@ -61,7 +61,10 @@ let verify ?limits (t : t) : Hfuse_analysis.Diag.t list =
     {!Hfuse_analysis.Diag.Unsafe_fusion} when the static fusion-safety
     verifier finds an error in the result. *)
 let generate ?(check = true) ?(limits = Occupancy.pascal_volta_limits)
-    (k1 : Kernel_info.t) (k2 : Kernel_info.t) : t =
+    ?(smem_align = 16) (k1 : Kernel_info.t) (k2 : Kernel_info.t) : t =
+  if smem_align <= 0 || smem_align land (smem_align - 1) <> 0 then
+    Fuse_common.fail "shared-memory alignment %d is not a power of two"
+      smem_align;
   let d1 = Kernel_info.threads_per_block k1 in
   let d2 = Kernel_info.threads_per_block k2 in
   if d1 mod 32 <> 0 || d2 mod 32 <> 0 then
@@ -107,7 +110,7 @@ let generate ?(check = true) ?(limits = Occupancy.pascal_volta_limits)
     |> Barrier.replace ~id:bar2 ~count:d2
   in
   (* dynamic shared memory layout: K1 at offset 0, K2 after, aligned *)
-  let off2 = Fuse_common.align_up k1.smem_dynamic 16 in
+  let off2 = Fuse_common.align_up k1.smem_dynamic smem_align in
   let smem_dynamic = off2 + k2.smem_dynamic in
   let dyn_decls =
     if p1.extern_shared = [] && p2.extern_shared = [] then []

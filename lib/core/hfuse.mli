@@ -41,6 +41,11 @@ val info : t -> Kernel_info.t
     [~check:false], the result is run through the static fusion-safety
     verifier and rejected when it finds an error.
 
+    [smem_align] (default 16, a power of two) is the alignment of the
+    second kernel's slice of the unified dynamic shared-memory buffer —
+    the repair engine shrinks it when the inter-kernel padding pushes
+    the fusion over the shared-memory budget.
+
     @raise Fuse_common.Fusion_error when a block dimension is not a
     warp-size multiple, the fused block exceeds the device's block-size
     cap ([limits.max_threads_per_block]), barrier ids are exhausted, or
@@ -50,6 +55,7 @@ val info : t -> Kernel_info.t
 val generate :
   ?check:bool ->
   ?limits:Occupancy.sm_limits ->
+  ?smem_align:int ->
   Kernel_info.t ->
   Kernel_info.t ->
   t

@@ -30,15 +30,23 @@ let pp_config ppf c =
       | Some r -> Fmt.pf ppf ", register bound %d" r)
     c.reg_bound
 
-(** One profiled candidate. *)
-type candidate = { fused : Hfuse.t; config : config; time : float }
+(** One profiled candidate.  [repaired] marks provenance: the partition
+    was first rejected by the verifier, then admitted by the repair
+    engine (and its caller's differential soundness gate). *)
+type candidate = {
+  fused : Hfuse.t;
+  config : config;
+  time : float;
+  repaired : bool;
+}
 
 type result = {
   best : candidate;
   all : candidate list;  (** every profiled candidate, search order *)
   rejected : (Partition.t * Hfuse_analysis.Diag.t list) list;
-      (** partitions the fusion-safety verifier refused (never
-          profiled), with their diagnostics *)
+      (** partitions the fusion-safety verifier refused — and, when a
+          [repair] callback ran, repair could not soundly fix — with
+          their original diagnostics (never profiled) *)
   pruned : (Hfuse.t * config * float) list;
       (** verified candidates the phase-1.5 ranking cut before
           profiling (search order, with their model scores); empty
@@ -46,7 +54,14 @@ type result = {
   scores : float list;
       (** model scores of the profiled candidates, aligned with [all];
           empty when no [rank] callback was supplied *)
+  admitted : int;  (** partitions the verifier accepted directly *)
+  repaired : int;  (** partitions admitted only via repair *)
 }
+
+(** What a [repair] callback hands back when it can fix a rejected
+    partition: the repaired fused kernel (regenerated from transformed
+    inputs) and the register bound the repair forces, if any. *)
+type repair_outcome = { r_fused : Hfuse.t; r_reg_bound : int option }
 
 exception No_valid_partition of string
 
@@ -74,12 +89,28 @@ exception No_valid_partition of string
     @param d0      desired fused block dimension (paper default: 1024 for
                    tunable pairs; for fixed pairs the partition dictates
                    it and [d0] is ignored).
+    @param repair  called on each verifier-rejected partition with the
+                   configured kernels and the diagnostics; returning
+                   [Some outcome] admits the (already re-verified and
+                   soundness-gated) repaired fusion as a candidate with
+                   [repaired = true], [None] keeps the rejection.
+    @param on_reject  called once per finally-rejected partition (after
+                   any [repair] attempt), in search order — the hook the
+                   harness uses to build rejection histograms even when
+                   every partition is rejected and the search raises.
     @raise No_valid_partition when the pair admits no thread-space
            partition (e.g. two fixed kernels whose sum exceeds 1024). *)
 let search ?(limits = Occupancy.pascal_volta_limits)
     ?(profile_batch : ((Hfuse.t * config) list -> float list) option)
     ?(rank : ((Hfuse.t * config) list -> float list) option)
     ?(top_k : int option)
+    ?(repair :
+       (k1:Kernel_info.t ->
+       k2:Kernel_info.t ->
+       Hfuse_analysis.Diag.t list ->
+       repair_outcome option)
+       option)
+    ?(on_reject : (Partition.t -> Hfuse_analysis.Diag.t list -> unit) option)
     ~(profile : Hfuse.t -> reg_bound:int option -> float) ~(d0 : int)
     (k1 : Kernel_info.t) (k2 : Kernel_info.t) : result =
   let partitions =
@@ -95,7 +126,14 @@ let search ?(limits = Occupancy.pascal_volta_limits)
      configurations in search order *)
   let pending = ref [] in
   let rejected = ref [] in
-  let enqueue fused config = pending := (fused, config) :: !pending in
+  let admitted_n = ref 0 and repaired_n = ref 0 in
+  let enqueue ?(repaired = false) fused config =
+    pending := (fused, config, repaired) :: !pending
+  in
+  let reject partition ds =
+    (match on_reject with Some f -> f partition ds | None -> ());
+    rejected := (partition, ds) :: !rejected
+  in
   List.iter
     (fun ({ Partition.d1; d2 } as partition) ->
       let k1c = Kernel_info.with_block_dim k1 d1 in
@@ -104,9 +142,22 @@ let search ?(limits = Occupancy.pascal_volta_limits)
          barriers, shared-memory races, over-budget resources) is
          recorded and never handed to the simulator *)
       match Hfuse.generate ~limits k1c k2c with
-      | exception Hfuse_analysis.Diag.Unsafe_fusion ds ->
-          rejected := (partition, ds) :: !rejected
+      | exception Hfuse_analysis.Diag.Unsafe_fusion ds -> (
+          (* the repair hook gets one shot at a rejected partition; its
+             outcome must already be re-verified and soundness-gated,
+             so a [Some] is admitted as-is (under the forced register
+             bound) and a [None] keeps the rejection *)
+          match repair with
+          | None -> reject partition ds
+          | Some f -> (
+              match f ~k1:k1c ~k2:k2c ds with
+              | Some o ->
+                  incr repaired_n;
+                  enqueue ~repaired:true o.r_fused
+                    { partition; reg_bound = o.r_reg_bound }
+              | None -> reject partition ds))
       | fused -> (
+          incr admitted_n;
           (* line 8: the unbounded variant *)
           enqueue fused { partition; reg_bound = None };
           (* lines 13-17: compute r0 for the bounded variant *)
@@ -144,11 +195,12 @@ let search ?(limits = Occupancy.pascal_volta_limits)
      search order, and preserve search order among the survivors so
      phase 2 and the [best] tie-breaking are unchanged. *)
   let n = List.length pending in
+  let pairs_of ps = List.map (fun (fused, config, _) -> (fused, config)) ps in
   let scores =
     match rank with
     | None -> []
     | Some f ->
-        let ss = f pending in
+        let ss = f (pairs_of pending) in
         if List.length ss <> n then
           invalid_arg
             (Fmt.str
@@ -179,7 +231,7 @@ let search ?(limits = Occupancy.pascal_volta_limits)
             kept_scores := sarr.(i) :: !kept_scores
           end
           else
-            let fused, config = parr.(i) in
+            let fused, config, _ = parr.(i) in
             cut := (fused, config, sarr.(i)) :: !cut
         done;
         (!kept, !kept_scores, !cut)
@@ -190,7 +242,7 @@ let search ?(limits = Occupancy.pascal_volta_limits)
   let times =
     match profile_batch with
     | Some f ->
-        let ts = f pending in
+        let ts = f (pairs_of pending) in
         if List.length ts <> List.length pending then
           invalid_arg
             (Fmt.str
@@ -200,19 +252,30 @@ let search ?(limits = Occupancy.pascal_volta_limits)
         ts
     | None ->
         List.map
-          (fun (fused, config) -> profile fused ~reg_bound:config.reg_bound)
+          (fun (fused, config, _) ->
+            profile fused ~reg_bound:config.reg_bound)
           pending
   in
   let all =
-    List.map2 (fun (fused, config) time -> { fused; config; time }) pending
-      times
+    List.map2
+      (fun (fused, config, repaired) time ->
+        { fused; config; time; repaired })
+      pending times
   in
   let best =
     List.fold_left
       (fun best c -> if c.time < best.time then c else best)
       (List.hd all) (List.tl all)
   in
-  { best; all; rejected; pruned; scores }
+  {
+    best;
+    all;
+    rejected;
+    pruned;
+    scores;
+    admitted = !admitted_n;
+    repaired = !repaired_n;
+  }
 
 (** The Naive variant of the evaluation: even partition, no profiling,
     no register bound. *)

@@ -11,14 +11,23 @@ type config = { partition : Partition.t; reg_bound : int option }
 
 val pp_config : config Fmt.t
 
-type candidate = { fused : Hfuse.t; config : config; time : float }
+(** One profiled candidate.  [repaired] marks provenance: the partition
+    was first rejected by the verifier, then admitted by the repair
+    engine (and its caller's differential soundness gate). *)
+type candidate = {
+  fused : Hfuse.t;
+  config : config;
+  time : float;
+  repaired : bool;
+}
 
 type result = {
   best : candidate;
   all : candidate list;  (** every profiled candidate, in search order *)
   rejected : (Partition.t * Hfuse_analysis.Diag.t list) list;
-      (** partitions the fusion-safety verifier refused (never
-          profiled), with their diagnostics *)
+      (** partitions the fusion-safety verifier refused — and, when a
+          [repair] callback ran, repair could not soundly fix — with
+          their original diagnostics (never profiled) *)
   pruned : (Hfuse.t * config * float) list;
       (** verified candidates the phase-1.5 ranking cut before
           profiling (search order, with their model scores); empty
@@ -26,7 +35,14 @@ type result = {
   scores : float list;
       (** model scores of the profiled candidates, aligned with [all];
           empty when no [rank] callback was supplied *)
+  admitted : int;  (** partitions the verifier accepted directly *)
+  repaired : int;  (** partitions admitted only via repair *)
 }
+
+(** What a [repair] callback hands back when it can fix a rejected
+    partition: the repaired fused kernel (regenerated from transformed
+    inputs) and the register bound the repair forces, if any. *)
+type repair_outcome = { r_fused : Hfuse.t; r_reg_bound : int option }
 
 exception No_valid_partition of string
 
@@ -69,6 +85,19 @@ exception No_valid_partition of string
            bit-identical to the exhaustive one.
     @param d0 desired fused block dimension (1024 for tunable pairs;
            ignored when both kernels are fixed).
+    @param repair called on each verifier-rejected partition with the
+           kernels configured at the partition's block dimensions and
+           the rejection diagnostics.  Returning [Some outcome] admits
+           the repaired fusion as a candidate with [repaired = true]
+           and the outcome's register bound; [None] keeps the
+           rejection.  The callback is responsible for re-verification
+           AND for the differential soundness gate — the search admits
+           its outcome as-is.
+    @param on_reject called once per finally-rejected partition (after
+           any [repair] attempt), in search order.  Unlike
+           [result.rejected], this also fires when every partition is
+           rejected and the search raises {!No_valid_partition} —
+           the hook the harness's rejection histograms rely on.
     @raise No_valid_partition when the pair admits no partition, or
            the verifier rejects every partition. *)
 val search :
@@ -76,6 +105,12 @@ val search :
   ?profile_batch:((Hfuse.t * config) list -> float list) ->
   ?rank:((Hfuse.t * config) list -> float list) ->
   ?top_k:int ->
+  ?repair:
+    (k1:Kernel_info.t ->
+    k2:Kernel_info.t ->
+    Hfuse_analysis.Diag.t list ->
+    repair_outcome option) ->
+  ?on_reject:(Partition.t -> Hfuse_analysis.Diag.t list -> unit) ->
   profile:(Hfuse.t -> reg_bound:int option -> float) ->
   d0:int ->
   Kernel_info.t ->

@@ -44,6 +44,11 @@ type row = {
   r_native_ms : float;
   r_best_ms : float;
   r_speedup_pct : float;
+  r_repaired : bool;
+      (** the search admitted at least one partition via repair *)
+  r_newly_fusable : bool;
+      (** every admitted candidate came through repair — without it the
+          verifier would have rejected the whole pair *)
 }
 
 type config = {
@@ -54,6 +59,9 @@ type config = {
   jobs : int;
   size : int;  (** workload size for hand-written kernels *)
   top_k : int option;
+  repair : bool;
+      (** attempt diagnostic-driven repair of verifier-rejected
+          partitions (admission stays behind the differential oracle) *)
   via_server : string option;  (** socket path: drive a live daemon *)
   resume : bool;
   out_dir : string option;  (** write [.cu] repros of failed pairs here *)
@@ -70,6 +78,7 @@ let default_config () : config =
     jobs = 1;
     size = 1;
     top_k = None;
+    repair = false;
     via_server = None;
     resume = false;
     out_dir = None;
@@ -149,7 +158,7 @@ let run_id (cfg : config) : string =
     ~sim_fuel:cfg.settings.Settings.sim_fuel
     ~trace_blocks:cfg.settings.Settings.trace_blocks
     ~parts:
-      [
+      ([
         "fleet";
         Corpus.digest ();
         cfg.arch.Gpusim.Arch.name;
@@ -162,6 +171,9 @@ let run_id (cfg : config) : string =
         | Some k -> "top" ^ string_of_int k);
         Printf.sprintf "shard%d.%d" cfg.shard cfg.shards;
       ]
+      (* appended only when enabled, so every pre-repair journal id —
+         and every repair-off id minted by this version — is unchanged *)
+      @ (if cfg.repair then [ "repair" ] else []))
     ()
 
 let json_of_row (r : row) : Json.t =
@@ -175,6 +187,8 @@ let json_of_row (r : row) : Json.t =
       ("native_ms", Json.Float r.r_native_ms);
       ("best_ms", Json.Float r.r_best_ms);
       ("speedup_pct", Json.Float r.r_speedup_pct);
+      ("repaired", Json.Bool r.r_repaired);
+      ("newly_fusable", Json.Bool r.r_newly_fusable);
     ]
 
 let row_of_json (j : Json.t) : row option =
@@ -193,6 +207,15 @@ let row_of_json (j : Json.t) : row option =
           r_native_ms = Option.value (num "native_ms") ~default:0.0;
           r_best_ms = Option.value (num "best_ms") ~default:0.0;
           r_speedup_pct = Option.value (num "speedup_pct") ~default:0.0;
+          (* absent in pre-repair journals: those rows never repaired *)
+          r_repaired =
+            (match Json.member "repaired" j with
+            | Some (Json.Bool b) -> b
+            | _ -> false);
+          r_newly_fusable =
+            (match Json.member "newly_fusable" j with
+            | Some (Json.Bool b) -> b
+            | _ -> false);
         }
   | _ -> None
 
@@ -251,13 +274,16 @@ let params_for (cfg : config) (p : pair) : Ops.search_params =
     s_emit = false;
     s_jobs = cfg.jobs;
     s_top_k = cfg.top_k;
+    s_repair = cfg.repair;
   }
 
-(* Parse the deterministic search output: the native baseline and the
-   best candidate's time.  The same text arrives from the in-process
-   engine and from the daemon (byte-identical by the PR 7 contract), so
-   rows agree across modes by construction. *)
-let parse_output (output : string) : (float * float) option =
+(* Parse the deterministic search output: the native baseline, the best
+   candidate's time, and — under [--repair] — the repair summary line
+   ("repaired: N partition(s), rejected: M[, newly fusable]").  The same
+   text arrives from the in-process engine and from the daemon
+   (byte-identical by the PR 7 contract), so rows agree across modes by
+   construction. *)
+let parse_output (output : string) : (float * float * bool * bool) option =
   let lines = String.split_on_char '\n' output in
   let tokens l =
     String.split_on_char ' ' l |> List.filter (fun s -> s <> "")
@@ -278,6 +304,18 @@ let parse_output (output : string) : (float * float) option =
         | _ -> None)
       lines
   in
+  let repaired, newly_fusable =
+    List.find_map
+      (fun l ->
+        match tokens l with
+        | "repaired:" :: n :: rest ->
+            Option.map
+              (fun n -> (n > 0, List.exists (String.equal "fusable") rest))
+              (int_of_string_opt n)
+        | _ -> None)
+      lines
+    |> Option.value ~default:(false, false)
+  in
   match (native, best_key) with
   | Some native, Some (part, cfgs) ->
       let best_time =
@@ -289,12 +327,12 @@ let parse_output (output : string) : (float * float) option =
             | _ -> None)
           lines
       in
-      Option.map (fun t -> (native, t)) best_time
+      Option.map (fun t -> (native, t, repaired, newly_fusable)) best_time
   | _ -> None
 
 let row_of_output (p : pair) (output : string) : row =
   match parse_output output with
-  | Some (native, best) ->
+  | Some (native, best, repaired, newly_fusable) ->
       {
         r_index = p.p_index;
         r_pair = p.p_k1.Spec.name ^ "+" ^ p.p_k2.Spec.name;
@@ -304,6 +342,8 @@ let row_of_output (p : pair) (output : string) : row =
         r_native_ms = native;
         r_best_ms = best;
         r_speedup_pct = 100.0 *. ((native /. best) -. 1.0);
+        r_repaired = repaired;
+        r_newly_fusable = newly_fusable;
       }
   | None ->
       {
@@ -315,6 +355,8 @@ let row_of_output (p : pair) (output : string) : row =
         r_native_ms = 0.0;
         r_best_ms = 0.0;
         r_speedup_pct = 0.0;
+        r_repaired = false;
+        r_newly_fusable = false;
       }
 
 let status_row (p : pair) status : row =
@@ -327,6 +369,8 @@ let status_row (p : pair) status : row =
     r_native_ms = 0.0;
     r_best_ms = 0.0;
     r_speedup_pct = 0.0;
+    r_repaired = false;
+    r_newly_fusable = false;
   }
 
 let write_repro (cfg : config) (p : pair) ~(detail : string) =
@@ -598,6 +642,7 @@ let domain_stats (rows : row list) : Json.t =
                  ("speedup_max", Json.Float arr.(n - 1));
                ]
          in
+         let flag f = List.length (List.filter f dr) in
          Json.Obj
            ([
               ("domain", Json.Str d);
@@ -605,6 +650,9 @@ let domain_stats (rows : row list) : Json.t =
               ("ok", Json.Int (List.length ok));
               ("rejected", Json.Int (count "rejected"));
               ("failed", Json.Int (count "failed"));
+              ("repaired", Json.Int (flag (fun r -> r.r_repaired)));
+              ( "newly_fusable",
+                Json.Int (flag (fun r -> r.r_newly_fusable)) );
             ]
            @ stats))
        domains)
@@ -632,7 +680,14 @@ let report_json (cfg : config) (r : result) : Json.t =
       ("via_server", Json.Bool (cfg.via_server <> None));
       ( "top_k",
         match cfg.top_k with None -> Json.Null | Some k -> Json.Int k );
+      ("repair", Json.Bool cfg.repair);
       ("rows_run", Json.Int (List.length r.rows));
+      ( "rows_repaired",
+        Json.Int
+          (List.length (List.filter (fun x -> x.r_repaired) r.rows)) );
+      ( "rows_newly_fusable",
+        Json.Int
+          (List.length (List.filter (fun x -> x.r_newly_fusable) r.rows)) );
       ("executed", Json.Int r.executed);
       ("resumed", Json.Int r.resumed);
       ("wall_s", Json.Float r.wall_s);
@@ -641,10 +696,17 @@ let report_json (cfg : config) (r : result) : Json.t =
           (if r.wall_s > 0.0 then float_of_int r.executed /. r.wall_s *. 60.0
            else 0.0) );
       section "search"
-        [
-          "profiled"; "cache_hits"; "failed"; "ranked"; "pruned"; "traced";
-          "trace_hits"; "trace_merged";
-        ];
+        ([
+           "profiled"; "cache_hits"; "failed"; "ranked"; "pruned"; "traced";
+           "trace_hits"; "trace_merged"; "repair_attempted"; "repaired";
+           "repair_unsound";
+         ]
+         (* per-kind rejection histogram, summed across every search of
+            the shard (the flat [rej_<tag>] fields of the per-request
+            telemetry); fixed field set keeps the report shape stable *)
+        @ List.map
+            (fun tag -> "rej_" ^ tag)
+            Hfuse_analysis.Diag.all_kind_tags);
       section "cache" [ "hits"; "misses"; "stores"; "quarantined" ];
       section "trace_store"
         [ "mem_hits"; "disk_hits"; "recorded"; "quarantined" ];

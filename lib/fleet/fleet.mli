@@ -24,6 +24,12 @@ type row = {
   r_native_ms : float;
   r_best_ms : float;
   r_speedup_pct : float;
+  r_repaired : bool;
+      (** the search admitted at least one partition via the repair
+          engine (always [false] without [config.repair]) *)
+  r_newly_fusable : bool;
+      (** every admitted candidate came through repair — without it the
+          verifier would have rejected the whole pair *)
 }
 
 type config = {
@@ -34,6 +40,9 @@ type config = {
   jobs : int;  (** local: pool workers; via-server: client threads *)
   size : int;  (** workload size for hand-written kernels *)
   top_k : int option;  (** analytical top-K pruning *)
+  repair : bool;
+      (** attempt diagnostic-driven repair of verifier-rejected
+          partitions; admission stays behind the differential oracle *)
   via_server : string option;  (** socket path: drive a live daemon *)
   resume : bool;  (** journal rows; replay finished pairs on restart *)
   out_dir : string option;  (** write [.cu] repros of failed pairs *)

@@ -1,6 +1,7 @@
 open Cuda
 module Prng = Kernel_corpus.Prng
 module Pool = Hfuse_parallel.Pool
+module Repair = Hfuse_repair.Repair
 
 type config = {
   runs : int;
@@ -12,6 +13,7 @@ type config = {
   minimize : bool;
   shrink_budget : int;
   inject : (Ast.fn -> Ast.fn) option;
+  repair : bool;
 }
 
 let default_config =
@@ -25,6 +27,7 @@ let default_config =
     minimize = true;
     shrink_budget = 2000;
     inject = None;
+    repair = false;
   }
 
 type failure = {
@@ -41,6 +44,9 @@ type report = {
   rejected : int;
   invalid : int;
   failed : int;
+  repair_attempted : int;
+  repaired : int;
+  repair_unsound : int;
   failures : failure list;
   repro_files : string list;
 }
@@ -65,11 +71,24 @@ let inject_barrier_count (fn : Ast.fn) : Ast.fn =
 
 (* ------------------------------------------------------------------ *)
 
+(* Repair applies to pairs only: [Repair.attempt] regenerates through
+   the two-kernel [Hfuse.generate]; multi cases stay unserviced. *)
+let attempt_repair (c : Gen.case) : Hfuse_core.Hfuse.t option =
+  match c.c_kernels with
+  | [ k1; k2 ] -> (
+      match Repair.attempt k1.Gen.g_info k2.Gen.g_info with
+      | Ok (r : Repair.repaired) -> Some r.fused
+      | Error _ | (exception _) -> None)
+  | _ -> None
+
+type repair_status = Repaired | Repair_unsound | Unserviceable
+
 type outcome = {
   o_index : int;
   o_seed : int;
   o_verdict : Oracle.verdict;
-  o_failure : (Repro.t * int) option;
+  o_repair : repair_status option;
+  o_failure : (Oracle.verdict * Repro.t * int) option;
 }
 
 let run_one (cfg : config) index : outcome =
@@ -78,27 +97,74 @@ let run_one (cfg : config) index : outcome =
     Gen.generate_case ~weights:cfg.weights ~max_kernels:cfg.max_kernels ~seed ()
   in
   let verdict = Oracle.run ?inject:cfg.inject case in
+  let shrink keep =
+    if cfg.minimize then Shrink.minimize ~budget:cfg.shrink_budget keep case
+    else (case, 0)
+  in
   let failure =
     match verdict with
     | Oracle.Failed _ ->
         let tag = Oracle.verdict_tag verdict in
         let minimized, attempts =
-          if cfg.minimize then
-            Shrink.minimize ~budget:cfg.shrink_budget
-              (fun cand ->
-                Oracle.verdict_tag (Oracle.run ?inject:cfg.inject cand) = tag)
-              case
-          else (case, 0)
+          shrink (fun cand ->
+              Oracle.verdict_tag (Oracle.run ?inject:cfg.inject cand) = tag)
         in
         let final_verdict = Oracle.run ?inject:cfg.inject minimized in
         Some
-          ( Repro.of_case ~expect:(Oracle.verdict_tag final_verdict)
+          ( verdict,
+            Repro.of_case ~expect:(Oracle.verdict_tag final_verdict)
               ~detail:(Oracle.verdict_to_string final_verdict)
               minimized,
             attempts )
     | _ -> None
   in
-  { o_index = index; o_seed = seed; o_verdict = verdict; o_failure = failure }
+  let repair, failure =
+    match verdict with
+    | Oracle.Rejected _ when cfg.repair -> (
+        match attempt_repair case with
+        | None -> (Some Unserviceable, failure)
+        | Some fused -> (
+            match Oracle.run_repaired case fused with
+            | Oracle.Equivalent -> (Some Repaired, failure)
+            | Oracle.Failed _ as unsound ->
+                (* An oracle-refuted repair is a strategy bug.  Minimize
+                   while the case stays rejected, statically repairable,
+                   and refuted by the differential gate. *)
+                let keeps_unsound cand =
+                  match Oracle.run cand with
+                  | Oracle.Rejected _ -> (
+                      match attempt_repair cand with
+                      | Some fused' ->
+                          Oracle.is_failure (Oracle.run_repaired cand fused')
+                      | None -> false)
+                  | _ -> false
+                in
+                let minimized, attempts = shrink keeps_unsound in
+                let detail =
+                  match attempt_repair minimized with
+                  | Some fused' ->
+                      Oracle.verdict_to_string
+                        (Oracle.run_repaired minimized fused')
+                  | None -> Oracle.verdict_to_string unsound
+                in
+                ( Some Repair_unsound,
+                  Some
+                    ( unsound,
+                      Repro.of_case ~expect:"repair-unsound" ~detail minimized,
+                      attempts ) )
+            | Oracle.Rejected _ | Oracle.Invalid_input _ ->
+                (* the gate could not run (reference itself breaks);
+                   fail closed: the repair is not admitted *)
+                (Some Unserviceable, failure)))
+    | _ -> (None, failure)
+  in
+  {
+    o_index = index;
+    o_seed = seed;
+    o_verdict = verdict;
+    o_repair = repair;
+    o_failure = failure;
+  }
 
 let write_repros out_dir (failures : failure list) : string list =
   if failures = [] then []
@@ -122,16 +188,20 @@ let run (cfg : config) : report =
         Pool.map pool (run_one cfg) (Array.init cfg.runs Fun.id))
   in
   let count p = Array.fold_left (fun n o -> if p o.o_verdict then n + 1 else n) 0 outcomes in
+  let count_repair p =
+    Array.fold_left (fun n o -> if p o.o_repair then n + 1 else n) 0 outcomes
+  in
+  let repair_unsound = count_repair (fun r -> r = Some Repair_unsound) in
   let failures =
     Array.to_list outcomes
     |> List.filter_map (fun o ->
            match o.o_failure with
-           | Some (repro, attempts) ->
+           | Some (verdict, repro, attempts) ->
                Some
                  {
                    fail_seed = o.o_seed;
                    fail_index = o.o_index;
-                   verdict = o.o_verdict;
+                   verdict;
                    repro;
                    shrink_attempts = attempts;
                  }
@@ -147,7 +217,10 @@ let run (cfg : config) : report =
     equivalent = count (fun v -> v = Oracle.Equivalent);
     rejected = count (function Oracle.Rejected _ -> true | _ -> false);
     invalid = count (function Oracle.Invalid_input _ -> true | _ -> false);
-    failed = count Oracle.is_failure;
+    failed = count Oracle.is_failure + repair_unsound;
+    repair_attempted = count_repair (fun r -> r <> None);
+    repaired = count_repair (fun r -> r = Some Repaired);
+    repair_unsound;
     failures;
     repro_files;
   }
@@ -156,6 +229,14 @@ let pp_report ppf (r : report) =
   Fmt.pf ppf
     "@[<v>fuzz: %d runs — %d equivalent, %d rejected, %d invalid, %d FAILED@]"
     r.total r.equivalent r.rejected r.invalid r.failed;
+  if r.repair_attempted > 0 then
+    Fmt.pf ppf
+      "@.  repair: %d/%d rejections serviceable (%.0f%%), %d unsound, %d \
+       unserviceable"
+      r.repaired r.repair_attempted
+      (100.0 *. float_of_int r.repaired /. float_of_int r.repair_attempted)
+      r.repair_unsound
+      (r.repair_attempted - r.repaired - r.repair_unsound);
   List.iter
     (fun f ->
       Fmt.pf ppf "@.  run %d (seed %d): %s (%d-line repro, %d shrink attempts)"

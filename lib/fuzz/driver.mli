@@ -17,6 +17,12 @@ type config = {
   shrink_budget : int;
   inject : (Cuda.Ast.fn -> Cuda.Ast.fn) option;
       (** fault injection on the fused kernel, for oracle meta-tests *)
+  repair : bool;
+      (** feed every [Rejected] pair through {!Hfuse_repair.Repair},
+          gate the result with {!Oracle.run_repaired}, and report the
+          serviceable fraction.  An oracle-refuted repair is a strategy
+          bug: it is minimized, written as a ["repair-unsound"] repro,
+          and counted under [failed]. *)
 }
 
 val default_config : config
@@ -34,7 +40,14 @@ type report = {
   equivalent : int;
   rejected : int;
   invalid : int;
-  failed : int;
+  failed : int;  (** oracle failures plus unsound repairs *)
+  repair_attempted : int;
+      (** rejected pairs fed to the repair engine (0 without
+          [config.repair]; multi-kernel rejections count as
+          unserviceable) *)
+  repaired : int;  (** statically repaired and oracle-equivalent *)
+  repair_unsound : int;
+      (** statically repaired but refuted by the differential gate *)
   failures : failure list;  (** in run order *)
   repro_files : string list;  (** paths written under [out_dir] *)
 }

@@ -212,6 +212,24 @@ let run_fused ?(inject = fun fn -> fn) (c : Gen.case) (fused : Hfuse.t) :
       raise (Stop (Failed (Fused_crash ("runtime error: " ^ msg)))));
   Memory.snapshot mem
 
+let run_repaired (c : Gen.case) (fused : Hfuse.t) : verdict =
+  try
+    if c.c_kernels = [] then Invalid_input "empty case"
+    else begin
+      typecheck_inputs c;
+      roundtrip_fn ~label:"repaired" fused.prog fused.fn;
+      let reference = run_unfused c in
+      let fused_mem = run_fused c fused in
+      if Memory.equal_snapshot reference fused_mem then Equivalent
+      else
+        match diff_snapshots reference fused_mem with
+        | Some (buffer, detail) -> Failed (Mismatch { buffer; detail })
+        | None -> Failed (Mismatch { buffer = "?"; detail = "snapshots differ" })
+    end
+  with
+  | Stop v -> v
+  | e -> Failed (Generate_crash (Printexc.to_string e))
+
 let run ?inject (c : Gen.case) : verdict =
   try
     if c.c_kernels = [] then Invalid_input "empty case"

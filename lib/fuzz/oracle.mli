@@ -46,3 +46,10 @@ val is_failure : verdict -> bool
     injected-bug meta-test uses to prove the oracle catches barrier
     miscounts. *)
 val run : ?inject:(Cuda.Ast.fn -> Cuda.Ast.fn) -> Gen.case -> verdict
+
+(** Differential gate for a {e supplied} fused kernel — the repair
+    engine's admission oracle.  Runs the case's kernels unfused, then
+    the given (repaired) fusion over byte-identical initial memory, and
+    compares final snapshots.  [Equivalent] admits the repair;
+    [Failed _] means the repair strategy is unsound on this case. *)
+val run_repaired : Gen.case -> Hfuse_core.Hfuse.t -> verdict

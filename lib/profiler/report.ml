@@ -434,7 +434,7 @@ let json_of_engine_stats (s : Gpusim.Timing.engine_stats) : Json.t =
 
 let json_of_search_stats (s : Runner.search_stats) : Json.t =
   Json.Obj
-    [
+    ([
       ("profiled", Json.Int s.Runner.profiled);
       ("cache_hits", Json.Int s.Runner.cache_hits);
       ("profile_wall_s", Json.Float s.Runner.profile_wall_s);
@@ -448,7 +448,16 @@ let json_of_search_stats (s : Runner.search_stats) : Json.t =
       ("trace_hits", Json.Int s.Runner.trace_hits);
       ("trace_merged", Json.Int s.Runner.trace_merged);
       ("trace_wall_s", Json.Float s.Runner.trace_wall_s);
+      ("repair_attempted", Json.Int s.Runner.repair_attempted);
+      ("repaired", Json.Int s.Runner.repaired);
+      ("repair_unsound", Json.Int s.Runner.repair_unsound);
     ]
+    (* rejection histogram entries are flat [rej_<kind-tag>] integers so
+       the fleet's telemetry aggregation (which sums integer leaves per
+       section.field) adds them across shards without special cases *)
+    @ List.map
+        (fun (tag, n) -> ("rej_" ^ tag, Json.Int n))
+        s.Runner.rejections)
 
 let json_of_trace_tally (t : Trace_store.tally) : Json.t =
   Json.Obj

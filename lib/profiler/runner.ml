@@ -402,6 +402,16 @@ type search_stats = {
   mutable trace_merged : int;
       (** candidate trace needs deduped onto an already-requested key *)
   mutable trace_wall_s : float;  (** wall time inside trace acquisition *)
+  mutable repair_attempted : int;
+      (** rejected partitions handed to the repair engine *)
+  mutable repaired : int;
+      (** partitions repaired, oracle-gated and admitted to profiling *)
+  mutable repair_unsound : int;
+      (** statically clean repairs the differential oracle refuted
+          (failed closed back to rejection) *)
+  mutable rejections : (string * int) list;
+      (** per-{!Hfuse_analysis.Diag.kind_tag} histogram of the error
+          diagnostics on finally-rejected partitions, sorted by tag *)
 }
 
 let fresh_search_stats () : search_stats =
@@ -419,7 +429,33 @@ let fresh_search_stats () : search_stats =
     trace_hits = 0;
     trace_merged = 0;
     trace_wall_s = 0.0;
+    repair_attempted = 0;
+    repaired = 0;
+    repair_unsound = 0;
+    rejections = [];
   }
+
+(** Count each error diagnostic's kind into the [rejections]
+    histogram (kept sorted by tag for deterministic reports). *)
+let count_rejections (st : search_stats) (ds : Hfuse_analysis.Diag.t list) :
+    unit =
+  let bump hist tag =
+    let rec go = function
+      | [] -> [ (tag, 1) ]
+      | (t, n) :: rest when String.equal t tag -> (t, n + 1) :: rest
+      | kv :: rest -> kv :: go rest
+    in
+    go hist
+  in
+  let hist =
+    List.fold_left
+      (fun hist (d : Hfuse_analysis.Diag.t) ->
+        bump hist (Hfuse_analysis.Diag.kind_tag d.kind))
+      st.rejections
+      (Hfuse_analysis.Diag.errors ds)
+  in
+  st.rejections <-
+    List.sort (fun (a, _) (b, _) -> String.compare a b) hist
 
 (* the process-wide accumulator the one-shot CLIs print; a server
    passes each request its own [fresh_search_stats ()] via [?stats] *)
@@ -440,6 +476,10 @@ let search_stats () =
     trace_hits = global_stats.trace_hits;
     trace_merged = global_stats.trace_merged;
     trace_wall_s = global_stats.trace_wall_s;
+    repair_attempted = global_stats.repair_attempted;
+    repaired = global_stats.repaired;
+    repair_unsound = global_stats.repair_unsound;
+    rejections = global_stats.rejections;
   }
 
 let reset_search_stats () =
@@ -455,7 +495,11 @@ let reset_search_stats () =
   global_stats.traced <- 0;
   global_stats.trace_hits <- 0;
   global_stats.trace_merged <- 0;
-  global_stats.trace_wall_s <- 0.0
+  global_stats.trace_wall_s <- 0.0;
+  global_stats.repair_attempted <- 0;
+  global_stats.repaired <- 0;
+  global_stats.repair_unsound <- 0;
+  global_stats.rejections <- []
 
 let pp_search_stats ppf (s : search_stats) =
   Fmt.pf ppf "%d candidate%s profiled, %d cache hit%s, %.2fs profiling wall"
@@ -474,7 +518,16 @@ let pp_search_stats ppf (s : search_stats) =
   if s.pruned > 0 then Fmt.pf ppf ", %d pruned" s.pruned;
   if s.rank_total > 0 then
     Fmt.pf ppf ", model agreement %d/%d (max regret %.2f%%)" s.rank_agree
-      s.rank_total s.max_regret_pct
+      s.rank_total s.max_regret_pct;
+  if s.repair_attempted > 0 then
+    Fmt.pf ppf ", %d/%d partition%s repaired (%d unsound)" s.repaired
+      s.repair_attempted
+      (if s.repair_attempted = 1 then "" else "s")
+      s.repair_unsound;
+  if s.rejections <> [] then
+    Fmt.pf ppf ", rejections %a"
+      Fmt.(list ~sep:sp (pair ~sep:(any "×") string int))
+      s.rejections
 
 (* Model-vs-simulator verdict over one (exhaustive) search's profiled
    candidates: what would top-[k] pruning have cost?  The model's
@@ -670,9 +723,63 @@ let solo_cycles ?settings ~(cache : Profile_cache.t) (arch : Arch.t)
       locked (fun () -> Hashtbl.replace solo_memo memo_key v);
       v
 
+(* Differential soundness oracle for repaired fusions: launch the two
+   kernels sequentially in one fresh memory (the unfused reference) and
+   the repaired fusion in another, then compare global memory
+   byte-for-byte.  Anything short of bit-identical output — including a
+   deadlock, a fuel trip or a launch error in either run — fails the
+   gate, so an unsound (or undecidable) repair is never admitted. *)
+let repair_gate ~(s : Settings.t) (c1 : configured) (c2 : configured)
+    (f : Hfuse_core.Hfuse.t) : bool =
+  let launch mem info args =
+    ignore
+      (Launch.launch_info ?fault:s.Settings.fault
+         ~loop_fuel:s.Settings.sim_fuel mem info ~args ~trace_blocks:0)
+  in
+  let snapshot_of launches =
+    (* instantiation order matches every other fresh-memory run, so the
+       two snapshots are over identically-named, identically-seeded
+       buffers and [equal_snapshot] compares like with like *)
+    let mem = Memory.create () in
+    let i1 = c1.spec.Spec.instantiate mem ~size:c1.size in
+    let i2 = c2.spec.Spec.instantiate mem ~size:c2.size in
+    launches mem i1 i2;
+    Memory.snapshot mem
+  in
+  match
+    Fault.with_retries
+      ~key:
+        (Hashtbl.hash
+           ( "repair-gate", c1.spec.Spec.name, c2.spec.Spec.name,
+             f.Hfuse_core.Hfuse.d1, f.Hfuse_core.Hfuse.d2 ))
+    @@ fun () ->
+    let reference =
+      snapshot_of (fun mem i1 i2 ->
+          let k1 =
+            Hfuse_core.Kernel_info.with_block_dim
+              (Spec.kernel_info c1.spec i1)
+              f.Hfuse_core.Hfuse.d1
+          in
+          let k2 =
+            Hfuse_core.Kernel_info.with_block_dim
+              (Spec.kernel_info c2.spec i2)
+              f.Hfuse_core.Hfuse.d2
+          in
+          launch mem k1 i1.args;
+          launch mem k2 i2.args)
+    in
+    let fused =
+      snapshot_of (fun mem i1 i2 ->
+          launch mem (Hfuse_core.Hfuse.info f) (i1.args @ i2.args))
+    in
+    Memory.equal_snapshot reference fused
+  with
+  | equal -> equal
+  | exception e when is_profile_failure e -> false
+
 let search ?(jobs = 1) ?pool ?settings ?stats ?cache
     ?(checkpoint = Checkpoint.disabled) ?(top_k : int option)
-    (arch : Arch.t) (c1 : configured) (c2 : configured) :
+    ?(repair = false) (arch : Arch.t) (c1 : configured) (c2 : configured) :
     Hfuse_core.Search.result =
   let s = resolved settings in
   (* per-request stats land in the caller's record; the historical
@@ -1034,11 +1141,39 @@ let search ?(jobs = 1) ?pool ?settings ?stats ?cache
     Checkpoint.flush checkpoint;
     Hfuse_costmodel.rank inputs candidates
   in
+  (* the histogram hook fires for every finally-rejected partition —
+     including when the verifier rejects them all and [Search.search]
+     raises, where [result.rejected] is unreachable *)
+  let on_reject _partition ds = count_rejections stats ds in
+  let repair_cb =
+    if not repair then None
+    else
+      Some
+        (fun ~k1 ~k2 (_ds : Hfuse_analysis.Diag.t list) ->
+          stats.repair_attempted <- stats.repair_attempted + 1;
+          match
+            Hfuse_repair.Repair.attempt ~limits:(Arch.sm_limits arch) k1 k2
+          with
+          | Error _ -> None
+          | Ok (r : Hfuse_repair.Repair.repaired) ->
+              if repair_gate ~s c1 c2 r.fused then begin
+                stats.repaired <- stats.repaired + 1;
+                Some
+                  {
+                    Hfuse_core.Search.r_fused = r.fused;
+                    r_reg_bound = r.reg_bound;
+                  }
+              end
+              else begin
+                stats.repair_unsound <- stats.repair_unsound + 1;
+                None
+              end)
+  in
   let result =
     Hfuse_core.Search.search
       ~limits:(Arch.sm_limits arch)
-      ~profile_batch ~profile ~rank ?top_k ~d0:(d0_for c1 c2) c1.info
-      c2.info
+      ~profile_batch ~profile ~rank ?top_k ?repair:repair_cb ~on_reject
+      ~d0:(d0_for c1 c2) c1.info c2.info
   in
   stats.ranked <-
     stats.ranked

@@ -170,6 +170,16 @@ type search_stats = {
           (register-bound variants of one partition share a trace) *)
   mutable trace_wall_s : float;
       (** wall time inside trace acquisition (lookup + record + store) *)
+  mutable repair_attempted : int;
+      (** rejected partitions handed to the repair engine *)
+  mutable repaired : int;
+      (** partitions repaired, oracle-gated and admitted to profiling *)
+  mutable repair_unsound : int;
+      (** statically clean repairs the differential oracle refuted
+          (failed closed back to rejection) *)
+  mutable rejections : (string * int) list;
+      (** per-{!Hfuse_analysis.Diag.kind_tag} histogram of the error
+          diagnostics on finally-rejected partitions, sorted by tag *)
 }
 
 (** A zeroed record — one per server request, passed to {!search}'s
@@ -254,11 +264,21 @@ val run_many :
     watchdog trip, deadlock, a crashed worker past its retry budget)
     is excluded with an infinite time and a stderr warning, and the
     search degrades to best-of-completed; only when {e every}
-    candidate fails does the call raise [Failure]. *)
+    candidate fails does the call raise [Failure].
+
+    With [~repair:true], partitions the fusion-safety verifier rejects
+    get one {!Hfuse_repair.Repair.attempt}; a statically repaired
+    fusion is admitted as a candidate only after the differential
+    soundness oracle passes — both kernels launched sequentially in
+    fresh memory versus the repaired fusion in fresh memory, global
+    memory compared byte-for-byte.  Oracle-refuted (or undecidable)
+    repairs fail closed back to rejection and count as
+    [repair_unsound].  Rejection histograms ([rejections]) accumulate
+    regardless of [repair]. *)
 val search :
   ?jobs:int -> ?pool:Hfuse_parallel.Pool.t -> ?settings:Settings.t ->
   ?stats:search_stats -> ?cache:Profile_cache.t ->
-  ?checkpoint:Checkpoint.t -> ?top_k:int ->
+  ?checkpoint:Checkpoint.t -> ?top_k:int -> ?repair:bool ->
   Gpusim.Arch.t -> configured -> configured -> Hfuse_core.Search.result
 
 val naive_hfuse : configured -> configured -> Hfuse_core.Hfuse.t option

@@ -54,6 +54,12 @@ type check_params = {
   c_k1 : kernel_src;
   c_k2 : kernel_src option;
   c_grid : int;
+  c_repair : bool;
+      (** on rejection, run the repair engine and report the repaired
+          verdict.  Static-only: [check] has no workload to execute, so
+          this previews the transformation without the differential
+          soundness gate — admission paths ([search], the fleet) always
+          gate *)
 }
 
 type simulate_params = {
@@ -73,6 +79,10 @@ type search_params = {
   s_emit : bool;
   s_jobs : int;
   s_top_k : int option;
+  s_repair : bool;
+      (** hand verifier-rejected partitions to the repair engine;
+          repaired candidates are admitted only after the differential
+          soundness oracle passes *)
 }
 
 type request_params =
@@ -172,45 +182,106 @@ let fuse (p : fuse_params) : outcome =
 (* check                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let check (p : check_params) : outcome =
-  let limits = Gpusim.Arch.sm_limits p.c_arch in
-  let diags =
-    match p.c_k2 with
-    | None -> (
-        (* single-kernel mode: verify the file as-is (it may already
-           contain bar.sync barriers from an earlier fusion) *)
-        match info_of_src p.c_k1 ~grid:p.c_grid with
-        | Error e -> Error e
-        | Ok k ->
-            let body =
-              (Hfuse_frontend.Inline.normalize_kernel k.prog k.fn).f_body
-            in
-            Ok
-              (Hfuse_analysis.Verifier.verify_kernel ~limits
-                 ~label:k.fn.Cuda.Ast.f_name
-                 ~threads:(Hfuse_core.Kernel_info.threads_per_block k)
-                 ~regs:k.regs ~smem_dynamic:k.smem_dynamic body))
-    | Some k2 -> (
-        (* pair mode: fuse (verifier disabled) and report on the
-           result, instead of dying on the first error *)
-        match
-          (info_of_src p.c_k1 ~grid:p.c_grid, info_of_src k2 ~grid:p.c_grid)
-        with
-        | Error e, _ | _, Error e -> Error e
-        | Ok k1, Ok k2 -> (
-            match Hfuse_core.Hfuse.generate ~check:false ~limits k1 k2 with
-            | fused -> Ok (Hfuse_core.Hfuse.verify ~limits fused)
-            | exception Hfuse_core.Fuse_common.Fusion_error msg -> Error msg))
-  in
-  match diags with
-  | Error msg -> fail 1 ("hfuse: " ^ msg ^ "\n")
-  | Ok diags ->
+(* [check --repair] rendering: the original (rejecting) report, one
+   [repair[tag]: detail] line per applied transformation, then the
+   re-verified report of the repaired kernel.  Static-only by design —
+   [check] has no workload to run the differential oracle against, so
+   the exit code says "statically repairable", not "sound". *)
+let check_repaired (b : Buffer.t)
+    (r : (Hfuse_repair.Repair.action list * Hfuse_analysis.Diag.t list,
+          Hfuse_repair.Repair.failure)
+         result) : outcome =
+  match r with
+  | Ok (actions, residual) ->
+      List.iter
+        (fun (a : Hfuse_repair.Repair.action) ->
+          Buffer.add_string b
+            (Printf.sprintf "repair[%s]: %s\n" a.a_tag a.a_detail))
+        actions;
+      Buffer.add_string b (Hfuse_analysis.Diag.report_to_string residual);
       {
-        output = Hfuse_analysis.Diag.report_to_string diags;
+        output = Buffer.contents b;
         log = "";
-        exit_code = (if Hfuse_analysis.Diag.is_clean diags then 0 else 1);
+        exit_code = 0;
         telemetry = Json.Obj [];
       }
+  | Error f ->
+      Buffer.add_string b
+        (Fmt.str "repair: %a\n" Hfuse_repair.Repair.pp_failure f);
+      {
+        output = Buffer.contents b;
+        log = "";
+        exit_code = 1;
+        telemetry = Json.Obj [];
+      }
+
+let check (p : check_params) : outcome =
+  let limits = Gpusim.Arch.sm_limits p.c_arch in
+  let report diags =
+    {
+      output = Hfuse_analysis.Diag.report_to_string diags;
+      log = "";
+      exit_code = (if Hfuse_analysis.Diag.is_clean diags then 0 else 1);
+      telemetry = Json.Obj [];
+    }
+  in
+  match p.c_k2 with
+  | None -> (
+      (* single-kernel mode: verify the file as-is (it may already
+         contain bar.sync barriers from an earlier fusion) *)
+      match info_of_src p.c_k1 ~grid:p.c_grid with
+      | Error e -> fail 1 ("hfuse: " ^ e ^ "\n")
+      | Ok k ->
+          let body =
+            (Hfuse_frontend.Inline.normalize_kernel k.prog k.fn).f_body
+          in
+          let threads = Hfuse_core.Kernel_info.threads_per_block k in
+          let diags =
+            Hfuse_analysis.Verifier.verify_kernel ~limits
+              ~label:k.fn.Cuda.Ast.f_name ~threads ~regs:k.regs
+              ~smem_dynamic:k.smem_dynamic body
+          in
+          if Hfuse_analysis.Diag.is_clean diags || not p.c_repair then
+            report diags
+          else begin
+            let b = Buffer.create 512 in
+            Buffer.add_string b (Hfuse_analysis.Diag.report_to_string diags);
+            let side =
+              Hfuse_analysis.Verifier.side ~label:k.fn.Cuda.Ast.f_name
+                ~count:threads body
+            in
+            check_repaired b
+              (Result.map
+                 (fun (r : Hfuse_repair.Repair.sides_repaired) ->
+                   (r.r_actions, r.r_residual))
+                 (Hfuse_repair.Repair.repair_sides ~limits ~threads
+                    ~regs:k.regs ~smem_dynamic:k.smem_dynamic [ side ]))
+          end)
+  | Some k2 -> (
+      (* pair mode: fuse (verifier disabled) and report on the
+         result, instead of dying on the first error *)
+      match
+        (info_of_src p.c_k1 ~grid:p.c_grid, info_of_src k2 ~grid:p.c_grid)
+      with
+      | Error e, _ | _, Error e -> fail 1 ("hfuse: " ^ e ^ "\n")
+      | Ok k1, Ok k2 -> (
+          match Hfuse_core.Hfuse.generate ~check:false ~limits k1 k2 with
+          | exception Hfuse_core.Fuse_common.Fusion_error msg ->
+              fail 1 ("hfuse: " ^ msg ^ "\n")
+          | fused ->
+              let diags = Hfuse_core.Hfuse.verify ~limits fused in
+              if Hfuse_analysis.Diag.is_clean diags || not p.c_repair then
+                report diags
+              else begin
+                let b = Buffer.create 512 in
+                Buffer.add_string b
+                  (Hfuse_analysis.Diag.report_to_string diags);
+                check_repaired b
+                  (Result.map
+                     (fun (r : Hfuse_repair.Repair.repaired) ->
+                       (r.actions, r.residual))
+                     (Hfuse_repair.Repair.attempt ~limits k1 k2))
+              end))
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                             *)
@@ -294,7 +365,7 @@ let search ?settings ?(checkpoint = Checkpoint.disabled) ?pool
   let native = (Runner.native ~settings:s arch c1 c2).Gpusim.Timing.time_ms in
   let sr =
     Runner.search ~jobs:p.s_jobs ?pool ~settings:s ~stats ~cache ~checkpoint
-      ?top_k:p.s_top_k arch c1 c2
+      ?top_k:p.s_top_k ~repair:p.s_repair arch c1 c2
   in
   let fault_delta = Fault.diff ~before:fault_before ~after:(Fault.tally ()) in
   let pool_delta = Pool.diff ~before:pool_before ~after:(Pool.tally ()) in
@@ -311,13 +382,14 @@ let search ?settings ?(checkpoint = Checkpoint.disabled) ?pool
   in
   List.iter2
     (fun (cand : Hfuse_core.Search.candidate) score ->
-      add "%5d/%-5d %-9s %.4f ms (%+.1f%%)%s\n" cand.fused.d1 cand.fused.d2
+      add "%5d/%-5d %-9s %.4f ms (%+.1f%%)%s%s\n" cand.fused.d1 cand.fused.d2
         (reg_bound_str cand.config.reg_bound)
         cand.time
         (100.0 *. ((native /. cand.time) -. 1.0))
         (match score with
         | None -> ""
-        | Some sc -> Printf.sprintf "  [model %.4g]" sc))
+        | Some sc -> Printf.sprintf "  [model %.4g]" sc)
+        (if cand.repaired then "  [repaired]" else ""))
     sr.all scores;
   List.iter
     (fun ((f : Hfuse_core.Hfuse.t), (cfg : Hfuse_core.Search.config), score) ->
@@ -328,6 +400,14 @@ let search ?settings ?(checkpoint = Checkpoint.disabled) ?pool
   let best = sr.best in
   add "best: %d/%d %s\n" best.fused.d1 best.fused.d2
     (reg_bound_str best.config.reg_bound);
+  (* deterministic repair summary (only under --repair, so the default
+     output stays byte-identical): "newly fusable" flags a pair whose
+     every candidate came through repair — without it the search would
+     have rejected every partition and raised *)
+  if p.s_repair then
+    add "repaired: %d partition(s), rejected: %d%s\n" sr.repaired
+      (List.length sr.rejected)
+      (if sr.admitted = 0 && sr.repaired > 0 then ", newly fusable" else "");
   if p.s_emit then add "%s\n" (Hfuse_core.Hfuse.to_source best.fused);
   let lb = Buffer.create 256 in
   Printf.ksprintf (Buffer.add_string lb) "search: %s\n"

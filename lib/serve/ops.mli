@@ -37,6 +37,12 @@ type check_params = {
   c_k1 : kernel_src;
   c_k2 : kernel_src option;  (** [None]: single-kernel mode *)
   c_grid : int;
+  c_repair : bool;
+      (** on rejection, run the repair engine and report the repaired
+          verdict.  Static-only: [check] has no workload to execute, so
+          this previews the transformation without the differential
+          soundness gate — admission paths ([search], the fleet) always
+          gate *)
 }
 
 type simulate_params = {
@@ -56,6 +62,10 @@ type search_params = {
   s_emit : bool;
   s_jobs : int;
   s_top_k : int option;  (** [Some k]: analytical top-K pruning *)
+  s_repair : bool;
+      (** hand verifier-rejected partitions to the repair engine;
+          repaired candidates are admitted only after the differential
+          soundness oracle passes *)
 }
 
 type request_params =

@@ -195,6 +195,7 @@ let params_of verb j =
                | None | Some Json.Null -> None
                | k2 -> Some (kernel_src ~label:"k2" k2));
              c_grid = int_field ~default:8 "grid" p;
+             c_repair = bool_field ~default:false "repair" p;
            })
   | "simulate" ->
       Work
@@ -218,6 +219,7 @@ let params_of verb j =
              s_emit = bool_field ~default:false "emit" p;
              s_jobs = int_field ~default:1 "jobs" p;
              s_top_k = int_opt "top_k" p;
+             s_repair = bool_field ~default:false "repair" p;
            })
   | v -> raise (Bad (Printf.sprintf "unknown verb %S" v))
 
@@ -319,7 +321,10 @@ let json_of_params : Ops.request_params -> string * Json.t = function
           @ (match p.c_k2 with
             | None -> []
             | Some k2 -> [ ("k2", json_of_kernel_src k2) ])
-          @ [ ("grid", Json.Int p.c_grid) ]) )
+          @ [ ("grid", Json.Int p.c_grid) ]
+          (* emitted only when set, so requests from older clients and
+             their byte-exact recordings stay stable *)
+          @ (if p.c_repair then [ ("repair", Json.Bool true) ] else [])) )
   | Ops.Simulate p ->
       ( "simulate",
         Json.Obj
@@ -347,10 +352,10 @@ let json_of_params : Ops.request_params -> string * Json.t = function
             | None -> []
             | Some n -> [ ("size2", Json.Int n) ])
           @ [ ("emit", Json.Bool p.s_emit); ("jobs", Json.Int p.s_jobs) ]
-          @
-          match p.s_top_k with
-          | None -> []
-          | Some k -> [ ("top_k", Json.Int k) ]) )
+          @ (match p.s_top_k with
+            | None -> []
+            | Some k -> [ ("top_k", Json.Int k) ])
+          @ (if p.s_repair then [ ("repair", Json.Bool true) ] else [])) )
 
 let json_of_settings (sp : settings_spec) : (string * Json.t) list =
   let fields =

@@ -37,6 +37,10 @@ type t = {
   stop : bool Atomic.t;
   m : Mutex.t;  (* guards everything below *)
   verbs : (string, int) Hashtbl.t;
+  search_tally : (string, int) Hashtbl.t;
+      (* cumulative sums of the flat integer leaves of every search
+         request's "search" telemetry — the daemon-lifetime per-kind
+         rejection histogram and repair counters the stats verb reports *)
   mutable total : int;
   mutable errors : int;
   mutable overloaded : int;
@@ -61,6 +65,17 @@ let note_overloaded t =
 
 let record t ~id ~verb (o : Ops.outcome) =
   locked t (fun () ->
+      (match Json.member "search" o.Ops.telemetry with
+      | Some (Json.Obj fields) ->
+          List.iter
+            (fun (k, v) ->
+              match v with
+              | Json.Int n ->
+                  Hashtbl.replace t.search_tally k
+                    (n + Option.value ~default:0 (Hashtbl.find_opt t.search_tally k))
+              | _ -> ())
+            fields
+      | _ -> ());
       let r =
         { r_id = id; r_verb = verb; r_exit = o.Ops.exit_code;
           r_telemetry = o.Ops.telemetry }
@@ -74,7 +89,7 @@ let record t ~id ~verb (o : Ops.outcome) =
 (* ------------------------------------------------------------------ *)
 
 let stats_outcome t : Ops.outcome =
-  let total, errors, overloaded, verbs, recent =
+  let total, errors, overloaded, verbs, recent, search_sums =
     locked t (fun () ->
         ( t.total,
           t.errors,
@@ -82,7 +97,9 @@ let stats_outcome t : Ops.outcome =
           List.map
             (fun v -> (v, Option.value ~default:0 (Hashtbl.find_opt t.verbs v)))
             [ "fuse"; "check"; "simulate"; "search"; "stats"; "ping" ],
-          t.recent ))
+          t.recent,
+          Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.search_tally []
+          |> List.sort compare ))
   in
   let pending = Pool.pending_submits t.pool in
   let pool_tally = Pool.tally () in
@@ -106,6 +123,18 @@ let stats_outcome t : Ops.outcome =
     (if Hfuse_profiler.Trace_store.mem_entries () = 1 then "y" else "ies")
     (Hfuse_profiler.Trace_store.mem_bytes ());
   add "engine: %s\n" (Fmt.str "%a" Gpusim.Timing.pp_engine_stats engine);
+  (let interesting =
+     List.filter
+       (fun (k, n) ->
+         n > 0
+         && ((String.length k > 4 && String.sub k 0 4 = "rej_")
+            || List.mem k [ "repair_attempted"; "repaired"; "repair_unsound" ]))
+       search_sums
+   in
+   if interesting <> [] then
+     add "search: %s\n"
+       (String.concat ", "
+          (List.map (fun (k, n) -> Printf.sprintf "%s %d" k n) interesting)));
   {
     Ops.output = Buffer.contents b;
     log = "";
@@ -120,6 +149,8 @@ let stats_outcome t : Ops.outcome =
           ("workers", Json.Int (Pool.size t.pool));
           ("verbs", Json.Obj (List.map (fun (v, n) -> (v, Json.Int n)) verbs));
           ("pool", Ops.json_of_pool_tally pool_tally);
+          ( "search",
+            Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) search_sums) );
           ("fault", Ops.json_of_fault_tally fault_tally);
           ("trace_store", Report.json_of_trace_tally trace_tally);
           ("engine", Report.json_of_engine_stats engine);
@@ -264,6 +295,7 @@ let create (config : config) : t =
     stop = Atomic.make false;
     m = Mutex.create ();
     verbs = Hashtbl.create 8;
+    search_tally = Hashtbl.create 32;
     total = 0;
     errors = 0;
     overloaded = 0;

@@ -26,6 +26,7 @@ let () =
       ("differential", Test_diff.suite);
       ("engine-diff", Test_engine_diff.suite);
       ("fuzz", Test_fuzz.suite);
+      ("repair", Test_repair.suite);
       ("serve", Test_serve.suite);
       ("fleet", Test_fleet.suite);
     ]

@@ -643,6 +643,10 @@ let test_json_stats_roundtrip_nonfinite () =
       trace_hits = 0;
       trace_merged = 0;
       trace_wall_s = 0.0;
+      repair_attempted = 0;
+      repaired = 0;
+      repair_unsound = 0;
+      rejections = [];
     }
   in
   let s = Json.to_string (Report.json_of_search_stats stats) in

@@ -36,6 +36,7 @@ let search_params : Ops.search_params =
     s_emit = true;
     s_jobs = 1;
     s_top_k = None;
+    s_repair = false;
   }
 
 let search_request ?(priority = 0) ?(settings = Protocol.no_overrides) id :
